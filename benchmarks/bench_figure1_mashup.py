@@ -1,0 +1,20 @@
+"""Benchmark E6 — regenerate the Figure 1 sentiment-analysis dashboard."""
+
+from __future__ import annotations
+
+from repro.experiments.figure1_mashup import Figure1Spec, run_figure1
+
+
+def test_figure1_mashup(benchmark, milan_dataset):
+    result = benchmark.pedantic(
+        run_figure1, args=(Figure1Spec(), milan_dataset), rounds=1, iterations=1
+    )
+    print("\n=== Figure 1: mashup for sentiment analysis (Milan tourism) ===")
+    print(result.to_markdown())
+    # The composition behaves as the paper describes: the influencer filter
+    # narrows the content, the paper-named sources top the quality ranking,
+    # and selecting an item in a viewer propagates to its synchronised peers.
+    assert 0 < result.influencer_item_count < result.item_count
+    assert set(result.top_source_ids) >= {"twitter-milan", "tripadvisor-milan"}
+    assert result.selection_propagated
+    assert result.per_category_polarity

@@ -1,0 +1,34 @@
+"""Benchmark E3 — regenerate the Section 4.1 ranking-comparison statistics."""
+
+from __future__ import annotations
+
+from repro.experiments.ranking_comparison import RankingStudySpec, run_ranking_comparison
+
+
+def test_ranking_comparison(benchmark, google_dataset):
+    spec = RankingStudySpec(study=google_dataset.spec)
+    result = benchmark.pedantic(
+        run_ranking_comparison, args=(spec, google_dataset), rounds=1, iterations=1
+    )
+    print("\n=== Section 4.1: quality ranking vs. search-engine ranking ===")
+    print(result.to_markdown())
+    # Shape of the paper's findings: substantial re-ranking, many items moved
+    # by more than 5 positions, few coincident positions.
+    assert result.average_displacement > 2.0
+    assert result.fraction_displaced_over_5 >= 0.35
+    assert result.fraction_coincident < 0.2
+    # No domain-independent measure correlates strongly with the search rank.
+    domain_independent = {
+        name: tau
+        for name, tau in result.per_measure_tau.items()
+        if name
+        in {
+            "traffic_rank", "daily_visitors", "daily_page_views", "inbound_links",
+            "feed_subscriptions", "time_on_site", "bounce_rate",
+            "page_views_per_visitor", "comments_per_discussion",
+            "comments_per_discussion_per_day", "new_discussions_per_day",
+            "comments_per_user", "open_discussions_vs_largest",
+            "distinct_tags_per_post", "discussion_age",
+        }
+    }
+    assert max(abs(value) for value in domain_independent.values()) < 0.25

@@ -1,0 +1,15 @@
+"""Benchmark E1 — regenerate Table 1 (source quality measure matrix)."""
+
+from __future__ import annotations
+
+from repro.core.domain import DomainOfInterest
+from repro.experiments.table1_source_model import run_table1
+
+
+def test_table1_source_model(benchmark, table1_corpus):
+    domain = DomainOfInterest(categories=("travel", "food", "culture"), name="table1")
+    result = benchmark(run_table1, table1_corpus, domain)
+    print("\n=== Table 1: source quality attributes and measures ===")
+    print(result.to_markdown())
+    assert len(result.rows) == 19
+    assert len(result.applicable_cells()) == 16

@@ -1,0 +1,13 @@
+"""Benchmark E2 — regenerate Table 2 (contributor quality measure matrix)."""
+
+from __future__ import annotations
+
+from repro.experiments.table2_contributor_model import run_table2
+
+
+def test_table2_contributor_model(benchmark, table2_source):
+    result = benchmark(run_table2, table2_source)
+    print("\n=== Table 2: contributors' quality attributes and measures ===")
+    print(result.to_markdown())
+    assert len(result.rows) == 15
+    assert result.contributor_count > 0

@@ -1,0 +1,21 @@
+"""Benchmark E4 — regenerate Table 3 (componentisation + regressions)."""
+
+from __future__ import annotations
+
+from repro.experiments.table3_factor_analysis import Table3Spec, run_table3
+
+
+def test_table3_factor_analysis(benchmark, google_dataset):
+    spec = Table3Spec(study=google_dataset.spec)
+    result = benchmark.pedantic(
+        run_table3, args=(spec, google_dataset), rounds=1, iterations=1
+    )
+    print("\n=== Table 3: componentisation of data quality measures ===")
+    print(result.to_markdown())
+    # The measures must split into the paper's three components and the
+    # traffic component must relate positively to the search rank while the
+    # participation and time components relate negatively.
+    assert result.assignment_purity() >= 0.8
+    assert result.relation("traffic").direction == "positive"
+    assert result.relation("participation").direction == "negative"
+    assert result.relation("time").direction == "negative"

@@ -1,0 +1,29 @@
+"""Benchmark E5 — regenerate Table 4 (contributor class differences)."""
+
+from __future__ import annotations
+
+from repro.experiments.table4_contributor_anova import Table4Spec, run_table4
+
+
+def test_table4_contributor_anova(benchmark, london_dataset):
+    result = benchmark.pedantic(
+        run_table4, args=(Table4Spec(), london_dataset), rounds=1, iterations=1
+    )
+    print("\n=== Table 4: paired differences of means by account kind ===")
+    print(result.to_markdown())
+    print(
+        f"dataset: {result.account_count} accounts, classes {result.class_sizes}, "
+        f"volume span ~{result.volume_orders_of_magnitude:.1f} orders of magnitude"
+    )
+    signs = result.sign_matrix()
+    # Paper's absolute-volume findings (the headline of Table 4).
+    assert signs["interactions"]["person-brand"] == ">"
+    assert signs["interactions"]["person-news"] == "="
+    assert signs["interactions"]["news-brand"] == ">"
+    assert signs["mentions"]["person-brand"] == ">"
+    assert signs["mentions"]["person-news"] == ">"
+    assert signs["mentions"]["news-brand"] == "="
+    assert signs["retweets"]["person-news"] == "<"
+    assert signs["retweets"]["news-brand"] == ">"
+    assert signs["retweets"]["person-brand"] == "="
+    assert result.account_count == 813

@@ -1,0 +1,52 @@
+"""Shared fixtures for the benchmark harness.
+
+Dataset construction is kept outside the timed region: every benchmark
+receives its dataset from a session-scoped fixture and only the experiment
+itself is measured.  Each benchmark prints the reproduced table/figure so
+the harness output can be compared side by side with the paper (see
+EXPERIMENTS.md for the paper-vs-measured record).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.datasets.google_study import GoogleStudySpec, build_google_study
+from repro.datasets.london_twitter import LondonTwitterSpec, build_london_twitter
+from repro.datasets.milan_tourism import MilanTourismSpec, build_milan_tourism
+from repro.experiments.table1_source_model import default_table1_corpus
+from repro.experiments.table2_contributor_model import default_table2_source
+
+#: Benchmark-scale study spec: large enough for meaningful statistics,
+#: small enough to keep one benchmark iteration in the seconds range.
+BENCH_STUDY_SPEC = GoogleStudySpec(source_count=240, query_count=60)
+
+
+@pytest.fixture(scope="session")
+def table1_corpus():
+    """Corpus used by the Table 1 benchmark."""
+    return default_table1_corpus()
+
+
+@pytest.fixture(scope="session")
+def table2_source():
+    """Microblog source used by the Table 2 benchmark."""
+    return default_table2_source()
+
+
+@pytest.fixture(scope="session")
+def google_dataset():
+    """Ranking-study dataset shared by the Section 4.1 and Table 3 benchmarks."""
+    return build_google_study(BENCH_STUDY_SPEC)
+
+
+@pytest.fixture(scope="session")
+def london_dataset():
+    """London Twitter dataset used by the Table 4 benchmark."""
+    return build_london_twitter(LondonTwitterSpec())
+
+
+@pytest.fixture(scope="session")
+def milan_dataset():
+    """Milan tourism dataset used by the Figure 1 benchmark."""
+    return build_milan_tourism(MilanTourismSpec())

@@ -1,0 +1,65 @@
+#!/usr/bin/env python3
+"""Contributor quality and influencer detection on a microblog community.
+
+The example builds a Twitter-like community, evaluates the Table 2
+contributor quality model, shows the class-level differences of Table 4
+(people vs. brand vs. news accounts) and detects influencers by combining
+absolute activity with relative (per-contribution) response — the paper's
+recipe for resisting spammers and bots.
+
+Run with::
+
+    python examples/influencer_analysis.py
+"""
+
+from __future__ import annotations
+
+from repro.core.contributor_quality import ContributorQualityModel
+from repro.core.domain import DomainOfInterest
+from repro.core.filtering import InfluencerDetector
+from repro.datasets.london_twitter import LondonTwitterSpec, build_london_twitter
+from repro.stats.anova import bonferroni_pairwise
+
+
+def main() -> None:
+    dataset = build_london_twitter(LondonTwitterSpec(account_count=300, seed=23))
+    print(f"Community: {len(dataset)} influential accounts "
+          f"(classes: {dataset.class_sizes()})\n")
+
+    # Class-level differences (the Table 4 story).
+    print("Class-level paired comparisons (Bonferroni-adjusted):")
+    for measure in ("interactions", "mentions", "retweets"):
+        groups = dataset.measure_groups(measure)
+        comparisons = bonferroni_pairwise(
+            groups, pairs=[("person", "brand"), ("person", "news"), ("news", "brand")]
+        )
+        cells = ", ".join(
+            f"{item.first}-{item.second}: {item.sign} (p={item.p_value:.3f})"
+            for item in comparisons
+        )
+        print(f"  {measure:<13} {cells}")
+
+    # Contributor quality + influencer detection on the generic source view.
+    source = dataset.community.to_source("london-microblog")
+    domain = DomainOfInterest(
+        categories=("news", "lifestyle", "sports", "music", "travel"), name="london"
+    )
+    model = ContributorQualityModel(domain)
+    detector = InfluencerDetector(model, absolute_weight=0.5)
+    influencers = detector.detect(source, top=10)
+
+    print("\nTop influencers (absolute + relative blend):")
+    print(f"{'user':<22} {'influence':>9} {'activity':>9} {'efficiency':>11}")
+    for assessment in influencers:
+        print(
+            f"{assessment.user_id:<22} {detector.score(assessment):9.3f} "
+            f"{assessment.absolute_activity:9.3f} {assessment.relative_efficiency:11.3f}"
+        )
+
+    print("\nAccounts with huge volume but negligible per-tweet response do not")
+    print("qualify: the blend of absolute and relative measures filters out the")
+    print("bot/spammer signature, as argued in Section 3.2 of the paper.")
+
+
+if __name__ == "__main__":
+    main()

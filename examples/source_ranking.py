@@ -1,0 +1,59 @@
+#!/usr/bin/env python3
+"""Compare quality-driven ranking against a general-purpose search engine.
+
+This example reproduces, at example scale, the study of Section 4.1: a
+popularity-dominated search engine answers keyword queries over a corpus of
+blogs and forums, the quality model re-ranks each result list, and the two
+orderings are compared (rank displacements, Kendall tau of single measures).
+
+Run with::
+
+    python examples/source_ranking.py
+"""
+
+from __future__ import annotations
+
+from repro.core.domain import DomainOfInterest
+from repro.core.source_quality import SourceQualityModel
+from repro.datasets.google_study import GoogleStudySpec, build_google_study
+from repro.sources.corpus import SourceCorpus
+from repro.stats.ranking import compare_rankings
+
+
+def main() -> None:
+    dataset = build_google_study(GoogleStudySpec(source_count=80, query_count=8, seed=31))
+    print(
+        f"Corpus: {dataset.site_count} blogs/forums — "
+        f"workload: {len(dataset.workload)} queries, top-{dataset.spec.results_per_query} each\n"
+    )
+
+    for query in list(dataset.workload)[:5]:
+        results = dataset.engine.search(query.text, limit=dataset.spec.results_per_query)
+        if len(results) < 5:
+            continue
+        search_ids = [result.source_id for result in results]
+        sub_corpus = SourceCorpus(dataset.corpus.get(source_id) for source_id in search_ids)
+        model = SourceQualityModel(
+            DomainOfInterest(categories=(query.category,), name=query.query_id),
+            alexa=dataset.alexa,
+            feedburner=dataset.feedburner,
+        )
+        quality_ids = model.ranking_ids(sub_corpus)
+        shift = compare_rankings(search_ids, quality_ids)
+
+        print(f"query {query.query_id}: {query.text!r}")
+        print(f"  search order : {', '.join(search_ids[:5])} ...")
+        print(f"  quality order: {', '.join(quality_ids[:5])} ...")
+        print(
+            f"  avg displacement {shift.average_displacement:.2f}, "
+            f"displaced >5: {shift.fraction_displaced_over_5:.0%}, "
+            f"coincident: {shift.fraction_coincident:.0%}\n"
+        )
+
+    print("Interpretation: the search engine privileges raw traffic and inbound")
+    print("links, while the quality model also rewards participation and")
+    print("freshness — hence the substantial re-ranking, as reported in the paper.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,10 @@
+"""Setuptools entry point.
+
+Kept alongside ``pyproject.toml`` so that ``pip install -e .`` works in
+fully offline environments (no build isolation, no ``wheel`` package):
+pip falls back to the legacy ``setup.py develop`` path in that case.
+"""
+
+from setuptools import setup
+
+setup()

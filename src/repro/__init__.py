@@ -1,0 +1,75 @@
+"""repro — quality-driven filtering and composition of Web 2.0 sources.
+
+A faithful, self-contained reproduction of
+
+    D. Barbagallo, C. Cappiello, C. Francalanci, M. Matera, M. Picozzi.
+    "Informing Observers: Quality-driven Filtering and Composition of
+    Web 2.0 Sources", EDBT 2012.
+
+The package is organised in five layers:
+
+* :mod:`repro.sources` — the Web 2.0 substrate: data model, synthetic
+  corpus generators, web-statistics panel simulators, crawler, microblog
+  community;
+* :mod:`repro.stats` — the statistics substrate (Kendall tau, factor
+  analysis, OLS regression, ANOVA with Bonferroni post-hoc);
+* :mod:`repro.core` — the paper's quality model for sources (Table 1) and
+  contributors (Table 2), normalisation, scoring, filtering, influencer
+  detection;
+* :mod:`repro.search`, :mod:`repro.sentiment`, :mod:`repro.mashup` — the
+  simulated general-purpose search baseline, the sentiment analysis
+  payload and the DashMash-like composition framework;
+* :mod:`repro.datasets` and :mod:`repro.experiments` — the evaluation
+  datasets and one driver per table/figure of the paper.
+"""
+
+from repro.core import (
+    ContributorQualityModel,
+    DomainOfInterest,
+    InfluencerDetector,
+    QualityAttribute,
+    QualityDimension,
+    QualityFilter,
+    QualityRanker,
+    SourceQualityModel,
+    TimeInterval,
+)
+from repro.sources import (
+    AccountKind,
+    AlexaLikeService,
+    CorpusGenerator,
+    CorpusSpec,
+    Crawler,
+    FeedburnerLikeService,
+    MicroblogGenerator,
+    MicroblogSpec,
+    Source,
+    SourceCorpus,
+    SourceType,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "AccountKind",
+    "AlexaLikeService",
+    "ContributorQualityModel",
+    "CorpusGenerator",
+    "CorpusSpec",
+    "Crawler",
+    "DomainOfInterest",
+    "FeedburnerLikeService",
+    "InfluencerDetector",
+    "MicroblogGenerator",
+    "MicroblogSpec",
+    "QualityAttribute",
+    "QualityDimension",
+    "QualityFilter",
+    "QualityRanker",
+    "Source",
+    "SourceCorpus",
+    "SourceQualityModel",
+    "SourceType",
+    "TimeInterval",
+    "__version__",
+]

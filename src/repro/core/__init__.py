@@ -1,0 +1,86 @@
+"""Core quality model: the paper's primary contribution.
+
+The model crosses six data-quality *dimensions* (accuracy, completeness,
+time, interpretability, authority, dependability) with four *attributes*
+(relevance, breadth of contributions, traffic — or activity for
+contributors — and liveliness).  Each non-N/A cell holds one or more
+concrete measures (Tables 1 and 2 of the paper).  Assessments are computed
+against a Domain of Interest, normalised against benchmark sources and
+aggregated into dimension, attribute and overall scores through a weighting
+scheme; on top of the scores sit quality-driven filtering, ranking and
+influencer detection.
+"""
+
+from repro.core.dimensions import (
+    ModelCell,
+    QualityAttribute,
+    QualityDimension,
+    CONTRIBUTOR_ATTRIBUTES,
+    SOURCE_ATTRIBUTES,
+)
+from repro.core.domain import DomainOfInterest, TimeInterval
+from repro.core.measures import (
+    MeasureDefinition,
+    MeasureRegistry,
+    MeasureScope,
+    MeasureSource,
+    contributor_measure_registry,
+    source_measure_registry,
+)
+from repro.core.normalization import (
+    BenchmarkNormalizer,
+    MinMaxNormalizer,
+    Normalizer,
+    ZScoreNormalizer,
+)
+from repro.core.scoring import (
+    QualityScore,
+    WeightingScheme,
+    attribute_weighted_scheme,
+    dimension_weighted_scheme,
+    uniform_scheme,
+)
+from repro.core.source_quality import SourceAssessment, SourceQualityModel
+from repro.core.contributor_quality import (
+    ContributorAssessment,
+    ContributorQualityModel,
+)
+from repro.core.filtering import (
+    InfluencerDetector,
+    QualityFilter,
+    QualityRanker,
+    RankedSource,
+)
+
+__all__ = [
+    "BenchmarkNormalizer",
+    "CONTRIBUTOR_ATTRIBUTES",
+    "ContributorAssessment",
+    "ContributorQualityModel",
+    "DomainOfInterest",
+    "InfluencerDetector",
+    "MeasureDefinition",
+    "MeasureRegistry",
+    "MeasureScope",
+    "MeasureSource",
+    "MinMaxNormalizer",
+    "ModelCell",
+    "Normalizer",
+    "QualityAttribute",
+    "QualityDimension",
+    "QualityFilter",
+    "QualityRanker",
+    "QualityScore",
+    "RankedSource",
+    "SOURCE_ATTRIBUTES",
+    "SourceAssessment",
+    "SourceQualityModel",
+    "TimeInterval",
+    "WeightingScheme",
+    "ZScoreNormalizer",
+    "attribute_weighted_scheme",
+    "contributor_measure_registry",
+    "dimension_weighted_scheme",
+    "source_measure_registry",
+    "uniform_scheme",
+]

@@ -1,0 +1,156 @@
+"""Concrete computation of the Table 2 (contributor) measures.
+
+Every measure is a pure function of a :class:`ContributorMeasurementContext`
+bundling the contributor crawl snapshot and the Domain of Interest.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Iterable, Mapping, Optional
+
+from repro.core.domain import DomainOfInterest
+from repro.core.measures import MeasureRegistry, contributor_measure_registry
+from repro.errors import UnknownMeasureError
+from repro.sources.crawler import ContributorSnapshot
+
+__all__ = [
+    "ContributorMeasurementContext",
+    "compute_contributor_measure",
+    "compute_contributor_measures",
+    "CONTRIBUTOR_MEASURE_FUNCTIONS",
+]
+
+
+@dataclass(frozen=True)
+class ContributorMeasurementContext:
+    """Everything needed to evaluate the Table 2 measures for one user."""
+
+    snapshot: ContributorSnapshot
+    domain: DomainOfInterest
+
+
+def _avg_comments_per_category(context: ContributorMeasurementContext) -> float:
+    """Average number of the user's comments per DI content category."""
+    categories = context.domain.categories
+    if not categories:
+        return 0.0
+    return context.snapshot.comments_in_categories(categories) / len(categories)
+
+
+def _centrality(context: ContributorMeasurementContext) -> float:
+    """Number of DI categories the user has contributed to."""
+    return float(len(context.snapshot.covered(context.domain.categories)))
+
+
+def _open_discussions(context: ContributorMeasurementContext) -> float:
+    """Number of open discussions the user participates in."""
+    return float(context.snapshot.open_discussions)
+
+
+def _total_interactions(context: ContributorMeasurementContext) -> float:
+    """Total number of interactions performed plus received (activity)."""
+    snapshot = context.snapshot
+    return float(snapshot.interactions_performed + snapshot.interactions_received)
+
+
+def _interactions_per_counterpart(context: ContributorMeasurementContext) -> float:
+    """Average number of interactions per counterpart user."""
+    return context.snapshot.interactions_per_counterpart
+
+
+def _user_age(context: ContributorMeasurementContext) -> float:
+    """Age of the user account in days."""
+    return context.snapshot.account_age
+
+
+def _reads_received(context: ContributorMeasurementContext) -> float:
+    """Number of times the user's comments have been read by others."""
+    return float(context.snapshot.reads_received)
+
+
+def _interactions_per_day(context: ContributorMeasurementContext) -> float:
+    """Average number of new interactions per day."""
+    return context.snapshot.interactions_per_day
+
+
+def _distinct_tags_per_post(context: ContributorMeasurementContext) -> float:
+    """Average number of distinct tags per post."""
+    return context.snapshot.average_distinct_tags_per_post
+
+
+def _replies_per_comment(context: ContributorMeasurementContext) -> float:
+    """Average number of replies received per authored post (relative mentions)."""
+    return context.snapshot.replies_per_comment
+
+
+def _replies_received(context: ContributorMeasurementContext) -> float:
+    """Number of replies received (absolute mentions)."""
+    return float(context.snapshot.replies_received)
+
+
+def _feedback_per_comment(context: ContributorMeasurementContext) -> float:
+    """Average number of feedbacks received per authored post (relative retweets)."""
+    return context.snapshot.feedback_per_comment
+
+
+def _comments_per_discussion(context: ContributorMeasurementContext) -> float:
+    """Average number of the user's comments per discussion they joined."""
+    return context.snapshot.comments_per_discussion
+
+
+def _feedback_received(context: ContributorMeasurementContext) -> float:
+    """Number of feedback interactions received (absolute retweets)."""
+    return float(context.snapshot.feedback_received)
+
+
+def _interactions_per_discussion_per_day(
+    context: ContributorMeasurementContext,
+) -> float:
+    """Average number of interactions per discussion per day."""
+    return context.snapshot.interactions_per_discussion_per_day
+
+
+#: Dispatch table mapping Table 2 measure names to their implementations.
+CONTRIBUTOR_MEASURE_FUNCTIONS: Mapping[
+    str, Callable[[ContributorMeasurementContext], float]
+] = {
+    "user_avg_comments_per_category": _avg_comments_per_category,
+    "user_centrality": _centrality,
+    "user_open_discussions": _open_discussions,
+    "user_total_interactions": _total_interactions,
+    "user_interactions_per_counterpart": _interactions_per_counterpart,
+    "user_age": _user_age,
+    "user_reads_received": _reads_received,
+    "user_interactions_per_day": _interactions_per_day,
+    "user_distinct_tags_per_post": _distinct_tags_per_post,
+    "user_replies_per_comment": _replies_per_comment,
+    "user_replies_received": _replies_received,
+    "user_feedback_per_comment": _feedback_per_comment,
+    "user_comments_per_discussion": _comments_per_discussion,
+    "user_feedback_received": _feedback_received,
+    "user_interactions_per_discussion_per_day": _interactions_per_discussion_per_day,
+}
+
+
+def compute_contributor_measure(
+    name: str, context: ContributorMeasurementContext
+) -> float:
+    """Compute the Table 2 measure ``name`` for the given context."""
+    try:
+        function = CONTRIBUTOR_MEASURE_FUNCTIONS[name]
+    except KeyError as exc:
+        raise UnknownMeasureError(name) from exc
+    return float(function(context))
+
+
+def compute_contributor_measures(
+    context: ContributorMeasurementContext,
+    registry: Optional[MeasureRegistry] = None,
+    names: Optional[Iterable[str]] = None,
+) -> dict[str, float]:
+    """Compute a set of Table 2 measures (all of them by default)."""
+    if names is None:
+        registry = registry or contributor_measure_registry()
+        names = registry.names()
+    return {name: compute_contributor_measure(name, context) for name in names}

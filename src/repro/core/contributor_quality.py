@@ -1,0 +1,197 @@
+"""Contributor quality model (Table 2).
+
+:class:`ContributorQualityModel` assesses individual users of a source (or
+of a microblog community exposed as a source): it crawls a per-user
+snapshot, computes the Table 2 measures against the Domain of Interest,
+normalises them against the community and aggregates them into the same
+dimension / attribute / overall structure used for sources.
+
+The model also exposes the paper's key analytical distinction between
+*absolute* interaction volumes (the activity attribute) and *relative*
+volumes (interactions per contribution, typical of the relevance
+attribute): combining the two identifies users who both generate reactions
+and do so efficiently, and penalises the spam/bot pattern of high absolute
+activity with negligible relative response.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Iterable, Mapping, Optional
+
+from repro.core.contributor_measures import (
+    ContributorMeasurementContext,
+    compute_contributor_measures,
+)
+from repro.core.dimensions import QualityAttribute
+from repro.core.domain import DomainOfInterest
+from repro.core.measures import MeasureRegistry, contributor_measure_registry
+from repro.core.normalization import (
+    BenchmarkNormalizer,
+    Normalizer,
+    collect_reference_values,
+)
+from repro.core.scoring import (
+    QualityScore,
+    WeightingScheme,
+    build_quality_score,
+    uniform_scheme,
+)
+from repro.errors import AssessmentError
+from repro.sources.crawler import ContributorSnapshot, Crawler
+from repro.sources.models import Source
+
+__all__ = ["ContributorAssessment", "ContributorQualityModel"]
+
+
+@dataclass
+class ContributorAssessment:
+    """Quality assessment of a single contributor."""
+
+    user_id: str
+    source_id: str
+    score: QualityScore
+    snapshot: ContributorSnapshot
+
+    @property
+    def overall(self) -> float:
+        """Overall weighted-average quality in [0, 1]."""
+        return self.score.overall
+
+    @property
+    def absolute_activity(self) -> float:
+        """Normalised activity-attribute score (absolute interaction volumes)."""
+        return self.score.attribute(QualityAttribute.ACTIVITY)
+
+    @property
+    def relative_efficiency(self) -> float:
+        """Normalised relevance-attribute score (relative interaction volumes)."""
+        return self.score.attribute(QualityAttribute.RELEVANCE)
+
+    def influencer_score(self, absolute_weight: float = 0.5) -> float:
+        """Blend of absolute and relative scores used for influencer detection.
+
+        The paper argues that combining the two "can also help reduce the
+        problems deriving from spammers and bots": an account needs both
+        volume and per-contribution response to score high.
+        """
+        absolute_weight = min(1.0, max(0.0, absolute_weight))
+        return (
+            absolute_weight * self.absolute_activity
+            + (1.0 - absolute_weight) * self.relative_efficiency
+        )
+
+    def to_dict(self) -> dict[str, Any]:
+        """Serialise to a JSON-compatible dictionary."""
+        return {
+            "user_id": self.user_id,
+            "source_id": self.source_id,
+            "score": self.score.to_dict(),
+            "snapshot": self.snapshot.to_dict(),
+        }
+
+
+class ContributorQualityModel:
+    """Assess and rank the contributors of a source."""
+
+    def __init__(
+        self,
+        domain: DomainOfInterest,
+        registry: Optional[MeasureRegistry] = None,
+        scheme: Optional[WeightingScheme] = None,
+        normalizer: Optional[Normalizer] = None,
+        crawler: Optional[Crawler] = None,
+    ) -> None:
+        self._domain = domain
+        self._registry = registry or contributor_measure_registry()
+        self._scheme = scheme or uniform_scheme(self._registry)
+        self._normalizer = normalizer or BenchmarkNormalizer(self._registry)
+        self._crawler = crawler or Crawler()
+
+    @property
+    def domain(self) -> DomainOfInterest:
+        """The Domain of Interest assessments are computed against."""
+        return self._domain
+
+    @property
+    def registry(self) -> MeasureRegistry:
+        """The measure registry in use."""
+        return self._registry
+
+    # -- raw measures ------------------------------------------------------------------
+
+    def raw_measures(
+        self, source: Source, user_ids: Optional[Iterable[str]] = None
+    ) -> dict[str, dict[str, float]]:
+        """Raw Table 2 measure vectors for the selected contributors."""
+        snapshots = self._crawler.crawl_contributors(source, user_ids)
+        if not snapshots:
+            raise AssessmentError(
+                f"source {source.source_id!r} has no contributors to assess"
+            )
+        vectors: dict[str, dict[str, float]] = {}
+        for user_id, snapshot in snapshots.items():
+            context = ContributorMeasurementContext(
+                snapshot=snapshot, domain=self._domain
+            )
+            vectors[user_id] = compute_contributor_measures(
+                context, registry=self._registry
+            )
+        return vectors
+
+    # -- assessment --------------------------------------------------------------------
+
+    def assess_source(
+        self, source: Source, user_ids: Optional[Iterable[str]] = None
+    ) -> dict[str, ContributorAssessment]:
+        """Assess the contributors of ``source`` (all of them by default)."""
+        raw_vectors = self.raw_measures(source, user_ids)
+        self._normalizer.fit(collect_reference_values(raw_vectors.values()))
+        snapshots = self._crawler.crawl_contributors(source, raw_vectors.keys())
+
+        assessments: dict[str, ContributorAssessment] = {}
+        for user_id, raw in raw_vectors.items():
+            normalized = self._normalizer.normalize_all(raw)
+            score = build_quality_score(
+                subject_id=user_id,
+                raw_values=raw,
+                normalized_values=normalized,
+                registry=self._registry,
+                scheme=self._scheme,
+            )
+            assessments[user_id] = ContributorAssessment(
+                user_id=user_id,
+                source_id=source.source_id,
+                score=score,
+                snapshot=snapshots[user_id],
+            )
+        return assessments
+
+    def assess(self, source: Source, user_id: str) -> ContributorAssessment:
+        """Assess a single contributor of ``source``."""
+        assessments = self.assess_source(source)
+        if user_id not in assessments:
+            raise AssessmentError(
+                f"user {user_id!r} has no contributions on source {source.source_id!r}"
+            )
+        return assessments[user_id]
+
+    # -- ranking ------------------------------------------------------------------------
+
+    def rank(
+        self,
+        source: Source,
+        user_ids: Optional[Iterable[str]] = None,
+        by_influence: bool = False,
+        absolute_weight: float = 0.5,
+    ) -> list[ContributorAssessment]:
+        """Rank contributors by overall quality or by influencer score."""
+        assessments = list(self.assess_source(source, user_ids).values())
+        if by_influence:
+            key = lambda assessment: (
+                -assessment.influencer_score(absolute_weight),
+                assessment.user_id,
+            )
+        else:
+            key = lambda assessment: (-assessment.overall, assessment.user_id)
+        return sorted(assessments, key=key)

@@ -1,0 +1,75 @@
+"""Quality dimensions and attributes of the model.
+
+The rows of Tables 1 and 2 are six data-quality dimensions taken from the
+classification of Batini et al. (ACM CSUR 2009) and revisited for Web 2.0
+content; the columns are four attributes focusing either on the adherence
+of contents to the Domain of Interest (relevance, breadth of contributions)
+or on user participation (traffic / activity, liveliness).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import Enum
+
+__all__ = [
+    "QualityDimension",
+    "QualityAttribute",
+    "SOURCE_ATTRIBUTES",
+    "CONTRIBUTOR_ATTRIBUTES",
+    "ModelCell",
+]
+
+
+class QualityDimension(str, Enum):
+    """Data-quality dimensions (rows of Tables 1 and 2)."""
+
+    ACCURACY = "accuracy"
+    COMPLETENESS = "completeness"
+    TIME = "time"
+    INTERPRETABILITY = "interpretability"
+    AUTHORITY = "authority"
+    DEPENDABILITY = "dependability"
+
+
+class QualityAttribute(str, Enum):
+    """Quality attributes (columns of Tables 1 and 2).
+
+    ``TRAFFIC`` applies to sources; for contributors the paper turns it into
+    ``ACTIVITY`` — "the overall amount of user interaction in the social
+    network".
+    """
+
+    RELEVANCE = "relevance"
+    BREADTH = "breadth_of_contributions"
+    TRAFFIC = "traffic"
+    ACTIVITY = "activity"
+    LIVELINESS = "liveliness"
+
+
+#: Attribute columns of the source quality model (Table 1).
+SOURCE_ATTRIBUTES: tuple[QualityAttribute, ...] = (
+    QualityAttribute.RELEVANCE,
+    QualityAttribute.BREADTH,
+    QualityAttribute.TRAFFIC,
+    QualityAttribute.LIVELINESS,
+)
+
+#: Attribute columns of the contributor quality model (Table 2).
+CONTRIBUTOR_ATTRIBUTES: tuple[QualityAttribute, ...] = (
+    QualityAttribute.RELEVANCE,
+    QualityAttribute.BREADTH,
+    QualityAttribute.ACTIVITY,
+    QualityAttribute.LIVELINESS,
+)
+
+
+@dataclass(frozen=True)
+class ModelCell:
+    """One (dimension, attribute) cell of the quality model."""
+
+    dimension: QualityDimension
+    attribute: QualityAttribute
+
+    def __str__(self) -> str:
+        return f"{self.dimension.value} x {self.attribute.value}"

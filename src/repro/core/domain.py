@@ -1,0 +1,136 @@
+"""Domain of Interest.
+
+The paper constrains every assessment to a Domain of Interest
+
+    DI = {<c1, c2, ..., cn>, t, <l1, l2, ..., lm>}
+
+made of the content categories relevant to the analysis, a time interval
+and a set of geographical locations; any other domain variable can be added
+to capture a specific analysis goal.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Iterable, Mapping, Optional
+
+from repro.errors import ConfigurationError
+
+__all__ = ["TimeInterval", "DomainOfInterest"]
+
+
+@dataclass(frozen=True)
+class TimeInterval:
+    """A closed interval of simulation days ``[start, end]``."""
+
+    start: float
+    end: float
+
+    def __post_init__(self) -> None:
+        if self.end < self.start:
+            raise ConfigurationError("TimeInterval end must not precede start")
+
+    @property
+    def length(self) -> float:
+        """Length of the interval in days."""
+        return self.end - self.start
+
+    def contains(self, day: float) -> bool:
+        """True when ``day`` falls inside the interval (inclusive)."""
+        return self.start <= day <= self.end
+
+    def overlaps(self, other: "TimeInterval") -> bool:
+        """True when this interval overlaps ``other``."""
+        return self.start <= other.end and other.start <= self.end
+
+    def to_dict(self) -> dict[str, float]:
+        """Serialise to a JSON-compatible dictionary."""
+        return {"start": self.start, "end": self.end}
+
+    @classmethod
+    def from_dict(cls, payload: Mapping[str, Any]) -> "TimeInterval":
+        """Rebuild an interval serialised with :meth:`to_dict`."""
+        return cls(start=float(payload["start"]), end=float(payload["end"]))
+
+
+@dataclass(frozen=True)
+class DomainOfInterest:
+    """The context of an analysis: categories, time interval and locations.
+
+    ``extra_variables`` accommodates "any other domain variable" mentioned by
+    the paper (e.g. a language, a product line).
+    """
+
+    categories: tuple[str, ...]
+    time_interval: Optional[TimeInterval] = None
+    locations: tuple[str, ...] = ()
+    name: str = "domain-of-interest"
+    extra_variables: Mapping[str, Any] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if not self.categories:
+            raise ConfigurationError("a Domain of Interest needs at least one category")
+        if len(set(self.categories)) != len(self.categories):
+            raise ConfigurationError("DI categories must be distinct")
+
+    # -- predicates ----------------------------------------------------------------
+
+    def covers_category(self, category: Optional[str]) -> bool:
+        """True when ``category`` is one of the DI categories."""
+        return category is not None and category in self.categories
+
+    def covers_day(self, day: float) -> bool:
+        """True when ``day`` falls in the DI time interval (or no interval set)."""
+        return self.time_interval is None or self.time_interval.contains(day)
+
+    def covers_location(self, location: Optional[str]) -> bool:
+        """True when ``location`` matches the DI (or the DI has no locations)."""
+        if not self.locations:
+            return True
+        if location is None:
+            return False
+        normalized = location.strip().lower()
+        return any(normalized == candidate.strip().lower() for candidate in self.locations)
+
+    def category_overlap(self, categories: Iterable[str]) -> set[str]:
+        """Return the DI categories present in ``categories``."""
+        available = set(categories)
+        return {category for category in self.categories if category in available}
+
+    # -- derived views -----------------------------------------------------------------
+
+    def with_categories(self, categories: Iterable[str]) -> "DomainOfInterest":
+        """Return a copy of the DI with a different category list."""
+        return DomainOfInterest(
+            categories=tuple(categories),
+            time_interval=self.time_interval,
+            locations=self.locations,
+            name=self.name,
+            extra_variables=dict(self.extra_variables),
+        )
+
+    def to_dict(self) -> dict[str, Any]:
+        """Serialise to a JSON-compatible dictionary."""
+        return {
+            "name": self.name,
+            "categories": list(self.categories),
+            "time_interval": (
+                self.time_interval.to_dict() if self.time_interval else None
+            ),
+            "locations": list(self.locations),
+            "extra_variables": dict(self.extra_variables),
+        }
+
+    @classmethod
+    def from_dict(cls, payload: Mapping[str, Any]) -> "DomainOfInterest":
+        """Rebuild a DI serialised with :meth:`to_dict`."""
+        interval_payload = payload.get("time_interval")
+        return cls(
+            categories=tuple(payload["categories"]),
+            time_interval=(
+                TimeInterval.from_dict(interval_payload) if interval_payload else None
+            ),
+            locations=tuple(payload.get("locations", ())),
+            name=payload.get("name", "domain-of-interest"),
+            extra_variables=dict(payload.get("extra_variables", {})),
+        )

@@ -1,0 +1,193 @@
+"""Quality-driven filtering, ranking and influencer detection.
+
+Section 5 of the paper derives three families of analysis services from the
+quality model: quality-based selection of the most relevant contents,
+simple filter operations (category, freshness, breadth), and content-based
+analysis.  This module implements the selection/filter layer over the
+assessments produced by the quality models; the mashup components in
+:mod:`repro.mashup` wrap these primitives as composable services.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Iterable, Optional, Sequence
+
+from repro.core.contributor_quality import ContributorAssessment, ContributorQualityModel
+from repro.core.dimensions import QualityAttribute, QualityDimension
+from repro.core.domain import DomainOfInterest
+from repro.core.source_quality import SourceAssessment, SourceQualityModel
+from repro.errors import AssessmentError
+from repro.sources.corpus import SourceCorpus
+from repro.sources.models import Source
+
+__all__ = ["RankedSource", "QualityRanker", "QualityFilter", "InfluencerDetector"]
+
+
+@dataclass(frozen=True)
+class RankedSource:
+    """One entry of a quality ranking."""
+
+    rank: int
+    source_id: str
+    overall: float
+
+    def to_dict(self) -> dict[str, float | int | str]:
+        """Serialise to a JSON-compatible dictionary."""
+        return {"rank": self.rank, "source_id": self.source_id, "overall": self.overall}
+
+
+class QualityRanker:
+    """Rank and select sources based on their quality assessment."""
+
+    def __init__(self, model: SourceQualityModel) -> None:
+        self._model = model
+
+    @property
+    def model(self) -> SourceQualityModel:
+        """The underlying source quality model."""
+        return self._model
+
+    def rank(self, corpus: SourceCorpus) -> list[RankedSource]:
+        """Return the corpus ranked by decreasing overall quality."""
+        assessments = self._model.rank(corpus)
+        return [
+            RankedSource(rank=index + 1, source_id=item.source_id, overall=item.overall)
+            for index, item in enumerate(assessments)
+        ]
+
+    def top_sources(self, corpus: SourceCorpus, count: int) -> list[str]:
+        """Identifiers of the ``count`` best sources."""
+        if count < 0:
+            raise AssessmentError("count must be non-negative")
+        return [entry.source_id for entry in self.rank(corpus)[:count]]
+
+    def select(
+        self,
+        corpus: SourceCorpus,
+        minimum_overall: float = 0.0,
+        minimum_dimension: Optional[dict[QualityDimension, float]] = None,
+        minimum_attribute: Optional[dict[QualityAttribute, float]] = None,
+    ) -> list[SourceAssessment]:
+        """Select the sources meeting every quality threshold."""
+        assessments = self._model.assess_corpus(corpus)
+        selected: list[SourceAssessment] = []
+        for assessment in assessments.values():
+            if assessment.overall < minimum_overall:
+                continue
+            if minimum_dimension and any(
+                assessment.score.dimension(dimension) < threshold
+                for dimension, threshold in minimum_dimension.items()
+            ):
+                continue
+            if minimum_attribute and any(
+                assessment.score.attribute(attribute) < threshold
+                for attribute, threshold in minimum_attribute.items()
+            ):
+                continue
+            selected.append(assessment)
+        return sorted(selected, key=lambda item: (-item.overall, item.source_id))
+
+
+class QualityFilter:
+    """Simple content filters over sources (the paper's "filter operations")."""
+
+    def __init__(self, domain: DomainOfInterest) -> None:
+        self._domain = domain
+
+    @property
+    def domain(self) -> DomainOfInterest:
+        """The Domain of Interest filters are evaluated against."""
+        return self._domain
+
+    def by_category(self, corpus: SourceCorpus, category: str) -> SourceCorpus:
+        """Keep the sources with at least one discussion in ``category``."""
+        return corpus.covering_category(category)
+
+    def by_freshness(
+        self, corpus: SourceCorpus, max_average_thread_age: float
+    ) -> SourceCorpus:
+        """Keep the sources whose average thread age is below the threshold."""
+        from repro.sources.crawler import Crawler
+
+        crawler = Crawler()
+        fresh_ids = {
+            source.source_id
+            for source in corpus
+            if crawler.crawl_source(source).average_thread_age <= max_average_thread_age
+        }
+        return corpus.filter(lambda source: source.source_id in fresh_ids)
+
+    def by_breadth(self, corpus: SourceCorpus, minimum_categories: int) -> SourceCorpus:
+        """Keep the sources covering at least ``minimum_categories`` DI categories."""
+        return corpus.filter(
+            lambda source: len(
+                self._domain.category_overlap(source.covered_categories())
+            )
+            >= minimum_categories
+        )
+
+    def by_predicate(
+        self, corpus: SourceCorpus, predicate: Callable[[Source], bool]
+    ) -> SourceCorpus:
+        """Keep the sources matching an arbitrary predicate."""
+        return corpus.filter(predicate)
+
+
+class InfluencerDetector:
+    """Detect influential contributors by combining absolute and relative scores.
+
+    The spam-resistance argument of the paper is encoded in
+    ``minimum_relative``: a user with huge absolute activity but negligible
+    per-contribution response (the typical bot/spammer signature) does not
+    qualify as an influencer regardless of volume.
+    """
+
+    def __init__(
+        self,
+        model: ContributorQualityModel,
+        absolute_weight: float = 0.5,
+        minimum_relative: float = 0.05,
+    ) -> None:
+        if not 0.0 <= absolute_weight <= 1.0:
+            raise AssessmentError("absolute_weight must be in [0, 1]")
+        if minimum_relative < 0.0:
+            raise AssessmentError("minimum_relative must be non-negative")
+        self._model = model
+        self._absolute_weight = absolute_weight
+        self._minimum_relative = minimum_relative
+
+    @property
+    def model(self) -> ContributorQualityModel:
+        """The underlying contributor quality model."""
+        return self._model
+
+    def score(self, assessment: ContributorAssessment) -> float:
+        """Influencer score of one assessed contributor."""
+        return assessment.influencer_score(self._absolute_weight)
+
+    def detect(
+        self,
+        source: Source,
+        user_ids: Optional[Iterable[str]] = None,
+        top: Optional[int] = None,
+        minimum_score: float = 0.0,
+    ) -> list[ContributorAssessment]:
+        """Return the influencers of ``source``, best first."""
+        assessments = self._model.assess_source(source, user_ids)
+        qualified = [
+            assessment
+            for assessment in assessments.values()
+            if assessment.relative_efficiency >= self._minimum_relative
+            and self.score(assessment) >= minimum_score
+        ]
+        qualified.sort(key=lambda item: (-self.score(item), item.user_id))
+        if top is not None:
+            qualified = qualified[: max(0, top)]
+        return qualified
+
+    def influencer_ids(
+        self, source: Source, top: Optional[int] = None
+    ) -> list[str]:
+        """Identifiers of the detected influencers, best first."""
+        return [assessment.user_id for assessment in self.detect(source, top=top)]

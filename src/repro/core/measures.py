@@ -1,0 +1,436 @@
+"""Measure descriptors and registries for Tables 1 and 2.
+
+A :class:`MeasureDefinition` captures everything the paper states about a
+measure: the (dimension, attribute) cell it belongs to, whether it is
+domain-dependent (italics in the tables), where its raw value comes from
+(crawling, the Alexa-like panel, the Feedburner-like panel), whether larger
+values indicate better quality, and whether it applies to sources (Table 1)
+or contributors (Table 2).
+
+The two registry factory functions, :func:`source_measure_registry` and
+:func:`contributor_measure_registry`, materialise the exact content of the
+two tables.  Cells that hold "N/A" in the paper simply have no registered
+measure.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import Enum
+from typing import Iterable, Iterator, Optional
+
+from repro.core.dimensions import ModelCell, QualityAttribute, QualityDimension
+from repro.errors import MeasureNotApplicableError, UnknownMeasureError
+
+__all__ = [
+    "MeasureScope",
+    "MeasureSource",
+    "MeasureDefinition",
+    "MeasureRegistry",
+    "source_measure_registry",
+    "contributor_measure_registry",
+]
+
+
+class MeasureScope(str, Enum):
+    """Whether a measure applies to a source (Table 1) or a contributor (Table 2)."""
+
+    SOURCE = "source"
+    CONTRIBUTOR = "contributor"
+
+
+class MeasureSource(str, Enum):
+    """Where the raw value of a measure comes from."""
+
+    CRAWLING = "crawling"
+    ALEXA = "alexa"
+    FEEDBURNER = "feedburner"
+
+
+@dataclass(frozen=True)
+class MeasureDefinition:
+    """Static description of one quality measure."""
+
+    name: str
+    dimension: QualityDimension
+    attribute: QualityAttribute
+    scope: MeasureScope
+    description: str
+    domain_dependent: bool = False
+    higher_is_better: bool = True
+    measured_by: MeasureSource = MeasureSource.CRAWLING
+
+    @property
+    def cell(self) -> ModelCell:
+        """The (dimension, attribute) cell this measure populates."""
+        return ModelCell(self.dimension, self.attribute)
+
+
+class MeasureRegistry:
+    """An ordered collection of measure definitions with cell-based lookup."""
+
+    def __init__(self, definitions: Iterable[MeasureDefinition]) -> None:
+        self._definitions: dict[str, MeasureDefinition] = {}
+        for definition in definitions:
+            if definition.name in self._definitions:
+                raise ValueError(f"duplicate measure name: {definition.name!r}")
+            self._definitions[definition.name] = definition
+
+    def __len__(self) -> int:
+        return len(self._definitions)
+
+    def __iter__(self) -> Iterator[MeasureDefinition]:
+        return iter(self._definitions.values())
+
+    def __contains__(self, name: object) -> bool:
+        return name in self._definitions
+
+    def get(self, name: str) -> MeasureDefinition:
+        """Return the measure definition named ``name``."""
+        try:
+            return self._definitions[name]
+        except KeyError as exc:
+            raise UnknownMeasureError(name) from exc
+
+    def names(self) -> list[str]:
+        """Return measure names in registration order."""
+        return list(self._definitions)
+
+    def for_cell(
+        self, dimension: QualityDimension, attribute: QualityAttribute
+    ) -> list[MeasureDefinition]:
+        """Return the measures of one (dimension, attribute) cell.
+
+        Raises :class:`MeasureNotApplicableError` when the cell is N/A in
+        the paper's table.
+        """
+        matches = [
+            definition
+            for definition in self
+            if definition.dimension == dimension and definition.attribute == attribute
+        ]
+        if not matches:
+            raise MeasureNotApplicableError(dimension.value, attribute.value)
+        return matches
+
+    def is_applicable(
+        self, dimension: QualityDimension, attribute: QualityAttribute
+    ) -> bool:
+        """True when the cell holds at least one measure."""
+        return any(
+            definition.dimension == dimension and definition.attribute == attribute
+            for definition in self
+        )
+
+    def domain_independent(self) -> list[MeasureDefinition]:
+        """Measures that do not depend on the Domain of Interest."""
+        return [definition for definition in self if not definition.domain_dependent]
+
+    def domain_dependent(self) -> list[MeasureDefinition]:
+        """Measures that depend on the Domain of Interest (italics in the tables)."""
+        return [definition for definition in self if definition.domain_dependent]
+
+    def for_dimension(self, dimension: QualityDimension) -> list[MeasureDefinition]:
+        """Measures belonging to one dimension (one table row)."""
+        return [definition for definition in self if definition.dimension == dimension]
+
+    def for_attribute(self, attribute: QualityAttribute) -> list[MeasureDefinition]:
+        """Measures belonging to one attribute (one table column)."""
+        return [definition for definition in self if definition.attribute == attribute]
+
+    def subset(self, names: Iterable[str]) -> "MeasureRegistry":
+        """Return a registry restricted to ``names`` (kept in this registry's order)."""
+        wanted = set(names)
+        unknown = wanted - set(self._definitions)
+        if unknown:
+            raise UnknownMeasureError(sorted(unknown)[0])
+        return MeasureRegistry(
+            definition for definition in self if definition.name in wanted
+        )
+
+
+# ---------------------------------------------------------------------------
+# Table 1 — source quality measures
+# ---------------------------------------------------------------------------
+
+_SOURCE_DEFINITIONS: tuple[MeasureDefinition, ...] = (
+    MeasureDefinition(
+        name="open_discussion_category_coverage",
+        dimension=QualityDimension.ACCURACY,
+        attribute=QualityAttribute.RELEVANCE,
+        scope=MeasureScope.SOURCE,
+        description=(
+            "Number of open discussions that cover the DI content categories "
+            "compared to the total number of discussions"
+        ),
+        domain_dependent=True,
+    ),
+    MeasureDefinition(
+        name="avg_comments_per_category",
+        dimension=QualityDimension.ACCURACY,
+        attribute=QualityAttribute.BREADTH,
+        scope=MeasureScope.SOURCE,
+        description="Average number of comments per DI content category",
+        domain_dependent=True,
+    ),
+    MeasureDefinition(
+        name="centrality",
+        dimension=QualityDimension.COMPLETENESS,
+        attribute=QualityAttribute.RELEVANCE,
+        scope=MeasureScope.SOURCE,
+        description="Centrality: number of covered DI content categories",
+        domain_dependent=True,
+    ),
+    MeasureDefinition(
+        name="open_discussions_per_category",
+        dimension=QualityDimension.COMPLETENESS,
+        attribute=QualityAttribute.BREADTH,
+        scope=MeasureScope.SOURCE,
+        description="Number of open discussions per DI content category",
+        domain_dependent=True,
+    ),
+    MeasureDefinition(
+        name="open_discussions_vs_largest",
+        dimension=QualityDimension.COMPLETENESS,
+        attribute=QualityAttribute.TRAFFIC,
+        scope=MeasureScope.SOURCE,
+        description="Number of open discussions compared to the largest Web blog/forum",
+    ),
+    MeasureDefinition(
+        name="comments_per_user",
+        dimension=QualityDimension.COMPLETENESS,
+        attribute=QualityAttribute.LIVELINESS,
+        scope=MeasureScope.SOURCE,
+        description="Number of comments per user",
+    ),
+    MeasureDefinition(
+        name="discussion_age",
+        dimension=QualityDimension.TIME,
+        attribute=QualityAttribute.BREADTH,
+        scope=MeasureScope.SOURCE,
+        description="Age of the discussion threads (days); fresher threads score better",
+        higher_is_better=False,
+    ),
+    MeasureDefinition(
+        name="traffic_rank",
+        dimension=QualityDimension.TIME,
+        attribute=QualityAttribute.TRAFFIC,
+        scope=MeasureScope.SOURCE,
+        description="Alexa-style traffic rank (rank 1 is best)",
+        higher_is_better=False,
+        measured_by=MeasureSource.ALEXA,
+    ),
+    MeasureDefinition(
+        name="new_discussions_per_day",
+        dimension=QualityDimension.TIME,
+        attribute=QualityAttribute.LIVELINESS,
+        scope=MeasureScope.SOURCE,
+        description="Average number of newly opened discussions per day",
+        measured_by=MeasureSource.ALEXA,
+    ),
+    MeasureDefinition(
+        name="distinct_tags_per_post",
+        dimension=QualityDimension.INTERPRETABILITY,
+        attribute=QualityAttribute.BREADTH,
+        scope=MeasureScope.SOURCE,
+        description="Average number of distinct tags per post",
+    ),
+    MeasureDefinition(
+        name="inbound_links",
+        dimension=QualityDimension.AUTHORITY,
+        attribute=QualityAttribute.RELEVANCE,
+        scope=MeasureScope.SOURCE,
+        description="Number of inbound links",
+        measured_by=MeasureSource.ALEXA,
+    ),
+    MeasureDefinition(
+        name="feed_subscriptions",
+        dimension=QualityDimension.AUTHORITY,
+        attribute=QualityAttribute.RELEVANCE,
+        scope=MeasureScope.SOURCE,
+        description="Number of feed subscriptions",
+        measured_by=MeasureSource.FEEDBURNER,
+    ),
+    MeasureDefinition(
+        name="daily_visitors",
+        dimension=QualityDimension.AUTHORITY,
+        attribute=QualityAttribute.TRAFFIC,
+        scope=MeasureScope.SOURCE,
+        description="Daily visitors",
+        measured_by=MeasureSource.ALEXA,
+    ),
+    MeasureDefinition(
+        name="daily_page_views",
+        dimension=QualityDimension.AUTHORITY,
+        attribute=QualityAttribute.TRAFFIC,
+        scope=MeasureScope.SOURCE,
+        description="Daily page views",
+        measured_by=MeasureSource.ALEXA,
+    ),
+    MeasureDefinition(
+        name="time_on_site",
+        dimension=QualityDimension.AUTHORITY,
+        attribute=QualityAttribute.TRAFFIC,
+        scope=MeasureScope.SOURCE,
+        description="Average time spent on site (seconds)",
+        measured_by=MeasureSource.ALEXA,
+    ),
+    MeasureDefinition(
+        name="page_views_per_visitor",
+        dimension=QualityDimension.AUTHORITY,
+        attribute=QualityAttribute.LIVELINESS,
+        scope=MeasureScope.SOURCE,
+        description="Number of daily page views per daily visitor",
+        measured_by=MeasureSource.ALEXA,
+    ),
+    MeasureDefinition(
+        name="bounce_rate",
+        dimension=QualityDimension.DEPENDABILITY,
+        attribute=QualityAttribute.RELEVANCE,
+        scope=MeasureScope.SOURCE,
+        description="Bounce rate (fraction of single-page visits; lower is better)",
+        higher_is_better=False,
+        measured_by=MeasureSource.ALEXA,
+    ),
+    MeasureDefinition(
+        name="comments_per_discussion",
+        dimension=QualityDimension.DEPENDABILITY,
+        attribute=QualityAttribute.BREADTH,
+        scope=MeasureScope.SOURCE,
+        description="Number of comments per discussion",
+    ),
+    MeasureDefinition(
+        name="comments_per_discussion_per_day",
+        dimension=QualityDimension.DEPENDABILITY,
+        attribute=QualityAttribute.LIVELINESS,
+        scope=MeasureScope.SOURCE,
+        description="Average number of comments per discussion per day",
+    ),
+)
+
+
+# ---------------------------------------------------------------------------
+# Table 2 — contributor quality measures
+# ---------------------------------------------------------------------------
+
+_CONTRIBUTOR_DEFINITIONS: tuple[MeasureDefinition, ...] = (
+    MeasureDefinition(
+        name="user_avg_comments_per_category",
+        dimension=QualityDimension.ACCURACY,
+        attribute=QualityAttribute.BREADTH,
+        scope=MeasureScope.CONTRIBUTOR,
+        description="Average number of comments per DI content category",
+        domain_dependent=True,
+    ),
+    MeasureDefinition(
+        name="user_centrality",
+        dimension=QualityDimension.COMPLETENESS,
+        attribute=QualityAttribute.RELEVANCE,
+        scope=MeasureScope.CONTRIBUTOR,
+        description="Centrality: number of DI content categories covered by the user",
+        domain_dependent=True,
+    ),
+    MeasureDefinition(
+        name="user_open_discussions",
+        dimension=QualityDimension.COMPLETENESS,
+        attribute=QualityAttribute.BREADTH,
+        scope=MeasureScope.CONTRIBUTOR,
+        description="Number of open discussions the user participates in",
+    ),
+    MeasureDefinition(
+        name="user_total_interactions",
+        dimension=QualityDimension.COMPLETENESS,
+        attribute=QualityAttribute.ACTIVITY,
+        scope=MeasureScope.CONTRIBUTOR,
+        description="Total number of interactions (absolute activity volume)",
+    ),
+    MeasureDefinition(
+        name="user_interactions_per_counterpart",
+        dimension=QualityDimension.COMPLETENESS,
+        attribute=QualityAttribute.LIVELINESS,
+        scope=MeasureScope.CONTRIBUTOR,
+        description="Average number of interactions per counterpart user",
+    ),
+    MeasureDefinition(
+        name="user_age",
+        dimension=QualityDimension.TIME,
+        attribute=QualityAttribute.BREADTH,
+        scope=MeasureScope.CONTRIBUTOR,
+        description="Age of the user account (days)",
+    ),
+    MeasureDefinition(
+        name="user_reads_received",
+        dimension=QualityDimension.TIME,
+        attribute=QualityAttribute.ACTIVITY,
+        scope=MeasureScope.CONTRIBUTOR,
+        description="Number of times the user's comments are read by other users",
+    ),
+    MeasureDefinition(
+        name="user_interactions_per_day",
+        dimension=QualityDimension.TIME,
+        attribute=QualityAttribute.LIVELINESS,
+        scope=MeasureScope.CONTRIBUTOR,
+        description="Average number of new interactions per day",
+    ),
+    MeasureDefinition(
+        name="user_distinct_tags_per_post",
+        dimension=QualityDimension.INTERPRETABILITY,
+        attribute=QualityAttribute.BREADTH,
+        scope=MeasureScope.CONTRIBUTOR,
+        description="Average number of distinct tags per post",
+    ),
+    MeasureDefinition(
+        name="user_replies_per_comment",
+        dimension=QualityDimension.AUTHORITY,
+        attribute=QualityAttribute.RELEVANCE,
+        scope=MeasureScope.CONTRIBUTOR,
+        description="Average number of replies received per comment (relative mentions)",
+        domain_dependent=True,
+    ),
+    MeasureDefinition(
+        name="user_replies_received",
+        dimension=QualityDimension.AUTHORITY,
+        attribute=QualityAttribute.ACTIVITY,
+        scope=MeasureScope.CONTRIBUTOR,
+        description="Number of received replies (absolute mentions)",
+    ),
+    MeasureDefinition(
+        name="user_feedback_per_comment",
+        dimension=QualityDimension.DEPENDABILITY,
+        attribute=QualityAttribute.RELEVANCE,
+        scope=MeasureScope.CONTRIBUTOR,
+        description="Average number of feedbacks received per comment (relative retweets)",
+        domain_dependent=True,
+    ),
+    MeasureDefinition(
+        name="user_comments_per_discussion",
+        dimension=QualityDimension.DEPENDABILITY,
+        attribute=QualityAttribute.BREADTH,
+        scope=MeasureScope.CONTRIBUTOR,
+        description="Number of comments per discussion",
+    ),
+    MeasureDefinition(
+        name="user_feedback_received",
+        dimension=QualityDimension.DEPENDABILITY,
+        attribute=QualityAttribute.ACTIVITY,
+        scope=MeasureScope.CONTRIBUTOR,
+        description="Number of feedbacks received (absolute retweets)",
+    ),
+    MeasureDefinition(
+        name="user_interactions_per_discussion_per_day",
+        dimension=QualityDimension.DEPENDABILITY,
+        attribute=QualityAttribute.LIVELINESS,
+        scope=MeasureScope.CONTRIBUTOR,
+        description="Average number of interactions per discussion per day",
+    ),
+)
+
+
+def source_measure_registry() -> MeasureRegistry:
+    """Return a fresh registry holding the Table 1 measures."""
+    return MeasureRegistry(_SOURCE_DEFINITIONS)
+
+
+def contributor_measure_registry() -> MeasureRegistry:
+    """Return a fresh registry holding the Table 2 measures."""
+    return MeasureRegistry(_CONTRIBUTOR_DEFINITIONS)

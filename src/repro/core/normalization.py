@@ -1,0 +1,244 @@
+"""Normalisation of raw measure values.
+
+The paper computes the overall source quality as "a weighted average of the
+different measures that are normalized by considering benchmarks derived
+from the assessment of well-known, highly-ranked sources".  The default
+:class:`BenchmarkNormalizer` implements exactly that strategy; two common
+alternatives (min-max and z-score) are provided for the ablation study
+described in DESIGN.md.
+
+All normalizers map raw values into ``[0, 1]`` where 1 is best, taking the
+``higher_is_better`` flag of each measure into account (e.g. traffic rank
+and bounce rate improve as they decrease).
+"""
+
+from __future__ import annotations
+
+import math
+from abc import ABC, abstractmethod
+from typing import Iterable, Mapping, Optional, Sequence
+
+from repro.core.measures import MeasureDefinition, MeasureRegistry
+from repro.errors import NormalizationError
+
+__all__ = [
+    "Normalizer",
+    "BenchmarkNormalizer",
+    "MinMaxNormalizer",
+    "ZScoreNormalizer",
+]
+
+
+class Normalizer(ABC):
+    """Base class for measure normalisation strategies.
+
+    A normalizer is *fitted* on the raw measure values of a reference set of
+    sources (or contributors) and then used to normalise the values of any
+    individual.  Fitting is per measure name.
+    """
+
+    def __init__(self, registry: MeasureRegistry) -> None:
+        self._registry = registry
+        self._fitted = False
+
+    @property
+    def is_fitted(self) -> bool:
+        """True once :meth:`fit` has been called."""
+        return self._fitted
+
+    def fit(self, reference_values: Mapping[str, Sequence[float]]) -> "Normalizer":
+        """Fit the normalizer on per-measure reference values."""
+        if not reference_values:
+            raise NormalizationError("reference values must not be empty")
+        for name, values in reference_values.items():
+            if len(values) == 0:
+                raise NormalizationError(f"measure {name!r} has no reference values")
+            self._fit_measure(name, [float(value) for value in values])
+        self._fitted = True
+        return self
+
+    def normalize(self, name: str, value: float) -> float:
+        """Normalise ``value`` of measure ``name`` into ``[0, 1]`` (1 = best)."""
+        if not self._fitted:
+            raise NormalizationError("normalizer must be fitted before use")
+        definition = self._registry.get(name)
+        score = self._normalize_measure(name, float(value))
+        score = min(1.0, max(0.0, score))
+        if not definition.higher_is_better:
+            score = 1.0 - score
+        return score
+
+    def normalize_all(self, values: Mapping[str, float]) -> dict[str, float]:
+        """Normalise a full measure vector."""
+        return {name: self.normalize(name, value) for name, value in values.items()}
+
+    # -- strategy-specific hooks --------------------------------------------------
+
+    @abstractmethod
+    def _fit_measure(self, name: str, values: list[float]) -> None:
+        """Record whatever statistics the strategy needs for one measure."""
+
+    @abstractmethod
+    def _normalize_measure(self, name: str, value: float) -> float:
+        """Map a raw value into [0, 1] *before* direction correction."""
+
+    def _definition(self, name: str) -> MeasureDefinition:
+        return self._registry.get(name)
+
+
+class BenchmarkNormalizer(Normalizer):
+    """Normalise against a benchmark derived from highly-ranked sources.
+
+    For each measure the benchmark is a high quantile (by default the 90th
+    percentile) of the reference values; a value equal to or above the
+    benchmark scores 1.0 and smaller values scale linearly.  This mirrors
+    the paper's "benchmarks derived from the assessment of well-known,
+    highly-ranked sources".
+
+    Panel measures such as daily visitors or inbound links span several
+    orders of magnitude; comparing them to a high-quantile benchmark on a
+    linear scale would squash almost every source to ~0 and erase the
+    distinctions among mid-sized sources.  When a measure's benchmark is
+    more than ``log_scale_threshold`` times its median, the ratio is
+    therefore computed on a ``log1p`` scale.
+    """
+
+    def __init__(
+        self,
+        registry: MeasureRegistry,
+        quantile: float = 0.9,
+        log_scale_threshold: float = 20.0,
+    ) -> None:
+        super().__init__(registry)
+        if not 0.0 < quantile <= 1.0:
+            raise NormalizationError("quantile must be in (0, 1]")
+        if log_scale_threshold <= 1.0:
+            raise NormalizationError("log_scale_threshold must be > 1")
+        self._quantile = quantile
+        self._log_scale_threshold = log_scale_threshold
+        self._benchmarks: dict[str, float] = {}
+        self._floors: dict[str, float] = {}
+        self._log_scaled: set[str] = set()
+
+    @property
+    def benchmarks(self) -> dict[str, float]:
+        """Per-measure benchmark values (after fitting)."""
+        return dict(self._benchmarks)
+
+    def _fit_measure(self, name: str, values: list[float]) -> None:
+        ordered = sorted(values)
+        index = min(len(ordered) - 1, int(round(self._quantile * (len(ordered) - 1))))
+        low_index = max(0, int(round((1.0 - self._quantile) * (len(ordered) - 1))))
+        definition = self._definition(name)
+        median = ordered[len(ordered) // 2]
+        if definition.higher_is_better:
+            self._benchmarks[name] = ordered[index]
+            self._floors[name] = ordered[0]
+            if median > 0 and self._benchmarks[name] / median > self._log_scale_threshold:
+                self._log_scaled.add(name)
+        else:
+            # For lower-is-better measures the "benchmark" is the low quantile.
+            self._benchmarks[name] = ordered[-1]
+            self._floors[name] = ordered[low_index]
+            if (
+                self._floors[name] > 0
+                and self._benchmarks[name] / self._floors[name] > self._log_scale_threshold
+            ):
+                self._log_scaled.add(name)
+
+    def _normalize_measure(self, name: str, value: float) -> float:
+        definition = self._definition(name)
+        log_scaled = name in self._log_scaled
+        if definition.higher_is_better:
+            benchmark = self._benchmarks[name]
+            if log_scaled:
+                scaled_benchmark = math.log1p(max(0.0, benchmark))
+                if scaled_benchmark <= 0:
+                    return 1.0 if value >= benchmark else 0.0
+                return math.log1p(max(0.0, value)) / scaled_benchmark
+            if benchmark <= 0:
+                return 1.0 if value >= benchmark else 0.0
+            return value / benchmark
+        # Lower-is-better: map [floor, worst] linearly onto [0, 1] where the
+        # floor (best observed region) maps to 0 so that the direction flip in
+        # :meth:`normalize` turns it into 1.
+        floor = self._floors[name]
+        worst = self._benchmarks[name]
+        if log_scaled:
+            floor = math.log1p(max(0.0, floor))
+            worst = math.log1p(max(0.0, worst))
+            value = math.log1p(max(0.0, value))
+        span = worst - floor
+        if span <= 0:
+            return 0.0 if value <= floor else 1.0
+        return (value - floor) / span
+
+
+class MinMaxNormalizer(Normalizer):
+    """Classic min-max normalisation over the reference values."""
+
+    def __init__(self, registry: MeasureRegistry) -> None:
+        super().__init__(registry)
+        self._minima: dict[str, float] = {}
+        self._maxima: dict[str, float] = {}
+
+    def _fit_measure(self, name: str, values: list[float]) -> None:
+        self._minima[name] = min(values)
+        self._maxima[name] = max(values)
+
+    def _normalize_measure(self, name: str, value: float) -> float:
+        low = self._minima[name]
+        high = self._maxima[name]
+        span = high - low
+        if span <= 0:
+            return 0.5
+        return (value - low) / span
+
+
+class ZScoreNormalizer(Normalizer):
+    """Z-score normalisation squashed into [0, 1] with a logistic function."""
+
+    def __init__(self, registry: MeasureRegistry, scale: float = 1.0) -> None:
+        super().__init__(registry)
+        if scale <= 0:
+            raise NormalizationError("scale must be positive")
+        self._scale = scale
+        self._means: dict[str, float] = {}
+        self._stds: dict[str, float] = {}
+
+    def _fit_measure(self, name: str, values: list[float]) -> None:
+        mean = sum(values) / len(values)
+        variance = sum((value - mean) ** 2 for value in values) / len(values)
+        self._means[name] = mean
+        self._stds[name] = math.sqrt(variance)
+
+    def _normalize_measure(self, name: str, value: float) -> float:
+        std = self._stds[name]
+        if std == 0:
+            return 0.5
+        # Clamp the z-score so that the logistic never overflows for values
+        # lying extremely far outside the reference distribution.
+        z = max(-50.0, min(50.0, (value - self._means[name]) / std))
+        return 1.0 / (1.0 + math.exp(-z / self._scale))
+
+
+def collect_reference_values(
+    measure_vectors: Iterable[Mapping[str, float]],
+    names: Optional[Iterable[str]] = None,
+) -> dict[str, list[float]]:
+    """Pivot per-individual measure vectors into per-measure value lists.
+
+    Convenience helper used by the quality models to fit normalizers on the
+    measure vectors of a reference (benchmark) population.
+    """
+    vectors = list(measure_vectors)
+    if not vectors:
+        raise NormalizationError("no measure vectors provided")
+    if names is None:
+        names = vectors[0].keys()
+    reference: dict[str, list[float]] = {name: [] for name in names}
+    for vector in vectors:
+        for name in reference:
+            if name in vector:
+                reference[name].append(float(vector[name]))
+    return {name: values for name, values in reference.items() if values}

@@ -1,0 +1,213 @@
+"""Weighted aggregation of normalised measures into quality scores.
+
+The overall quality of a source (or contributor) is "a weighted average of
+the different measures".  A :class:`WeightingScheme` assigns a weight to
+every measure — either directly, or derived from per-dimension or
+per-attribute weights — and a :class:`QualityScore` keeps the full
+breakdown: raw values, normalised values, per-dimension and per-attribute
+scores, and the overall weighted average.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Mapping, Optional
+
+from repro.core.dimensions import QualityAttribute, QualityDimension
+from repro.core.measures import MeasureRegistry
+from repro.errors import AssessmentError, ConfigurationError
+
+__all__ = [
+    "WeightingScheme",
+    "uniform_scheme",
+    "dimension_weighted_scheme",
+    "attribute_weighted_scheme",
+    "QualityScore",
+]
+
+
+@dataclass(frozen=True)
+class WeightingScheme:
+    """Per-measure weights used by the weighted average.
+
+    Weights do not need to sum to one; they are renormalised over the
+    measures actually present in an assessment, so sources missing a panel
+    observation (and therefore some measures) can still be scored.
+    """
+
+    name: str
+    weights: Mapping[str, float]
+
+    def __post_init__(self) -> None:
+        if not self.weights:
+            raise ConfigurationError("a weighting scheme needs at least one weight")
+        for measure_name, weight in self.weights.items():
+            if weight < 0:
+                raise ConfigurationError(
+                    f"weight of measure {measure_name!r} must be non-negative"
+                )
+
+    def weight(self, measure_name: str) -> float:
+        """Weight of ``measure_name`` (0.0 when the measure is not covered)."""
+        return float(self.weights.get(measure_name, 0.0))
+
+    def weighted_average(self, normalized_values: Mapping[str, float]) -> float:
+        """Weighted average of ``normalized_values`` under this scheme."""
+        total_weight = 0.0
+        accumulator = 0.0
+        for measure_name, value in normalized_values.items():
+            weight = self.weight(measure_name)
+            total_weight += weight
+            accumulator += weight * value
+        if total_weight == 0:
+            raise AssessmentError(
+                "no measure in the assessment has a positive weight under "
+                f"scheme {self.name!r}"
+            )
+        return accumulator / total_weight
+
+    def restricted_to(self, measure_names: set[str]) -> "WeightingScheme":
+        """Return a scheme covering only ``measure_names``."""
+        restricted = {
+            name: weight
+            for name, weight in self.weights.items()
+            if name in measure_names
+        }
+        if not restricted:
+            raise ConfigurationError("restriction removed every weighted measure")
+        return WeightingScheme(name=f"{self.name}-restricted", weights=restricted)
+
+
+def uniform_scheme(registry: MeasureRegistry, name: str = "uniform") -> WeightingScheme:
+    """Equal weight for every measure in ``registry``."""
+    return WeightingScheme(
+        name=name, weights={measure.name: 1.0 for measure in registry}
+    )
+
+
+def dimension_weighted_scheme(
+    registry: MeasureRegistry,
+    dimension_weights: Mapping[QualityDimension, float],
+    name: str = "dimension-weighted",
+) -> WeightingScheme:
+    """Spread per-dimension weights evenly across the measures of each dimension."""
+    weights: dict[str, float] = {}
+    for dimension, dimension_weight in dimension_weights.items():
+        if dimension_weight < 0:
+            raise ConfigurationError("dimension weights must be non-negative")
+        members = registry.for_dimension(dimension)
+        if not members:
+            continue
+        share = dimension_weight / len(members)
+        for measure in members:
+            weights[measure.name] = weights.get(measure.name, 0.0) + share
+    if not weights:
+        raise ConfigurationError("dimension weights cover no registered measure")
+    return WeightingScheme(name=name, weights=weights)
+
+
+def attribute_weighted_scheme(
+    registry: MeasureRegistry,
+    attribute_weights: Mapping[QualityAttribute, float],
+    name: str = "attribute-weighted",
+) -> WeightingScheme:
+    """Spread per-attribute weights evenly across the measures of each attribute."""
+    weights: dict[str, float] = {}
+    for attribute, attribute_weight in attribute_weights.items():
+        if attribute_weight < 0:
+            raise ConfigurationError("attribute weights must be non-negative")
+        members = registry.for_attribute(attribute)
+        if not members:
+            continue
+        share = attribute_weight / len(members)
+        for measure in members:
+            weights[measure.name] = weights.get(measure.name, 0.0) + share
+    if not weights:
+        raise ConfigurationError("attribute weights cover no registered measure")
+    return WeightingScheme(name=name, weights=weights)
+
+
+@dataclass
+class QualityScore:
+    """Full breakdown of a quality assessment."""
+
+    subject_id: str
+    raw_values: dict[str, float]
+    normalized_values: dict[str, float]
+    dimension_scores: dict[QualityDimension, float]
+    attribute_scores: dict[QualityAttribute, float]
+    overall: float
+    scheme_name: str = "uniform"
+
+    def measure(self, name: str) -> float:
+        """Raw value of ``name`` (KeyError when not assessed)."""
+        return self.raw_values[name]
+
+    def normalized(self, name: str) -> float:
+        """Normalised value of ``name`` (KeyError when not assessed)."""
+        return self.normalized_values[name]
+
+    def dimension(self, dimension: QualityDimension) -> float:
+        """Average normalised score of one dimension (0.0 when absent)."""
+        return self.dimension_scores.get(dimension, 0.0)
+
+    def attribute(self, attribute: QualityAttribute) -> float:
+        """Average normalised score of one attribute (0.0 when absent)."""
+        return self.attribute_scores.get(attribute, 0.0)
+
+    def to_dict(self) -> dict[str, Any]:
+        """Serialise to a JSON-compatible dictionary."""
+        return {
+            "subject_id": self.subject_id,
+            "raw_values": dict(self.raw_values),
+            "normalized_values": dict(self.normalized_values),
+            "dimension_scores": {
+                dimension.value: value
+                for dimension, value in self.dimension_scores.items()
+            },
+            "attribute_scores": {
+                attribute.value: value
+                for attribute, value in self.attribute_scores.items()
+            },
+            "overall": self.overall,
+            "scheme_name": self.scheme_name,
+        }
+
+
+def build_quality_score(
+    subject_id: str,
+    raw_values: Mapping[str, float],
+    normalized_values: Mapping[str, float],
+    registry: MeasureRegistry,
+    scheme: WeightingScheme,
+) -> QualityScore:
+    """Aggregate normalised values into dimension/attribute/overall scores."""
+    if not normalized_values:
+        raise AssessmentError(f"no measures computed for {subject_id!r}")
+
+    dimension_bins: dict[QualityDimension, list[float]] = {}
+    attribute_bins: dict[QualityAttribute, list[float]] = {}
+    for name, value in normalized_values.items():
+        definition = registry.get(name)
+        dimension_bins.setdefault(definition.dimension, []).append(value)
+        attribute_bins.setdefault(definition.attribute, []).append(value)
+
+    dimension_scores = {
+        dimension: sum(values) / len(values)
+        for dimension, values in dimension_bins.items()
+    }
+    attribute_scores = {
+        attribute: sum(values) / len(values)
+        for attribute, values in attribute_bins.items()
+    }
+    overall = scheme.weighted_average(normalized_values)
+
+    return QualityScore(
+        subject_id=subject_id,
+        raw_values=dict(raw_values),
+        normalized_values=dict(normalized_values),
+        dimension_scores=dimension_scores,
+        attribute_scores=attribute_scores,
+        overall=overall,
+        scheme_name=scheme.name,
+    )

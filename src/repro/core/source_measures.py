@@ -1,0 +1,209 @@
+"""Concrete computation of the Table 1 (source) measures.
+
+Every measure is a pure function of a :class:`SourceMeasurementContext`,
+which bundles the crawl snapshot of the source, the panel observations
+(Alexa-like and Feedburner-like), the Domain of Interest and the corpus
+statistic needed by the "compared to the largest Web blog/forum" measure.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Iterable, Mapping, Optional
+
+from repro.core.domain import DomainOfInterest
+from repro.core.measures import MeasureRegistry, source_measure_registry
+from repro.errors import MeasureError, UnknownMeasureError
+from repro.sources.crawler import CrawlSnapshot
+from repro.sources.webstats import PanelObservation
+
+__all__ = [
+    "SourceMeasurementContext",
+    "compute_source_measure",
+    "compute_source_measures",
+    "SOURCE_MEASURE_FUNCTIONS",
+]
+
+
+@dataclass(frozen=True)
+class SourceMeasurementContext:
+    """Everything needed to evaluate the Table 1 measures for one source."""
+
+    snapshot: CrawlSnapshot
+    domain: DomainOfInterest
+    alexa: Optional[PanelObservation] = None
+    feedburner: Optional[PanelObservation] = None
+    corpus_max_open_discussions: int = 0
+
+    def require_alexa(self) -> PanelObservation:
+        """Return the Alexa-like observation or raise :class:`MeasureError`."""
+        if self.alexa is None:
+            raise MeasureError(
+                f"source {self.snapshot.source_id!r} has no Alexa-like panel observation"
+            )
+        return self.alexa
+
+    def require_feedburner(self) -> PanelObservation:
+        """Return the Feedburner-like observation or raise :class:`MeasureError`."""
+        if self.feedburner is None:
+            raise MeasureError(
+                f"source {self.snapshot.source_id!r} has no Feedburner-like observation"
+            )
+        return self.feedburner
+
+
+# ---------------------------------------------------------------------------
+# Individual measure functions
+# ---------------------------------------------------------------------------
+
+def _open_discussion_category_coverage(context: SourceMeasurementContext) -> float:
+    """Open discussions covering the DI categories over total discussions."""
+    snapshot = context.snapshot
+    if snapshot.total_discussions == 0:
+        return 0.0
+    covering = snapshot.open_discussions_in_categories(context.domain.categories)
+    return covering / snapshot.total_discussions
+
+
+def _avg_comments_per_category(context: SourceMeasurementContext) -> float:
+    """Average number of comments per DI content category."""
+    categories = context.domain.categories
+    if not categories:
+        return 0.0
+    return context.snapshot.comments_in_categories(categories) / len(categories)
+
+
+def _centrality(context: SourceMeasurementContext) -> float:
+    """Number of DI categories covered by at least one discussion."""
+    return float(len(context.snapshot.covered(context.domain.categories)))
+
+
+def _open_discussions_per_category(context: SourceMeasurementContext) -> float:
+    """Open discussions per DI content category."""
+    categories = context.domain.categories
+    if not categories:
+        return 0.0
+    return context.snapshot.open_discussions_in_categories(categories) / len(categories)
+
+
+def _open_discussions_vs_largest(context: SourceMeasurementContext) -> float:
+    """Open discussions relative to the largest blog/forum in the corpus."""
+    largest = context.corpus_max_open_discussions
+    if largest <= 0:
+        return 0.0
+    return context.snapshot.open_discussions / largest
+
+
+def _comments_per_user(context: SourceMeasurementContext) -> float:
+    """Number of comments per contributing user."""
+    return context.snapshot.comments_per_user
+
+
+def _discussion_age(context: SourceMeasurementContext) -> float:
+    """Average age of the discussion threads in days."""
+    return context.snapshot.average_thread_age
+
+
+def _traffic_rank(context: SourceMeasurementContext) -> float:
+    """Alexa-style traffic rank (lower is better)."""
+    return float(context.require_alexa().traffic_rank)
+
+
+def _new_discussions_per_day(context: SourceMeasurementContext) -> float:
+    """Average number of newly opened discussions per day."""
+    return context.snapshot.new_discussions_per_day
+
+
+def _distinct_tags_per_post(context: SourceMeasurementContext) -> float:
+    """Average number of distinct tags per post."""
+    return context.snapshot.average_distinct_tags_per_post
+
+
+def _inbound_links(context: SourceMeasurementContext) -> float:
+    """Number of inbound links reported by the panel."""
+    return float(context.require_alexa().inbound_links)
+
+
+def _feed_subscriptions(context: SourceMeasurementContext) -> float:
+    """Number of feed subscriptions reported by the panel."""
+    return float(context.require_feedburner().feed_subscriptions)
+
+
+def _daily_visitors(context: SourceMeasurementContext) -> float:
+    """Daily visitors reported by the panel."""
+    return context.require_alexa().daily_visitors
+
+
+def _daily_page_views(context: SourceMeasurementContext) -> float:
+    """Daily page views reported by the panel."""
+    return context.require_alexa().daily_page_views
+
+
+def _time_on_site(context: SourceMeasurementContext) -> float:
+    """Average time spent on site reported by the panel (seconds)."""
+    return context.require_alexa().average_time_on_site
+
+
+def _page_views_per_visitor(context: SourceMeasurementContext) -> float:
+    """Daily page views per daily visitor."""
+    return context.require_alexa().page_views_per_visitor
+
+
+def _bounce_rate(context: SourceMeasurementContext) -> float:
+    """Bounce rate reported by the panel (lower is better)."""
+    return context.require_alexa().bounce_rate
+
+
+def _comments_per_discussion(context: SourceMeasurementContext) -> float:
+    """Average number of comments per discussion."""
+    return context.snapshot.average_comments_per_discussion
+
+
+def _comments_per_discussion_per_day(context: SourceMeasurementContext) -> float:
+    """Average number of comments per discussion per day."""
+    return context.snapshot.average_comments_per_discussion_per_day
+
+
+#: Dispatch table mapping Table 1 measure names to their implementations.
+SOURCE_MEASURE_FUNCTIONS: Mapping[str, Callable[[SourceMeasurementContext], float]] = {
+    "open_discussion_category_coverage": _open_discussion_category_coverage,
+    "avg_comments_per_category": _avg_comments_per_category,
+    "centrality": _centrality,
+    "open_discussions_per_category": _open_discussions_per_category,
+    "open_discussions_vs_largest": _open_discussions_vs_largest,
+    "comments_per_user": _comments_per_user,
+    "discussion_age": _discussion_age,
+    "traffic_rank": _traffic_rank,
+    "new_discussions_per_day": _new_discussions_per_day,
+    "distinct_tags_per_post": _distinct_tags_per_post,
+    "inbound_links": _inbound_links,
+    "feed_subscriptions": _feed_subscriptions,
+    "daily_visitors": _daily_visitors,
+    "daily_page_views": _daily_page_views,
+    "time_on_site": _time_on_site,
+    "page_views_per_visitor": _page_views_per_visitor,
+    "bounce_rate": _bounce_rate,
+    "comments_per_discussion": _comments_per_discussion,
+    "comments_per_discussion_per_day": _comments_per_discussion_per_day,
+}
+
+
+def compute_source_measure(name: str, context: SourceMeasurementContext) -> float:
+    """Compute the Table 1 measure ``name`` for the given context."""
+    try:
+        function = SOURCE_MEASURE_FUNCTIONS[name]
+    except KeyError as exc:
+        raise UnknownMeasureError(name) from exc
+    return float(function(context))
+
+
+def compute_source_measures(
+    context: SourceMeasurementContext,
+    registry: Optional[MeasureRegistry] = None,
+    names: Optional[Iterable[str]] = None,
+) -> dict[str, float]:
+    """Compute a set of Table 1 measures (all of them by default)."""
+    if names is None:
+        registry = registry or source_measure_registry()
+        names = registry.names()
+    return {name: compute_source_measure(name, context) for name in names}

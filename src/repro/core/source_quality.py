@@ -1,0 +1,215 @@
+"""Source quality model (Table 1).
+
+:class:`SourceQualityModel` orchestrates the full assessment pipeline for a
+corpus of Web 2.0 sources:
+
+1. crawl every source into a :class:`~repro.sources.crawler.CrawlSnapshot`;
+2. query the web-statistics panels (Alexa-like, Feedburner-like);
+3. compute the raw Table 1 measures against the Domain of Interest;
+4. fit a normaliser on a benchmark population (by default the corpus
+   itself, mimicking "benchmarks derived from the assessment of well-known,
+   highly-ranked sources" by using the top of the observed distribution);
+5. aggregate normalised measures into dimension, attribute and overall
+   scores through a weighting scheme.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Iterable, Mapping, Optional
+
+from repro.core.domain import DomainOfInterest
+from repro.core.measures import MeasureRegistry, source_measure_registry
+from repro.core.normalization import (
+    BenchmarkNormalizer,
+    Normalizer,
+    collect_reference_values,
+)
+from repro.core.scoring import (
+    QualityScore,
+    WeightingScheme,
+    build_quality_score,
+    uniform_scheme,
+)
+from repro.core.source_measures import (
+    SourceMeasurementContext,
+    compute_source_measures,
+)
+from repro.errors import AssessmentError
+from repro.sources.corpus import SourceCorpus
+from repro.sources.crawler import Crawler, CrawlSnapshot
+from repro.sources.models import Source
+from repro.sources.webstats import AlexaLikeService, FeedburnerLikeService, WebStatsPanel
+
+__all__ = ["SourceAssessment", "SourceQualityModel"]
+
+
+@dataclass
+class SourceAssessment:
+    """Quality assessment of a single source."""
+
+    source_id: str
+    score: QualityScore
+    snapshot: CrawlSnapshot
+
+    @property
+    def overall(self) -> float:
+        """Overall weighted-average quality in [0, 1]."""
+        return self.score.overall
+
+    def to_dict(self) -> dict[str, Any]:
+        """Serialise to a JSON-compatible dictionary."""
+        return {
+            "source_id": self.source_id,
+            "score": self.score.to_dict(),
+            "snapshot": self.snapshot.to_dict(),
+        }
+
+
+class SourceQualityModel:
+    """Assess and rank Web 2.0 sources against a Domain of Interest."""
+
+    def __init__(
+        self,
+        domain: DomainOfInterest,
+        registry: Optional[MeasureRegistry] = None,
+        scheme: Optional[WeightingScheme] = None,
+        normalizer: Optional[Normalizer] = None,
+        alexa: Optional[WebStatsPanel] = None,
+        feedburner: Optional[WebStatsPanel] = None,
+        crawler: Optional[Crawler] = None,
+        domain_independent_only: bool = False,
+    ) -> None:
+        self._domain = domain
+        self._registry = registry or source_measure_registry()
+        if domain_independent_only:
+            names = [measure.name for measure in self._registry.domain_independent()]
+            self._registry = self._registry.subset(names)
+        self._scheme = scheme or uniform_scheme(self._registry)
+        self._normalizer = normalizer or BenchmarkNormalizer(self._registry)
+        self._alexa = alexa or AlexaLikeService()
+        self._feedburner = feedburner or FeedburnerLikeService()
+        self._crawler = crawler or Crawler()
+
+    # -- accessors ------------------------------------------------------------------
+
+    @property
+    def domain(self) -> DomainOfInterest:
+        """The Domain of Interest assessments are computed against."""
+        return self._domain
+
+    @property
+    def registry(self) -> MeasureRegistry:
+        """The measure registry in use."""
+        return self._registry
+
+    @property
+    def scheme(self) -> WeightingScheme:
+        """The weighting scheme in use."""
+        return self._scheme
+
+    # -- raw measures ------------------------------------------------------------------
+
+    def measurement_context(
+        self, source: Source, corpus: Optional[SourceCorpus] = None
+    ) -> SourceMeasurementContext:
+        """Build the measurement context of ``source`` within ``corpus``."""
+        snapshot = self._crawler.crawl_source(source)
+        max_open = (
+            corpus.largest_source_open_discussions()
+            if corpus is not None
+            else snapshot.open_discussions
+        )
+        return SourceMeasurementContext(
+            snapshot=snapshot,
+            domain=self._domain,
+            alexa=self._alexa.observe(source),
+            feedburner=self._feedburner.observe(source),
+            corpus_max_open_discussions=max_open,
+        )
+
+    def raw_measures(
+        self, corpus: SourceCorpus
+    ) -> dict[str, dict[str, float]]:
+        """Raw Table 1 measure vectors for every source of ``corpus``."""
+        if len(corpus) == 0:
+            raise AssessmentError("cannot assess an empty corpus")
+        vectors: dict[str, dict[str, float]] = {}
+        for source in corpus:
+            context = self.measurement_context(source, corpus)
+            vectors[source.source_id] = compute_source_measures(
+                context, registry=self._registry
+            )
+        return vectors
+
+    # -- assessment --------------------------------------------------------------------
+
+    def assess_corpus(
+        self,
+        corpus: SourceCorpus,
+        benchmark_corpus: Optional[SourceCorpus] = None,
+    ) -> dict[str, SourceAssessment]:
+        """Assess every source of ``corpus``.
+
+        ``benchmark_corpus`` provides the population the normaliser is
+        fitted on; it defaults to ``corpus`` itself.
+        """
+        raw_vectors = self.raw_measures(corpus)
+        reference_vectors = (
+            self.raw_measures(benchmark_corpus).values()
+            if benchmark_corpus is not None
+            else raw_vectors.values()
+        )
+        self._normalizer.fit(collect_reference_values(reference_vectors))
+
+        assessments: dict[str, SourceAssessment] = {}
+        for source in corpus:
+            raw = raw_vectors[source.source_id]
+            normalized = self._normalizer.normalize_all(raw)
+            score = build_quality_score(
+                subject_id=source.source_id,
+                raw_values=raw,
+                normalized_values=normalized,
+                registry=self._registry,
+                scheme=self._scheme,
+            )
+            assessments[source.source_id] = SourceAssessment(
+                source_id=source.source_id,
+                score=score,
+                snapshot=self._crawler.crawl_source(source),
+            )
+        return assessments
+
+    def assess(self, source: Source, corpus: SourceCorpus) -> SourceAssessment:
+        """Assess a single source in the context of ``corpus``."""
+        assessments = self.assess_corpus(corpus)
+        if source.source_id not in assessments:
+            raise AssessmentError(
+                f"source {source.source_id!r} is not part of the provided corpus"
+            )
+        return assessments[source.source_id]
+
+    # -- ranking ------------------------------------------------------------------------
+
+    def rank(
+        self,
+        corpus: SourceCorpus,
+        benchmark_corpus: Optional[SourceCorpus] = None,
+    ) -> list[SourceAssessment]:
+        """Assess and rank the corpus by decreasing overall quality.
+
+        Ties are broken deterministically by source identifier.
+        """
+        assessments = self.assess_corpus(corpus, benchmark_corpus=benchmark_corpus)
+        return sorted(
+            assessments.values(),
+            key=lambda assessment: (-assessment.overall, assessment.source_id),
+        )
+
+    def ranking_ids(
+        self,
+        corpus: SourceCorpus,
+        benchmark_corpus: Optional[SourceCorpus] = None,
+    ) -> list[str]:
+        """Source identifiers ordered by decreasing overall quality."""
+        return [assessment.source_id for assessment in self.rank(corpus, benchmark_corpus)]

@@ -1,0 +1,36 @@
+"""Evaluation datasets.
+
+Each module builds, deterministically from a seed, the synthetic equivalent
+of one of the paper's evaluation datasets:
+
+* :mod:`repro.datasets.google_study` — the corpus of blogs/forums and the
+  query workload of the Section 4.1 ranking study;
+* :mod:`repro.datasets.london_twitter` — the 813 influential London Twitter
+  accounts of the Section 4.2 contributor study (Table 4);
+* :mod:`repro.datasets.milan_tourism` — the Milan tourism sources, Domain of
+  Interest and microblog community used by the Figure 1 mashup case study.
+"""
+
+from repro.datasets.google_study import GoogleStudyDataset, GoogleStudySpec, build_google_study
+from repro.datasets.london_twitter import (
+    LondonTwitterDataset,
+    LondonTwitterSpec,
+    build_london_twitter,
+)
+from repro.datasets.milan_tourism import (
+    MilanTourismDataset,
+    MilanTourismSpec,
+    build_milan_tourism,
+)
+
+__all__ = [
+    "GoogleStudyDataset",
+    "GoogleStudySpec",
+    "LondonTwitterDataset",
+    "LondonTwitterSpec",
+    "MilanTourismDataset",
+    "MilanTourismSpec",
+    "build_google_study",
+    "build_london_twitter",
+    "build_milan_tourism",
+]

@@ -1,0 +1,208 @@
+"""Dataset of the Figure 1 / Section 6 mashup case study.
+
+The Milan Municipality project builds sentiment-analysis dashboards over
+the tourism domain: the Domain of Interest categories derive from the
+Anholt model, and the top-ranked data sources are Twitter, TripAdvisor and
+LonelyPlanet.  The offline equivalent builds:
+
+* a microblog community of Milan-located accounts discussing tourism
+  categories (the Twitter-like source);
+* a review site (TripAdvisor-like) and a travel blog/forum pair
+  (LonelyPlanet-like) generated with the tourism category pool;
+* a handful of lower-quality generic sources, so the quality-based source
+  selection has something to discard;
+* the tourism Domain of Interest.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.core.domain import DomainOfInterest, TimeInterval
+from repro.sources.corpus import SourceCorpus
+from repro.sources.generators import SourceGenerator, SourceSpec
+from repro.sources.models import Source, SourceType
+from repro.sources.text import TOURISM_CATEGORIES
+from repro.sources.twitter import (
+    ClassProfile,
+    MicroblogCommunity,
+    MicroblogGenerator,
+    MicroblogSpec,
+)
+from repro.sources.models import AccountKind
+
+__all__ = ["MilanTourismSpec", "MilanTourismDataset", "build_milan_tourism"]
+
+
+@dataclass(frozen=True)
+class MilanTourismSpec:
+    """Configuration of the Milan tourism dataset."""
+
+    seed: int = 41
+    observation_day: float = 365.0
+    microblog_accounts: int = 120
+    review_discussions: int = 45
+    blog_discussions: int = 35
+    noise_sources: int = 4
+    location: str = "Milan"
+    categories: tuple[str, ...] = TOURISM_CATEGORIES
+    analysis_window: float = 90.0
+
+
+@dataclass
+class MilanTourismDataset:
+    """The materialised Milan tourism dataset."""
+
+    spec: MilanTourismSpec
+    corpus: SourceCorpus
+    community: MicroblogCommunity
+    domain: DomainOfInterest
+    twitter_source: Source
+    review_source: Source
+    blog_source: Source
+
+    @property
+    def primary_source_ids(self) -> tuple[str, str, str]:
+        """Identifiers of the three paper-named sources."""
+        return (
+            self.twitter_source.source_id,
+            self.review_source.source_id,
+            self.blog_source.source_id,
+        )
+
+
+def _tourism_microblog(spec: MilanTourismSpec) -> MicroblogCommunity:
+    """Generate the Milan microblog community discussing tourism categories."""
+    profiles = (
+        ClassProfile(
+            kind=AccountKind.PERSON,
+            share=0.7,
+            tweet_volume=60.0,
+            mention_volume=120.0,
+            retweet_volume=60.0,
+            follower_volume=5_000.0,
+        ),
+        ClassProfile(
+            kind=AccountKind.NEWS,
+            share=0.1,
+            tweet_volume=80.0,
+            mention_volume=60.0,
+            retweet_volume=300.0,
+            follower_volume=40_000.0,
+        ),
+        ClassProfile(
+            kind=AccountKind.BRAND,
+            share=0.2,
+            tweet_volume=30.0,
+            mention_volume=50.0,
+            retweet_volume=60.0,
+            follower_volume=15_000.0,
+        ),
+    )
+    microblog_spec = MicroblogSpec(
+        account_count=spec.microblog_accounts,
+        seed=spec.seed,
+        location=spec.location,
+        observation_day=spec.observation_day,
+        class_profiles=profiles,
+        categories=spec.categories,
+        sample_tweet_count=18,
+    )
+    return MicroblogGenerator(microblog_spec).generate()
+
+
+def _annotate_locations(source: Source, location: str, seed: int, share: float = 0.7) -> None:
+    """Geo-tag a share of the posts with the case-study location."""
+    rng = random.Random(seed)
+    for discussion in source.discussions:
+        for post in discussion.posts:
+            if rng.random() < share:
+                post.location = location
+
+
+def build_milan_tourism(spec: Optional[MilanTourismSpec] = None) -> MilanTourismDataset:
+    """Build the Milan tourism dataset from ``spec`` (or the default)."""
+    spec = spec or MilanTourismSpec()
+    rng = random.Random(spec.seed)
+
+    community = _tourism_microblog(spec)
+    twitter_source = community.to_source(source_id="twitter-milan")
+    _annotate_locations(twitter_source, spec.location, seed=spec.seed + 5, share=0.55)
+
+    review_source = SourceGenerator(
+        SourceSpec(
+            source_id="tripadvisor-milan",
+            source_type=SourceType.REVIEW_SITE,
+            focus_categories=spec.categories,
+            category_pool=spec.categories,
+            latent_popularity=0.92,
+            latent_engagement=0.85,
+            discussion_budget=spec.review_discussions,
+            user_budget=60,
+            off_topic_rate=0.05,
+            observation_day=spec.observation_day,
+        ),
+        seed=rng.randrange(2**31),
+    ).generate()
+    _annotate_locations(review_source, spec.location, seed=spec.seed + 6, share=0.8)
+
+    blog_source = SourceGenerator(
+        SourceSpec(
+            source_id="lonelyplanet-milan",
+            source_type=SourceType.FORUM,
+            focus_categories=spec.categories,
+            category_pool=spec.categories,
+            latent_popularity=0.85,
+            latent_engagement=0.8,
+            discussion_budget=spec.blog_discussions,
+            user_budget=45,
+            off_topic_rate=0.08,
+            observation_day=spec.observation_day,
+        ),
+        seed=rng.randrange(2**31),
+    ).generate()
+    _annotate_locations(blog_source, spec.location, seed=spec.seed + 7, share=0.75)
+
+    corpus = SourceCorpus([twitter_source, review_source, blog_source])
+
+    # Low-quality background sources: generic topics, shallow participation.
+    for index in range(spec.noise_sources):
+        noise_source = SourceGenerator(
+            SourceSpec(
+                source_id=f"generic-blog-{index:02d}",
+                source_type=SourceType.BLOG,
+                focus_categories=("technology", "finance"),
+                category_pool=("technology", "finance", "politics") + spec.categories,
+                latent_popularity=rng.uniform(0.1, 0.4),
+                latent_engagement=rng.uniform(0.05, 0.3),
+                discussion_budget=12,
+                user_budget=15,
+                off_topic_rate=0.4,
+                observation_day=spec.observation_day,
+            ),
+            seed=rng.randrange(2**31),
+        ).generate()
+        corpus.add(noise_source)
+
+    domain = DomainOfInterest(
+        categories=spec.categories,
+        time_interval=TimeInterval(
+            start=max(0.0, spec.observation_day - spec.analysis_window),
+            end=spec.observation_day,
+        ),
+        locations=(spec.location,),
+        name="milan-tourism",
+        extra_variables={"model": "Anholt competitive identity"},
+    )
+
+    return MilanTourismDataset(
+        spec=spec,
+        corpus=corpus,
+        community=community,
+        domain=domain,
+        twitter_source=twitter_source,
+        review_source=review_source,
+        blog_source=blog_source,
+    )

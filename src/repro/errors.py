@@ -1,0 +1,104 @@
+"""Exception hierarchy for the :mod:`repro` package.
+
+Every error raised intentionally by the library derives from
+:class:`ReproError`, so callers can catch a single base class.  Sub-classes
+are organised by subsystem: the Web 2.0 substrate, the quality model, the
+statistics layer and the mashup framework.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro library."""
+
+
+class ConfigurationError(ReproError):
+    """A generator, model or component received an invalid configuration."""
+
+
+class CorpusError(ReproError):
+    """A corpus operation failed (unknown source, duplicate identifier, ...)."""
+
+
+class UnknownSourceError(CorpusError):
+    """The requested source identifier is not present in the corpus."""
+
+    def __init__(self, source_id: str) -> None:
+        super().__init__(f"unknown source: {source_id!r}")
+        self.source_id = source_id
+
+
+class UnknownUserError(CorpusError):
+    """The requested user identifier is not present in the community."""
+
+    def __init__(self, user_id: str) -> None:
+        super().__init__(f"unknown user: {user_id!r}")
+        self.user_id = user_id
+
+
+class MeasureError(ReproError):
+    """A quality measure could not be computed."""
+
+
+class UnknownMeasureError(MeasureError):
+    """The requested measure name is not registered."""
+
+    def __init__(self, name: str) -> None:
+        super().__init__(f"unknown measure: {name!r}")
+        self.name = name
+
+
+class MeasureNotApplicableError(MeasureError):
+    """The dimension/attribute cell is marked N/A in the quality model."""
+
+    def __init__(self, dimension: str, attribute: str) -> None:
+        super().__init__(
+            f"no measure is defined for dimension={dimension!r}, attribute={attribute!r}"
+        )
+        self.dimension = dimension
+        self.attribute = attribute
+
+
+class NormalizationError(ReproError):
+    """Normalisation failed, e.g. because the benchmark set is empty."""
+
+
+class AssessmentError(ReproError):
+    """A quality assessment could not be completed."""
+
+
+class StatisticsError(ReproError):
+    """A statistical routine received invalid input."""
+
+
+class InsufficientDataError(StatisticsError):
+    """Not enough observations to run the requested statistical analysis."""
+
+
+class SearchError(ReproError):
+    """The simulated search engine failed to evaluate a query."""
+
+
+class SentimentError(ReproError):
+    """Sentiment analysis failed."""
+
+
+class MashupError(ReproError):
+    """A mashup composition is invalid or failed during execution."""
+
+
+class UnknownComponentError(MashupError):
+    """The requested component type or identifier is not registered."""
+
+    def __init__(self, name: str) -> None:
+        super().__init__(f"unknown component: {name!r}")
+        self.name = name
+
+
+class WiringError(MashupError):
+    """A connection between components is invalid (missing port, type clash)."""
+
+
+class CompositionError(MashupError):
+    """The composition cannot be executed (cycles, missing inputs, ...)."""

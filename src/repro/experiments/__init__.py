@@ -1,0 +1,48 @@
+"""Experiment drivers: one module per table/figure of the paper.
+
+Every driver exposes a ``run_*`` function taking a spec (with fast defaults)
+and returning a result object that knows how to render itself as a markdown
+table via ``to_markdown()``, so the benchmark harness can print the same
+rows the paper reports.
+"""
+
+from repro.experiments.reporting import format_markdown_table, format_number
+from repro.experiments.table1_source_model import Table1Result, run_table1
+from repro.experiments.table2_contributor_model import Table2Result, run_table2
+from repro.experiments.ranking_comparison import (
+    RankingStudyResult,
+    RankingStudySpec,
+    run_ranking_comparison,
+)
+from repro.experiments.table3_factor_analysis import (
+    Table3Result,
+    Table3Spec,
+    run_table3,
+)
+from repro.experiments.table4_contributor_anova import (
+    Table4Result,
+    Table4Spec,
+    run_table4,
+)
+from repro.experiments.figure1_mashup import Figure1Result, Figure1Spec, run_figure1
+
+__all__ = [
+    "Figure1Result",
+    "Figure1Spec",
+    "RankingStudyResult",
+    "RankingStudySpec",
+    "Table1Result",
+    "Table2Result",
+    "Table3Result",
+    "Table3Spec",
+    "Table4Result",
+    "Table4Spec",
+    "format_markdown_table",
+    "format_number",
+    "run_figure1",
+    "run_ranking_comparison",
+    "run_table1",
+    "run_table2",
+    "run_table3",
+    "run_table4",
+]

@@ -1,0 +1,221 @@
+"""Experiment E6 — Figure 1: the sentiment-analysis mashup.
+
+Figure 1 of the paper shows a DashMash composition for the Milan tourism
+project: two data services (Twitter and TripAdvisor contents), a filter
+keeping only comments authored by influencers, a list viewer of the
+influencers integrated with a map of their locations, and a synchronised
+second list/map pair showing the selected influencer's posts and their
+geo-localisation.  The overall sentiment is weighted by source quality.
+
+The reproduction builds exactly that composition headlessly:
+
+* the Milan tourism dataset provides the Twitter-like and TripAdvisor-like
+  sources, the Domain of Interest and the contributor community;
+* a quality ranking selects the authoritative sources and produces the
+  quality weights used by the sentiment indicator;
+* an influencer filter keeps only influencer-authored content;
+* two synchronised list/map viewer pairs render the dashboard;
+* selecting an influencer post in the first list propagates the selection
+  to the synchronised viewers, as described in the paper.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Optional
+
+from repro.core.contributor_quality import ContributorQualityModel
+from repro.core.filtering import InfluencerDetector, QualityRanker
+from repro.core.source_quality import SourceQualityModel
+from repro.datasets.milan_tourism import (
+    MilanTourismDataset,
+    MilanTourismSpec,
+    build_milan_tourism,
+)
+from repro.errors import CompositionError
+from repro.experiments.reporting import format_markdown_table
+from repro.mashup.analysis import SentimentAnalysisService
+from repro.mashup.composition import DashboardState, Mashup
+from repro.mashup.data_services import SourceDataService
+from repro.mashup.filters import InfluencerFilter, QualitySourceFilter, UnionMerge
+from repro.mashup.viewers import ListViewer, MapViewer
+from repro.sentiment.analyzer import SentimentAnalyzer
+from repro.sentiment.lexicon import tourism_lexicon
+
+__all__ = ["Figure1Spec", "Figure1Result", "build_figure1_mashup", "run_figure1"]
+
+
+@dataclass(frozen=True)
+class Figure1Spec:
+    """Configuration of the Figure 1 mashup experiment."""
+
+    dataset: MilanTourismSpec = MilanTourismSpec()
+    influencer_top: int = 15
+    minimum_source_quality: float = 0.3
+    top_sources: int = 3
+
+
+@dataclass
+class Figure1Result:
+    """Result of executing (and synchronising) the Figure 1 dashboard."""
+
+    item_count: int
+    influencer_item_count: int
+    influencer_count: int
+    top_source_ids: tuple[str, ...]
+    unweighted_polarity: float
+    quality_weighted_polarity: float
+    per_category_polarity: dict[str, float] = field(default_factory=dict)
+    influencer_view: dict[str, Any] = field(default_factory=dict)
+    posts_view: dict[str, Any] = field(default_factory=dict)
+    influencer_map: dict[str, Any] = field(default_factory=dict)
+    posts_map: dict[str, Any] = field(default_factory=dict)
+    selection_propagated: bool = False
+
+    def to_markdown(self) -> str:
+        """Render the dashboard summary as markdown."""
+        summary = format_markdown_table(
+            ("Indicator", "Value"),
+            [
+                ("content items fetched", self.item_count),
+                ("items after influencer filter", self.influencer_item_count),
+                ("influencers retained", self.influencer_count),
+                ("top quality sources", ", ".join(self.top_source_ids)),
+                ("unweighted sentiment", self.unweighted_polarity),
+                ("quality-weighted sentiment", self.quality_weighted_polarity),
+                ("selection propagated to synced viewers", self.selection_propagated),
+            ],
+        )
+        categories = format_markdown_table(
+            ("Category", "Average sentiment"),
+            sorted(self.per_category_polarity.items()),
+        )
+        return summary + "\n\n" + categories
+
+    def to_dict(self) -> dict[str, Any]:
+        """Serialise the summary indicators (viewer states excluded)."""
+        return {
+            "item_count": self.item_count,
+            "influencer_item_count": self.influencer_item_count,
+            "influencer_count": self.influencer_count,
+            "top_source_ids": list(self.top_source_ids),
+            "unweighted_polarity": self.unweighted_polarity,
+            "quality_weighted_polarity": self.quality_weighted_polarity,
+            "per_category_polarity": dict(self.per_category_polarity),
+            "selection_propagated": self.selection_propagated,
+        }
+
+
+def build_figure1_mashup(
+    dataset: MilanTourismDataset, spec: Optional[Figure1Spec] = None
+) -> tuple[Mashup, dict[str, Any]]:
+    """Build (without executing) the Figure 1 composition.
+
+    Returns the mashup plus a context dictionary holding the quality
+    weights, the detected influencers and the top-ranked sources, so
+    callers (and tests) can inspect the quality-driven selection that
+    shaped the composition.
+    """
+    spec = spec or Figure1Spec()
+
+    # Quality-driven source selection (Section 6: Twitter, TripAdvisor and
+    # LonelyPlanet "resulted as the top ranked sources" for the tourism DI).
+    source_model = SourceQualityModel(dataset.domain)
+    ranker = QualityRanker(source_model)
+    ranking = ranker.rank(dataset.corpus)
+    quality_weights = {
+        assessment.source_id: assessment.overall
+        for assessment in source_model.assess_corpus(dataset.corpus).values()
+    }
+    top_source_ids = tuple(entry.source_id for entry in ranking[: spec.top_sources])
+
+    # Influencer detection: the filter of Figure 1 keeps only comments from
+    # users considered influencers, so influencers are detected on both
+    # selected data sources (the microblog community and the review site).
+    contributor_model = ContributorQualityModel(dataset.domain)
+    detector = InfluencerDetector(contributor_model)
+    influencer_ids = list(
+        detector.influencer_ids(dataset.twitter_source, top=spec.influencer_top)
+    ) + list(detector.influencer_ids(dataset.review_source, top=spec.influencer_top))
+
+    analyzer = SentimentAnalyzer(lexicon=tourism_lexicon())
+
+    mashup = Mashup(name="milan-tourism-sentiment")
+    mashup.add(SourceDataService("twitter", dataset.twitter_source))
+    mashup.add(SourceDataService("tripadvisor", dataset.review_source))
+    mashup.add(UnionMerge("merge"))
+    mashup.add(
+        QualitySourceFilter(
+            "quality_filter",
+            quality_weights=quality_weights,
+            minimum_quality=spec.minimum_source_quality,
+        )
+    )
+    mashup.add(InfluencerFilter("influencer_filter", influencer_ids=influencer_ids))
+    mashup.add(SentimentAnalysisService("sentiment", analyzer=analyzer))
+    mashup.add(ListViewer("influencer_list", title="Influencers' comments"))
+    mashup.add(MapViewer("influencer_map", title="Influencers' locations"))
+    mashup.add(ListViewer("posts_list", title="Original posts"))
+    mashup.add(MapViewer("posts_map", title="Posts geo-localisation"))
+
+    mashup.connect("twitter", "items", "merge", "left")
+    mashup.connect("tripadvisor", "items", "merge", "right")
+    mashup.connect("merge", "items", "quality_filter", "items")
+    mashup.connect("quality_filter", "items", "influencer_filter", "items")
+    mashup.connect("influencer_filter", "items", "sentiment", "items")
+    mashup.connect("sentiment", "items", "influencer_list", "items")
+    mashup.connect("sentiment", "items", "influencer_map", "items")
+    mashup.connect("quality_filter", "items", "posts_list", "items")
+    mashup.connect("quality_filter", "items", "posts_map", "items")
+
+    mashup.synchronize("influencers", ("influencer_list", "influencer_map"))
+    mashup.synchronize("posts", ("posts_list", "posts_map"))
+
+    context = {
+        "quality_weights": quality_weights,
+        "influencer_ids": influencer_ids,
+        "top_source_ids": top_source_ids,
+        "ranking": ranking,
+    }
+    return mashup, context
+
+
+def run_figure1(
+    spec: Optional[Figure1Spec] = None,
+    dataset: Optional[MilanTourismDataset] = None,
+) -> Figure1Result:
+    """Build, execute and synchronise the Figure 1 dashboard."""
+    spec = spec or Figure1Spec()
+    dataset = dataset or build_milan_tourism(spec.dataset)
+    mashup, context = build_figure1_mashup(dataset, spec)
+
+    state: DashboardState = mashup.execute()
+    merged_items = state.output("merge", "items")
+    influencer_items = state.output("influencer_filter", "items")
+    indicator = state.output("sentiment", "indicator")
+
+    # Propagate a selection from the influencer list to the synchronised map
+    # (the behaviour Figure 1 describes); tolerate an empty dashboard.
+    selection_propagated = False
+    influencer_rows = state.view("influencer_list").get("rows", [])
+    if influencer_rows:
+        selected_id = influencer_rows[0]["item_id"]
+        refreshed = mashup.select("influencer_list", selected_id)
+        map_state = refreshed.view("influencer_map")
+        selection_propagated = map_state.get("selected_id") == selected_id
+        state = refreshed
+
+    return Figure1Result(
+        item_count=len(merged_items),
+        influencer_item_count=len(influencer_items),
+        influencer_count=len(context["influencer_ids"]),
+        top_source_ids=tuple(context["top_source_ids"]),
+        unweighted_polarity=indicator["average_polarity"],
+        quality_weighted_polarity=indicator["quality_weighted_polarity"],
+        per_category_polarity=dict(indicator["per_category"]),
+        influencer_view=state.view("influencer_list"),
+        posts_view=state.view("posts_list"),
+        influencer_map=state.view("influencer_map"),
+        posts_map=state.view("posts_map"),
+        selection_propagated=selection_propagated,
+    )

@@ -1,0 +1,37 @@
+"""Plain-text / markdown table rendering shared by the experiment drivers."""
+
+from __future__ import annotations
+
+from typing import Any, Iterable, Sequence
+
+__all__ = ["format_number", "format_markdown_table"]
+
+
+def format_number(value: Any, digits: int = 3) -> str:
+    """Render a numeric cell compactly (integers without decimals)."""
+    if isinstance(value, bool):
+        return str(value)
+    if isinstance(value, int):
+        return str(value)
+    if isinstance(value, float):
+        if value != value:  # NaN
+            return "nan"
+        if abs(value - round(value)) < 1e-9 and abs(value) < 1e6:
+            return str(int(round(value)))
+        if abs(value) >= 1000:
+            return f"{value:,.0f}"
+        return f"{value:.{digits}f}"
+    return str(value)
+
+
+def format_markdown_table(
+    headers: Sequence[str], rows: Iterable[Sequence[Any]], digits: int = 3
+) -> str:
+    """Render ``rows`` as a GitHub-flavoured markdown table."""
+    header_line = "| " + " | ".join(str(header) for header in headers) + " |"
+    separator = "| " + " | ".join("---" for _ in headers) + " |"
+    body_lines = []
+    for row in rows:
+        cells = [format_number(cell, digits=digits) for cell in row]
+        body_lines.append("| " + " | ".join(cells) + " |")
+    return "\n".join([header_line, separator, *body_lines])

@@ -1,0 +1,152 @@
+"""Experiment E2 — Table 2: the contributor quality measure matrix.
+
+Mirrors the Table 1 experiment at the contributor level: every measure of
+Table 2 is evaluated for every contributor of a microblog community (the
+kind of source where, as the paper argues, "the trustworthiness of the
+content mostly depends on the quality of the contribution of the single
+users"), and the per-cell means are reported.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Optional
+
+from repro.core.contributor_quality import ContributorQualityModel
+from repro.core.dimensions import (
+    CONTRIBUTOR_ATTRIBUTES,
+    QualityAttribute,
+    QualityDimension,
+)
+from repro.core.domain import DomainOfInterest
+from repro.core.measures import contributor_measure_registry
+from repro.experiments.reporting import format_markdown_table
+from repro.sources.models import Source
+from repro.sources.twitter import MicroblogGenerator, MicroblogSpec
+
+__all__ = ["Table2Row", "Table2Result", "run_table2"]
+
+
+@dataclass(frozen=True)
+class Table2Row:
+    """One measure of Table 2 evaluated on the contributor population."""
+
+    dimension: str
+    attribute: str
+    measure: str
+    domain_dependent: bool
+    mean_raw: float
+    mean_normalized: float
+
+
+@dataclass
+class Table2Result:
+    """Result of evaluating the Table 2 matrix on a contributor population."""
+
+    contributor_count: int
+    source_id: str
+    domain: DomainOfInterest
+    rows: list[Table2Row] = field(default_factory=list)
+
+    def cell(self, dimension: QualityDimension, attribute: QualityAttribute) -> list[Table2Row]:
+        """Rows of one (dimension, attribute) cell."""
+        return [
+            row
+            for row in self.rows
+            if row.dimension == dimension.value and row.attribute == attribute.value
+        ]
+
+    def applicable_cells(self) -> set[tuple[str, str]]:
+        """The (dimension, attribute) cells holding at least one measure."""
+        return {(row.dimension, row.attribute) for row in self.rows}
+
+    def to_markdown(self) -> str:
+        """Render the evaluated matrix as a markdown table."""
+        headers = (
+            "Dimension",
+            "Attribute",
+            "Measure",
+            "Domain-dependent",
+            "Mean raw",
+            "Mean normalised",
+        )
+        body = [
+            (
+                row.dimension,
+                row.attribute,
+                row.measure,
+                "yes" if row.domain_dependent else "no",
+                row.mean_raw,
+                row.mean_normalized,
+            )
+            for row in self.rows
+        ]
+        return format_markdown_table(headers, body)
+
+    def to_dict(self) -> dict[str, Any]:
+        """Serialise to a JSON-compatible dictionary."""
+        return {
+            "contributor_count": self.contributor_count,
+            "source_id": self.source_id,
+            "domain": self.domain.to_dict(),
+            "rows": [row.__dict__ for row in self.rows],
+        }
+
+
+def default_table2_source(seed: int = 11, account_count: int = 120) -> Source:
+    """Build the default microblog source used by the Table 2 experiment."""
+    community = MicroblogGenerator(
+        MicroblogSpec(account_count=account_count, seed=seed, sample_tweet_count=10)
+    ).generate()
+    return community.to_source(source_id="microblog-study")
+
+
+def run_table2(
+    source: Optional[Source] = None,
+    domain: Optional[DomainOfInterest] = None,
+    max_contributors: Optional[int] = 150,
+) -> Table2Result:
+    """Evaluate the Table 2 measure matrix for the contributors of ``source``."""
+    source = source if source is not None else default_table2_source()
+    domain = domain or DomainOfInterest(
+        categories=("news", "lifestyle", "sports", "music", "travel"),
+        name="table2-domain",
+    )
+    registry = contributor_measure_registry()
+    model = ContributorQualityModel(domain, registry=registry)
+
+    user_ids = sorted(source.contributors())
+    if max_contributors is not None:
+        user_ids = user_ids[:max_contributors]
+    assessments = model.assess_source(source, user_ids)
+
+    rows: list[Table2Row] = []
+    for dimension in QualityDimension:
+        for attribute in CONTRIBUTOR_ATTRIBUTES:
+            if not registry.is_applicable(dimension, attribute):
+                continue
+            for definition in registry.for_cell(dimension, attribute):
+                raw_values = [
+                    assessment.score.measure(definition.name)
+                    for assessment in assessments.values()
+                ]
+                normalized_values = [
+                    assessment.score.normalized(definition.name)
+                    for assessment in assessments.values()
+                ]
+                rows.append(
+                    Table2Row(
+                        dimension=dimension.value,
+                        attribute=attribute.value,
+                        measure=definition.name,
+                        domain_dependent=definition.domain_dependent,
+                        mean_raw=sum(raw_values) / len(raw_values),
+                        mean_normalized=sum(normalized_values) / len(normalized_values),
+                    )
+                )
+    return Table2Result(
+        contributor_count=len(assessments),
+        source_id=source.source_id,
+        domain=domain,
+        rows=rows,
+    )

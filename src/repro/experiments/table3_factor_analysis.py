@@ -1,0 +1,295 @@
+"""Experiment E4 — Table 3: componentisation of the quality measures.
+
+The paper reduces the domain-independent measures of Table 1 to three
+component indicators (traffic, participation, time) through a principal-
+component factor analysis, then regresses each component against the Google
+rank: traffic is positively related (sig < 0.001), participation negatively
+(sig < 0.010) and time negatively (sig < 0.050).
+
+The reproduction follows the same pipeline on the ranking-study corpus:
+
+1. compute the Table 3 measures for every site that appears in at least one
+   query's top-20 (the population the paper analysed);
+2. orient every measure so that larger values mean "more of the underlying
+   construct" (traffic rank and bounce rate are inverted) and compress the
+   heavy-tailed counts with ``log1p``;
+3. run the factor analysis with three components and label each component
+   by the measures it aggregates;
+4. regress the site's search-rank goodness (negated average result
+   position) on each component score — one simple regression per component,
+   as in the paper — and report direction and significance.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Any, Optional
+
+from repro.core.domain import DomainOfInterest
+from repro.core.source_quality import SourceQualityModel
+from repro.datasets.google_study import GoogleStudyDataset, GoogleStudySpec, build_google_study
+from repro.errors import InsufficientDataError
+from repro.experiments.reporting import format_markdown_table
+from repro.stats.factor import FactorAnalysisResult, factor_analysis
+from repro.stats.regression import LinearRegressionResult, linear_regression
+
+__all__ = ["Table3Spec", "ComponentRelation", "Table3Result", "run_table3"]
+
+#: The Table 3 measures, grouped by the component the paper assigns them to.
+TABLE3_MEASURE_GROUPS: dict[str, tuple[str, ...]] = {
+    "traffic": (
+        "traffic_rank",
+        "daily_visitors",
+        "daily_page_views",
+        "inbound_links",
+        "open_discussions_vs_largest",
+    ),
+    "participation": (
+        "new_discussions_per_day",
+        "comments_per_discussion",
+        "comments_per_discussion_per_day",
+    ),
+    "time": (
+        "bounce_rate",
+        "time_on_site",
+    ),
+}
+
+#: Measures whose raw direction is "lower is better"; they are inverted
+#: before the factor analysis so that every column points the same way.
+_INVERTED_MEASURES: frozenset[str] = frozenset({"traffic_rank", "bounce_rate"})
+
+#: Measures spanning several orders of magnitude, compressed with log1p.
+_LOG_MEASURES: frozenset[str] = frozenset(
+    {"traffic_rank", "daily_visitors", "daily_page_views", "inbound_links"}
+)
+
+#: Anchor measure used to label each extracted component.
+_COMPONENT_ANCHORS: dict[str, str] = {
+    "daily_visitors": "traffic",
+    "comments_per_discussion": "participation",
+    "time_on_site": "time",
+}
+
+
+@dataclass(frozen=True)
+class Table3Spec:
+    """Configuration of the factor-analysis experiment."""
+
+    study: GoogleStudySpec = GoogleStudySpec()
+    component_count: int = 3
+    rotate: bool = True
+
+
+@dataclass(frozen=True)
+class ComponentRelation:
+    """Relation of one component with the search rank (one Table 3 row group)."""
+
+    component: str
+    measures: tuple[str, ...]
+    coefficient: float
+    p_value: float
+
+    @property
+    def direction(self) -> str:
+        """``"positive"`` or ``"negative"``."""
+        return "positive" if self.coefficient >= 0 else "negative"
+
+    @property
+    def significance(self) -> str:
+        """Paper-style significance bucket."""
+        if self.p_value < 0.001:
+            return "sig < 0.001"
+        if self.p_value < 0.01:
+            return "sig < 0.010"
+        if self.p_value < 0.05:
+            return "sig < 0.050"
+        return "not significant"
+
+
+@dataclass
+class Table3Result:
+    """Result of the componentisation experiment."""
+
+    site_count: int
+    measure_assignments: dict[str, str] = field(default_factory=dict)
+    relations: list[ComponentRelation] = field(default_factory=list)
+    factor_result: Optional[FactorAnalysisResult] = None
+    regression: Optional[LinearRegressionResult] = None
+
+    def relation(self, component: str) -> ComponentRelation:
+        """Return the relation entry of ``component``."""
+        for entry in self.relations:
+            if entry.component == component:
+                return entry
+        raise KeyError(component)
+
+    def assignment_purity(self) -> float:
+        """Fraction of measures assigned to the component the paper assigns them to."""
+        expected: dict[str, str] = {}
+        for component, measures in TABLE3_MEASURE_GROUPS.items():
+            for name in measures:
+                expected[name] = component
+        if not self.measure_assignments:
+            return 0.0
+        matches = sum(
+            1
+            for name, component in self.measure_assignments.items()
+            if expected.get(name) == component
+        )
+        return matches / len(self.measure_assignments)
+
+    def to_markdown(self) -> str:
+        """Render the Table 3 reproduction as markdown."""
+        assignment_rows = [
+            (measure, component)
+            for measure, component in sorted(self.measure_assignments.items())
+        ]
+        assignments = format_markdown_table(
+            ("Measure", "Identified component"), assignment_rows
+        )
+        relation_rows = [
+            (
+                entry.component,
+                ", ".join(entry.measures),
+                entry.direction,
+                entry.significance,
+            )
+            for entry in self.relations
+        ]
+        relations = format_markdown_table(
+            ("Component", "Measures", "Relation with search rank", "Significance"),
+            relation_rows,
+        )
+        return assignments + "\n\n" + relations
+
+    def to_dict(self) -> dict[str, Any]:
+        """Serialise to a JSON-compatible dictionary."""
+        return {
+            "site_count": self.site_count,
+            "measure_assignments": dict(self.measure_assignments),
+            "relations": [
+                {
+                    "component": entry.component,
+                    "measures": list(entry.measures),
+                    "coefficient": entry.coefficient,
+                    "p_value": entry.p_value,
+                    "direction": entry.direction,
+                    "significance": entry.significance,
+                }
+                for entry in self.relations
+            ],
+        }
+
+
+def _oriented_value(name: str, value: float) -> float:
+    """Orient and compress one raw measure value for the factor analysis."""
+    transformed = math.log1p(max(0.0, value)) if name in _LOG_MEASURES else value
+    return -transformed if name in _INVERTED_MEASURES else transformed
+
+
+def _search_goodness(dataset: GoogleStudyDataset) -> dict[str, float]:
+    """Per-site search-rank goodness: negated average result position."""
+    positions: dict[str, list[int]] = {}
+    for query in dataset.workload:
+        results = dataset.engine.search(query.text, limit=dataset.spec.results_per_query)
+        for result in results:
+            positions.setdefault(result.source_id, []).append(result.rank)
+    return {
+        source_id: -sum(values) / len(values) for source_id, values in positions.items()
+    }
+
+
+def run_table3(
+    spec: Optional[Table3Spec] = None,
+    dataset: Optional[GoogleStudyDataset] = None,
+) -> Table3Result:
+    """Run the Table 3 componentisation and regression experiment."""
+    spec = spec or Table3Spec()
+    dataset = dataset or build_google_study(spec.study)
+
+    goodness = _search_goodness(dataset)
+    if len(goodness) < 20:
+        raise InsufficientDataError(
+            "too few sites appear in the search results to run the factor analysis"
+        )
+    site_ids = sorted(goodness)
+
+    measure_names = [
+        name for group in TABLE3_MEASURE_GROUPS.values() for name in group
+    ]
+    domain = DomainOfInterest(categories=dataset.spec.categories, name="table3-domain")
+    model = SourceQualityModel(
+        domain, alexa=dataset.alexa, feedburner=dataset.feedburner
+    )
+    raw_vectors = model.raw_measures(dataset.corpus)
+
+    columns: dict[str, list[float]] = {name: [] for name in measure_names}
+    response: list[float] = []
+    for source_id in site_ids:
+        vector = raw_vectors[source_id]
+        for name in measure_names:
+            columns[name].append(_oriented_value(name, vector[name]))
+        response.append(goodness[source_id])
+
+    factors = factor_analysis(
+        columns, component_count=spec.component_count, rotate=spec.rotate
+    )
+
+    # Label the components through the anchor measures; unanchored components
+    # keep a generic name.
+    component_labels: dict[int, str] = {}
+    for anchor, label in _COMPONENT_ANCHORS.items():
+        component_labels.setdefault(factors.assignments[anchor], label)
+    for index in range(factors.component_count):
+        component_labels.setdefault(index, f"component-{index}")
+
+    measure_assignments = {
+        name: component_labels[factors.assignments[name]] for name in measure_names
+    }
+
+    # Orient every component score so that it grows with its own measures
+    # (principal-component signs are otherwise arbitrary).
+    score_columns: dict[str, list[float]] = {}
+    for index in range(factors.component_count):
+        label = component_labels[index]
+        loadings_sum = sum(
+            factors.loading(name, index)
+            for name, assigned in factors.assignments.items()
+            if assigned == index
+        )
+        orientation = -1.0 if loadings_sum < 0 else 1.0
+        score_columns[label] = [
+            orientation * value for value in factors.component_score_column(index)
+        ]
+
+    # One simple regression per component, as the paper does ("we then
+    # analysed the relations between each component and the Google search
+    # ranking" through linear regressions).
+    relations = []
+    last_regression: Optional[LinearRegressionResult] = None
+    for label in score_columns:
+        regression = linear_regression(
+            [score_columns[label]], response, predictor_names=[label]
+        )
+        last_regression = regression
+        measures = tuple(
+            sorted(name for name, assigned in measure_assignments.items() if assigned == label)
+        )
+        relations.append(
+            ComponentRelation(
+                component=label,
+                measures=measures,
+                coefficient=regression.coefficient(label),
+                p_value=regression.p_value(label),
+            )
+        )
+
+    return Table3Result(
+        site_count=len(site_ids),
+        measure_assignments=measure_assignments,
+        relations=relations,
+        factor_result=factors,
+        regression=last_regression,
+    )

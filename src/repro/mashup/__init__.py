@@ -1,0 +1,76 @@
+"""DashMash-like mashup composition framework.
+
+Section 5 of the paper proposes a mashup paradigm in which *data services*
+(wrappers over the filtered, authoritative sources), *analysis services*
+(quality-based selection, filters, content-based analysis) and *viewers*
+are composed by end users into situational dashboards; Figure 1 shows such
+a composition for sentiment analysis.
+
+The framework reproduces the composition semantics headlessly:
+
+* components expose named input/output ports and are wired into a dataflow
+  graph (:class:`Mashup`);
+* viewers render their state as plain dictionaries so dashboards can be
+  inspected, tested and serialised;
+* viewers can be *synchronised*: selecting an item in one viewer publishes
+  an event that updates the linked viewers (the list/map synchronisation of
+  Figure 1);
+* compositions can be described as JSON documents and rebuilt through the
+  :class:`ComponentRegistry`, mirroring the way DashMash stored user-built
+  dashboards.
+"""
+
+from repro.mashup.events import Event, EventBus
+from repro.mashup.component import Component, ContentItem, Port
+from repro.mashup.data_services import (
+    CorpusDataService,
+    MicroblogDataService,
+    ReviewDataService,
+    SourceDataService,
+)
+from repro.mashup.filters import (
+    CategoryFilter,
+    InfluencerFilter,
+    LocationFilter,
+    QualitySourceFilter,
+    TimeWindowFilter,
+    UnionMerge,
+)
+from repro.mashup.analysis import (
+    BuzzWordService,
+    QualityRankingService,
+    SentimentAnalysisService,
+)
+from repro.mashup.viewers import ChartViewer, ListViewer, MapViewer
+from repro.mashup.composition import Connection, DashboardState, Mashup, SyncLink
+from repro.mashup.registry import ComponentRegistry, default_registry
+
+__all__ = [
+    "BuzzWordService",
+    "CategoryFilter",
+    "ChartViewer",
+    "Component",
+    "ComponentRegistry",
+    "Connection",
+    "ContentItem",
+    "CorpusDataService",
+    "DashboardState",
+    "Event",
+    "EventBus",
+    "InfluencerFilter",
+    "ListViewer",
+    "LocationFilter",
+    "MapViewer",
+    "Mashup",
+    "MicroblogDataService",
+    "Port",
+    "QualityRankingService",
+    "QualitySourceFilter",
+    "ReviewDataService",
+    "SentimentAnalysisService",
+    "SourceDataService",
+    "SyncLink",
+    "TimeWindowFilter",
+    "UnionMerge",
+    "default_registry",
+]

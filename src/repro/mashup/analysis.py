@@ -1,0 +1,172 @@
+"""Analysis-service components.
+
+The paper's analysis services "(i) support quality-based selection of the
+most relevant contents ... (ii) support simple filter operations ...
+(iii) perform content-based analysis (e.g., feature extraction for buzz
+word identification)".  The filter operations live in
+:mod:`repro.mashup.filters`; this module provides the quality-based
+selection service and two content-based analyses: sentiment annotation and
+buzz-word extraction.
+"""
+
+from __future__ import annotations
+
+import re
+from collections import Counter
+from typing import Any, Mapping, Optional
+
+from repro.core.filtering import QualityRanker
+from repro.errors import MashupError
+from repro.mashup.component import Component, ContentItem, Port
+from repro.sentiment.analyzer import SentimentAnalyzer
+from repro.sources.corpus import SourceCorpus
+
+__all__ = ["QualityRankingService", "SentimentAnalysisService", "BuzzWordService"]
+
+_WORD_PATTERN = re.compile(r"[a-z][a-z\-]{2,}")
+
+#: Tokens never reported as buzz words (articles, auxiliaries, generic filler).
+_STOPWORDS: frozenset[str] = frozenset(
+    {
+        "the", "and", "for", "with", "that", "this", "was", "are", "were",
+        "have", "has", "had", "not", "but", "you", "your", "our", "their",
+        "there", "here", "very", "really", "quite", "just", "also", "again",
+        "around", "near", "during", "about", "into", "from", "they", "them",
+        "she", "him", "her", "his", "its", "out", "when", "where", "which",
+        "will", "would", "could", "should", "than", "then", "too", "all",
+        "visited", "yesterday", "today", "place", "people", "time", "city",
+        "trip", "day",
+    }
+)
+
+
+class QualityRankingService(Component):
+    """Rank the sources of a corpus by quality and expose the results.
+
+    Outputs:
+
+    * ``ranking`` — list of ``{"rank", "source_id", "overall"}`` records;
+    * ``quality_weights`` — mapping from source id to overall score, ready
+      to feed a :class:`~repro.mashup.filters.QualitySourceFilter` or a
+      quality-weighted sentiment indicator;
+    * ``top_source_ids`` — identifiers of the ``top`` best sources.
+    """
+
+    TYPE_NAME = "analysis.quality_ranking"
+    OUTPUT_PORTS = (Port("ranking"), Port("quality_weights"), Port("top_source_ids"))
+
+    def __init__(
+        self,
+        component_id: str,
+        ranker: QualityRanker,
+        corpus: SourceCorpus,
+        top: int = 3,
+        **parameters: Any,
+    ) -> None:
+        super().__init__(component_id, top=top, **parameters)
+        if top < 1:
+            raise MashupError("top must be >= 1")
+        self._ranker = ranker
+        self._corpus = corpus
+        self._top = top
+
+    def process(self, inputs: Mapping[str, Any]) -> Mapping[str, Any]:
+        ranking = self._ranker.rank(self._corpus)
+        assessments = self._ranker.model.assess_corpus(self._corpus)
+        weights = {
+            source_id: assessment.overall
+            for source_id, assessment in assessments.items()
+        }
+        return {
+            "ranking": [entry.to_dict() for entry in ranking],
+            "quality_weights": weights,
+            "top_source_ids": [entry.source_id for entry in ranking[: self._top]],
+        }
+
+
+class SentimentAnalysisService(Component):
+    """Annotate content items with sentiment and compute an indicator.
+
+    Outputs the annotated items plus an ``indicator`` dictionary holding the
+    unweighted and the quality-weighted average polarity (items carry their
+    source's quality weight when a quality filter ran upstream).
+    """
+
+    TYPE_NAME = "analysis.sentiment"
+    INPUT_PORTS = (Port("items"),)
+    OUTPUT_PORTS = (Port("items"), Port("indicator"))
+
+    def __init__(
+        self,
+        component_id: str,
+        analyzer: Optional[SentimentAnalyzer] = None,
+        **parameters: Any,
+    ) -> None:
+        super().__init__(component_id, **parameters)
+        self._analyzer = analyzer or SentimentAnalyzer()
+
+    def process(self, inputs: Mapping[str, Any]) -> Mapping[str, Any]:
+        items = self.require_items(inputs)
+        annotated: list[ContentItem] = []
+        for item in items:
+            score = self._analyzer.score(item.text)
+            annotated.append(item.with_sentiment(score.polarity))
+
+        opinionated = [item for item in annotated if item.sentiment not in (None, 0.0)]
+        unweighted = (
+            sum(item.sentiment or 0.0 for item in opinionated) / len(opinionated)
+            if opinionated
+            else 0.0
+        )
+        total_weight = sum(item.quality_weight for item in opinionated)
+        weighted = (
+            sum((item.sentiment or 0.0) * item.quality_weight for item in opinionated)
+            / total_weight
+            if total_weight > 0
+            else 0.0
+        )
+        per_category: dict[str, list[float]] = {}
+        for item in opinionated:
+            per_category.setdefault(item.category or "uncategorised", []).append(
+                item.sentiment or 0.0
+            )
+        indicator = {
+            "item_count": len(annotated),
+            "opinionated_count": len(opinionated),
+            "average_polarity": unweighted,
+            "quality_weighted_polarity": weighted,
+            "per_category": {
+                category: sum(values) / len(values)
+                for category, values in sorted(per_category.items())
+            },
+        }
+        return {"items": annotated, "indicator": indicator}
+
+
+class BuzzWordService(Component):
+    """Extract the most frequent content words (buzz words) from the items."""
+
+    TYPE_NAME = "analysis.buzzwords"
+    INPUT_PORTS = (Port("items"),)
+    OUTPUT_PORTS = (Port("buzzwords"),)
+
+    def __init__(self, component_id: str, top: int = 10, **parameters: Any) -> None:
+        super().__init__(component_id, top=top, **parameters)
+        if top < 1:
+            raise MashupError("top must be >= 1")
+        self._top = top
+
+    def process(self, inputs: Mapping[str, Any]) -> Mapping[str, Any]:
+        items = self.require_items(inputs)
+        counter: Counter[str] = Counter()
+        for item in items:
+            for token in _WORD_PATTERN.findall(item.text.lower()):
+                if token not in _STOPWORDS:
+                    counter[token] += 1
+        buzzwords = [
+            {"word": word, "count": count}
+            for word, count in sorted(counter.items(), key=lambda pair: (-pair[1], pair[0]))[
+                : self._top
+            ]
+        ]
+        return {"buzzwords": buzzwords}

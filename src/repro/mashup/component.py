@@ -1,0 +1,203 @@
+"""Component model of the mashup framework.
+
+Every mashup building block derives from :class:`Component` and declares
+named input and output ports.  Components exchange lists of
+:class:`ContentItem` records — the common payload extracted from the
+underlying Web 2.0 sources — plus arbitrary auxiliary values (quality
+assessments, sentiment indicators) on dedicated ports.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Any, Iterable, Mapping, Optional
+
+from repro.errors import MashupError, WiringError
+from repro.mashup.events import Event, EventBus
+
+__all__ = ["Port", "ContentItem", "Component"]
+
+
+@dataclass(frozen=True)
+class Port:
+    """A named input or output port of a component."""
+
+    name: str
+    description: str = ""
+
+
+@dataclass(frozen=True)
+class ContentItem:
+    """One piece of user-generated content flowing through a composition."""
+
+    item_id: str
+    source_id: str
+    author_id: str
+    day: float
+    text: str
+    category: Optional[str] = None
+    location: Optional[str] = None
+    tags: tuple[str, ...] = ()
+    sentiment: Optional[float] = None
+    quality_weight: float = 1.0
+    attributes: Mapping[str, Any] = field(default_factory=dict)
+
+    def with_sentiment(self, polarity: float) -> "ContentItem":
+        """Return a copy annotated with a sentiment polarity."""
+        return replace(self, sentiment=polarity)
+
+    def with_quality_weight(self, weight: float) -> "ContentItem":
+        """Return a copy annotated with a source-quality weight."""
+        return replace(self, quality_weight=weight)
+
+    def with_attributes(self, **attributes: Any) -> "ContentItem":
+        """Return a copy with extra attributes merged in."""
+        merged = dict(self.attributes)
+        merged.update(attributes)
+        return replace(self, attributes=merged)
+
+    def to_dict(self) -> dict[str, Any]:
+        """Serialise to a JSON-compatible dictionary."""
+        return {
+            "item_id": self.item_id,
+            "source_id": self.source_id,
+            "author_id": self.author_id,
+            "day": self.day,
+            "text": self.text,
+            "category": self.category,
+            "location": self.location,
+            "tags": list(self.tags),
+            "sentiment": self.sentiment,
+            "quality_weight": self.quality_weight,
+            "attributes": dict(self.attributes),
+        }
+
+
+class Component:
+    """Base class of every mashup component.
+
+    Sub-classes declare their ports through the ``INPUT_PORTS`` and
+    ``OUTPUT_PORTS`` class attributes and implement :meth:`process`, a pure
+    function from input-port payloads to output-port payloads.  Components
+    that participate in viewer synchronisation additionally override
+    :meth:`on_event`.
+    """
+
+    #: Symbolic component type used by the registry and JSON compositions.
+    TYPE_NAME = "component"
+
+    #: Input ports (overridden by subclasses).
+    INPUT_PORTS: tuple[Port, ...] = ()
+
+    #: Output ports (overridden by subclasses).
+    OUTPUT_PORTS: tuple[Port, ...] = ()
+
+    def __init__(self, component_id: str, **parameters: Any) -> None:
+        if not component_id:
+            raise MashupError("component_id must be a non-empty string")
+        self._component_id = component_id
+        self._parameters = dict(parameters)
+        self._bus: Optional[EventBus] = None
+
+    # -- identity ---------------------------------------------------------------------
+
+    @property
+    def component_id(self) -> str:
+        """Unique identifier of the component within a composition."""
+        return self._component_id
+
+    @property
+    def parameters(self) -> dict[str, Any]:
+        """The configuration parameters the component was built with."""
+        return dict(self._parameters)
+
+    def parameter(self, name: str, default: Any = None) -> Any:
+        """Return one configuration parameter."""
+        return self._parameters.get(name, default)
+
+    # -- ports -------------------------------------------------------------------------
+
+    @classmethod
+    def input_port_names(cls) -> tuple[str, ...]:
+        """Names of the declared input ports."""
+        return tuple(port.name for port in cls.INPUT_PORTS)
+
+    @classmethod
+    def output_port_names(cls) -> tuple[str, ...]:
+        """Names of the declared output ports."""
+        return tuple(port.name for port in cls.OUTPUT_PORTS)
+
+    def require_items(self, inputs: Mapping[str, Any], port: str = "items") -> list[ContentItem]:
+        """Return the content items received on ``port`` (validating the payload)."""
+        payload = inputs.get(port)
+        if payload is None:
+            raise WiringError(
+                f"component {self._component_id!r} expected input on port {port!r}"
+            )
+        items = list(payload)
+        for item in items:
+            if not isinstance(item, ContentItem):
+                raise WiringError(
+                    f"component {self._component_id!r} received a non-ContentItem "
+                    f"payload on port {port!r}"
+                )
+        return items
+
+    # -- execution -----------------------------------------------------------------------
+
+    def process(self, inputs: Mapping[str, Any]) -> Mapping[str, Any]:
+        """Transform input-port payloads into output-port payloads."""
+        raise NotImplementedError
+
+    # -- synchronisation --------------------------------------------------------------------
+
+    def attach_bus(self, bus: EventBus) -> None:
+        """Attach the composition's event bus (called by :class:`Mashup`)."""
+        self._bus = bus
+
+    @property
+    def bus(self) -> Optional[EventBus]:
+        """The event bus, when the component is part of a composition."""
+        return self._bus
+
+    def emit(self, topic: str, payload: Any) -> None:
+        """Publish an event on the composition bus (no-op when detached)."""
+        if self._bus is not None:
+            self._bus.emit(topic, payload, publisher=self._component_id)
+
+    def on_event(self, event: Event) -> None:
+        """React to a bus event (default: ignore it)."""
+
+    # -- misc ----------------------------------------------------------------------------------
+
+    def describe(self) -> dict[str, Any]:
+        """Describe the component (used by registries and dashboards)."""
+        return {
+            "component_id": self._component_id,
+            "type": self.TYPE_NAME,
+            "parameters": self.parameters,
+            "inputs": list(self.input_port_names()),
+            "outputs": list(self.output_port_names()),
+        }
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging helper
+        return f"<{type(self).__name__} id={self._component_id!r}>"
+
+
+def items_from_posts(source_id: str, posts: Iterable[Any]) -> list[ContentItem]:
+    """Convert :class:`~repro.sources.models.Post` records into content items."""
+    items: list[ContentItem] = []
+    for post in posts:
+        items.append(
+            ContentItem(
+                item_id=post.post_id,
+                source_id=source_id,
+                author_id=post.author_id,
+                day=post.day,
+                text=post.text,
+                category=post.category,
+                location=post.location,
+                tags=tuple(post.tags),
+            )
+        )
+    return items

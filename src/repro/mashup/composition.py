@@ -1,0 +1,262 @@
+"""Mashup composition: wiring, execution and synchronisation.
+
+A :class:`Mashup` is a dataflow graph of components: connections route the
+payload of an output port to an input port of another component.  Executing
+the composition runs the components in topological order, collects every
+viewer's render state into a :class:`DashboardState` and keeps the event
+bus attached so selections can be propagated afterwards (the list/map
+synchronisation of Figure 1).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Iterable, Mapping, Optional
+
+from repro.errors import CompositionError, UnknownComponentError, WiringError
+from repro.mashup.component import Component
+from repro.mashup.events import Event, EventBus
+from repro.mashup.viewers import SELECTION_TOPIC, _BaseViewer
+
+__all__ = ["Connection", "SyncLink", "DashboardState", "Mashup"]
+
+
+@dataclass(frozen=True)
+class Connection:
+    """A directed connection between an output port and an input port."""
+
+    from_component: str
+    from_port: str
+    to_component: str
+    to_port: str
+
+    def to_dict(self) -> dict[str, str]:
+        """Serialise to a JSON-compatible dictionary."""
+        return {
+            "from_component": self.from_component,
+            "from_port": self.from_port,
+            "to_component": self.to_component,
+            "to_port": self.to_port,
+        }
+
+
+@dataclass(frozen=True)
+class SyncLink:
+    """Declares that two viewers belong to the same synchronisation group."""
+
+    group: str
+    viewer_ids: tuple[str, ...]
+
+    def to_dict(self) -> dict[str, Any]:
+        """Serialise to a JSON-compatible dictionary."""
+        return {"group": self.group, "viewer_ids": list(self.viewer_ids)}
+
+
+@dataclass
+class DashboardState:
+    """The rendered state of every viewer after executing the composition."""
+
+    views: dict[str, dict[str, Any]] = field(default_factory=dict)
+    outputs: dict[str, dict[str, Any]] = field(default_factory=dict)
+
+    def view(self, component_id: str) -> dict[str, Any]:
+        """Render state of one viewer."""
+        try:
+            return self.views[component_id]
+        except KeyError as exc:
+            raise UnknownComponentError(component_id) from exc
+
+    def output(self, component_id: str, port: str) -> Any:
+        """Raw output payload of any component port."""
+        try:
+            return self.outputs[component_id][port]
+        except KeyError as exc:
+            raise CompositionError(
+                f"no output recorded for {component_id!r}.{port!r}"
+            ) from exc
+
+    def to_dict(self) -> dict[str, Any]:
+        """Serialise the viewer states (raw outputs are not serialised)."""
+        return {"views": {key: dict(value) for key, value in self.views.items()}}
+
+
+class Mashup:
+    """A user-composed dashboard: components, wiring and synchronisation."""
+
+    def __init__(self, name: str = "mashup") -> None:
+        self.name = name
+        self._components: dict[str, Component] = {}
+        self._connections: list[Connection] = []
+        self._sync_links: list[SyncLink] = []
+        self._bus = EventBus()
+        self._last_state: Optional[DashboardState] = None
+
+    # -- construction -----------------------------------------------------------------
+
+    @property
+    def bus(self) -> EventBus:
+        """The composition's event bus."""
+        return self._bus
+
+    def add(self, component: Component) -> Component:
+        """Add a component to the composition and attach it to the bus."""
+        if component.component_id in self._components:
+            raise CompositionError(
+                f"duplicate component identifier: {component.component_id!r}"
+            )
+        component.attach_bus(self._bus)
+        self._bus.subscribe(SELECTION_TOPIC, component.on_event)
+        self._components[component.component_id] = component
+        return component
+
+    def component(self, component_id: str) -> Component:
+        """Return a component by identifier."""
+        try:
+            return self._components[component_id]
+        except KeyError as exc:
+            raise UnknownComponentError(component_id) from exc
+
+    def components(self) -> list[Component]:
+        """Return every component in insertion order."""
+        return list(self._components.values())
+
+    def connect(
+        self,
+        from_component: str,
+        from_port: str,
+        to_component: str,
+        to_port: str,
+    ) -> Connection:
+        """Wire an output port to an input port, validating both ends."""
+        source = self.component(from_component)
+        target = self.component(to_component)
+        if from_port not in source.output_port_names():
+            raise WiringError(
+                f"component {from_component!r} has no output port {from_port!r}"
+            )
+        if to_port not in target.input_port_names():
+            raise WiringError(
+                f"component {to_component!r} has no input port {to_port!r}"
+            )
+        for existing in self._connections:
+            if existing.to_component == to_component and existing.to_port == to_port:
+                raise WiringError(
+                    f"input port {to_component!r}.{to_port!r} is already connected"
+                )
+        connection = Connection(from_component, from_port, to_component, to_port)
+        self._connections.append(connection)
+        return connection
+
+    def synchronize(self, group: str, viewer_ids: Iterable[str]) -> SyncLink:
+        """Put viewers in the same selection-synchronisation group."""
+        ids = tuple(viewer_ids)
+        if len(ids) < 2:
+            raise CompositionError("a sync group needs at least two viewers")
+        for viewer_id in ids:
+            component = self.component(viewer_id)
+            if not isinstance(component, _BaseViewer):
+                raise CompositionError(
+                    f"component {viewer_id!r} is not a viewer and cannot be synchronised"
+                )
+            component._sync_group = group
+        link = SyncLink(group=group, viewer_ids=ids)
+        self._sync_links.append(link)
+        return link
+
+    @property
+    def connections(self) -> list[Connection]:
+        """The declared connections."""
+        return list(self._connections)
+
+    @property
+    def sync_links(self) -> list[SyncLink]:
+        """The declared synchronisation groups."""
+        return list(self._sync_links)
+
+    # -- execution --------------------------------------------------------------------------
+
+    def _execution_order(self) -> list[str]:
+        """Topological order of the components (raises on cycles)."""
+        incoming: dict[str, set[str]] = {name: set() for name in self._components}
+        for connection in self._connections:
+            incoming[connection.to_component].add(connection.from_component)
+
+        order: list[str] = []
+        ready = sorted(name for name, deps in incoming.items() if not deps)
+        remaining = {name: set(deps) for name, deps in incoming.items() if deps}
+        while ready:
+            current = ready.pop(0)
+            order.append(current)
+            newly_ready = []
+            for name, deps in list(remaining.items()):
+                deps.discard(current)
+                if not deps:
+                    newly_ready.append(name)
+                    del remaining[name]
+            ready.extend(sorted(newly_ready))
+        if remaining:
+            raise CompositionError(
+                "the composition contains a cycle involving: "
+                + ", ".join(sorted(remaining))
+            )
+        return order
+
+    def execute(self) -> DashboardState:
+        """Run the composition and return the dashboard state."""
+        if not self._components:
+            raise CompositionError("the composition has no components")
+
+        outputs: dict[str, dict[str, Any]] = {}
+        state = DashboardState()
+        for component_id in self._execution_order():
+            component = self._components[component_id]
+            inputs: dict[str, Any] = {}
+            for connection in self._connections:
+                if connection.to_component != component_id:
+                    continue
+                upstream = outputs.get(connection.from_component, {})
+                if connection.from_port not in upstream:
+                    raise CompositionError(
+                        f"component {connection.from_component!r} produced no output "
+                        f"on port {connection.from_port!r}"
+                    )
+                inputs[connection.to_port] = upstream[connection.from_port]
+            produced = dict(component.process(inputs))
+            outputs[component_id] = produced
+            if isinstance(component, _BaseViewer):
+                state.views[component_id] = component.render()
+        state.outputs = outputs
+        self._last_state = state
+        return state
+
+    # -- synchronisation ---------------------------------------------------------------------
+
+    def select(self, viewer_id: str, item_id: str) -> DashboardState:
+        """Select an item in a viewer and propagate it to its sync group.
+
+        The composition must have been executed at least once.  Returns a
+        refreshed dashboard state (re-rendering every viewer).
+        """
+        if self._last_state is None:
+            raise CompositionError("execute() must run before select()")
+        viewer = self.component(viewer_id)
+        if not isinstance(viewer, _BaseViewer):
+            raise CompositionError(f"component {viewer_id!r} is not a viewer")
+        viewer.select(item_id)
+        refreshed = DashboardState(outputs=self._last_state.outputs)
+        for component_id, component in self._components.items():
+            if isinstance(component, _BaseViewer):
+                refreshed.views[component_id] = component.render()
+        self._last_state = refreshed
+        return refreshed
+
+    # -- description -------------------------------------------------------------------------
+
+    def describe(self) -> dict[str, Any]:
+        """Describe the composition (components, wiring, sync groups)."""
+        return {
+            "name": self.name,
+            "components": [component.describe() for component in self.components()],
+            "connections": [connection.to_dict() for connection in self._connections],
+            "sync_links": [link.to_dict() for link in self._sync_links],
+        }

@@ -1,0 +1,143 @@
+"""Data services: wrappers exposing source contents to a composition.
+
+The paper defines data services as "wrappers defined on top of the filtered
+authoritative sources to enable the access to their contents".  A data
+service has no input ports; executing it emits the content items of the
+wrapped source (or corpus) on its ``items`` output port.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Mapping, Optional
+
+from repro.errors import MashupError
+from repro.mashup.component import Component, ContentItem, Port, items_from_posts
+from repro.sources.corpus import SourceCorpus
+from repro.sources.models import Source, SourceType
+from repro.sources.twitter import MicroblogCommunity
+
+__all__ = [
+    "SourceDataService",
+    "CorpusDataService",
+    "MicroblogDataService",
+    "ReviewDataService",
+]
+
+
+class SourceDataService(Component):
+    """Expose the posts of a single source as content items."""
+
+    TYPE_NAME = "data.source"
+    OUTPUT_PORTS = (Port("items", "content items extracted from the source"),)
+
+    def __init__(self, component_id: str, source: Source, **parameters: Any) -> None:
+        super().__init__(component_id, **parameters)
+        self._source = source
+
+    @property
+    def source(self) -> Source:
+        """The wrapped source."""
+        return self._source
+
+    def fetch(self) -> list[ContentItem]:
+        """Return every post of the wrapped source as content items."""
+        items: list[ContentItem] = []
+        for discussion in self._source.discussions:
+            items.extend(items_from_posts(self._source.source_id, discussion.posts))
+        return items
+
+    def process(self, inputs: Mapping[str, Any]) -> Mapping[str, Any]:
+        return {"items": self.fetch()}
+
+    def describe(self) -> dict[str, Any]:
+        description = super().describe()
+        description["source_id"] = self._source.source_id
+        description["source_type"] = self._source.source_type.value
+        return description
+
+
+class CorpusDataService(Component):
+    """Expose the posts of every source of a corpus as content items.
+
+    ``source_types`` restricts the wrapped corpus to specific kinds of
+    sources (e.g. only microblogs, only review sites).
+    """
+
+    TYPE_NAME = "data.corpus"
+    OUTPUT_PORTS = (Port("items", "content items extracted from the corpus"),)
+
+    def __init__(
+        self,
+        component_id: str,
+        corpus: SourceCorpus,
+        source_types: Optional[tuple[SourceType, ...]] = None,
+        source_ids: Optional[tuple[str, ...]] = None,
+        **parameters: Any,
+    ) -> None:
+        super().__init__(component_id, **parameters)
+        if len(corpus) == 0:
+            raise MashupError("a corpus data service needs a non-empty corpus")
+        self._corpus = corpus
+        self._source_types = tuple(source_types) if source_types else None
+        self._source_ids = set(source_ids) if source_ids else None
+
+    @property
+    def corpus(self) -> SourceCorpus:
+        """The wrapped corpus."""
+        return self._corpus
+
+    def _selected_sources(self) -> list[Source]:
+        sources = []
+        for source in self._corpus:
+            if self._source_types and source.source_type not in self._source_types:
+                continue
+            if self._source_ids is not None and source.source_id not in self._source_ids:
+                continue
+            sources.append(source)
+        return sources
+
+    def fetch(self) -> list[ContentItem]:
+        """Return the content items of every selected source."""
+        items: list[ContentItem] = []
+        for source in self._selected_sources():
+            for discussion in source.discussions:
+                items.extend(items_from_posts(source.source_id, discussion.posts))
+        return items
+
+    def process(self, inputs: Mapping[str, Any]) -> Mapping[str, Any]:
+        return {"items": self.fetch()}
+
+
+class MicroblogDataService(SourceDataService):
+    """Expose a microblog community (e.g. crawled Twitter data) as items."""
+
+    TYPE_NAME = "data.microblog"
+
+    def __init__(
+        self, component_id: str, community: MicroblogCommunity, **parameters: Any
+    ) -> None:
+        super().__init__(component_id, community.to_source(), **parameters)
+        self._community = community
+
+    @property
+    def community(self) -> MicroblogCommunity:
+        """The wrapped microblog community."""
+        return self._community
+
+    def fetch(self) -> list[ContentItem]:
+        """Return only the tweets that carry text (content-bearing items)."""
+        return [item for item in super().fetch() if item.text]
+
+
+class ReviewDataService(SourceDataService):
+    """Expose a review site (e.g. crawled TripAdvisor-like data) as items."""
+
+    TYPE_NAME = "data.reviews"
+
+    def __init__(self, component_id: str, source: Source, **parameters: Any) -> None:
+        if source.source_type != SourceType.REVIEW_SITE:
+            raise MashupError(
+                "ReviewDataService requires a source of type REVIEW_SITE, got "
+                f"{source.source_type.value!r}"
+            )
+        super().__init__(component_id, source, **parameters)

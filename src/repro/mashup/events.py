@@ -1,0 +1,69 @@
+"""Event bus used to synchronise mashup components.
+
+DashMash components communicate through events (the paper's "further
+synchronization with another map and another list-based viewer"): selecting
+an item in a viewer publishes an event; subscribed components react by
+updating their own state.  The bus is intentionally simple — synchronous,
+in-process, topic based — which keeps compositions deterministic and easy
+to test.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Optional
+
+__all__ = ["Event", "EventBus"]
+
+
+@dataclass(frozen=True)
+class Event:
+    """A single event published on the bus."""
+
+    topic: str
+    payload: Any
+    publisher: Optional[str] = None
+
+
+class EventBus:
+    """Synchronous topic-based publish/subscribe bus."""
+
+    def __init__(self) -> None:
+        self._subscribers: dict[str, list[Callable[[Event], None]]] = {}
+        self._history: list[Event] = []
+
+    def subscribe(self, topic: str, handler: Callable[[Event], None]) -> None:
+        """Register ``handler`` for every event published on ``topic``."""
+        self._subscribers.setdefault(topic, []).append(handler)
+
+    def unsubscribe(self, topic: str, handler: Callable[[Event], None]) -> None:
+        """Remove a previously registered handler (no-op when absent)."""
+        handlers = self._subscribers.get(topic, [])
+        if handler in handlers:
+            handlers.remove(handler)
+
+    def publish(self, event: Event) -> int:
+        """Deliver ``event`` to every subscriber of its topic.
+
+        Returns the number of handlers notified.  Delivery is synchronous
+        and in subscription order.
+        """
+        self._history.append(event)
+        handlers = list(self._subscribers.get(event.topic, ()))
+        for handler in handlers:
+            handler(event)
+        return len(handlers)
+
+    def emit(self, topic: str, payload: Any, publisher: Optional[str] = None) -> int:
+        """Convenience wrapper building and publishing an :class:`Event`."""
+        return self.publish(Event(topic=topic, payload=payload, publisher=publisher))
+
+    def history(self, topic: Optional[str] = None) -> list[Event]:
+        """Events published so far (optionally restricted to one topic)."""
+        if topic is None:
+            return list(self._history)
+        return [event for event in self._history if event.topic == topic]
+
+    def clear_history(self) -> None:
+        """Forget the recorded event history (subscriptions are kept)."""
+        self._history.clear()

@@ -1,0 +1,216 @@
+"""Filter components.
+
+The paper's analysis services include "simple filter operations, to clean
+Web source contents on the basis of some selection criteria (e.g., an
+interesting content category, the freshness of contents based on a
+specified time interval, the breadth of contributions about a given subject
+in a forum)" and, in the Figure 1 mashup, "a filter is applied to select
+the only comments from users that are considered influencers".
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterable, Mapping, Optional
+
+from repro.core.domain import TimeInterval
+from repro.core.filtering import InfluencerDetector
+from repro.errors import MashupError
+from repro.mashup.component import Component, ContentItem, Port
+from repro.sources.models import Source
+
+__all__ = [
+    "CategoryFilter",
+    "TimeWindowFilter",
+    "LocationFilter",
+    "InfluencerFilter",
+    "QualitySourceFilter",
+    "UnionMerge",
+]
+
+
+class CategoryFilter(Component):
+    """Keep only the items filed under the configured categories."""
+
+    TYPE_NAME = "filter.category"
+    INPUT_PORTS = (Port("items"),)
+    OUTPUT_PORTS = (Port("items"),)
+
+    def __init__(
+        self, component_id: str, categories: Iterable[str], **parameters: Any
+    ) -> None:
+        super().__init__(component_id, categories=tuple(categories), **parameters)
+        self._categories = set(categories)
+        if not self._categories:
+            raise MashupError("CategoryFilter needs at least one category")
+
+    def process(self, inputs: Mapping[str, Any]) -> Mapping[str, Any]:
+        items = self.require_items(inputs)
+        kept = [item for item in items if item.category in self._categories]
+        return {"items": kept}
+
+
+class TimeWindowFilter(Component):
+    """Keep only the items whose day falls inside the configured interval."""
+
+    TYPE_NAME = "filter.time"
+    INPUT_PORTS = (Port("items"),)
+    OUTPUT_PORTS = (Port("items"),)
+
+    def __init__(
+        self, component_id: str, interval: TimeInterval, **parameters: Any
+    ) -> None:
+        super().__init__(
+            component_id, start=interval.start, end=interval.end, **parameters
+        )
+        self._interval = interval
+
+    def process(self, inputs: Mapping[str, Any]) -> Mapping[str, Any]:
+        items = self.require_items(inputs)
+        kept = [item for item in items if self._interval.contains(item.day)]
+        return {"items": kept}
+
+
+class LocationFilter(Component):
+    """Keep only the items geo-tagged with one of the configured locations."""
+
+    TYPE_NAME = "filter.location"
+    INPUT_PORTS = (Port("items"),)
+    OUTPUT_PORTS = (Port("items"),)
+
+    def __init__(
+        self,
+        component_id: str,
+        locations: Iterable[str],
+        keep_untagged: bool = False,
+        **parameters: Any,
+    ) -> None:
+        normalized = tuple(location.strip().lower() for location in locations)
+        super().__init__(
+            component_id, locations=normalized, keep_untagged=keep_untagged, **parameters
+        )
+        if not normalized:
+            raise MashupError("LocationFilter needs at least one location")
+        self._locations = set(normalized)
+        self._keep_untagged = keep_untagged
+
+    def process(self, inputs: Mapping[str, Any]) -> Mapping[str, Any]:
+        items = self.require_items(inputs)
+        kept = []
+        for item in items:
+            if item.location is None:
+                if self._keep_untagged:
+                    kept.append(item)
+                continue
+            if item.location.strip().lower() in self._locations:
+                kept.append(item)
+        return {"items": kept}
+
+
+class InfluencerFilter(Component):
+    """Keep only the items authored by influencer users.
+
+    The influencer set can be provided explicitly (``influencer_ids``) or
+    detected on the fly from a source through an
+    :class:`~repro.core.filtering.InfluencerDetector`.
+    """
+
+    TYPE_NAME = "filter.influencers"
+    INPUT_PORTS = (Port("items"),)
+    OUTPUT_PORTS = (
+        Port("items"),
+        Port("influencers", "identifiers of the retained influencer authors"),
+    )
+
+    def __init__(
+        self,
+        component_id: str,
+        influencer_ids: Optional[Iterable[str]] = None,
+        detector: Optional[InfluencerDetector] = None,
+        source: Optional[Source] = None,
+        top: Optional[int] = None,
+        **parameters: Any,
+    ) -> None:
+        super().__init__(component_id, top=top, **parameters)
+        if influencer_ids is None and (detector is None or source is None):
+            raise MashupError(
+                "InfluencerFilter needs either influencer_ids or a detector plus a source"
+            )
+        self._explicit_ids = set(influencer_ids) if influencer_ids is not None else None
+        self._detector = detector
+        self._source = source
+        self._top = top
+
+    def influencer_ids(self) -> set[str]:
+        """Return the influencer identifiers (detecting them when needed)."""
+        if self._explicit_ids is not None:
+            return set(self._explicit_ids)
+        assert self._detector is not None and self._source is not None
+        return set(self._detector.influencer_ids(self._source, top=self._top))
+
+    def process(self, inputs: Mapping[str, Any]) -> Mapping[str, Any]:
+        items = self.require_items(inputs)
+        influencers = self.influencer_ids()
+        kept = [item for item in items if item.author_id in influencers]
+        return {"items": kept, "influencers": sorted(influencers)}
+
+
+class QualitySourceFilter(Component):
+    """Keep only the items coming from sufficiently high-quality sources.
+
+    ``quality_weights`` maps source identifiers to overall quality scores
+    (typically produced by a :class:`~repro.core.SourceQualityModel`);
+    retained items are annotated with their source's weight so downstream
+    analysis services can produce quality-weighted indicators.
+    """
+
+    TYPE_NAME = "filter.quality"
+    INPUT_PORTS = (Port("items"),)
+    OUTPUT_PORTS = (Port("items"),)
+
+    def __init__(
+        self,
+        component_id: str,
+        quality_weights: Mapping[str, float],
+        minimum_quality: float = 0.0,
+        **parameters: Any,
+    ) -> None:
+        super().__init__(component_id, minimum_quality=minimum_quality, **parameters)
+        if minimum_quality < 0:
+            raise MashupError("minimum_quality must be non-negative")
+        self._weights = {key: float(value) for key, value in quality_weights.items()}
+        self._minimum_quality = minimum_quality
+
+    def process(self, inputs: Mapping[str, Any]) -> Mapping[str, Any]:
+        items = self.require_items(inputs)
+        kept: list[ContentItem] = []
+        for item in items:
+            weight = self._weights.get(item.source_id, 0.0)
+            if weight >= self._minimum_quality:
+                kept.append(item.with_quality_weight(weight))
+        return {"items": kept}
+
+
+class UnionMerge(Component):
+    """Merge the item streams of two upstream components.
+
+    Used by the Figure 1 composition to combine the Twitter-like and the
+    review-site data services before filtering.
+    """
+
+    TYPE_NAME = "merge.union"
+    INPUT_PORTS = (Port("left"), Port("right"))
+    OUTPUT_PORTS = (Port("items"),)
+
+    def process(self, inputs: Mapping[str, Any]) -> Mapping[str, Any]:
+        left = self.require_items(inputs, "left")
+        right = self.require_items(inputs, "right")
+        merged = list(left) + list(right)
+        # Deduplicate on item identity while preserving order.
+        seen: set[str] = set()
+        unique: list[ContentItem] = []
+        for item in merged:
+            if item.item_id in seen:
+                continue
+            seen.add(item.item_id)
+            unique.append(item)
+        return {"items": unique}

@@ -1,0 +1,263 @@
+"""Component registry and JSON composition documents.
+
+DashMash persists user-built dashboards as declarative documents listing
+components, their parameters, the wiring and the synchronisation groups.
+:class:`ComponentRegistry` maps symbolic component type names to factory
+callables and rebuilds a :class:`~repro.mashup.composition.Mashup` from such
+a document.  Data services and analysis services typically need live
+resources (a corpus, a quality model); those are supplied to the registry as
+named *resources* that the document refers to by name.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Any, Callable, Mapping, Optional
+
+from repro.core.domain import TimeInterval
+from repro.errors import MashupError, UnknownComponentError
+from repro.mashup.analysis import BuzzWordService, SentimentAnalysisService
+from repro.mashup.component import Component
+from repro.mashup.composition import Mashup
+from repro.mashup.data_services import CorpusDataService, SourceDataService
+from repro.mashup.filters import (
+    CategoryFilter,
+    InfluencerFilter,
+    LocationFilter,
+    QualitySourceFilter,
+    TimeWindowFilter,
+    UnionMerge,
+)
+from repro.mashup.viewers import ChartViewer, ListViewer, MapViewer
+
+__all__ = ["ComponentRegistry", "default_registry"]
+
+#: Signature of a component factory: (component_id, params, resources) -> Component.
+ComponentFactory = Callable[[str, Mapping[str, Any], Mapping[str, Any]], Component]
+
+
+class ComponentRegistry:
+    """Map component type names to factories and build compositions from JSON."""
+
+    def __init__(self) -> None:
+        self._factories: dict[str, ComponentFactory] = {}
+
+    def register(self, type_name: str, factory: ComponentFactory) -> None:
+        """Register a factory for ``type_name`` (overwrites an existing one)."""
+        if not type_name:
+            raise MashupError("type_name must be a non-empty string")
+        self._factories[type_name] = factory
+
+    def registered_types(self) -> list[str]:
+        """Return the registered component type names."""
+        return sorted(self._factories)
+
+    def create(
+        self,
+        type_name: str,
+        component_id: str,
+        params: Optional[Mapping[str, Any]] = None,
+        resources: Optional[Mapping[str, Any]] = None,
+    ) -> Component:
+        """Instantiate a component of type ``type_name``."""
+        try:
+            factory = self._factories[type_name]
+        except KeyError as exc:
+            raise UnknownComponentError(type_name) from exc
+        return factory(component_id, params or {}, resources or {})
+
+    # -- composition documents -----------------------------------------------------------
+
+    def build(
+        self,
+        document: Mapping[str, Any],
+        resources: Optional[Mapping[str, Any]] = None,
+    ) -> Mashup:
+        """Build a :class:`Mashup` from a composition document.
+
+        The document format is::
+
+            {
+              "name": "...",
+              "components": [{"id": "...", "type": "...", "params": {...}}, ...],
+              "connections": [{"from": "id.port", "to": "id.port"}, ...],
+              "sync_links": [{"group": "...", "viewers": ["id", ...]}, ...]
+            }
+        """
+        resources = resources or {}
+        mashup = Mashup(name=str(document.get("name", "mashup")))
+        for entry in document.get("components", ()):
+            component = self.create(
+                type_name=entry["type"],
+                component_id=entry["id"],
+                params=entry.get("params", {}),
+                resources=resources,
+            )
+            mashup.add(component)
+        for entry in document.get("connections", ()):
+            from_component, from_port = _split_endpoint(entry["from"])
+            to_component, to_port = _split_endpoint(entry["to"])
+            mashup.connect(from_component, from_port, to_component, to_port)
+        for entry in document.get("sync_links", ()):
+            mashup.synchronize(entry["group"], entry["viewers"])
+        return mashup
+
+    def build_from_json(
+        self,
+        path: str | Path,
+        resources: Optional[Mapping[str, Any]] = None,
+    ) -> Mashup:
+        """Build a composition from a JSON file on disk."""
+        document = json.loads(Path(path).read_text(encoding="utf-8"))
+        return self.build(document, resources)
+
+
+def _split_endpoint(endpoint: str) -> tuple[str, str]:
+    """Split ``"component.port"`` into its two parts."""
+    component, separator, port = endpoint.partition(".")
+    if not separator or not component or not port:
+        raise MashupError(
+            f"invalid connection endpoint {endpoint!r}; expected 'component.port'"
+        )
+    return component, port
+
+
+def _resource(resources: Mapping[str, Any], name: str, kind: str) -> Any:
+    try:
+        return resources[name]
+    except KeyError as exc:
+        raise MashupError(
+            f"composition document references missing {kind} resource {name!r}"
+        ) from exc
+
+
+# ---------------------------------------------------------------------------
+# Default factories
+# ---------------------------------------------------------------------------
+
+def _source_data_factory(
+    component_id: str, params: Mapping[str, Any], resources: Mapping[str, Any]
+) -> Component:
+    source = _resource(resources, params["source"], "source")
+    return SourceDataService(component_id, source)
+
+
+def _corpus_data_factory(
+    component_id: str, params: Mapping[str, Any], resources: Mapping[str, Any]
+) -> Component:
+    corpus = _resource(resources, params["corpus"], "corpus")
+    source_ids = params.get("source_ids")
+    return CorpusDataService(
+        component_id,
+        corpus,
+        source_ids=tuple(source_ids) if source_ids else None,
+    )
+
+
+def _category_filter_factory(
+    component_id: str, params: Mapping[str, Any], resources: Mapping[str, Any]
+) -> Component:
+    return CategoryFilter(component_id, categories=params["categories"])
+
+
+def _time_filter_factory(
+    component_id: str, params: Mapping[str, Any], resources: Mapping[str, Any]
+) -> Component:
+    interval = TimeInterval(start=float(params["start"]), end=float(params["end"]))
+    return TimeWindowFilter(component_id, interval=interval)
+
+
+def _location_filter_factory(
+    component_id: str, params: Mapping[str, Any], resources: Mapping[str, Any]
+) -> Component:
+    return LocationFilter(
+        component_id,
+        locations=params["locations"],
+        keep_untagged=bool(params.get("keep_untagged", False)),
+    )
+
+
+def _influencer_filter_factory(
+    component_id: str, params: Mapping[str, Any], resources: Mapping[str, Any]
+) -> Component:
+    if "influencer_ids" in params:
+        return InfluencerFilter(component_id, influencer_ids=params["influencer_ids"])
+    detector = _resource(resources, params["detector"], "influencer detector")
+    source = _resource(resources, params["source"], "source")
+    return InfluencerFilter(
+        component_id, detector=detector, source=source, top=params.get("top")
+    )
+
+
+def _quality_filter_factory(
+    component_id: str, params: Mapping[str, Any], resources: Mapping[str, Any]
+) -> Component:
+    weights = params.get("quality_weights")
+    if weights is None:
+        weights = _resource(resources, params["weights_resource"], "quality weights")
+    return QualitySourceFilter(
+        component_id,
+        quality_weights=weights,
+        minimum_quality=float(params.get("minimum_quality", 0.0)),
+    )
+
+
+def _union_factory(
+    component_id: str, params: Mapping[str, Any], resources: Mapping[str, Any]
+) -> Component:
+    return UnionMerge(component_id)
+
+
+def _sentiment_factory(
+    component_id: str, params: Mapping[str, Any], resources: Mapping[str, Any]
+) -> Component:
+    analyzer = resources.get(params.get("analyzer", "sentiment_analyzer"))
+    return SentimentAnalysisService(component_id, analyzer=analyzer)
+
+
+def _buzzword_factory(
+    component_id: str, params: Mapping[str, Any], resources: Mapping[str, Any]
+) -> Component:
+    return BuzzWordService(component_id, top=int(params.get("top", 10)))
+
+
+def _list_viewer_factory(
+    component_id: str, params: Mapping[str, Any], resources: Mapping[str, Any]
+) -> Component:
+    return ListViewer(
+        component_id,
+        title=params.get("title", ""),
+        max_rows=int(params.get("max_rows", 50)),
+    )
+
+
+def _map_viewer_factory(
+    component_id: str, params: Mapping[str, Any], resources: Mapping[str, Any]
+) -> Component:
+    return MapViewer(component_id, title=params.get("title", ""))
+
+
+def _chart_viewer_factory(
+    component_id: str, params: Mapping[str, Any], resources: Mapping[str, Any]
+) -> Component:
+    return ChartViewer(component_id, title=params.get("title", ""))
+
+
+def default_registry() -> ComponentRegistry:
+    """Return a registry pre-populated with every built-in component type."""
+    registry = ComponentRegistry()
+    registry.register(SourceDataService.TYPE_NAME, _source_data_factory)
+    registry.register(CorpusDataService.TYPE_NAME, _corpus_data_factory)
+    registry.register(CategoryFilter.TYPE_NAME, _category_filter_factory)
+    registry.register(TimeWindowFilter.TYPE_NAME, _time_filter_factory)
+    registry.register(LocationFilter.TYPE_NAME, _location_filter_factory)
+    registry.register(InfluencerFilter.TYPE_NAME, _influencer_filter_factory)
+    registry.register(QualitySourceFilter.TYPE_NAME, _quality_filter_factory)
+    registry.register(UnionMerge.TYPE_NAME, _union_factory)
+    registry.register(SentimentAnalysisService.TYPE_NAME, _sentiment_factory)
+    registry.register(BuzzWordService.TYPE_NAME, _buzzword_factory)
+    registry.register(ListViewer.TYPE_NAME, _list_viewer_factory)
+    registry.register(MapViewer.TYPE_NAME, _map_viewer_factory)
+    registry.register(ChartViewer.TYPE_NAME, _chart_viewer_factory)
+    return registry

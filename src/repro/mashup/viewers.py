@@ -1,0 +1,217 @@
+"""Viewer components.
+
+Figure 1's dashboard shows a list-based viewer of influencers integrated
+with a map of their locations, synchronised with a second list/map pair
+showing the selected influencer's posts.  Viewers here are headless: they
+consume content items, keep a render state (a plain dictionary) and
+participate in selection synchronisation through the composition's event
+bus.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Mapping, Optional
+
+from repro.errors import MashupError
+from repro.mashup.component import Component, ContentItem, Port
+from repro.mashup.events import Event
+
+__all__ = ["ListViewer", "MapViewer", "ChartViewer", "SELECTION_TOPIC"]
+
+#: Bus topic used for selection synchronisation between viewers.
+SELECTION_TOPIC = "viewer.selection"
+
+
+class _BaseViewer(Component):
+    """Shared behaviour of every viewer: render state plus selection sync."""
+
+    INPUT_PORTS = (Port("items"),)
+    OUTPUT_PORTS = (Port("view"),)
+
+    def __init__(
+        self,
+        component_id: str,
+        title: str = "",
+        sync_group: Optional[str] = None,
+        **parameters: Any,
+    ) -> None:
+        super().__init__(component_id, title=title, sync_group=sync_group, **parameters)
+        self._title = title or component_id
+        self._sync_group = sync_group
+        self._items: list[ContentItem] = []
+        self._selected_id: Optional[str] = None
+
+    # -- state -------------------------------------------------------------------------
+
+    @property
+    def items(self) -> list[ContentItem]:
+        """The items currently displayed."""
+        return list(self._items)
+
+    @property
+    def selected_id(self) -> Optional[str]:
+        """Identifier of the currently selected item (if any)."""
+        return self._selected_id
+
+    @property
+    def sync_group(self) -> Optional[str]:
+        """Name of the synchronisation group this viewer belongs to."""
+        return self._sync_group
+
+    # -- selection ----------------------------------------------------------------------
+
+    def select(self, item_id: str) -> None:
+        """Select an item and broadcast the selection to the sync group."""
+        if all(item.item_id != item_id for item in self._items):
+            raise MashupError(
+                f"viewer {self.component_id!r} displays no item {item_id!r}"
+            )
+        self._selected_id = item_id
+        selected = self.selected_item()
+        self.emit(
+            SELECTION_TOPIC,
+            {
+                "item_id": item_id,
+                "sync_group": self._sync_group,
+                "author_id": selected.author_id if selected else None,
+                "source_id": selected.source_id if selected else None,
+            },
+        )
+
+    def selected_item(self) -> Optional[ContentItem]:
+        """The currently selected item, when it is still displayed."""
+        for item in self._items:
+            if item.item_id == self._selected_id:
+                return item
+        return None
+
+    def on_event(self, event: Event) -> None:
+        """Follow selections published by other viewers of the same group."""
+        if event.topic != SELECTION_TOPIC or event.publisher == self.component_id:
+            return
+        payload = event.payload or {}
+        if self._sync_group is None or payload.get("sync_group") != self._sync_group:
+            return
+        item_id = payload.get("item_id")
+        if item_id and any(item.item_id == item_id for item in self._items):
+            self._selected_id = item_id
+        else:
+            # Synchronise on the author when the exact item is not displayed
+            # (e.g. the posts viewer showing the selected influencer's posts).
+            author_id = payload.get("author_id")
+            self._selected_id = None
+            if author_id:
+                for item in self._items:
+                    if item.author_id == author_id:
+                        self._selected_id = item.item_id
+                        break
+
+    # -- rendering ------------------------------------------------------------------------
+
+    def process(self, inputs: Mapping[str, Any]) -> Mapping[str, Any]:
+        self._items = self.require_items(inputs)
+        if self._selected_id is not None and self.selected_item() is None:
+            self._selected_id = None
+        return {"view": self.render()}
+
+    def render(self) -> dict[str, Any]:
+        """Render the viewer state as a plain dictionary."""
+        raise NotImplementedError
+
+
+class ListViewer(_BaseViewer):
+    """Tabular list of items (title, author, category, sentiment)."""
+
+    TYPE_NAME = "viewer.list"
+
+    def __init__(
+        self,
+        component_id: str,
+        title: str = "",
+        sync_group: Optional[str] = None,
+        max_rows: int = 50,
+        **parameters: Any,
+    ) -> None:
+        super().__init__(component_id, title=title, sync_group=sync_group, **parameters)
+        if max_rows < 1:
+            raise MashupError("max_rows must be >= 1")
+        self._max_rows = max_rows
+
+    def render(self) -> dict[str, Any]:
+        rows = [
+            {
+                "item_id": item.item_id,
+                "author_id": item.author_id,
+                "source_id": item.source_id,
+                "category": item.category,
+                "day": item.day,
+                "sentiment": item.sentiment,
+                "text": item.text[:120],
+                "selected": item.item_id == self.selected_id,
+            }
+            for item in self._items[: self._max_rows]
+        ]
+        return {
+            "viewer": "list",
+            "title": self._title,
+            "row_count": len(self._items),
+            "rows": rows,
+            "selected_id": self.selected_id,
+        }
+
+
+class MapViewer(_BaseViewer):
+    """Geographical viewer grouping the items by location."""
+
+    TYPE_NAME = "viewer.map"
+
+    def render(self) -> dict[str, Any]:
+        markers: dict[str, dict[str, Any]] = {}
+        for item in self._items:
+            location = item.location or "unknown"
+            marker = markers.setdefault(
+                location, {"location": location, "item_count": 0, "item_ids": []}
+            )
+            marker["item_count"] += 1
+            marker["item_ids"].append(item.item_id)
+        selected = self.selected_item()
+        return {
+            "viewer": "map",
+            "title": self._title,
+            "markers": [markers[key] for key in sorted(markers)],
+            "selected_location": selected.location if selected else None,
+            "selected_id": self.selected_id,
+        }
+
+
+class ChartViewer(_BaseViewer):
+    """Bar-chart viewer aggregating item sentiment per category."""
+
+    TYPE_NAME = "viewer.chart"
+
+    def render(self) -> dict[str, Any]:
+        buckets: dict[str, list[float]] = {}
+        counts: dict[str, int] = {}
+        for item in self._items:
+            category = item.category or "uncategorised"
+            counts[category] = counts.get(category, 0) + 1
+            if item.sentiment is not None:
+                buckets.setdefault(category, []).append(item.sentiment)
+        bars = [
+            {
+                "category": category,
+                "item_count": counts[category],
+                "average_sentiment": (
+                    sum(buckets[category]) / len(buckets[category])
+                    if buckets.get(category)
+                    else 0.0
+                ),
+            }
+            for category in sorted(counts)
+        ]
+        return {
+            "viewer": "chart",
+            "title": self._title,
+            "bars": bars,
+            "selected_id": self.selected_id,
+        }

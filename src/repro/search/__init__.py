@@ -1,0 +1,24 @@
+"""Simulated general-purpose search engine baseline.
+
+Section 4.1 of the paper compares the quality-based ranking against the
+ranking returned by Google for more than 100 queries.  Google circa 2011 is
+obviously not reproducible offline; what the experiment needs is a
+*general-purpose* ranker whose ordering is dominated by traffic and inbound
+links — which is precisely what the paper's regression analysis found
+("Google rank is directly related to traffic and inbound links, privileging
+mere number of contacts rather than the actual interest and participation
+of the users").  :class:`SearchEngine` implements such a ranker on top of a
+keyword index over the corpus, and :mod:`repro.search.queries` generates the
+query workload.
+"""
+
+from repro.search.engine import SearchEngine, SearchEngineConfig, SearchResult
+from repro.search.queries import QueryWorkload, QueryWorkloadSpec
+
+__all__ = [
+    "QueryWorkload",
+    "QueryWorkloadSpec",
+    "SearchEngine",
+    "SearchEngineConfig",
+    "SearchResult",
+]

@@ -1,0 +1,260 @@
+"""Keyword search engine with a popularity-dominated static rank.
+
+The engine indexes the crawlable text surface of every source (titles,
+posts, tags, categories) and answers keyword queries.  Result ordering
+combines:
+
+* a *static* score dominated by traffic and inbound links (the behaviour
+  the paper attributes to Google), and
+* a *topical* score measuring how well the source's content matches the
+  query terms.
+
+The relative weight of the two parts is configurable; with the default
+configuration the static part dominates, so re-ranking by the quality model
+produces the substantial displacements reported in Section 4.1.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import math
+import re
+from collections import Counter, defaultdict
+from dataclasses import dataclass
+from typing import Iterable, Optional
+
+from repro.errors import SearchError
+from repro.sources.corpus import SourceCorpus
+from repro.sources.models import Source
+from repro.sources.webstats import AlexaLikeService, PanelObservation, WebStatsPanel
+
+__all__ = ["SearchEngineConfig", "SearchResult", "SearchEngine"]
+
+_TOKEN_PATTERN = re.compile(r"[a-z0-9][a-z0-9\-]+")
+
+
+def tokenize(text: str) -> list[str]:
+    """Lower-case alphanumeric tokenisation used by the index and queries."""
+    return _TOKEN_PATTERN.findall(text.lower())
+
+
+def _query_noise(query_key: str, source_id: str) -> float:
+    """Deterministic pseudo-random score in [0, 1] per (query, site) pair."""
+    digest = hashlib.sha256(f"{query_key}|{source_id}".encode("utf-8")).digest()
+    return int.from_bytes(digest[:8], "big") / float(2**64)
+
+
+@dataclass(frozen=True)
+class SearchEngineConfig:
+    """Configuration of the ranking function.
+
+    ``static_weight`` and ``topical_weight`` blend the popularity prior and
+    the keyword match; the defaults make the static part dominant, matching
+    the paper's characterisation of general-purpose search.
+
+    ``query_noise_weight`` adds a deterministic per-(query, site) component
+    standing in for the many query-dependent ranking factors a real search
+    engine uses but the simulator does not model (freshness, exact-match
+    boosts, personalisation, link context).  It is what keeps any *single*
+    quality measure from correlating strongly with the result order, as the
+    paper observed for Google.
+    """
+
+    static_weight: float = 0.75
+    topical_weight: float = 0.25
+    query_noise_weight: float = 0.25
+    traffic_coefficient: float = 0.6
+    inbound_link_coefficient: float = 0.4
+    minimum_topical_score: float = 0.0
+
+    def validate(self) -> None:
+        """Raise :class:`SearchError` when the configuration is invalid."""
+        for name in (
+            "static_weight",
+            "topical_weight",
+            "query_noise_weight",
+            "traffic_coefficient",
+            "inbound_link_coefficient",
+        ):
+            if getattr(self, name) < 0:
+                raise SearchError(f"{name} must be non-negative")
+        if self.static_weight + self.topical_weight <= 0:
+            raise SearchError("at least one of the ranking weights must be positive")
+
+
+@dataclass(frozen=True)
+class SearchResult:
+    """One search result entry."""
+
+    rank: int
+    source_id: str
+    score: float
+    static_score: float
+    topical_score: float
+
+
+class SearchEngine:
+    """Index a corpus and answer keyword queries with popularity-biased ranking."""
+
+    def __init__(
+        self,
+        corpus: SourceCorpus,
+        panel: Optional[WebStatsPanel] = None,
+        config: SearchEngineConfig = SearchEngineConfig(),
+    ) -> None:
+        config.validate()
+        self._corpus = corpus
+        self._panel = panel or AlexaLikeService()
+        self._config = config
+        self._term_frequencies: dict[str, Counter[str]] = {}
+        self._document_frequencies: Counter[str] = Counter()
+        self._document_lengths: dict[str, int] = {}
+        self._static_scores: dict[str, float] = {}
+        self._build_index()
+
+    @property
+    def config(self) -> SearchEngineConfig:
+        """The ranking configuration in use."""
+        return self._config
+
+    @property
+    def corpus(self) -> SourceCorpus:
+        """The indexed corpus."""
+        return self._corpus
+
+    # -- indexing -----------------------------------------------------------------
+
+    def _document_text(self, source: Source) -> Iterable[str]:
+        yield source.name
+        yield from source.categories
+        for discussion in source.discussions:
+            yield discussion.title
+            yield discussion.category
+            for post in discussion.posts:
+                yield post.text
+                yield from post.tags
+
+    def _build_index(self) -> None:
+        if len(self._corpus) == 0:
+            raise SearchError("cannot index an empty corpus")
+        observations = self._panel.observe_many(self._corpus)
+        max_visitors = max(
+            (observation.daily_visitors for observation in observations.values()),
+            default=1.0,
+        )
+        max_links = max(
+            (observation.inbound_links for observation in observations.values()),
+            default=1,
+        )
+        for source in self._corpus:
+            counter: Counter[str] = Counter()
+            for fragment in self._document_text(source):
+                counter.update(tokenize(fragment))
+            self._term_frequencies[source.source_id] = counter
+            self._document_lengths[source.source_id] = max(1, sum(counter.values()))
+            for token in counter:
+                self._document_frequencies[token] += 1
+            self._static_scores[source.source_id] = self._static_score(
+                observations[source.source_id], max_visitors, max_links
+            )
+
+    def _static_score(
+        self, observation: PanelObservation, max_visitors: float, max_links: int
+    ) -> float:
+        config = self._config
+        traffic_part = (
+            math.log1p(observation.daily_visitors) / math.log1p(max(1.0, max_visitors))
+        )
+        link_part = math.log1p(observation.inbound_links) / math.log1p(max(1, max_links))
+        total = config.traffic_coefficient + config.inbound_link_coefficient
+        if total == 0:
+            return 0.0
+        return (
+            config.traffic_coefficient * traffic_part
+            + config.inbound_link_coefficient * link_part
+        ) / total
+
+    # -- querying -------------------------------------------------------------------
+
+    def static_rank(self) -> list[str]:
+        """Source identifiers ordered by the static (popularity) score alone."""
+        return [
+            source_id
+            for source_id, _ in sorted(
+                self._static_scores.items(), key=lambda item: (-item[1], item[0])
+            )
+        ]
+
+    def topical_score(self, source_id: str, terms: list[str]) -> float:
+        """TF-IDF-style topical match of one source against query terms."""
+        counter = self._term_frequencies.get(source_id)
+        if counter is None:
+            raise SearchError(f"source {source_id!r} is not indexed")
+        if not terms:
+            return 0.0
+        n_documents = len(self._corpus)
+        length = self._document_lengths[source_id]
+        score = 0.0
+        for term in terms:
+            frequency = counter.get(term, 0)
+            if frequency == 0:
+                continue
+            document_frequency = self._document_frequencies.get(term, 0)
+            idf = math.log((1 + n_documents) / (1 + document_frequency)) + 1.0
+            score += (frequency / length) * idf
+        return score
+
+    def search(self, query: str, limit: int = 20) -> list[SearchResult]:
+        """Answer ``query`` returning at most ``limit`` ranked results."""
+        if limit <= 0:
+            raise SearchError("limit must be positive")
+        terms = tokenize(query)
+        if not terms:
+            raise SearchError("query contains no searchable terms")
+
+        config = self._config
+        topical_scores = {
+            source_id: self.topical_score(source_id, terms)
+            for source_id in self._term_frequencies
+        }
+        max_topical = max(topical_scores.values(), default=0.0)
+        query_key = " ".join(terms)
+
+        scored: list[SearchResult] = []
+        for source_id, raw_topical in topical_scores.items():
+            if raw_topical <= config.minimum_topical_score:
+                continue
+            normalized_topical = raw_topical / max_topical if max_topical > 0 else 0.0
+            noise = _query_noise(query_key, source_id)
+            total_weight = (
+                config.static_weight + config.topical_weight + config.query_noise_weight
+            )
+            combined = (
+                config.static_weight * self._static_scores[source_id]
+                + config.topical_weight * normalized_topical
+                + config.query_noise_weight * noise
+            ) / total_weight
+            scored.append(
+                SearchResult(
+                    rank=0,
+                    source_id=source_id,
+                    score=combined,
+                    static_score=self._static_scores[source_id],
+                    topical_score=normalized_topical,
+                )
+            )
+        scored.sort(key=lambda result: (-result.score, result.source_id))
+        return [
+            SearchResult(
+                rank=index + 1,
+                source_id=result.source_id,
+                score=result.score,
+                static_score=result.static_score,
+                topical_score=result.topical_score,
+            )
+            for index, result in enumerate(scored[:limit])
+        ]
+
+    def result_ids(self, query: str, limit: int = 20) -> list[str]:
+        """Source identifiers of the ranked results for ``query``."""
+        return [result.source_id for result in self.search(query, limit)]

@@ -1,0 +1,98 @@
+"""Query workload generator for the Section 4.1 ranking study.
+
+The paper runs "over 100 queries with Google, limiting the results of each
+query to the first 20 blogs and forums".  The workload generator produces a
+comparable set of keyword queries built from the category vocabularies used
+by the corpus generator, so every query has a meaningful answer set in the
+synthetic corpus.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Iterator, Sequence
+
+from repro.errors import ConfigurationError
+from repro.sources.text import GENERIC_CATEGORIES, default_vocabularies
+
+__all__ = ["QueryWorkloadSpec", "QueryWorkload"]
+
+
+@dataclass(frozen=True)
+class QueryWorkloadSpec:
+    """Configuration of the query workload."""
+
+    query_count: int = 100
+    seed: int = 17
+    categories: tuple[str, ...] = GENERIC_CATEGORIES
+    terms_per_query: tuple[int, int] = (1, 3)
+    results_per_query: int = 20
+
+    def validate(self) -> None:
+        """Raise :class:`ConfigurationError` when the spec is invalid."""
+        if self.query_count < 1:
+            raise ConfigurationError("query_count must be >= 1")
+        if not self.categories:
+            raise ConfigurationError("categories must not be empty")
+        low, high = self.terms_per_query
+        if not 1 <= low <= high:
+            raise ConfigurationError("terms_per_query must satisfy 1 <= low <= high")
+        if self.results_per_query < 1:
+            raise ConfigurationError("results_per_query must be >= 1")
+
+
+@dataclass(frozen=True)
+class Query:
+    """A single keyword query of the workload."""
+
+    query_id: str
+    text: str
+    category: str
+
+
+class QueryWorkload:
+    """Deterministically generate the keyword queries of the ranking study."""
+
+    def __init__(self, spec: QueryWorkloadSpec = QueryWorkloadSpec()) -> None:
+        spec.validate()
+        self._spec = spec
+        self._queries = self._build()
+
+    @property
+    def spec(self) -> QueryWorkloadSpec:
+        """The workload specification."""
+        return self._spec
+
+    def _build(self) -> list[Query]:
+        spec = self._spec
+        rng = random.Random(spec.seed)
+        vocabularies = default_vocabularies(spec.categories)
+        queries: list[Query] = []
+        low, high = spec.terms_per_query
+        for index in range(spec.query_count):
+            category = rng.choice(list(spec.categories))
+            vocabulary = vocabularies[category]
+            term_count = rng.randint(low, high)
+            population = list(vocabulary.topic_words)
+            rng.shuffle(population)
+            terms = population[:term_count]
+            # Anchor each query with the category name so that specialised
+            # sources are retrievable even when topic terms are rare.
+            text = " ".join([category.replace("_", " ")] + terms)
+            queries.append(Query(query_id=f"q{index:04d}", text=text, category=category))
+        return queries
+
+    def __len__(self) -> int:
+        return len(self._queries)
+
+    def __iter__(self) -> Iterator[Query]:
+        return iter(self._queries)
+
+    def queries(self) -> list[Query]:
+        """Return the generated queries in order."""
+        return list(self._queries)
+
+    def texts(self) -> list[str]:
+        """Return only the query strings."""
+        return [query.text for query in self._queries]

@@ -1,0 +1,30 @@
+"""Sentiment analysis payload.
+
+Section 6 of the paper builds mashups whose analysis services extract
+"sentiment indicators summarizing the opinions contained in user generated
+contents" and weighs the overall sentiment by the quality of the sources.
+This subpackage implements a lexicon/rule-based analyser (polarity lexicon,
+negation and intensifier handling), sentiment indicators per category and
+per source, and the quality-weighted aggregation.
+"""
+
+from repro.sentiment.lexicon import SentimentLexicon, default_lexicon, tourism_lexicon
+from repro.sentiment.analyzer import SentimentAnalyzer, SentimentScore
+from repro.sentiment.indicators import (
+    CategorySentiment,
+    SentimentIndicator,
+    SentimentIndicatorService,
+    SourceSentiment,
+)
+
+__all__ = [
+    "CategorySentiment",
+    "SentimentAnalyzer",
+    "SentimentIndicator",
+    "SentimentIndicatorService",
+    "SentimentLexicon",
+    "SentimentScore",
+    "SourceSentiment",
+    "default_lexicon",
+    "tourism_lexicon",
+]

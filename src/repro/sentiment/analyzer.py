@@ -1,0 +1,154 @@
+"""Rule-based sentiment analyser.
+
+The analyser scores a text by summing the polarities of its opinion words,
+applying negation (a negation token flips the polarity of the next few
+opinion words) and intensity modifiers ("very good" scores more than
+"good").  The final score is squashed into ``[-1, 1]`` and complemented
+with a subjectivity ratio (opinionated tokens over total tokens), which the
+indicator layer uses to ignore texts with no opinion content.
+"""
+
+from __future__ import annotations
+
+import math
+import re
+from dataclasses import dataclass
+from typing import Iterable, Optional
+
+from repro.errors import SentimentError
+from repro.sentiment.lexicon import SentimentLexicon, default_lexicon
+
+__all__ = ["SentimentScore", "SentimentAnalyzer"]
+
+_TOKEN_PATTERN = re.compile(r"[a-z][a-z\-']+")
+
+
+@dataclass(frozen=True)
+class SentimentScore:
+    """Sentiment of one text."""
+
+    polarity: float
+    subjectivity: float
+    positive_hits: int
+    negative_hits: int
+    token_count: int
+
+    @property
+    def label(self) -> str:
+        """Coarse label: ``positive`` / ``negative`` / ``neutral``."""
+        if self.polarity > 0.1:
+            return "positive"
+        if self.polarity < -0.1:
+            return "negative"
+        return "neutral"
+
+    @property
+    def is_opinionated(self) -> bool:
+        """True when the text contains at least one opinion word."""
+        return (self.positive_hits + self.negative_hits) > 0
+
+    def to_dict(self) -> dict[str, float | int | str]:
+        """Serialise to a JSON-compatible dictionary."""
+        return {
+            "polarity": self.polarity,
+            "subjectivity": self.subjectivity,
+            "positive_hits": self.positive_hits,
+            "negative_hits": self.negative_hits,
+            "token_count": self.token_count,
+            "label": self.label,
+        }
+
+
+class SentimentAnalyzer:
+    """Score texts with a polarity lexicon, negation and intensity handling."""
+
+    def __init__(
+        self,
+        lexicon: Optional[SentimentLexicon] = None,
+        negation_window: int = 3,
+    ) -> None:
+        if negation_window < 1:
+            raise SentimentError("negation_window must be >= 1")
+        self._lexicon = lexicon or default_lexicon()
+        self._negation_window = negation_window
+
+    @property
+    def lexicon(self) -> SentimentLexicon:
+        """The polarity lexicon in use."""
+        return self._lexicon
+
+    @staticmethod
+    def tokenize(text: str) -> list[str]:
+        """Lower-case tokenisation shared with the lexicon keys."""
+        return _TOKEN_PATTERN.findall(text.lower())
+
+    def score(self, text: str) -> SentimentScore:
+        """Score a single text."""
+        tokens = self.tokenize(text or "")
+        if not tokens:
+            return SentimentScore(
+                polarity=0.0, subjectivity=0.0, positive_hits=0,
+                negative_hits=0, token_count=0,
+            )
+
+        total = 0.0
+        positive_hits = 0
+        negative_hits = 0
+        negation_countdown = 0
+        modifier = 1.0
+
+        for token in tokens:
+            if self._lexicon.is_negation(token):
+                negation_countdown = self._negation_window
+                modifier = 1.0
+                continue
+            token_modifier = self._lexicon.modifier(token)
+            if token_modifier != 1.0:
+                modifier *= token_modifier
+                continue
+
+            polarity = self._lexicon.polarity(token)
+            if polarity == 0.0:
+                if negation_countdown > 0:
+                    negation_countdown -= 1
+                modifier = 1.0
+                continue
+
+            effective = polarity * modifier
+            if negation_countdown > 0:
+                effective = -effective
+                negation_countdown = 0
+            if effective > 0:
+                positive_hits += 1
+            elif effective < 0:
+                negative_hits += 1
+            total += effective
+            modifier = 1.0
+
+        opinion_hits = positive_hits + negative_hits
+        polarity_score = math.tanh(total / math.sqrt(opinion_hits)) if opinion_hits else 0.0
+        subjectivity = opinion_hits / len(tokens)
+        return SentimentScore(
+            polarity=polarity_score,
+            subjectivity=subjectivity,
+            positive_hits=positive_hits,
+            negative_hits=negative_hits,
+            token_count=len(tokens),
+        )
+
+    def score_many(self, texts: Iterable[str]) -> list[SentimentScore]:
+        """Score a batch of texts."""
+        return [self.score(text) for text in texts]
+
+    def average_polarity(self, texts: Iterable[str], opinionated_only: bool = True) -> float:
+        """Average polarity over a batch of texts.
+
+        When ``opinionated_only`` is set (the default) texts without opinion
+        words are excluded from the average; an empty batch scores 0.0.
+        """
+        scores = self.score_many(texts)
+        if opinionated_only:
+            scores = [score for score in scores if score.is_opinionated]
+        if not scores:
+            return 0.0
+        return sum(score.polarity for score in scores) / len(scores)

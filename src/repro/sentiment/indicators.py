@@ -1,0 +1,233 @@
+"""Sentiment indicators and quality-weighted aggregation.
+
+The Milan case study (Section 6) computes "sentiment indicators summarizing
+the opinions contained in user generated contents" per content category and
+per source, and weighs "the overall sentiment assessment ... with respect
+to the quality of the Web sources".  :class:`SentimentIndicatorService`
+implements both: per-category and per-source breakdowns over a corpus, plus
+an overall indicator that is either unweighted or weighted by the source
+quality assessments produced by :class:`~repro.core.SourceQualityModel`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Iterable, Mapping, Optional
+
+from repro.core.domain import DomainOfInterest
+from repro.errors import SentimentError
+from repro.sentiment.analyzer import SentimentAnalyzer, SentimentScore
+from repro.sources.corpus import SourceCorpus
+from repro.sources.models import Post, Source
+
+__all__ = [
+    "CategorySentiment",
+    "SourceSentiment",
+    "SentimentIndicator",
+    "SentimentIndicatorService",
+]
+
+
+@dataclass(frozen=True)
+class CategorySentiment:
+    """Sentiment indicator for one DI content category."""
+
+    category: str
+    average_polarity: float
+    post_count: int
+    positive_count: int
+    negative_count: int
+    neutral_count: int
+
+    def to_dict(self) -> dict[str, Any]:
+        """Serialise to a JSON-compatible dictionary."""
+        return {
+            "category": self.category,
+            "average_polarity": self.average_polarity,
+            "post_count": self.post_count,
+            "positive_count": self.positive_count,
+            "negative_count": self.negative_count,
+            "neutral_count": self.neutral_count,
+        }
+
+
+@dataclass(frozen=True)
+class SourceSentiment:
+    """Sentiment indicator for one source."""
+
+    source_id: str
+    average_polarity: float
+    post_count: int
+    quality_weight: float = 1.0
+
+    def to_dict(self) -> dict[str, Any]:
+        """Serialise to a JSON-compatible dictionary."""
+        return {
+            "source_id": self.source_id,
+            "average_polarity": self.average_polarity,
+            "post_count": self.post_count,
+            "quality_weight": self.quality_weight,
+        }
+
+
+@dataclass(frozen=True)
+class SentimentIndicator:
+    """Overall sentiment indicator over a corpus."""
+
+    overall_polarity: float
+    weighted: bool
+    per_source: tuple[SourceSentiment, ...]
+    per_category: tuple[CategorySentiment, ...]
+
+    def source(self, source_id: str) -> SourceSentiment:
+        """Return the per-source breakdown entry for ``source_id``."""
+        for entry in self.per_source:
+            if entry.source_id == source_id:
+                return entry
+        raise SentimentError(f"no sentiment entry for source {source_id!r}")
+
+    def category(self, name: str) -> CategorySentiment:
+        """Return the per-category breakdown entry for ``name``."""
+        for entry in self.per_category:
+            if entry.category == name:
+                return entry
+        raise SentimentError(f"no sentiment entry for category {name!r}")
+
+    def to_dict(self) -> dict[str, Any]:
+        """Serialise to a JSON-compatible dictionary."""
+        return {
+            "overall_polarity": self.overall_polarity,
+            "weighted": self.weighted,
+            "per_source": [entry.to_dict() for entry in self.per_source],
+            "per_category": [entry.to_dict() for entry in self.per_category],
+        }
+
+
+class SentimentIndicatorService:
+    """Compute per-category, per-source and overall sentiment indicators."""
+
+    def __init__(
+        self,
+        analyzer: Optional[SentimentAnalyzer] = None,
+        domain: Optional[DomainOfInterest] = None,
+    ) -> None:
+        self._analyzer = analyzer or SentimentAnalyzer()
+        self._domain = domain
+
+    @property
+    def analyzer(self) -> SentimentAnalyzer:
+        """The underlying sentiment analyser."""
+        return self._analyzer
+
+    # -- per-post helpers ---------------------------------------------------------
+
+    def _relevant_posts(self, source: Source) -> list[Post]:
+        posts = []
+        for post in source.posts():
+            if not post.text:
+                continue
+            if self._domain is not None:
+                if post.category is not None and not self._domain.covers_category(
+                    post.category
+                ):
+                    continue
+                if not self._domain.covers_day(post.day):
+                    continue
+            posts.append(post)
+        return posts
+
+    def score_post(self, post: Post) -> SentimentScore:
+        """Score a single post."""
+        return self._analyzer.score(post.text)
+
+    # -- per-source / per-category indicators ------------------------------------------
+
+    def source_sentiment(self, source: Source, quality_weight: float = 1.0) -> SourceSentiment:
+        """Average opinionated polarity over the relevant posts of a source."""
+        posts = self._relevant_posts(source)
+        scores = [self.score_post(post) for post in posts]
+        opinionated = [score for score in scores if score.is_opinionated]
+        average = (
+            sum(score.polarity for score in opinionated) / len(opinionated)
+            if opinionated
+            else 0.0
+        )
+        return SourceSentiment(
+            source_id=source.source_id,
+            average_polarity=average,
+            post_count=len(posts),
+            quality_weight=quality_weight,
+        )
+
+    def category_sentiments(self, corpus: SourceCorpus) -> list[CategorySentiment]:
+        """Per-category sentiment breakdown across the whole corpus."""
+        buckets: dict[str, list[SentimentScore]] = {}
+        counts: dict[str, int] = {}
+        for source in corpus:
+            for post in self._relevant_posts(source):
+                category = post.category or "uncategorised"
+                score = self.score_post(post)
+                counts[category] = counts.get(category, 0) + 1
+                if score.is_opinionated:
+                    buckets.setdefault(category, []).append(score)
+
+        indicators: list[CategorySentiment] = []
+        for category in sorted(counts):
+            scores = buckets.get(category, [])
+            average = (
+                sum(score.polarity for score in scores) / len(scores) if scores else 0.0
+            )
+            indicators.append(
+                CategorySentiment(
+                    category=category,
+                    average_polarity=average,
+                    post_count=counts[category],
+                    positive_count=sum(1 for score in scores if score.label == "positive"),
+                    negative_count=sum(1 for score in scores if score.label == "negative"),
+                    neutral_count=counts[category]
+                    - sum(1 for score in scores if score.label != "neutral"),
+                )
+            )
+        return indicators
+
+    # -- overall indicator -----------------------------------------------------------------
+
+    def indicator(
+        self,
+        corpus: SourceCorpus,
+        quality_weights: Optional[Mapping[str, float]] = None,
+    ) -> SentimentIndicator:
+        """Overall sentiment indicator, optionally weighted by source quality.
+
+        ``quality_weights`` maps source identifiers to weights (typically the
+        overall score of a :class:`SourceQualityModel` assessment); sources
+        missing from the mapping get weight 0 and therefore do not
+        contribute to the weighted overall value.
+        """
+        if len(corpus) == 0:
+            raise SentimentError("cannot compute an indicator over an empty corpus")
+        weighted = quality_weights is not None
+
+        per_source: list[SourceSentiment] = []
+        for source in corpus:
+            weight = (
+                float(quality_weights.get(source.source_id, 0.0)) if weighted else 1.0
+            )
+            per_source.append(self.source_sentiment(source, quality_weight=weight))
+
+        contributing = [entry for entry in per_source if entry.post_count > 0]
+        total_weight = sum(entry.quality_weight for entry in contributing)
+        if contributing and total_weight > 0:
+            overall = (
+                sum(entry.average_polarity * entry.quality_weight for entry in contributing)
+                / total_weight
+            )
+        else:
+            overall = 0.0
+
+        return SentimentIndicator(
+            overall_polarity=overall,
+            weighted=weighted,
+            per_source=tuple(per_source),
+            per_category=tuple(self.category_sentiments(corpus)),
+        )

@@ -1,0 +1,127 @@
+"""Polarity lexicons for the rule-based sentiment analyser.
+
+The default lexicon covers the general opinion vocabulary the synthetic
+text generator draws from plus a broader set of common English polarity
+words; :func:`tourism_lexicon` extends it with domain terms for the Milan
+tourism case study.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, Mapping
+
+from repro.errors import SentimentError
+
+__all__ = ["SentimentLexicon", "default_lexicon", "tourism_lexicon"]
+
+
+_POSITIVE: dict[str, float] = {
+    "amazing": 1.0, "wonderful": 1.0, "excellent": 1.0, "lovely": 0.8,
+    "great": 0.8, "fantastic": 1.0, "charming": 0.7, "delicious": 0.9,
+    "friendly": 0.7, "beautiful": 0.8, "impressive": 0.7, "superb": 1.0,
+    "pleasant": 0.6, "memorable": 0.7, "stunning": 0.9, "outstanding": 1.0,
+    "perfect": 1.0, "enjoyable": 0.7, "helpful": 0.6, "clean": 0.5,
+    "comfortable": 0.6, "inspiring": 0.7, "vibrant": 0.6, "welcoming": 0.7,
+    "good": 0.6, "nice": 0.5, "love": 0.9, "loved": 0.9, "best": 0.9,
+    "recommend": 0.7, "recommended": 0.7, "worth": 0.5, "tasty": 0.8,
+    "cozy": 0.6, "affordable": 0.5, "efficient": 0.6, "punctual": 0.6,
+    "spotless": 0.8, "gorgeous": 0.9, "unforgettable": 0.9, "awesome": 1.0,
+}
+
+_NEGATIVE: dict[str, float] = {
+    "terrible": -1.0, "awful": -1.0, "disappointing": -0.8, "dirty": -0.7,
+    "rude": -0.8, "overpriced": -0.7, "crowded": -0.4, "noisy": -0.5,
+    "boring": -0.6, "horrible": -1.0, "mediocre": -0.5, "slow": -0.4,
+    "unpleasant": -0.7, "confusing": -0.5, "expensive": -0.4, "unsafe": -0.8,
+    "shabby": -0.6, "frustrating": -0.7, "poor": -0.6, "unreliable": -0.7,
+    "chaotic": -0.6, "dull": -0.5, "uncomfortable": -0.6, "broken": -0.6,
+    "bad": -0.6, "worst": -1.0, "hate": -0.9, "hated": -0.9, "avoid": -0.7,
+    "scam": -1.0, "filthy": -0.9, "smelly": -0.7, "closed": -0.3,
+    "delay": -0.4, "delayed": -0.5, "cancelled": -0.6, "lost": -0.5,
+    "ripoff": -0.9, "disgusting": -1.0, "nightmare": -0.9,
+}
+
+_NEGATIONS: tuple[str, ...] = (
+    "not", "no", "never", "without", "hardly", "barely", "isn't", "wasn't",
+    "don't", "didn't", "doesn't", "won't", "can't", "couldn't", "nothing",
+)
+
+_INTENSIFIERS: dict[str, float] = {
+    "very": 1.5, "really": 1.4, "extremely": 1.8, "absolutely": 1.8,
+    "totally": 1.6, "so": 1.3, "quite": 1.2, "incredibly": 1.8,
+    "super": 1.5, "truly": 1.4,
+}
+
+_DIMINISHERS: dict[str, float] = {
+    "slightly": 0.6, "somewhat": 0.7, "a-bit": 0.7, "rather": 0.8,
+    "fairly": 0.8, "kinda": 0.7,
+}
+
+
+@dataclass(frozen=True)
+class SentimentLexicon:
+    """A polarity lexicon plus negation/intensity modifiers."""
+
+    polarities: Mapping[str, float]
+    negations: tuple[str, ...] = _NEGATIONS
+    intensifiers: Mapping[str, float] = field(default_factory=lambda: dict(_INTENSIFIERS))
+    diminishers: Mapping[str, float] = field(default_factory=lambda: dict(_DIMINISHERS))
+
+    def __post_init__(self) -> None:
+        if not self.polarities:
+            raise SentimentError("a lexicon needs at least one polarity entry")
+        for word, value in self.polarities.items():
+            if not -1.0 <= value <= 1.0:
+                raise SentimentError(
+                    f"polarity of {word!r} must be in [-1, 1], got {value}"
+                )
+
+    def polarity(self, token: str) -> float:
+        """Polarity of ``token`` (0.0 when the token is not opinionated)."""
+        return float(self.polarities.get(token, 0.0))
+
+    def is_negation(self, token: str) -> bool:
+        """True when ``token`` flips the polarity of what follows."""
+        return token in self.negations
+
+    def modifier(self, token: str) -> float:
+        """Multiplicative strength modifier of ``token`` (1.0 when neutral)."""
+        if token in self.intensifiers:
+            return float(self.intensifiers[token])
+        if token in self.diminishers:
+            return float(self.diminishers[token])
+        return 1.0
+
+    def extended_with(self, polarities: Mapping[str, float]) -> "SentimentLexicon":
+        """Return a copy of the lexicon with extra/overridden polarity entries."""
+        merged = dict(self.polarities)
+        merged.update(polarities)
+        return SentimentLexicon(
+            polarities=merged,
+            negations=self.negations,
+            intensifiers=dict(self.intensifiers),
+            diminishers=dict(self.diminishers),
+        )
+
+    def opinion_words(self) -> set[str]:
+        """Return the set of words carrying non-zero polarity."""
+        return {word for word, value in self.polarities.items() if value != 0.0}
+
+
+def default_lexicon() -> SentimentLexicon:
+    """Return the general-purpose polarity lexicon."""
+    polarities = dict(_POSITIVE)
+    polarities.update(_NEGATIVE)
+    return SentimentLexicon(polarities=polarities)
+
+
+def tourism_lexicon() -> SentimentLexicon:
+    """Return the lexicon extended with tourism-domain polarity terms."""
+    domain_terms = {
+        "panoramic": 0.6, "central": 0.4, "walkable": 0.5, "authentic": 0.7,
+        "touristy": -0.4, "queue": -0.4, "queues": -0.4, "pickpockets": -0.9,
+        "strike": -0.6, "renovated": 0.5, "hidden-gem": 0.9, "landmark": 0.4,
+        "michelin": 0.7, "overrated": -0.7, "underrated": 0.5, "bargain": 0.6,
+    }
+    return default_lexicon().extended_with(domain_terms)

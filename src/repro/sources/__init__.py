@@ -1,0 +1,81 @@
+"""Web 2.0 source substrate.
+
+This subpackage implements everything the quality model observes about the
+Web: a data model for user-generated-content sources (blogs, forums,
+microblogs, review sites), seeded synthetic generators that take the place of
+live crawling, simulators of the third-party measurement panels the paper
+relies on (Alexa, Feedburner), a crawler producing the snapshots consumed by
+the quality measures, and a microblog (Twitter-like) community model used by
+the contributor experiments.
+"""
+
+from repro.sources.models import (
+    AccountKind,
+    Discussion,
+    Interaction,
+    InteractionType,
+    Post,
+    Source,
+    SourceType,
+    UserProfile,
+)
+from repro.sources.corpus import SourceCorpus
+from repro.sources.crawler import Crawler, CrawlSnapshot
+from repro.sources.graph import (
+    GraphInfluence,
+    InteractionGraph,
+    build_community_graph,
+    build_source_graph,
+)
+from repro.sources.generators import (
+    CorpusGenerator,
+    CorpusSpec,
+    SourceGenerator,
+    SourceSpec,
+)
+from repro.sources.webstats import (
+    AlexaLikeService,
+    FeedburnerLikeService,
+    PanelObservation,
+    WebStatsPanel,
+)
+from repro.sources.twitter import (
+    MicroblogAccount,
+    MicroblogCommunity,
+    MicroblogGenerator,
+    MicroblogSpec,
+    Tweet,
+    TwitaholicLikeService,
+)
+
+__all__ = [
+    "AccountKind",
+    "AlexaLikeService",
+    "CorpusGenerator",
+    "CorpusSpec",
+    "Crawler",
+    "CrawlSnapshot",
+    "Discussion",
+    "FeedburnerLikeService",
+    "GraphInfluence",
+    "Interaction",
+    "InteractionGraph",
+    "InteractionType",
+    "MicroblogAccount",
+    "MicroblogCommunity",
+    "MicroblogGenerator",
+    "MicroblogSpec",
+    "PanelObservation",
+    "Post",
+    "Source",
+    "SourceCorpus",
+    "SourceGenerator",
+    "SourceSpec",
+    "SourceType",
+    "Tweet",
+    "TwitaholicLikeService",
+    "UserProfile",
+    "WebStatsPanel",
+    "build_community_graph",
+    "build_source_graph",
+]

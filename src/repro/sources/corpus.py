@@ -1,0 +1,169 @@
+"""Corpus container for collections of Web 2.0 sources.
+
+A :class:`SourceCorpus` is the unit the experiments operate on: the Section
+4.1 study builds a corpus of ~2000 blogs and forums, the mashup case study
+builds a corpus of Milan-tourism sources.  The corpus offers lookup,
+filtering and JSON persistence, and keeps simple aggregate statistics that
+the benchmark-based normalisation of the quality model needs (e.g. the size
+of the largest forum, used by the "number of open discussions compared to
+largest Web blog/forum" measure of Table 1).
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Callable, Iterable, Iterator, Optional
+
+from repro.errors import CorpusError, UnknownSourceError
+from repro.sources.models import Discussion, Source, SourceType
+
+__all__ = ["SourceCorpus", "CorpusStatistics"]
+
+
+@dataclass
+class CorpusStatistics:
+    """Aggregate statistics over a corpus, used for normalisation."""
+
+    source_count: int
+    discussion_count: int
+    post_count: int
+    comment_count: int
+    max_open_discussions: int
+    max_comments: int
+    distinct_categories: int
+
+    def to_dict(self) -> dict[str, Any]:
+        """Serialise to a JSON-compatible dictionary."""
+        return {
+            "source_count": self.source_count,
+            "discussion_count": self.discussion_count,
+            "post_count": self.post_count,
+            "comment_count": self.comment_count,
+            "max_open_discussions": self.max_open_discussions,
+            "max_comments": self.max_comments,
+            "distinct_categories": self.distinct_categories,
+        }
+
+
+class SourceCorpus:
+    """An ordered collection of :class:`~repro.sources.models.Source` objects."""
+
+    def __init__(self, sources: Optional[Iterable[Source]] = None) -> None:
+        self._sources: dict[str, Source] = {}
+        if sources is not None:
+            for source in sources:
+                self.add(source)
+
+    # -- collection protocol -----------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self._sources)
+
+    def __iter__(self) -> Iterator[Source]:
+        return iter(self._sources.values())
+
+    def __contains__(self, source_id: object) -> bool:
+        return source_id in self._sources
+
+    def __getitem__(self, source_id: str) -> Source:
+        return self.get(source_id)
+
+    # -- mutation -----------------------------------------------------------------
+
+    def add(self, source: Source) -> None:
+        """Add a source; raise :class:`CorpusError` on duplicate identifiers."""
+        if source.source_id in self._sources:
+            raise CorpusError(f"duplicate source identifier: {source.source_id!r}")
+        self._sources[source.source_id] = source
+
+    def remove(self, source_id: str) -> Source:
+        """Remove and return the source with identifier ``source_id``."""
+        try:
+            return self._sources.pop(source_id)
+        except KeyError as exc:
+            raise UnknownSourceError(source_id) from exc
+
+    # -- lookup -----------------------------------------------------------------------
+
+    def get(self, source_id: str) -> Source:
+        """Return the source with identifier ``source_id``."""
+        try:
+            return self._sources[source_id]
+        except KeyError as exc:
+            raise UnknownSourceError(source_id) from exc
+
+    def source_ids(self) -> list[str]:
+        """Return the source identifiers in insertion order."""
+        return list(self._sources)
+
+    def sources(self) -> list[Source]:
+        """Return the sources in insertion order."""
+        return list(self._sources.values())
+
+    # -- filtering -------------------------------------------------------------------
+
+    def filter(self, predicate: Callable[[Source], bool]) -> "SourceCorpus":
+        """Return a new corpus containing only the sources matching ``predicate``."""
+        return SourceCorpus(source for source in self if predicate(source))
+
+    def of_type(self, *source_types: SourceType) -> "SourceCorpus":
+        """Return a sub-corpus restricted to the given source types."""
+        wanted = set(source_types)
+        return self.filter(lambda source: source.source_type in wanted)
+
+    def covering_category(self, category: str) -> "SourceCorpus":
+        """Return the sub-corpus of sources with at least one discussion in ``category``."""
+        return self.filter(lambda source: category in source.covered_categories())
+
+    # -- aggregate statistics ----------------------------------------------------------
+
+    def statistics(self) -> CorpusStatistics:
+        """Compute the aggregate statistics used for benchmark normalisation."""
+        sources = self.sources()
+        open_counts = [len(source.open_discussions()) for source in sources]
+        comment_counts = [source.comment_count() for source in sources]
+        categories: set[str] = set()
+        for source in sources:
+            categories.update(source.covered_categories())
+        return CorpusStatistics(
+            source_count=len(sources),
+            discussion_count=sum(len(source.discussions) for source in sources),
+            post_count=sum(source.post_count() for source in sources),
+            comment_count=sum(comment_counts),
+            max_open_discussions=max(open_counts, default=0),
+            max_comments=max(comment_counts, default=0),
+            distinct_categories=len(categories),
+        )
+
+    def largest_source_open_discussions(self) -> int:
+        """Open-discussion count of the largest source (Table 1 traffic benchmark)."""
+        return self.statistics().max_open_discussions
+
+    def all_discussions(self) -> Iterator[tuple[Source, Discussion]]:
+        """Iterate over ``(source, discussion)`` pairs across the whole corpus."""
+        for source in self:
+            for discussion in source.discussions:
+                yield source, discussion
+
+    # -- persistence ---------------------------------------------------------------------
+
+    def to_dict(self) -> dict[str, Any]:
+        """Serialise the corpus to a JSON-compatible dictionary."""
+        return {"sources": [source.to_dict() for source in self]}
+
+    @classmethod
+    def from_dict(cls, payload: dict[str, Any]) -> "SourceCorpus":
+        """Rebuild a corpus serialised with :meth:`to_dict`."""
+        return cls(Source.from_dict(item) for item in payload.get("sources", ()))
+
+    def save(self, path: str | Path) -> None:
+        """Write the corpus to ``path`` as JSON."""
+        Path(path).write_text(json.dumps(self.to_dict()), encoding="utf-8")
+
+    @classmethod
+    def load(cls, path: str | Path) -> "SourceCorpus":
+        """Read a corpus previously written with :meth:`save`."""
+        payload = json.loads(Path(path).read_text(encoding="utf-8"))
+        return cls.from_dict(payload)

@@ -1,0 +1,353 @@
+"""Crawler producing the snapshots consumed by the quality measures.
+
+Most cells of Table 1 and Table 2 of the paper are sourced from "crawling":
+counting discussions, comments, tags, users and interactions on the source
+itself.  The :class:`Crawler` walks a :class:`~repro.sources.models.Source`
+and produces two kinds of snapshots:
+
+* :class:`CrawlSnapshot` — source-level aggregates (per-category discussion
+  and comment counts, thread ages, tag richness, opening rates, ...);
+* :class:`ContributorSnapshot` — per-user aggregates (posts and comments per
+  category, interactions received/performed, replies, feedback, reads, ...).
+
+The measure functions in :mod:`repro.core.source_measures` and
+:mod:`repro.core.contributor_measures` are pure functions over these
+snapshots (plus the panel observations and the Domain of Interest), which
+keeps them independent from how content was obtained — crawled from a live
+site in the paper, generated synthetically here.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from dataclasses import dataclass, field
+from typing import Any, Iterable, Optional
+
+from repro.errors import UnknownUserError
+from repro.sources.models import Discussion, Interaction, InteractionType, Source
+
+__all__ = ["CrawlSnapshot", "ContributorSnapshot", "Crawler"]
+
+
+@dataclass
+class CrawlSnapshot:
+    """Source-level aggregates observable by crawling one source."""
+
+    source_id: str
+    observation_day: float
+    window_days: float
+    total_discussions: int
+    open_discussions: int
+    on_topic_open_discussions: int
+    covered_categories: tuple[str, ...]
+    discussions_per_category: dict[str, int]
+    open_discussions_per_category: dict[str, int]
+    comments_per_category: dict[str, int]
+    total_comments: int
+    total_posts: int
+    contributor_count: int
+    average_thread_age: float
+    average_distinct_tags_per_post: float
+    new_discussions_per_day: float
+    average_comments_per_discussion: float
+    average_comments_per_discussion_per_day: float
+    comments_per_user: float
+
+    # -- derived helpers -----------------------------------------------------------
+
+    def discussions_in_categories(self, categories: Iterable[str]) -> int:
+        """Total number of discussions filed under any of ``categories``."""
+        return sum(self.discussions_per_category.get(name, 0) for name in categories)
+
+    def open_discussions_in_categories(self, categories: Iterable[str]) -> int:
+        """Open discussions filed under any of ``categories``."""
+        return sum(
+            self.open_discussions_per_category.get(name, 0) for name in categories
+        )
+
+    def comments_in_categories(self, categories: Iterable[str]) -> int:
+        """Comments posted in discussions filed under any of ``categories``."""
+        return sum(self.comments_per_category.get(name, 0) for name in categories)
+
+    def covered(self, categories: Iterable[str]) -> set[str]:
+        """Subset of ``categories`` actually covered by at least one discussion."""
+        available = set(self.covered_categories)
+        return {name for name in categories if name in available}
+
+    def to_dict(self) -> dict[str, Any]:
+        """Serialise to a JSON-compatible dictionary."""
+        return {
+            "source_id": self.source_id,
+            "observation_day": self.observation_day,
+            "window_days": self.window_days,
+            "total_discussions": self.total_discussions,
+            "open_discussions": self.open_discussions,
+            "on_topic_open_discussions": self.on_topic_open_discussions,
+            "covered_categories": list(self.covered_categories),
+            "discussions_per_category": dict(self.discussions_per_category),
+            "open_discussions_per_category": dict(self.open_discussions_per_category),
+            "comments_per_category": dict(self.comments_per_category),
+            "total_comments": self.total_comments,
+            "total_posts": self.total_posts,
+            "contributor_count": self.contributor_count,
+            "average_thread_age": self.average_thread_age,
+            "average_distinct_tags_per_post": self.average_distinct_tags_per_post,
+            "new_discussions_per_day": self.new_discussions_per_day,
+            "average_comments_per_discussion": self.average_comments_per_discussion,
+            "average_comments_per_discussion_per_day": self.average_comments_per_discussion_per_day,
+            "comments_per_user": self.comments_per_user,
+        }
+
+
+@dataclass
+class ContributorSnapshot:
+    """Per-user aggregates observable by crawling a source or community."""
+
+    user_id: str
+    source_id: str
+    observation_day: float
+    account_age: float
+    comments_per_category: dict[str, int]
+    covered_categories: tuple[str, ...]
+    open_discussions: int
+    discussions_participated: int
+    total_posts: int
+    total_comments: int
+    interactions_performed: int
+    interactions_received: int
+    replies_received: int
+    feedback_received: int
+    reads_received: int
+    average_distinct_tags_per_post: float
+    interactions_per_day: float
+    interactions_per_counterpart: float
+    comments_per_discussion: float
+    interactions_per_discussion_per_day: float
+
+    def comments_in_categories(self, categories: Iterable[str]) -> int:
+        """Comments this user posted under any of ``categories``."""
+        return sum(self.comments_per_category.get(name, 0) for name in categories)
+
+    def covered(self, categories: Iterable[str]) -> set[str]:
+        """Subset of ``categories`` this user has contributed to."""
+        available = set(self.covered_categories)
+        return {name for name in categories if name in available}
+
+    @property
+    def replies_per_comment(self) -> float:
+        """Average number of replies received per authored post."""
+        if self.total_posts == 0:
+            return 0.0
+        return self.replies_received / self.total_posts
+
+    @property
+    def feedback_per_comment(self) -> float:
+        """Average number of feedback interactions received per authored post."""
+        if self.total_posts == 0:
+            return 0.0
+        return self.feedback_received / self.total_posts
+
+    def to_dict(self) -> dict[str, Any]:
+        """Serialise to a JSON-compatible dictionary."""
+        return {
+            "user_id": self.user_id,
+            "source_id": self.source_id,
+            "observation_day": self.observation_day,
+            "account_age": self.account_age,
+            "comments_per_category": dict(self.comments_per_category),
+            "covered_categories": list(self.covered_categories),
+            "open_discussions": self.open_discussions,
+            "discussions_participated": self.discussions_participated,
+            "total_posts": self.total_posts,
+            "total_comments": self.total_comments,
+            "interactions_performed": self.interactions_performed,
+            "interactions_received": self.interactions_received,
+            "replies_received": self.replies_received,
+            "feedback_received": self.feedback_received,
+            "reads_received": self.reads_received,
+            "average_distinct_tags_per_post": self.average_distinct_tags_per_post,
+            "interactions_per_day": self.interactions_per_day,
+            "interactions_per_counterpart": self.interactions_per_counterpart,
+            "comments_per_discussion": self.comments_per_discussion,
+            "interactions_per_discussion_per_day": self.interactions_per_discussion_per_day,
+        }
+
+
+class Crawler:
+    """Walk sources and produce the snapshots used by the quality measures."""
+
+    #: Interaction types counted as "replies" received by a contributor.
+    REPLY_TYPES = frozenset({InteractionType.REPLY, InteractionType.COMMENT,
+                             InteractionType.MENTION})
+
+    #: Interaction types counted as explicit "feedback".
+    FEEDBACK_TYPES = frozenset({InteractionType.FEEDBACK, InteractionType.LIKE,
+                                InteractionType.RETWEET, InteractionType.SHARE})
+
+    def crawl_source(self, source: Source) -> CrawlSnapshot:
+        """Produce the source-level snapshot for ``source``."""
+        observation_day = source.observation_day
+        window = source.observation_window()
+
+        discussions = source.discussions
+        open_discussions = [d for d in discussions if d.is_open]
+        on_topic_open = [d for d in open_discussions if d.on_topic]
+
+        discussions_per_category: dict[str, int] = defaultdict(int)
+        open_per_category: dict[str, int] = defaultdict(int)
+        comments_per_category: dict[str, int] = defaultdict(int)
+        thread_ages: list[float] = []
+        comments_per_discussion: list[float] = []
+        comments_per_discussion_per_day: list[float] = []
+
+        total_comments = 0
+        total_posts = 0
+        tag_counts: list[int] = []
+
+        for discussion in discussions:
+            discussions_per_category[discussion.category] += 1
+            if discussion.is_open:
+                open_per_category[discussion.category] += 1
+            comments_per_category[discussion.category] += discussion.comment_count
+            total_comments += discussion.comment_count
+            total_posts += len(discussion.posts)
+            thread_ages.append(discussion.age(observation_day))
+            comments_per_discussion.append(float(discussion.comment_count))
+            comments_per_discussion_per_day.append(
+                discussion.comments_per_day(observation_day)
+            )
+            for post in discussion.posts:
+                tag_counts.append(len(post.distinct_tags()))
+
+        contributors = source.contributors()
+        contributor_count = len(contributors)
+
+        return CrawlSnapshot(
+            source_id=source.source_id,
+            observation_day=observation_day,
+            window_days=window,
+            total_discussions=len(discussions),
+            open_discussions=len(open_discussions),
+            on_topic_open_discussions=len(on_topic_open),
+            covered_categories=tuple(sorted(discussions_per_category)),
+            discussions_per_category=dict(discussions_per_category),
+            open_discussions_per_category=dict(open_per_category),
+            comments_per_category=dict(comments_per_category),
+            total_comments=total_comments,
+            total_posts=total_posts,
+            contributor_count=contributor_count,
+            average_thread_age=_mean(thread_ages),
+            average_distinct_tags_per_post=_mean([float(c) for c in tag_counts]),
+            new_discussions_per_day=len(discussions) / window,
+            average_comments_per_discussion=_mean(comments_per_discussion),
+            average_comments_per_discussion_per_day=_mean(comments_per_discussion_per_day),
+            comments_per_user=(total_comments / contributor_count) if contributor_count else 0.0,
+        )
+
+    def crawl_corpus(self, sources: Iterable[Source]) -> dict[str, CrawlSnapshot]:
+        """Crawl every source; return snapshots keyed by source identifier."""
+        return {source.source_id: self.crawl_source(source) for source in sources}
+
+    # -- contributors ---------------------------------------------------------------
+
+    def crawl_contributor(self, source: Source, user_id: str) -> ContributorSnapshot:
+        """Produce the contributor-level snapshot for ``user_id`` on ``source``."""
+        profile = source.user(user_id)
+        if profile is None and user_id not in source.contributors():
+            raise UnknownUserError(user_id)
+
+        observation_day = source.observation_day
+        account_age = (
+            profile.age(observation_day) if profile is not None else source.observation_window()
+        )
+
+        posts = source.posts_by_user(user_id)
+        comments_per_category: dict[str, int] = defaultdict(int)
+        tag_counts: list[int] = []
+        reads_received = 0
+        discussions_participated = 0
+        open_discussions = 0
+        comments_authored = 0
+        comments_per_discussion: list[float] = []
+
+        for discussion in source.discussions:
+            authored_here = [post for post in discussion.posts if post.author_id == user_id]
+            if not authored_here:
+                continue
+            discussions_participated += 1
+            if discussion.is_open:
+                open_discussions += 1
+            authored_comments = [
+                post for post in discussion.comments if post.author_id == user_id
+            ]
+            comments_authored += len(authored_comments)
+            comments_per_discussion.append(float(len(authored_comments)))
+            for post in authored_here:
+                if post.category:
+                    comments_per_category[post.category] += 1
+                tag_counts.append(len(post.distinct_tags()))
+                reads_received += post.read_count
+
+        received = source.interactions_for_user(user_id)
+        performed = source.interactions_by_user(user_id)
+        replies_received = sum(
+            1 for item in received if item.interaction_type in self.REPLY_TYPES
+        )
+        feedback_received = sum(
+            1 for item in received if item.interaction_type in self.FEEDBACK_TYPES
+        )
+
+        counterparts = {item.actor_id for item in received} | {
+            item.target_user_id for item in performed
+        }
+        counterparts.discard(user_id)
+        total_interactions = len(received) + len(performed)
+        window = max(1.0, account_age)
+
+        interactions_per_discussion_per_day = 0.0
+        if discussions_participated:
+            interactions_per_discussion_per_day = (
+                total_interactions / discussions_participated / window
+            )
+
+        return ContributorSnapshot(
+            user_id=user_id,
+            source_id=source.source_id,
+            observation_day=observation_day,
+            account_age=account_age,
+            comments_per_category=dict(comments_per_category),
+            covered_categories=tuple(sorted(comments_per_category)),
+            open_discussions=open_discussions,
+            discussions_participated=discussions_participated,
+            total_posts=len(posts),
+            total_comments=comments_authored,
+            interactions_performed=len(performed),
+            interactions_received=len(received),
+            replies_received=replies_received,
+            feedback_received=feedback_received,
+            reads_received=reads_received,
+            average_distinct_tags_per_post=_mean([float(c) for c in tag_counts]),
+            interactions_per_day=total_interactions / window,
+            interactions_per_counterpart=(
+                total_interactions / len(counterparts) if counterparts else 0.0
+            ),
+            comments_per_discussion=_mean(comments_per_discussion),
+            interactions_per_discussion_per_day=interactions_per_discussion_per_day,
+        )
+
+    def crawl_contributors(
+        self, source: Source, user_ids: Optional[Iterable[str]] = None
+    ) -> dict[str, ContributorSnapshot]:
+        """Crawl a set of contributors (every contributor when ``user_ids`` is None)."""
+        if user_ids is None:
+            user_ids = sorted(source.contributors())
+        return {
+            user_id: self.crawl_contributor(source, user_id) for user_id in user_ids
+        }
+
+
+def _mean(values: list[float]) -> float:
+    """Arithmetic mean that returns 0.0 for an empty list."""
+    if not values:
+        return 0.0
+    return sum(values) / len(values)

@@ -1,0 +1,470 @@
+"""Seeded synthetic generators for Web 2.0 sources and corpora.
+
+The paper's evaluation crawls live blogs and forums; offline we generate
+sources whose *observable surface* (discussions, comments, users, tags,
+timestamps, interactions) follows the same heavy-tailed statistics the
+literature documents for user-generated content.  Each source is driven by
+two independent latent scalars:
+
+``latent_popularity``
+    How much raw traffic the source attracts.  It drives the Alexa-like
+    panel statistics (traffic rank, daily visitors, page views, inbound
+    links) and, weakly, the content volume.
+
+``latent_engagement``
+    How much its community participates.  It drives comments per
+    discussion, comments per user, the rate of newly-opened discussions and
+    the responsiveness measures.
+
+Keeping the two latents independent is what makes the Section 4.1
+experiment meaningful: a search engine that ranks by popularity alone will
+disagree with a quality model that also rewards participation and
+freshness, exactly as the paper observed for Google.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from dataclasses import dataclass, field, replace
+from typing import Optional, Sequence
+
+from repro.errors import ConfigurationError
+from repro.sources.corpus import SourceCorpus
+from repro.sources.models import (
+    Discussion,
+    Interaction,
+    InteractionType,
+    Post,
+    Source,
+    SourceType,
+    UserProfile,
+)
+from repro.sources.text import GENERIC_CATEGORIES, TextGenerator, default_vocabularies
+
+__all__ = ["SourceSpec", "SourceGenerator", "CorpusSpec", "CorpusGenerator"]
+
+
+@dataclass(frozen=True)
+class SourceSpec:
+    """Configuration for generating a single synthetic source.
+
+    Attributes
+    ----------
+    source_id, name, url:
+        Identity of the source.  ``name`` and ``url`` default to values
+        derived from ``source_id``.
+    source_type:
+        Blog, forum, microblog, review site, ...
+    focus_categories:
+        Categories the source is specialised in; discussions are drawn
+        mostly from these.
+    category_pool:
+        Full set of categories the source may occasionally touch.
+    latent_popularity, latent_engagement:
+        The two latent drivers in ``[0, 1]`` described in the module
+        docstring.
+    discussion_budget:
+        Baseline number of discussions to generate (scaled by popularity).
+    user_budget:
+        Baseline number of registered users (scaled by popularity).
+    off_topic_rate:
+        Fraction of discussions that drift out of the focus categories
+        (counted as accuracy errors by the quality model).
+    tag_richness:
+        Average number of distinct tags attached to each post.
+    observation_day:
+        End of the observation window, in simulation days.
+    created_at:
+        Day the source came online.
+    closed_discussion_rate:
+        Fraction of discussions that are closed at observation time.
+    """
+
+    source_id: str
+    source_type: SourceType = SourceType.BLOG
+    focus_categories: tuple[str, ...] = ("travel",)
+    category_pool: tuple[str, ...] = GENERIC_CATEGORIES
+    name: Optional[str] = None
+    url: Optional[str] = None
+    latent_popularity: float = 0.5
+    latent_engagement: float = 0.5
+    latent_stickiness: float = 0.5
+    discussion_budget: int = 30
+    user_budget: int = 40
+    off_topic_rate: float = 0.1
+    tag_richness: float = 2.5
+    observation_day: float = 365.0
+    created_at: float = 0.0
+    closed_discussion_rate: float = 0.2
+
+    def validate(self) -> None:
+        """Raise :class:`ConfigurationError` if the spec is inconsistent."""
+        if not self.source_id:
+            raise ConfigurationError("source_id must be a non-empty string")
+        if not 0.0 <= self.latent_popularity <= 1.0:
+            raise ConfigurationError("latent_popularity must be in [0, 1]")
+        if not 0.0 <= self.latent_engagement <= 1.0:
+            raise ConfigurationError("latent_engagement must be in [0, 1]")
+        if not 0.0 <= self.latent_stickiness <= 1.0:
+            raise ConfigurationError("latent_stickiness must be in [0, 1]")
+        if not 0.0 <= self.off_topic_rate <= 1.0:
+            raise ConfigurationError("off_topic_rate must be in [0, 1]")
+        if not 0.0 <= self.closed_discussion_rate <= 1.0:
+            raise ConfigurationError("closed_discussion_rate must be in [0, 1]")
+        if self.discussion_budget < 0 or self.user_budget < 1:
+            raise ConfigurationError(
+                "discussion_budget must be >= 0 and user_budget >= 1"
+            )
+        if not self.focus_categories:
+            raise ConfigurationError("focus_categories must not be empty")
+        if self.observation_day <= self.created_at:
+            raise ConfigurationError("observation_day must be after created_at")
+
+
+class SourceGenerator:
+    """Generate a single :class:`Source` from a :class:`SourceSpec`."""
+
+    def __init__(self, spec: SourceSpec, seed: int = 0) -> None:
+        spec.validate()
+        self._spec = spec
+        self._rng = random.Random(seed)
+        categories = set(spec.category_pool) | set(spec.focus_categories)
+        self._text = TextGenerator(self._rng, default_vocabularies(sorted(categories)))
+
+    @property
+    def spec(self) -> SourceSpec:
+        """Return the spec this generator was built from."""
+        return self._spec
+
+    # -- helpers -------------------------------------------------------------------
+
+    def _scaled(self, base: int, latent: float, spread: float = 0.5) -> int:
+        """Scale ``base`` by a latent value with multiplicative noise."""
+        factor = 0.3 + 1.7 * latent
+        noise = 1.0 + self._rng.uniform(-spread, spread)
+        return max(1, int(round(base * factor * noise)))
+
+    def _pick_category(self) -> tuple[str, bool]:
+        """Pick a discussion category; return ``(category, on_topic)``."""
+        spec = self._spec
+        if self._rng.random() < spec.off_topic_rate:
+            outside = [
+                category
+                for category in spec.category_pool
+                if category not in spec.focus_categories
+            ]
+            if outside:
+                return self._rng.choice(outside), False
+        return self._rng.choice(list(spec.focus_categories)), True
+
+    def _make_users(self, count: int) -> list[UserProfile]:
+        spec = self._spec
+        users = []
+        for index in range(count):
+            registered_at = self._rng.uniform(
+                spec.created_at, max(spec.created_at + 1.0, spec.observation_day - 1.0)
+            )
+            users.append(
+                UserProfile(
+                    user_id=f"{spec.source_id}-user-{index:04d}",
+                    name=f"user_{index:04d}",
+                    registered_at=registered_at,
+                    location=None,
+                )
+            )
+        return users
+
+    def _make_discussion(
+        self, index: int, users: Sequence[UserProfile], source: Source
+    ) -> Discussion:
+        spec = self._spec
+        category, on_topic = self._pick_category()
+        opened_at = self._rng.uniform(spec.created_at, spec.observation_day - 0.5)
+        discussion = Discussion(
+            discussion_id=f"{spec.source_id}-disc-{index:05d}",
+            category=category,
+            title=self._text.title(category),
+            opened_at=opened_at,
+            is_open=self._rng.random() >= spec.closed_discussion_rate,
+            on_topic=on_topic,
+        )
+
+        opener_author = self._rng.choice(list(users))
+        sentiment = self._rng.uniform(-1.0, 1.0)
+        discussion.posts.append(
+            self._make_post(
+                post_id=f"{discussion.discussion_id}-p0000",
+                author=opener_author,
+                day=opened_at,
+                category=category,
+                sentiment=sentiment,
+                on_topic=on_topic,
+            )
+        )
+
+        # Comment volume is driven by engagement: geometric-ish tail.
+        mean_comments = 1.0 + 14.0 * spec.latent_engagement
+        comment_count = self._sample_count(mean_comments)
+        thread_span = max(0.5, spec.observation_day - opened_at)
+        for comment_index in range(comment_count):
+            author = self._rng.choice(list(users))
+            # Comments cluster shortly after the opening, with a long tail.
+            offset = min(thread_span, self._rng.expovariate(1.0 / max(0.5, thread_span / 6.0)))
+            day = opened_at + offset
+            post = self._make_post(
+                post_id=f"{discussion.discussion_id}-p{comment_index + 1:04d}",
+                author=author,
+                day=day,
+                category=category,
+                sentiment=sentiment + self._rng.uniform(-0.4, 0.4),
+                on_topic=on_topic and self._rng.random() > spec.off_topic_rate / 2.0,
+            )
+            discussion.posts.append(post)
+            source.add_interaction(
+                Interaction(
+                    interaction_type=InteractionType.COMMENT,
+                    actor_id=author.user_id,
+                    target_user_id=opener_author.user_id,
+                    day=day,
+                    post_id=post.post_id,
+                )
+            )
+        return discussion
+
+    def _make_post(
+        self,
+        post_id: str,
+        author: UserProfile,
+        day: float,
+        category: str,
+        sentiment: float,
+        on_topic: bool,
+    ) -> Post:
+        spec = self._spec
+        sentiment = max(-1.0, min(1.0, sentiment))
+        if on_topic:
+            text = self._text.snippet(category, sentiment=sentiment, sentences=2)
+        else:
+            text = self._text.off_topic_sentence(category)
+        tag_count = max(0, int(round(self._rng.gauss(spec.tag_richness, 1.0))))
+        read_count = self._sample_count(5.0 + 60.0 * spec.latent_popularity)
+        feedback_count = self._sample_count(1.0 + 6.0 * spec.latent_engagement)
+        return Post(
+            post_id=post_id,
+            author_id=author.user_id,
+            day=day,
+            text=text,
+            category=category,
+            tags=self._text.tags(category, tag_count),
+            on_topic=on_topic,
+            read_count=read_count,
+            feedback_count=feedback_count,
+        )
+
+    def _sample_count(self, mean: float) -> int:
+        """Sample a non-negative count with a heavy right tail around ``mean``."""
+        if mean <= 0:
+            return 0
+        # Log-normal around the mean gives the long tail typical of UGC volumes.
+        sigma = 0.75
+        mu = math.log(mean) - sigma * sigma / 2.0
+        value = self._rng.lognormvariate(mu, sigma)
+        return max(0, int(round(value)))
+
+    # -- main entry point ----------------------------------------------------------
+
+    def generate(self) -> Source:
+        """Generate the source."""
+        spec = self._spec
+        source = Source(
+            source_id=spec.source_id,
+            name=spec.name or spec.source_id.replace("-", " ").title(),
+            url=spec.url or f"https://{spec.source_id}.example.org",
+            source_type=spec.source_type,
+            categories=tuple(dict.fromkeys(spec.focus_categories)),
+            created_at=spec.created_at,
+            observation_day=spec.observation_day,
+            latent_popularity=spec.latent_popularity,
+            latent_engagement=spec.latent_engagement,
+            latent_stickiness=spec.latent_stickiness,
+        )
+
+        user_count = self._scaled(spec.user_budget, spec.latent_popularity)
+        users = self._make_users(user_count)
+        for profile in users:
+            source.add_user(profile)
+
+        discussion_count = self._scaled(
+            spec.discussion_budget,
+            0.6 * spec.latent_popularity + 0.4 * spec.latent_engagement,
+        )
+        for index in range(discussion_count):
+            source.add_discussion(self._make_discussion(index, users, source))
+
+        self._add_social_interactions(source, users)
+        return source
+
+    def _add_social_interactions(
+        self, source: Source, users: Sequence[UserProfile]
+    ) -> None:
+        """Add likes/shares/feedback on top of the comment interactions."""
+        spec = self._spec
+        posts = list(source.posts())
+        if not posts or not users:
+            return
+        extra = self._scaled(
+            max(1, len(posts) // 2), spec.latent_engagement, spread=0.3
+        )
+        for _ in range(extra):
+            post = self._rng.choice(posts)
+            actor = self._rng.choice(list(users))
+            kind = self._rng.choice(
+                [InteractionType.LIKE, InteractionType.SHARE, InteractionType.FEEDBACK]
+            )
+            day = min(
+                spec.observation_day,
+                post.day + self._rng.expovariate(1.0 / 3.0),
+            )
+            source.add_interaction(
+                Interaction(
+                    interaction_type=kind,
+                    actor_id=actor.user_id,
+                    target_user_id=post.author_id,
+                    day=day,
+                    post_id=post.post_id,
+                )
+            )
+
+
+@dataclass(frozen=True)
+class CorpusSpec:
+    """Configuration for generating a whole corpus of sources.
+
+    ``popularity_alpha`` controls the Pareto-like skew of the latent
+    popularity across sources (small alpha = a few very popular sources and
+    a long tail), matching the traffic distribution of real blogs/forums.
+    """
+
+    source_count: int = 50
+    seed: int = 7
+    source_types: tuple[SourceType, ...] = (SourceType.BLOG, SourceType.FORUM)
+    category_pool: tuple[str, ...] = GENERIC_CATEGORIES
+    focus_category_count: int = 3
+    discussion_budget: int = 30
+    user_budget: int = 40
+    observation_day: float = 365.0
+    popularity_alpha: float = 1.3
+    engagement_popularity_correlation: float = 0.2
+    stickiness_popularity_correlation: float = -0.15
+    off_topic_rate_range: tuple[float, float] = (0.02, 0.35)
+    name_prefix: str = "source"
+
+    def validate(self) -> None:
+        """Raise :class:`ConfigurationError` if the spec is inconsistent."""
+        if self.source_count < 1:
+            raise ConfigurationError("source_count must be >= 1")
+        if not self.source_types:
+            raise ConfigurationError("source_types must not be empty")
+        if not self.category_pool:
+            raise ConfigurationError("category_pool must not be empty")
+        if self.focus_category_count < 1:
+            raise ConfigurationError("focus_category_count must be >= 1")
+        if self.popularity_alpha <= 0:
+            raise ConfigurationError("popularity_alpha must be > 0")
+        if not -1.0 <= self.engagement_popularity_correlation <= 1.0:
+            raise ConfigurationError(
+                "engagement_popularity_correlation must be in [-1, 1]"
+            )
+        if not -1.0 <= self.stickiness_popularity_correlation <= 1.0:
+            raise ConfigurationError(
+                "stickiness_popularity_correlation must be in [-1, 1]"
+            )
+        low, high = self.off_topic_rate_range
+        if not 0.0 <= low <= high <= 1.0:
+            raise ConfigurationError("off_topic_rate_range must satisfy 0 <= low <= high <= 1")
+
+
+class CorpusGenerator:
+    """Generate a :class:`SourceCorpus` from a :class:`CorpusSpec`."""
+
+    def __init__(self, spec: CorpusSpec = CorpusSpec()) -> None:
+        spec.validate()
+        self._spec = spec
+        self._rng = random.Random(spec.seed)
+
+    @property
+    def spec(self) -> CorpusSpec:
+        """Return the spec this generator was built from."""
+        return self._spec
+
+    def _latent_popularity(self) -> float:
+        """Draw a latent popularity in [0, 1] with a Pareto-like skew."""
+        raw = self._rng.paretovariate(self._spec.popularity_alpha)
+        # Map the unbounded Pareto draw into (0, 1); larger draws saturate.
+        return min(0.999, 1.0 - 1.0 / raw) if raw > 1.0 else 0.0
+
+    def _correlated_latent(self, popularity: float, rho: float) -> float:
+        """Draw a latent in [0, 1], correlated with popularity by ``rho``.
+
+        Negative ``rho`` mixes in ``1 - popularity`` so that very popular
+        sources tend to have *lower* values of the latent (e.g. shallower
+        participation or shorter visits on mega-portals).
+        """
+        independent = self._rng.random()
+        anchor = popularity if rho >= 0 else (1.0 - popularity)
+        mixed = abs(rho) * anchor + (1.0 - abs(rho)) * independent
+        return max(0.0, min(1.0, mixed + self._rng.uniform(-0.05, 0.05)))
+
+    def _latent_engagement(self, popularity: float) -> float:
+        """Draw engagement, weakly correlated with popularity."""
+        return self._correlated_latent(
+            popularity, self._spec.engagement_popularity_correlation
+        )
+
+    def _latent_stickiness(self, popularity: float) -> float:
+        """Draw stickiness (visit depth), weakly correlated with popularity."""
+        return self._correlated_latent(
+            popularity, self._spec.stickiness_popularity_correlation
+        )
+
+    def source_spec(self, index: int) -> SourceSpec:
+        """Build the :class:`SourceSpec` for the ``index``-th source."""
+        spec = self._spec
+        popularity = self._latent_popularity()
+        engagement = self._latent_engagement(popularity)
+        stickiness = self._latent_stickiness(popularity)
+        focus_count = min(
+            len(spec.category_pool),
+            max(1, int(round(self._rng.gauss(spec.focus_category_count, 1.0)))),
+        )
+        focus = tuple(self._rng.sample(list(spec.category_pool), focus_count))
+        low, high = spec.off_topic_rate_range
+        return SourceSpec(
+            source_id=f"{spec.name_prefix}-{index:04d}",
+            source_type=self._rng.choice(list(spec.source_types)),
+            focus_categories=focus,
+            category_pool=spec.category_pool,
+            latent_popularity=popularity,
+            latent_engagement=engagement,
+            latent_stickiness=stickiness,
+            discussion_budget=spec.discussion_budget,
+            user_budget=spec.user_budget,
+            off_topic_rate=self._rng.uniform(low, high),
+            observation_day=spec.observation_day,
+            created_at=self._rng.uniform(0.0, spec.observation_day * 0.5),
+        )
+
+    def generate(self) -> SourceCorpus:
+        """Generate the full corpus."""
+        corpus = SourceCorpus()
+        for index in range(self._spec.source_count):
+            source_spec = self.source_spec(index)
+            seed = self._rng.randrange(2**31)
+            corpus.add(SourceGenerator(source_spec, seed=seed).generate())
+        return corpus
+
+
+def generate_corpus(spec: Optional[CorpusSpec] = None) -> SourceCorpus:
+    """Convenience wrapper: generate a corpus from ``spec`` (or the default)."""
+    return CorpusGenerator(spec or CorpusSpec()).generate()

@@ -1,0 +1,60 @@
+"""Statistics substrate.
+
+The paper's validation relies on four families of statistical tools: rank
+correlation and rank-distance statistics (Section 4.1), descriptive
+statistics and correlation analysis, factor analysis via principal
+components with linear regressions against the search ranking (Table 3),
+and one-way ANOVA with Bonferroni post-hoc paired comparisons (Table 4).
+
+They are implemented here on top of numpy/scipy primitives, with small
+dataclasses capturing exactly the outputs the paper reports (tau values,
+component loadings, regression direction and significance, paired mean
+differences and their significance).
+"""
+
+from repro.stats.ranking import (
+    RankingComparison,
+    compare_rankings,
+    displacement_statistics,
+    kendall_tau,
+    rank_displacements,
+    spearman_rho,
+)
+from repro.stats.descriptive import (
+    correlation_matrix,
+    describe,
+    DescriptiveSummary,
+    pearson_correlation,
+    standardize,
+)
+from repro.stats.regression import LinearRegressionResult, linear_regression
+from repro.stats.factor import FactorAnalysisResult, factor_analysis, varimax_rotation
+from repro.stats.anova import (
+    AnovaResult,
+    BonferroniComparison,
+    bonferroni_pairwise,
+    one_way_anova,
+)
+
+__all__ = [
+    "AnovaResult",
+    "BonferroniComparison",
+    "DescriptiveSummary",
+    "FactorAnalysisResult",
+    "LinearRegressionResult",
+    "RankingComparison",
+    "bonferroni_pairwise",
+    "compare_rankings",
+    "correlation_matrix",
+    "describe",
+    "displacement_statistics",
+    "factor_analysis",
+    "kendall_tau",
+    "linear_regression",
+    "one_way_anova",
+    "pearson_correlation",
+    "rank_displacements",
+    "spearman_rho",
+    "standardize",
+    "varimax_rotation",
+]

@@ -1,0 +1,186 @@
+"""One-way ANOVA and Bonferroni post-hoc paired comparisons.
+
+Section 4.2 of the paper analyses the mean differences of five interaction
+measures among three classes of Twitter accounts (people, brand, news)
+using a one-way ANOVA followed by a Bonferroni post-hoc test reporting, for
+every pair of classes, the sign of the mean difference and its significance
+(Table 4).
+"""
+
+from __future__ import annotations
+
+import itertools
+import math
+from dataclasses import dataclass
+from typing import Any, Mapping, Sequence
+
+from scipy import stats as scipy_stats
+
+from repro.errors import InsufficientDataError, StatisticsError
+
+__all__ = ["AnovaResult", "BonferroniComparison", "one_way_anova", "bonferroni_pairwise"]
+
+
+@dataclass(frozen=True)
+class AnovaResult:
+    """Result of a one-way analysis of variance."""
+
+    group_names: tuple[str, ...]
+    group_means: dict[str, float]
+    group_sizes: dict[str, int]
+    f_statistic: float
+    p_value: float
+    between_df: int
+    within_df: int
+
+    def is_significant(self, alpha: float = 0.05) -> bool:
+        """True when the group means differ significantly at level ``alpha``."""
+        return self.p_value < alpha
+
+    def to_dict(self) -> dict[str, Any]:
+        """Serialise to a JSON-compatible dictionary."""
+        return {
+            "groups": list(self.group_names),
+            "group_means": dict(self.group_means),
+            "group_sizes": dict(self.group_sizes),
+            "f_statistic": self.f_statistic,
+            "p_value": self.p_value,
+            "between_df": self.between_df,
+            "within_df": self.within_df,
+        }
+
+
+@dataclass(frozen=True)
+class BonferroniComparison:
+    """One Bonferroni-adjusted paired comparison between two groups.
+
+    ``difference`` is ``mean(first) - mean(second)``; ``p_value`` is the
+    Bonferroni-adjusted two-sided p-value (clamped to 1.0).  ``sign``
+    follows the paper's Table 4 notation: ``">"``, ``"<"`` or ``"="``
+    depending on the direction of the difference and whether it is
+    significant at the chosen alpha.
+    """
+
+    first: str
+    second: str
+    difference: float
+    p_value: float
+    alpha: float = 0.05
+
+    @property
+    def significant(self) -> bool:
+        """True when the adjusted p-value is below alpha."""
+        return self.p_value < self.alpha
+
+    @property
+    def sign(self) -> str:
+        """Table 4 style sign: ``>``, ``<`` when significant, ``=`` otherwise."""
+        if not self.significant:
+            return "="
+        return ">" if self.difference > 0 else "<"
+
+    def to_dict(self) -> dict[str, Any]:
+        """Serialise to a JSON-compatible dictionary."""
+        return {
+            "first": self.first,
+            "second": self.second,
+            "difference": self.difference,
+            "p_value": self.p_value,
+            "alpha": self.alpha,
+            "sign": self.sign,
+        }
+
+
+def _validate_groups(groups: Mapping[str, Sequence[float]]) -> None:
+    if len(groups) < 2:
+        raise StatisticsError("ANOVA requires at least two groups")
+    for name, values in groups.items():
+        if len(values) < 2:
+            raise InsufficientDataError(
+                f"group {name!r} needs at least two observations"
+            )
+
+
+def one_way_anova(groups: Mapping[str, Sequence[float]]) -> AnovaResult:
+    """Run a one-way ANOVA over named groups of observations."""
+    _validate_groups(groups)
+    names = tuple(groups)
+    samples = {name: [float(value) for value in groups[name]] for name in names}
+
+    all_values = [value for values in samples.values() for value in values]
+    grand_mean = sum(all_values) / len(all_values)
+
+    between_ss = sum(
+        len(values) * (sum(values) / len(values) - grand_mean) ** 2
+        for values in samples.values()
+    )
+    within_ss = sum(
+        sum((value - sum(values) / len(values)) ** 2 for value in values)
+        for values in samples.values()
+    )
+    between_df = len(names) - 1
+    within_df = len(all_values) - len(names)
+    if within_df <= 0:
+        raise InsufficientDataError("not enough observations for the within-group df")
+
+    between_ms = between_ss / between_df
+    within_ms = within_ss / within_df if within_df else 0.0
+    if within_ms == 0:
+        f_statistic = math.inf if between_ms > 0 else 0.0
+        p_value = 0.0 if between_ms > 0 else 1.0
+    else:
+        f_statistic = between_ms / within_ms
+        p_value = float(scipy_stats.f.sf(f_statistic, between_df, within_df))
+
+    return AnovaResult(
+        group_names=names,
+        group_means={name: sum(values) / len(values) for name, values in samples.items()},
+        group_sizes={name: len(values) for name, values in samples.items()},
+        f_statistic=float(f_statistic),
+        p_value=p_value,
+        between_df=between_df,
+        within_df=within_df,
+    )
+
+
+def bonferroni_pairwise(
+    groups: Mapping[str, Sequence[float]],
+    alpha: float = 0.05,
+    pairs: Sequence[tuple[str, str]] | None = None,
+) -> list[BonferroniComparison]:
+    """Bonferroni post-hoc paired comparisons after a one-way ANOVA.
+
+    Each pair is tested with a two-sample Welch t-test; p-values are
+    multiplied by the number of comparisons (and clamped at 1.0), which is
+    the classic Bonferroni correction.
+    """
+    _validate_groups(groups)
+    if pairs is None:
+        pairs = list(itertools.combinations(groups, 2))
+    if not pairs:
+        raise StatisticsError("no pairs to compare")
+    for first, second in pairs:
+        if first not in groups or second not in groups:
+            raise StatisticsError(f"unknown group in pair ({first!r}, {second!r})")
+
+    comparisons: list[BonferroniComparison] = []
+    correction = len(pairs)
+    for first, second in pairs:
+        a = [float(value) for value in groups[first]]
+        b = [float(value) for value in groups[second]]
+        difference = sum(a) / len(a) - sum(b) / len(b)
+        statistic, p_value = scipy_stats.ttest_ind(a, b, equal_var=False)
+        # A degenerate comparison (both groups constant and equal) yields NaN.
+        if math.isnan(p_value):
+            p_value = 1.0
+        adjusted = min(1.0, float(p_value) * correction)
+        comparisons.append(
+            BonferroniComparison(
+                first=first,
+                second=second,
+                difference=float(difference),
+                p_value=adjusted,
+                alpha=alpha,
+            )
+        )
+    return comparisons

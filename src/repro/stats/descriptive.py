@@ -1,0 +1,120 @@
+"""Descriptive statistics and correlation analysis."""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Any, Mapping, Sequence
+
+import numpy as np
+
+from repro.errors import InsufficientDataError, StatisticsError
+
+__all__ = [
+    "DescriptiveSummary",
+    "describe",
+    "pearson_correlation",
+    "correlation_matrix",
+    "standardize",
+]
+
+
+@dataclass(frozen=True)
+class DescriptiveSummary:
+    """Summary statistics of a univariate sample."""
+
+    count: int
+    mean: float
+    variance: float
+    std: float
+    minimum: float
+    maximum: float
+    median: float
+
+    @property
+    def range_orders_of_magnitude(self) -> float:
+        """Orders of magnitude spanned between the minimum and maximum.
+
+        The paper uses this to characterise the heterogeneity of the
+        Twitaholic dataset ("the difference between the most and the least
+        connected users is about 4 orders of magnitude").  Values <= 0 are
+        clamped to 1 before taking the logarithm.
+        """
+        low = max(1.0, self.minimum)
+        high = max(1.0, self.maximum)
+        return math.log10(high / low)
+
+    def to_dict(self) -> dict[str, Any]:
+        """Serialise to a JSON-compatible dictionary."""
+        return {
+            "count": self.count,
+            "mean": self.mean,
+            "variance": self.variance,
+            "std": self.std,
+            "minimum": self.minimum,
+            "maximum": self.maximum,
+            "median": self.median,
+        }
+
+
+def describe(values: Sequence[float]) -> DescriptiveSummary:
+    """Compute the descriptive summary of ``values``."""
+    if not values:
+        raise InsufficientDataError("cannot describe an empty sample")
+    array = np.asarray(list(values), dtype=float)
+    return DescriptiveSummary(
+        count=int(array.size),
+        mean=float(array.mean()),
+        variance=float(array.var()),
+        std=float(array.std()),
+        minimum=float(array.min()),
+        maximum=float(array.max()),
+        median=float(np.median(array)),
+    )
+
+
+def pearson_correlation(xs: Sequence[float], ys: Sequence[float]) -> float:
+    """Pearson correlation coefficient between two paired samples."""
+    if len(xs) != len(ys):
+        raise StatisticsError("paired samples must have the same length")
+    if len(xs) < 2:
+        raise InsufficientDataError("at least two observations are required")
+    x = np.asarray(list(xs), dtype=float)
+    y = np.asarray(list(ys), dtype=float)
+    sx = x.std()
+    sy = y.std()
+    if sx == 0 or sy == 0:
+        return 0.0
+    return float(((x - x.mean()) * (y - y.mean())).mean() / (sx * sy))
+
+
+def correlation_matrix(
+    columns: Mapping[str, Sequence[float]]
+) -> dict[tuple[str, str], float]:
+    """Pairwise Pearson correlations between named columns."""
+    names = list(columns)
+    lengths = {len(columns[name]) for name in names}
+    if len(lengths) > 1:
+        raise StatisticsError("all columns must have the same length")
+    result: dict[tuple[str, str], float] = {}
+    for i, first in enumerate(names):
+        for second in names[i:]:
+            value = (
+                1.0
+                if first == second
+                else pearson_correlation(columns[first], columns[second])
+            )
+            result[(first, second)] = value
+            result[(second, first)] = value
+    return result
+
+
+def standardize(values: Sequence[float]) -> list[float]:
+    """Z-score standardisation; constant columns map to all zeros."""
+    if not values:
+        return []
+    array = np.asarray(list(values), dtype=float)
+    std = array.std()
+    if std == 0:
+        return [0.0] * len(values)
+    return list((array - array.mean()) / std)

@@ -1,0 +1,181 @@
+"""Rank correlation and rank-distance statistics.
+
+Section 4.1 of the paper compares the quality-based re-ranking of search
+results with the original search-engine ranking using:
+
+* the Kendall tau rank correlation between each single quality measure and
+  the search rank;
+* the average *distance* between the positions of the same item in the two
+  rankings (how far items move when re-ranked);
+* the fraction of items displaced by more than 5 and more than 10
+  positions, and the fraction of items whose position coincides.
+
+This module implements those statistics over explicit item rankings: a
+ranking is an ordered sequence of item identifiers, best first.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Any, Hashable, Sequence
+
+from repro.errors import InsufficientDataError, StatisticsError
+
+__all__ = [
+    "kendall_tau",
+    "spearman_rho",
+    "rank_displacements",
+    "displacement_statistics",
+    "RankingComparison",
+    "compare_rankings",
+]
+
+
+def _validate_pairs(xs: Sequence[float], ys: Sequence[float]) -> None:
+    if len(xs) != len(ys):
+        raise StatisticsError("paired samples must have the same length")
+    if len(xs) < 2:
+        raise InsufficientDataError("at least two observations are required")
+
+
+def kendall_tau(xs: Sequence[float], ys: Sequence[float]) -> float:
+    """Kendall tau-b rank correlation between two paired samples.
+
+    Ties are handled with the tau-b correction.  Returns a value in
+    ``[-1, 1]``; 0 means no association between the orderings.
+    """
+    _validate_pairs(xs, ys)
+    n = len(xs)
+    concordant = 0
+    discordant = 0
+    ties_x = 0
+    ties_y = 0
+    for i in range(n):
+        for j in range(i + 1, n):
+            dx = xs[i] - xs[j]
+            dy = ys[i] - ys[j]
+            if dx == 0 and dy == 0:
+                continue
+            if dx == 0:
+                ties_x += 1
+            elif dy == 0:
+                ties_y += 1
+            elif (dx > 0) == (dy > 0):
+                concordant += 1
+            else:
+                discordant += 1
+    total = concordant + discordant
+    denominator = math.sqrt((total + ties_x) * (total + ties_y))
+    if denominator == 0:
+        return 0.0
+    return (concordant - discordant) / denominator
+
+
+def _rank_with_ties(values: Sequence[float]) -> list[float]:
+    """Return average ranks (1-based) with ties sharing the mean rank."""
+    order = sorted(range(len(values)), key=lambda index: values[index])
+    ranks = [0.0] * len(values)
+    position = 0
+    while position < len(order):
+        tail = position
+        while (
+            tail + 1 < len(order)
+            and values[order[tail + 1]] == values[order[position]]
+        ):
+            tail += 1
+        average_rank = (position + tail) / 2.0 + 1.0
+        for index in order[position : tail + 1]:
+            ranks[index] = average_rank
+        position = tail + 1
+    return ranks
+
+
+def spearman_rho(xs: Sequence[float], ys: Sequence[float]) -> float:
+    """Spearman rank correlation between two paired samples."""
+    _validate_pairs(xs, ys)
+    rank_x = _rank_with_ties(xs)
+    rank_y = _rank_with_ties(ys)
+    mean_x = sum(rank_x) / len(rank_x)
+    mean_y = sum(rank_y) / len(rank_y)
+    cov = sum((a - mean_x) * (b - mean_y) for a, b in zip(rank_x, rank_y))
+    var_x = sum((a - mean_x) ** 2 for a in rank_x)
+    var_y = sum((b - mean_y) ** 2 for b in rank_y)
+    if var_x == 0 or var_y == 0:
+        return 0.0
+    return cov / math.sqrt(var_x * var_y)
+
+
+def rank_displacements(
+    baseline: Sequence[Hashable], reranked: Sequence[Hashable]
+) -> dict[Hashable, int]:
+    """Absolute position change of each item between two rankings.
+
+    Both rankings must contain exactly the same items (any order).
+    """
+    if set(baseline) != set(reranked):
+        raise StatisticsError("the two rankings must contain the same items")
+    if len(set(baseline)) != len(baseline):
+        raise StatisticsError("rankings must not contain duplicate items")
+    position_baseline = {item: index for index, item in enumerate(baseline)}
+    position_reranked = {item: index for index, item in enumerate(reranked)}
+    return {
+        item: abs(position_baseline[item] - position_reranked[item])
+        for item in baseline
+    }
+
+
+@dataclass(frozen=True)
+class RankingComparison:
+    """Summary of the differences between a baseline ranking and a re-ranking.
+
+    Mirrors exactly the statistics reported in Section 4.1: average
+    displacement, displacement variance, fraction of items displaced by more
+    than 5 and more than 10 positions, and fraction of coincident positions.
+    """
+
+    item_count: int
+    average_displacement: float
+    displacement_variance: float
+    max_displacement: int
+    fraction_displaced_over_5: float
+    fraction_displaced_over_10: float
+    fraction_coincident: float
+
+    def to_dict(self) -> dict[str, Any]:
+        """Serialise to a JSON-compatible dictionary."""
+        return {
+            "item_count": self.item_count,
+            "average_displacement": self.average_displacement,
+            "displacement_variance": self.displacement_variance,
+            "max_displacement": self.max_displacement,
+            "fraction_displaced_over_5": self.fraction_displaced_over_5,
+            "fraction_displaced_over_10": self.fraction_displaced_over_10,
+            "fraction_coincident": self.fraction_coincident,
+        }
+
+
+def displacement_statistics(displacements: Sequence[int]) -> RankingComparison:
+    """Summarise a collection of per-item displacements."""
+    if not displacements:
+        raise InsufficientDataError("no displacements provided")
+    count = len(displacements)
+    mean = sum(displacements) / count
+    variance = sum((value - mean) ** 2 for value in displacements) / count
+    return RankingComparison(
+        item_count=count,
+        average_displacement=mean,
+        displacement_variance=variance,
+        max_displacement=max(displacements),
+        fraction_displaced_over_5=sum(1 for value in displacements if value > 5) / count,
+        fraction_displaced_over_10=sum(1 for value in displacements if value > 10) / count,
+        fraction_coincident=sum(1 for value in displacements if value == 0) / count,
+    )
+
+
+def compare_rankings(
+    baseline: Sequence[Hashable], reranked: Sequence[Hashable]
+) -> RankingComparison:
+    """Compare two rankings of the same items (Section 4.1 statistics)."""
+    displacements = list(rank_displacements(baseline, reranked).values())
+    return displacement_statistics(displacements)

@@ -1,0 +1,144 @@
+"""Ordinary least squares linear regression with significance tests.
+
+Table 3 of the paper reports, for each factor component, the *direction*
+(positive / negative) of its relation with the Google rank and the
+significance level of that relation, obtained through linear regressions.
+This module provides a small OLS implementation returning coefficients,
+standard errors, t statistics and two-sided p-values.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Sequence
+
+import numpy as np
+from scipy import stats as scipy_stats
+
+from repro.errors import InsufficientDataError, StatisticsError
+
+__all__ = ["LinearRegressionResult", "linear_regression"]
+
+
+@dataclass(frozen=True)
+class LinearRegressionResult:
+    """Result of an OLS regression of ``y`` on one or more predictors."""
+
+    predictor_names: tuple[str, ...]
+    coefficients: tuple[float, ...]
+    intercept: float
+    standard_errors: tuple[float, ...]
+    t_statistics: tuple[float, ...]
+    p_values: tuple[float, ...]
+    r_squared: float
+    observations: int
+
+    def coefficient(self, name: str) -> float:
+        """Return the slope of the named predictor."""
+        return self.coefficients[self._index(name)]
+
+    def p_value(self, name: str) -> float:
+        """Return the two-sided p-value of the named predictor's slope."""
+        return self.p_values[self._index(name)]
+
+    def direction(self, name: str) -> str:
+        """Return ``"positive"`` or ``"negative"`` for the named predictor."""
+        return "positive" if self.coefficient(name) >= 0 else "negative"
+
+    def is_significant(self, name: str, alpha: float = 0.05) -> bool:
+        """True when the named predictor's slope is significant at ``alpha``."""
+        return self.p_value(name) < alpha
+
+    def _index(self, name: str) -> int:
+        try:
+            return self.predictor_names.index(name)
+        except ValueError as exc:
+            raise StatisticsError(f"unknown predictor: {name!r}") from exc
+
+    def to_dict(self) -> dict[str, Any]:
+        """Serialise to a JSON-compatible dictionary."""
+        return {
+            "predictors": list(self.predictor_names),
+            "coefficients": list(self.coefficients),
+            "intercept": self.intercept,
+            "standard_errors": list(self.standard_errors),
+            "t_statistics": list(self.t_statistics),
+            "p_values": list(self.p_values),
+            "r_squared": self.r_squared,
+            "observations": self.observations,
+        }
+
+
+def linear_regression(
+    predictors: Sequence[Sequence[float]] | Sequence[float],
+    response: Sequence[float],
+    predictor_names: Sequence[str] | None = None,
+) -> LinearRegressionResult:
+    """Fit ``response ~ intercept + predictors`` by ordinary least squares.
+
+    ``predictors`` may be a single sequence (simple regression) or a
+    sequence of columns (multiple regression, one sequence per predictor).
+    """
+    if response is None or len(response) == 0:
+        raise InsufficientDataError("response must not be empty")
+
+    if predictors and isinstance(predictors[0], (int, float)):
+        columns = [list(predictors)]  # type: ignore[list-item]
+    else:
+        columns = [list(column) for column in predictors]  # type: ignore[union-attr]
+    if not columns:
+        raise StatisticsError("at least one predictor is required")
+
+    names = tuple(predictor_names) if predictor_names else tuple(
+        f"x{index}" for index in range(len(columns))
+    )
+    if len(names) != len(columns):
+        raise StatisticsError("predictor_names must match the number of predictors")
+
+    y = np.asarray(list(response), dtype=float)
+    n = y.size
+    for column in columns:
+        if len(column) != n:
+            raise StatisticsError("all predictors must have the same length as the response")
+
+    p = len(columns)
+    if n <= p + 1:
+        raise InsufficientDataError(
+            f"need more than {p + 1} observations for {p} predictors, got {n}"
+        )
+
+    design = np.column_stack([np.ones(n)] + [np.asarray(column, dtype=float) for column in columns])
+    beta, _, rank, _ = np.linalg.lstsq(design, y, rcond=None)
+    if rank < design.shape[1]:
+        raise StatisticsError("design matrix is rank deficient (collinear predictors)")
+
+    fitted = design @ beta
+    residuals = y - fitted
+    dof = n - (p + 1)
+    residual_variance = float(residuals @ residuals) / dof if dof > 0 else 0.0
+    covariance = residual_variance * np.linalg.inv(design.T @ design)
+    standard_errors = np.sqrt(np.diag(covariance))
+
+    t_stats = np.zeros(p + 1)
+    p_values = np.ones(p + 1)
+    for index in range(p + 1):
+        if standard_errors[index] > 0:
+            t_stats[index] = beta[index] / standard_errors[index]
+            p_values[index] = 2.0 * float(
+                scipy_stats.t.sf(abs(t_stats[index]), dof)
+            )
+
+    total_ss = float(((y - y.mean()) ** 2).sum())
+    residual_ss = float((residuals**2).sum())
+    r_squared = 1.0 - residual_ss / total_ss if total_ss > 0 else 0.0
+
+    return LinearRegressionResult(
+        predictor_names=names,
+        coefficients=tuple(float(value) for value in beta[1:]),
+        intercept=float(beta[0]),
+        standard_errors=tuple(float(value) for value in standard_errors[1:]),
+        t_statistics=tuple(float(value) for value in t_stats[1:]),
+        p_values=tuple(float(value) for value in p_values[1:]),
+        r_squared=r_squared,
+        observations=n,
+    )

@@ -1,0 +1,79 @@
+"""Shared fixtures.
+
+Dataset construction is the slow part of the suite, so corpora, communities
+and case-study datasets are built once per session and shared read-only by
+the tests that need them.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.domain import DomainOfInterest, TimeInterval
+from repro.datasets.london_twitter import LondonTwitterSpec, build_london_twitter
+from repro.datasets.milan_tourism import MilanTourismSpec, build_milan_tourism
+from repro.sources.corpus import SourceCorpus
+from repro.sources.generators import CorpusGenerator, CorpusSpec, SourceGenerator, SourceSpec
+from repro.sources.twitter import MicroblogGenerator, MicroblogSpec
+
+
+@pytest.fixture(scope="session")
+def small_corpus() -> SourceCorpus:
+    """A small but fully populated corpus of blogs and forums."""
+    return CorpusGenerator(
+        CorpusSpec(source_count=12, seed=3, discussion_budget=10, user_budget=12)
+    ).generate()
+
+
+@pytest.fixture(scope="session")
+def single_source():
+    """One richly populated source."""
+    return SourceGenerator(
+        SourceSpec(
+            source_id="fixture-source",
+            focus_categories=("travel", "food"),
+            latent_popularity=0.7,
+            latent_engagement=0.6,
+            discussion_budget=15,
+            user_budget=15,
+        ),
+        seed=11,
+    ).generate()
+
+
+@pytest.fixture(scope="session")
+def travel_domain() -> DomainOfInterest:
+    """A Domain of Interest over travel/food with a time window."""
+    return DomainOfInterest(
+        categories=("travel", "food"),
+        time_interval=TimeInterval(0.0, 365.0),
+        locations=("Milan",),
+        name="travel-domain",
+    )
+
+
+@pytest.fixture(scope="session")
+def small_community():
+    """A small microblog community (fast to analyse exhaustively)."""
+    return MicroblogGenerator(
+        MicroblogSpec(account_count=60, seed=5, sample_tweet_count=6)
+    ).generate()
+
+
+@pytest.fixture(scope="session")
+def london_dataset():
+    """A reduced London Twitter dataset (same pipeline, fewer accounts)."""
+    return build_london_twitter(LondonTwitterSpec(account_count=240, seed=23))
+
+
+@pytest.fixture(scope="session")
+def milan_dataset():
+    """A reduced Milan tourism dataset."""
+    return build_milan_tourism(
+        MilanTourismSpec(
+            microblog_accounts=40,
+            review_discussions=15,
+            blog_discussions=12,
+            noise_sources=2,
+        )
+    )

@@ -1,0 +1,197 @@
+"""Tests for the source/contributor quality models and the filtering layer."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.contributor_quality import ContributorQualityModel
+from repro.core.dimensions import QualityAttribute, QualityDimension
+from repro.core.domain import DomainOfInterest
+from repro.core.filtering import InfluencerDetector, QualityFilter, QualityRanker
+from repro.core.measures import source_measure_registry
+from repro.core.scoring import dimension_weighted_scheme
+from repro.core.source_quality import SourceQualityModel
+from repro.errors import AssessmentError
+from repro.sources.corpus import SourceCorpus
+from repro.sources.generators import SourceGenerator, SourceSpec
+
+
+@pytest.fixture(scope="module")
+def assessments(small_corpus, travel_domain):
+    model = SourceQualityModel(travel_domain)
+    return model.assess_corpus(small_corpus)
+
+
+class TestSourceQualityModel:
+    def test_every_source_is_assessed(self, assessments, small_corpus):
+        assert set(assessments) == set(small_corpus.source_ids())
+
+    def test_scores_are_bounded(self, assessments):
+        for assessment in assessments.values():
+            assert 0.0 <= assessment.overall <= 1.0
+            for value in assessment.score.normalized_values.values():
+                assert 0.0 <= value <= 1.0
+
+    def test_dimension_and_attribute_breakdowns_present(self, assessments):
+        sample = next(iter(assessments.values()))
+        assert QualityDimension.AUTHORITY in sample.score.dimension_scores
+        assert QualityAttribute.TRAFFIC in sample.score.attribute_scores
+
+    def test_ranking_is_sorted_and_deterministic(self, small_corpus, travel_domain):
+        model = SourceQualityModel(travel_domain)
+        ranking = model.rank(small_corpus)
+        overall = [assessment.overall for assessment in ranking]
+        assert overall == sorted(overall, reverse=True)
+        assert model.ranking_ids(small_corpus) == [a.source_id for a in ranking]
+
+    def test_quality_tracks_latent_quality(self, travel_domain):
+        """A source that is popular, engaged and on-topic outranks a weak one."""
+        strong = SourceGenerator(
+            SourceSpec(
+                source_id="strong", focus_categories=("travel", "food"),
+                latent_popularity=0.95, latent_engagement=0.9, latent_stickiness=0.9,
+                discussion_budget=15, user_budget=15, off_topic_rate=0.02,
+            ),
+            seed=1,
+        ).generate()
+        weak = SourceGenerator(
+            SourceSpec(
+                source_id="weak", focus_categories=("finance",),
+                latent_popularity=0.05, latent_engagement=0.05, latent_stickiness=0.1,
+                discussion_budget=15, user_budget=15, off_topic_rate=0.5,
+            ),
+            seed=2,
+        ).generate()
+        corpus = SourceCorpus([strong, weak])
+        ranking = SourceQualityModel(travel_domain).ranking_ids(corpus)
+        assert ranking[0] == "strong"
+
+    def test_domain_independent_only_restricts_registry(self, travel_domain):
+        model = SourceQualityModel(travel_domain, domain_independent_only=True)
+        assert all(not measure.domain_dependent for measure in model.registry)
+
+    def test_empty_corpus_rejected(self, travel_domain):
+        with pytest.raises(AssessmentError):
+            SourceQualityModel(travel_domain).assess_corpus(SourceCorpus())
+
+    def test_assess_single_source(self, small_corpus, travel_domain):
+        model = SourceQualityModel(travel_domain)
+        source = small_corpus.sources()[0]
+        assessment = model.assess(source, small_corpus)
+        assert assessment.source_id == source.source_id
+
+    def test_custom_scheme_changes_scores(self, small_corpus, travel_domain):
+        registry = source_measure_registry()
+        authority_heavy = dimension_weighted_scheme(
+            registry, {QualityDimension.AUTHORITY: 1.0}
+        )
+        base = SourceQualityModel(travel_domain).assess_corpus(small_corpus)
+        weighted = SourceQualityModel(
+            travel_domain, scheme=authority_heavy
+        ).assess_corpus(small_corpus)
+        differences = [
+            abs(base[name].overall - weighted[name].overall) for name in base
+        ]
+        assert max(differences) > 1e-6
+
+
+class TestContributorQualityModel:
+    def test_contributors_are_assessed_and_bounded(self, single_source, travel_domain):
+        model = ContributorQualityModel(travel_domain)
+        assessments = model.assess_source(single_source)
+        assert set(assessments) == single_source.contributors()
+        for assessment in assessments.values():
+            assert 0.0 <= assessment.overall <= 1.0
+            assert 0.0 <= assessment.influencer_score() <= 1.0
+
+    def test_rank_by_influence_differs_from_overall(self, single_source, travel_domain):
+        model = ContributorQualityModel(travel_domain)
+        by_quality = [a.user_id for a in model.rank(single_source)]
+        by_influence = [a.user_id for a in model.rank(single_source, by_influence=True)]
+        assert set(by_quality) == set(by_influence)
+
+    def test_unknown_user_rejected(self, single_source, travel_domain):
+        model = ContributorQualityModel(travel_domain)
+        with pytest.raises(AssessmentError):
+            model.assess(single_source, "ghost")
+
+    def test_influencer_score_blends_absolute_and_relative(self, single_source, travel_domain):
+        model = ContributorQualityModel(travel_domain)
+        assessment = next(iter(model.assess_source(single_source).values()))
+        pure_absolute = assessment.influencer_score(absolute_weight=1.0)
+        pure_relative = assessment.influencer_score(absolute_weight=0.0)
+        assert pure_absolute == pytest.approx(assessment.absolute_activity)
+        assert pure_relative == pytest.approx(assessment.relative_efficiency)
+
+
+class TestQualityRankerAndFilter:
+    def test_ranker_positions_are_sequential(self, small_corpus, travel_domain):
+        ranker = QualityRanker(SourceQualityModel(travel_domain))
+        ranking = ranker.rank(small_corpus)
+        assert [entry.rank for entry in ranking] == list(range(1, len(small_corpus) + 1))
+
+    def test_top_sources_prefix_of_ranking(self, small_corpus, travel_domain):
+        ranker = QualityRanker(SourceQualityModel(travel_domain))
+        top = ranker.top_sources(small_corpus, 3)
+        assert top == [entry.source_id for entry in ranker.rank(small_corpus)[:3]]
+        with pytest.raises(AssessmentError):
+            ranker.top_sources(small_corpus, -1)
+
+    def test_select_by_thresholds(self, small_corpus, travel_domain):
+        ranker = QualityRanker(SourceQualityModel(travel_domain))
+        everything = ranker.select(small_corpus, minimum_overall=0.0)
+        assert len(everything) == len(small_corpus)
+        nothing = ranker.select(small_corpus, minimum_overall=1.01)
+        assert nothing == []
+        constrained = ranker.select(
+            small_corpus,
+            minimum_dimension={QualityDimension.AUTHORITY: 0.2},
+            minimum_attribute={QualityAttribute.TRAFFIC: 0.2},
+        )
+        assert all(
+            item.score.dimension(QualityDimension.AUTHORITY) >= 0.2 for item in constrained
+        )
+
+    def test_quality_filter_category_and_breadth(self, small_corpus, travel_domain):
+        quality_filter = QualityFilter(travel_domain)
+        by_category = quality_filter.by_category(small_corpus, "travel")
+        assert all("travel" in s.covered_categories() for s in by_category)
+        broad = quality_filter.by_breadth(small_corpus, minimum_categories=1)
+        assert len(broad) <= len(small_corpus)
+        all_kept = quality_filter.by_predicate(small_corpus, lambda source: True)
+        assert len(all_kept) == len(small_corpus)
+
+    def test_quality_filter_freshness(self, small_corpus, travel_domain):
+        quality_filter = QualityFilter(travel_domain)
+        fresh = quality_filter.by_freshness(small_corpus, max_average_thread_age=1e9)
+        assert len(fresh) == len(small_corpus)
+        none_fresh = quality_filter.by_freshness(small_corpus, max_average_thread_age=-1.0)
+        assert len(none_fresh) == 0
+
+
+class TestInfluencerDetector:
+    def test_detects_at_most_top(self, single_source, travel_domain):
+        detector = InfluencerDetector(ContributorQualityModel(travel_domain))
+        influencers = detector.detect(single_source, top=5)
+        assert len(influencers) <= 5
+        scores = [detector.score(item) for item in influencers]
+        assert scores == sorted(scores, reverse=True)
+
+    def test_minimum_relative_excludes_spammer_profile(self, single_source, travel_domain):
+        """With an impossibly high relative threshold nobody qualifies."""
+        detector = InfluencerDetector(
+            ContributorQualityModel(travel_domain), minimum_relative=2.0
+        )
+        assert detector.detect(single_source) == []
+
+    def test_invalid_parameters_rejected(self, travel_domain):
+        model = ContributorQualityModel(travel_domain)
+        with pytest.raises(AssessmentError):
+            InfluencerDetector(model, absolute_weight=1.5)
+        with pytest.raises(AssessmentError):
+            InfluencerDetector(model, minimum_relative=-0.1)
+
+    def test_influencer_ids_matches_detect(self, single_source, travel_domain):
+        detector = InfluencerDetector(ContributorQualityModel(travel_domain))
+        ids = detector.influencer_ids(single_source, top=3)
+        assert ids == [a.user_id for a in detector.detect(single_source, top=3)]

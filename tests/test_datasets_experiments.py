@@ -1,0 +1,207 @@
+"""Tests for the evaluation datasets and the per-table experiment drivers."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.dimensions import QualityAttribute, QualityDimension
+from repro.datasets.google_study import GoogleStudySpec, build_google_study
+from repro.datasets.london_twitter import TABLE4_MEASURES, LondonTwitterSpec
+from repro.datasets.milan_tourism import MilanTourismSpec
+from repro.experiments.figure1_mashup import Figure1Spec, run_figure1
+from repro.experiments.ranking_comparison import RankingStudySpec, run_ranking_comparison
+from repro.experiments.reporting import format_markdown_table, format_number
+from repro.experiments.table1_source_model import run_table1
+from repro.experiments.table2_contributor_model import run_table2
+from repro.experiments.table3_factor_analysis import Table3Spec, run_table3
+from repro.experiments.table4_contributor_anova import Table4Spec, run_table4
+from repro.sources.models import AccountKind, SourceType
+
+
+@pytest.fixture(scope="module")
+def tiny_google_dataset():
+    """A deliberately small ranking-study dataset for fast experiment tests."""
+    return build_google_study(
+        GoogleStudySpec(source_count=60, query_count=12, seed=19, discussion_budget=10)
+    )
+
+
+class TestReporting:
+    def test_format_number(self):
+        assert format_number(3) == "3"
+        assert format_number(3.14159) == "3.142"
+        assert format_number(2.0) == "2"
+        assert format_number(1234567.0) == "1,234,567"
+        assert format_number("text") == "text"
+        assert format_number(float("nan")) == "nan"
+
+    def test_markdown_table_shape(self):
+        table = format_markdown_table(("a", "b"), [(1, 2.5), ("x", "y")])
+        lines = table.splitlines()
+        assert lines[0] == "| a | b |"
+        assert lines[1] == "| --- | --- |"
+        assert len(lines) == 4
+
+
+class TestGoogleStudyDataset:
+    def test_dataset_shape(self, tiny_google_dataset):
+        dataset = tiny_google_dataset
+        assert dataset.site_count == 60
+        assert len(dataset.workload) == 12
+        assert {source.source_type for source in dataset.corpus} <= {
+            SourceType.BLOG,
+            SourceType.FORUM,
+        }
+
+    def test_queries_return_results(self, tiny_google_dataset):
+        dataset = tiny_google_dataset
+        query = next(iter(dataset.workload))
+        results = dataset.engine.search(query.text, limit=20)
+        assert results, "every query category has matching sources in the corpus"
+
+    def test_paper_scale_spec(self):
+        spec = GoogleStudySpec.paper_scale()
+        assert spec.source_count >= 1000
+        assert spec.query_count >= 100
+
+
+class TestLondonTwitterDataset:
+    def test_dataset_size_and_labels(self, london_dataset):
+        assert len(london_dataset) == london_dataset.spec.account_count
+        sizes = london_dataset.class_sizes()
+        assert set(sizes) == {"person", "news", "brand"}
+        assert sum(sizes.values()) == len(london_dataset)
+
+    def test_measure_groups_cover_every_account(self, london_dataset):
+        for measure in TABLE4_MEASURES:
+            groups = london_dataset.measure_groups(measure)
+            assert sum(len(values) for values in groups.values()) == len(london_dataset)
+
+    def test_by_kind_filter(self, london_dataset):
+        people = london_dataset.by_kind(AccountKind.PERSON)
+        assert all(activity.kind is AccountKind.PERSON for activity in people)
+
+    def test_population_factor(self):
+        spec = LondonTwitterSpec(account_count=100, population_factor=1.5)
+        assert spec.population_size() == 150
+
+
+class TestMilanTourismDataset:
+    def test_dataset_contains_named_sources(self, milan_dataset):
+        assert set(milan_dataset.primary_source_ids) == {
+            "twitter-milan",
+            "tripadvisor-milan",
+            "lonelyplanet-milan",
+        }
+        assert milan_dataset.review_source.source_type is SourceType.REVIEW_SITE
+        assert milan_dataset.twitter_source.source_type is SourceType.MICROBLOG
+
+    def test_domain_is_tourism_scoped(self, milan_dataset):
+        domain = milan_dataset.domain
+        assert "attractions" in domain.categories
+        assert domain.covers_location("Milan")
+        assert domain.time_interval is not None
+
+    def test_noise_sources_present(self, milan_dataset):
+        assert len(milan_dataset.corpus) == 3 + milan_dataset.spec.noise_sources
+
+
+class TestTable1Experiment:
+    def test_matrix_shape(self, small_corpus, travel_domain):
+        result = run_table1(small_corpus, travel_domain)
+        assert len(result.rows) == 19
+        assert len(result.applicable_cells()) == 16
+        assert result.source_count == len(small_corpus)
+        assert "open_discussion_category_coverage" in result.to_markdown()
+        cell = result.cell(QualityDimension.AUTHORITY, QualityAttribute.TRAFFIC)
+        assert {row.measure for row in cell} == {
+            "daily_visitors", "daily_page_views", "time_on_site",
+        }
+        for row in result.rows:
+            assert 0.0 <= row.mean_normalized <= 1.0
+
+
+class TestTable2Experiment:
+    def test_matrix_shape(self, small_community, travel_domain):
+        source = small_community.to_source("community-under-test")
+        result = run_table2(source, max_contributors=40)
+        assert len(result.rows) == 15
+        assert result.contributor_count <= 40
+        assert "user_total_interactions" in result.to_markdown()
+
+
+class TestRankingComparisonExperiment:
+    def test_statistics_are_consistent(self, tiny_google_dataset):
+        result = run_ranking_comparison(
+            RankingStudySpec(study=tiny_google_dataset.spec), dataset=tiny_google_dataset
+        )
+        assert result.evaluated_queries > 0
+        assert result.total_result_slots >= result.evaluated_queries * 5
+        assert 0.0 <= result.fraction_coincident <= 1.0
+        assert 0.0 <= result.fraction_displaced_over_10 <= result.fraction_displaced_over_5 <= 1.0
+        assert result.average_displacement >= 0.0
+        assert set(result.per_measure_tau) >= {"daily_visitors", "traffic_rank"}
+        assert all(-1.0 <= tau <= 1.0 for tau in result.per_measure_tau.values())
+        assert result.to_markdown().count("|") > 10
+        # Per-query outcomes contain permutations of the same sites.
+        outcome = result.outcomes[0]
+        assert set(outcome.search_ranking) == set(outcome.quality_ranking)
+
+
+class TestTable3Experiment:
+    def test_components_and_directions(self, tiny_google_dataset):
+        result = run_table3(
+            Table3Spec(study=tiny_google_dataset.spec), dataset=tiny_google_dataset
+        )
+        assert set(result.measure_assignments) == {
+            "traffic_rank", "daily_visitors", "daily_page_views", "inbound_links",
+            "open_discussions_vs_largest", "new_discussions_per_day",
+            "comments_per_discussion", "comments_per_discussion_per_day",
+            "bounce_rate", "time_on_site",
+        }
+        labels = {relation.component for relation in result.relations}
+        assert len(labels) == 3
+        assert 0.0 <= result.assignment_purity() <= 1.0
+        for relation in result.relations:
+            assert relation.direction in {"positive", "negative"}
+            assert 0.0 <= relation.p_value <= 1.0
+        assert "Identified component" in result.to_markdown()
+
+
+class TestTable4Experiment:
+    def test_absolute_patterns_match_paper(self, london_dataset):
+        result = run_table4(Table4Spec(), dataset=london_dataset)
+        signs = result.sign_matrix()
+        assert signs["interactions"]["person-brand"] == ">"
+        assert signs["interactions"]["news-brand"] == ">"
+        assert signs["mentions"]["person-brand"] == ">"
+        assert signs["mentions"]["person-news"] == ">"
+        assert signs["retweets"]["person-news"] == "<"
+        assert signs["retweets"]["news-brand"] == ">"
+        assert result.account_count == len(london_dataset)
+        assert result.volume_orders_of_magnitude > 2.5
+        assert len(result.cells) == len(TABLE4_MEASURES) * 3
+        assert "Interactions" in result.to_markdown()
+
+    def test_cell_lookup(self, london_dataset):
+        result = run_table4(Table4Spec(), dataset=london_dataset)
+        cell = result.cell("mentions", "person", "brand")
+        assert cell.sign in {">", "<", "="}
+        with pytest.raises(KeyError):
+            result.cell("mentions", "person", "ghost")
+
+
+class TestFigure1Experiment:
+    def test_dashboard_behaviour(self, milan_dataset):
+        result = run_figure1(Figure1Spec(influencer_top=8), dataset=milan_dataset)
+        assert result.item_count > 0
+        assert 0 < result.influencer_item_count <= result.item_count
+        assert len(result.top_source_ids) == 3
+        assert set(result.top_source_ids) <= set(
+            source.source_id for source in milan_dataset.corpus
+        )
+        assert result.selection_propagated
+        assert result.influencer_view["viewer"] == "list"
+        assert result.influencer_map["viewer"] == "map"
+        assert -1.0 <= result.quality_weighted_polarity <= 1.0
+        assert "quality-weighted sentiment" in result.to_markdown()

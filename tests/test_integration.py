@@ -1,0 +1,107 @@
+"""Cross-module integration tests: full pipelines from generation to dashboards."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.contributor_quality import ContributorQualityModel
+from repro.core.domain import DomainOfInterest
+from repro.core.filtering import InfluencerDetector, QualityRanker
+from repro.core.source_quality import SourceQualityModel
+from repro.errors import ReproError, MashupError, StatisticsError
+from repro.mashup.analysis import QualityRankingService, SentimentAnalysisService
+from repro.mashup.composition import Mashup
+from repro.mashup.data_services import CorpusDataService
+from repro.mashup.filters import InfluencerFilter, QualitySourceFilter
+from repro.mashup.viewers import ChartViewer, ListViewer
+from repro.search.engine import SearchEngine
+from repro.sentiment.indicators import SentimentIndicatorService
+from repro.sources.corpus import SourceCorpus
+from repro.stats.ranking import compare_rankings
+
+
+class TestErrorHierarchy:
+    def test_all_library_errors_share_the_base_class(self):
+        assert issubclass(MashupError, ReproError)
+        assert issubclass(StatisticsError, ReproError)
+
+
+class TestEndToEndQualityPipeline:
+    def test_crawl_assess_rank_and_filter(self, small_corpus, travel_domain):
+        """Generation -> crawling -> measures -> normalisation -> ranking -> selection."""
+        model = SourceQualityModel(travel_domain)
+        ranker = QualityRanker(model)
+        ranking = ranker.rank(small_corpus)
+        assert len(ranking) == len(small_corpus)
+
+        top_ids = ranker.top_sources(small_corpus, 3)
+        selected = ranker.select(small_corpus, minimum_overall=ranking[2].overall)
+        assert set(top_ids) <= {assessment.source_id for assessment in selected}
+
+    def test_search_vs_quality_reranking_round_trip(self, small_corpus, travel_domain):
+        engine = SearchEngine(small_corpus)
+        results = engine.search("travel flight resort guide", limit=8)
+        if len(results) < 3:
+            pytest.skip("corpus too small for this query")
+        search_ids = [result.source_id for result in results]
+        sub_corpus = SourceCorpus(small_corpus.get(source_id) for source_id in search_ids)
+        quality_ids = SourceQualityModel(travel_domain).ranking_ids(sub_corpus)
+        comparison = compare_rankings(search_ids, quality_ids)
+        assert comparison.item_count == len(search_ids)
+
+    def test_quality_weighted_sentiment_pipeline(self, milan_dataset):
+        """Source quality weights feed the sentiment indicator, as in Section 6."""
+        model = SourceQualityModel(milan_dataset.domain)
+        assessments = model.assess_corpus(milan_dataset.corpus)
+        weights = {source_id: item.overall for source_id, item in assessments.items()}
+        service = SentimentIndicatorService()
+        weighted = service.indicator(milan_dataset.corpus, quality_weights=weights)
+        unweighted = service.indicator(milan_dataset.corpus)
+        assert weighted.weighted and not unweighted.weighted
+        assert -1.0 <= weighted.overall_polarity <= 1.0
+
+
+class TestEndToEndMashup:
+    def test_quality_ranking_service_feeds_quality_filter(self, milan_dataset):
+        """A composition where the quality analysis service drives the filter."""
+        ranker = QualityRanker(SourceQualityModel(milan_dataset.domain))
+        ranking_service = QualityRankingService(
+            "rank", ranker=ranker, corpus=milan_dataset.corpus, top=3
+        )
+        produced = ranking_service.process({})
+        weights = produced["quality_weights"]
+        assert set(produced["top_source_ids"]) <= set(weights)
+
+        detector = InfluencerDetector(ContributorQualityModel(milan_dataset.domain))
+        influencers = detector.influencer_ids(milan_dataset.twitter_source, top=10)
+
+        mashup = Mashup("integration")
+        mashup.add(CorpusDataService("data", milan_dataset.corpus))
+        mashup.add(QualitySourceFilter("quality", quality_weights=weights, minimum_quality=0.3))
+        mashup.add(InfluencerFilter("influencers", influencer_ids=influencers))
+        mashup.add(SentimentAnalysisService("sentiment"))
+        mashup.add(ListViewer("list"))
+        mashup.add(ChartViewer("chart"))
+        mashup.connect("data", "items", "quality", "items")
+        mashup.connect("quality", "items", "influencers", "items")
+        mashup.connect("influencers", "items", "sentiment", "items")
+        mashup.connect("sentiment", "items", "list", "items")
+        mashup.connect("sentiment", "items", "chart", "items")
+        state = mashup.execute()
+
+        filtered = state.output("influencers", "items")
+        assert all(item.author_id in set(influencers) for item in filtered)
+        assert all(item.quality_weight >= 0.3 for item in filtered)
+        indicator = state.output("sentiment", "indicator")
+        assert indicator["item_count"] == len(filtered)
+        assert state.view("chart")["viewer"] == "chart"
+
+    def test_contributor_model_on_converted_microblog(self, small_community):
+        """Table 2 model runs unchanged on a microblog community via to_source()."""
+        source = small_community.to_source("converted")
+        domain = DomainOfInterest(categories=("news", "travel", "music"))
+        model = ContributorQualityModel(domain)
+        contributors = sorted(source.contributors())[:25]
+        assessments = model.assess_source(source, contributors)
+        assert len(assessments) == len(contributors)
+        assert all(0.0 <= item.overall <= 1.0 for item in assessments.values())

@@ -1,0 +1,221 @@
+"""Tests for the mashup component layer: events, content items, data services,
+filters and analysis services."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.domain import TimeInterval
+from repro.errors import MashupError, WiringError
+from repro.mashup.analysis import BuzzWordService, SentimentAnalysisService
+from repro.mashup.component import Component, ContentItem, items_from_posts
+from repro.mashup.data_services import (
+    CorpusDataService,
+    MicroblogDataService,
+    ReviewDataService,
+    SourceDataService,
+)
+from repro.mashup.events import Event, EventBus
+from repro.mashup.filters import (
+    CategoryFilter,
+    InfluencerFilter,
+    LocationFilter,
+    QualitySourceFilter,
+    TimeWindowFilter,
+    UnionMerge,
+)
+from repro.sources.corpus import SourceCorpus
+from repro.sources.models import SourceType
+
+
+def make_item(item_id="i1", author="u1", category="travel", day=10.0, **kwargs):
+    defaults = dict(
+        source_id="s1", text="a wonderful trip", location="Milan", tags=("travel",)
+    )
+    defaults.update(kwargs)
+    return ContentItem(item_id=item_id, author_id=author, day=day, category=category, **defaults)
+
+
+class TestEventBus:
+    def test_publish_reaches_subscribers_in_order(self):
+        bus = EventBus()
+        received = []
+        bus.subscribe("topic", lambda event: received.append(("a", event.payload)))
+        bus.subscribe("topic", lambda event: received.append(("b", event.payload)))
+        notified = bus.emit("topic", 42, publisher="me")
+        assert notified == 2
+        assert received == [("a", 42), ("b", 42)]
+
+    def test_unsubscribe_and_history(self):
+        bus = EventBus()
+        handler = lambda event: None
+        bus.subscribe("topic", handler)
+        bus.unsubscribe("topic", handler)
+        assert bus.emit("topic", 1) == 0
+        assert len(bus.history()) == 1
+        assert bus.history("other") == []
+        bus.clear_history()
+        assert bus.history() == []
+
+
+class TestContentItem:
+    def test_with_helpers_do_not_mutate_original(self):
+        item = make_item()
+        annotated = item.with_sentiment(0.5).with_quality_weight(0.8).with_attributes(x=1)
+        assert item.sentiment is None
+        assert item.quality_weight == 1.0
+        assert annotated.sentiment == 0.5
+        assert annotated.quality_weight == 0.8
+        assert annotated.attributes["x"] == 1
+
+    def test_items_from_posts(self, single_source):
+        posts = list(single_source.posts())[:5]
+        items = items_from_posts(single_source.source_id, posts)
+        assert len(items) == 5
+        assert items[0].item_id == posts[0].post_id
+        assert items[0].source_id == single_source.source_id
+
+    def test_component_requires_items_payload(self):
+        component = CategoryFilter("c", categories=["travel"])
+        with pytest.raises(WiringError):
+            component.process({})
+        with pytest.raises(WiringError):
+            component.process({"items": ["not-an-item"]})
+
+    def test_component_id_required(self):
+        with pytest.raises(MashupError):
+            CategoryFilter("", categories=["travel"])
+
+
+class TestDataServices:
+    def test_source_data_service_emits_every_post(self, single_source):
+        service = SourceDataService("data", single_source)
+        items = service.process({})["items"]
+        assert len(items) == single_source.post_count()
+        assert {item.source_id for item in items} == {single_source.source_id}
+
+    def test_corpus_data_service_type_and_id_filters(self, small_corpus):
+        everything = CorpusDataService("all", small_corpus).fetch()
+        assert len(everything) == small_corpus.statistics().post_count
+        only_blogs = CorpusDataService(
+            "blogs", small_corpus, source_types=(SourceType.BLOG,)
+        ).fetch()
+        blog_ids = {s.source_id for s in small_corpus.of_type(SourceType.BLOG)}
+        assert {item.source_id for item in only_blogs} <= blog_ids
+        chosen = small_corpus.source_ids()[0]
+        only_one = CorpusDataService("one", small_corpus, source_ids=(chosen,)).fetch()
+        assert {item.source_id for item in only_one} == {chosen}
+
+    def test_corpus_data_service_rejects_empty_corpus(self):
+        with pytest.raises(MashupError):
+            CorpusDataService("empty", SourceCorpus())
+
+    def test_microblog_data_service_drops_textless_items(self, small_community):
+        service = MicroblogDataService("tw", small_community)
+        items = service.fetch()
+        assert items
+        assert all(item.text for item in items)
+
+    def test_review_data_service_requires_review_site(self, single_source):
+        with pytest.raises(MashupError):
+            ReviewDataService("rev", single_source)
+
+    def test_describe_includes_ports(self, single_source):
+        description = SourceDataService("data", single_source).describe()
+        assert description["outputs"] == ["items"]
+        assert description["source_id"] == single_source.source_id
+
+
+class TestFilters:
+    def test_category_filter(self):
+        items = [make_item("a", category="travel"), make_item("b", category="food")]
+        kept = CategoryFilter("f", categories=["travel"]).process({"items": items})["items"]
+        assert [item.item_id for item in kept] == ["a"]
+        with pytest.raises(MashupError):
+            CategoryFilter("f", categories=[])
+
+    def test_time_window_filter(self):
+        items = [make_item("a", day=5.0), make_item("b", day=50.0)]
+        kept = TimeWindowFilter("f", interval=TimeInterval(0.0, 10.0)).process(
+            {"items": items}
+        )["items"]
+        assert [item.item_id for item in kept] == ["a"]
+
+    def test_location_filter(self):
+        items = [
+            make_item("a", location="Milan"),
+            make_item("b", location="Rome"),
+            make_item("c", location=None),
+        ]
+        keep_milan = LocationFilter("f", locations=["milan"]).process({"items": items})
+        assert [item.item_id for item in keep_milan["items"]] == ["a"]
+        keep_untagged = LocationFilter(
+            "f2", locations=["milan"], keep_untagged=True
+        ).process({"items": items})
+        assert [item.item_id for item in keep_untagged["items"]] == ["a", "c"]
+        with pytest.raises(MashupError):
+            LocationFilter("f3", locations=[])
+
+    def test_influencer_filter_with_explicit_ids(self):
+        items = [make_item("a", author="star"), make_item("b", author="nobody")]
+        result = InfluencerFilter("f", influencer_ids=["star"]).process({"items": items})
+        assert [item.item_id for item in result["items"]] == ["a"]
+        assert result["influencers"] == ["star"]
+
+    def test_influencer_filter_requires_configuration(self):
+        with pytest.raises(MashupError):
+            InfluencerFilter("f")
+
+    def test_quality_source_filter_annotates_and_drops(self):
+        items = [make_item("a", source_id="good"), make_item("b", source_id="bad")]
+        result = QualitySourceFilter(
+            "f", quality_weights={"good": 0.9, "bad": 0.2}, minimum_quality=0.5
+        ).process({"items": items})
+        kept = result["items"]
+        assert [item.item_id for item in kept] == ["a"]
+        assert kept[0].quality_weight == pytest.approx(0.9)
+        with pytest.raises(MashupError):
+            QualitySourceFilter("f", quality_weights={}, minimum_quality=-1.0)
+
+    def test_union_merge_deduplicates(self):
+        left = [make_item("a"), make_item("b")]
+        right = [make_item("b"), make_item("c")]
+        merged = UnionMerge("m").process({"left": left, "right": right})["items"]
+        assert [item.item_id for item in merged] == ["a", "b", "c"]
+
+
+class TestAnalysisServices:
+    def test_sentiment_service_annotates_and_summarises(self):
+        items = [
+            make_item("a", text="a wonderful amazing museum", category="attractions"),
+            make_item("b", text="terrible awful queue", category="transport"),
+            make_item("c", text="the tram number four", category="transport"),
+        ]
+        result = SentimentAnalysisService("s").process({"items": items})
+        annotated = result["items"]
+        indicator = result["indicator"]
+        assert annotated[0].sentiment > 0
+        assert annotated[1].sentiment < 0
+        assert indicator["item_count"] == 3
+        assert indicator["opinionated_count"] == 2
+        assert "attractions" in indicator["per_category"]
+
+    def test_sentiment_quality_weighting(self):
+        items = [
+            make_item("a", text="wonderful", source_id="good").with_quality_weight(1.0),
+            make_item("b", text="terrible", source_id="bad").with_quality_weight(0.01),
+        ]
+        indicator = SentimentAnalysisService("s").process({"items": items})["indicator"]
+        assert indicator["quality_weighted_polarity"] > indicator["average_polarity"]
+
+    def test_buzzword_service_ranks_frequent_content_words(self):
+        items = [
+            make_item("a", text="duomo duomo duomo gelato"),
+            make_item("b", text="gelato duomo espresso"),
+        ]
+        buzz = BuzzWordService("b", top=2).process({"items": items})["buzzwords"]
+        assert buzz[0]["word"] == "duomo"
+        assert buzz[0]["count"] == 4
+        assert len(buzz) == 2
+        with pytest.raises(MashupError):
+            BuzzWordService("b", top=0)

@@ -1,0 +1,238 @@
+"""Tests for viewers, the composition engine and the component registry."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.errors import (
+    CompositionError,
+    MashupError,
+    UnknownComponentError,
+    WiringError,
+)
+from repro.mashup.component import ContentItem
+from repro.mashup.composition import Mashup
+from repro.mashup.data_services import CorpusDataService, SourceDataService
+from repro.mashup.filters import CategoryFilter
+from repro.mashup.analysis import SentimentAnalysisService
+from repro.mashup.registry import ComponentRegistry, default_registry
+from repro.mashup.viewers import ChartViewer, ListViewer, MapViewer
+
+
+def make_items(count=4):
+    return [
+        ContentItem(
+            item_id=f"i{index}",
+            source_id="s1",
+            author_id=f"u{index % 2}",
+            day=float(index),
+            text="a lovely place" if index % 2 == 0 else "an awful place",
+            category="travel" if index % 2 == 0 else "food",
+            location="Milan" if index % 2 == 0 else None,
+        )
+        for index in range(count)
+    ]
+
+
+class TestViewers:
+    def test_list_viewer_renders_rows(self):
+        viewer = ListViewer("list", title="Posts", max_rows=3)
+        view = viewer.process({"items": make_items(5)})["view"]
+        assert view["viewer"] == "list"
+        assert view["row_count"] == 5
+        assert len(view["rows"]) == 3
+        assert view["selected_id"] is None
+
+    def test_list_viewer_selection(self):
+        viewer = ListViewer("list")
+        viewer.process({"items": make_items(3)})
+        viewer.select("i1")
+        assert viewer.selected_id == "i1"
+        assert viewer.render()["rows"][1]["selected"] is True
+        with pytest.raises(MashupError):
+            viewer.select("ghost")
+
+    def test_invalid_max_rows_rejected(self):
+        with pytest.raises(MashupError):
+            ListViewer("list", max_rows=0)
+
+    def test_map_viewer_groups_by_location(self):
+        viewer = MapViewer("map")
+        view = viewer.process({"items": make_items(4)})["view"]
+        locations = {marker["location"]: marker["item_count"] for marker in view["markers"]}
+        assert locations == {"Milan": 2, "unknown": 2}
+
+    def test_chart_viewer_aggregates_sentiment(self):
+        items = [item.with_sentiment(0.5 if item.category == "travel" else -0.5)
+                 for item in make_items(4)]
+        view = ChartViewer("chart").process({"items": items})["view"]
+        bars = {bar["category"]: bar for bar in view["bars"]}
+        assert bars["travel"]["average_sentiment"] > 0
+        assert bars["food"]["average_sentiment"] < 0
+
+    def test_selection_survives_refresh_only_if_item_still_displayed(self):
+        viewer = ListViewer("list")
+        viewer.process({"items": make_items(3)})
+        viewer.select("i2")
+        viewer.process({"items": make_items(2)})  # i2 gone
+        assert viewer.selected_id is None
+
+
+class TestMashupComposition:
+    def build(self, corpus):
+        mashup = Mashup("test")
+        mashup.add(CorpusDataService("data", corpus))
+        mashup.add(CategoryFilter("filter", categories=["travel", "food"]))
+        mashup.add(SentimentAnalysisService("sentiment"))
+        mashup.add(ListViewer("list"))
+        mashup.add(MapViewer("map"))
+        mashup.connect("data", "items", "filter", "items")
+        mashup.connect("filter", "items", "sentiment", "items")
+        mashup.connect("sentiment", "items", "list", "items")
+        mashup.connect("sentiment", "items", "map", "items")
+        mashup.synchronize("group", ["list", "map"])
+        return mashup
+
+    def test_execute_produces_views_and_outputs(self, small_corpus):
+        mashup = self.build(small_corpus)
+        state = mashup.execute()
+        assert set(state.views) == {"list", "map"}
+        assert state.view("list")["row_count"] == len(state.output("sentiment", "items"))
+        assert "indicator" in state.outputs["sentiment"]
+        with pytest.raises(UnknownComponentError):
+            state.view("ghost")
+        with pytest.raises(CompositionError):
+            state.output("list", "nonexistent-port")
+
+    def test_selection_propagates_within_sync_group(self, small_corpus):
+        mashup = self.build(small_corpus)
+        state = mashup.execute()
+        rows = state.view("list")["rows"]
+        assert rows, "the dashboard should display items"
+        refreshed = mashup.select("list", rows[0]["item_id"])
+        assert refreshed.view("map")["selected_id"] == rows[0]["item_id"]
+
+    def test_select_before_execute_rejected(self, small_corpus):
+        mashup = self.build(small_corpus)
+        with pytest.raises(CompositionError):
+            mashup.select("list", "anything")
+
+    def test_duplicate_component_rejected(self, small_corpus):
+        mashup = Mashup()
+        mashup.add(CorpusDataService("data", small_corpus))
+        with pytest.raises(CompositionError):
+            mashup.add(CategoryFilter("data", categories=["travel"]))
+
+    def test_invalid_wiring_rejected(self, small_corpus):
+        mashup = Mashup()
+        mashup.add(CorpusDataService("data", small_corpus))
+        mashup.add(CategoryFilter("filter", categories=["travel"]))
+        with pytest.raises(WiringError):
+            mashup.connect("data", "nonexistent", "filter", "items")
+        with pytest.raises(WiringError):
+            mashup.connect("data", "items", "filter", "nonexistent")
+        mashup.connect("data", "items", "filter", "items")
+        with pytest.raises(WiringError):
+            mashup.connect("data", "items", "filter", "items")
+        with pytest.raises(UnknownComponentError):
+            mashup.connect("ghost", "items", "filter", "items")
+
+    def test_cycle_detection(self, small_corpus):
+        mashup = Mashup()
+        mashup.add(CategoryFilter("a", categories=["travel"]))
+        mashup.add(CategoryFilter("b", categories=["travel"]))
+        mashup.connect("a", "items", "b", "items")
+        mashup.connect("b", "items", "a", "items")
+        with pytest.raises(CompositionError):
+            mashup.execute()
+
+    def test_empty_composition_rejected(self):
+        with pytest.raises(CompositionError):
+            Mashup().execute()
+
+    def test_sync_group_requires_viewers(self, small_corpus):
+        mashup = Mashup()
+        mashup.add(CorpusDataService("data", small_corpus))
+        mashup.add(ListViewer("list"))
+        with pytest.raises(CompositionError):
+            mashup.synchronize("g", ["list"])
+        with pytest.raises(CompositionError):
+            mashup.synchronize("g", ["list", "data"])
+
+    def test_describe_lists_everything(self, small_corpus):
+        mashup = self.build(small_corpus)
+        description = mashup.describe()
+        assert len(description["components"]) == 5
+        assert len(description["connections"]) == 4
+        assert description["sync_links"][0]["group"] == "group"
+
+
+class TestComponentRegistry:
+    def test_default_registry_covers_builtin_types(self):
+        registry = default_registry()
+        assert "data.corpus" in registry.registered_types()
+        assert "viewer.list" in registry.registered_types()
+        assert "analysis.sentiment" in registry.registered_types()
+
+    def test_unknown_type_rejected(self):
+        with pytest.raises(UnknownComponentError):
+            default_registry().create("nope", "id")
+
+    def test_build_composition_from_document(self, small_corpus, single_source, tmp_path):
+        document = {
+            "name": "doc-mashup",
+            "components": [
+                {"id": "data", "type": "data.source", "params": {"source": "main_source"}},
+                {"id": "filter", "type": "filter.category",
+                 "params": {"categories": ["travel", "food"]}},
+                {"id": "sentiment", "type": "analysis.sentiment", "params": {}},
+                {"id": "list", "type": "viewer.list", "params": {"title": "Posts"}},
+                {"id": "map", "type": "viewer.map", "params": {}},
+            ],
+            "connections": [
+                {"from": "data.items", "to": "filter.items"},
+                {"from": "filter.items", "to": "sentiment.items"},
+                {"from": "sentiment.items", "to": "list.items"},
+                {"from": "sentiment.items", "to": "map.items"},
+            ],
+            "sync_links": [{"group": "g", "viewers": ["list", "map"]}],
+        }
+        registry = default_registry()
+        mashup = registry.build(document, resources={"main_source": single_source})
+        state = mashup.execute()
+        assert "list" in state.views
+
+        path = tmp_path / "composition.json"
+        path.write_text(json.dumps(document), encoding="utf-8")
+        rebuilt = registry.build_from_json(path, resources={"main_source": single_source})
+        assert rebuilt.name == "doc-mashup"
+        assert len(rebuilt.components()) == 5
+
+    def test_missing_resource_and_bad_endpoint_rejected(self, single_source):
+        registry = default_registry()
+        with pytest.raises(MashupError):
+            registry.build(
+                {"components": [{"id": "d", "type": "data.source", "params": {"source": "x"}}]},
+                resources={},
+            )
+        with pytest.raises(MashupError):
+            registry.build(
+                {
+                    "components": [
+                        {"id": "d", "type": "data.source", "params": {"source": "s"}},
+                        {"id": "f", "type": "filter.category", "params": {"categories": ["a"]}},
+                    ],
+                    "connections": [{"from": "d-items", "to": "f.items"}],
+                },
+                resources={"s": single_source},
+            )
+
+    def test_custom_factory_registration(self):
+        registry = ComponentRegistry()
+        registry.register("viewer.list", lambda cid, params, res: ListViewer(cid))
+        component = registry.create("viewer.list", "v")
+        assert isinstance(component, ListViewer)
+        with pytest.raises(MashupError):
+            registry.register("", lambda cid, params, res: ListViewer(cid))

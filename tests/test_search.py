@@ -1,0 +1,117 @@
+"""Tests for the simulated search engine and the query workload."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import ConfigurationError, SearchError
+from repro.search.engine import SearchEngine, SearchEngineConfig, tokenize
+from repro.search.queries import QueryWorkload, QueryWorkloadSpec
+from repro.sources.corpus import SourceCorpus
+
+
+@pytest.fixture(scope="module")
+def engine(small_corpus):
+    return SearchEngine(small_corpus)
+
+
+class TestTokenize:
+    def test_lowercases_and_splits(self):
+        assert tokenize("Hello World-Wide 42x") == ["hello", "world-wide", "42x"]
+
+    def test_drops_single_characters(self):
+        assert tokenize("a b cd") == ["cd"]
+
+
+class TestSearchEngineConfig:
+    def test_negative_weight_rejected(self):
+        with pytest.raises(SearchError):
+            SearchEngineConfig(static_weight=-1.0).validate()
+
+    def test_all_zero_primary_weights_rejected(self):
+        with pytest.raises(SearchError):
+            SearchEngineConfig(static_weight=0.0, topical_weight=0.0).validate()
+
+
+class TestSearchEngine:
+    def test_empty_corpus_rejected(self):
+        with pytest.raises(SearchError):
+            SearchEngine(SourceCorpus())
+
+    def test_search_returns_ranked_results(self, engine):
+        results = engine.search("travel flight resort", limit=5)
+        assert len(results) <= 5
+        assert [result.rank for result in results] == list(range(1, len(results) + 1))
+        scores = [result.score for result in results]
+        assert scores == sorted(scores, reverse=True)
+
+    def test_search_is_deterministic(self, engine):
+        first = engine.result_ids("food recipe dinner", limit=10)
+        second = engine.result_ids("food recipe dinner", limit=10)
+        assert first == second
+
+    def test_invalid_queries_rejected(self, engine):
+        with pytest.raises(SearchError):
+            engine.search("")
+        with pytest.raises(SearchError):
+            engine.search("!!!")
+        with pytest.raises(SearchError):
+            engine.search("travel", limit=0)
+
+    def test_topical_score_unknown_source_rejected(self, engine):
+        with pytest.raises(SearchError):
+            engine.topical_score("ghost", ["travel"])
+
+    def test_static_rank_orders_by_popularity(self, small_corpus):
+        engine = SearchEngine(small_corpus)
+        static = engine.static_rank()
+        assert set(static) == set(small_corpus.source_ids())
+        popularity = {s.source_id: s.latent_popularity for s in small_corpus}
+        # Popularity ordering should be respected at the extremes (noise aside).
+        top, bottom = static[0], static[-1]
+        assert popularity[top] >= popularity[bottom]
+
+    def test_static_weight_dominance_changes_ordering(self, small_corpus):
+        popular_first = SearchEngine(
+            small_corpus,
+            config=SearchEngineConfig(
+                static_weight=1.0, topical_weight=0.0, query_noise_weight=0.0
+            ),
+        )
+        topical_first = SearchEngine(
+            small_corpus,
+            config=SearchEngineConfig(
+                static_weight=0.0, topical_weight=1.0, query_noise_weight=0.0
+            ),
+        )
+        query = "travel flight resort beach"
+        assert popular_first.result_ids(query, 10) != topical_first.result_ids(query, 10) or (
+            len(popular_first.result_ids(query, 10)) <= 1
+        )
+
+
+class TestQueryWorkload:
+    def test_generates_requested_number_of_queries(self):
+        workload = QueryWorkload(QueryWorkloadSpec(query_count=25, seed=3))
+        assert len(workload) == 25
+        assert len(workload.texts()) == 25
+
+    def test_workload_is_deterministic(self):
+        first = QueryWorkload(QueryWorkloadSpec(query_count=10, seed=3)).texts()
+        second = QueryWorkload(QueryWorkloadSpec(query_count=10, seed=3)).texts()
+        assert first == second
+
+    def test_queries_are_anchored_in_their_category(self):
+        workload = QueryWorkload(QueryWorkloadSpec(query_count=10, seed=4))
+        for query in workload:
+            assert query.category.replace("_", " ") in query.text
+
+    def test_invalid_specs_rejected(self):
+        with pytest.raises(ConfigurationError):
+            QueryWorkloadSpec(query_count=0).validate()
+        with pytest.raises(ConfigurationError):
+            QueryWorkloadSpec(terms_per_query=(3, 1)).validate()
+        with pytest.raises(ConfigurationError):
+            QueryWorkloadSpec(categories=()).validate()
+        with pytest.raises(ConfigurationError):
+            QueryWorkloadSpec(results_per_query=0).validate()

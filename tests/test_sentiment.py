@@ -1,0 +1,176 @@
+"""Tests for the sentiment lexicon, analyser and indicators."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.domain import DomainOfInterest, TimeInterval
+from repro.errors import SentimentError
+from repro.sentiment.analyzer import SentimentAnalyzer
+from repro.sentiment.indicators import SentimentIndicatorService
+from repro.sentiment.lexicon import SentimentLexicon, default_lexicon, tourism_lexicon
+from repro.sources.corpus import SourceCorpus
+from repro.sources.models import Discussion, Post, Source, SourceType
+
+
+class TestLexicon:
+    def test_default_lexicon_polarities(self):
+        lexicon = default_lexicon()
+        assert lexicon.polarity("wonderful") > 0
+        assert lexicon.polarity("terrible") < 0
+        assert lexicon.polarity("table") == 0.0
+
+    def test_negations_and_modifiers(self):
+        lexicon = default_lexicon()
+        assert lexicon.is_negation("not")
+        assert not lexicon.is_negation("very")
+        assert lexicon.modifier("very") > 1.0
+        assert lexicon.modifier("slightly") < 1.0
+        assert lexicon.modifier("table") == 1.0
+
+    def test_tourism_lexicon_extends_default(self):
+        lexicon = tourism_lexicon()
+        assert lexicon.polarity("overrated") < 0
+        assert lexicon.polarity("wonderful") > 0
+
+    def test_extended_with_overrides(self):
+        lexicon = default_lexicon().extended_with({"meh": -0.2, "good": 0.9})
+        assert lexicon.polarity("meh") == -0.2
+        assert lexicon.polarity("good") == 0.9
+
+    def test_invalid_lexicon_rejected(self):
+        with pytest.raises(SentimentError):
+            SentimentLexicon(polarities={})
+        with pytest.raises(SentimentError):
+            SentimentLexicon(polarities={"x": 2.0})
+
+    def test_opinion_words_excludes_zero_polarity(self):
+        lexicon = default_lexicon().extended_with({"flat": 0.0})
+        assert "flat" not in lexicon.opinion_words()
+
+
+class TestAnalyzer:
+    @pytest.fixture(scope="class")
+    def analyzer(self) -> SentimentAnalyzer:
+        return SentimentAnalyzer()
+
+    def test_positive_and_negative_texts(self, analyzer):
+        positive = analyzer.score("The hotel was wonderful and the staff friendly")
+        negative = analyzer.score("Terrible service, dirty room, rude staff")
+        assert positive.polarity > 0.2
+        assert positive.label == "positive"
+        assert negative.polarity < -0.2
+        assert negative.label == "negative"
+
+    def test_neutral_text(self, analyzer):
+        score = analyzer.score("We took the metro to the station at noon")
+        assert score.label == "neutral"
+        assert not score.is_opinionated
+
+    def test_negation_flips_polarity(self, analyzer):
+        plain = analyzer.score("the food was good")
+        negated = analyzer.score("the food was not good")
+        assert plain.polarity > 0
+        assert negated.polarity < plain.polarity
+        assert negated.polarity <= 0
+
+    def test_intensifier_strengthens(self, analyzer):
+        plain = analyzer.score("the view was nice")
+        boosted = analyzer.score("the view was very nice")
+        assert boosted.polarity >= plain.polarity
+
+    def test_empty_text(self, analyzer):
+        score = analyzer.score("")
+        assert score.polarity == 0.0
+        assert score.token_count == 0
+
+    def test_polarity_bounded(self, analyzer):
+        score = analyzer.score(" ".join(["amazing wonderful excellent superb"] * 20))
+        assert -1.0 <= score.polarity <= 1.0
+
+    def test_average_polarity_skips_non_opinionated(self, analyzer):
+        texts = ["great trip", "the tram was on line four", "awful queue"]
+        selective = analyzer.average_polarity(texts)
+        everything = analyzer.average_polarity(texts, opinionated_only=False)
+        assert selective != 0.0
+        assert abs(everything) <= abs(selective) + 1e-9
+
+    def test_invalid_negation_window_rejected(self):
+        with pytest.raises(SentimentError):
+            SentimentAnalyzer(negation_window=0)
+
+
+def _make_opinionated_source(source_id: str, polarity_word: str) -> Source:
+    source = Source(
+        source_id=source_id,
+        name=source_id,
+        url=f"https://{source_id}.example.org",
+        source_type=SourceType.REVIEW_SITE,
+        observation_day=100.0,
+    )
+    discussion = Discussion(
+        discussion_id=f"{source_id}-d0", category="attractions", title="t", opened_at=1.0
+    )
+    for index in range(4):
+        discussion.posts.append(
+            Post(
+                post_id=f"{source_id}-p{index}",
+                author_id="u1",
+                day=2.0 + index,
+                text=f"The museum was {polarity_word}",
+                category="attractions",
+            )
+        )
+    source.add_discussion(discussion)
+    return source
+
+
+class TestIndicatorService:
+    def test_indicator_over_corpus(self):
+        corpus = SourceCorpus(
+            [
+                _make_opinionated_source("happy", "wonderful"),
+                _make_opinionated_source("angry", "terrible"),
+            ]
+        )
+        service = SentimentIndicatorService()
+        indicator = service.indicator(corpus)
+        assert not indicator.weighted
+        assert indicator.source("happy").average_polarity > 0
+        assert indicator.source("angry").average_polarity < 0
+        assert indicator.category("attractions").post_count == 8
+
+    def test_quality_weighting_shifts_overall(self):
+        corpus = SourceCorpus(
+            [
+                _make_opinionated_source("happy", "wonderful"),
+                _make_opinionated_source("angry", "terrible"),
+            ]
+        )
+        service = SentimentIndicatorService()
+        favour_happy = service.indicator(corpus, quality_weights={"happy": 1.0, "angry": 0.1})
+        favour_angry = service.indicator(corpus, quality_weights={"happy": 0.1, "angry": 1.0})
+        assert favour_happy.overall_polarity > favour_angry.overall_polarity
+        assert favour_happy.weighted
+
+    def test_domain_filter_restricts_posts(self):
+        source = _make_opinionated_source("happy", "wonderful")
+        domain = DomainOfInterest(
+            categories=("transport",), time_interval=TimeInterval(0.0, 100.0)
+        )
+        service = SentimentIndicatorService(domain=domain)
+        sentiment = service.source_sentiment(source)
+        assert sentiment.post_count == 0
+        assert sentiment.average_polarity == 0.0
+
+    def test_empty_corpus_rejected(self):
+        with pytest.raises(SentimentError):
+            SentimentIndicatorService().indicator(SourceCorpus())
+
+    def test_unknown_source_or_category_lookup_rejected(self):
+        corpus = SourceCorpus([_make_opinionated_source("happy", "wonderful")])
+        indicator = SentimentIndicatorService().indicator(corpus)
+        with pytest.raises(SentimentError):
+            indicator.source("ghost")
+        with pytest.raises(SentimentError):
+            indicator.category("ghost")

@@ -1,0 +1,171 @@
+"""Unit tests for the Web 2.0 entity model (repro.sources.models)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.sources.models import (
+    AccountKind,
+    Discussion,
+    Interaction,
+    InteractionType,
+    Post,
+    Source,
+    SourceType,
+    UserProfile,
+)
+
+
+def make_post(post_id="p1", author="u1", day=10.0, **kwargs) -> Post:
+    return Post(post_id=post_id, author_id=author, day=day, **kwargs)
+
+
+class TestUserProfile:
+    def test_age_is_measured_from_registration(self):
+        profile = UserProfile(user_id="u1", name="alice", registered_at=100.0)
+        assert profile.age(150.0) == pytest.approx(50.0)
+
+    def test_age_never_negative(self):
+        profile = UserProfile(user_id="u1", name="alice", registered_at=100.0)
+        assert profile.age(50.0) == 0.0
+
+    def test_roundtrip_serialisation(self):
+        profile = UserProfile(
+            user_id="u1", name="alice", registered_at=3.5,
+            location="Milan", account_kind=AccountKind.NEWS,
+        )
+        assert UserProfile.from_dict(profile.to_dict()) == profile
+
+    def test_default_account_kind_is_person(self):
+        assert UserProfile(user_id="u", name="n").account_kind is AccountKind.PERSON
+
+
+class TestPost:
+    def test_distinct_tags_deduplicates(self):
+        post = make_post(tags=("a", "b", "a"))
+        assert post.distinct_tags() == {"a", "b"}
+
+    def test_roundtrip_serialisation(self):
+        post = make_post(
+            text="hello", category="travel", tags=("t1", "t2"),
+            location="Milan", on_topic=False, read_count=4,
+            feedback_count=2, reply_count=1,
+        )
+        assert Post.from_dict(post.to_dict()) == post
+
+
+class TestDiscussion:
+    def make_discussion(self) -> Discussion:
+        discussion = Discussion(
+            discussion_id="d1", category="travel", title="A trip", opened_at=10.0
+        )
+        discussion.posts.append(make_post("p0", "opener", 10.0))
+        discussion.posts.append(make_post("p1", "u1", 12.0))
+        discussion.posts.append(make_post("p2", "u2", 20.0))
+        return discussion
+
+    def test_opener_and_comments_split(self):
+        discussion = self.make_discussion()
+        assert discussion.opener.post_id == "p0"
+        assert [post.post_id for post in discussion.comments] == ["p1", "p2"]
+        assert discussion.comment_count == 2
+
+    def test_empty_discussion_has_no_opener(self):
+        discussion = Discussion("d", "travel", "t", opened_at=1.0)
+        assert discussion.opener is None
+        assert discussion.comment_count == 0
+
+    def test_age_and_last_activity(self):
+        discussion = self.make_discussion()
+        assert discussion.age(30.0) == pytest.approx(20.0)
+        assert discussion.last_activity_day() == pytest.approx(20.0)
+
+    def test_participants(self):
+        assert self.make_discussion().participants() == {"opener", "u1", "u2"}
+
+    def test_comments_per_day_uses_thread_lifetime(self):
+        discussion = self.make_discussion()
+        assert discussion.comments_per_day(20.0) == pytest.approx(2 / 10.0)
+
+    def test_comments_per_day_with_fresh_thread_uses_one_day_floor(self):
+        discussion = self.make_discussion()
+        assert discussion.comments_per_day(10.2) == pytest.approx(2.0)
+
+    def test_distinct_tags_union(self):
+        discussion = self.make_discussion()
+        discussion.posts[1] = make_post("p1", "u1", 12.0, tags=("x", "y"))
+        discussion.posts[2] = make_post("p2", "u2", 20.0, tags=("y", "z"))
+        assert discussion.distinct_tags() == {"x", "y", "z"}
+
+    def test_roundtrip_serialisation(self):
+        discussion = self.make_discussion()
+        rebuilt = Discussion.from_dict(discussion.to_dict())
+        assert rebuilt.discussion_id == discussion.discussion_id
+        assert len(rebuilt.posts) == 3
+        assert rebuilt.posts[1].post_id == "p1"
+
+
+class TestSource:
+    def make_source(self) -> Source:
+        source = Source(
+            source_id="s1",
+            name="Source 1",
+            url="https://s1.example.org",
+            source_type=SourceType.FORUM,
+            categories=("travel",),
+            created_at=0.0,
+            observation_day=100.0,
+        )
+        open_discussion = Discussion("d1", "travel", "t1", opened_at=5.0, is_open=True)
+        open_discussion.posts.extend([make_post("p1", "u1", 5.0), make_post("p2", "u2", 6.0)])
+        closed_discussion = Discussion("d2", "food", "t2", opened_at=8.0, is_open=False)
+        closed_discussion.posts.append(make_post("p3", "u1", 8.0))
+        source.add_discussion(open_discussion)
+        source.add_discussion(closed_discussion)
+        source.add_user(UserProfile(user_id="u1", name="u1"))
+        source.add_interaction(
+            Interaction(InteractionType.LIKE, actor_id="u2", target_user_id="u1", day=7.0)
+        )
+        return source
+
+    def test_post_and_comment_counts(self):
+        source = self.make_source()
+        assert source.post_count() == 3
+        assert source.comment_count() == 1
+
+    def test_open_discussions_filtering(self):
+        source = self.make_source()
+        assert [d.discussion_id for d in source.open_discussions()] == ["d1"]
+
+    def test_covered_categories_and_per_category_lookup(self):
+        source = self.make_source()
+        assert source.covered_categories() == {"travel", "food"}
+        assert len(source.discussions_in_category("travel")) == 1
+
+    def test_contributors_are_post_authors(self):
+        assert self.make_source().contributors() == {"u1", "u2"}
+
+    def test_interactions_lookup_by_direction(self):
+        source = self.make_source()
+        assert len(source.interactions_for_user("u1")) == 1
+        assert len(source.interactions_by_user("u2")) == 1
+        assert source.interactions_for_user("u2") == []
+
+    def test_discussions_opened_between(self):
+        source = self.make_source()
+        assert len(source.discussions_opened_between(0.0, 6.0)) == 1
+        assert len(source.discussions_opened_between(0.0, 10.0)) == 2
+
+    def test_observation_window_has_one_day_floor(self):
+        source = self.make_source()
+        source.created_at = source.observation_day
+        assert source.observation_window() == 1.0
+
+    def test_roundtrip_serialisation(self):
+        source = self.make_source()
+        rebuilt = Source.from_dict(source.to_dict())
+        assert rebuilt.source_id == source.source_id
+        assert rebuilt.post_count() == source.post_count()
+        assert rebuilt.users.keys() == source.users.keys()
+        assert len(rebuilt.interactions) == len(source.interactions)
+        assert rebuilt.latent_popularity == source.latent_popularity

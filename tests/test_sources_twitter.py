@@ -1,0 +1,167 @@
+"""Tests for the microblog community substrate."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import ConfigurationError, UnknownUserError
+from repro.sources.models import AccountKind, SourceType
+from repro.sources.twitter import (
+    AccountActivity,
+    ClassProfile,
+    MicroblogAccount,
+    MicroblogCommunity,
+    MicroblogGenerator,
+    MicroblogSpec,
+    Tweet,
+    TwitaholicLikeService,
+)
+
+
+class TestCommunityBasics:
+    def make_community(self) -> MicroblogCommunity:
+        community = MicroblogCommunity(name="mini", observation_day=100.0)
+        for index, kind in enumerate([AccountKind.PERSON, AccountKind.NEWS]):
+            community.add_account(
+                MicroblogAccount(
+                    account_id=f"a{index}", handle=f"@a{index}", kind=kind, followers=10
+                )
+            )
+        community.add_tweet(
+            Tweet(tweet_id="t1", author_id="a0", day=1.0, text="hello", mentions=("a1",))
+        )
+        community.add_tweet(
+            Tweet(tweet_id="t2", author_id="a1", day=2.0, text="re", retweet_of="a0")
+        )
+        return community
+
+    def test_interaction_counters(self):
+        community = self.make_community()
+        assert community.mentions_received("a1") == 1
+        assert community.retweets_received("a0") == 1
+        assert community.mentions_received("a0") == 0
+
+    def test_tweet_from_unknown_author_rejected(self):
+        community = self.make_community()
+        with pytest.raises(UnknownUserError):
+            community.add_tweet(Tweet(tweet_id="x", author_id="ghost", day=1.0))
+
+    def test_record_received_external_volume(self):
+        community = self.make_community()
+        community.record_received("a0", mentions=10, retweets=5)
+        activity = community.activity("a0")
+        assert activity.mentions_received == 10
+        assert activity.retweets_received == 6  # 5 external + 1 in-community
+
+    def test_record_received_unknown_account_rejected(self):
+        with pytest.raises(UnknownUserError):
+            self.make_community().record_received("ghost", mentions=1)
+
+    def test_activity_relative_measures(self):
+        activity = AccountActivity(
+            account_id="a", kind=AccountKind.PERSON,
+            interactions=10, mentions_received=5, retweets_received=20,
+        )
+        assert activity.relative_mentions == pytest.approx(0.5)
+        assert activity.relative_retweets == pytest.approx(2.0)
+        assert activity.measure("interactions") == 10
+        assert activity.measure("relative_retweets") == pytest.approx(2.0)
+        with pytest.raises(KeyError):
+            activity.measure("nope")
+
+    def test_zero_interaction_relative_measures_are_zero(self):
+        activity = AccountActivity(
+            account_id="a", kind=AccountKind.BRAND,
+            interactions=0, mentions_received=3, retweets_received=4,
+        )
+        assert activity.relative_mentions == 0.0
+        assert activity.relative_retweets == 0.0
+
+    def test_serialisation_roundtrip(self):
+        community = self.make_community()
+        rebuilt = MicroblogCommunity.from_dict(community.to_dict())
+        assert len(rebuilt) == len(community)
+        assert rebuilt.mentions_received("a1") == community.mentions_received("a1")
+        assert len(rebuilt.tweets_by("a0")) == len(community.tweets_by("a0"))
+
+    def test_to_source_exposes_microblog_as_generic_source(self):
+        source = self.make_community().to_source("mini-source")
+        assert source.source_type is SourceType.MICROBLOG
+        assert source.post_count() == 2
+        assert "a0" in source.users
+        # Mentions and retweets become generic interactions.
+        assert len(source.interactions) == 2
+
+
+class TestSpecValidation:
+    def test_default_spec_is_valid(self):
+        MicroblogSpec().validate()
+
+    def test_bad_shares_rejected(self):
+        profiles = (
+            ClassProfile(AccountKind.PERSON, share=0.2, tweet_volume=10,
+                         mention_volume=10, retweet_volume=10),
+        )
+        with pytest.raises(ConfigurationError):
+            MicroblogSpec(class_profiles=profiles).validate()
+
+    def test_bad_profile_rejected(self):
+        with pytest.raises(ConfigurationError):
+            ClassProfile(
+                AccountKind.PERSON, share=0.5, tweet_volume=0.0,
+                mention_volume=1, retweet_volume=1,
+            ).validate()
+
+    def test_too_few_accounts_rejected(self):
+        with pytest.raises(ConfigurationError):
+            MicroblogSpec(account_count=2).validate()
+
+
+class TestGenerator:
+    def test_account_count_and_determinism(self, small_community):
+        assert len(small_community) == 60
+        again = MicroblogGenerator(
+            MicroblogSpec(account_count=60, seed=5, sample_tweet_count=6)
+        ).generate()
+        assert [a.account_id for a in again] == [a.account_id for a in small_community]
+        assert [again.activity(a.account_id).interactions for a in again] == [
+            small_community.activity(a.account_id).interactions for a in small_community
+        ]
+
+    def test_every_class_is_represented(self, small_community):
+        kinds = {account.kind for account in small_community}
+        assert kinds == {AccountKind.PERSON, AccountKind.NEWS, AccountKind.BRAND}
+
+    def test_every_account_has_activity(self, small_community):
+        for activity in small_community.activities():
+            assert activity.interactions >= 1
+            assert activity.mentions_received >= 0
+            assert activity.retweets_received >= 0
+
+    def test_class_level_ordering_holds_on_average(self, london_dataset):
+        """News dominate retweets, people dominate mentions, brands tweet least."""
+        def mean(values):
+            return sum(values) / len(values)
+
+        groups_interactions = london_dataset.measure_groups("interactions")
+        groups_mentions = london_dataset.measure_groups("mentions")
+        groups_retweets = london_dataset.measure_groups("retweets")
+        assert mean(groups_interactions["person"]) > mean(groups_interactions["brand"])
+        assert mean(groups_interactions["news"]) > mean(groups_interactions["brand"])
+        assert mean(groups_mentions["person"]) > mean(groups_mentions["news"])
+        assert mean(groups_retweets["news"]) > mean(groups_retweets["person"])
+        assert mean(groups_retweets["news"]) > mean(groups_retweets["brand"])
+
+
+class TestTwitaholicLikeService:
+    def test_top_accounts_are_sorted_by_score(self, small_community):
+        service = TwitaholicLikeService(small_community)
+        top = service.top_accounts(10)
+        scores = [service.score(account) for account in top]
+        assert scores == sorted(scores, reverse=True)
+        assert len(top) == 10
+
+    def test_location_filter(self, small_community):
+        service = TwitaholicLikeService(small_community)
+        assert service.top_accounts(5, location="Atlantis") == []
+        assert len(service.top_accounts(5, location="London")) == 5

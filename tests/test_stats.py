@@ -1,0 +1,321 @@
+"""Tests for the statistics substrate (ranking, descriptive, regression,
+factor analysis, ANOVA)."""
+
+from __future__ import annotations
+
+import math
+import random
+
+import pytest
+
+from repro.errors import InsufficientDataError, StatisticsError
+from repro.stats.anova import bonferroni_pairwise, one_way_anova
+from repro.stats.descriptive import (
+    correlation_matrix,
+    describe,
+    pearson_correlation,
+    standardize,
+)
+from repro.stats.factor import factor_analysis, varimax_rotation
+from repro.stats.ranking import (
+    compare_rankings,
+    displacement_statistics,
+    kendall_tau,
+    rank_displacements,
+    spearman_rho,
+)
+from repro.stats.regression import linear_regression
+
+import numpy as np
+
+
+class TestKendallTau:
+    def test_perfect_agreement(self):
+        assert kendall_tau([1, 2, 3, 4], [10, 20, 30, 40]) == pytest.approx(1.0)
+
+    def test_perfect_disagreement(self):
+        assert kendall_tau([1, 2, 3, 4], [4, 3, 2, 1]) == pytest.approx(-1.0)
+
+    def test_independence_is_near_zero(self):
+        rng = random.Random(0)
+        xs = [rng.random() for _ in range(300)]
+        ys = [rng.random() for _ in range(300)]
+        assert abs(kendall_tau(xs, ys)) < 0.1
+
+    def test_ties_handled(self):
+        value = kendall_tau([1, 1, 2, 3], [1, 2, 2, 3])
+        assert -1.0 <= value <= 1.0
+
+    def test_constant_series_returns_zero(self):
+        assert kendall_tau([1, 1, 1], [1, 2, 3]) == 0.0
+
+    def test_mismatched_lengths_rejected(self):
+        with pytest.raises(StatisticsError):
+            kendall_tau([1, 2], [1, 2, 3])
+
+    def test_too_short_rejected(self):
+        with pytest.raises(InsufficientDataError):
+            kendall_tau([1], [1])
+
+
+class TestSpearman:
+    def test_monotone_relation_is_one(self):
+        xs = [1, 2, 3, 4, 5]
+        ys = [value**3 for value in xs]
+        assert spearman_rho(xs, ys) == pytest.approx(1.0)
+
+    def test_reverse_is_minus_one(self):
+        assert spearman_rho([1, 2, 3], [3, 2, 1]) == pytest.approx(-1.0)
+
+
+class TestRankDisplacements:
+    def test_identity_has_zero_displacement(self):
+        displacements = rank_displacements(["a", "b", "c"], ["a", "b", "c"])
+        assert all(value == 0 for value in displacements.values())
+
+    def test_reversal_displacements(self):
+        displacements = rank_displacements(["a", "b", "c"], ["c", "b", "a"])
+        assert displacements == {"a": 2, "b": 0, "c": 2}
+
+    def test_mismatched_items_rejected(self):
+        with pytest.raises(StatisticsError):
+            rank_displacements(["a", "b"], ["a", "c"])
+
+    def test_duplicates_rejected(self):
+        with pytest.raises(StatisticsError):
+            rank_displacements(["a", "a"], ["a", "a"])
+
+    def test_compare_rankings_statistics(self):
+        result = compare_rankings(list("abcdefghij"), list("badcfehgji"))
+        assert result.item_count == 10
+        assert result.average_displacement == pytest.approx(1.0)
+        assert result.fraction_coincident == 0.0
+        assert result.fraction_displaced_over_5 == 0.0
+
+    def test_displacement_statistics_fractions(self):
+        stats = displacement_statistics([0, 0, 6, 11, 3])
+        assert stats.fraction_coincident == pytest.approx(0.4)
+        assert stats.fraction_displaced_over_5 == pytest.approx(0.4)
+        assert stats.fraction_displaced_over_10 == pytest.approx(0.2)
+        assert stats.max_displacement == 11
+
+    def test_empty_displacements_rejected(self):
+        with pytest.raises(InsufficientDataError):
+            displacement_statistics([])
+
+
+class TestDescriptive:
+    def test_describe_summary(self):
+        summary = describe([1.0, 2.0, 3.0, 4.0])
+        assert summary.count == 4
+        assert summary.mean == pytest.approx(2.5)
+        assert summary.minimum == 1.0
+        assert summary.maximum == 4.0
+        assert summary.median == pytest.approx(2.5)
+
+    def test_orders_of_magnitude(self):
+        summary = describe([1.0, 10_000.0])
+        assert summary.range_orders_of_magnitude == pytest.approx(4.0)
+
+    def test_empty_sample_rejected(self):
+        with pytest.raises(InsufficientDataError):
+            describe([])
+
+    def test_pearson_of_linear_relation(self):
+        xs = list(range(50))
+        ys = [3.0 * value + 2.0 for value in xs]
+        assert pearson_correlation(xs, ys) == pytest.approx(1.0)
+
+    def test_pearson_constant_column_is_zero(self):
+        assert pearson_correlation([1, 1, 1], [1, 2, 3]) == 0.0
+
+    def test_correlation_matrix_is_symmetric(self):
+        matrix = correlation_matrix({"a": [1, 2, 3], "b": [3, 2, 1], "c": [1, 1, 2]})
+        assert matrix[("a", "b")] == pytest.approx(matrix[("b", "a")])
+        assert matrix[("a", "a")] == 1.0
+
+    def test_correlation_matrix_rejects_ragged_columns(self):
+        with pytest.raises(StatisticsError):
+            correlation_matrix({"a": [1, 2, 3], "b": [1, 2]})
+
+    def test_standardize_zero_mean_unit_variance(self):
+        values = standardize([2.0, 4.0, 6.0, 8.0])
+        assert sum(values) == pytest.approx(0.0)
+        assert math.sqrt(sum(v * v for v in values) / len(values)) == pytest.approx(1.0)
+
+    def test_standardize_constant_column(self):
+        assert standardize([5.0, 5.0, 5.0]) == [0.0, 0.0, 0.0]
+
+
+class TestLinearRegression:
+    def test_recovers_known_coefficients(self):
+        rng = random.Random(1)
+        xs = [rng.uniform(-5, 5) for _ in range(200)]
+        ys = [2.5 * x - 1.0 + rng.gauss(0, 0.1) for x in xs]
+        result = linear_regression([xs], ys, predictor_names=["x"])
+        assert result.coefficient("x") == pytest.approx(2.5, abs=0.05)
+        assert result.intercept == pytest.approx(-1.0, abs=0.05)
+        assert result.p_value("x") < 1e-6
+        assert result.direction("x") == "positive"
+        assert result.r_squared > 0.95
+
+    def test_detects_non_significant_predictor(self):
+        rng = random.Random(2)
+        xs = [rng.uniform(-5, 5) for _ in range(200)]
+        ys = [rng.gauss(0, 1.0) for _ in xs]
+        result = linear_regression([xs], ys)
+        assert not result.is_significant("x0", alpha=0.01)
+
+    def test_multiple_predictors(self):
+        rng = random.Random(3)
+        x1 = [rng.uniform(0, 1) for _ in range(300)]
+        x2 = [rng.uniform(0, 1) for _ in range(300)]
+        ys = [1.0 * a - 2.0 * b + rng.gauss(0, 0.05) for a, b in zip(x1, x2)]
+        result = linear_regression([x1, x2], ys, predictor_names=["a", "b"])
+        assert result.coefficient("a") == pytest.approx(1.0, abs=0.05)
+        assert result.coefficient("b") == pytest.approx(-2.0, abs=0.05)
+        assert result.direction("b") == "negative"
+
+    def test_collinear_predictors_rejected(self):
+        xs = [1.0, 2.0, 3.0, 4.0, 5.0]
+        with pytest.raises(StatisticsError):
+            linear_regression([xs, xs], [1, 2, 3, 4, 5])
+
+    def test_too_few_observations_rejected(self):
+        with pytest.raises(InsufficientDataError):
+            linear_regression([[1.0, 2.0]], [1.0, 2.0])
+
+    def test_unknown_predictor_name_rejected(self):
+        result = linear_regression([[1.0, 2.0, 3.0, 4.0]], [1.0, 2.1, 2.9, 4.2])
+        with pytest.raises(StatisticsError):
+            result.coefficient("missing")
+
+
+class TestFactorAnalysis:
+    @staticmethod
+    def three_factor_columns(n=400, seed=4):
+        rng = random.Random(seed)
+        columns = {name: [] for name in ("t1", "t2", "p1", "p2", "s1", "s2")}
+        for _ in range(n):
+            traffic = rng.gauss(0, 1)
+            participation = rng.gauss(0, 1)
+            stickiness = rng.gauss(0, 1)
+            columns["t1"].append(traffic + rng.gauss(0, 0.3))
+            columns["t2"].append(0.9 * traffic + rng.gauss(0, 0.3))
+            columns["p1"].append(participation + rng.gauss(0, 0.3))
+            columns["p2"].append(0.8 * participation + rng.gauss(0, 0.3))
+            columns["s1"].append(stickiness + rng.gauss(0, 0.3))
+            columns["s2"].append(-0.9 * stickiness + rng.gauss(0, 0.3))
+        return columns
+
+    def test_recovers_block_structure(self):
+        result = factor_analysis(self.three_factor_columns(), component_count=3)
+        assert result.assignments["t1"] == result.assignments["t2"]
+        assert result.assignments["p1"] == result.assignments["p2"]
+        assert result.assignments["s1"] == result.assignments["s2"]
+        groups = {
+            result.assignments["t1"],
+            result.assignments["p1"],
+            result.assignments["s1"],
+        }
+        assert len(groups) == 3
+
+    def test_explained_variance_is_a_partition(self):
+        result = factor_analysis(self.three_factor_columns(), component_count=3)
+        assert all(0.0 <= ratio <= 1.0 for ratio in result.explained_variance_ratio)
+        assert sum(result.explained_variance_ratio) <= 1.0 + 1e-9
+
+    def test_component_scores_have_one_row_per_observation(self):
+        columns = self.three_factor_columns(n=150)
+        result = factor_analysis(columns, component_count=3)
+        assert len(result.component_scores) == 150
+        assert len(result.component_score_column(0)) == 150
+
+    def test_varimax_preserves_shape(self):
+        loadings = np.array([[0.8, 0.1], [0.7, 0.2], [0.1, 0.9], [0.2, 0.8]])
+        rotated = varimax_rotation(loadings)
+        assert rotated.shape == loadings.shape
+
+    def test_too_many_components_rejected(self):
+        with pytest.raises(StatisticsError):
+            factor_analysis({"a": [1, 2, 3, 4], "b": [2, 1, 4, 3]}, component_count=5)
+
+    def test_too_few_observations_rejected(self):
+        with pytest.raises(InsufficientDataError):
+            factor_analysis({"a": [1, 2], "b": [2, 1], "c": [0, 1]}, component_count=2)
+
+    def test_unknown_measure_lookup_rejected(self):
+        result = factor_analysis(self.three_factor_columns(n=100), component_count=2)
+        with pytest.raises(StatisticsError):
+            result.loading("missing", 0)
+
+
+class TestAnova:
+    def test_detects_clear_mean_difference(self):
+        rng = random.Random(5)
+        groups = {
+            "low": [rng.gauss(0, 1) for _ in range(80)],
+            "high": [rng.gauss(3, 1) for _ in range(80)],
+            "mid": [rng.gauss(1.5, 1) for _ in range(80)],
+        }
+        result = one_way_anova(groups)
+        assert result.is_significant(0.001)
+        assert result.group_means["high"] > result.group_means["low"]
+        assert result.between_df == 2
+        assert result.within_df == 237
+
+    def test_no_difference_is_not_significant(self):
+        rng = random.Random(6)
+        groups = {
+            "a": [rng.gauss(0, 1) for _ in range(60)],
+            "b": [rng.gauss(0, 1) for _ in range(60)],
+        }
+        assert not one_way_anova(groups).is_significant(0.01)
+
+    def test_requires_two_groups_with_enough_data(self):
+        with pytest.raises(StatisticsError):
+            one_way_anova({"only": [1.0, 2.0]})
+        with pytest.raises(InsufficientDataError):
+            one_way_anova({"a": [1.0], "b": [1.0, 2.0]})
+
+    def test_bonferroni_signs_follow_differences(self):
+        rng = random.Random(7)
+        groups = {
+            "low": [rng.gauss(0, 1) for _ in range(100)],
+            "high": [rng.gauss(4, 1) for _ in range(100)],
+            "same": [rng.gauss(0, 1) for _ in range(100)],
+        }
+        comparisons = {
+            (item.first, item.second): item for item in bonferroni_pairwise(groups)
+        }
+        assert comparisons[("low", "high")].sign == "<"
+        assert comparisons[("low", "same")].sign == "="
+        assert comparisons[("high", "same")].sign == ">"
+
+    def test_bonferroni_correction_inflates_p_values(self):
+        rng = random.Random(8)
+        groups = {
+            "a": [rng.gauss(0, 1) for _ in range(40)],
+            "b": [rng.gauss(0.4, 1) for _ in range(40)],
+            "c": [rng.gauss(0.8, 1) for _ in range(40)],
+        }
+        from scipy import stats as scipy_stats
+
+        raw_p = float(scipy_stats.ttest_ind(groups["a"], groups["b"], equal_var=False)[1])
+        adjusted = {
+            (item.first, item.second): item.p_value for item in bonferroni_pairwise(groups)
+        }[("a", "b")]
+        assert adjusted >= raw_p
+        assert adjusted <= 1.0
+
+    def test_bonferroni_explicit_pairs_and_unknown_group(self):
+        groups = {"a": [1.0, 2.0, 3.0], "b": [1.5, 2.5, 3.5]}
+        comparisons = bonferroni_pairwise(groups, pairs=[("a", "b")])
+        assert len(comparisons) == 1
+        with pytest.raises(StatisticsError):
+            bonferroni_pairwise(groups, pairs=[("a", "ghost")])
+
+    def test_degenerate_constant_groups(self):
+        groups = {"a": [2.0, 2.0, 2.0], "b": [2.0, 2.0, 2.0]}
+        comparisons = bonferroni_pairwise(groups)
+        assert comparisons[0].sign == "="
