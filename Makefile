@@ -1,0 +1,22 @@
+# Entry points shared by CI and local development.  Everything runs with the
+# same PYTHONPATH wiring so results are comparable across environments.
+
+PYTHON ?= python
+export PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH))
+
+BENCH_JSON := BENCH_perf.json
+
+.PHONY: test bench perf
+
+## tier-1 test suite (must stay green; see ROADMAP.md)
+test:
+	$(PYTHON) -m pytest -x -q
+
+## paper-reproduction benchmarks (tables/figures, pytest-based bench_*.py)
+bench:
+	$(PYTHON) -m pytest benchmarks -q -o python_files='bench_*.py'
+
+## perf benchmark harness: writes $(BENCH_JSON); fails if it cannot be written
+perf:
+	$(PYTHON) benchmarks/bench_perf_pipeline.py --output $(BENCH_JSON)
+	@test -s $(BENCH_JSON) || { echo "FATAL: $(BENCH_JSON) was not written" >&2; exit 1; }

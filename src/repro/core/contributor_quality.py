@@ -6,6 +6,14 @@ snapshot, computes the Table 2 measures against the Domain of Interest,
 normalises them against the community and aggregates them into the same
 dimension / attribute / overall structure used for sources.
 
+Like the source model, the contributor model runs as one batched pass:
+contributor snapshots are crawled exactly once per (source, user set), the
+normaliser is fitted once on the whole raw-measure matrix, and the
+resulting assessments are cached under a structural fingerprint of the
+source, so repeated ``assess_source`` / ``rank`` calls over an unchanged
+community are near-free (call :meth:`ContributorQualityModel.invalidate`
+after count-preserving in-place mutations).
+
 The model also exposes the paper's key analytical distinction between
 *absolute* interaction volumes (the activity attribute) and *relative*
 volumes (interactions per contribution, typical of the relevance
@@ -34,10 +42,12 @@ from repro.core.normalization import (
 from repro.core.scoring import (
     QualityScore,
     WeightingScheme,
-    build_quality_score,
+    build_quality_scores,
     uniform_scheme,
 )
 from repro.errors import AssessmentError
+from repro.perf.cache import LRUCache, source_fingerprint
+from repro.perf.counters import PerfCounters
 from repro.sources.crawler import ContributorSnapshot, Crawler
 from repro.sources.models import Source
 
@@ -94,6 +104,9 @@ class ContributorAssessment:
 class ContributorQualityModel:
     """Assess and rank the contributors of a source."""
 
+    #: Number of (source, user set) assessment contexts retained per model.
+    CONTEXT_CACHE_SIZE = 8
+
     def __init__(
         self,
         domain: DomainOfInterest,
@@ -107,6 +120,8 @@ class ContributorQualityModel:
         self._scheme = scheme or uniform_scheme(self._registry)
         self._normalizer = normalizer or BenchmarkNormalizer(self._registry)
         self._crawler = crawler or Crawler()
+        self._contexts = LRUCache(maxsize=self.CONTEXT_CACHE_SIZE)
+        self.counters = PerfCounters()
 
     @property
     def domain(self) -> DomainOfInterest:
@@ -118,63 +133,119 @@ class ContributorQualityModel:
         """The measure registry in use."""
         return self._registry
 
+    def invalidate(self) -> None:
+        """Drop every cached assessment (see the module docstring for when)."""
+        self._contexts.invalidate()
+
     # -- raw measures ------------------------------------------------------------------
 
     def raw_measures(
         self, source: Source, user_ids: Optional[Iterable[str]] = None
     ) -> dict[str, dict[str, float]]:
-        """Raw Table 2 measure vectors for the selected contributors."""
-        snapshots = self._crawler.crawl_contributors(source, user_ids)
+        """Raw Table 2 measure vectors for the selected contributors.
+
+        The returned mapping is a copy of the cached matrix; callers may
+        mutate it freely.
+        """
+        _, vectors, _ = self._context(source, user_ids)
+        return {user_id: dict(vector) for user_id, vector in vectors.items()}
+
+    # -- batched assessment pass --------------------------------------------------------
+
+    def _resolve_user_ids(
+        self, source: Source, user_ids: Optional[Iterable[str]]
+    ) -> tuple[str, ...]:
+        if user_ids is None:
+            return tuple(sorted(source.contributors()))
+        return tuple(user_ids)
+
+    def _build_context(
+        self, source: Source, resolved_ids: tuple[str, ...]
+    ) -> tuple[
+        dict[str, ContributorSnapshot],
+        dict[str, dict[str, float]],
+        dict[str, ContributorAssessment],
+    ]:
+        """Crawl once, measure once, fit once, score the whole community."""
+        self.counters.increment("context_builds")
+        snapshots = self._crawler.crawl_contributors(source, resolved_ids)
         if not snapshots:
             raise AssessmentError(
                 f"source {source.source_id!r} has no contributors to assess"
             )
-        vectors: dict[str, dict[str, float]] = {}
+        raw_vectors: dict[str, dict[str, float]] = {}
         for user_id, snapshot in snapshots.items():
             context = ContributorMeasurementContext(
                 snapshot=snapshot, domain=self._domain
             )
-            vectors[user_id] = compute_contributor_measures(
+            raw_vectors[user_id] = compute_contributor_measures(
                 context, registry=self._registry
             )
-        return vectors
+        self._normalizer.fit(collect_reference_values(raw_vectors.values()))
+        normalized_vectors = self._normalizer.normalize_many(raw_vectors)
+        scores = build_quality_scores(
+            raw_vectors, normalized_vectors, registry=self._registry, scheme=self._scheme
+        )
+        assessments = {
+            user_id: ContributorAssessment(
+                user_id=user_id,
+                source_id=source.source_id,
+                score=score,
+                snapshot=snapshots[user_id],
+            )
+            for user_id, score in scores.items()
+        }
+        return snapshots, raw_vectors, assessments
+
+    def _context(
+        self, source: Source, user_ids: Optional[Iterable[str]]
+    ) -> tuple[
+        dict[str, ContributorSnapshot],
+        dict[str, dict[str, float]],
+        dict[str, ContributorAssessment],
+    ]:
+        resolved_ids = self._resolve_user_ids(source, user_ids)
+        key = (source_fingerprint(source), resolved_ids)
+        hits_before = self._contexts.hits
+        # The cached entry anchors the source object (first element): the
+        # fingerprint key contains id(source), which must not be reused
+        # while the entry lives.
+        entry = self._contexts.get_or_create(
+            key, lambda: (source, self._build_context(source, resolved_ids))
+        )
+        if self._contexts.hits > hits_before:
+            self.counters.increment("context_hits")
+        return entry[1]
 
     # -- assessment --------------------------------------------------------------------
 
     def assess_source(
         self, source: Source, user_ids: Optional[Iterable[str]] = None
     ) -> dict[str, ContributorAssessment]:
-        """Assess the contributors of ``source`` (all of them by default)."""
-        raw_vectors = self.raw_measures(source, user_ids)
-        self._normalizer.fit(collect_reference_values(raw_vectors.values()))
-        snapshots = self._crawler.crawl_contributors(source, raw_vectors.keys())
+        """Assess the contributors of ``source`` (all of them by default).
 
-        assessments: dict[str, ContributorAssessment] = {}
-        for user_id, raw in raw_vectors.items():
-            normalized = self._normalizer.normalize_all(raw)
-            score = build_quality_score(
-                subject_id=user_id,
-                raw_values=raw,
-                normalized_values=normalized,
-                registry=self._registry,
-                scheme=self._scheme,
-            )
-            assessments[user_id] = ContributorAssessment(
-                user_id=user_id,
-                source_id=source.source_id,
-                score=score,
-                snapshot=snapshots[user_id],
-            )
-        return assessments
+        The returned mapping is a fresh dict, but the
+        :class:`ContributorAssessment` objects are shared with the cached
+        assessment context: treat them as read-only (mutating one would
+        corrupt every later call for the same community).  Use
+        :meth:`raw_measures` for a mutable copy of the underlying matrix.
+        """
+        _, _, assessments = self._context(source, user_ids)
+        return dict(assessments)
 
     def assess(self, source: Source, user_id: str) -> ContributorAssessment:
-        """Assess a single contributor of ``source``."""
-        assessments = self.assess_source(source)
-        if user_id not in assessments:
+        """Assess a single contributor of ``source``.
+
+        The returned :class:`ContributorAssessment` is shared with the
+        cached assessment context — treat it as read-only.
+        """
+        _, _, assessments = self._context(source, None)
+        assessment = assessments.get(user_id)
+        if assessment is None:
             raise AssessmentError(
                 f"user {user_id!r} has no contributions on source {source.source_id!r}"
             )
-        return assessments[user_id]
+        return assessment
 
     # -- ranking ------------------------------------------------------------------------
 
@@ -185,8 +256,12 @@ class ContributorQualityModel:
         by_influence: bool = False,
         absolute_weight: float = 0.5,
     ) -> list[ContributorAssessment]:
-        """Rank contributors by overall quality or by influencer score."""
-        assessments = list(self.assess_source(source, user_ids).values())
+        """Rank contributors by overall quality or by influencer score.
+
+        The returned list is fresh but its elements are shared with the
+        cache — treat them as read-only.
+        """
+        _, _, assessments = self._context(source, user_ids)
         if by_influence:
             key = lambda assessment: (
                 -assessment.influencer_score(absolute_weight),
@@ -194,4 +269,4 @@ class ContributorQualityModel:
             )
         else:
             key = lambda assessment: (-assessment.overall, assessment.user_id)
-        return sorted(assessments, key=key)
+        return sorted(assessments.values(), key=key)

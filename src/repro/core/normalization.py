@@ -72,6 +72,34 @@ class Normalizer(ABC):
         """Normalise a full measure vector."""
         return {name: self.normalize(name, value) for name, value in values.items()}
 
+    def normalize_many(
+        self, vectors: Mapping[str, Mapping[str, float]]
+    ) -> dict[str, dict[str, float]]:
+        """Normalise a batch of measure vectors keyed by subject identifier.
+
+        Arithmetic is identical to calling :meth:`normalize_all` per vector;
+        the batch form resolves each measure definition once instead of once
+        per (subject, measure) pair, which matters on corpus-sized batches.
+        """
+        if not self._fitted:
+            raise NormalizationError("normalizer must be fitted before use")
+        directions: dict[str, bool] = {}
+        normalized_vectors: dict[str, dict[str, float]] = {}
+        for subject_id, values in vectors.items():
+            normalized: dict[str, float] = {}
+            for name, value in values.items():
+                higher_is_better = directions.get(name)
+                if higher_is_better is None:
+                    higher_is_better = self._registry.get(name).higher_is_better
+                    directions[name] = higher_is_better
+                score = self._normalize_measure(name, float(value))
+                score = min(1.0, max(0.0, score))
+                if not higher_is_better:
+                    score = 1.0 - score
+                normalized[name] = score
+            normalized_vectors[subject_id] = normalized
+        return normalized_vectors
+
     # -- strategy-specific hooks --------------------------------------------------
 
     @abstractmethod

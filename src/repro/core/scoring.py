@@ -23,6 +23,8 @@ __all__ = [
     "dimension_weighted_scheme",
     "attribute_weighted_scheme",
     "QualityScore",
+    "build_quality_score",
+    "build_quality_scores",
 ]
 
 
@@ -211,3 +213,62 @@ def build_quality_score(
         overall=overall,
         scheme_name=scheme.name,
     )
+
+
+def build_quality_scores(
+    raw_vectors: Mapping[str, Mapping[str, float]],
+    normalized_vectors: Mapping[str, Mapping[str, float]],
+    registry: MeasureRegistry,
+    scheme: WeightingScheme,
+) -> dict[str, QualityScore]:
+    """Batch form of :func:`build_quality_score` over a whole population.
+
+    Measure definitions and weights are resolved once per measure name
+    instead of once per (subject, measure) pair; per-subject arithmetic is
+    identical to the single-subject builder, so scores match exactly.
+    """
+    definitions: dict[str, Any] = {}
+    weights: dict[str, float] = {}
+    scores: dict[str, QualityScore] = {}
+
+    for subject_id, normalized_values in normalized_vectors.items():
+        if not normalized_values:
+            raise AssessmentError(f"no measures computed for {subject_id!r}")
+
+        dimension_bins: dict[QualityDimension, list[float]] = {}
+        attribute_bins: dict[QualityAttribute, list[float]] = {}
+        total_weight = 0.0
+        accumulator = 0.0
+        for name, value in normalized_values.items():
+            definition = definitions.get(name)
+            if definition is None:
+                definition = registry.get(name)
+                definitions[name] = definition
+                weights[name] = scheme.weight(name)
+            dimension_bins.setdefault(definition.dimension, []).append(value)
+            attribute_bins.setdefault(definition.attribute, []).append(value)
+            weight = weights[name]
+            total_weight += weight
+            accumulator += weight * value
+        if total_weight == 0:
+            raise AssessmentError(
+                "no measure in the assessment has a positive weight under "
+                f"scheme {scheme.name!r}"
+            )
+
+        scores[subject_id] = QualityScore(
+            subject_id=subject_id,
+            raw_values=dict(raw_vectors[subject_id]),
+            normalized_values=dict(normalized_values),
+            dimension_scores={
+                dimension: sum(values) / len(values)
+                for dimension, values in dimension_bins.items()
+            },
+            attribute_scores={
+                attribute: sum(values) / len(values)
+                for attribute, values in attribute_bins.items()
+            },
+            overall=accumulator / total_weight,
+            scheme_name=scheme.name,
+        )
+    return scores

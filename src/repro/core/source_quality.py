@@ -11,6 +11,17 @@ corpus of Web 2.0 sources:
    highly-ranked sources" by using the top of the observed distribution);
 5. aggregate normalised measures into dimension, attribute and overall
    scores through a weighting scheme.
+
+Steps 1–5 are executed as one *batched assessment pass* materialised into
+an :class:`AssessmentContext`: every source is crawled exactly once, the
+corpus-wide aggregates (e.g. the largest source's open-discussion count)
+are computed once instead of once per source, and the normaliser is fitted
+once and applied to the whole raw-measure matrix.  Contexts are cached
+under a structural fingerprint of the corpus (see
+:meth:`~repro.sources.corpus.SourceCorpus.content_fingerprint`), so
+repeated ``assess_corpus`` / ``rank`` / ``ranking_ids`` calls over an
+unchanged corpus are near-free.  Callers mutating sources in place without
+changing any content count must call :meth:`SourceQualityModel.invalidate`.
 """
 
 from __future__ import annotations
@@ -28,7 +39,7 @@ from repro.core.normalization import (
 from repro.core.scoring import (
     QualityScore,
     WeightingScheme,
-    build_quality_score,
+    build_quality_scores,
     uniform_scheme,
 )
 from repro.core.source_measures import (
@@ -36,12 +47,14 @@ from repro.core.source_measures import (
     compute_source_measures,
 )
 from repro.errors import AssessmentError
+from repro.perf.cache import LRUCache
+from repro.perf.counters import PerfCounters
 from repro.sources.corpus import SourceCorpus
 from repro.sources.crawler import Crawler, CrawlSnapshot
 from repro.sources.models import Source
 from repro.sources.webstats import AlexaLikeService, FeedburnerLikeService, WebStatsPanel
 
-__all__ = ["SourceAssessment", "SourceQualityModel"]
+__all__ = ["SourceAssessment", "AssessmentContext", "SourceQualityModel"]
 
 
 @dataclass
@@ -66,8 +79,38 @@ class SourceAssessment:
         }
 
 
+@dataclass
+class AssessmentContext:
+    """One batched assessment pass over a corpus, materialised for reuse.
+
+    Everything derived from the corpus is computed exactly once: crawl
+    snapshots, the raw Table 1 measure matrix, the normalised matrix and
+    the final assessments (kept both keyed by source and pre-sorted by
+    decreasing overall quality).
+
+    ``sources`` / ``benchmark_sources`` hold strong references to the
+    source objects the context was built from.  The fingerprints include
+    ``id(source)``, so the cached context must keep those objects alive:
+    otherwise CPython could reuse a freed id for a different-content source
+    with identical counts and the cache would silently serve stale results.
+    """
+
+    fingerprint: tuple
+    benchmark_fingerprint: Optional[tuple]
+    sources: tuple[Source, ...]
+    benchmark_sources: Optional[tuple[Source, ...]]
+    snapshots: dict[str, CrawlSnapshot]
+    raw_vectors: dict[str, dict[str, float]]
+    normalized_vectors: dict[str, dict[str, float]]
+    assessments: dict[str, SourceAssessment]
+    ranking: tuple[SourceAssessment, ...]
+
+
 class SourceQualityModel:
     """Assess and rank Web 2.0 sources against a Domain of Interest."""
+
+    #: Number of (corpus, benchmark) assessment contexts retained per model.
+    CONTEXT_CACHE_SIZE = 8
 
     def __init__(
         self,
@@ -90,6 +133,9 @@ class SourceQualityModel:
         self._alexa = alexa or AlexaLikeService()
         self._feedburner = feedburner or FeedburnerLikeService()
         self._crawler = crawler or Crawler()
+        self._contexts = LRUCache(maxsize=self.CONTEXT_CACHE_SIZE)
+        self._measure_cache = LRUCache(maxsize=self.CONTEXT_CACHE_SIZE)
+        self.counters = PerfCounters()
 
     # -- accessors ------------------------------------------------------------------
 
@@ -108,12 +154,26 @@ class SourceQualityModel:
         """The weighting scheme in use."""
         return self._scheme
 
+    def invalidate(self) -> None:
+        """Drop every cached assessment context and raw-measure matrix.
+
+        Needed only after in-place mutations that keep every content count
+        identical (which the structural fingerprint cannot detect).
+        """
+        self._contexts.invalidate()
+        self._measure_cache.invalidate()
+
     # -- raw measures ------------------------------------------------------------------
 
     def measurement_context(
         self, source: Source, corpus: Optional[SourceCorpus] = None
     ) -> SourceMeasurementContext:
-        """Build the measurement context of ``source`` within ``corpus``."""
+        """Build the measurement context of ``source`` within ``corpus``.
+
+        One-off path used for single-source inspection; the batched pipeline
+        goes through :meth:`raw_measures`, which shares crawl snapshots and
+        corpus aggregates across the whole corpus instead.
+        """
         snapshot = self._crawler.crawl_source(source)
         max_open = (
             corpus.largest_source_open_discussions()
@@ -128,21 +188,127 @@ class SourceQualityModel:
             corpus_max_open_discussions=max_open,
         )
 
-    def raw_measures(
+    def _measure_corpus(
         self, corpus: SourceCorpus
-    ) -> dict[str, dict[str, float]]:
-        """Raw Table 1 measure vectors for every source of ``corpus``."""
-        if len(corpus) == 0:
-            raise AssessmentError("cannot assess an empty corpus")
+    ) -> tuple[dict[str, CrawlSnapshot], dict[str, dict[str, float]]]:
+        """Single-pass crawl + raw-measure matrix for every source of ``corpus``."""
+        self.counters.increment("measure_passes")
+        snapshots = self._crawler.crawl_corpus(corpus)
+        max_open = corpus.largest_source_open_discussions()
         vectors: dict[str, dict[str, float]] = {}
         for source in corpus:
-            context = self.measurement_context(source, corpus)
+            context = SourceMeasurementContext(
+                snapshot=snapshots[source.source_id],
+                domain=self._domain,
+                alexa=self._alexa.observe(source),
+                feedburner=self._feedburner.observe(source),
+                corpus_max_open_discussions=max_open,
+            )
             vectors[source.source_id] = compute_source_measures(
                 context, registry=self._registry
             )
-        return vectors
+        return snapshots, vectors
+
+    def _measured(
+        self, corpus: SourceCorpus, fingerprint: Optional[tuple] = None
+    ) -> tuple[dict[str, CrawlSnapshot], dict[str, dict[str, float]]]:
+        if len(corpus) == 0:
+            raise AssessmentError("cannot assess an empty corpus")
+        key = fingerprint if fingerprint is not None else corpus.content_fingerprint()
+        # The cached entry anchors the source objects (first element): the
+        # fingerprint key contains id()s, which must not be reused while the
+        # entry lives.
+        entry = self._measure_cache.get_or_create(
+            key, lambda: (tuple(corpus), *self._measure_corpus(corpus))
+        )
+        return entry[1], entry[2]
+
+    def raw_measures(self, corpus: SourceCorpus) -> dict[str, dict[str, float]]:
+        """Raw Table 1 measure vectors for every source of ``corpus``.
+
+        Results are cached under the corpus fingerprint; the returned
+        mapping is a copy, so callers may mutate it freely.
+        """
+        _, vectors = self._measured(corpus)
+        return {source_id: dict(vector) for source_id, vector in vectors.items()}
 
     # -- assessment --------------------------------------------------------------------
+
+    def _build_context(
+        self,
+        corpus: SourceCorpus,
+        fingerprint: tuple,
+        benchmark_corpus: Optional[SourceCorpus],
+        benchmark_fingerprint: Optional[tuple],
+    ) -> AssessmentContext:
+        self.counters.increment("context_builds")
+        snapshots, raw_vectors = self._measured(corpus, fingerprint)
+        if benchmark_corpus is not None:
+            _, benchmark_vectors = self._measured(
+                benchmark_corpus, benchmark_fingerprint
+            )
+            reference_vectors = benchmark_vectors.values()
+        else:
+            reference_vectors = raw_vectors.values()
+        self._normalizer.fit(collect_reference_values(reference_vectors))
+
+        normalized_vectors = self._normalizer.normalize_many(raw_vectors)
+        scores = build_quality_scores(
+            raw_vectors, normalized_vectors, registry=self._registry, scheme=self._scheme
+        )
+        assessments = {
+            source_id: SourceAssessment(
+                source_id=source_id,
+                score=score,
+                snapshot=snapshots[source_id],
+            )
+            for source_id, score in scores.items()
+        }
+        ranking = tuple(
+            sorted(
+                assessments.values(),
+                key=lambda assessment: (-assessment.overall, assessment.source_id),
+            )
+        )
+        return AssessmentContext(
+            fingerprint=fingerprint,
+            benchmark_fingerprint=benchmark_fingerprint,
+            sources=tuple(corpus),
+            benchmark_sources=(
+                tuple(benchmark_corpus) if benchmark_corpus is not None else None
+            ),
+            snapshots=snapshots,
+            raw_vectors=raw_vectors,
+            normalized_vectors=normalized_vectors,
+            assessments=assessments,
+            ranking=ranking,
+        )
+
+    def assessment_context(
+        self,
+        corpus: SourceCorpus,
+        benchmark_corpus: Optional[SourceCorpus] = None,
+    ) -> AssessmentContext:
+        """Return the (cached) batched assessment context for ``corpus``."""
+        if len(corpus) == 0:
+            raise AssessmentError("cannot assess an empty corpus")
+        fingerprint = corpus.content_fingerprint()
+        benchmark_fingerprint = (
+            benchmark_corpus.content_fingerprint()
+            if benchmark_corpus is not None
+            else None
+        )
+        key = (fingerprint, benchmark_fingerprint)
+        hits_before = self._contexts.hits
+        context = self._contexts.get_or_create(
+            key,
+            lambda: self._build_context(
+                corpus, fingerprint, benchmark_corpus, benchmark_fingerprint
+            ),
+        )
+        if self._contexts.hits > hits_before:
+            self.counters.increment("context_hits")
+        return context
 
     def assess_corpus(
         self,
@@ -153,41 +319,29 @@ class SourceQualityModel:
 
         ``benchmark_corpus`` provides the population the normaliser is
         fitted on; it defaults to ``corpus`` itself.
-        """
-        raw_vectors = self.raw_measures(corpus)
-        reference_vectors = (
-            self.raw_measures(benchmark_corpus).values()
-            if benchmark_corpus is not None
-            else raw_vectors.values()
-        )
-        self._normalizer.fit(collect_reference_values(reference_vectors))
 
-        assessments: dict[str, SourceAssessment] = {}
-        for source in corpus:
-            raw = raw_vectors[source.source_id]
-            normalized = self._normalizer.normalize_all(raw)
-            score = build_quality_score(
-                subject_id=source.source_id,
-                raw_values=raw,
-                normalized_values=normalized,
-                registry=self._registry,
-                scheme=self._scheme,
-            )
-            assessments[source.source_id] = SourceAssessment(
-                source_id=source.source_id,
-                score=score,
-                snapshot=self._crawler.crawl_source(source),
-            )
-        return assessments
+        The returned mapping is a fresh dict, but the
+        :class:`SourceAssessment` objects are shared with the cached
+        assessment context: treat them as read-only (mutating one would
+        corrupt every later call for the same corpus).  Use
+        :meth:`raw_measures` for a mutable copy of the underlying matrix.
+        """
+        context = self.assessment_context(corpus, benchmark_corpus)
+        return dict(context.assessments)
 
     def assess(self, source: Source, corpus: SourceCorpus) -> SourceAssessment:
-        """Assess a single source in the context of ``corpus``."""
-        assessments = self.assess_corpus(corpus)
-        if source.source_id not in assessments:
+        """Assess a single source in the context of ``corpus``.
+
+        The returned :class:`SourceAssessment` is shared with the cached
+        assessment context — treat it as read-only.
+        """
+        context = self.assessment_context(corpus)
+        assessment = context.assessments.get(source.source_id)
+        if assessment is None:
             raise AssessmentError(
                 f"source {source.source_id!r} is not part of the provided corpus"
             )
-        return assessments[source.source_id]
+        return assessment
 
     # -- ranking ------------------------------------------------------------------------
 
@@ -198,13 +352,13 @@ class SourceQualityModel:
     ) -> list[SourceAssessment]:
         """Assess and rank the corpus by decreasing overall quality.
 
-        Ties are broken deterministically by source identifier.
+        Ties are broken deterministically by source identifier.  The sort is
+        computed once per assessment context and reused by repeated calls.
+        The returned list is fresh but its :class:`SourceAssessment`
+        elements are shared with the cache — treat them as read-only.
         """
-        assessments = self.assess_corpus(corpus, benchmark_corpus=benchmark_corpus)
-        return sorted(
-            assessments.values(),
-            key=lambda assessment: (-assessment.overall, assessment.source_id),
-        )
+        context = self.assessment_context(corpus, benchmark_corpus)
+        return list(context.ranking)
 
     def ranking_ids(
         self,

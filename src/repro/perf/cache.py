@@ -1,0 +1,135 @@
+"""Deterministic LRU cache and structural fingerprints.
+
+:class:`LRUCache` is a small insertion-ordered cache with hit/miss
+statistics; it backs the assessment-context caches of the quality models,
+the query-tokenisation memo of the search engine and the per-text memo of
+the sentiment analyser.
+
+The fingerprint helpers compute a *structural* signature of a source or a
+corpus: object identity plus the cheap-to-read content counts a crawler
+would see (discussions, posts, interactions, observation day).  Computing a
+fingerprint is O(number of discussions), orders of magnitude cheaper than a
+full assessment, which is what makes fingerprint-keyed invalidation
+near-free for repeated calls over an unchanged corpus.
+
+The contract is deliberately conservative: any change that *adds or
+removes* content, or replaces a source object, changes the fingerprint.
+In-place edits that keep every count identical (e.g. rewording an existing
+post) are not detected — callers doing that must invalidate the consuming
+cache explicitly (see ``docs/PERFORMANCE.md``).
+
+Because the fingerprints include ``id(source)``, a cache keyed on them
+MUST keep a strong reference to the fingerprinted objects in its entries
+(the quality models store the sources inside each cached context).  Without
+that anchor, CPython may reuse a freed object's id for a new source whose
+counts happen to match, and the cache would serve stale results.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from typing import Any, Callable, Hashable, Iterable, Optional, Tuple
+
+__all__ = ["LRUCache", "source_fingerprint", "corpus_fingerprint"]
+
+_MISSING = object()
+
+
+class LRUCache:
+    """A least-recently-used cache with hit/miss counters.
+
+    ``maxsize <= 0`` disables caching entirely (every lookup misses and
+    :meth:`put` is a no-op), which gives callers a uniform way to switch a
+    cache off without sprinkling conditionals.
+    """
+
+    def __init__(self, maxsize: int = 128) -> None:
+        self._maxsize = maxsize
+        self._entries: "OrderedDict[Hashable, Any]" = OrderedDict()
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+
+    @property
+    def maxsize(self) -> int:
+        """Maximum number of retained entries (<= 0 means disabled)."""
+        return self._maxsize
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __contains__(self, key: Hashable) -> bool:
+        return key in self._entries
+
+    def get(self, key: Hashable, default: Any = None) -> Any:
+        """Return the cached value for ``key`` (marks it recently used)."""
+        value = self._entries.get(key, _MISSING)
+        if value is _MISSING:
+            self.misses += 1
+            return default
+        self._entries.move_to_end(key)
+        self.hits += 1
+        return value
+
+    def put(self, key: Hashable, value: Any) -> None:
+        """Store ``value`` under ``key``, evicting the LRU entry when full."""
+        if self._maxsize <= 0:
+            return
+        if key in self._entries:
+            self._entries.move_to_end(key)
+        self._entries[key] = value
+        while len(self._entries) > self._maxsize:
+            self._entries.popitem(last=False)
+            self.evictions += 1
+
+    def get_or_create(self, key: Hashable, factory: Callable[[], Any]) -> Any:
+        """Return the cached value for ``key``, building it on a miss."""
+        value = self._entries.get(key, _MISSING)
+        if value is not _MISSING:
+            self._entries.move_to_end(key)
+            self.hits += 1
+            return value
+        self.misses += 1
+        value = factory()
+        self.put(key, value)
+        return value
+
+    def invalidate(self, key: Optional[Hashable] = None) -> None:
+        """Drop one entry (or every entry when ``key`` is None)."""
+        if key is None:
+            self._entries.clear()
+        else:
+            self._entries.pop(key, None)
+
+    def stats(self) -> dict[str, int]:
+        """Hit/miss/eviction statistics plus the current size."""
+        return {
+            "hits": self.hits,
+            "misses": self.misses,
+            "evictions": self.evictions,
+            "size": len(self._entries),
+            "maxsize": self._maxsize,
+        }
+
+
+def source_fingerprint(source: Any) -> Tuple[Any, ...]:
+    """Structural fingerprint of one source.
+
+    Combines object identity with the content counts the assessment
+    pipeline depends on, so both replacing a source object and growing an
+    existing one invalidate dependent caches.
+    """
+    discussions = source.discussions
+    return (
+        source.source_id,
+        id(source),
+        source.observation_day,
+        len(discussions),
+        sum(len(discussion.posts) for discussion in discussions),
+        len(source.interactions),
+    )
+
+
+def corpus_fingerprint(corpus: Iterable[Any]) -> Tuple[Any, ...]:
+    """Structural fingerprint of a corpus (ordered tuple of source fingerprints)."""
+    return tuple(source_fingerprint(source) for source in corpus)

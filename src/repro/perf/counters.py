@@ -1,0 +1,63 @@
+"""Lightweight named counters for the cached pipelines.
+
+The quality models and the search engine expose a :class:`PerfCounters`
+instance so tests and the benchmark harness can assert *how much work* a
+call did (contexts built, cache hits, candidates scored) rather than only
+how long it took — timing assertions are flaky on shared hardware, work
+counters are exact.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from typing import Any, Iterator, Mapping
+
+__all__ = ["PerfCounters"]
+
+
+class PerfCounters:
+    """A bag of named monotonically increasing counters."""
+
+    def __init__(self) -> None:
+        self._counts: Counter[str] = Counter()
+
+    def increment(self, name: str, amount: int = 1) -> int:
+        """Add ``amount`` to counter ``name`` and return its new value."""
+        if amount < 0:
+            raise ValueError("counter increments must be non-negative")
+        self._counts[name] += amount
+        return self._counts[name]
+
+    def get(self, name: str) -> int:
+        """Current value of counter ``name`` (0 when never incremented)."""
+        return self._counts.get(name, 0)
+
+    def reset(self) -> None:
+        """Zero every counter."""
+        self._counts.clear()
+
+    def snapshot(self) -> dict[str, int]:
+        """A plain-dict copy of all counters."""
+        return dict(self._counts)
+
+    def update(self, other: Mapping[str, int]) -> None:
+        """Merge another counter mapping into this one."""
+        for name, amount in other.items():
+            self.increment(name, amount)
+
+    def __getitem__(self, name: str) -> int:
+        return self.get(name)
+
+    def __iter__(self) -> Iterator[str]:
+        return iter(self._counts)
+
+    def __len__(self) -> int:
+        return len(self._counts)
+
+    def __repr__(self) -> str:
+        inner = ", ".join(f"{name}={value}" for name, value in sorted(self._counts.items()))
+        return f"PerfCounters({inner})"
+
+    def to_dict(self) -> dict[str, Any]:
+        """Serialise to a JSON-compatible dictionary."""
+        return self.snapshot()

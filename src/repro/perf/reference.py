@@ -1,0 +1,148 @@
+"""Naive reference implementations of the optimised hot paths.
+
+These functions reproduce, loop for loop, the pipelines as they existed
+before the batched/cached refactor: one crawl per source per call, the
+corpus-wide aggregates recomputed per source, the normaliser refitted and
+applied per subject, and no memoisation anywhere.  They exist for two
+purposes:
+
+* the equivalence tests assert that the optimised paths return identical
+  rankings and scores (``tests/test_perf_equivalence.py``);
+* the perf benchmark harness times them to record honest baselines
+  (``benchmarks/bench_perf_pipeline.py`` → ``BENCH_perf.json``).
+
+They intentionally reach into the models' private normaliser/crawler
+attributes: a faithful baseline must run through the very same strategy
+objects the optimised pipeline uses.
+
+The search-engine counterpart lives on the engine itself
+(:meth:`repro.search.engine.SearchEngine.search_fullscan`) because it
+shares the engine's index structures.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Optional
+
+from repro.core.contributor_measures import (
+    ContributorMeasurementContext,
+    compute_contributor_measures,
+)
+from repro.core.contributor_quality import ContributorAssessment, ContributorQualityModel
+from repro.core.normalization import collect_reference_values
+from repro.core.scoring import build_quality_score
+from repro.core.source_measures import compute_source_measures
+from repro.core.source_quality import SourceAssessment, SourceQualityModel
+from repro.errors import AssessmentError
+from repro.sources.corpus import SourceCorpus
+from repro.sources.models import Source
+
+__all__ = [
+    "naive_raw_measures",
+    "naive_assess_corpus",
+    "naive_rank",
+    "naive_assess_contributors",
+]
+
+
+def naive_raw_measures(
+    model: SourceQualityModel, corpus: SourceCorpus
+) -> dict[str, dict[str, float]]:
+    """Seed-equivalent raw Table 1 measures: one crawl and one corpus scan per source."""
+    if len(corpus) == 0:
+        raise AssessmentError("cannot assess an empty corpus")
+    vectors: dict[str, dict[str, float]] = {}
+    for source in corpus:
+        context = model.measurement_context(source, corpus)
+        vectors[source.source_id] = compute_source_measures(
+            context, registry=model.registry
+        )
+    return vectors
+
+
+def naive_assess_corpus(
+    model: SourceQualityModel,
+    corpus: SourceCorpus,
+    benchmark_corpus: Optional[SourceCorpus] = None,
+) -> dict[str, SourceAssessment]:
+    """Seed-equivalent corpus assessment: per-source loops, per-subject normalisation."""
+    raw_vectors = naive_raw_measures(model, corpus)
+    reference_vectors = (
+        naive_raw_measures(model, benchmark_corpus).values()
+        if benchmark_corpus is not None
+        else raw_vectors.values()
+    )
+    normalizer = model._normalizer
+    normalizer.fit(collect_reference_values(reference_vectors))
+
+    assessments: dict[str, SourceAssessment] = {}
+    for source in corpus:
+        raw = raw_vectors[source.source_id]
+        normalized = normalizer.normalize_all(raw)
+        score = build_quality_score(
+            subject_id=source.source_id,
+            raw_values=raw,
+            normalized_values=normalized,
+            registry=model.registry,
+            scheme=model.scheme,
+        )
+        assessments[source.source_id] = SourceAssessment(
+            source_id=source.source_id,
+            score=score,
+            snapshot=model._crawler.crawl_source(source),
+        )
+    return assessments
+
+
+def naive_rank(
+    model: SourceQualityModel,
+    corpus: SourceCorpus,
+    benchmark_corpus: Optional[SourceCorpus] = None,
+) -> list[SourceAssessment]:
+    """Seed-equivalent ranking: full reassessment followed by a sort."""
+    assessments = naive_assess_corpus(model, corpus, benchmark_corpus=benchmark_corpus)
+    return sorted(
+        assessments.values(),
+        key=lambda assessment: (-assessment.overall, assessment.source_id),
+    )
+
+
+def naive_assess_contributors(
+    model: ContributorQualityModel,
+    source: Source,
+    user_ids: Optional[Iterable[str]] = None,
+) -> dict[str, ContributorAssessment]:
+    """Seed-equivalent contributor assessment: double crawl, per-user normalisation."""
+    crawler = model._crawler
+    snapshots = crawler.crawl_contributors(source, user_ids)
+    if not snapshots:
+        raise AssessmentError(
+            f"source {source.source_id!r} has no contributors to assess"
+        )
+    raw_vectors: dict[str, dict[str, float]] = {}
+    for user_id, snapshot in snapshots.items():
+        context = ContributorMeasurementContext(snapshot=snapshot, domain=model.domain)
+        raw_vectors[user_id] = compute_contributor_measures(
+            context, registry=model.registry
+        )
+    normalizer = model._normalizer
+    normalizer.fit(collect_reference_values(raw_vectors.values()))
+    snapshots = crawler.crawl_contributors(source, raw_vectors.keys())
+
+    assessments: dict[str, ContributorAssessment] = {}
+    for user_id, raw in raw_vectors.items():
+        normalized = normalizer.normalize_all(raw)
+        score = build_quality_score(
+            subject_id=user_id,
+            raw_values=raw,
+            normalized_values=normalized,
+            registry=model.registry,
+            scheme=model._scheme,
+        )
+        assessments[user_id] = ContributorAssessment(
+            user_id=user_id,
+            source_id=source.source_id,
+            score=score,
+            snapshot=snapshots[user_id],
+        )
+    return assessments

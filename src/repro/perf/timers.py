@@ -1,0 +1,137 @@
+"""Monotonic timing primitives for the perf benchmark harness.
+
+Everything here is built on :func:`time.perf_counter` so timings are
+monotonic and unaffected by wall-clock adjustments.  The helpers are
+deliberately dependency-free: the benchmark harness runs them in-process
+around the library's own hot paths.
+"""
+
+from __future__ import annotations
+
+import time
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+from typing import Any, Callable, Iterator, Optional
+
+__all__ = ["Stopwatch", "TimingResult", "timed", "time_call"]
+
+
+class Stopwatch:
+    """A restartable monotonic stopwatch accumulating elapsed seconds.
+
+    >>> watch = Stopwatch()
+    >>> watch.start(); watch.stop()  # doctest: +SKIP
+    """
+
+    def __init__(self) -> None:
+        self._started_at: Optional[float] = None
+        self._elapsed = 0.0
+
+    @property
+    def running(self) -> bool:
+        """True while the stopwatch is started."""
+        return self._started_at is not None
+
+    @property
+    def elapsed(self) -> float:
+        """Accumulated elapsed seconds (including the current lap)."""
+        total = self._elapsed
+        if self._started_at is not None:
+            total += time.perf_counter() - self._started_at
+        return total
+
+    def start(self) -> "Stopwatch":
+        """Start (or resume) the stopwatch."""
+        if self._started_at is None:
+            self._started_at = time.perf_counter()
+        return self
+
+    def stop(self) -> float:
+        """Stop the stopwatch and return the accumulated elapsed seconds."""
+        if self._started_at is not None:
+            self._elapsed += time.perf_counter() - self._started_at
+            self._started_at = None
+        return self._elapsed
+
+    def reset(self) -> None:
+        """Zero the stopwatch."""
+        self._started_at = None
+        self._elapsed = 0.0
+
+
+@dataclass
+class TimingResult:
+    """Result of timing a callable over one or more repetitions."""
+
+    label: str
+    repetitions: int
+    total_seconds: float
+    per_call_seconds: list[float] = field(default_factory=list)
+    last_result: Any = None
+
+    @property
+    def mean_seconds(self) -> float:
+        """Average seconds per repetition."""
+        if self.repetitions == 0:
+            return 0.0
+        return self.total_seconds / self.repetitions
+
+    @property
+    def best_seconds(self) -> float:
+        """Fastest single repetition (total when per-call data is absent)."""
+        if not self.per_call_seconds:
+            return self.total_seconds
+        return min(self.per_call_seconds)
+
+    def to_dict(self) -> dict[str, Any]:
+        """Serialise to a JSON-compatible dictionary (result excluded)."""
+        return {
+            "label": self.label,
+            "repetitions": self.repetitions,
+            "total_seconds": self.total_seconds,
+            "mean_seconds": self.mean_seconds,
+            "best_seconds": self.best_seconds,
+            "per_call_seconds": list(self.per_call_seconds),
+        }
+
+
+@contextmanager
+def timed(sink: dict[str, float], label: str) -> Iterator[Stopwatch]:
+    """Context manager recording the elapsed seconds of a block into ``sink``.
+
+    >>> timings = {}
+    >>> with timed(timings, "build"):
+    ...     _ = sum(range(10))
+    >>> "build" in timings
+    True
+    """
+    watch = Stopwatch().start()
+    try:
+        yield watch
+    finally:
+        sink[label] = watch.stop()
+
+
+def time_call(
+    function: Callable[[], Any], repetitions: int = 1, label: str = ""
+) -> TimingResult:
+    """Time ``function()`` over ``repetitions`` calls.
+
+    The return value of the last call is kept on the result so benchmark
+    code can both time a pipeline and inspect what it produced.
+    """
+    if repetitions < 1:
+        raise ValueError("repetitions must be >= 1")
+    per_call: list[float] = []
+    last_result: Any = None
+    for _ in range(repetitions):
+        started = time.perf_counter()
+        last_result = function()
+        per_call.append(time.perf_counter() - started)
+    return TimingResult(
+        label=label or getattr(function, "__name__", "anonymous"),
+        repetitions=repetitions,
+        total_seconds=sum(per_call),
+        per_call_seconds=per_call,
+        last_result=last_result,
+    )

@@ -137,15 +137,27 @@ class SentimentIndicatorService:
         return posts
 
     def score_post(self, post: Post) -> SentimentScore:
-        """Score a single post."""
+        """Score a single post.
+
+        Delegates to the analyser, whose per-text memo makes repeated
+        scoring of the same content (e.g. the per-source pass followed by
+        the per-category pass of :meth:`indicator`) near-free.
+        """
         return self._analyzer.score(post.text)
+
+    def _scored_relevant_posts(
+        self, source: Source
+    ) -> list[tuple[Post, SentimentScore]]:
+        """Relevant posts of ``source`` paired with their sentiment scores."""
+        return [(post, self.score_post(post)) for post in self._relevant_posts(source)]
 
     # -- per-source / per-category indicators ------------------------------------------
 
     def source_sentiment(self, source: Source, quality_weight: float = 1.0) -> SourceSentiment:
         """Average opinionated polarity over the relevant posts of a source."""
-        posts = self._relevant_posts(source)
-        scores = [self.score_post(post) for post in posts]
+        scored = self._scored_relevant_posts(source)
+        posts = [post for post, _ in scored]
+        scores = [score for _, score in scored]
         opinionated = [score for score in scores if score.is_opinionated]
         average = (
             sum(score.polarity for score in opinionated) / len(opinionated)
@@ -164,9 +176,8 @@ class SentimentIndicatorService:
         buckets: dict[str, list[SentimentScore]] = {}
         counts: dict[str, int] = {}
         for source in corpus:
-            for post in self._relevant_posts(source):
+            for post, score in self._scored_relevant_posts(source):
                 category = post.category or "uncategorised"
-                score = self.score_post(post)
                 counts[category] = counts.get(category, 0) + 1
                 if score.is_opinionated:
                     buckets.setdefault(category, []).append(score)

@@ -17,6 +17,7 @@ from pathlib import Path
 from typing import Any, Callable, Iterable, Iterator, Optional
 
 from repro.errors import CorpusError, UnknownSourceError
+from repro.perf.cache import corpus_fingerprint
 from repro.sources.models import Discussion, Source, SourceType
 
 __all__ = ["SourceCorpus", "CorpusStatistics"]
@@ -140,6 +141,16 @@ class SourceCorpus:
     def largest_source_open_discussions(self) -> int:
         """Open-discussion count of the largest source (Table 1 traffic benchmark)."""
         return self.statistics().max_open_discussions
+
+    def content_fingerprint(self) -> tuple:
+        """Structural fingerprint used by fingerprint-keyed assessment caches.
+
+        Changes whenever a source is added, removed or replaced, or when an
+        existing source grows new discussions, posts or interactions.  See
+        :func:`repro.perf.cache.corpus_fingerprint` for the exact contract
+        (in-place edits that keep every count identical are not detected).
+        """
+        return corpus_fingerprint(self)
 
     def all_discussions(self) -> Iterator[tuple[Source, Discussion]]:
         """Iterate over ``(source, discussion)`` pairs across the whole corpus."""

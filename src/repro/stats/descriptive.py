@@ -62,13 +62,19 @@ def describe(values: Sequence[float]) -> DescriptiveSummary:
     if not values:
         raise InsufficientDataError("cannot describe an empty sample")
     array = np.asarray(list(values), dtype=float)
+    minimum = float(array.min())
+    maximum = float(array.max())
+    # Float summation can push the computed mean a few ULPs outside the
+    # observed range (e.g. three identical large values); mathematically the
+    # mean always lies within [min, max], so clamp it back.
+    mean = min(max(float(array.mean()), minimum), maximum)
     return DescriptiveSummary(
         count=int(array.size),
-        mean=float(array.mean()),
+        mean=mean,
         variance=float(array.var()),
         std=float(array.std()),
-        minimum=float(array.min()),
-        maximum=float(array.max()),
+        minimum=minimum,
+        maximum=maximum,
         median=float(np.median(array)),
     )
 
@@ -110,11 +116,20 @@ def correlation_matrix(
 
 
 def standardize(values: Sequence[float]) -> list[float]:
-    """Z-score standardisation; constant columns map to all zeros."""
+    """Z-score standardisation; constant columns map to all zeros.
+
+    A column is treated as constant when its standard deviation is zero
+    *relative to its magnitude*: for large identical values the float mean
+    leaves a rounding residue, and dividing that residue by the resulting
+    tiny std would otherwise fabricate huge z-scores.  The threshold is
+    purely relative (no absolute floor), so a column of genuinely varying
+    tiny values still standardises correctly.
+    """
     if not values:
         return []
     array = np.asarray(list(values), dtype=float)
     std = array.std()
-    if std == 0:
+    scale = float(np.abs(array).max())
+    if std == 0 or std <= 1e-12 * scale:
         return [0.0] * len(values)
     return list((array - array.mean()) / std)

@@ -1,0 +1,180 @@
+"""Tests for the repro.perf toolkit (timers, counters, caches, fingerprints)."""
+
+from __future__ import annotations
+
+import gc
+import weakref
+
+import pytest
+
+from repro.core.contributor_quality import ContributorQualityModel
+from repro.core.source_quality import SourceQualityModel
+from repro.perf.cache import LRUCache, corpus_fingerprint, source_fingerprint
+from repro.perf.counters import PerfCounters
+from repro.perf.timers import Stopwatch, time_call, timed
+from repro.sources.generators import CorpusGenerator, CorpusSpec
+from repro.sources.models import Discussion, Post
+
+
+class TestLRUCache:
+    def test_get_put_and_hit_miss_counters(self):
+        cache = LRUCache(maxsize=2)
+        assert cache.get("a") is None
+        cache.put("a", 1)
+        assert cache.get("a") == 1
+        assert cache.hits == 1
+        assert cache.misses == 1
+
+    def test_eviction_is_least_recently_used(self):
+        cache = LRUCache(maxsize=2)
+        cache.put("a", 1)
+        cache.put("b", 2)
+        cache.get("a")  # refresh "a" so "b" is the LRU entry
+        cache.put("c", 3)
+        assert "a" in cache
+        assert "b" not in cache
+        assert "c" in cache
+        assert cache.evictions == 1
+
+    def test_get_or_create_builds_once(self):
+        cache = LRUCache(maxsize=4)
+        calls = []
+        for _ in range(3):
+            value = cache.get_or_create("key", lambda: calls.append(1) or "built")
+        assert value == "built"
+        assert len(calls) == 1
+        assert cache.hits == 2
+
+    def test_zero_maxsize_disables_caching(self):
+        cache = LRUCache(maxsize=0)
+        cache.put("a", 1)
+        assert cache.get("a") is None
+        assert len(cache) == 0
+
+    def test_invalidate(self):
+        cache = LRUCache(maxsize=4)
+        cache.put("a", 1)
+        cache.put("b", 2)
+        cache.invalidate("a")
+        assert "a" not in cache and "b" in cache
+        cache.invalidate()
+        assert len(cache) == 0
+
+    def test_stats_shape(self):
+        stats = LRUCache(maxsize=3).stats()
+        assert set(stats) == {"hits", "misses", "evictions", "size", "maxsize"}
+
+
+class TestPerfCounters:
+    def test_increment_and_get(self):
+        counters = PerfCounters()
+        assert counters.get("x") == 0
+        counters.increment("x")
+        counters.increment("x", 4)
+        assert counters["x"] == 5
+
+    def test_negative_increment_rejected(self):
+        with pytest.raises(ValueError):
+            PerfCounters().increment("x", -1)
+
+    def test_snapshot_reset_and_update(self):
+        counters = PerfCounters()
+        counters.increment("a", 2)
+        counters.update({"b": 3})
+        assert counters.snapshot() == {"a": 2, "b": 3}
+        counters.reset()
+        assert len(counters) == 0
+
+
+class TestTimers:
+    def test_stopwatch_accumulates(self):
+        watch = Stopwatch()
+        watch.start()
+        elapsed = watch.stop()
+        assert elapsed >= 0.0
+        assert not watch.running
+        watch.reset()
+        assert watch.elapsed == 0.0
+
+    def test_timed_records_into_sink(self):
+        timings: dict[str, float] = {}
+        with timed(timings, "block"):
+            pass
+        assert timings["block"] >= 0.0
+
+    def test_time_call_repetitions_and_result(self):
+        result = time_call(lambda: 41 + 1, repetitions=3, label="answer")
+        assert result.repetitions == 3
+        assert result.last_result == 42
+        assert len(result.per_call_seconds) == 3
+        assert result.total_seconds == pytest.approx(sum(result.per_call_seconds))
+        assert result.best_seconds <= result.mean_seconds + 1e-12
+
+    def test_time_call_rejects_zero_repetitions(self):
+        with pytest.raises(ValueError):
+            time_call(lambda: None, repetitions=0)
+
+
+class TestFingerprints:
+    def test_fingerprint_stable_for_unchanged_corpus(self, small_corpus):
+        assert corpus_fingerprint(small_corpus) == corpus_fingerprint(small_corpus)
+        assert small_corpus.content_fingerprint() == corpus_fingerprint(small_corpus)
+
+    def test_fingerprint_changes_when_content_grows(self, small_corpus):
+        source = small_corpus.sources()[0]
+        before = source_fingerprint(source)
+        discussion = Discussion(
+            discussion_id="fp-test", category="travel", title="t", opened_at=1.0
+        )
+        discussion.posts.append(
+            Post(post_id="fp-post", author_id="u1", day=2.0, text="hello world")
+        )
+        source.add_discussion(discussion)
+        try:
+            assert source_fingerprint(source) != before
+        finally:
+            source.discussions.remove(discussion)
+        assert source_fingerprint(source) == before
+
+
+class TestContextAnchoring:
+    """Fingerprints embed id(source); cached contexts must pin the objects.
+
+    Without the anchor, CPython could hand a freed source's id to a new,
+    different-content source with identical counts and the fingerprint-keyed
+    caches would silently serve stale assessments.
+    """
+
+    def _fresh_corpus(self):
+        return CorpusGenerator(
+            CorpusSpec(source_count=3, seed=7, discussion_budget=4, user_budget=5)
+        ).generate()
+
+    def test_source_model_context_keeps_sources_alive(self, travel_domain):
+        corpus = self._fresh_corpus()
+        model = SourceQualityModel(travel_domain)
+        context = model.assessment_context(corpus)
+        assert all(a is b for a, b in zip(context.sources, corpus.sources()))
+
+        ref = weakref.ref(corpus.sources()[0])
+        del corpus, context
+        gc.collect()
+        assert ref() is not None  # anchored by the cached context
+
+        model.invalidate()
+        gc.collect()
+        assert ref() is None
+
+    def test_contributor_model_context_keeps_source_alive(self, travel_domain):
+        source = self._fresh_corpus().sources()[0]
+        model = ContributorQualityModel(travel_domain)
+        model.assess_source(source)
+
+        ref = weakref.ref(source)
+        del source
+        gc.collect()
+        assert ref() is not None  # anchored by the cached context
+
+        model.invalidate()
+        gc.collect()
+        assert ref() is None

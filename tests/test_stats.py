@@ -146,6 +146,19 @@ class TestDescriptive:
     def test_standardize_constant_column(self):
         assert standardize([5.0, 5.0, 5.0]) == [0.0, 0.0, 0.0]
 
+    def test_standardize_large_constant_column_with_float_residue(self):
+        # The float mean of large near-identical values leaves a rounding
+        # residue; the relative-std guard must still treat them as constant.
+        values = [1e15 + 0.1, 1e15, 1e15 - 0.1, 1e15]
+        assert standardize([1e15] * 4) == [0.0, 0.0, 0.0, 0.0]
+        assert all(abs(v) < 10 for v in standardize(values))
+
+    def test_standardize_tiny_varying_column_keeps_z_scores(self):
+        # The guard is relative, not absolute: a genuinely varying column of
+        # tiny values standardises like any other column.
+        values = standardize([1e-13, 2e-13, 3e-13])
+        assert values == pytest.approx([-math.sqrt(1.5), 0.0, math.sqrt(1.5)])
+
 
 class TestLinearRegression:
     def test_recovers_known_coefficients(self):
