@@ -6,7 +6,7 @@ export PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH))
 
 BENCH_JSON := BENCH_perf.json
 
-.PHONY: test bench perf
+.PHONY: test bench perf perf-smoke
 
 ## tier-1 test suite (must stay green; see ROADMAP.md)
 test:
@@ -16,7 +16,14 @@ test:
 bench:
 	$(PYTHON) -m pytest benchmarks -q -o python_files='bench_*.py'
 
-## perf benchmark harness: writes $(BENCH_JSON); fails if it cannot be written
+## perf benchmark harnesses: both merge into $(BENCH_JSON); fails if it cannot be written
 perf:
 	$(PYTHON) benchmarks/bench_perf_pipeline.py --output $(BENCH_JSON)
+	$(PYTHON) benchmarks/bench_incremental_index.py --output $(BENCH_JSON)
 	@test -s $(BENCH_JSON) || { echo "FATAL: $(BENCH_JSON) was not written" >&2; exit 1; }
+
+## reduced-scale perf smoke for CI: proves both harnesses produce their sections
+perf-smoke:
+	$(PYTHON) benchmarks/bench_perf_pipeline.py --output $(BENCH_JSON) --rank-repetitions 2 --search-rounds 2
+	$(PYTHON) benchmarks/bench_incremental_index.py --output $(BENCH_JSON) --sources 200 --events 4
+	$(PYTHON) scripts/check_bench_keys.py $(BENCH_JSON)

@@ -1,0 +1,63 @@
+#!/usr/bin/env python
+"""CI smoke check: assert BENCH_perf.json contains every expected section.
+
+Exits non-zero with a readable message when a perf harness silently failed
+to record its section or a required per-section field is missing.  Usage::
+
+    python scripts/check_bench_keys.py BENCH_perf.json
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+from pathlib import Path
+
+#: section -> fields every harness run must record.
+EXPECTED = {
+    "corpus_assessment": ("baseline_seconds", "optimized_seconds", "speedup"),
+    "repeated_rank": ("baseline_seconds", "optimized_seconds", "speedup"),
+    "search_throughput": ("baseline_qps", "optimized_qps", "speedup"),
+    "sentiment_aggregation": ("baseline_seconds", "optimized_seconds", "speedup"),
+    "incremental_index": (
+        "incremental_seconds",
+        "full_rebuild_seconds",
+        "speedup",
+        "target_speedup",
+    ),
+}
+
+
+def main(argv: list[str]) -> int:
+    if len(argv) != 2:
+        print(f"usage: {argv[0]} BENCH_perf.json", file=sys.stderr)
+        return 2
+    path = Path(argv[1])
+    try:
+        report = json.loads(path.read_text(encoding="utf-8"))
+    except (OSError, ValueError) as exc:
+        print(f"FATAL: cannot read {path}: {exc}", file=sys.stderr)
+        return 1
+
+    problems: list[str] = []
+    for section, fields in EXPECTED.items():
+        entry = report.get(section)
+        if not isinstance(entry, dict):
+            problems.append(f"missing section: {section}")
+            continue
+        for field in fields:
+            if field not in entry:
+                problems.append(f"missing field: {section}.{field}")
+    if "meta" not in report:
+        problems.append("missing section: meta")
+
+    if problems:
+        for problem in problems:
+            print(f"FATAL: {problem}", file=sys.stderr)
+        return 1
+    print(f"{path}: all {len(EXPECTED)} perf sections present")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

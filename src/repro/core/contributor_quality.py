@@ -11,8 +11,11 @@ contributor snapshots are crawled exactly once per (source, user set), the
 normaliser is fitted once on the whole raw-measure matrix, and the
 resulting assessments are cached under a structural fingerprint of the
 source, so repeated ``assess_source`` / ``rank`` calls over an unchanged
-community are near-free (call :meth:`ContributorQualityModel.invalidate`
-after count-preserving in-place mutations).
+community are near-free.  The fingerprint carries the source's
+``content_revision``, so growth through the mutation helpers and
+announced ``Source.touch()`` edits rebuild the context automatically;
+call :meth:`ContributorQualityModel.invalidate` only after unannounced
+count-preserving in-place mutations.
 
 The model also exposes the paper's key analytical distinction between
 *absolute* interaction volumes (the activity attribute) and *relative*

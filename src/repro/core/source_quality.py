@@ -20,8 +20,13 @@ once and applied to the whole raw-measure matrix.  Contexts are cached
 under a structural fingerprint of the corpus (see
 :meth:`~repro.sources.corpus.SourceCorpus.content_fingerprint`), so
 repeated ``assess_corpus`` / ``rank`` / ``ranking_ids`` calls over an
-unchanged corpus are near-free.  Callers mutating sources in place without
-changing any content count must call :meth:`SourceQualityModel.invalidate`.
+unchanged corpus are near-free.  The fingerprint participates in the
+corpus epoch model: adds, removes, in-place growth and announced
+``touch()`` edits all change it, so the next call rebuilds the context
+automatically.  Callers mutating sources in place without changing any
+content count should announce the edit via
+:meth:`~repro.sources.corpus.SourceCorpus.touch` (or call
+:meth:`SourceQualityModel.invalidate`).
 """
 
 from __future__ import annotations
@@ -157,8 +162,12 @@ class SourceQualityModel:
     def invalidate(self) -> None:
         """Drop every cached assessment context and raw-measure matrix.
 
-        Needed only after in-place mutations that keep every content count
-        identical (which the structural fingerprint cannot detect).
+        Needed only after unannounced in-place mutations that keep every
+        content count identical (which the structural fingerprint cannot
+        detect); ``corpus.touch(source_id)`` is the finer-grained
+        alternative — it changes the fingerprint, so only the affected
+        corpus re-assesses.  Also releases the source objects anchored by
+        the cached contexts.
         """
         self._contexts.invalidate()
         self._measure_cache.invalidate()

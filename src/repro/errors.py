@@ -80,6 +80,28 @@ class SearchError(ReproError):
     """The simulated search engine failed to evaluate a query."""
 
 
+class UnsearchableQueryError(SearchError):
+    """Every token of the query was dropped by the tokenisation rule.
+
+    Raised instead of a generic "no searchable terms" error when the query
+    *did* contain alphanumeric content, but all of it was discarded — e.g.
+    single-character tokens like ``"x"`` or ``"a b c"``, which the index
+    tokeniser drops because terms must be at least two characters long.
+    """
+
+    def __init__(
+        self, query: str, dropped_tokens: list[str], rule: str = "see tokenize()"
+    ) -> None:
+        super().__init__(
+            f"query {query!r} contains no searchable terms: "
+            f"token(s) {dropped_tokens!r} were dropped by the tokenisation rule "
+            f"({rule})"
+        )
+        self.query = query
+        self.dropped_tokens = list(dropped_tokens)
+        self.rule = rule
+
+
 class SentimentError(ReproError):
     """Sentiment analysis failed."""
 

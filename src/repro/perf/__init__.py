@@ -16,7 +16,13 @@ harness use them to prove the optimised paths return identical results and
 to record honest baseline timings.
 """
 
-from repro.perf.cache import LRUCache, corpus_fingerprint, source_fingerprint
+from repro.perf.cache import (
+    LRUCache,
+    corpus_fingerprint,
+    corpus_probe,
+    source_fingerprint,
+    source_probe,
+)
 from repro.perf.counters import PerfCounters
 from repro.perf.timers import Stopwatch, time_call, timed
 
@@ -25,7 +31,9 @@ __all__ = [
     "PerfCounters",
     "Stopwatch",
     "corpus_fingerprint",
+    "corpus_probe",
     "source_fingerprint",
+    "source_probe",
     "time_call",
     "timed",
 ]

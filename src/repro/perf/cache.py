@@ -6,17 +6,28 @@ the query-tokenisation memo of the search engine and the per-text memo of
 the sentiment analyser.
 
 The fingerprint helpers compute a *structural* signature of a source or a
-corpus: object identity plus the cheap-to-read content counts a crawler
-would see (discussions, posts, interactions, observation day).  Computing a
-fingerprint is O(number of discussions), orders of magnitude cheaper than a
-full assessment, which is what makes fingerprint-keyed invalidation
-near-free for repeated calls over an unchanged corpus.
+corpus: object identity, the source's in-place mutation counter
+(``Source.content_revision``) plus the cheap-to-read content counts a
+crawler would see (discussions, posts, interactions, observation day).
+Computing a fingerprint is O(number of discussions), orders of magnitude
+cheaper than a full assessment, which is what makes fingerprint-keyed
+invalidation near-free for repeated calls over an unchanged corpus.
 
-The contract is deliberately conservative: any change that *adds or
-removes* content, or replaces a source object, changes the fingerprint.
-In-place edits that keep every count identical (e.g. rewording an existing
-post) are not detected — callers doing that must invalidate the consuming
-cache explicitly (see ``docs/PERFORMANCE.md``).
+The contract: any change that *adds or removes* content, replaces a source
+object, goes through a ``Source`` mutation helper, or is announced via
+``Source.touch()`` / ``SourceCorpus.touch()`` changes the fingerprint.
+In-place edits that keep every count identical AND bypass the helpers
+(e.g. rewording an existing post directly) are not detected — callers
+doing that must call ``touch()`` or invalidate the consuming cache
+explicitly (see ``docs/PERFORMANCE.md``).
+
+The probe helpers (:func:`source_probe`, :func:`corpus_probe`) are the
+O(1)-per-source tier of the same signature: they skip the per-discussion
+post counts, so they can run on every query of the search hot path.  A
+probe change always implies a fingerprint change; the only fingerprint
+change invisible to the probe is a post appended directly inside an
+existing discussion without ``touch()`` — the same blind spot class the
+fingerprints themselves have for count-preserving edits.
 
 Because the fingerprints include ``id(source)``, a cache keyed on them
 MUST keep a strong reference to the fingerprinted objects in its entries
@@ -30,7 +41,13 @@ from __future__ import annotations
 from collections import OrderedDict
 from typing import Any, Callable, Hashable, Iterable, Optional, Tuple
 
-__all__ = ["LRUCache", "source_fingerprint", "corpus_fingerprint"]
+__all__ = [
+    "LRUCache",
+    "source_fingerprint",
+    "corpus_fingerprint",
+    "source_probe",
+    "corpus_probe",
+]
 
 _MISSING = object()
 
@@ -101,6 +118,15 @@ class LRUCache:
         else:
             self._entries.pop(key, None)
 
+    def keys(self) -> list:
+        """A snapshot of the cached keys, LRU first.
+
+        Used by selective invalidation (drop every entry matching a
+        predicate) — iterate the snapshot and call :meth:`invalidate` per
+        key; the snapshot stays valid while entries are removed.
+        """
+        return list(self._entries)
+
     def stats(self) -> dict[str, int]:
         """Hit/miss/eviction statistics plus the current size."""
         return {
@@ -115,14 +141,16 @@ class LRUCache:
 def source_fingerprint(source: Any) -> Tuple[Any, ...]:
     """Structural fingerprint of one source.
 
-    Combines object identity with the content counts the assessment
-    pipeline depends on, so both replacing a source object and growing an
-    existing one invalidate dependent caches.
+    Combines object identity and the in-place mutation counter with the
+    content counts the assessment pipeline depends on, so replacing a
+    source object, growing an existing one, and announced in-place edits
+    (``touch()``) all invalidate dependent caches.
     """
     discussions = source.discussions
     return (
         source.source_id,
         id(source),
+        source.content_revision,
         source.observation_day,
         len(discussions),
         sum(len(discussion.posts) for discussion in discussions),
@@ -133,3 +161,27 @@ def source_fingerprint(source: Any) -> Tuple[Any, ...]:
 def corpus_fingerprint(corpus: Iterable[Any]) -> Tuple[Any, ...]:
     """Structural fingerprint of a corpus (ordered tuple of source fingerprints)."""
     return tuple(source_fingerprint(source) for source in corpus)
+
+
+def source_probe(source: Any) -> Tuple[Any, ...]:
+    """O(1) staleness probe of one source (fingerprint minus post counts).
+
+    Every field is a constant-time read, so probing a whole corpus on the
+    query hot path costs microseconds where the full fingerprint costs
+    O(total discussions).  A probe change always implies a fingerprint
+    change (the probe fields are a subset); see the module docstring for
+    the one fingerprint change the probe cannot see.
+    """
+    return (
+        source.source_id,
+        id(source),
+        source.content_revision,
+        source.observation_day,
+        len(source.discussions),
+        len(source.interactions),
+    )
+
+
+def corpus_probe(corpus: Iterable[Any]) -> Tuple[Any, ...]:
+    """O(source count) staleness probe of a corpus (ordered tuple of probes)."""
+    return tuple(source_probe(source) for source in corpus)

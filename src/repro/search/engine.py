@@ -13,15 +13,27 @@ The relative weight of the two parts is configurable; with the default
 configuration the static part dominates, so re-ranking by the quality model
 produces the substantial displacements reported in Section 4.1.
 
-The query hot path is index-driven: at build time the engine materialises
-an inverted index mapping each term to the sources containing it (postings
-carry the precomputed term-frequency/document-length ratio), static scores
-and the static ordering, so :meth:`SearchEngine.search` scores only the
-union of the query terms' postings lists instead of scanning every indexed
-source, hoists each term's IDF out of the per-source loop and selects the
-top-k with a bounded heap.  :meth:`SearchEngine.search_fullscan` keeps the
+The query hot path is index-driven: the engine materialises an inverted
+index mapping each term to the sources containing it (postings carry the
+precomputed term-frequency/document-length ratio), static scores and the
+static ordering, so :meth:`SearchEngine.search` scores only the union of
+the query terms' postings lists instead of scanning every indexed source,
+hoists each term's IDF out of the per-source loop and selects the top-k
+with a bounded heap.  :meth:`SearchEngine.search_fullscan` keeps the
 original full-scan scoring as a reference path; both return identical
 results (see ``tests/test_perf_equivalence.py``).
+
+The index is *mutation-safe*: the engine tracks the corpus staleness epoch
+``(corpus version, content fingerprint)`` and every read path
+auto-refreshes before answering.  Staleness detection is tiered so the
+common unchanged case stays cheap — an O(1) corpus-version check, then an
+O(source count) content probe; only when one of them fires does the engine
+compute the full fingerprint diff and apply an *incremental* update:
+postings lists, document frequencies, static scores and the static order
+are patched for just the added/removed/changed sources, and only the
+affected result-cache entries are dropped (see
+:meth:`SearchEngine.refresh` and ``docs/PERFORMANCE.md`` for the cost
+model and the exact detection contract).
 """
 
 from __future__ import annotations
@@ -34,8 +46,8 @@ from collections import Counter
 from dataclasses import dataclass
 from typing import Iterable, Optional
 
-from repro.errors import SearchError
-from repro.perf.cache import LRUCache
+from repro.errors import SearchError, UnsearchableQueryError
+from repro.perf.cache import LRUCache, corpus_probe, source_fingerprint
 from repro.perf.counters import PerfCounters
 from repro.sources.corpus import SourceCorpus
 from repro.sources.models import Source
@@ -45,10 +57,35 @@ __all__ = ["SearchEngineConfig", "SearchResult", "SearchEngine"]
 
 _TOKEN_PATTERN = re.compile(r"[a-z0-9][a-z0-9\-]+")
 
+#: Maximal alphanumeric runs, including the single-character ones that
+#: :data:`_TOKEN_PATTERN` drops — used to explain *why* a query produced no
+#: searchable terms instead of failing with a generic error.
+_RUN_PATTERN = re.compile(r"[a-z0-9][a-z0-9\-]*")
+
+#: Human-readable statement of the tokenisation rule, embedded in
+#: :class:`~repro.errors.UnsearchableQueryError` messages.
+TOKENIZATION_RULE = (
+    "terms must match [a-z0-9][a-z0-9-]+ (at least two characters); "
+    "single-character tokens are dropped"
+)
+
 
 def tokenize(text: str) -> list[str]:
     """Lower-case alphanumeric tokenisation used by the index and queries."""
     return _TOKEN_PATTERN.findall(text.lower())
+
+
+def _reject_untokenizable(query: str) -> None:
+    """Raise the precise typed error for a query that yields no terms.
+
+    Distinguishes queries whose tokens were *dropped by the tokenisation
+    rule* (single-character runs like ``"x"`` or ``"a b c"``) from queries
+    containing no alphanumeric content at all (``""``, ``"!!!"``).
+    """
+    dropped = [run for run in _RUN_PATTERN.findall(query.lower()) if len(run) < 2]
+    if dropped:
+        raise UnsearchableQueryError(query, dropped, TOKENIZATION_RULE)
+    raise SearchError("query contains no searchable terms")
 
 
 #: Versioned salt of the simulated noise stream.  The salt value is
@@ -111,7 +148,12 @@ class SearchEngineConfig:
     minimum_topical_score: float = 0.0
 
     def validate(self) -> None:
-        """Raise :class:`SearchError` when the configuration is invalid."""
+        """Raise :class:`SearchError` when the configuration is invalid.
+
+        Weights must be *finite* and non-negative: a plain ``value < 0``
+        check would let ``NaN`` through (``NaN < 0`` is ``False``) and a
+        ``NaN`` or infinite weight silently poisons every combined score.
+        """
         for name in (
             "static_weight",
             "topical_weight",
@@ -119,8 +161,13 @@ class SearchEngineConfig:
             "traffic_coefficient",
             "inbound_link_coefficient",
         ):
-            if getattr(self, name) < 0:
-                raise SearchError(f"{name} must be non-negative")
+            value = getattr(self, name)
+            if not math.isfinite(value) or value < 0:
+                raise SearchError(f"{name} must be finite and non-negative, got {value!r}")
+        if not math.isfinite(self.minimum_topical_score):
+            raise SearchError(
+                f"minimum_topical_score must be finite, got {self.minimum_topical_score!r}"
+            )
         if self.static_weight + self.topical_weight <= 0:
             raise SearchError("at least one of the ranking weights must be positive")
 
@@ -137,13 +184,22 @@ class SearchResult:
 
 
 class SearchEngine:
-    """Index a corpus and answer keyword queries with popularity-biased ranking."""
+    """Index a corpus and answer keyword queries with popularity-biased ranking.
+
+    The index tracks corpus mutations: every read path calls
+    :meth:`refresh`, which detects staleness through the corpus epoch
+    (version + content probe/fingerprint) and patches the index
+    incrementally, so mutations made through the corpus and ``Source``
+    APIs can never serve stale rankings (see :meth:`refresh` for the
+    exact detection contract covering edits that bypass both).
+    """
 
     #: Number of memoised query tokenisations.
     QUERY_CACHE_SIZE = 1024
 
-    #: Number of memoised (terms, limit) result lists.  The index is
-    #: immutable after construction, so cached results can never go stale.
+    #: Number of memoised (terms, limit) result lists.  Entries are scoped
+    #: to the indexed corpus epoch: a refresh drops exactly the entries the
+    #: mutation could have affected (see :meth:`refresh`).
     RESULT_CACHE_SIZE = 512
 
     def __init__(
@@ -163,9 +219,21 @@ class SearchEngine:
         #: term -> list of (source_id, term_frequency / document_length).
         self._postings: dict[str, list[tuple[str, float]]] = {}
         self._static_order: tuple[str, ...] = ()
+        #: Per-source raw panel observations backing the static scores.
+        self._observations: dict[str, PanelObservation] = {}
+        self._max_visitors: float = 1.0
+        self._max_links: int = 1
+        #: Indexed epoch: corpus version, cheap probe, and per-source
+        #: fingerprints at index time.  The fingerprint map anchors the
+        #: source objects (``id()`` stability) in its companion dict.
+        self._indexed_version: int = -1
+        self._indexed_probe: tuple = ()
+        self._source_fingerprints: dict[str, tuple] = {}
+        self._anchored_sources: dict[str, Source] = {}
         self._query_cache = LRUCache(maxsize=self.QUERY_CACHE_SIZE)
         self._result_cache = LRUCache(maxsize=self.RESULT_CACHE_SIZE)
         self.counters = PerfCounters()
+        self._panel.watch(corpus)
         self._build_index()
 
     @property
@@ -194,38 +262,77 @@ class SearchEngine:
         if len(self._corpus) == 0:
             raise SearchError("cannot index an empty corpus")
         observations = self._panel.observe_many(self._corpus)
-        max_visitors = max(
+        self._observations = dict(observations)
+        self._max_visitors = max(
             (observation.daily_visitors for observation in observations.values()),
             default=1.0,
         )
-        max_links = max(
+        self._max_links = max(
             (observation.inbound_links for observation in observations.values()),
             default=1,
         )
         for source in self._corpus:
-            counter: Counter[str] = Counter()
-            for fragment in self._document_text(source):
-                counter.update(tokenize(fragment))
-            source_id = source.source_id
-            length = max(1, sum(counter.values()))
-            self._term_frequencies[source_id] = counter
-            self._document_lengths[source_id] = length
-            for token, frequency in counter.items():
-                self._document_frequencies[token] += 1
-                self._postings.setdefault(token, []).append(
-                    (source_id, frequency / length)
-                )
-            self._static_scores[source_id] = self._static_score(
-                observations[source_id], max_visitors, max_links
+            self._index_source(source)
+            self._static_scores[source.source_id] = self._static_score(
+                observations[source.source_id], self._max_visitors, self._max_links
             )
         # The popularity-only ordering is query independent; compute it once
         # from the cached static scores.
+        self._rebuild_static_order()
+        self._record_epoch()
+
+    def _index_source(self, source: Source) -> None:
+        """Add one source's text surface to the postings structures."""
+        counter: Counter[str] = Counter()
+        for fragment in self._document_text(source):
+            counter.update(tokenize(fragment))
+        source_id = source.source_id
+        length = max(1, sum(counter.values()))
+        self._term_frequencies[source_id] = counter
+        self._document_lengths[source_id] = length
+        for token, frequency in counter.items():
+            self._document_frequencies[token] += 1
+            self._postings.setdefault(token, []).append(
+                (source_id, frequency / length)
+            )
+
+    def _unindex_source(self, source_id: str) -> Counter:
+        """Remove one source from the postings structures; return its terms."""
+        counter = self._term_frequencies.pop(source_id)
+        del self._document_lengths[source_id]
+        document_frequencies = self._document_frequencies
+        postings = self._postings
+        for token in counter:
+            remaining = document_frequencies[token] - 1
+            if remaining:
+                document_frequencies[token] = remaining
+                postings[token] = [
+                    entry for entry in postings[token] if entry[0] != source_id
+                ]
+            else:
+                del document_frequencies[token]
+                del postings[token]
+        self._static_scores.pop(source_id, None)
+        self._observations.pop(source_id, None)
+        return counter
+
+    def _rebuild_static_order(self) -> None:
         self._static_order = tuple(
             source_id
             for source_id, _ in sorted(
                 self._static_scores.items(), key=lambda item: (-item[1], item[0])
             )
         )
+
+    def _record_epoch(self) -> None:
+        """Snapshot the corpus epoch the index state was derived from."""
+        self._indexed_version = self._corpus.version
+        self._indexed_probe = self._corpus.content_probe()
+        self._source_fingerprints = {}
+        self._anchored_sources = {}
+        for source in self._corpus:
+            self._source_fingerprints[source.source_id] = source_fingerprint(source)
+            self._anchored_sources[source.source_id] = source
 
     def _static_score(
         self, observation: PanelObservation, max_visitors: float, max_links: int
@@ -243,13 +350,143 @@ class SearchEngine:
             + config.inbound_link_coefficient * link_part
         ) / total
 
+    # -- staleness detection and incremental maintenance ----------------------------
+
+    def refresh(self, deep: bool = False) -> bool:
+        """Synchronise the index with the corpus; return True when it changed.
+
+        Staleness is detected through the corpus epoch, cheapest tier
+        first:
+
+        1. ``corpus.version`` — O(1); catches every ``add``/``remove``/
+           ``touch`` made through the corpus API;
+        2. the content probe — O(source count); additionally catches
+           replaced source objects and in-place growth through the
+           ``Source`` mutation helpers (or any change to the discussion /
+           interaction list lengths);
+        3. the full content fingerprint — O(total discussions); also
+           catches posts appended directly inside an existing discussion.
+
+        Tiers 1–2 run on every read path (``search`` auto-refreshes before
+        answering); tier 3 runs whenever a cheaper tier fired and on
+        explicit ``refresh(deep=True)`` calls.  Mutations invisible to all
+        three tiers (count-preserving in-place edits that bypass the
+        helpers) must be announced via ``touch()`` — the same contract the
+        assessment-context fingerprints have always had.
+
+        When stale, the index is patched *incrementally*: only the
+        added/removed/changed sources are (un)indexed, static scores are
+        renormalised only when the traffic/link maxima moved, and only the
+        result-cache entries whose terms intersect the changed sources'
+        terms are dropped (everything, when the corpus size or the maxima
+        changed — document frequencies and static normalisation are global
+        in those cases).
+        """
+        corpus = self._corpus
+        if not deep and corpus.version == self._indexed_version:
+            if corpus.content_probe() == self._indexed_probe:
+                self.counters.increment("refresh_noops")
+                return False
+        return self._synchronise()
+
+    def _synchronise(self) -> bool:
+        """Full-fingerprint diff against the indexed epoch + incremental patch."""
+        corpus = self._corpus
+        if len(corpus) == 0:
+            raise SearchError("cannot index an empty corpus")
+        previous_size = len(self._source_fingerprints)
+        current_sources: dict[str, Source] = {}
+        added: list[str] = []
+        changed: list[str] = []
+        for source in corpus:
+            source_id = source.source_id
+            current_sources[source_id] = source
+            fingerprint = source_fingerprint(source)
+            old = self._source_fingerprints.get(source_id)
+            if old is None:
+                added.append(source_id)
+            elif old != fingerprint:
+                changed.append(source_id)
+        removed = [
+            source_id
+            for source_id in self._source_fingerprints
+            if source_id not in current_sources
+        ]
+        if not (added or changed or removed):
+            # Version bumped without a detectable content change (e.g. a
+            # source removed and re-added unchanged); just re-pin the epoch.
+            self._record_epoch()
+            self.counters.increment("refresh_noops")
+            return False
+
+        self.counters.increment("incremental_refreshes")
+        affected_terms: set[str] = set()
+        for source_id in removed:
+            affected_terms.update(self._unindex_source(source_id))
+            self.counters.increment("sources_unindexed")
+        for source_id in changed:
+            affected_terms.update(self._unindex_source(source_id))
+            self.counters.increment("sources_unindexed")
+        for source_id in changed + added:
+            source = current_sources[source_id]
+            self._observations[source_id] = self._panel.observe(source)
+            self._index_source(source)
+            affected_terms.update(self._term_frequencies[source_id])
+            self.counters.increment("sources_reindexed")
+
+        # Static scores: the normalisation denominators are corpus-wide
+        # maxima, so a moved maximum forces a full renormalisation pass
+        # (O(source count) arithmetic — still no re-tokenisation); an
+        # unchanged maximum only needs scores for the patched sources.
+        observations = self._observations
+        max_visitors = max(
+            (observation.daily_visitors for observation in observations.values()),
+            default=1.0,
+        )
+        max_links = max(
+            (observation.inbound_links for observation in observations.values()),
+            default=1,
+        )
+        if max_visitors != self._max_visitors or max_links != self._max_links:
+            self._max_visitors = max_visitors
+            self._max_links = max_links
+            for source_id, observation in observations.items():
+                self._static_scores[source_id] = self._static_score(
+                    observation, max_visitors, max_links
+                )
+            self.counters.increment("static_renormalisations")
+            statics_global = True
+        else:
+            for source_id in changed + added:
+                self._static_scores[source_id] = self._static_score(
+                    observations[source_id], max_visitors, max_links
+                )
+            statics_global = False
+        self._rebuild_static_order()
+
+        # Result-cache invalidation: document frequencies embed the corpus
+        # size and static scores embed the maxima, so either changing makes
+        # every memoised result stale; otherwise only queries mentioning a
+        # patched source's terms (old or new) can differ.
+        if len(current_sources) != previous_size or statics_global:
+            self._result_cache.invalidate()
+            self.counters.increment("result_cache_flushes")
+        else:
+            for key in self._result_cache.keys():
+                terms = key[0]
+                if affected_terms.intersection(terms):
+                    self._result_cache.invalidate(key)
+                    self.counters.increment("result_cache_evictions")
+        self._record_epoch()
+        return True
+
     # -- querying -------------------------------------------------------------------
 
     def invalidate_caches(self) -> None:
         """Drop the query-tokenisation and result memos.
 
-        The index itself never goes stale (it is built once from the corpus
-        at construction); this hook exists for benchmarks and for callers
+        Mutation-driven invalidation happens automatically through
+        :meth:`refresh`; this hook exists for benchmarks and for callers
         that want to bound memory without rebuilding the engine.
         """
         self._query_cache.invalidate()
@@ -258,13 +495,15 @@ class SearchEngine:
     def static_rank(self) -> list[str]:
         """Source identifiers ordered by the static (popularity) score alone.
 
-        The ordering is computed once at index build from the cached static
-        scores; this accessor only copies it.
+        The ordering is maintained by the index (rebuilt on refresh when
+        static scores move); this accessor only copies it.
         """
+        self.refresh()
         return list(self._static_order)
 
     def static_score(self, source_id: str) -> float:
         """Cached static (popularity) score of one source."""
+        self.refresh()
         try:
             return self._static_scores[source_id]
         except KeyError as exc:
@@ -272,6 +511,11 @@ class SearchEngine:
 
     def topical_score(self, source_id: str, terms: list[str]) -> float:
         """TF-IDF-style topical match of one source against query terms."""
+        self.refresh()
+        return self._topical_score(source_id, terms)
+
+    def _topical_score(self, source_id: str, terms: list[str]) -> float:
+        """Refresh-free scoring core shared with the full-scan loop."""
         counter = self._term_frequencies.get(source_id)
         if counter is None:
             raise SearchError(f"source {source_id!r} is not indexed")
@@ -325,15 +569,19 @@ class SearchEngine:
         ``minimum_topical_score`` is negative that shortcut would change
         results, so the engine falls back to the full scan.
 
-        Results are additionally memoised per (terms, limit): the index is
-        immutable after construction, so repeated queries — the common case
-        in a real workload — are answered from the result cache.
+        Results are additionally memoised per (terms, limit), scoped to the
+        indexed corpus epoch: the call auto-refreshes first (see
+        :meth:`refresh`), which drops exactly the memo entries a corpus
+        mutation could have affected — repeated queries over an unchanged
+        corpus, the common case in a real workload, are answered from the
+        result cache.
         """
         if limit <= 0:
             raise SearchError("limit must be positive")
+        self.refresh()
         terms = self._query_terms(query)
         if not terms:
-            raise SearchError("query contains no searchable terms")
+            _reject_untokenizable(query)
         config = self._config
         if config.minimum_topical_score < 0:
             return self.search_fullscan(query, limit)
@@ -398,13 +646,14 @@ class SearchEngine:
         """
         if limit <= 0:
             raise SearchError("limit must be positive")
+        self.refresh()
         terms = list(self._query_terms(query))
         if not terms:
-            raise SearchError("query contains no searchable terms")
+            _reject_untokenizable(query)
 
         config = self._config
         topical_scores = {
-            source_id: self.topical_score(source_id, terms)
+            source_id: self._topical_score(source_id, terms)
             for source_id in self._term_frequencies
         }
         max_topical = max(topical_scores.values(), default=0.0)

@@ -19,7 +19,7 @@ from repro.sources.models import (
     SourceType,
     UserProfile,
 )
-from repro.sources.corpus import SourceCorpus
+from repro.sources.corpus import CorpusChange, SourceCorpus
 from repro.sources.crawler import Crawler, CrawlSnapshot
 from repro.sources.graph import (
     GraphInfluence,
@@ -51,6 +51,7 @@ from repro.sources.twitter import (
 __all__ = [
     "AccountKind",
     "AlexaLikeService",
+    "CorpusChange",
     "CorpusGenerator",
     "CorpusSpec",
     "Crawler",

@@ -7,20 +7,43 @@ filtering and JSON persistence, and keeps simple aggregate statistics that
 the benchmark-based normalisation of the quality model needs (e.g. the size
 of the largest forum, used by the "number of open discussions compared to
 largest Web blog/forum" measure of Table 1).
+
+The corpus is a *mutable, versioned* collection: every :meth:`add`,
+:meth:`remove` and :meth:`touch` bumps a monotonic :attr:`version` counter
+and notifies subscribed listeners with a :class:`CorpusChange`.  Consumers
+that derive state from the corpus (the search index, panel observation
+caches, assessment contexts) key their staleness checks on the *epoch*
+``(version, content fingerprint)`` — the version catches every mutation
+made through the corpus API in O(1), the fingerprint catches in-place
+source growth that bypassed it.
 """
 
 from __future__ import annotations
 
 import json
+import weakref
 from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Any, Callable, Iterable, Iterator, Optional
 
 from repro.errors import CorpusError, UnknownSourceError
-from repro.perf.cache import corpus_fingerprint
+from repro.perf.cache import corpus_fingerprint, corpus_probe
 from repro.sources.models import Discussion, Source, SourceType
 
-__all__ = ["SourceCorpus", "CorpusStatistics"]
+__all__ = ["SourceCorpus", "CorpusStatistics", "CorpusChange"]
+
+
+@dataclass(frozen=True)
+class CorpusChange:
+    """One mutation event delivered to corpus subscribers.
+
+    ``op`` is ``"add"``, ``"remove"`` or ``"touch"``; ``version`` is the
+    corpus version *after* the mutation was applied.
+    """
+
+    version: int
+    op: str
+    source_id: str
 
 
 @dataclass
@@ -53,9 +76,75 @@ class SourceCorpus:
 
     def __init__(self, sources: Optional[Iterable[Source]] = None) -> None:
         self._sources: dict[str, Source] = {}
+        self._version = 0
+        #: Strong callables and (for weak=True subscribers) weakrefs, mixed.
+        self._listeners: list[Any] = []
         if sources is not None:
             for source in sources:
                 self.add(source)
+
+    # -- versioning and notifications ----------------------------------------------
+
+    @property
+    def version(self) -> int:
+        """Monotonic mutation counter (bumped by ``add``/``remove``/``touch``).
+
+        Reading it is O(1), which makes it the first staleness tier of
+        every corpus-derived cache: an unchanged version guarantees no
+        mutation went through the corpus API since the cache was filled.
+        """
+        return self._version
+
+    def subscribe(
+        self, listener: Callable[[CorpusChange], None], weak: bool = False
+    ) -> None:
+        """Register ``listener`` to receive a :class:`CorpusChange` per mutation.
+
+        Listeners are invoked synchronously, after the mutation has been
+        applied and the version bumped.  Subscribing the same callable
+        twice is a no-op.
+
+        With ``weak=True`` the corpus holds only a weak reference (a
+        ``WeakMethod`` for bound methods), and the entry is pruned once
+        the listener's owner is garbage collected — the right mode for
+        cache-eviction hooks whose owner (e.g. a panel) may be discarded
+        while the corpus lives on, since a strong subscription would pin
+        the owner for the corpus's whole lifetime.
+        """
+        entry: Any = listener
+        if weak:
+            entry = (
+                weakref.WeakMethod(listener)
+                if hasattr(listener, "__self__")
+                else weakref.ref(listener)
+            )
+        if entry not in self._listeners:
+            self._listeners.append(entry)
+
+    def unsubscribe(self, listener: Callable[[CorpusChange], None]) -> None:
+        """Remove a previously subscribed listener (no-op when unknown)."""
+        for entry in list(self._listeners):
+            resolved = entry() if isinstance(entry, weakref.ref) else entry
+            if resolved == listener or entry == listener:
+                self._listeners.remove(entry)
+
+    def _notify(self, op: str, source_id: str) -> None:
+        self._version += 1
+        if self._listeners:
+            change = CorpusChange(version=self._version, op=op, source_id=source_id)
+            dead: list[Any] = []
+            for entry in tuple(self._listeners):
+                if isinstance(entry, weakref.ref):
+                    listener = entry()
+                    if listener is None:
+                        dead.append(entry)
+                        continue
+                else:
+                    listener = entry
+                listener(change)
+            for entry in dead:
+                if entry in self._listeners:
+                    self._listeners.remove(entry)
 
     # -- collection protocol -----------------------------------------------------
 
@@ -78,13 +167,31 @@ class SourceCorpus:
         if source.source_id in self._sources:
             raise CorpusError(f"duplicate source identifier: {source.source_id!r}")
         self._sources[source.source_id] = source
+        self._notify("add", source.source_id)
 
     def remove(self, source_id: str) -> Source:
         """Remove and return the source with identifier ``source_id``."""
         try:
-            return self._sources.pop(source_id)
+            source = self._sources.pop(source_id)
         except KeyError as exc:
             raise UnknownSourceError(source_id) from exc
+        self._notify("remove", source_id)
+        return source
+
+    def touch(self, source_id: str) -> int:
+        """Announce an in-place mutation of ``source_id``; return the new version.
+
+        Call it after mutating a source in ways the structural fingerprint
+        cannot detect on its own (rewording a post, changing latents,
+        appending posts directly inside an existing discussion).  It bumps
+        both the source's ``content_revision`` and the corpus version, so
+        every epoch-keyed consumer — search index, panel observations,
+        assessment contexts — re-derives its state on the next read.
+        """
+        source = self.get(source_id)
+        source.touch()
+        self._notify("touch", source_id)
+        return self._version
 
     # -- lookup -----------------------------------------------------------------------
 
@@ -145,12 +252,32 @@ class SourceCorpus:
     def content_fingerprint(self) -> tuple:
         """Structural fingerprint used by fingerprint-keyed assessment caches.
 
-        Changes whenever a source is added, removed or replaced, or when an
-        existing source grows new discussions, posts or interactions.  See
-        :func:`repro.perf.cache.corpus_fingerprint` for the exact contract
-        (in-place edits that keep every count identical are not detected).
+        Changes whenever a source is added, removed, replaced or touched,
+        or when an existing source grows new discussions, posts or
+        interactions.  See :func:`repro.perf.cache.corpus_fingerprint` for
+        the exact contract (unannounced in-place edits that keep every
+        count identical are not detected — use :meth:`touch`).
         """
         return corpus_fingerprint(self)
+
+    def content_probe(self) -> tuple:
+        """O(source count) staleness probe (fingerprint minus post counts).
+
+        Cheap enough to run on every query of the search hot path; see
+        :func:`repro.perf.cache.corpus_probe` for what it can and cannot
+        detect relative to :meth:`content_fingerprint`.
+        """
+        return corpus_probe(self)
+
+    def epoch(self) -> tuple[int, tuple]:
+        """The ``(version, content fingerprint)`` staleness epoch.
+
+        Two equal epochs guarantee (within the fingerprint contract) that
+        no detectable mutation happened between the two reads; consumers
+        cache the epoch they derived their state from and refresh when the
+        current one differs.
+        """
+        return (self._version, self.content_fingerprint())
 
     def all_discussions(self) -> Iterator[tuple[Source, Discussion]]:
         """Iterate over ``(source, discussion)`` pairs across the whole corpus."""

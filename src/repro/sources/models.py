@@ -337,6 +337,13 @@ class Source:
     latent_popularity: float = 0.5
     latent_engagement: float = 0.5
     latent_stickiness: float = 0.5
+    #: Monotonic in-place mutation counter.  Bumped by every mutation helper
+    #: and by :meth:`touch`; consumed by the structural fingerprints/probes
+    #: in :mod:`repro.perf.cache` so downstream caches (search index, panel
+    #: observations, assessment contexts) can detect in-place growth.  It is
+    #: transient crawl-time state, not content: excluded from equality and
+    #: from serialisation.
+    content_revision: int = field(default=0, compare=False)
 
     # -- basic content accessors -------------------------------------------------
 
@@ -413,21 +420,37 @@ class Source:
 
     # -- mutation helpers ----------------------------------------------------------
 
+    def touch(self) -> int:
+        """Mark the source as mutated in place and return the new revision.
+
+        Use it after edits the mutation helpers cannot see — rewording an
+        existing post, changing latent drivers, appending posts directly to
+        a :class:`Discussion` — so fingerprint/probe-keyed caches (search
+        index, panel observations, assessment contexts) re-derive their
+        state from the current content.
+        """
+        self.content_revision += 1
+        return self.content_revision
+
     def add_discussion(self, discussion: Discussion) -> None:
         """Append a discussion thread to the source."""
         self.discussions.append(discussion)
+        self.content_revision += 1
 
     def add_user(self, profile: UserProfile) -> None:
         """Register a user profile on the source."""
         self.users[profile.user_id] = profile
+        self.content_revision += 1
 
     def add_interaction(self, interaction: Interaction) -> None:
         """Record a social interaction."""
         self.interactions.append(interaction)
+        self.content_revision += 1
 
     def extend_interactions(self, interactions: Iterable[Interaction]) -> None:
         """Record a batch of social interactions."""
         self.interactions.extend(interactions)
+        self.content_revision += 1
 
     # -- serialisation ---------------------------------------------------------------
 

@@ -18,10 +18,15 @@ from __future__ import annotations
 
 import hashlib
 import random
+import weakref
 from dataclasses import dataclass
-from typing import Any, Iterable, Optional
+from typing import TYPE_CHECKING, Any, Iterable, Optional
 
+from repro.perf.cache import source_fingerprint
 from repro.sources.models import Source
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard (corpus imports models)
+    from repro.sources.corpus import CorpusChange, SourceCorpus
 
 __all__ = [
     "PanelObservation",
@@ -78,9 +83,17 @@ def _stable_rng(seed: int, source_id: str) -> random.Random:
 class WebStatsPanel:
     """Base class for panel simulators.
 
-    Sub-classes implement :meth:`observe`; the base class offers caching and
-    batch observation so experiments can treat the panel as an oracle that
-    always returns the same figures for the same site.
+    Sub-classes implement :meth:`_measure`; the base class offers caching
+    and batch observation so experiments can treat the panel as an oracle
+    that always returns the same figures for the same *content state* of a
+    site.  Cached observations are keyed by source identifier but
+    revalidated against the source's identity and structural fingerprint,
+    so replacing a source object or growing it in place (a new discussion,
+    post or interaction, or an announced ``touch()``) re-measures instead
+    of serving a stale :class:`PanelObservation`.  Entries hold only a
+    *weak* reference to the observed source: a dead or different object
+    always re-measures, which makes the ``id()`` component of the
+    fingerprint sound without keeping corpora alive.
     """
 
     def __init__(self, seed: int = 0, noise: float = 0.15) -> None:
@@ -88,7 +101,8 @@ class WebStatsPanel:
             raise ValueError("noise must be non-negative")
         self._seed = seed
         self._noise = noise
-        self._cache: dict[str, PanelObservation] = {}
+        #: source_id -> (weakref to source, fingerprint at measure time, observation)
+        self._cache: dict[str, tuple[Any, tuple, PanelObservation]] = {}
 
     @property
     def noise(self) -> float:
@@ -96,12 +110,19 @@ class WebStatsPanel:
         return self._noise
 
     def observe(self, source: Source) -> PanelObservation:
-        """Return the (cached) panel observation for ``source``."""
-        cached = self._cache.get(source.source_id)
-        if cached is None:
-            cached = self._measure(source)
-            self._cache[source.source_id] = cached
-        return cached
+        """Return the panel observation for ``source`` (cached per epoch).
+
+        The cache hit path costs one identity check plus one fingerprint
+        computation; a mismatch (the source was replaced, grew, or was
+        touched since the last observation) triggers a fresh measurement.
+        """
+        fingerprint = source_fingerprint(source)
+        entry = self._cache.get(source.source_id)
+        if entry is not None and entry[0]() is source and entry[1] == fingerprint:
+            return entry[2]
+        observation = self._measure(source)
+        self._cache[source.source_id] = (weakref.ref(source), fingerprint, observation)
+        return observation
 
     def observe_many(self, sources: Iterable[Source]) -> dict[str, PanelObservation]:
         """Observe a batch of sources; return a mapping keyed by source id."""
@@ -113,6 +134,22 @@ class WebStatsPanel:
             self._cache.clear()
         else:
             self._cache.pop(source_id, None)
+
+    def watch(self, corpus: "SourceCorpus") -> None:
+        """Subscribe to ``corpus`` mutations and evict affected observations.
+
+        Eviction on ``remove``/``touch`` events drops stale entries
+        eagerly; the fingerprint revalidation in :meth:`observe` already
+        guarantees correctness without it.  The subscription is *weak*:
+        the corpus never keeps a discarded panel (or the engine holding
+        it) alive, and a dead panel's entry is pruned on the next
+        mutation.  Watching the same corpus twice is a no-op.
+        """
+        corpus.subscribe(self._on_corpus_change, weak=True)
+
+    def _on_corpus_change(self, change: "CorpusChange") -> None:
+        if change.op in ("remove", "touch"):
+            self.invalidate(change.source_id)
 
     # -- to be provided by subclasses -----------------------------------------------
 

@@ -129,12 +129,34 @@ class TestFingerprints:
         discussion.posts.append(
             Post(post_id="fp-post", author_id="u1", day=2.0, text="hello world")
         )
-        source.add_discussion(discussion)
+        # Direct list growth (bypassing the helper) is caught by the counts.
+        source.discussions.append(discussion)
         try:
             assert source_fingerprint(source) != before
         finally:
             source.discussions.remove(discussion)
         assert source_fingerprint(source) == before
+
+    def test_fingerprint_changes_on_helper_mutation_and_touch(self, small_corpus):
+        """Helper mutations and touch() move the revision — and never back.
+
+        The revision component makes announced mutations sticky: even a
+        grow-then-revert sequence leaves a different fingerprint, so caches
+        re-derive rather than risk serving a state they cannot verify.
+        """
+        source = small_corpus.sources()[1]
+        before = source_fingerprint(source)
+        discussion = Discussion(
+            discussion_id="fp-test-2", category="travel", title="t", opened_at=1.0
+        )
+        source.add_discussion(discussion)
+        grown = source_fingerprint(source)
+        assert grown != before
+        source.discussions.remove(discussion)
+        assert source_fingerprint(source) != before  # revision moved on
+        after_revert = source_fingerprint(source)
+        assert source.touch() > 0
+        assert source_fingerprint(source) != after_revert
 
 
 class TestContextAnchoring:

@@ -4,7 +4,7 @@ from __future__ import annotations
 
 import pytest
 
-from repro.errors import ConfigurationError, SearchError
+from repro.errors import ConfigurationError, SearchError, UnsearchableQueryError
 from repro.search.engine import SearchEngine, SearchEngineConfig, _query_noise, tokenize
 from repro.search.queries import QueryWorkload, QueryWorkloadSpec
 from repro.sources.corpus import SourceCorpus
@@ -61,6 +61,31 @@ class TestSearchEngineConfig:
         with pytest.raises(SearchError):
             SearchEngineConfig(static_weight=0.0, topical_weight=0.0).validate()
 
+    @pytest.mark.parametrize("bad", [float("nan"), float("inf"), float("-inf")])
+    @pytest.mark.parametrize(
+        "name",
+        [
+            "static_weight",
+            "topical_weight",
+            "query_noise_weight",
+            "traffic_coefficient",
+            "inbound_link_coefficient",
+        ],
+    )
+    def test_non_finite_weights_rejected(self, name, bad):
+        """Regression: ``NaN < 0`` is False, so NaN used to pass validation
+        and silently poison every combined score."""
+        with pytest.raises(SearchError, match=name):
+            SearchEngineConfig(**{name: bad}).validate()
+
+    @pytest.mark.parametrize("bad", [float("nan"), float("inf")])
+    def test_non_finite_minimum_topical_score_rejected(self, bad):
+        with pytest.raises(SearchError, match="minimum_topical_score"):
+            SearchEngineConfig(minimum_topical_score=bad).validate()
+
+    def test_negative_minimum_topical_score_still_allowed(self):
+        SearchEngineConfig(minimum_topical_score=-1.0).validate()
+
 
 class TestSearchEngine:
     def test_empty_corpus_rejected(self):
@@ -86,6 +111,32 @@ class TestSearchEngine:
             engine.search("!!!")
         with pytest.raises(SearchError):
             engine.search("travel", limit=0)
+
+    def test_single_character_query_raises_typed_error(self, engine):
+        """A 1-char query is dropped by the tokeniser; the error must say so
+        instead of the misleading generic "no searchable terms"."""
+        with pytest.raises(UnsearchableQueryError) as excinfo:
+            engine.search("x")
+        assert excinfo.value.dropped_tokens == ["x"]
+        assert "at least two characters" in str(excinfo.value)
+        with pytest.raises(UnsearchableQueryError) as excinfo:
+            engine.search("a b c")
+        assert excinfo.value.dropped_tokens == ["a", "b", "c"]
+
+    def test_single_character_query_raises_in_result_ids_and_fullscan(self, engine):
+        with pytest.raises(UnsearchableQueryError):
+            engine.result_ids("x")
+        with pytest.raises(UnsearchableQueryError):
+            engine.search_fullscan("x")
+
+    def test_queries_without_alphanumeric_content_keep_generic_error(self, engine):
+        with pytest.raises(SearchError) as excinfo:
+            engine.search("!!! ??")
+        assert not isinstance(excinfo.value, UnsearchableQueryError)
+
+    def test_mixed_query_with_droppable_token_still_searches(self, engine):
+        """Only *entirely* dropped queries fail; "x travel" keeps "travel"."""
+        assert engine.result_ids("x travel", 5) == engine.result_ids("travel", 5)
 
     def test_topical_score_unknown_source_rejected(self, engine):
         with pytest.raises(SearchError):
