@@ -16,14 +16,16 @@ test:
 bench:
 	$(PYTHON) -m pytest benchmarks -q -o python_files='bench_*.py'
 
-## perf benchmark harnesses: both merge into $(BENCH_JSON); fails if it cannot be written
+## perf benchmark harnesses: all merge into $(BENCH_JSON); fails if it cannot be written
 perf:
 	$(PYTHON) benchmarks/bench_perf_pipeline.py --output $(BENCH_JSON)
 	$(PYTHON) benchmarks/bench_incremental_index.py --output $(BENCH_JSON)
+	$(PYTHON) benchmarks/bench_incremental_assessment.py --output $(BENCH_JSON)
 	@test -s $(BENCH_JSON) || { echo "FATAL: $(BENCH_JSON) was not written" >&2; exit 1; }
 
-## reduced-scale perf smoke for CI: proves both harnesses produce their sections
+## reduced-scale perf smoke for CI: proves every harness produces its section
 perf-smoke:
 	$(PYTHON) benchmarks/bench_perf_pipeline.py --output $(BENCH_JSON) --rank-repetitions 2 --search-rounds 2
 	$(PYTHON) benchmarks/bench_incremental_index.py --output $(BENCH_JSON) --sources 200 --events 4
+	$(PYTHON) benchmarks/bench_incremental_assessment.py --output $(BENCH_JSON) --sources 200 --events 4
 	$(PYTHON) scripts/check_bench_keys.py $(BENCH_JSON)

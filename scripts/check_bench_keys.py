@@ -25,6 +25,12 @@ EXPECTED = {
         "speedup",
         "target_speedup",
     ),
+    "incremental_assessment": (
+        "incremental_seconds",
+        "full_rebuild_seconds",
+        "speedup",
+        "target_speedup",
+    ),
 }
 
 

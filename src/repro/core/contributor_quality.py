@@ -7,14 +7,25 @@ normalises them against the community and aggregates them into the same
 dimension / attribute / overall structure used for sources.
 
 Like the source model, the contributor model runs as one batched pass:
-contributor snapshots are crawled exactly once per (source, user set), the
-normaliser is fitted once on the whole raw-measure matrix, and the
-resulting assessments are cached under a structural fingerprint of the
-source, so repeated ``assess_source`` / ``rank`` calls over an unchanged
-community are near-free.  The fingerprint carries the source's
-``content_revision``, so growth through the mutation helpers and
-announced ``Source.touch()`` edits rebuild the context automatically;
-call :meth:`ContributorQualityModel.invalidate` only after unannounced
+contributor snapshots are crawled exactly once per (source, user set) —
+in a *single shared walk* of the source's discussions and interactions
+(:meth:`~repro.sources.crawler.Crawler.crawl_contributors_batched`),
+O(D+P+I) instead of the seed's O(U·(D+P+I)) — the normaliser is fitted
+once on the whole raw-measure matrix, and the resulting assessments are
+cached under a structural fingerprint of the source.
+
+Contexts are maintained *incrementally*: the model registers a mutation
+watcher on each assessed source (see
+:meth:`~repro.sources.models.Source.watch_mutations`), so repeated
+``assess_source`` / ``rank`` calls over an unchanged community are an
+O(1) dirty-flag check — no per-read fingerprint computation.  When the
+flag fires, the community is re-crawled (one shared walk), but the
+normaliser is re-fitted and users re-scored only when their raw measure
+vectors actually changed; untouched assessments are reused verbatim.
+Growth through the mutation helpers and announced ``Source.touch()``
+edits raise the flag automatically; pass ``deep=True`` after unannounced
+growth that bypasses the helpers, and call
+:meth:`ContributorQualityModel.invalidate` only after unannounced
 count-preserving in-place mutations.
 
 The model also exposes the paper's key analytical distinction between
@@ -27,6 +38,7 @@ activity with negligible relative response.
 
 from __future__ import annotations
 
+import weakref
 from dataclasses import dataclass
 from typing import Any, Iterable, Mapping, Optional
 
@@ -104,6 +116,18 @@ class ContributorAssessment:
         }
 
 
+@dataclass
+class _CommunityEntry:
+    """Incremental per-(source, user set) state of a contributor model."""
+
+    source_ref: "weakref.ref[Source]"
+    fingerprint: tuple
+    context: tuple
+    fit_token: int
+    #: Raised by the source's mutation watcher; the O(1) staleness tier.
+    dirty: bool = False
+
+
 class ContributorQualityModel:
     """Assess and rank the contributors of a source."""
 
@@ -124,6 +148,9 @@ class ContributorQualityModel:
         self._normalizer = normalizer or BenchmarkNormalizer(self._registry)
         self._crawler = crawler or Crawler()
         self._contexts = LRUCache(maxsize=self.CONTEXT_CACHE_SIZE)
+        #: (id(source), user-id tuple or None) -> incremental state; id keys
+        #: are guarded by the weakref inside each entry.
+        self._incremental: dict[tuple[int, Optional[tuple]], _CommunityEntry] = {}
         self.counters = PerfCounters()
 
     @property
@@ -139,6 +166,7 @@ class ContributorQualityModel:
     def invalidate(self) -> None:
         """Drop every cached assessment (see the module docstring for when)."""
         self._contexts.invalidate()
+        self._incremental.clear()
 
     # -- raw measures ------------------------------------------------------------------
 
@@ -153,6 +181,16 @@ class ContributorQualityModel:
         _, vectors, _ = self._context(source, user_ids)
         return {user_id: dict(vector) for user_id, vector in vectors.items()}
 
+    def refresh(self, source: Source, deep: bool = False) -> None:
+        """Bring the cached context for ``source`` up to date now.
+
+        Equivalent to the refresh every read performs implicitly;
+        ``deep=True`` forces a fingerprint probe, catching *unannounced*
+        in-place growth (objects appended directly into the source's
+        internal lists, bypassing the ``Source`` mutation helpers).
+        """
+        self._context(source, None, deep=deep)
+
     # -- batched assessment pass --------------------------------------------------------
 
     def _resolve_user_ids(
@@ -162,6 +200,11 @@ class ContributorQualityModel:
             return tuple(sorted(source.contributors()))
         return tuple(user_ids)
 
+    def _fit_normalizer(self, reference_values: Mapping[str, Any]) -> None:
+        """Fit the shared normaliser (its ``fit_count`` advances itself)."""
+        self._normalizer.fit(reference_values)
+        self.counters.increment("normalizer_fits")
+
     def _build_context(
         self, source: Source, resolved_ids: tuple[str, ...]
     ) -> tuple[
@@ -169,9 +212,9 @@ class ContributorQualityModel:
         dict[str, dict[str, float]],
         dict[str, ContributorAssessment],
     ]:
-        """Crawl once, measure once, fit once, score the whole community."""
+        """Crawl once (one shared walk), measure once, fit once, score all."""
         self.counters.increment("context_builds")
-        snapshots = self._crawler.crawl_contributors(source, resolved_ids)
+        snapshots = self._crawler.crawl_contributors_batched(source, resolved_ids)
         if not snapshots:
             raise AssessmentError(
                 f"source {source.source_id!r} has no contributors to assess"
@@ -184,7 +227,7 @@ class ContributorQualityModel:
             raw_vectors[user_id] = compute_contributor_measures(
                 context, registry=self._registry
             )
-        self._normalizer.fit(collect_reference_values(raw_vectors.values()))
+        self._fit_normalizer(collect_reference_values(raw_vectors.values()))
         normalized_vectors = self._normalizer.normalize_many(raw_vectors)
         scores = build_quality_scores(
             raw_vectors, normalized_vectors, registry=self._registry, scheme=self._scheme
@@ -200,32 +243,201 @@ class ContributorQualityModel:
         }
         return snapshots, raw_vectors, assessments
 
+    def _patch_community(
+        self,
+        entry: _CommunityEntry,
+        source: Source,
+        resolved_ids: tuple[str, ...],
+    ) -> tuple[tuple, int]:
+        """Re-derive the community context, reusing everything unchanged.
+
+        The community is re-crawled in one shared walk (cheap), but
+        measures are recomputed only for users whose snapshot changed, the
+        normaliser is re-fitted only when some raw vector (or the user set)
+        actually changed, and assessments of untouched users are reused
+        verbatim — so a ``touch()`` that did not alter any contributor's
+        observable activity costs one walk and zero re-scoring.  Returns
+        the patched context and the fit token it corresponds to.
+        """
+        previous_snapshots, previous_raw, previous_assessments = entry.context
+        snapshots = self._crawler.crawl_contributors_batched(source, resolved_ids)
+        if not snapshots:
+            raise AssessmentError(
+                f"source {source.source_id!r} has no contributors to assess"
+            )
+        self.counters.increment("community_recrawls")
+
+        raw_vectors: dict[str, dict[str, float]] = {}
+        changed_vector_ids: set[str] = set()
+        snapshot_changed: set[str] = set()
+        for user_id, snapshot in snapshots.items():
+            if snapshot == previous_snapshots.get(user_id):
+                # Measures are pure functions of (snapshot, domain): an
+                # unchanged snapshot pins the unchanged vector.
+                raw_vectors[user_id] = previous_raw[user_id]
+            else:
+                snapshot_changed.add(user_id)
+                context = ContributorMeasurementContext(
+                    snapshot=snapshot, domain=self._domain
+                )
+                raw_vectors[user_id] = compute_contributor_measures(
+                    context, registry=self._registry
+                )
+                self.counters.increment("contributors_remeasured")
+            if raw_vectors[user_id] != previous_raw.get(user_id):
+                changed_vector_ids.add(user_id)
+
+        population_changed = bool(changed_vector_ids) or list(raw_vectors) != list(
+            previous_raw
+        )
+        needs_refit = population_changed or entry.fit_token != self._normalizer.fit_count
+        if needs_refit:
+            self._fit_normalizer(collect_reference_values(raw_vectors.values()))
+            normalized_vectors = self._normalizer.normalize_many(raw_vectors)
+        else:
+            normalized_vectors = {
+                user_id: previous_assessments[user_id].score.normalized_values
+                for user_id in raw_vectors
+            }
+
+        rebuild_ids = set(changed_vector_ids) | snapshot_changed
+        if needs_refit:
+            for user_id in raw_vectors:
+                if user_id in rebuild_ids:
+                    continue
+                previous_normalized = previous_assessments[
+                    user_id
+                ].score.normalized_values
+                if normalized_vectors[user_id] != previous_normalized:
+                    rebuild_ids.add(user_id)
+        rebuild_ids |= {
+            user_id for user_id in raw_vectors if user_id not in previous_assessments
+        }
+
+        if rebuild_ids:
+            scores = build_quality_scores(
+                {uid: raw_vectors[uid] for uid in raw_vectors if uid in rebuild_ids},
+                {
+                    uid: normalized_vectors[uid]
+                    for uid in raw_vectors
+                    if uid in rebuild_ids
+                },
+                registry=self._registry,
+                scheme=self._scheme,
+            )
+        else:
+            scores = {}
+        assessments = {
+            user_id: (
+                ContributorAssessment(
+                    user_id=user_id,
+                    source_id=source.source_id,
+                    score=scores[user_id],
+                    snapshot=snapshots[user_id],
+                )
+                if user_id in rebuild_ids
+                else previous_assessments[user_id]
+            )
+            for user_id in raw_vectors
+        }
+        self.counters.increment("context_patches")
+        return (snapshots, raw_vectors, assessments), (
+            self._normalizer.fit_count if needs_refit else entry.fit_token
+        )
+
+    def _on_source_mutation(self, source: Source) -> None:
+        for entry in self._incremental.values():
+            if entry.source_ref() is source:
+                entry.dirty = True
+
+    def _prune_incremental(self) -> None:
+        dead = [
+            key
+            for key, entry in self._incremental.items()
+            if entry.source_ref() is None
+        ]
+        for key in dead:
+            del self._incremental[key]
+        while len(self._incremental) > 2 * self.CONTEXT_CACHE_SIZE:
+            self._incremental.pop(next(iter(self._incremental)))
+
     def _context(
-        self, source: Source, user_ids: Optional[Iterable[str]]
+        self, source: Source, user_ids: Optional[Iterable[str]], deep: bool = False
     ) -> tuple[
         dict[str, ContributorSnapshot],
         dict[str, dict[str, float]],
         dict[str, ContributorAssessment],
     ]:
-        resolved_ids = self._resolve_user_ids(source, user_ids)
-        key = (source_fingerprint(source), resolved_ids)
-        hits_before = self._contexts.hits
-        # The cached entry anchors the source object (first element): the
-        # fingerprint key contains id(source), which must not be reused
-        # while the entry lives.
-        entry = self._contexts.get_or_create(
-            key, lambda: (source, self._build_context(source, resolved_ids))
-        )
-        if self._contexts.hits > hits_before:
+        user_key = None if user_ids is None else tuple(user_ids)
+        entry_key = (id(source), user_key)
+        entry = self._incremental.get(entry_key)
+        if entry is not None and entry.source_ref() is not source:
+            del self._incremental[entry_key]  # id(source) reused by a new object
+            entry = None
+        if entry is not None and not deep and not entry.dirty:
             self.counters.increment("context_hits")
-        return entry[1]
+            self.counters.increment("staleness_flag_hits")
+            return entry.context
+
+        fingerprint = source_fingerprint(source)
+        if entry is not None and fingerprint == entry.fingerprint:
+            # Announced mutation with no structural effect (or a deep probe
+            # over an unchanged source): the cached context is still exact.
+            entry.dirty = False
+            self.counters.increment("context_hits")
+            return entry.context
+
+        resolved_ids = self._resolve_user_ids(source, user_key)
+        cache_key = (fingerprint, resolved_ids)
+        cached = self._contexts.get(cache_key)
+        if cached is not None:
+            self.counters.increment("context_hits")
+            context = cached[1]
+            fit_token = (
+                entry.fit_token
+                if entry is not None and entry.context is context
+                else -1  # unknown normaliser state: force a re-fit on patch
+            )
+        elif entry is not None:
+            context, fit_token = self._patch_community(entry, source, resolved_ids)
+            self._contexts.put(cache_key, (source, context))
+        else:
+            context = self._build_context(source, resolved_ids)
+            fit_token = self._normalizer.fit_count
+            # The cached entry anchors the source object (first element):
+            # the fingerprint key contains id(source), which must not be
+            # reused while the entry lives.
+            self._contexts.put(cache_key, (source, context))
+
+        if entry is None:
+            self._prune_incremental()
+            source.watch_mutations(self._on_source_mutation)
+            entry = _CommunityEntry(
+                source_ref=weakref.ref(source),
+                fingerprint=fingerprint,
+                context=context,
+                fit_token=fit_token,
+            )
+            self._incremental[entry_key] = entry
+        else:
+            entry.fingerprint = fingerprint
+            entry.context = context
+            entry.fit_token = fit_token
+        entry.dirty = False
+        return entry.context
 
     # -- assessment --------------------------------------------------------------------
 
     def assess_source(
-        self, source: Source, user_ids: Optional[Iterable[str]] = None
+        self,
+        source: Source,
+        user_ids: Optional[Iterable[str]] = None,
+        deep: bool = False,
     ) -> dict[str, ContributorAssessment]:
         """Assess the contributors of ``source`` (all of them by default).
+
+        ``deep=True`` forces a fingerprint probe instead of trusting the
+        O(1) staleness flag (see :meth:`refresh`).
 
         The returned mapping is a fresh dict, but the
         :class:`ContributorAssessment` objects are shared with the cached
@@ -233,16 +445,18 @@ class ContributorQualityModel:
         corrupt every later call for the same community).  Use
         :meth:`raw_measures` for a mutable copy of the underlying matrix.
         """
-        _, _, assessments = self._context(source, user_ids)
+        _, _, assessments = self._context(source, user_ids, deep=deep)
         return dict(assessments)
 
-    def assess(self, source: Source, user_id: str) -> ContributorAssessment:
+    def assess(
+        self, source: Source, user_id: str, deep: bool = False
+    ) -> ContributorAssessment:
         """Assess a single contributor of ``source``.
 
         The returned :class:`ContributorAssessment` is shared with the
         cached assessment context — treat it as read-only.
         """
-        _, _, assessments = self._context(source, None)
+        _, _, assessments = self._context(source, None, deep=deep)
         assessment = assessments.get(user_id)
         if assessment is None:
             raise AssessmentError(
@@ -258,13 +472,14 @@ class ContributorQualityModel:
         user_ids: Optional[Iterable[str]] = None,
         by_influence: bool = False,
         absolute_weight: float = 0.5,
+        deep: bool = False,
     ) -> list[ContributorAssessment]:
         """Rank contributors by overall quality or by influencer score.
 
         The returned list is fresh but its elements are shared with the
         cache — treat them as read-only.
         """
-        _, _, assessments = self._context(source, user_ids)
+        _, _, assessments = self._context(source, user_ids, deep=deep)
         if by_influence:
             key = lambda assessment: (
                 -assessment.influencer_score(absolute_weight),

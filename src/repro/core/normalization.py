@@ -40,11 +40,24 @@ class Normalizer(ABC):
     def __init__(self, registry: MeasureRegistry) -> None:
         self._registry = registry
         self._fitted = False
+        self._fit_count = 0
 
     @property
     def is_fitted(self) -> bool:
         """True once :meth:`fit` has been called."""
         return self._fitted
+
+    @property
+    def fit_count(self) -> int:
+        """Monotonic count of :meth:`fit` calls.
+
+        Incremental consumers record the count their cached normalised
+        values were computed with; a mismatch means the normalizer was
+        re-fitted in between — possibly by *another* model sharing this
+        instance, or by code calling :meth:`fit` directly — and the cached
+        fit must be re-established before the instance is reused.
+        """
+        return self._fit_count
 
     def fit(self, reference_values: Mapping[str, Sequence[float]]) -> "Normalizer":
         """Fit the normalizer on per-measure reference values."""
@@ -55,6 +68,7 @@ class Normalizer(ABC):
                 raise NormalizationError(f"measure {name!r} has no reference values")
             self._fit_measure(name, [float(value) for value in values])
         self._fitted = True
+        self._fit_count += 1
         return self
 
     def normalize(self, name: str, value: float) -> float:

@@ -16,22 +16,36 @@ Steps 1–5 are executed as one *batched assessment pass* materialised into
 an :class:`AssessmentContext`: every source is crawled exactly once, the
 corpus-wide aggregates (e.g. the largest source's open-discussion count)
 are computed once instead of once per source, and the normaliser is fitted
-once and applied to the whole raw-measure matrix.  Contexts are cached
-under a structural fingerprint of the corpus (see
-:meth:`~repro.sources.corpus.SourceCorpus.content_fingerprint`), so
-repeated ``assess_corpus`` / ``rank`` / ``ranking_ids`` calls over an
-unchanged corpus are near-free.  The fingerprint participates in the
-corpus epoch model: adds, removes, in-place growth and announced
-``touch()`` edits all change it, so the next call rebuilds the context
-automatically.  Callers mutating sources in place without changing any
-content count should announce the edit via
-:meth:`~repro.sources.corpus.SourceCorpus.touch` (or call
-:meth:`SourceQualityModel.invalidate`).
+once and applied to the whole raw-measure matrix.
+
+Contexts are maintained *incrementally*.  The model subscribes to the
+corpus's ``CorpusChange`` notifications (see
+:class:`~repro.sources.diffing.CorpusChangeTracker`), so repeated
+``assess_corpus`` / ``rank`` / ``ranking_ids`` calls over an unchanged
+corpus are an O(1) dirty-flag check — no per-read fingerprint scan.  When
+the flag fires, the corpus is diffed against the cached context's
+per-source fingerprints and only the added/changed sources are re-crawled
+and re-measured; the normaliser is re-fitted only when the reference
+population actually changed, unchanged assessments are reused verbatim,
+and the ranking is patched via ``bisect`` instead of re-sorted.  The
+patched context is indistinguishable from a from-scratch rebuild — the
+equivalence is pinned bit-for-bit by ``tests/test_incremental_assessment.py``.
+
+Announced mutations — corpus ``add``/``remove``/``touch`` and in-place
+growth through the ``Source`` helpers (which announce themselves to their
+owning corpora) — raise the flag automatically.  Unannounced growth that
+bypasses the helpers (e.g. appending directly into ``discussion.posts``)
+needs either ``deep=True`` on the next read, which forces the fingerprint
+scan, or a ``touch()``; count-preserving unannounced edits are visible to
+no tier and always require :meth:`~repro.sources.corpus.SourceCorpus.touch`
+(or :meth:`SourceQualityModel.invalidate`).
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+import bisect
+import weakref
+from dataclasses import dataclass, field
 from typing import Any, Iterable, Mapping, Optional
 
 from repro.core.domain import DomainOfInterest
@@ -56,6 +70,7 @@ from repro.perf.cache import LRUCache
 from repro.perf.counters import PerfCounters
 from repro.sources.corpus import SourceCorpus
 from repro.sources.crawler import Crawler, CrawlSnapshot
+from repro.sources.diffing import CorpusChangeTracker, diff_fingerprint_maps
 from repro.sources.models import Source
 from repro.sources.webstats import AlexaLikeService, FeedburnerLikeService, WebStatsPanel
 
@@ -109,6 +124,30 @@ class AssessmentContext:
     normalized_vectors: dict[str, dict[str, float]]
     assessments: dict[str, SourceAssessment]
     ranking: tuple[SourceAssessment, ...]
+    #: Per-source fingerprints the context was derived from — the diff base
+    #: for incremental patching.
+    source_fingerprints: dict[str, tuple] = field(default_factory=dict)
+    #: The corpus-wide open-discussion maximum the raw measures were
+    #: computed against; when a mutation moves it, every raw vector must be
+    #: re-measured (from the cached snapshots — no re-crawl).
+    max_open_discussions: int = 0
+
+
+@dataclass
+class _IncrementalEntry:
+    """Per-(corpus, benchmark) incremental state of a quality model.
+
+    Holds the latest context (which anchors its source objects), the O(1)
+    dirty-flag trackers, and the normaliser fit token the context's
+    normalised matrix corresponds to (see ``Normalizer.fit_count``).
+    """
+
+    corpus_ref: "weakref.ref[SourceCorpus]"
+    tracker: CorpusChangeTracker
+    benchmark_ref: Optional["weakref.ref[SourceCorpus]"]
+    benchmark_tracker: Optional[CorpusChangeTracker]
+    context: AssessmentContext
+    fit_token: int
 
 
 class SourceQualityModel:
@@ -140,6 +179,14 @@ class SourceQualityModel:
         self._crawler = crawler or Crawler()
         self._contexts = LRUCache(maxsize=self.CONTEXT_CACHE_SIZE)
         self._measure_cache = LRUCache(maxsize=self.CONTEXT_CACHE_SIZE)
+        #: (id(corpus), id(benchmark) or None) -> incremental state.  The
+        #: id keys are guarded by weakrefs inside the entries, so a reused
+        #: id can never serve another corpus's context.  Each entry records
+        #: the normaliser's ``fit_count`` its context was computed with; a
+        #: mismatch (another corpus — or another model sharing the same
+        #: normaliser instance — was fitted in between) forces a re-fit
+        #: before the normaliser is reused for incremental patching.
+        self._incremental: dict[tuple[int, Optional[int]], _IncrementalEntry] = {}
         self.counters = PerfCounters()
 
     # -- accessors ------------------------------------------------------------------
@@ -171,6 +218,7 @@ class SourceQualityModel:
         """
         self._contexts.invalidate()
         self._measure_cache.invalidate()
+        self._incremental.clear()
 
     # -- raw measures ------------------------------------------------------------------
 
@@ -243,6 +291,11 @@ class SourceQualityModel:
 
     # -- assessment --------------------------------------------------------------------
 
+    def _fit_normalizer(self, reference_values: Mapping[str, Any]) -> None:
+        """Fit the shared normaliser (its ``fit_count`` advances itself)."""
+        self._normalizer.fit(reference_values)
+        self.counters.increment("normalizer_fits")
+
     def _build_context(
         self,
         corpus: SourceCorpus,
@@ -259,7 +312,7 @@ class SourceQualityModel:
             reference_vectors = benchmark_vectors.values()
         else:
             reference_vectors = raw_vectors.values()
-        self._normalizer.fit(collect_reference_values(reference_vectors))
+        self._fit_normalizer(collect_reference_values(reference_vectors))
 
         normalized_vectors = self._normalizer.normalize_many(raw_vectors)
         scores = build_quality_scores(
@@ -291,43 +344,385 @@ class SourceQualityModel:
             normalized_vectors=normalized_vectors,
             assessments=assessments,
             ranking=ranking,
+            source_fingerprints={entry[0]: entry for entry in fingerprint},
+            max_open_discussions=max(
+                (snapshot.open_discussions for snapshot in snapshots.values()),
+                default=0,
+            ),
         )
+
+    def _patch_context(
+        self,
+        entry: _IncrementalEntry,
+        corpus: SourceCorpus,
+        fingerprint: tuple,
+        benchmark_corpus: Optional[SourceCorpus],
+        benchmark_fingerprint: Optional[tuple],
+    ) -> tuple[AssessmentContext, int]:
+        """Patch ``entry.context`` to match the current corpus content.
+
+        Returns the patched context plus the normaliser fit token it
+        corresponds to.  The patch is built so that every float in the
+        result is produced by the same function, in the same state, over
+        the same inputs, in the same iteration order as a from-scratch
+        :meth:`_build_context` — the two are bit-identical:
+
+        * only added/changed sources are re-crawled; raw vectors are
+          re-measured for those sources only, unless the corpus-wide
+          open-discussion maximum moved (then every vector is re-measured
+          from the *cached* snapshots — still no re-crawl);
+        * the normaliser is re-fitted only when the reference population
+          changed (content or order) or when it was re-fitted for another
+          corpus in between (fit-token mismatch); without a re-fit, only
+          the changed vectors are re-normalised and re-scored;
+        * assessments whose raw vector, normalised vector and snapshot are
+          all unchanged are reused as-is, and the cached ranking is patched
+          via ``bisect`` for just the sources whose overall score moved.
+        """
+        previous = entry.context
+        # The corpus fingerprint tuple (computed once for the cache key)
+        # already carries every per-source fingerprint in corpus order —
+        # derive the diff from it instead of walking the corpus again.
+        current_fingerprints = {entry_fp[0]: entry_fp for entry_fp in fingerprint}
+        current_sources = {source.source_id: source for source in corpus}
+        diff = diff_fingerprint_maps(previous.source_fingerprints, current_fingerprints)
+        corpus_order = list(current_sources)
+        previous_order = [entry_fp[0] for entry_fp in previous.fingerprint]
+
+        snapshots = dict(previous.snapshots)
+        raw_vectors = dict(previous.raw_vectors)
+        for source_id in diff.removed:
+            snapshots.pop(source_id, None)
+            raw_vectors.pop(source_id, None)
+
+        recrawl_ids = list(diff.touched)
+        if recrawl_ids:
+            fresh_snapshots = self._crawler.crawl_corpus(
+                current_sources[source_id] for source_id in recrawl_ids
+            )
+            self.counters.increment("sources_recrawled", len(recrawl_ids))
+        else:
+            fresh_snapshots = {}
+        snapshot_changed = {
+            source_id
+            for source_id, snapshot in fresh_snapshots.items()
+            if snapshots.get(source_id) != snapshot
+        }
+        snapshots.update(fresh_snapshots)
+
+        # The corpus-wide maximum comes from the snapshots (fresh ones for
+        # every changed source, cached ones for the rest): O(n) with no
+        # per-source list materialisation, and consistent with the content
+        # view the vectors are computed from.
+        max_open = max(
+            (snapshots[source_id].open_discussions for source_id in current_sources),
+            default=0,
+        )
+        if max_open != previous.max_open_discussions:
+            # The "compared to largest forum" measures renormalise against
+            # this maximum: every vector changes, but from cached snapshots.
+            measure_ids = corpus_order
+            self.counters.increment("measure_renormalisations")
+        else:
+            measure_ids = recrawl_ids
+
+        changed_vector_ids: set[str] = set()
+        if measure_ids:
+            self.counters.increment("sources_remeasured", len(measure_ids))
+        for source_id in measure_ids:
+            source = current_sources[source_id]
+            measurement = SourceMeasurementContext(
+                snapshot=snapshots[source_id],
+                domain=self._domain,
+                alexa=self._alexa.observe(source),
+                feedburner=self._feedburner.observe(source),
+                corpus_max_open_discussions=max_open,
+            )
+            vector = compute_source_measures(measurement, registry=self._registry)
+            if raw_vectors.get(source_id) != vector:
+                changed_vector_ids.add(source_id)
+            raw_vectors[source_id] = vector
+
+        # Re-key every map in corpus order so the patched context is
+        # indistinguishable from a rebuild even for order-sensitive float
+        # accumulations (e.g. a z-score normaliser's reference sums).
+        snapshots = {source_id: snapshots[source_id] for source_id in corpus_order}
+        raw_vectors = {source_id: raw_vectors[source_id] for source_id in corpus_order}
+
+        if benchmark_corpus is not None:
+            _, benchmark_vectors = self._measured(
+                benchmark_corpus, benchmark_fingerprint
+            )
+            reference_vectors = benchmark_vectors.values()
+            population_changed = benchmark_fingerprint != previous.benchmark_fingerprint
+        else:
+            reference_vectors = raw_vectors.values()
+            population_changed = (
+                bool(changed_vector_ids or diff.removed or diff.added)
+                or corpus_order != previous_order
+            )
+
+        needs_refit = population_changed or entry.fit_token != self._normalizer.fit_count
+        if needs_refit:
+            self._fit_normalizer(collect_reference_values(reference_vectors))
+            normalized_vectors = self._normalizer.normalize_many(raw_vectors)
+        else:
+            normalized_vectors = {
+                source_id: previous.normalized_vectors[source_id]
+                for source_id in corpus_order
+                if source_id in previous.normalized_vectors
+            }
+            if changed_vector_ids:
+                normalized_vectors.update(
+                    self._normalizer.normalize_many(
+                        {
+                            source_id: raw_vectors[source_id]
+                            for source_id in corpus_order
+                            if source_id in changed_vector_ids
+                        }
+                    )
+                )
+            normalized_vectors = {
+                source_id: normalized_vectors[source_id] for source_id in corpus_order
+            }
+
+        # An assessment is rebuilt only when something it embeds changed:
+        # its raw vector, its normalised vector, or its crawl snapshot.
+        rebuild_ids = set(changed_vector_ids) | snapshot_changed
+        if needs_refit:
+            previous_normalized = previous.normalized_vectors
+            for source_id in corpus_order:
+                if source_id not in rebuild_ids and normalized_vectors[
+                    source_id
+                ] != previous_normalized.get(source_id):
+                    rebuild_ids.add(source_id)
+
+        if rebuild_ids:
+            scores = build_quality_scores(
+                {sid: raw_vectors[sid] for sid in corpus_order if sid in rebuild_ids},
+                {
+                    sid: normalized_vectors[sid]
+                    for sid in corpus_order
+                    if sid in rebuild_ids
+                },
+                registry=self._registry,
+                scheme=self._scheme,
+            )
+        else:
+            scores = {}
+        assessments = {
+            source_id: (
+                SourceAssessment(
+                    source_id=source_id,
+                    score=scores[source_id],
+                    snapshot=snapshots[source_id],
+                )
+                if source_id in rebuild_ids
+                else previous.assessments[source_id]
+            )
+            for source_id in corpus_order
+        }
+
+        ranking = self._patch_ranking(previous, diff.removed, assessments, corpus_order)
+
+        context = AssessmentContext(
+            fingerprint=fingerprint,
+            benchmark_fingerprint=benchmark_fingerprint,
+            sources=tuple(corpus),
+            benchmark_sources=(
+                tuple(benchmark_corpus) if benchmark_corpus is not None else None
+            ),
+            snapshots=snapshots,
+            raw_vectors=raw_vectors,
+            normalized_vectors=normalized_vectors,
+            assessments=assessments,
+            ranking=ranking,
+            source_fingerprints=current_fingerprints,
+            max_open_discussions=max_open,
+        )
+        self.counters.increment("context_patches")
+        # Seed the raw-measure cache so raw_measures() stays hot after a patch.
+        self._measure_cache.put(fingerprint, (context.sources, snapshots, raw_vectors))
+        return context, (self._normalizer.fit_count if needs_refit else entry.fit_token)
+
+    def _patch_ranking(
+        self,
+        previous: AssessmentContext,
+        removed: tuple[str, ...],
+        assessments: dict[str, SourceAssessment],
+        corpus_order: list[str],
+    ) -> tuple[SourceAssessment, ...]:
+        """Update the cached ranking for the assessments that moved.
+
+        Sources whose ``(overall, source_id)`` sort key is unchanged keep
+        their position; moved sources are bisect-removed at their old key
+        and bisect-inserted at the new one — O(k·n) list surgery instead of
+        an O(n log n) re-sort.  When most of the corpus moved, one sort is
+        cheaper, so the patch falls back to it.
+        """
+        old_overalls = {
+            source_id: assessment.overall
+            for source_id, assessment in previous.assessments.items()
+        }
+        moved = [
+            source_id
+            for source_id, assessment in assessments.items()
+            if old_overalls.get(source_id) != assessment.overall
+        ]
+        if len(moved) + len(removed) > max(8, len(corpus_order) // 2):
+            self.counters.increment("ranking_rebuilds")
+            return tuple(
+                sorted(
+                    assessments.values(),
+                    key=lambda assessment: (-assessment.overall, assessment.source_id),
+                )
+            )
+        keys = [
+            (-assessment.overall, assessment.source_id)
+            for assessment in previous.ranking
+        ]
+        for source_id in (*removed, *moved):
+            old_overall = old_overalls.get(source_id)
+            if old_overall is None:
+                continue  # newly added: nothing to remove
+            key = (-old_overall, source_id)
+            index = bisect.bisect_left(keys, key)
+            if index < len(keys) and keys[index] == key:
+                del keys[index]
+        for source_id in moved:
+            bisect.insort(keys, (-assessments[source_id].overall, source_id))
+        self.counters.increment("ranking_patches")
+        return tuple(assessments[source_id] for _, source_id in keys)
+
+    def _resolve_entry(
+        self,
+        key: tuple[int, Optional[int]],
+        corpus: SourceCorpus,
+        benchmark_corpus: Optional[SourceCorpus],
+    ) -> Optional[_IncrementalEntry]:
+        """Return the live incremental entry for ``key``, discarding stale ones."""
+        entry = self._incremental.get(key)
+        if entry is None:
+            return None
+        if entry.corpus_ref() is not corpus:
+            del self._incremental[key]  # id(corpus) was reused by a new object
+            return None
+        if benchmark_corpus is not None and (
+            entry.benchmark_ref is None or entry.benchmark_ref() is not benchmark_corpus
+        ):
+            del self._incremental[key]
+            return None
+        return entry
+
+    def _prune_incremental(self) -> None:
+        """Drop entries whose corpus died; bound the table to a small multiple."""
+        dead = [
+            key
+            for key, entry in self._incremental.items()
+            if entry.corpus_ref() is None
+        ]
+        for key in dead:
+            del self._incremental[key]
+        while len(self._incremental) > 2 * self.CONTEXT_CACHE_SIZE:
+            self._incremental.pop(next(iter(self._incremental)))
 
     def assessment_context(
         self,
         corpus: SourceCorpus,
         benchmark_corpus: Optional[SourceCorpus] = None,
+        deep: bool = False,
     ) -> AssessmentContext:
-        """Return the (cached) batched assessment context for ``corpus``."""
+        """Return the (cached, incrementally maintained) assessment context.
+
+        The common path — no announced mutation since the last call — is an
+        O(1) dirty-flag check.  A dirty corpus is fingerprint-diffed and the
+        context patched incrementally (see :meth:`_patch_context`).
+        ``deep=True`` skips the flag and forces the fingerprint scan; use it
+        after *unannounced* in-place growth (objects appended directly into
+        a source's internal lists, bypassing the ``Source`` helpers).
+        """
         if len(corpus) == 0:
             raise AssessmentError("cannot assess an empty corpus")
+        entry_key = (
+            id(corpus),
+            id(benchmark_corpus) if benchmark_corpus is not None else None,
+        )
+        entry = self._resolve_entry(entry_key, corpus, benchmark_corpus)
+        if (
+            entry is not None
+            and not deep
+            and not entry.tracker.dirty
+            and (entry.benchmark_tracker is None or not entry.benchmark_tracker.dirty)
+        ):
+            self.counters.increment("context_hits")
+            self.counters.increment("staleness_flag_hits")
+            return entry.context
+
         fingerprint = corpus.content_fingerprint()
         benchmark_fingerprint = (
             benchmark_corpus.content_fingerprint()
             if benchmark_corpus is not None
             else None
         )
-        key = (fingerprint, benchmark_fingerprint)
-        hits_before = self._contexts.hits
-        context = self._contexts.get_or_create(
-            key,
-            lambda: self._build_context(
-                corpus, fingerprint, benchmark_corpus, benchmark_fingerprint
-            ),
-        )
-        if self._contexts.hits > hits_before:
+        cache_key = (fingerprint, benchmark_fingerprint)
+        context = self._contexts.get(cache_key)
+        if context is not None:
             self.counters.increment("context_hits")
+            fit_token = (
+                entry.fit_token if entry is not None and entry.context is context
+                else -1  # unknown normaliser state: force a re-fit on patch
+            )
+        elif entry is not None:
+            context, fit_token = self._patch_context(
+                entry, corpus, fingerprint, benchmark_corpus, benchmark_fingerprint
+            )
+            self._contexts.put(cache_key, context)
+        else:
+            context = self._build_context(
+                corpus, fingerprint, benchmark_corpus, benchmark_fingerprint
+            )
+            fit_token = self._normalizer.fit_count
+            self._contexts.put(cache_key, context)
+
+        if entry is None:
+            self._prune_incremental()
+            entry = _IncrementalEntry(
+                corpus_ref=weakref.ref(corpus),
+                tracker=CorpusChangeTracker(corpus),
+                benchmark_ref=(
+                    weakref.ref(benchmark_corpus)
+                    if benchmark_corpus is not None
+                    else None
+                ),
+                benchmark_tracker=(
+                    CorpusChangeTracker(benchmark_corpus)
+                    if benchmark_corpus is not None
+                    else None
+                ),
+                context=context,
+                fit_token=fit_token,
+            )
+            self._incremental[entry_key] = entry
+        else:
+            entry.context = context
+            entry.fit_token = fit_token
+        entry.tracker.mark_clean()
+        if entry.benchmark_tracker is not None:
+            entry.benchmark_tracker.mark_clean()
         return context
 
     def assess_corpus(
         self,
         corpus: SourceCorpus,
         benchmark_corpus: Optional[SourceCorpus] = None,
+        deep: bool = False,
     ) -> dict[str, SourceAssessment]:
         """Assess every source of ``corpus``.
 
         ``benchmark_corpus`` provides the population the normaliser is
-        fitted on; it defaults to ``corpus`` itself.
+        fitted on; it defaults to ``corpus`` itself.  ``deep=True`` forces
+        a fingerprint scan instead of trusting the O(1) staleness flag (see
+        :meth:`assessment_context`).
 
         The returned mapping is a fresh dict, but the
         :class:`SourceAssessment` objects are shared with the cached
@@ -335,16 +730,18 @@ class SourceQualityModel:
         corrupt every later call for the same corpus).  Use
         :meth:`raw_measures` for a mutable copy of the underlying matrix.
         """
-        context = self.assessment_context(corpus, benchmark_corpus)
+        context = self.assessment_context(corpus, benchmark_corpus, deep=deep)
         return dict(context.assessments)
 
-    def assess(self, source: Source, corpus: SourceCorpus) -> SourceAssessment:
+    def assess(
+        self, source: Source, corpus: SourceCorpus, deep: bool = False
+    ) -> SourceAssessment:
         """Assess a single source in the context of ``corpus``.
 
         The returned :class:`SourceAssessment` is shared with the cached
         assessment context — treat it as read-only.
         """
-        context = self.assessment_context(corpus)
+        context = self.assessment_context(corpus, deep=deep)
         assessment = context.assessments.get(source.source_id)
         if assessment is None:
             raise AssessmentError(
@@ -358,21 +755,27 @@ class SourceQualityModel:
         self,
         corpus: SourceCorpus,
         benchmark_corpus: Optional[SourceCorpus] = None,
+        deep: bool = False,
     ) -> list[SourceAssessment]:
         """Assess and rank the corpus by decreasing overall quality.
 
         Ties are broken deterministically by source identifier.  The sort is
-        computed once per assessment context and reused by repeated calls.
-        The returned list is fresh but its :class:`SourceAssessment`
-        elements are shared with the cache — treat them as read-only.
+        computed once per assessment context, patched incrementally under
+        mutations, and reused by repeated calls.  The returned list is
+        fresh but its :class:`SourceAssessment` elements are shared with
+        the cache — treat them as read-only.
         """
-        context = self.assessment_context(corpus, benchmark_corpus)
+        context = self.assessment_context(corpus, benchmark_corpus, deep=deep)
         return list(context.ranking)
 
     def ranking_ids(
         self,
         corpus: SourceCorpus,
         benchmark_corpus: Optional[SourceCorpus] = None,
+        deep: bool = False,
     ) -> list[str]:
         """Source identifiers ordered by decreasing overall quality."""
-        return [assessment.source_id for assessment in self.rank(corpus, benchmark_corpus)]
+        return [
+            assessment.source_id
+            for assessment in self.rank(corpus, benchmark_corpus, deep=deep)
+        ]

@@ -23,11 +23,14 @@ explicitly (see ``docs/PERFORMANCE.md``).
 
 The probe helpers (:func:`source_probe`, :func:`corpus_probe`) are the
 O(1)-per-source tier of the same signature: they skip the per-discussion
-post counts, so they can run on every query of the search hot path.  A
-probe change always implies a fingerprint change; the only fingerprint
-change invisible to the probe is a post appended directly inside an
-existing discussion without ``touch()`` — the same blind spot class the
-fingerprints themselves have for count-preserving edits.
+post counts.  The built-in read paths no longer run them per query — the
+O(1) staleness tier is now the subscription-fed dirty flag in
+:mod:`repro.sources.diffing` — but they remain available as a mid-price
+probe for external consumers.  A probe change always implies a
+fingerprint change; the only fingerprint change invisible to the probe is
+a post appended directly inside an existing discussion without
+``touch()`` — the same blind spot class the fingerprints themselves have
+for count-preserving edits.
 
 Because the fingerprints include ``id(source)``, a cache keyed on them
 MUST keep a strong reference to the fingerprinted objects in its entries

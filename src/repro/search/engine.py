@@ -23,21 +23,26 @@ with a bounded heap.  :meth:`SearchEngine.search_fullscan` keeps the
 original full-scan scoring as a reference path; both return identical
 results (see ``tests/test_perf_equivalence.py``).
 
-The index is *mutation-safe*: the engine tracks the corpus staleness epoch
-``(corpus version, content fingerprint)`` and every read path
-auto-refreshes before answering.  Staleness detection is tiered so the
-common unchanged case stays cheap — an O(1) corpus-version check, then an
-O(source count) content probe; only when one of them fires does the engine
-compute the full fingerprint diff and apply an *incremental* update:
-postings lists, document frequencies, static scores and the static order
-are patched for just the added/removed/changed sources, and only the
-affected result-cache entries are dropped (see
+The index is *mutation-safe*: the engine subscribes to the corpus's
+``CorpusChange`` notifications and every read path auto-refreshes before
+answering.  Staleness detection on the hot path is O(1) — a dirty-flag
+check fed by the subscription (announced mutations: everything made
+through the corpus API or the ``Source`` mutation helpers, which announce
+themselves to their owning corpora).  Only when the flag fires does the
+engine compute the full fingerprint diff and apply an *incremental*
+update: postings lists, document frequencies, static scores and the
+static order are patched for just the added/removed/changed sources (the
+static order via ``bisect``, not a re-sort), and only the affected
+result-cache entries are dropped.  ``refresh(deep=True)`` remains the
+escape hatch forcing a full fingerprint scan for *unannounced* mutations
+(direct appends into a source's internal lists); see
 :meth:`SearchEngine.refresh` and ``docs/PERFORMANCE.md`` for the cost
-model and the exact detection contract).
+model and the exact detection contract.
 """
 
 from __future__ import annotations
 
+import bisect
 import hashlib
 import heapq
 import math
@@ -47,9 +52,10 @@ from dataclasses import dataclass
 from typing import Iterable, Optional
 
 from repro.errors import SearchError, UnsearchableQueryError
-from repro.perf.cache import LRUCache, corpus_probe, source_fingerprint
+from repro.perf.cache import LRUCache, source_fingerprint
 from repro.perf.counters import PerfCounters
 from repro.sources.corpus import SourceCorpus
+from repro.sources.diffing import CorpusChangeTracker, diff_fingerprints
 from repro.sources.models import Source
 from repro.sources.webstats import AlexaLikeService, PanelObservation, WebStatsPanel
 
@@ -187,8 +193,8 @@ class SearchEngine:
     """Index a corpus and answer keyword queries with popularity-biased ranking.
 
     The index tracks corpus mutations: every read path calls
-    :meth:`refresh`, which detects staleness through the corpus epoch
-    (version + content probe/fingerprint) and patches the index
+    :meth:`refresh`, which detects staleness through an O(1) dirty flag
+    fed by the corpus's change notifications and patches the index
     incrementally, so mutations made through the corpus and ``Source``
     APIs can never serve stale rankings (see :meth:`refresh` for the
     exact detection contract covering edits that bypass both).
@@ -219,15 +225,18 @@ class SearchEngine:
         #: term -> list of (source_id, term_frequency / document_length).
         self._postings: dict[str, list[tuple[str, float]]] = {}
         self._static_order: tuple[str, ...] = ()
+        #: Sorted ``(-static score, source_id)`` keys backing the static
+        #: order; single-source updates patch it via ``bisect``.
+        self._static_keys: list[tuple[float, str]] = []
         #: Per-source raw panel observations backing the static scores.
         self._observations: dict[str, PanelObservation] = {}
         self._max_visitors: float = 1.0
         self._max_links: int = 1
-        #: Indexed epoch: corpus version, cheap probe, and per-source
-        #: fingerprints at index time.  The fingerprint map anchors the
-        #: source objects (``id()`` stability) in its companion dict.
-        self._indexed_version: int = -1
-        self._indexed_probe: tuple = ()
+        #: Indexed epoch: the O(1) dirty-flag tracker fed by the corpus
+        #: subscription, and per-source fingerprints at index time.  The
+        #: fingerprint map anchors the source objects (``id()`` stability)
+        #: in its companion dict.
+        self._tracker = CorpusChangeTracker(corpus)
         self._source_fingerprints: dict[str, tuple] = {}
         self._anchored_sources: dict[str, Source] = {}
         self._query_cache = LRUCache(maxsize=self.QUERY_CACHE_SIZE)
@@ -317,17 +326,51 @@ class SearchEngine:
         return counter
 
     def _rebuild_static_order(self) -> None:
-        self._static_order = tuple(
-            source_id
-            for source_id, _ in sorted(
-                self._static_scores.items(), key=lambda item: (-item[1], item[0])
-            )
+        self._static_keys = sorted(
+            (-score, source_id) for source_id, score in self._static_scores.items()
         )
+        self._static_order = tuple(source_id for _, source_id in self._static_keys)
 
-    def _record_epoch(self) -> None:
-        """Snapshot the corpus epoch the index state was derived from."""
-        self._indexed_version = self._corpus.version
-        self._indexed_probe = self._corpus.content_probe()
+    def _patch_static_order(
+        self, old_scores: dict[str, float], updated: Iterable[str]
+    ) -> None:
+        """Patch the static ordering via ``bisect`` instead of a re-sort.
+
+        ``old_scores`` maps every removed or changed source to the score it
+        held in the current ordering (its key is deleted); ``updated``
+        names the changed/added sources whose fresh ``_static_scores``
+        entry is re-inserted at its sorted position.  Keys are unique
+        (score, id) pairs, so the patched list is exactly what a full sort
+        of the new score map would produce — O(k·n) list surgery versus
+        O(n log n) sorting per refresh.
+        """
+        keys = self._static_keys
+        for source_id, score in old_scores.items():
+            key = (-score, source_id)
+            index = bisect.bisect_left(keys, key)
+            if index < len(keys) and keys[index] == key:
+                del keys[index]
+        for source_id in updated:
+            bisect.insort(keys, (-self._static_scores[source_id], source_id))
+        self._static_order = tuple(source_id for _, source_id in keys)
+        self.counters.increment("static_order_patches")
+
+    def _record_epoch(
+        self,
+        sources: Optional[dict[str, Source]] = None,
+        fingerprints: Optional[dict[str, tuple]] = None,
+    ) -> None:
+        """Snapshot the corpus epoch the index state was derived from.
+
+        ``sources``/``fingerprints`` let :meth:`_synchronise` hand over the
+        maps its diff already computed, avoiding a second O(total
+        discussions) fingerprint pass per refresh.
+        """
+        self._tracker.mark_clean()
+        if sources is not None and fingerprints is not None:
+            self._source_fingerprints = fingerprints
+            self._anchored_sources = sources
+            return
         self._source_fingerprints = {}
         self._anchored_sources = {}
         for source in self._corpus:
@@ -358,35 +401,37 @@ class SearchEngine:
         Staleness is detected through the corpus epoch, cheapest tier
         first:
 
-        1. ``corpus.version`` — O(1); catches every ``add``/``remove``/
-           ``touch`` made through the corpus API;
-        2. the content probe — O(source count); additionally catches
-           replaced source objects and in-place growth through the
-           ``Source`` mutation helpers (or any change to the discussion /
-           interaction list lengths);
-        3. the full content fingerprint — O(total discussions); also
-           catches posts appended directly inside an existing discussion.
+        1. the dirty flag — O(1); set by the corpus's ``CorpusChange``
+           notifications, it catches every *announced* mutation: ``add``/
+           ``remove``/``touch`` through the corpus API **and** in-place
+           growth through the ``Source`` mutation helpers (sources announce
+           helper mutations to their owning corpora).  The corpus version
+           is cross-checked (also O(1)) as a safety net;
+        2. the full content fingerprint — O(total discussions); run only
+           when tier 1 fired, and forced by ``refresh(deep=True)``, which
+           additionally catches *unannounced* growth: objects appended
+           directly into ``source.discussions`` / ``discussion.posts`` /
+           ``source.interactions`` behind the helpers' back.
 
-        Tiers 1–2 run on every read path (``search`` auto-refreshes before
-        answering); tier 3 runs whenever a cheaper tier fired and on
-        explicit ``refresh(deep=True)`` calls.  Mutations invisible to all
-        three tiers (count-preserving in-place edits that bypass the
-        helpers) must be announced via ``touch()`` — the same contract the
-        assessment-context fingerprints have always had.
+        Tier 1 runs on every read path (``search`` auto-refreshes before
+        answering), so reads over an unchanged corpus no longer pay the
+        O(source count) content probe PR 2 ran per query.  Mutations
+        invisible to both tiers (count-preserving in-place edits that
+        bypass the helpers) must be announced via ``touch()`` — the same
+        contract the assessment-context fingerprints have always had.
 
         When stale, the index is patched *incrementally*: only the
         added/removed/changed sources are (un)indexed, static scores are
-        renormalised only when the traffic/link maxima moved, and only the
-        result-cache entries whose terms intersect the changed sources'
-        terms are dropped (everything, when the corpus size or the maxima
-        changed — document frequencies and static normalisation are global
-        in those cases).
+        renormalised only when the traffic/link maxima moved (and the
+        static order is then patched via ``bisect`` rather than re-sorted),
+        and only the result-cache entries whose terms intersect the changed
+        sources' terms are dropped (everything, when the corpus size or the
+        maxima changed — document frequencies and static normalisation are
+        global in those cases).
         """
-        corpus = self._corpus
-        if not deep and corpus.version == self._indexed_version:
-            if corpus.content_probe() == self._indexed_probe:
-                self.counters.increment("refresh_noops")
-                return False
+        if not deep and not self._tracker.dirty:
+            self.counters.increment("refresh_noops")
+            return False
         return self._synchronise()
 
     def _synchronise(self) -> bool:
@@ -395,31 +440,25 @@ class SearchEngine:
         if len(corpus) == 0:
             raise SearchError("cannot index an empty corpus")
         previous_size = len(self._source_fingerprints)
-        current_sources: dict[str, Source] = {}
-        added: list[str] = []
-        changed: list[str] = []
-        for source in corpus:
-            source_id = source.source_id
-            current_sources[source_id] = source
-            fingerprint = source_fingerprint(source)
-            old = self._source_fingerprints.get(source_id)
-            if old is None:
-                added.append(source_id)
-            elif old != fingerprint:
-                changed.append(source_id)
-        removed = [
-            source_id
-            for source_id in self._source_fingerprints
-            if source_id not in current_sources
-        ]
-        if not (added or changed or removed):
+        diff, current_sources, current_fingerprints = diff_fingerprints(
+            self._source_fingerprints, corpus
+        )
+        added, changed, removed = diff.added, diff.changed, diff.removed
+        if diff.is_empty:
             # Version bumped without a detectable content change (e.g. a
             # source removed and re-added unchanged); just re-pin the epoch.
-            self._record_epoch()
+            self._record_epoch(current_sources, current_fingerprints)
             self.counters.increment("refresh_noops")
             return False
 
         self.counters.increment("incremental_refreshes")
+        #: Scores currently keyed into the static order, captured before the
+        #: patch so their (score, id) keys can be bisect-removed.
+        displaced_scores = {
+            source_id: self._static_scores[source_id]
+            for source_id in (*removed, *changed)
+            if source_id in self._static_scores
+        }
         affected_terms: set[str] = set()
         for source_id in removed:
             affected_terms.update(self._unindex_source(source_id))
@@ -427,7 +466,7 @@ class SearchEngine:
         for source_id in changed:
             affected_terms.update(self._unindex_source(source_id))
             self.counters.increment("sources_unindexed")
-        for source_id in changed + added:
+        for source_id in (*changed, *added):
             source = current_sources[source_id]
             self._observations[source_id] = self._panel.observe(source)
             self._index_source(source)
@@ -457,12 +496,17 @@ class SearchEngine:
             self.counters.increment("static_renormalisations")
             statics_global = True
         else:
-            for source_id in changed + added:
+            for source_id in (*changed, *added):
                 self._static_scores[source_id] = self._static_score(
                     observations[source_id], max_visitors, max_links
                 )
             statics_global = False
-        self._rebuild_static_order()
+        if statics_global:
+            # Every score may have moved: re-sort from scratch.
+            self._rebuild_static_order()
+        else:
+            # Only the patched sources moved: bisect them in and out.
+            self._patch_static_order(displaced_scores, (*changed, *added))
 
         # Result-cache invalidation: document frequencies embed the corpus
         # size and static scores embed the maxima, so either changing makes
@@ -477,7 +521,7 @@ class SearchEngine:
                 if affected_terms.intersection(terms):
                     self._result_cache.invalidate(key)
                     self.counters.increment("result_cache_evictions")
-        self._record_epoch()
+        self._record_epoch(current_sources, current_fingerprints)
         return True
 
     # -- querying -------------------------------------------------------------------

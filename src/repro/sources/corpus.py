@@ -10,12 +10,17 @@ largest Web blog/forum" measure of Table 1).
 
 The corpus is a *mutable, versioned* collection: every :meth:`add`,
 :meth:`remove` and :meth:`touch` bumps a monotonic :attr:`version` counter
-and notifies subscribed listeners with a :class:`CorpusChange`.  Consumers
+and notifies subscribed listeners with a :class:`CorpusChange`.  In-place
+mutations made through the ``Source`` helpers are *announced* too: the
+corpus registers a mutation watcher on every added source, so helper
+growth and ``Source.touch()`` surface as ``"touch"`` events.  Consumers
 that derive state from the corpus (the search index, panel observation
-caches, assessment contexts) key their staleness checks on the *epoch*
-``(version, content fingerprint)`` — the version catches every mutation
-made through the corpus API in O(1), the fingerprint catches in-place
-source growth that bypassed it.
+caches, assessment contexts) key their staleness checks on an O(1) dirty
+flag fed by those notifications (see
+:class:`repro.sources.diffing.CorpusChangeTracker`), falling back to the
+content fingerprint only to localise a detected change — or on explicit
+``deep=True`` reads covering unannounced growth that bypassed the
+helpers.
 """
 
 from __future__ import annotations
@@ -163,10 +168,18 @@ class SourceCorpus:
     # -- mutation -----------------------------------------------------------------
 
     def add(self, source: Source) -> None:
-        """Add a source; raise :class:`CorpusError` on duplicate identifiers."""
+        """Add a source; raise :class:`CorpusError` on duplicate identifiers.
+
+        The corpus registers itself as a mutation watcher on the source
+        (see :meth:`Source.watch_mutations`), so in-place growth through
+        the ``Source`` helpers and ``Source.touch()`` is *announced*: it
+        bumps the corpus version and notifies subscribers as a ``"touch"``
+        :class:`CorpusChange`, exactly like :meth:`touch`.
+        """
         if source.source_id in self._sources:
             raise CorpusError(f"duplicate source identifier: {source.source_id!r}")
         self._sources[source.source_id] = source
+        source.watch_mutations(self._on_source_mutated)
         self._notify("add", source.source_id)
 
     def remove(self, source_id: str) -> Source:
@@ -175,6 +188,7 @@ class SourceCorpus:
             source = self._sources.pop(source_id)
         except KeyError as exc:
             raise UnknownSourceError(source_id) from exc
+        source.unwatch_mutations(self._on_source_mutated)
         self._notify("remove", source_id)
         return source
 
@@ -184,14 +198,19 @@ class SourceCorpus:
         Call it after mutating a source in ways the structural fingerprint
         cannot detect on its own (rewording a post, changing latents,
         appending posts directly inside an existing discussion).  It bumps
-        both the source's ``content_revision`` and the corpus version, so
-        every epoch-keyed consumer — search index, panel observations,
-        assessment contexts — re-derives its state on the next read.
+        the source's ``content_revision``, whose announcement (see
+        :meth:`add`) bumps the corpus version, so every epoch-keyed
+        consumer — search index, panel observations, assessment contexts —
+        re-derives its state on the next read.
         """
         source = self.get(source_id)
-        source.touch()
-        self._notify("touch", source_id)
+        source.touch()  # the mutation watcher wired by add() emits the event
         return self._version
+
+    def _on_source_mutated(self, source: Source) -> None:
+        """Propagate an announced in-place source mutation as a corpus event."""
+        if self._sources.get(source.source_id) is source:
+            self._notify("touch", source.source_id)
 
     # -- lookup -----------------------------------------------------------------------
 
@@ -263,7 +282,10 @@ class SourceCorpus:
     def content_probe(self) -> tuple:
         """O(source count) staleness probe (fingerprint minus post counts).
 
-        Cheap enough to run on every query of the search hot path; see
+        A mid-price tier between the O(1) dirty flag and the full
+        fingerprint; no built-in read path uses it anymore (the search
+        engine's per-query probe was replaced by change subscriptions),
+        but it remains available to external consumers.  See
         :func:`repro.perf.cache.corpus_probe` for what it can and cannot
         detect relative to :meth:`content_fingerprint`.
         """

@@ -1,0 +1,163 @@
+"""Shared corpus diffing and O(1) staleness tracking.
+
+Every corpus-derived consumer — the search index, the quality-model
+assessment contexts, the raw-measure matrices — faces the same two
+problems:
+
+1. *detecting* that the corpus changed since the derived state was built,
+   as cheaply as possible on the read hot path;
+2. *localising* the change, so only the affected sources are re-processed.
+
+This module is the single home of both mechanisms, extracted from the
+search engine's incremental refresh so the quality models can reuse them
+verbatim:
+
+* :class:`CorpusChangeTracker` — the O(1) staleness tier.  It subscribes
+  (weakly) to :class:`~repro.sources.corpus.CorpusChange` notifications
+  and keeps a dirty flag, so a read over an unchanged corpus costs one
+  attribute check instead of an O(source count) content probe.  Every
+  mutation made through the corpus API *and* every in-place mutation made
+  through the ``Source`` helpers (which announce themselves to their
+  owning corpora) raises the flag.  Mutations that bypass both — direct
+  appends into a source's internal lists, count-preserving edits without
+  ``touch()`` — are invisible to the flag; consumers expose a
+  ``deep=True`` escape hatch that forces a full fingerprint scan for
+  exactly that case (see ``docs/PERFORMANCE.md`` for the detection
+  matrix).
+* :func:`diff_fingerprints` — the localisation tier.  Given the
+  per-source fingerprints a consumer recorded when it built its state, it
+  classifies the current corpus into added / changed / removed sources in
+  one pass, returning the current source objects and fingerprints so the
+  caller can re-process exactly the affected subset.
+"""
+
+from __future__ import annotations
+
+import weakref
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Any, Iterable, Mapping, Tuple
+
+from repro.perf.cache import source_fingerprint
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.sources.corpus import CorpusChange, SourceCorpus
+    from repro.sources.models import Source
+
+__all__ = [
+    "CorpusDiff",
+    "diff_fingerprints",
+    "diff_fingerprint_maps",
+    "fingerprint_map",
+    "CorpusChangeTracker",
+]
+
+
+@dataclass(frozen=True)
+class CorpusDiff:
+    """Classification of a corpus against previously recorded fingerprints."""
+
+    added: tuple[str, ...]
+    changed: tuple[str, ...]
+    removed: tuple[str, ...]
+
+    @property
+    def is_empty(self) -> bool:
+        """True when no source was added, changed or removed."""
+        return not (self.added or self.changed or self.removed)
+
+    @property
+    def touched(self) -> tuple[str, ...]:
+        """Sources needing re-processing, changed first (the re-index order)."""
+        return self.changed + self.added
+
+
+def fingerprint_map(sources: Iterable[Any]) -> dict[str, tuple]:
+    """Per-source structural fingerprints keyed by source identifier."""
+    return {source.source_id: source_fingerprint(source) for source in sources}
+
+
+def diff_fingerprint_maps(
+    previous: Mapping[str, tuple], current: Mapping[str, tuple]
+) -> CorpusDiff:
+    """Diff two per-source fingerprint maps (no fingerprint recomputation).
+
+    Use this form when the current fingerprints are already in hand (e.g.
+    derived from a corpus fingerprint tuple computed for a cache key), so
+    the corpus is not walked a second time.
+    """
+    added: list[str] = []
+    changed: list[str] = []
+    for source_id, fingerprint in current.items():
+        old = previous.get(source_id)
+        if old is None:
+            added.append(source_id)
+        elif old != fingerprint:
+            changed.append(source_id)
+    removed = [source_id for source_id in previous if source_id not in current]
+    return CorpusDiff(added=tuple(added), changed=tuple(changed), removed=tuple(removed))
+
+
+def diff_fingerprints(
+    previous: Mapping[str, tuple], corpus: Iterable[Any]
+) -> Tuple[CorpusDiff, dict[str, Any], dict[str, tuple]]:
+    """Diff ``corpus`` against the ``previous`` per-source fingerprints.
+
+    Returns ``(diff, current_sources, current_fingerprints)`` where the two
+    mappings are keyed by source identifier and iterate in corpus order —
+    callers rebuilding derived dictionaries should follow that order so an
+    incrementally patched state is indistinguishable from a from-scratch
+    rebuild even for order-sensitive float accumulations.
+    """
+    current_sources: dict[str, Any] = {}
+    current_fingerprints: dict[str, tuple] = {}
+    for source in corpus:
+        current_sources[source.source_id] = source
+        current_fingerprints[source.source_id] = source_fingerprint(source)
+    return (
+        diff_fingerprint_maps(previous, current_fingerprints),
+        current_sources,
+        current_fingerprints,
+    )
+
+
+class CorpusChangeTracker:
+    """O(1) dirty flag over a corpus, fed by ``CorpusChange`` subscriptions.
+
+    The tracker subscribes weakly, so it never keeps the corpus alive and
+    the corpus never keeps the tracker's owner alive.  ``dirty`` is True
+    whenever a mutation notification arrived since the last
+    :meth:`mark_clean` — and, as a belt-and-braces cross-check, whenever
+    the corpus version moved without a notification (possible only if the
+    subscription was removed externally).  A dead corpus reports dirty so
+    stale id-keyed state is never served after interpreter-level object
+    reuse.
+    """
+
+    def __init__(self, corpus: "SourceCorpus") -> None:
+        self._corpus_ref = weakref.ref(corpus)
+        self._dirty = False
+        self._clean_version = corpus.version
+        corpus.subscribe(self._on_change, weak=True)
+
+    @property
+    def corpus(self) -> Any:
+        """The tracked corpus, or None once it has been garbage collected."""
+        return self._corpus_ref()
+
+    @property
+    def dirty(self) -> bool:
+        """True when a mutation may have happened since :meth:`mark_clean`."""
+        corpus = self._corpus_ref()
+        if corpus is None:
+            return True
+        return self._dirty or corpus.version != self._clean_version
+
+    def mark_clean(self) -> None:
+        """Record that the owner's derived state matches the corpus now."""
+        corpus = self._corpus_ref()
+        self._dirty = False
+        if corpus is not None:
+            self._clean_version = corpus.version
+
+    def _on_change(self, change: "CorpusChange") -> None:
+        self._dirty = True

@@ -15,9 +15,10 @@ computable while still supporting the time-based measures of the paper
 
 from __future__ import annotations
 
+import weakref
 from dataclasses import dataclass, field
 from enum import Enum
-from typing import Any, Iterable, Iterator, Optional
+from typing import Any, Callable, Iterable, Iterator, Optional
 
 __all__ = [
     "SourceType",
@@ -344,6 +345,12 @@ class Source:
     #: transient crawl-time state, not content: excluded from equality and
     #: from serialisation.
     content_revision: int = field(default=0, compare=False)
+    #: Weak references to mutation watchers (see :meth:`watch_mutations`).
+    #: Transient wiring, not content: excluded from init, equality, repr and
+    #: serialisation.
+    _mutation_watchers: list = field(
+        default_factory=list, init=False, compare=False, repr=False
+    )
 
     # -- basic content accessors -------------------------------------------------
 
@@ -418,6 +425,52 @@ class Source:
         """Length of the observation window in days (at least one day)."""
         return max(1.0, self.observation_day - self.created_at)
 
+    # -- mutation announcements ------------------------------------------------------
+
+    def watch_mutations(self, callback: Callable[["Source"], None]) -> None:
+        """Register ``callback`` to be invoked after every announced mutation.
+
+        Announced mutations are the mutation helpers below and
+        :meth:`touch`; the callback receives the source itself.  Bound
+        methods are held through a ``WeakMethod`` — the watcher never keeps
+        its owner (a corpus, a quality model) alive, and dead entries are
+        pruned on the next announcement; plain callables (functions,
+        lambdas, partials) are held strongly, so an anonymous watcher is
+        never silently garbage-collected out of the list.
+        :class:`~repro.sources.corpus.SourceCorpus` registers itself here
+        on ``add()``, which is what turns in-place source growth into a
+        corpus-level ``CorpusChange`` — the O(1) staleness tier every
+        corpus-derived cache keys on.  Registering the same callback twice
+        is a no-op.
+        """
+        entry: Any = (
+            weakref.WeakMethod(callback) if hasattr(callback, "__self__") else callback
+        )
+        if entry not in self._mutation_watchers:
+            self._mutation_watchers.append(entry)
+
+    def unwatch_mutations(self, callback: Callable[["Source"], None]) -> None:
+        """Remove a previously registered mutation watcher (no-op when unknown)."""
+        for entry in list(self._mutation_watchers):
+            resolved = entry() if isinstance(entry, weakref.ref) else entry
+            if resolved == callback or entry == callback:
+                self._mutation_watchers.remove(entry)
+
+    def _announce_mutation(self) -> None:
+        dead: list[Any] = []
+        for entry in tuple(self._mutation_watchers):
+            if isinstance(entry, weakref.ref):
+                watcher = entry()
+                if watcher is None:
+                    dead.append(entry)
+                    continue
+            else:
+                watcher = entry
+            watcher(self)
+        for entry in dead:
+            if entry in self._mutation_watchers:
+                self._mutation_watchers.remove(entry)
+
     # -- mutation helpers ----------------------------------------------------------
 
     def touch(self) -> int:
@@ -430,27 +483,32 @@ class Source:
         state from the current content.
         """
         self.content_revision += 1
+        self._announce_mutation()
         return self.content_revision
 
     def add_discussion(self, discussion: Discussion) -> None:
         """Append a discussion thread to the source."""
         self.discussions.append(discussion)
         self.content_revision += 1
+        self._announce_mutation()
 
     def add_user(self, profile: UserProfile) -> None:
         """Register a user profile on the source."""
         self.users[profile.user_id] = profile
         self.content_revision += 1
+        self._announce_mutation()
 
     def add_interaction(self, interaction: Interaction) -> None:
         """Record a social interaction."""
         self.interactions.append(interaction)
         self.content_revision += 1
+        self._announce_mutation()
 
     def extend_interactions(self, interactions: Iterable[Interaction]) -> None:
         """Record a batch of social interactions."""
         self.interactions.extend(interactions)
         self.content_revision += 1
+        self._announce_mutation()
 
     # -- serialisation ---------------------------------------------------------------
 

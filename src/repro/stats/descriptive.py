@@ -37,11 +37,17 @@ class DescriptiveSummary:
 
         The paper uses this to characterise the heterogeneity of the
         Twitaholic dataset ("the difference between the most and the least
-        connected users is about 4 orders of magnitude").  Values <= 0 are
-        clamped to 1 before taking the logarithm.
+        connected users is about 4 orders of magnitude").  Only values
+        <= 0 are clamped to 1 before taking the logarithm (the log is
+        undefined there); positive sub-unit values are kept, so a sample
+        spanning 0.001 to 10 reports 4 orders of magnitude, not 1.  The
+        result is never negative: when clamping inverts the pair (minimum
+        <= 0 while 0 < maximum < 1) the span collapses to 0.
         """
-        low = max(1.0, self.minimum)
-        high = max(1.0, self.maximum)
+        low = self.minimum if self.minimum > 0 else 1.0
+        high = self.maximum if self.maximum > 0 else 1.0
+        if high <= low:
+            return 0.0
         return math.log10(high / low)
 
     def to_dict(self) -> dict[str, Any]:

@@ -42,31 +42,47 @@ def _validate_pairs(xs: Sequence[float], ys: Sequence[float]) -> None:
 def kendall_tau(xs: Sequence[float], ys: Sequence[float]) -> float:
     """Kendall tau-b rank correlation between two paired samples.
 
-    Ties are handled with the tau-b correction.  Returns a value in
-    ``[-1, 1]``; 0 means no association between the orderings.
+    Implements the standard tau-b definition
+
+    ``tau_b = (C - D) / sqrt((n0 - n1) * (n0 - n2))``
+
+    where ``C``/``D`` are the concordant/discordant pair counts,
+    ``n0 = n(n-1)/2`` is the total pair count, and ``n1``/``n2`` count the
+    pairs tied in x and in y respectively.  Pairs tied in *both* samples
+    (joint ties) contribute to both ``n1`` and ``n2`` — the previous
+    implementation skipped them and only agreed with the standard
+    definition through an algebraic cancellation; the counting below
+    matches the definition term for term (regression-tested against
+    hand-computed joint-tie cases and ``scipy.stats.kendalltau``).
+
+    Returns a value in ``[-1, 1]``; 0 means no association between the
+    orderings, and 0 is also returned when either sample is constant
+    (the coefficient is undefined there).
     """
     _validate_pairs(xs, ys)
     n = len(xs)
     concordant = 0
     discordant = 0
-    ties_x = 0
-    ties_y = 0
+    ties_x = 0  # pairs tied in x, joint ties included
+    ties_y = 0  # pairs tied in y, joint ties included
     for i in range(n):
         for j in range(i + 1, n):
             dx = xs[i] - xs[j]
             dy = ys[i] - ys[j]
-            if dx == 0 and dy == 0:
-                continue
-            if dx == 0:
+            tied_x = dx == 0
+            tied_y = dy == 0
+            if tied_x:
                 ties_x += 1
-            elif dy == 0:
+            if tied_y:
                 ties_y += 1
-            elif (dx > 0) == (dy > 0):
+            if tied_x or tied_y:
+                continue
+            if (dx > 0) == (dy > 0):
                 concordant += 1
             else:
                 discordant += 1
-    total = concordant + discordant
-    denominator = math.sqrt((total + ties_x) * (total + ties_y))
+    n0 = n * (n - 1) // 2
+    denominator = math.sqrt((n0 - ties_x) * (n0 - ties_y))
     if denominator == 0:
         return 0.0
     return (concordant - discordant) / denominator

@@ -370,14 +370,18 @@ class TestResultCacheEpochInvalidation:
 
 
 class TestQualityModelEpochPropagation:
-    def test_source_model_rebuilds_after_touch(self, travel_domain):
+    def test_source_model_refreshes_after_touch(self, travel_domain):
         corpus = _fresh_corpus(6)
         model = SourceQualityModel(travel_domain)
         model.rank(corpus)
         assert model.counters.get("context_builds") == 1
         corpus.touch(corpus.source_ids()[0])
         model.rank(corpus)
-        assert model.counters.get("context_builds") == 2
+        # The touch is detected, but instead of a second full build the
+        # cached context is patched: one re-crawl, no wholesale rebuild.
+        assert model.counters.get("context_builds") == 1
+        assert model.counters.get("context_patches") == 1
+        assert model.counters.get("sources_recrawled") == 1
 
     def test_source_model_matches_fresh_model_after_mutation(self, travel_domain):
         corpus = _fresh_corpus(6)
@@ -393,11 +397,20 @@ class TestQualityModelEpochPropagation:
         for source_id, assessment in left.items():
             assert abs(assessment.overall - right[source_id].overall) <= 1e-9
 
-    def test_contributor_model_rebuilds_after_touch(self, travel_domain):
+    def test_contributor_model_refreshes_after_touch(self, travel_domain):
         source = _extra_source("contrib-src")
         model = ContributorQualityModel(travel_domain)
         model.assess_source(source)
         assert model.counters.get("context_builds") == 1
         source.touch()
-        model.assess_source(source)
-        assert model.counters.get("context_builds") == 2
+        result = model.assess_source(source)
+        # The touch is detected via the mutation watcher, but instead of a
+        # second full build the community is re-crawled in one shared walk
+        # and every untouched assessment is reused.
+        assert model.counters.get("context_builds") == 1
+        assert model.counters.get("context_patches") == 1
+        assert model.counters.get("community_recrawls") == 1
+        fresh = ContributorQualityModel(travel_domain).assess_source(source)
+        assert {u: a.overall for u, a in result.items()} == {
+            u: a.overall for u, a in fresh.items()
+        }

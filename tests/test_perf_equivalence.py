@@ -125,7 +125,13 @@ class TestSourceModelEquivalence:
         )
         source.add_discussion(discussion)
         model.rank(corpus)
-        assert model.counters.get("context_builds") == 2
+        # The mutation is detected but the context is *patched*, not
+        # rebuilt: only the grown source was re-crawled.
+        assert model.counters.get("context_builds") == 1
+        assert model.counters.get("context_patches") == 1
+        assert model.counters.get("sources_recrawled") == 1
+        ranking = model.ranking_ids(corpus)
+        assert ranking == SourceQualityModel(travel_domain).ranking_ids(corpus)
 
     def test_raw_measures_returns_mutation_safe_copy(self, google_dataset):
         model = SourceQualityModel(

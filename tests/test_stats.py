@@ -46,6 +46,35 @@ class TestKendallTau:
         value = kendall_tau([1, 1, 2, 3], [1, 2, 2, 3])
         assert -1.0 <= value <= 1.0
 
+    def test_tau_b_with_single_variable_ties_hand_computed(self):
+        # xs ties: one pair; ys ties: one pair; C=4, D=0, n0=6, n1=1, n2=1.
+        assert kendall_tau([1, 1, 2, 3], [1, 2, 2, 3]) == pytest.approx(
+            4.0 / math.sqrt(5.0 * 5.0)
+        )
+
+    def test_tau_b_with_joint_ties_hand_computed(self):
+        # Pair (0,1) is tied in BOTH samples: it must enter n1 and n2.
+        # C=3, D=2, n0=6, n1=1, n2=1 -> (3-2)/sqrt(5*5) = 0.2.
+        assert kendall_tau([1, 1, 2, 3], [2, 2, 1, 3]) == pytest.approx(0.2)
+        # Joint tie (0,1) plus an x-only tie (2,3): C=4, D=0, n1=2, n2=1.
+        assert kendall_tau([1, 1, 2, 2], [1, 1, 2, 3]) == pytest.approx(
+            4.0 / math.sqrt(4.0 * 5.0)
+        )
+
+    def test_tau_b_matches_scipy_on_tie_heavy_samples(self):
+        scipy_stats = pytest.importorskip("scipy.stats")
+        rng = random.Random(7)
+        for _ in range(60):
+            n = rng.randint(3, 15)
+            xs = [rng.randint(0, 3) for _ in range(n)]
+            ys = [rng.randint(0, 3) for _ in range(n)]
+            expected = scipy_stats.kendalltau(xs, ys).correlation
+            actual = kendall_tau(xs, ys)
+            if math.isnan(expected):
+                assert actual == 0.0  # constant sample: we define tau as 0
+            else:
+                assert actual == pytest.approx(expected, abs=1e-12)
+
     def test_constant_series_returns_zero(self):
         assert kendall_tau([1, 1, 1], [1, 2, 3]) == 0.0
 
@@ -116,6 +145,26 @@ class TestDescriptive:
     def test_orders_of_magnitude(self):
         summary = describe([1.0, 10_000.0])
         assert summary.range_orders_of_magnitude == pytest.approx(4.0)
+
+    def test_orders_of_magnitude_keeps_positive_sub_unit_minimum(self):
+        # Regression: max(1.0, ...) used to clamp the 0.001 minimum to 1,
+        # collapsing a 4-order span to a single order.
+        summary = describe([0.001, 10.0])
+        assert summary.range_orders_of_magnitude == pytest.approx(4.0)
+
+    def test_orders_of_magnitude_entirely_sub_unit_sample(self):
+        summary = describe([0.001, 0.01])
+        assert summary.range_orders_of_magnitude == pytest.approx(1.0)
+
+    def test_orders_of_magnitude_clamps_only_non_positive_values(self):
+        assert describe([0.0, 100.0]).range_orders_of_magnitude == pytest.approx(2.0)
+        assert describe([-5.0, 10.0]).range_orders_of_magnitude == pytest.approx(1.0)
+
+    def test_orders_of_magnitude_never_negative(self):
+        # Clamping the non-positive minimum to 1 can invert the pair when
+        # the maximum is a positive sub-unit value; the span is then 0.
+        assert describe([-5.0, 0.5]).range_orders_of_magnitude == 0.0
+        assert describe([3.0, 3.0]).range_orders_of_magnitude == 0.0
 
     def test_empty_sample_rejected(self):
         with pytest.raises(InsufficientDataError):
