@@ -6,7 +6,7 @@ export PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH))
 
 BENCH_JSON := BENCH_perf.json
 
-.PHONY: test bench perf perf-smoke
+.PHONY: test bench perf perf-smoke docs
 
 ## tier-1 test suite (must stay green; see ROADMAP.md)
 test:
@@ -21,6 +21,7 @@ perf:
 	$(PYTHON) benchmarks/bench_perf_pipeline.py --output $(BENCH_JSON)
 	$(PYTHON) benchmarks/bench_incremental_index.py --output $(BENCH_JSON)
 	$(PYTHON) benchmarks/bench_incremental_assessment.py --output $(BENCH_JSON)
+	$(PYTHON) benchmarks/bench_eager_refresh.py --output $(BENCH_JSON)
 	@test -s $(BENCH_JSON) || { echo "FATAL: $(BENCH_JSON) was not written" >&2; exit 1; }
 
 ## reduced-scale perf smoke for CI: proves every harness produces its section
@@ -28,4 +29,11 @@ perf-smoke:
 	$(PYTHON) benchmarks/bench_perf_pipeline.py --output $(BENCH_JSON) --rank-repetitions 2 --search-rounds 2
 	$(PYTHON) benchmarks/bench_incremental_index.py --output $(BENCH_JSON) --sources 200 --events 4
 	$(PYTHON) benchmarks/bench_incremental_assessment.py --output $(BENCH_JSON) --sources 200 --events 4
+	$(PYTHON) benchmarks/bench_eager_refresh.py --output $(BENCH_JSON) --sources 200 --events 4
 	$(PYTHON) scripts/check_bench_keys.py $(BENCH_JSON)
+
+## documentation checks: README/docs link integrity + runnable examples
+docs:
+	$(PYTHON) scripts/check_docs.py README.md docs/ARCHITECTURE.md docs/PERFORMANCE.md
+	$(PYTHON) examples/quickstart.py
+	$(PYTHON) examples/source_ranking.py

@@ -31,6 +31,12 @@ EXPECTED = {
         "speedup",
         "target_speedup",
     ),
+    "eager_refresh": (
+        "lazy_first_read_seconds",
+        "eager_first_read_seconds",
+        "speedup",
+        "target_speedup",
+    ),
 }
 
 

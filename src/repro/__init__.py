@@ -16,9 +16,11 @@ The package is organised in five layers:
 * :mod:`repro.core` — the paper's quality model for sources (Table 1) and
   contributors (Table 2), normalisation, scoring, filtering, influencer
   detection;
-* :mod:`repro.search`, :mod:`repro.sentiment`, :mod:`repro.mashup` — the
-  simulated general-purpose search baseline, the sentiment analysis
-  payload and the DashMash-like composition framework;
+* :mod:`repro.search`, :mod:`repro.serving`, :mod:`repro.sentiment`,
+  :mod:`repro.mashup` — the simulated general-purpose search baseline,
+  the eager-refresh serving layer that keeps corpus consumers patched in
+  the background, the sentiment analysis payload and the DashMash-like
+  composition framework;
 * :mod:`repro.datasets` and :mod:`repro.experiments` — the evaluation
   datasets and one driver per table/figure of the paper.
 """
@@ -34,6 +36,7 @@ from repro.core import (
     SourceQualityModel,
     TimeInterval,
 )
+from repro.serving import EagerRefreshScheduler, RefreshMode
 from repro.sources import (
     AccountKind,
     AlexaLikeService,
@@ -58,6 +61,7 @@ __all__ = [
     "CorpusSpec",
     "Crawler",
     "DomainOfInterest",
+    "EagerRefreshScheduler",
     "FeedburnerLikeService",
     "InfluencerDetector",
     "MicroblogGenerator",
@@ -66,6 +70,7 @@ __all__ = [
     "QualityDimension",
     "QualityFilter",
     "QualityRanker",
+    "RefreshMode",
     "Source",
     "SourceCorpus",
     "SourceQualityModel",

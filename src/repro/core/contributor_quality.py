@@ -18,15 +18,27 @@ Contexts are maintained *incrementally*: the model registers a mutation
 watcher on each assessed source (see
 :meth:`~repro.sources.models.Source.watch_mutations`), so repeated
 ``assess_source`` / ``rank`` calls over an unchanged community are an
-O(1) dirty-flag check — no per-read fingerprint computation.  When the
-flag fires, the community is re-crawled (one shared walk), but the
-normaliser is re-fitted and users re-scored only when their raw measure
-vectors actually changed; untouched assessments are reused verbatim.
-Growth through the mutation helpers and announced ``Source.touch()``
-edits raise the flag automatically; pass ``deep=True`` after unannounced
+O(1) dirty-flag check (cross-checked against the source's
+``content_revision``) — no per-read fingerprint computation.  When the
+flag fires, the community is re-crawled in one shared walk that is
+itself *diff-restricted*: per-discussion fingerprints are diffed against
+the cached :class:`~repro.sources.crawler.CommunityWalkCache` and only
+the touched threads are re-visited (an explicit ``touch()`` cannot be
+localised and forces a full walk).  The normaliser is re-fitted and
+users re-scored only when their raw measure vectors actually changed —
+and a refit renormalises only the measures whose per-measure fit
+signature moved; untouched assessments are reused verbatim.  Growth
+through the mutation helpers and announced ``Source.touch()`` edits
+raise the flag automatically; pass ``deep=True`` after unannounced
 growth that bypasses the helpers, and call
 :meth:`ContributorQualityModel.invalidate` only after unannounced
 count-preserving in-place mutations.
+
+Refresh is *lazy* by default; for latency-critical serving, register the
+model per community with an :class:`repro.serving.EagerRefreshScheduler`
+(``scheduler.register_contributor_model(model, source)``), which drives
+:meth:`refresh` in the background, filtered to that source's events —
+results are bit-identical either way.
 
 The model also exposes the paper's key analytical distinction between
 *absolute* interaction volumes (the activity attribute) and *relative*
@@ -39,7 +51,7 @@ activity with negligible relative response.
 from __future__ import annotations
 
 import weakref
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import Any, Iterable, Mapping, Optional
 
 from repro.core.contributor_measures import (
@@ -53,6 +65,7 @@ from repro.core.normalization import (
     BenchmarkNormalizer,
     Normalizer,
     collect_reference_values,
+    confine_renormalization,
 )
 from repro.core.scoring import (
     QualityScore,
@@ -63,7 +76,7 @@ from repro.core.scoring import (
 from repro.errors import AssessmentError
 from repro.perf.cache import LRUCache, source_fingerprint
 from repro.perf.counters import PerfCounters
-from repro.sources.crawler import ContributorSnapshot, Crawler
+from repro.sources.crawler import CommunityWalkCache, ContributorSnapshot, Crawler
 from repro.sources.models import Source
 
 __all__ = ["ContributorAssessment", "ContributorQualityModel"]
@@ -126,6 +139,17 @@ class _CommunityEntry:
     fit_token: int
     #: Raised by the source's mutation watcher; the O(1) staleness tier.
     dirty: bool = False
+    #: ``source.content_revision`` the context was derived from — an O(1)
+    #: cross-check next to the dirty flag, so an announced mutation is
+    #: detected even when a read races ahead of this model's own watcher
+    #: (e.g. an eager serving scheduler refreshing from inside the same
+    #: announcement that would set ``dirty``).
+    revision: int = -1
+    #: Reusable per-discussion community-walk state (ROADMAP (e)).
+    walk: CommunityWalkCache = field(default_factory=CommunityWalkCache)
+    #: Per-measure fit signature of the context's normalised matrix
+    #: (``Normalizer.fit_signature``); empty means "unknown".
+    fit_signature: dict = field(default_factory=dict)
 
 
 class ContributorQualityModel:
@@ -206,7 +230,10 @@ class ContributorQualityModel:
         self.counters.increment("normalizer_fits")
 
     def _build_context(
-        self, source: Source, resolved_ids: tuple[str, ...]
+        self,
+        source: Source,
+        resolved_ids: tuple[str, ...],
+        walk: Optional[CommunityWalkCache] = None,
     ) -> tuple[
         dict[str, ContributorSnapshot],
         dict[str, dict[str, float]],
@@ -214,7 +241,9 @@ class ContributorQualityModel:
     ]:
         """Crawl once (one shared walk), measure once, fit once, score all."""
         self.counters.increment("context_builds")
-        snapshots = self._crawler.crawl_contributors_batched(source, resolved_ids)
+        snapshots = self._crawler.crawl_contributors_batched(
+            source, resolved_ids, walk=walk
+        )
         if not snapshots:
             raise AssessmentError(
                 f"source {source.source_id!r} has no contributors to assess"
@@ -248,24 +277,44 @@ class ContributorQualityModel:
         entry: _CommunityEntry,
         source: Source,
         resolved_ids: tuple[str, ...],
-    ) -> tuple[tuple, int]:
+    ) -> tuple[tuple, int, dict]:
         """Re-derive the community context, reusing everything unchanged.
 
-        The community is re-crawled in one shared walk (cheap), but
-        measures are recomputed only for users whose snapshot changed, the
-        normaliser is re-fitted only when some raw vector (or the user set)
-        actually changed, and assessments of untouched users are reused
-        verbatim — so a ``touch()`` that did not alter any contributor's
+        The community is re-crawled in one shared walk — and the walk
+        itself is *diff-restricted* (ROADMAP (e)): the entry's
+        :class:`~repro.sources.crawler.CommunityWalkCache` lets the crawler
+        re-visit only the discussions whose per-discussion fingerprint
+        moved, falling back to a full walk only after an explicit
+        ``touch()`` (which cannot be localised).  Measures are recomputed
+        only for users whose snapshot changed, the normaliser is re-fitted
+        only when some raw vector (or the user set) actually changed — and
+        a refit renormalises only the measures whose fit signature moved
+        (ROADMAP (f)) — and assessments of untouched users are reused
+        verbatim, so a ``touch()`` that did not alter any contributor's
         observable activity costs one walk and zero re-scoring.  Returns
-        the patched context and the fit token it corresponds to.
+        the patched context plus the fit token and fit signature it
+        corresponds to.
         """
         previous_snapshots, previous_raw, previous_assessments = entry.context
-        snapshots = self._crawler.crawl_contributors_batched(source, resolved_ids)
+        snapshots = self._crawler.crawl_contributors_batched(
+            source, resolved_ids, walk=entry.walk
+        )
         if not snapshots:
             raise AssessmentError(
                 f"source {source.source_id!r} has no contributors to assess"
             )
         self.counters.increment("community_recrawls")
+        walk_stats = entry.walk.last_stats
+        self.counters.increment(
+            "discussions_rewalked", walk_stats.get("discussions_walked", 0)
+        )
+        self.counters.increment(
+            "discussions_reused", walk_stats.get("discussions_reused", 0)
+        )
+        if walk_stats.get("full_walk"):
+            self.counters.increment("community_full_walks")
+        else:
+            self.counters.increment("community_restricted_walks")
 
         raw_vectors: dict[str, dict[str, float]] = {}
         changed_vector_ids: set[str] = set()
@@ -292,9 +341,25 @@ class ContributorQualityModel:
         )
         needs_refit = population_changed or entry.fit_token != self._normalizer.fit_count
         if needs_refit:
+            previous_signature = entry.fit_signature
             self._fit_normalizer(collect_reference_values(raw_vectors.values()))
-            normalized_vectors = self._normalizer.normalize_many(raw_vectors)
+            fit_signature = self._normalizer.fit_signature()
+            # ROADMAP (f): confine renormalisation to measures whose fit
+            # actually moved; bit-identical to a full normalize_many pass.
+            normalized_vectors = confine_renormalization(
+                self._normalizer,
+                self.counters,
+                raw_vectors,
+                changed_vector_ids,
+                {
+                    user_id: assessment.score.normalized_values
+                    for user_id, assessment in previous_assessments.items()
+                },
+                previous_signature,
+                fit_signature,
+            )
         else:
+            fit_signature = entry.fit_signature
             normalized_vectors = {
                 user_id: previous_assessments[user_id].score.normalized_values
                 for user_id in raw_vectors
@@ -341,8 +406,10 @@ class ContributorQualityModel:
             for user_id in raw_vectors
         }
         self.counters.increment("context_patches")
-        return (snapshots, raw_vectors, assessments), (
-            self._normalizer.fit_count if needs_refit else entry.fit_token
+        return (
+            (snapshots, raw_vectors, assessments),
+            (self._normalizer.fit_count if needs_refit else entry.fit_token),
+            fit_signature,
         )
 
     def _on_source_mutation(self, source: Source) -> None:
@@ -374,7 +441,16 @@ class ContributorQualityModel:
         if entry is not None and entry.source_ref() is not source:
             del self._incremental[entry_key]  # id(source) reused by a new object
             entry = None
-        if entry is not None and not deep and not entry.dirty:
+        if (
+            entry is not None
+            and not deep
+            and not entry.dirty
+            # Belt-and-braces O(1) cross-check: an announced mutation bumps
+            # the revision before watchers run, so a read racing ahead of
+            # this model's own watcher (e.g. an eager serving scheduler
+            # refreshing from inside the announcement) still detects it.
+            and entry.revision == source.content_revision
+        ):
             self.counters.increment("context_hits")
             self.counters.increment("staleness_flag_hits")
             return entry.context
@@ -384,26 +460,32 @@ class ContributorQualityModel:
             # Announced mutation with no structural effect (or a deep probe
             # over an unchanged source): the cached context is still exact.
             entry.dirty = False
+            entry.revision = source.content_revision
             self.counters.increment("context_hits")
             return entry.context
 
         resolved_ids = self._resolve_user_ids(source, user_key)
         cache_key = (fingerprint, resolved_ids)
+        walk = entry.walk if entry is not None else CommunityWalkCache()
         cached = self._contexts.get(cache_key)
         if cached is not None:
             self.counters.increment("context_hits")
             context = cached[1]
-            fit_token = (
-                entry.fit_token
-                if entry is not None and entry.context is context
-                else -1  # unknown normaliser state: force a re-fit on patch
-            )
+            if entry is not None and entry.context is context:
+                fit_token = entry.fit_token
+                fit_signature = entry.fit_signature
+            else:
+                fit_token = -1  # unknown normaliser state: force a re-fit on patch
+                fit_signature = {}
         elif entry is not None:
-            context, fit_token = self._patch_community(entry, source, resolved_ids)
+            context, fit_token, fit_signature = self._patch_community(
+                entry, source, resolved_ids
+            )
             self._contexts.put(cache_key, (source, context))
         else:
-            context = self._build_context(source, resolved_ids)
+            context = self._build_context(source, resolved_ids, walk=walk)
             fit_token = self._normalizer.fit_count
+            fit_signature = self._normalizer.fit_signature()
             # The cached entry anchors the source object (first element):
             # the fingerprint key contains id(source), which must not be
             # reused while the entry lives.
@@ -417,12 +499,17 @@ class ContributorQualityModel:
                 fingerprint=fingerprint,
                 context=context,
                 fit_token=fit_token,
+                revision=source.content_revision,
+                walk=walk,
+                fit_signature=fit_signature,
             )
             self._incremental[entry_key] = entry
         else:
             entry.fingerprint = fingerprint
             entry.context = context
             entry.fit_token = fit_token
+            entry.fit_signature = fit_signature
+            entry.revision = source.content_revision
         entry.dirty = False
         return entry.context
 

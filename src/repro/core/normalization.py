@@ -16,7 +16,7 @@ from __future__ import annotations
 
 import math
 from abc import ABC, abstractmethod
-from typing import Iterable, Mapping, Optional, Sequence
+from typing import Any, Iterable, Mapping, Optional, Sequence
 
 from repro.core.measures import MeasureDefinition, MeasureRegistry
 from repro.errors import NormalizationError
@@ -26,6 +26,7 @@ __all__ = [
     "BenchmarkNormalizer",
     "MinMaxNormalizer",
     "ZScoreNormalizer",
+    "confine_renormalization",
 ]
 
 
@@ -71,16 +72,90 @@ class Normalizer(ABC):
         self._fit_count += 1
         return self
 
+    def fit_signature(self) -> dict[str, tuple]:
+        """Per-measure signature of the fitted state, for refit confinement.
+
+        Each entry captures *everything* :meth:`_normalize_measure` reads
+        for that measure, so two fits with equal signatures for a measure
+        are guaranteed to normalise it identically — a refit whose
+        signature did not move for a measure leaves every previously
+        normalised value of that measure valid bit for bit.  Incremental
+        consumers (the quality models) compare signatures across refits and
+        re-normalise only the measures whose fit actually moved
+        (see :meth:`renormalize_measures`).
+
+        The base implementation returns ``{}``, meaning "signatures
+        unavailable": consumers must then treat every measure as moved.
+        The built-in normalizers all override it.
+        """
+        return {}
+
+    def renormalize_measures(
+        self,
+        vectors: Mapping[str, Mapping[str, float]],
+        names: Iterable[str],
+        previous: Mapping[str, Mapping[str, float]],
+    ) -> dict[str, dict[str, float]]:
+        """Re-normalise only the measures in ``names``, reusing ``previous``.
+
+        For every vector in ``vectors`` whose subject also appears in
+        ``previous``, measures outside ``names`` copy the previously
+        normalised value; measures in ``names`` (and every measure of a
+        subject missing from ``previous``) are recomputed with exactly the
+        arithmetic of :meth:`normalize_many`.  Provided ``previous`` was
+        produced by a fit whose signature differs from the current one only
+        on ``names`` (see :meth:`fit_signature`) and the raw vectors are
+        unchanged, the result is bit-identical to a full
+        :meth:`normalize_many` pass over ``vectors``.
+        """
+        if not self._fitted:
+            raise NormalizationError("normalizer must be fitted before use")
+        stale = set(names)
+        directions: dict[str, bool] = {}
+        normalized_vectors: dict[str, dict[str, float]] = {}
+        for subject_id, values in vectors.items():
+            previous_values = previous.get(subject_id)
+            normalized: dict[str, float] = {}
+            for name, value in values.items():
+                if (
+                    previous_values is not None
+                    and name not in stale
+                    and name in previous_values
+                ):
+                    normalized[name] = previous_values[name]
+                    continue
+                higher_is_better = directions.get(name)
+                if higher_is_better is None:
+                    higher_is_better = self._registry.get(name).higher_is_better
+                    directions[name] = higher_is_better
+                normalized[name] = self._normalize_directed(
+                    name, value, higher_is_better
+                )
+            normalized_vectors[subject_id] = normalized
+        return normalized_vectors
+
+    def _normalize_directed(
+        self, name: str, value: float, higher_is_better: bool
+    ) -> float:
+        """Single home of the per-value arithmetic: scale, clamp, flip.
+
+        Every public normalisation path (:meth:`normalize`,
+        :meth:`normalize_many`, :meth:`renormalize_measures`) goes through
+        this helper, so partially renormalised matrices can never drift
+        from full passes.
+        """
+        score = self._normalize_measure(name, float(value))
+        score = min(1.0, max(0.0, score))
+        if not higher_is_better:
+            score = 1.0 - score
+        return score
+
     def normalize(self, name: str, value: float) -> float:
         """Normalise ``value`` of measure ``name`` into ``[0, 1]`` (1 = best)."""
         if not self._fitted:
             raise NormalizationError("normalizer must be fitted before use")
         definition = self._registry.get(name)
-        score = self._normalize_measure(name, float(value))
-        score = min(1.0, max(0.0, score))
-        if not definition.higher_is_better:
-            score = 1.0 - score
-        return score
+        return self._normalize_directed(name, value, definition.higher_is_better)
 
     def normalize_all(self, values: Mapping[str, float]) -> dict[str, float]:
         """Normalise a full measure vector."""
@@ -106,11 +181,9 @@ class Normalizer(ABC):
                 if higher_is_better is None:
                     higher_is_better = self._registry.get(name).higher_is_better
                     directions[name] = higher_is_better
-                score = self._normalize_measure(name, float(value))
-                score = min(1.0, max(0.0, score))
-                if not higher_is_better:
-                    score = 1.0 - score
-                normalized[name] = score
+                normalized[name] = self._normalize_directed(
+                    name, value, higher_is_better
+                )
             normalized_vectors[subject_id] = normalized
         return normalized_vectors
 
@@ -167,26 +240,48 @@ class BenchmarkNormalizer(Normalizer):
         """Per-measure benchmark values (after fitting)."""
         return dict(self._benchmarks)
 
+    def fit_signature(self) -> dict[str, tuple]:
+        """Per-measure ``(benchmark, floor, log-scaled)`` fit signature."""
+        return {
+            name: (
+                self._benchmarks[name],
+                self._floors[name],
+                name in self._log_scaled,
+            )
+            for name in self._benchmarks
+        }
+
     def _fit_measure(self, name: str, values: list[float]) -> None:
         ordered = sorted(values)
         index = min(len(ordered) - 1, int(round(self._quantile * (len(ordered) - 1))))
         low_index = max(0, int(round((1.0 - self._quantile) * (len(ordered) - 1))))
         definition = self._definition(name)
         median = ordered[len(ordered) // 2]
+        # Membership in the log-scaled set is recomputed (not just added)
+        # per fit: a re-fit must normalise exactly like a fresh instance
+        # fitted on the same values, or long-lived incremental models
+        # would diverge from from-scratch rebuilds once a measure's
+        # spread crosses the threshold downward.
         if definition.higher_is_better:
             self._benchmarks[name] = ordered[index]
             self._floors[name] = ordered[0]
-            if median > 0 and self._benchmarks[name] / median > self._log_scale_threshold:
-                self._log_scaled.add(name)
+            log_scaled = (
+                median > 0
+                and self._benchmarks[name] / median > self._log_scale_threshold
+            )
         else:
             # For lower-is-better measures the "benchmark" is the low quantile.
             self._benchmarks[name] = ordered[-1]
             self._floors[name] = ordered[low_index]
-            if (
+            log_scaled = (
                 self._floors[name] > 0
-                and self._benchmarks[name] / self._floors[name] > self._log_scale_threshold
-            ):
-                self._log_scaled.add(name)
+                and self._benchmarks[name] / self._floors[name]
+                > self._log_scale_threshold
+            )
+        if log_scaled:
+            self._log_scaled.add(name)
+        else:
+            self._log_scaled.discard(name)
 
     def _normalize_measure(self, name: str, value: float) -> float:
         definition = self._definition(name)
@@ -224,6 +319,12 @@ class MinMaxNormalizer(Normalizer):
         self._minima: dict[str, float] = {}
         self._maxima: dict[str, float] = {}
 
+    def fit_signature(self) -> dict[str, tuple]:
+        """Per-measure ``(minimum, maximum)`` fit signature."""
+        return {
+            name: (self._minima[name], self._maxima[name]) for name in self._minima
+        }
+
     def _fit_measure(self, name: str, values: list[float]) -> None:
         self._minima[name] = min(values)
         self._maxima[name] = max(values)
@@ -248,6 +349,10 @@ class ZScoreNormalizer(Normalizer):
         self._means: dict[str, float] = {}
         self._stds: dict[str, float] = {}
 
+    def fit_signature(self) -> dict[str, tuple]:
+        """Per-measure ``(mean, standard deviation)`` fit signature."""
+        return {name: (self._means[name], self._stds[name]) for name in self._means}
+
     def _fit_measure(self, name: str, values: list[float]) -> None:
         mean = sum(values) / len(values)
         variance = sum((value - mean) ** 2 for value in values) / len(values)
@@ -262,6 +367,75 @@ class ZScoreNormalizer(Normalizer):
         # lying extremely far outside the reference distribution.
         z = max(-50.0, min(50.0, (value - self._means[name]) / std))
         return 1.0 / (1.0 + math.exp(-z / self._scale))
+
+
+def confine_renormalization(
+    normalizer: Normalizer,
+    counters: Any,
+    raw_vectors: Mapping[str, Mapping[str, float]],
+    changed_ids: "set[str]",
+    previous_normalized: Mapping[str, Mapping[str, float]],
+    previous_signature: Mapping[str, tuple],
+    fit_signature: Mapping[str, tuple],
+) -> dict:
+    """Normalise a patched matrix after a refit, confined per measure.
+
+    Shared by both quality models (ROADMAP (f)).  Subjects whose raw
+    vector changed (``changed_ids``) or that have no previous normalised
+    vector are normalised in full.  For the rest, the refit's per-measure
+    fit signatures are compared against the previous fit's: measures
+    whose fit did not move keep their previously normalised values
+    verbatim, and only the moved measures are recomputed.  When either
+    signature is unavailable the whole matrix is renormalised.  The
+    result is bit-identical to a full :meth:`Normalizer.normalize_many`
+    pass in every branch; ``counters`` (a
+    :class:`~repro.perf.counters.PerfCounters`) records which branch ran
+    (``fit_signature_skips`` / ``partial_renormalisations`` +
+    ``measures_renormalized``).
+    """
+    if not previous_signature or not fit_signature:
+        return normalizer.normalize_many(raw_vectors)
+    stale = {
+        name
+        for name, signature in fit_signature.items()
+        if previous_signature.get(name) != signature
+    }
+    changed = {
+        subject_id: vector
+        for subject_id, vector in raw_vectors.items()
+        if subject_id in changed_ids or subject_id not in previous_normalized
+    }
+    unchanged = {
+        subject_id: vector
+        for subject_id, vector in raw_vectors.items()
+        if subject_id not in changed
+    }
+    normalized_changed = normalizer.normalize_many(changed) if changed else {}
+    if not stale:
+        # The refit reproduced the previous fit exactly: every cached
+        # normalised value is still exact.
+        counters.increment("fit_signature_skips")
+        normalized_unchanged = {
+            subject_id: previous_normalized[subject_id] for subject_id in unchanged
+        }
+    elif len(stale) < len(fit_signature):
+        counters.increment("partial_renormalisations")
+        counters.increment("measures_renormalized", len(stale))
+        normalized_unchanged = normalizer.renormalize_measures(
+            unchanged, stale, previous_normalized
+        )
+    else:
+        normalized_unchanged = (
+            normalizer.normalize_many(unchanged) if unchanged else {}
+        )
+    return {
+        subject_id: (
+            normalized_changed[subject_id]
+            if subject_id in normalized_changed
+            else normalized_unchanged[subject_id]
+        )
+        for subject_id in raw_vectors
+    }
 
 
 def collect_reference_values(

@@ -31,6 +31,14 @@ and the ranking is patched via ``bisect`` instead of re-sorted.  The
 patched context is indistinguishable from a from-scratch rebuild — the
 equivalence is pinned bit-for-bit by ``tests/test_incremental_assessment.py``.
 
+When the patch needs a normaliser re-fit, renormalisation is further
+confined through per-measure *fit signatures*
+(:meth:`~repro.core.normalization.Normalizer.fit_signature`): measures
+whose fitted parameters did not move keep their previously normalised
+values verbatim, so a refit that only shifted one benchmark renormalises
+one measure, and a refit that reproduced the previous fit exactly
+renormalises nothing.
+
 Announced mutations — corpus ``add``/``remove``/``touch`` and in-place
 growth through the ``Source`` helpers (which announce themselves to their
 owning corpora) — raise the flag automatically.  Unannounced growth that
@@ -39,6 +47,13 @@ needs either ``deep=True`` on the next read, which forces the fingerprint
 scan, or a ``touch()``; count-preserving unannounced edits are visible to
 no tier and always require :meth:`~repro.sources.corpus.SourceCorpus.touch`
 (or :meth:`SourceQualityModel.invalidate`).
+
+Refresh is *lazy*: the first read after a mutation pays the patch.  To
+move that cost off the read path, register the model with an
+:class:`repro.serving.EagerRefreshScheduler`
+(``scheduler.register_source_model(model, corpus)``), which drives
+:meth:`assessment_context` in the background — the identical incremental
+path, so eager and lazy results are bit-identical.
 """
 
 from __future__ import annotations
@@ -54,6 +69,7 @@ from repro.core.normalization import (
     BenchmarkNormalizer,
     Normalizer,
     collect_reference_values,
+    confine_renormalization,
 )
 from repro.core.scoring import (
     QualityScore,
@@ -148,6 +164,10 @@ class _IncrementalEntry:
     benchmark_tracker: Optional[CorpusChangeTracker]
     context: AssessmentContext
     fit_token: int
+    #: Per-measure fit signature the context's normalised matrix was
+    #: computed with (``Normalizer.fit_signature``); an empty dict means
+    #: "unknown", forcing the next refit to renormalise every measure.
+    fit_signature: dict = field(default_factory=dict)
 
 
 class SourceQualityModel:
@@ -358,14 +378,15 @@ class SourceQualityModel:
         fingerprint: tuple,
         benchmark_corpus: Optional[SourceCorpus],
         benchmark_fingerprint: Optional[tuple],
-    ) -> tuple[AssessmentContext, int]:
+    ) -> tuple[AssessmentContext, int, dict]:
         """Patch ``entry.context`` to match the current corpus content.
 
-        Returns the patched context plus the normaliser fit token it
-        corresponds to.  The patch is built so that every float in the
-        result is produced by the same function, in the same state, over
-        the same inputs, in the same iteration order as a from-scratch
-        :meth:`_build_context` — the two are bit-identical:
+        Returns the patched context plus the normaliser fit token and
+        per-measure fit signature it corresponds to.  The patch is built so
+        that every float in the result is produced by the same function, in
+        the same state, over the same inputs, in the same iteration order
+        as a from-scratch :meth:`_build_context` — the two are
+        bit-identical:
 
         * only added/changed sources are re-crawled; raw vectors are
           re-measured for those sources only, unless the corpus-wide
@@ -374,7 +395,11 @@ class SourceQualityModel:
         * the normaliser is re-fitted only when the reference population
           changed (content or order) or when it was re-fitted for another
           corpus in between (fit-token mismatch); without a re-fit, only
-          the changed vectors are re-normalised and re-scored;
+          the changed vectors are re-normalised and re-scored.  When a
+          re-fit does run, its per-measure fit signatures are compared to
+          the previous fit's and renormalisation is confined to measures
+          whose fit actually moved (see
+          :func:`~repro.core.normalization.confine_renormalization`);
         * assessments whose raw vector, normalised vector and snapshot are
           all unchanged are reused as-is, and the cached ranking is patched
           via ``bisect`` for just the sources whose overall score moved.
@@ -464,9 +489,22 @@ class SourceQualityModel:
 
         needs_refit = population_changed or entry.fit_token != self._normalizer.fit_count
         if needs_refit:
+            previous_signature = entry.fit_signature
             self._fit_normalizer(collect_reference_values(reference_vectors))
-            normalized_vectors = self._normalizer.normalize_many(raw_vectors)
+            fit_signature = self._normalizer.fit_signature()
+            # ROADMAP (f): confine renormalisation to measures whose fit
+            # actually moved; bit-identical to a full normalize_many pass.
+            normalized_vectors = confine_renormalization(
+                self._normalizer,
+                self.counters,
+                raw_vectors,
+                changed_vector_ids,
+                previous.normalized_vectors,
+                previous_signature,
+                fit_signature,
+            )
         else:
+            fit_signature = entry.fit_signature
             normalized_vectors = {
                 source_id: previous.normalized_vectors[source_id]
                 for source_id in corpus_order
@@ -543,7 +581,11 @@ class SourceQualityModel:
         self.counters.increment("context_patches")
         # Seed the raw-measure cache so raw_measures() stays hot after a patch.
         self._measure_cache.put(fingerprint, (context.sources, snapshots, raw_vectors))
-        return context, (self._normalizer.fit_count if needs_refit else entry.fit_token)
+        return (
+            context,
+            (self._normalizer.fit_count if needs_refit else entry.fit_token),
+            fit_signature,
+        )
 
     def _patch_ranking(
         self,
@@ -640,6 +682,11 @@ class SourceQualityModel:
         ``deep=True`` skips the flag and forces the fingerprint scan; use it
         after *unannounced* in-place growth (objects appended directly into
         a source's internal lists, bypassing the ``Source`` helpers).
+
+        This is also the refresh entry point the eager serving layer
+        drives off the read path: it is idempotent, O(1) when the corpus
+        is unchanged, and produces bit-identical contexts whether called
+        eagerly (by a scheduler) or lazily (by the next read).
         """
         if len(corpus) == 0:
             raise AssessmentError("cannot assess an empty corpus")
@@ -668,12 +715,14 @@ class SourceQualityModel:
         context = self._contexts.get(cache_key)
         if context is not None:
             self.counters.increment("context_hits")
-            fit_token = (
-                entry.fit_token if entry is not None and entry.context is context
-                else -1  # unknown normaliser state: force a re-fit on patch
-            )
+            if entry is not None and entry.context is context:
+                fit_token = entry.fit_token
+                fit_signature = entry.fit_signature
+            else:
+                fit_token = -1  # unknown normaliser state: force a re-fit on patch
+                fit_signature = {}
         elif entry is not None:
-            context, fit_token = self._patch_context(
+            context, fit_token, fit_signature = self._patch_context(
                 entry, corpus, fingerprint, benchmark_corpus, benchmark_fingerprint
             )
             self._contexts.put(cache_key, context)
@@ -682,6 +731,7 @@ class SourceQualityModel:
                 corpus, fingerprint, benchmark_corpus, benchmark_fingerprint
             )
             fit_token = self._normalizer.fit_count
+            fit_signature = self._normalizer.fit_signature()
             self._contexts.put(cache_key, context)
 
         if entry is None:
@@ -701,11 +751,13 @@ class SourceQualityModel:
                 ),
                 context=context,
                 fit_token=fit_token,
+                fit_signature=fit_signature,
             )
             self._incremental[entry_key] = entry
         else:
             entry.context = context
             entry.fit_token = fit_token
+            entry.fit_signature = fit_signature
         entry.tracker.mark_clean()
         if entry.benchmark_tracker is not None:
             entry.benchmark_tracker.mark_clean()

@@ -102,6 +102,10 @@ class UnsearchableQueryError(SearchError):
         self.rule = rule
 
 
+class ServingError(ReproError):
+    """The eager-refresh serving layer was misused or a refresh failed."""
+
+
 class SentimentError(ReproError):
     """Sentiment analysis failed."""
 

@@ -38,6 +38,13 @@ escape hatch forcing a full fingerprint scan for *unannounced* mutations
 (direct appends into a source's internal lists); see
 :meth:`SearchEngine.refresh` and ``docs/PERFORMANCE.md`` for the cost
 model and the exact detection contract.
+
+Refresh is *lazy* by default — the first read after a mutation pays the
+patch.  For latency-critical serving, register the engine with an
+:class:`repro.serving.EagerRefreshScheduler`
+(``scheduler.register_search_engine(engine)``): the scheduler drives
+this same :meth:`SearchEngine.refresh` in the background so hot reads
+find a clean flag and serve in O(1).  Results are identical either way.
 """
 
 from __future__ import annotations
@@ -419,6 +426,13 @@ class SearchEngine:
         invisible to both tiers (count-preserving in-place edits that
         bypass the helpers) must be announced via ``touch()`` — the same
         contract the assessment-context fingerprints have always had.
+
+        ``refresh`` is also the entry point the eager serving layer
+        drives: an :class:`repro.serving.EagerRefreshScheduler` calls it
+        off the read path after corpus mutations, so the next read's
+        tier-1 check finds a clean flag.  It is idempotent and O(1) when
+        nothing changed, which is what makes eager scheduling safe to
+        apply at any time.
 
         When stale, the index is patched *incrementally*: only the
         added/removed/changed sources are (un)indexed, static scores are

@@ -1,0 +1,14 @@
+"""Eager refresh serving layer.
+
+Turns the corpus's change notifications into *eager background refresh*
+of the incremental consumers (search engine, quality models), so that
+latency-critical reads find a clean dirty flag and serve in O(1) instead
+of paying the patch cost on the read path.  See
+:mod:`repro.serving.scheduler` for the mode semantics (sync / deferred /
+coalescing with a debounce window) and ``docs/ARCHITECTURE.md`` for the
+consumer registration contract.
+"""
+
+from repro.serving.scheduler import ConsumerStats, EagerRefreshScheduler, RefreshMode
+
+__all__ = ["ConsumerStats", "EagerRefreshScheduler", "RefreshMode"]

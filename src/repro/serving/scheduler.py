@@ -1,0 +1,521 @@
+"""Eager refresh scheduling for latency-critical serving (ROADMAP (d)).
+
+Every consumer of a :class:`~repro.sources.corpus.SourceCorpus` — the
+search engine, the quality models — already refreshes *lazily*: each read
+checks an O(1) dirty flag and, when a mutation happened since the last
+read, patches its derived state incrementally before answering.  That
+keeps reads correct under any mutation stream, but it puts the patch cost
+on the *read path*: the first read after a burst of mutations absorbs the
+whole patch, which is exactly where an interactive mashup can least
+afford latency.
+
+:class:`EagerRefreshScheduler` moves that cost off the read path.  It
+subscribes to the corpus's :class:`~repro.sources.corpus.CorpusChange`
+notifications and drives the registered consumers' *ordinary* refresh
+entry points ahead of the next read, so a hot read finds a clean dirty
+flag and serves in O(1).  Three modes trade patch count against write
+latency:
+
+``sync``
+    Refresh inline, inside the mutation's notification: every event pays
+    one patch per consumer, reads are always clean.  Simplest, and the
+    right mode when mutations are rare.
+``deferred``
+    Mark work pending and apply it at the next :meth:`~EagerRefreshScheduler.flush`
+    / :meth:`~EagerRefreshScheduler.poll` (or as soon as the background
+    worker wakes).  Mutations return immediately; a burst of events that
+    arrives before the patch runs collapses into one patch.
+``coalescing``
+    Like ``deferred``, plus a *debounce window*: the patch is held until
+    the stream has been quiet for ``debounce_window`` seconds (bounded by
+    ``max_delay``, so a steady stream cannot starve serving forever).  A
+    burst of N mutations costs one patch per consumer, the mode to pair
+    with write-heavy workloads.
+
+**Correctness never depends on the scheduler.**  Eager refresh invokes the
+same incremental-maintenance paths the consumers run lazily (which are
+bit-identical to from-scratch rebuilds — see ``docs/PERFORMANCE.md``), and
+every consumer read path keeps its own dirty-flag check: if a read
+arrives before the scheduler got around to patching, the consumer simply
+patches itself lazily, exactly as without a scheduler.  The scheduler is
+therefore purely a latency optimisation, and eager results are
+bit-identical to lazy ones by construction (pinned by
+``tests/test_serving.py`` and re-asserted per event by
+``benchmarks/bench_eager_refresh.py``).
+
+The consumer registration contract is documented in
+``docs/ARCHITECTURE.md``: anything callable can be registered via
+:meth:`~EagerRefreshScheduler.register`; convenience wrappers cover the
+built-in consumers.  Registrations may carry a *source filter* so that
+per-source consumers (a contributor model watching one community) are
+only refreshed by events touching their source.
+
+Threading: :meth:`~EagerRefreshScheduler.start` launches a daemon worker
+that applies deferred/coalescing patches in the background.  Event
+intake and patching use *separate* locks: notifications from mutating
+threads only take the intake lock briefly to record the event (they
+never wait for a running patch), while consumer refreshes are serialised
+under the patch lock (``scheduler.lock``).  The built-in consumers are
+not internally thread-safe, so when reads happen on a different thread
+than the background worker, perform them under ``scheduler.lock``;
+single-threaded callers (the common case — drive the scheduler with
+``flush()``/``poll()``) need no locking at all.
+
+Error policy: a consumer refresh that raises is always recorded in the
+consumer's :class:`ConsumerStats` (and the ``refresh_errors`` counter).
+Explicit foreground calls — :meth:`~EagerRefreshScheduler.flush`,
+:meth:`~EagerRefreshScheduler.poll`,
+:meth:`~EagerRefreshScheduler.refresh_all` — additionally re-raise the
+first failure as a :class:`~repro.errors.ServingError`.  Sync-mode
+patches (which run inside the *mutation's* notification) and the
+background worker do not raise: a failed eager refresh must not make an
+already-applied corpus mutation appear to fail, nor starve other
+listeners of the event — the consumer simply falls back to lazy refresh
+on its next read, where the error (if persistent) surfaces in context.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from dataclasses import dataclass, field
+from enum import Enum
+from typing import Any, Callable, Iterable, Optional
+
+from repro.errors import ServingError
+from repro.perf.counters import PerfCounters
+from repro.sources.corpus import CorpusChange, SourceCorpus
+
+__all__ = ["RefreshMode", "ConsumerStats", "EagerRefreshScheduler"]
+
+
+class RefreshMode(str, Enum):
+    """When the scheduler patches its consumers relative to mutations."""
+
+    #: Patch inline, inside each mutation's change notification.
+    SYNC = "sync"
+    #: Patch at the next flush/poll or background wake-up, without a window.
+    DEFERRED = "deferred"
+    #: Patch once the stream has been quiet for the debounce window.
+    COALESCING = "coalescing"
+
+
+@dataclass
+class ConsumerStats:
+    """Per-consumer bookkeeping exposed by :meth:`EagerRefreshScheduler.stats`."""
+
+    name: str
+    patches: int = 0
+    skips: int = 0
+    errors: int = 0
+    #: ``"ExceptionType: message"`` of the most recent failed refresh.  A
+    #: string, not the exception object: a live exception would pin the
+    #: whole failed patch call stack (matrices, snapshots) via its
+    #: traceback for the long-lived scheduler's lifetime.
+    last_error: Optional[str] = None
+    last_duration_seconds: float = 0.0
+
+
+@dataclass
+class _Consumer:
+    """One registered refresh target."""
+
+    name: str
+    refresh: Callable[[], Any]
+    #: When set, only events whose ``source_id`` is in this set trigger a
+    #: refresh of this consumer (per-source consumers such as a
+    #: contributor model watching one community).
+    source_filter: Optional[frozenset] = None
+    stats: ConsumerStats = field(default_factory=lambda: ConsumerStats(name=""))
+
+    def __post_init__(self) -> None:
+        self.stats.name = self.name
+
+
+class EagerRefreshScheduler:
+    """Subscribe to corpus changes and patch registered consumers eagerly.
+
+    See the module docstring for the mode semantics.  The scheduler holds
+    a *strong* subscription on the corpus and strong references to its
+    consumers; call :meth:`close` (or use it as a context manager) when
+    done, which unsubscribes and stops the background worker.
+    """
+
+    def __init__(
+        self,
+        corpus: SourceCorpus,
+        mode: RefreshMode | str = RefreshMode.COALESCING,
+        *,
+        debounce_window: float = 0.05,
+        max_delay: float = 0.25,
+        clock: Callable[[], float] = time.monotonic,
+    ) -> None:
+        if debounce_window < 0:
+            raise ServingError("debounce_window must be non-negative")
+        if max_delay < debounce_window:
+            raise ServingError("max_delay must be at least the debounce window")
+        self._corpus = corpus
+        self._mode = RefreshMode(mode)
+        self._debounce_window = float(debounce_window)
+        self._max_delay = float(max_delay)
+        self._clock = clock
+        self._consumers: dict[str, _Consumer] = {}
+        #: Intake lock: protects the pending-event state and the consumer
+        #: registry.  Notifications only ever take this one, briefly.
+        self._intake = threading.RLock()
+        self._wakeup = threading.Condition(self._intake)
+        #: Patch lock: serialises consumer refreshes (and the reads that
+        #: must not race them — see the ``lock`` property).  Always
+        #: acquired *before* the intake lock, never while holding it.
+        self._patch_lock = threading.RLock()
+        #: Source identifiers touched since the last applied patch.
+        self._pending_ids: set[str] = set()
+        self._first_pending_at: Optional[float] = None
+        self._last_event_at: Optional[float] = None
+        self._auto_names = 0
+        self._thread: Optional[threading.Thread] = None
+        self._closed = False
+        self.counters = PerfCounters()
+        corpus.subscribe(self._on_change)
+
+    # -- accessors -----------------------------------------------------------------
+
+    @property
+    def corpus(self) -> SourceCorpus:
+        """The corpus whose change notifications drive the scheduler."""
+        return self._corpus
+
+    @property
+    def mode(self) -> RefreshMode:
+        """The configured refresh mode."""
+        return self._mode
+
+    @property
+    def lock(self) -> threading.RLock:
+        """Lock serialising patches; hold it for reads from other threads."""
+        return self._patch_lock
+
+    @property
+    def pending(self) -> bool:
+        """True when at least one event awaits a patch (always False in sync mode)."""
+        with self._intake:
+            return bool(self._pending_ids)
+
+    @property
+    def running(self) -> bool:
+        """True while the background worker thread is alive."""
+        thread = self._thread
+        return thread is not None and thread.is_alive()
+
+    def consumer_names(self) -> list[str]:
+        """Names of the registered consumers, in registration order."""
+        with self._intake:
+            return list(self._consumers)
+
+    def stats(self) -> dict[str, ConsumerStats]:
+        """Per-consumer patch/skip/error statistics keyed by consumer name."""
+        with self._intake:
+            return {name: consumer.stats for name, consumer in self._consumers.items()}
+
+    # -- registration ---------------------------------------------------------------
+
+    def register(
+        self,
+        name: str,
+        refresh: Callable[[], Any],
+        *,
+        source_ids: Optional[Iterable[str]] = None,
+    ) -> None:
+        """Register ``refresh`` to be driven eagerly under ``name``.
+
+        ``refresh`` must be an idempotent zero-argument callable that
+        brings the consumer's derived state in sync with the corpus — for
+        the built-in consumers that is exactly their lazy refresh entry
+        point, which is what guarantees eager results are bit-identical to
+        lazy ones.  ``source_ids`` optionally restricts the consumer to
+        events touching those sources.  Registering an existing name
+        replaces it.
+        """
+        consumer = _Consumer(
+            name=name,
+            refresh=refresh,
+            source_filter=frozenset(source_ids) if source_ids is not None else None,
+        )
+        with self._intake:
+            self._consumers[name] = consumer
+
+    def _auto_name(self, prefix: str) -> str:
+        """A fresh consumer name that can never replace a live registration."""
+        with self._intake:
+            while True:
+                name = f"{prefix}-{self._auto_names}"
+                self._auto_names += 1
+                if name not in self._consumers:
+                    return name
+
+    def register_search_engine(self, engine: Any, name: Optional[str] = None) -> str:
+        """Register a :class:`~repro.search.engine.SearchEngine` (``engine.refresh``)."""
+        name = name or self._auto_name("search-engine")
+        self.register(name, engine.refresh)
+        return name
+
+    def register_source_model(
+        self,
+        model: Any,
+        corpus: Optional[SourceCorpus] = None,
+        benchmark_corpus: Optional[SourceCorpus] = None,
+        name: Optional[str] = None,
+    ) -> str:
+        """Register a :class:`~repro.core.source_quality.SourceQualityModel`.
+
+        The eager refresh drives ``model.assessment_context(corpus,
+        benchmark_corpus)`` — the same incremental path every model read
+        goes through.  ``corpus`` defaults to the scheduler's corpus.
+        """
+        target = corpus if corpus is not None else self._corpus
+        name = name or self._auto_name("source-model")
+        self.register(
+            name, lambda: model.assessment_context(target, benchmark_corpus)
+        )
+        return name
+
+    def register_contributor_model(
+        self, model: Any, source: Any, name: Optional[str] = None
+    ) -> str:
+        """Register a contributor model for one source's community.
+
+        The consumer is filtered to events touching ``source`` (other
+        sources' mutations cannot stale this community), and the eager
+        refresh drives ``model.refresh(source)``.
+        """
+        name = name or self._auto_name(f"contributor-model-{source.source_id}")
+        self.register(
+            name,
+            lambda: model.refresh(source),
+            source_ids=(source.source_id,),
+        )
+        return name
+
+    def unregister(self, name: str) -> bool:
+        """Remove a registered consumer; returns False when unknown."""
+        with self._intake:
+            return self._consumers.pop(name, None) is not None
+
+    # -- event intake ----------------------------------------------------------------
+
+    def _on_change(self, change: CorpusChange) -> None:
+        with self._intake:
+            if self._closed:
+                return
+            self.counters.increment("notifications")
+            if self._pending_ids:
+                self.counters.increment("coalesced_events")
+            self._pending_ids.add(change.source_id)
+            now = self._clock()
+            if self._first_pending_at is None:
+                self._first_pending_at = now
+            self._last_event_at = now
+            if self._mode is not RefreshMode.SYNC:
+                self._wakeup.notify_all()
+                return
+        # Sync mode: patch on the mutating thread, outside the intake lock
+        # and *without raising* — a failed eager refresh must not make the
+        # already-applied mutation appear to fail, nor starve the corpus's
+        # later-registered listeners of this event (errors are recorded in
+        # the consumer stats; the consumer falls back to lazy refresh).
+        self._apply(raise_errors=False)
+
+    # -- patching --------------------------------------------------------------------
+
+    def due(self, now: Optional[float] = None) -> bool:
+        """True when pending work should be applied at ``now`` (poll contract).
+
+        Deferred mode is due as soon as anything is pending; coalescing
+        mode is due once the stream has been quiet for the debounce window
+        or the oldest pending event has waited ``max_delay``.
+        """
+        with self._intake:
+            return self._due_locked(self._clock() if now is None else now)
+
+    def _due_locked(self, now: float) -> bool:
+        if not self._pending_ids:
+            return False
+        if self._mode is not RefreshMode.COALESCING:
+            return True
+        assert self._last_event_at is not None and self._first_pending_at is not None
+        return (
+            now - self._last_event_at >= self._debounce_window
+            or now - self._first_pending_at >= self._max_delay
+        )
+
+    def poll(self) -> int:
+        """Apply pending work if it is due; return the number of patches run.
+
+        The foreground pump for callers without a background worker:
+        call it from the serving loop (e.g. once per request batch).
+        """
+        with self._intake:
+            if not self._due_locked(self._clock()):
+                return 0
+        return self._apply(raise_errors=True)
+
+    def flush(self) -> int:
+        """Apply pending work *now*, ignoring the debounce window.
+
+        Returns the number of consumer patches run (0 when nothing was
+        pending).  Also the deterministic hook tests and benchmarks use to
+        force the eager patch without waiting on wall-clock time.
+        """
+        return self._apply(raise_errors=True)
+
+    def refresh_all(self) -> int:
+        """Unconditionally run every registered consumer's refresh once.
+
+        Useful right after registration to warm consumers up so the first
+        mutation patches incrementally instead of building from scratch.
+        """
+        with self._patch_lock:
+            with self._intake:
+                self._pending_ids.clear()
+                self._first_pending_at = None
+                self._last_event_at = None
+                consumers = tuple(self._consumers.values())
+            return self._refresh_consumers(consumers, raise_errors=True)
+
+    def _apply(self, raise_errors: bool) -> int:
+        """Apply the pending patch to every matching consumer.
+
+        Consumer refreshes run under the patch lock only; the intake lock
+        is taken just long enough to snapshot-and-clear the pending state,
+        so mutating threads are never blocked behind a running patch.
+        """
+        with self._patch_lock:
+            with self._intake:
+                if not self._pending_ids:
+                    return 0
+                touched = frozenset(self._pending_ids)
+                self._pending_ids.clear()
+                self._first_pending_at = None
+                self._last_event_at = None
+                matching: list[_Consumer] = []
+                for consumer in self._consumers.values():
+                    if (
+                        consumer.source_filter is not None
+                        and not consumer.source_filter & touched
+                    ):
+                        consumer.stats.skips += 1
+                        self.counters.increment("consumer_skips")
+                        continue
+                    matching.append(consumer)
+                self.counters.increment("patches_applied")
+            return self._refresh_consumers(matching, raise_errors)
+
+    def _refresh_consumers(
+        self, consumers: Iterable[_Consumer], raise_errors: bool
+    ) -> int:
+        """Run the refreshes (patch lock held by every caller)."""
+        patched = 0
+        errors: list[tuple[str, BaseException]] = []
+        for consumer in consumers:
+            started = self._clock()
+            try:
+                consumer.refresh()
+            except Exception as exc:  # noqa: BLE001 - recorded; re-raised below
+                consumer.stats.errors += 1
+                consumer.stats.last_error = f"{type(exc).__name__}: {exc}"
+                self.counters.increment("refresh_errors")
+                errors.append((consumer.name, exc))
+            else:
+                consumer.stats.patches += 1
+                patched += 1
+                self.counters.increment("consumers_patched")
+            consumer.stats.last_duration_seconds = self._clock() - started
+        if errors and raise_errors:
+            # Explicit foreground calls get the failure; sync notifications
+            # and the background worker record it (see ConsumerStats) and
+            # keep serving the other consumers.
+            name, exc = errors[0]
+            raise ServingError(f"eager refresh of consumer {name!r} failed") from exc
+        return patched
+
+    # -- background worker -------------------------------------------------------------
+
+    def start(self) -> None:
+        """Launch the daemon worker applying deferred/coalescing patches.
+
+        A no-op in sync mode (patches already run inline) and when the
+        worker is already running.  Incompatible with an injected
+        ``clock``: the worker sleeps on real Condition timeouts, so a
+        simulated clock would never make pending work due — drive such a
+        scheduler with :meth:`poll`/:meth:`flush` instead.
+        """
+        if self._mode is RefreshMode.SYNC:
+            return
+        if self._clock is not time.monotonic:
+            raise ServingError(
+                "the background worker needs the real clock; "
+                "with an injected clock, drive the scheduler via poll()/flush()"
+            )
+        with self._intake:
+            if self._closed:
+                raise ServingError("scheduler is closed")
+            if self.running:
+                return
+            self._thread = threading.Thread(
+                target=self._worker, name="eager-refresh-scheduler", daemon=True
+            )
+            self._thread.start()
+
+    def stop(self, timeout: Optional[float] = 5.0) -> None:
+        """Stop the background worker (pending work stays pending)."""
+        with self._intake:
+            thread = self._thread
+            self._thread = None
+            self._wakeup.notify_all()
+        if thread is not None and thread.is_alive():
+            thread.join(timeout=timeout)
+
+    def _worker(self) -> None:
+        while True:
+            with self._intake:
+                if self._thread is not threading.current_thread() or self._closed:
+                    return
+                if not self._pending_ids:
+                    self._wakeup.wait(timeout=0.5)
+                    continue
+                now = self._clock()
+                if not self._due_locked(now):
+                    assert self._last_event_at is not None
+                    assert self._first_pending_at is not None
+                    deadline = min(
+                        self._last_event_at + self._debounce_window,
+                        self._first_pending_at + self._max_delay,
+                    )
+                    self._wakeup.wait(timeout=max(0.0, deadline - now))
+                    continue
+            # Due: patch outside the intake lock so mutating threads are
+            # never blocked behind the running refreshes.
+            self._apply(raise_errors=False)
+
+    # -- lifecycle ----------------------------------------------------------------------
+
+    def close(self) -> None:
+        """Unsubscribe from the corpus and stop the worker (idempotent).
+
+        Pending work is *not* applied: after ``close`` the consumers are
+        back to plain lazy refresh, which remains correct.
+        """
+        with self._intake:
+            if self._closed:
+                return
+            self._closed = True
+            self._pending_ids.clear()
+            self._wakeup.notify_all()
+        self.stop()
+        self._corpus.unsubscribe(self._on_change)
+
+    def __enter__(self) -> "EagerRefreshScheduler":
+        return self
+
+    def __exit__(self, *exc_info: Any) -> None:
+        self.close()

@@ -21,6 +21,13 @@ flag fed by those notifications (see
 content fingerprint only to localise a detected change — or on explicit
 ``deep=True`` reads covering unannounced growth that bypassed the
 helpers.
+
+By default those consumers refresh *lazily* — the first read after a
+mutation pays the incremental patch.  For latency-critical serving, an
+:class:`repro.serving.EagerRefreshScheduler` can subscribe to the same
+notifications and drive the consumers' refresh off the read path (see
+``docs/ARCHITECTURE.md``); either way the corpus itself only announces
+mutations, it never patches anyone.
 """
 
 from __future__ import annotations
@@ -106,8 +113,12 @@ class SourceCorpus:
         """Register ``listener`` to receive a :class:`CorpusChange` per mutation.
 
         Listeners are invoked synchronously, after the mutation has been
-        applied and the version bumped.  Subscribing the same callable
-        twice is a no-op.
+        applied and the version bumped — but in *registration order*, so a
+        listener must not assume the corpus's other subscribers (e.g. a
+        consumer's dirty-flag tracker) have already observed the event;
+        cross-check a monotonic counter (``version``,
+        ``Source.content_revision``) instead.  Subscribing the same
+        callable twice is a no-op.
 
         With ``weak=True`` the corpus holds only a weak reference (a
         ``WeakMethod`` for bound methods), and the entry is pruned once

@@ -24,9 +24,14 @@ from dataclasses import dataclass, field
 from typing import Any, Iterable, Optional
 
 from repro.errors import UnknownUserError
+from repro.sources.diffing import (
+    diff_fingerprint_maps,
+    discussion_fingerprint,
+    discussion_fingerprint_map,
+)
 from repro.sources.models import Discussion, Interaction, InteractionType, Source
 
-__all__ = ["CrawlSnapshot", "ContributorSnapshot", "Crawler"]
+__all__ = ["CrawlSnapshot", "ContributorSnapshot", "CommunityWalkCache", "Crawler"]
 
 
 @dataclass
@@ -171,6 +176,53 @@ class ContributorSnapshot:
             "comments_per_discussion": self.comments_per_discussion,
             "interactions_per_discussion_per_day": self.interactions_per_discussion_per_day,
         }
+
+
+@dataclass
+class _DiscussionFragment:
+    """Per-discussion contributor aggregates, reusable across community walks.
+
+    A fragment is a pure function of one discussion's content: what every
+    participating user posted there (post/comment/read counts, per-category
+    counts, tag counts in post order).  The batched community crawl merges
+    fragments in discussion order, so recomputing only the *changed*
+    discussions' fragments and reusing the rest produces snapshots that are
+    bit-identical to a full walk.  The fragment stores the discussion
+    object itself: its fingerprint embeds ``id(discussion)``, which must
+    not be reused by a new object while the fragment lives.
+    """
+
+    discussion: Discussion
+    fingerprint: tuple
+    is_open: bool
+    #: user -> (posts, comments, reads received, per-category post counts,
+    #: distinct-tag counts in post order).
+    contributions: dict[str, tuple[int, int, int, dict[str, int], tuple[int, ...]]]
+
+
+@dataclass
+class CommunityWalkCache:
+    """Reusable state of one source's batched community walk (ROADMAP (e)).
+
+    Owned by a :class:`~repro.core.contributor_quality.ContributorQualityModel`
+    incremental entry and threaded into
+    :meth:`Crawler.crawl_contributors_batched`: per-discussion fragments
+    keyed by discussion identifier (diffed against the current discussion
+    fingerprints so only touched threads are re-walked), the
+    received/performed interaction tables (reused while the interaction
+    count is unchanged), and the source's
+    :attr:`~repro.sources.models.Source.touch_count` at the last walk — an
+    explicit ``touch()`` cannot be localised to a discussion, so a moved
+    count forces a full re-walk.  :attr:`last_stats` reports what the most
+    recent walk actually did (consumed by the model's perf counters).
+    """
+
+    fragments: dict[str, _DiscussionFragment] = field(default_factory=dict)
+    interactions_len: int = -1
+    received: dict[str, list[Interaction]] = field(default_factory=dict)
+    performed: dict[str, list[Interaction]] = field(default_factory=dict)
+    touch_count: int = -1
+    last_stats: dict[str, int] = field(default_factory=dict)
 
 
 class Crawler:
@@ -353,8 +405,51 @@ class Crawler:
             user_id: self.crawl_contributor(source, user_id) for user_id in user_ids
         }
 
+    @staticmethod
+    def _discussion_fragment(discussion: Discussion) -> _DiscussionFragment:
+        """Compute one discussion's per-user contribution fragment.
+
+        The aggregation mirrors the original single-pass loop exactly
+        (per-user iteration in first-post order, tag counts in post order),
+        so merging fragments reproduces the full walk bit for bit.
+        """
+        authored_here: dict[str, list] = {}
+        for post in discussion.posts:
+            authored_here.setdefault(post.author_id, []).append(post)
+        comments_here: dict[str, int] = defaultdict(int)
+        for post in discussion.comments:
+            comments_here[post.author_id] += 1
+        contributions: dict[str, tuple[int, int, int, dict[str, int], tuple[int, ...]]] = {}
+        for user_id, posts in authored_here.items():
+            post_count = 0
+            reads = 0
+            categories: dict[str, int] = {}
+            tag_counts: list[int] = []
+            for post in posts:
+                post_count += 1
+                if post.category:
+                    categories[post.category] = categories.get(post.category, 0) + 1
+                tag_counts.append(len(post.distinct_tags()))
+                reads += post.read_count
+            contributions[user_id] = (
+                post_count,
+                comments_here[user_id],
+                reads,
+                categories,
+                tuple(tag_counts),
+            )
+        return _DiscussionFragment(
+            discussion=discussion,
+            fingerprint=discussion_fingerprint(discussion),
+            is_open=discussion.is_open,
+            contributions=contributions,
+        )
+
     def crawl_contributors_batched(
-        self, source: Source, user_ids: Optional[Iterable[str]] = None
+        self,
+        source: Source,
+        user_ids: Optional[Iterable[str]] = None,
+        walk: Optional[CommunityWalkCache] = None,
     ) -> dict[str, ContributorSnapshot]:
         """Single-pass batch form of :meth:`crawl_contributors`.
 
@@ -364,8 +459,51 @@ class Crawler:
         per discussion) are appended in the same (discussion, post) order
         the per-user crawl visits, so every snapshot is *identical* to the
         per-user path, float for float.
+
+        With a :class:`CommunityWalkCache` the walk is additionally
+        *diff-restricted*: the current per-discussion fingerprints are
+        diffed against the cached fragments'
+        (:func:`~repro.sources.diffing.diff_fingerprint_maps` over
+        :func:`~repro.sources.diffing.discussion_fingerprint` maps) and
+        only added/changed discussions are re-walked at post granularity;
+        unchanged fragments and the interaction tables (while the
+        interaction count is unchanged) are reused, then merged in
+        discussion order so the result stays bit-identical to an
+        unrestricted walk.  Two cases force a full re-walk: a moved
+        ``source.touch_count`` (an explicit ``touch()`` cannot be localised
+        to a discussion) and duplicate discussion identifiers (the fragment
+        map would alias).  The cache is updated in place and reports what
+        the walk did in ``walk.last_stats``.
         """
         observation_day = source.observation_day
+        discussions = source.discussions
+        discussion_ids = [discussion.discussion_id for discussion in discussions]
+        unique_ids = len(set(discussion_ids)) == len(discussion_ids)
+        full_walk = (
+            walk is None
+            or not unique_ids
+            or walk.touch_count != source.touch_count
+        )
+
+        reused = 0
+        if full_walk:
+            fragments = [self._discussion_fragment(d) for d in discussions]
+            walked = len(fragments)
+        else:
+            previous_fps = {
+                discussion_id: fragment.fingerprint
+                for discussion_id, fragment in walk.fragments.items()
+            }
+            current_fps = discussion_fingerprint_map(source)
+            stale = set(diff_fingerprint_maps(previous_fps, current_fps).touched)
+            fragments = []
+            for discussion in discussions:
+                if discussion.discussion_id in stale:
+                    fragments.append(self._discussion_fragment(discussion))
+                else:
+                    fragments.append(walk.fragments[discussion.discussion_id])
+                    reused += 1
+            walked = len(stale)
 
         per_user_posts: dict[str, int] = defaultdict(int)
         per_user_comments: dict[str, int] = defaultdict(int)
@@ -378,35 +516,61 @@ class Crawler:
         per_user_tag_counts: dict[str, list[int]] = defaultdict(list)
         per_user_comments_per_discussion: dict[str, list[float]] = defaultdict(list)
 
-        for discussion in source.discussions:
-            authored_here: dict[str, list] = {}
-            for post in discussion.posts:
-                authored_here.setdefault(post.author_id, []).append(post)
-            comments_here: dict[str, int] = defaultdict(int)
-            for post in discussion.comments:
-                comments_here[post.author_id] += 1
-            for user_id, posts in authored_here.items():
+        for fragment in fragments:
+            for user_id, (
+                post_count,
+                comments,
+                reads,
+                categories,
+                tag_counts,
+            ) in fragment.contributions.items():
                 per_user_participated[user_id] += 1
-                if discussion.is_open:
+                if fragment.is_open:
                     per_user_open[user_id] += 1
-                per_user_comments[user_id] += comments_here[user_id]
-                per_user_comments_per_discussion[user_id].append(
-                    float(comments_here[user_id])
-                )
-                categories = per_user_categories[user_id]
-                tag_counts = per_user_tag_counts[user_id]
-                for post in posts:
-                    per_user_posts[user_id] += 1
-                    if post.category:
-                        categories[post.category] += 1
-                    tag_counts.append(len(post.distinct_tags()))
-                    per_user_reads[user_id] += post.read_count
+                per_user_comments[user_id] += comments
+                per_user_comments_per_discussion[user_id].append(float(comments))
+                merged_categories = per_user_categories[user_id]
+                for name, count in categories.items():
+                    merged_categories[name] += count
+                per_user_tag_counts[user_id].extend(tag_counts)
+                per_user_posts[user_id] += post_count
+                per_user_reads[user_id] += reads
 
-        received: dict[str, list[Interaction]] = defaultdict(list)
-        performed: dict[str, list[Interaction]] = defaultdict(list)
-        for interaction in source.interactions:
-            received[interaction.target_user_id].append(interaction)
-            performed[interaction.actor_id].append(interaction)
+        if (
+            full_walk
+            or walk is None
+            or len(source.interactions) != walk.interactions_len
+        ):
+            received: dict[str, list[Interaction]] = defaultdict(list)
+            performed: dict[str, list[Interaction]] = defaultdict(list)
+            for interaction in source.interactions:
+                received[interaction.target_user_id].append(interaction)
+                performed[interaction.actor_id].append(interaction)
+            interactions_rewalked = 1
+        else:
+            received = walk.received
+            performed = walk.performed
+            interactions_rewalked = 0
+
+        if walk is not None:
+            walk.fragments = (
+                {
+                    fragment.discussion.discussion_id: fragment
+                    for fragment in fragments
+                }
+                if unique_ids
+                else {}
+            )
+            walk.interactions_len = len(source.interactions)
+            walk.received = received
+            walk.performed = performed
+            walk.touch_count = source.touch_count
+            walk.last_stats = {
+                "discussions_walked": walked,
+                "discussions_reused": reused,
+                "full_walk": 1 if full_walk else 0,
+                "interactions_rewalked": interactions_rewalked,
+            }
 
         if user_ids is None:
             user_ids = sorted(per_user_posts)

@@ -29,6 +29,16 @@ verbatim:
   classifies the current corpus into added / changed / removed sources in
   one pass, returning the current source objects and fingerprints so the
   caller can re-process exactly the affected subset.
+* :func:`discussion_fingerprint` / :func:`discussion_fingerprint_map` —
+  the same localisation one granularity down: per-discussion fingerprints
+  let the contributor model diff individual threads
+  (via :func:`diff_fingerprint_maps`, which works on any id→fingerprint
+  mapping) and restrict its community walk to the touched ones.
+
+Both tiers are *mode-agnostic*: lazy consumers run them on the read path,
+and the eager serving layer (:mod:`repro.serving`) runs the very same
+refresh entry points in the background — which is why eager and lazy
+results are bit-identical by construction.
 """
 
 from __future__ import annotations
@@ -48,6 +58,8 @@ __all__ = [
     "diff_fingerprints",
     "diff_fingerprint_maps",
     "fingerprint_map",
+    "discussion_fingerprint",
+    "discussion_fingerprint_map",
     "CorpusChangeTracker",
 ]
 
@@ -95,6 +107,42 @@ def diff_fingerprint_maps(
             changed.append(source_id)
     removed = [source_id for source_id in previous if source_id not in current]
     return CorpusDiff(added=tuple(added), changed=tuple(changed), removed=tuple(removed))
+
+
+def discussion_fingerprint(discussion: Any) -> tuple:
+    """Structural fingerprint of one discussion thread.
+
+    The discussion-granularity analogue of
+    :func:`repro.perf.cache.source_fingerprint`: object identity, the post
+    count and the open flag.  It changes whenever a discussion object is
+    replaced or posts are appended to it (including direct appends into
+    ``discussion.posts``, once some other tier triggered the scan), and
+    whenever the thread is closed or reopened.  Post-level edits that keep
+    the count identical (rewording, re-tagging, author changes) are
+    invisible — exactly the blind spot ``Source.touch()`` exists for, which
+    is why consumers of per-discussion diffs must fall back to a full walk
+    when :attr:`~repro.sources.models.Source.touch_count` moved.
+
+    Because the fingerprint embeds ``id(discussion)``, any cache keyed on
+    it must anchor the discussion object (the contributor model's community
+    walk stores the object inside each cached fragment).
+    """
+    return (id(discussion), len(discussion.posts), discussion.is_open)
+
+
+def discussion_fingerprint_map(source: Any) -> dict[str, tuple]:
+    """Per-discussion fingerprints of ``source`` keyed by discussion identifier.
+
+    Feed two of these to :func:`diff_fingerprint_maps` to classify a
+    source's discussions into added / changed / removed — the diff the
+    contributor model threads into
+    :meth:`~repro.sources.crawler.Crawler.crawl_contributors_batched` so
+    the community walk re-visits only the touched threads.
+    """
+    return {
+        discussion.discussion_id: discussion_fingerprint(discussion)
+        for discussion in source.discussions
+    }
 
 
 def diff_fingerprints(

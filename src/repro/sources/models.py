@@ -345,6 +345,15 @@ class Source:
     #: transient crawl-time state, not content: excluded from equality and
     #: from serialisation.
     content_revision: int = field(default=0, compare=False)
+    #: Monotonic count of *explicit* :meth:`touch` calls (helper growth does
+    #: not bump it).  An explicit touch announces an edit the structural
+    #: fingerprints cannot localise — "something changed, you cannot tell
+    #: what" — so diff-restricted consumers (the contributor model's
+    #: per-discussion community walk) fall back to a full re-walk whenever
+    #: this counter moved, while structurally visible helper growth keeps
+    #: the restricted path.  Transient crawl-time state like
+    #: ``content_revision``: excluded from equality and serialisation.
+    touch_count: int = field(default=0, compare=False)
     #: Weak references to mutation watchers (see :meth:`watch_mutations`).
     #: Transient wiring, not content: excluded from init, equality, repr and
     #: serialisation.
@@ -481,8 +490,15 @@ class Source:
         a :class:`Discussion` — so fingerprint/probe-keyed caches (search
         index, panel observations, assessment contexts) re-derive their
         state from the current content.
+
+        Because an explicit touch carries no information about *where* the
+        edit happened, it also bumps :attr:`touch_count`, which tells
+        diff-restricted consumers (e.g. the contributor model's
+        per-discussion community walk) to fall back to a full re-walk
+        instead of trusting their per-discussion fingerprints.
         """
         self.content_revision += 1
+        self.touch_count += 1
         self._announce_mutation()
         return self.content_revision
 
