@@ -6,11 +6,15 @@ export PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH))
 
 BENCH_JSON := BENCH_perf.json
 
-.PHONY: test bench perf perf-smoke docs
+.PHONY: test stress bench perf perf-smoke docs
 
 ## tier-1 test suite (must stay green; see ROADMAP.md)
 test:
 	$(PYTHON) -m pytest -x -q
+
+## concurrency stress tests only (reader/mutator thread pools; also in `test`)
+stress:
+	$(PYTHON) -m pytest -m stress -v
 
 ## paper-reproduction benchmarks (tables/figures, pytest-based bench_*.py)
 bench:
@@ -22,6 +26,7 @@ perf:
 	$(PYTHON) benchmarks/bench_incremental_index.py --output $(BENCH_JSON)
 	$(PYTHON) benchmarks/bench_incremental_assessment.py --output $(BENCH_JSON)
 	$(PYTHON) benchmarks/bench_eager_refresh.py --output $(BENCH_JSON)
+	$(PYTHON) benchmarks/bench_concurrent_serving.py --output $(BENCH_JSON)
 	@test -s $(BENCH_JSON) || { echo "FATAL: $(BENCH_JSON) was not written" >&2; exit 1; }
 
 ## reduced-scale perf smoke for CI: proves every harness produces its section
@@ -30,6 +35,7 @@ perf-smoke:
 	$(PYTHON) benchmarks/bench_incremental_index.py --output $(BENCH_JSON) --sources 200 --events 4
 	$(PYTHON) benchmarks/bench_incremental_assessment.py --output $(BENCH_JSON) --sources 200 --events 4
 	$(PYTHON) benchmarks/bench_eager_refresh.py --output $(BENCH_JSON) --sources 200 --events 4
+	$(PYTHON) benchmarks/bench_concurrent_serving.py --output $(BENCH_JSON) --sources 200 --events 12
 	$(PYTHON) scripts/check_bench_keys.py $(BENCH_JSON)
 
 ## documentation checks: README/docs link integrity + runnable examples

@@ -37,6 +37,13 @@ EXPECTED = {
         "speedup",
         "target_speedup",
     ),
+    "concurrent_serving": (
+        "baseline_read_qps",
+        "concurrent_read_qps",
+        "speedup",
+        "target_speedup",
+        "bit_identical_at_quiesce",
+    ),
 }
 
 

@@ -50,7 +50,7 @@ activity with negligible relative response.
 
 from __future__ import annotations
 
-import weakref
+import threading
 from dataclasses import dataclass, field
 from typing import Any, Iterable, Mapping, Optional
 
@@ -76,7 +76,9 @@ from repro.core.scoring import (
 from repro.errors import AssessmentError
 from repro.perf.cache import LRUCache, source_fingerprint
 from repro.perf.counters import PerfCounters
+from repro.serving.rwlock import ReadWriteLock
 from repro.sources.crawler import CommunityWalkCache, ContributorSnapshot, Crawler
+from repro.sources.diffing import SourceChangeTracker
 from repro.sources.models import Source
 
 __all__ = ["ContributorAssessment", "ContributorQualityModel"]
@@ -133,18 +135,16 @@ class ContributorAssessment:
 class _CommunityEntry:
     """Incremental per-(source, user set) state of a contributor model."""
 
-    source_ref: "weakref.ref[Source]"
+    #: The O(1) staleness tier: a shared
+    #: :class:`~repro.sources.diffing.SourceChangeTracker` (dirty flag fed
+    #: by the source's mutation watchers, cross-checked against
+    #: ``content_revision`` so an announced mutation is detected even when
+    #: a read races ahead of the tracker's own watcher — e.g. an eager
+    #: serving scheduler refreshing from inside the same announcement).
+    tracker: SourceChangeTracker
     fingerprint: tuple
     context: tuple
     fit_token: int
-    #: Raised by the source's mutation watcher; the O(1) staleness tier.
-    dirty: bool = False
-    #: ``source.content_revision`` the context was derived from — an O(1)
-    #: cross-check next to the dirty flag, so an announced mutation is
-    #: detected even when a read races ahead of this model's own watcher
-    #: (e.g. an eager serving scheduler refreshing from inside the same
-    #: announcement that would set ``dirty``).
-    revision: int = -1
     #: Reusable per-discussion community-walk state (ROADMAP (e)).
     walk: CommunityWalkCache = field(default_factory=CommunityWalkCache)
     #: Per-measure fit signature of the context's normalised matrix
@@ -173,8 +173,15 @@ class ContributorQualityModel:
         self._crawler = crawler or Crawler()
         self._contexts = LRUCache(maxsize=self.CONTEXT_CACHE_SIZE)
         #: (id(source), user-id tuple or None) -> incremental state; id keys
-        #: are guarded by the weakref inside each entry.
+        #: are guarded by the weakref inside each entry's tracker.
         self._incremental: dict[tuple[int, Optional[tuple]], _CommunityEntry] = {}
+        #: Serialises context builders/patchers (and the shared normaliser
+        #: they refit); clean-path reads never take it.
+        self._refresh_mutex = threading.RLock()
+        #: Reader/writer lock: reads take the shared side around grabbing
+        #: the current context; patchers publish under the exclusive side
+        #: in O(1) (the context itself is built aside).
+        self._rwlock = ReadWriteLock()
         self.counters = PerfCounters()
 
     @property
@@ -187,10 +194,21 @@ class ContributorQualityModel:
         """The measure registry in use."""
         return self._registry
 
+    @property
+    def rwlock(self) -> ReadWriteLock:
+        """The model's reader/writer lock (shared with its serving queue)."""
+        return self._rwlock
+
+    @property
+    def refresh_mutex(self) -> threading.RLock:
+        """The gate serialising context builds (shared with the scheduler)."""
+        return self._refresh_mutex
+
     def invalidate(self) -> None:
         """Drop every cached assessment (see the module docstring for when)."""
-        self._contexts.invalidate()
-        self._incremental.clear()
+        with self._refresh_mutex:
+            self._contexts.invalidate()
+            self._incremental.clear()
 
     # -- raw measures ------------------------------------------------------------------
 
@@ -412,21 +430,27 @@ class ContributorQualityModel:
             fit_signature,
         )
 
-    def _on_source_mutation(self, source: Source) -> None:
-        for entry in self._incremental.values():
-            if entry.source_ref() is source:
-                entry.dirty = True
-
     def _prune_incremental(self) -> None:
         dead = [
             key
             for key, entry in self._incremental.items()
-            if entry.source_ref() is None
+            if entry.tracker.source is None
         ]
         for key in dead:
             del self._incremental[key]
         while len(self._incremental) > 2 * self.CONTEXT_CACHE_SIZE:
             self._incremental.pop(next(iter(self._incremental)))
+
+    def _resolve_entry(
+        self, entry_key: tuple[int, Optional[tuple]], source: Source, prune: bool
+    ) -> Optional[_CommunityEntry]:
+        """The live entry for ``entry_key`` (None when absent or id-reused)."""
+        entry = self._incremental.get(entry_key)
+        if entry is not None and entry.tracker.source is not source:
+            if prune:
+                del self._incremental[entry_key]  # id(source) reused by a new object
+            return None
+        return entry
 
     def _context(
         self, source: Source, user_ids: Optional[Iterable[str]], deep: bool = False
@@ -435,83 +459,107 @@ class ContributorQualityModel:
         dict[str, dict[str, float]],
         dict[str, ContributorAssessment],
     ]:
+        """Return the (cached, incrementally maintained) community context.
+
+        Thread-safety mirrors the source model: the clean path is a
+        snapshot read (contexts are immutable once published), builders
+        serialise under ``refresh_mutex``, mark the entry's tracker clean
+        with the revision captured *before* the walk, and publish the
+        patched context under the write lock in O(1) — so a mutation
+        landing mid-walk leaves the entry dirty and the next read patches
+        again.
+        """
         user_key = None if user_ids is None else tuple(user_ids)
         entry_key = (id(source), user_key)
-        entry = self._incremental.get(entry_key)
-        if entry is not None and entry.source_ref() is not source:
-            del self._incremental[entry_key]  # id(source) reused by a new object
-            entry = None
-        if (
-            entry is not None
-            and not deep
-            and not entry.dirty
-            # Belt-and-braces O(1) cross-check: an announced mutation bumps
-            # the revision before watchers run, so a read racing ahead of
-            # this model's own watcher (e.g. an eager serving scheduler
-            # refreshing from inside the announcement) still detects it.
-            and entry.revision == source.content_revision
-        ):
+        entry = self._resolve_entry(entry_key, source, prune=False)
+        if entry is not None and not deep and not entry.tracker.dirty:
             self.counters.increment("context_hits")
             self.counters.increment("staleness_flag_hits")
-            return entry.context
+            with self._rwlock.read_lock():
+                return entry.context
 
-        fingerprint = source_fingerprint(source)
-        if entry is not None and fingerprint == entry.fingerprint:
-            # Announced mutation with no structural effect (or a deep probe
-            # over an unchanged source): the cached context is still exact.
-            entry.dirty = False
-            entry.revision = source.content_revision
-            self.counters.increment("context_hits")
-            return entry.context
+        with self._refresh_mutex:
+            entry = self._resolve_entry(entry_key, source, prune=True)
+            if entry is not None and not deep and not entry.tracker.dirty:
+                # Another thread patched while this one waited for the gate.
+                self.counters.increment("context_hits")
+                self.counters.increment("staleness_flag_hits")
+                return entry.context
 
-        resolved_ids = self._resolve_user_ids(source, user_key)
-        cache_key = (fingerprint, resolved_ids)
-        walk = entry.walk if entry is not None else CommunityWalkCache()
-        cached = self._contexts.get(cache_key)
-        if cached is not None:
-            self.counters.increment("context_hits")
-            context = cached[1]
-            if entry is not None and entry.context is context:
-                fit_token = entry.fit_token
-                fit_signature = entry.fit_signature
+            # Capture the revision the rebuilt context derives from before
+            # reading any content; a mutation landing mid-build bumps the
+            # revision past it, leaving the tracker dirty.
+            fresh_entry = entry is None
+            if fresh_entry:
+                tracker = SourceChangeTracker(source)
             else:
-                fit_token = -1  # unknown normaliser state: force a re-fit on patch
-                fit_signature = {}
-        elif entry is not None:
-            context, fit_token, fit_signature = self._patch_community(
-                entry, source, resolved_ids
-            )
-            self._contexts.put(cache_key, (source, context))
-        else:
-            context = self._build_context(source, resolved_ids, walk=walk)
-            fit_token = self._normalizer.fit_count
-            fit_signature = self._normalizer.fit_signature()
-            # The cached entry anchors the source object (first element):
-            # the fingerprint key contains id(source), which must not be
-            # reused while the entry lives.
-            self._contexts.put(cache_key, (source, context))
+                tracker = entry.tracker
+                tracker.mark_clean(source.content_revision)
+            revision_at_start = tracker.clean_revision
 
-        if entry is None:
-            self._prune_incremental()
-            source.watch_mutations(self._on_source_mutation)
-            entry = _CommunityEntry(
-                source_ref=weakref.ref(source),
-                fingerprint=fingerprint,
-                context=context,
-                fit_token=fit_token,
-                revision=source.content_revision,
-                walk=walk,
-                fit_signature=fit_signature,
-            )
-            self._incremental[entry_key] = entry
-        else:
-            entry.fingerprint = fingerprint
-            entry.context = context
-            entry.fit_token = fit_token
-            entry.fit_signature = fit_signature
-            entry.revision = source.content_revision
-        entry.dirty = False
-        return entry.context
+            try:
+                fingerprint = source_fingerprint(source)
+                if entry is not None and fingerprint == entry.fingerprint:
+                    # Announced mutation with no structural effect (or a
+                    # deep probe over an unchanged source): the cached
+                    # context is still exact.
+                    self.counters.increment("context_hits")
+                    return entry.context
+
+                resolved_ids = self._resolve_user_ids(source, user_key)
+                cache_key = (fingerprint, resolved_ids)
+                walk = entry.walk if entry is not None else CommunityWalkCache()
+                cached = self._contexts.get(cache_key)
+                if cached is not None:
+                    self.counters.increment("context_hits")
+                    context = cached[1]
+                    if entry is not None and entry.context is context:
+                        fit_token = entry.fit_token
+                        fit_signature = entry.fit_signature
+                    else:
+                        fit_token = -1  # unknown normaliser: force a re-fit on patch
+                        fit_signature = {}
+                elif entry is not None:
+                    context, fit_token, fit_signature = self._patch_community(
+                        entry, source, resolved_ids
+                    )
+                    self._contexts.put(cache_key, (source, context))
+                else:
+                    context = self._build_context(source, resolved_ids, walk=walk)
+                    fit_token = self._normalizer.fit_count
+                    fit_signature = self._normalizer.fit_signature()
+                    # The cached entry anchors the source object (first
+                    # element): the fingerprint key contains id(source),
+                    # which must not be reused while the entry lives.
+                    self._contexts.put(cache_key, (source, context))
+            except BaseException:
+                # The tracker was marked clean above; a failed rebuild
+                # must not leave the stale published context looking
+                # fresh — restore the staleness so the next read retries.
+                if not fresh_entry:
+                    tracker.force_dirty()
+                raise
+
+            # Publish: the context was built aside, the swap is O(1).
+            with self._rwlock.write_lock():
+                if fresh_entry:
+                    self._prune_incremental()
+                    entry = _CommunityEntry(
+                        tracker=tracker,
+                        fingerprint=fingerprint,
+                        context=context,
+                        fit_token=fit_token,
+                        walk=walk,
+                        fit_signature=fit_signature,
+                    )
+                    self._incremental[entry_key] = entry
+                else:
+                    entry.fingerprint = fingerprint
+                    entry.context = context
+                    entry.fit_token = fit_token
+                    entry.fit_signature = fit_signature
+                tracker.mark_clean(revision_at_start)
+            return entry.context
 
     # -- assessment --------------------------------------------------------------------
 

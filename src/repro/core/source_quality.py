@@ -59,6 +59,7 @@ path, so eager and lazy results are bit-identical.
 from __future__ import annotations
 
 import bisect
+import threading
 import weakref
 from dataclasses import dataclass, field
 from typing import Any, Iterable, Mapping, Optional
@@ -84,6 +85,7 @@ from repro.core.source_measures import (
 from repro.errors import AssessmentError
 from repro.perf.cache import LRUCache
 from repro.perf.counters import PerfCounters
+from repro.serving.rwlock import ReadWriteLock
 from repro.sources.corpus import SourceCorpus
 from repro.sources.crawler import Crawler, CrawlSnapshot
 from repro.sources.diffing import CorpusChangeTracker, diff_fingerprint_maps
@@ -207,6 +209,14 @@ class SourceQualityModel:
         #: normaliser instance — was fitted in between) forces a re-fit
         #: before the normaliser is reused for incremental patching.
         self._incremental: dict[tuple[int, Optional[int]], _IncrementalEntry] = {}
+        #: Serialises context builders/patchers (and the shared normaliser
+        #: they refit); clean-path reads never take it.  Reentrant: a
+        #: holder (a composite serving lock) may read and refresh freely.
+        self._refresh_mutex = threading.RLock()
+        #: Reader/writer lock: reads take the shared side around grabbing
+        #: the current context; patchers publish a patched context under
+        #: the exclusive side in O(1) (the context itself is built aside).
+        self._rwlock = ReadWriteLock()
         self.counters = PerfCounters()
 
     # -- accessors ------------------------------------------------------------------
@@ -226,6 +236,16 @@ class SourceQualityModel:
         """The weighting scheme in use."""
         return self._scheme
 
+    @property
+    def rwlock(self) -> ReadWriteLock:
+        """The model's reader/writer lock (shared with its serving queue)."""
+        return self._rwlock
+
+    @property
+    def refresh_mutex(self) -> threading.RLock:
+        """The gate serialising context builds (shared with the scheduler)."""
+        return self._refresh_mutex
+
     def invalidate(self) -> None:
         """Drop every cached assessment context and raw-measure matrix.
 
@@ -236,9 +256,10 @@ class SourceQualityModel:
         corpus re-assesses.  Also releases the source objects anchored by
         the cached contexts.
         """
-        self._contexts.invalidate()
-        self._measure_cache.invalidate()
-        self._incremental.clear()
+        with self._refresh_mutex:
+            self._contexts.invalidate()
+            self._measure_cache.invalidate()
+            self._incremental.clear()
 
     # -- raw measures ------------------------------------------------------------------
 
@@ -641,20 +662,36 @@ class SourceQualityModel:
         key: tuple[int, Optional[int]],
         corpus: SourceCorpus,
         benchmark_corpus: Optional[SourceCorpus],
+        prune: bool = True,
     ) -> Optional[_IncrementalEntry]:
-        """Return the live incremental entry for ``key``, discarding stale ones."""
+        """Return the live incremental entry for ``key``, discarding stale ones.
+
+        ``prune=False`` (the lock-free fast path) only inspects: discarding
+        a stale entry mutates the table, which belongs under the refresh
+        mutex.
+        """
         entry = self._incremental.get(key)
         if entry is None:
             return None
         if entry.corpus_ref() is not corpus:
-            del self._incremental[key]  # id(corpus) was reused by a new object
+            if prune:
+                del self._incremental[key]  # id(corpus) was reused by a new object
             return None
         if benchmark_corpus is not None and (
             entry.benchmark_ref is None or entry.benchmark_ref() is not benchmark_corpus
         ):
-            del self._incremental[key]
+            if prune:
+                del self._incremental[key]
             return None
         return entry
+
+    def _entry_clean(self, entry: _IncrementalEntry, deep: bool) -> bool:
+        """The O(1) staleness check over an entry's bus-backed trackers."""
+        return (
+            not deep
+            and not entry.tracker.dirty
+            and (entry.benchmark_tracker is None or not entry.benchmark_tracker.dirty)
+        )
 
     def _prune_incremental(self) -> None:
         """Drop entries whose corpus died; bound the table to a small multiple."""
@@ -687,6 +724,16 @@ class SourceQualityModel:
         drives off the read path: it is idempotent, O(1) when the corpus
         is unchanged, and produces bit-identical contexts whether called
         eagerly (by a scheduler) or lazily (by the next read).
+
+        Thread-safety: the clean path is a lock-free snapshot read
+        (contexts are immutable once published; the shared read lock is
+        taken only around grabbing the reference).  Builders are
+        serialised under ``refresh_mutex``; they mark the entry's trackers
+        clean *before* reading the corpus and publish the patched context
+        under the write lock in O(1), so a mutation landing mid-build
+        leaves the entry dirty and the next read patches again — a read
+        racing a patch serves the previous consistent context, and a
+        quiesced model is bit-identical to a from-scratch rebuild.
         """
         if len(corpus) == 0:
             raise AssessmentError("cannot assess an empty corpus")
@@ -694,74 +741,98 @@ class SourceQualityModel:
             id(corpus),
             id(benchmark_corpus) if benchmark_corpus is not None else None,
         )
-        entry = self._resolve_entry(entry_key, corpus, benchmark_corpus)
-        if (
-            entry is not None
-            and not deep
-            and not entry.tracker.dirty
-            and (entry.benchmark_tracker is None or not entry.benchmark_tracker.dirty)
-        ):
+        entry = self._resolve_entry(entry_key, corpus, benchmark_corpus, prune=False)
+        if entry is not None and self._entry_clean(entry, deep):
             self.counters.increment("context_hits")
             self.counters.increment("staleness_flag_hits")
-            return entry.context
+            with self._rwlock.read_lock():
+                return entry.context
 
-        fingerprint = corpus.content_fingerprint()
-        benchmark_fingerprint = (
-            benchmark_corpus.content_fingerprint()
-            if benchmark_corpus is not None
-            else None
-        )
-        cache_key = (fingerprint, benchmark_fingerprint)
-        context = self._contexts.get(cache_key)
-        if context is not None:
-            self.counters.increment("context_hits")
-            if entry is not None and entry.context is context:
-                fit_token = entry.fit_token
-                fit_signature = entry.fit_signature
+        with self._refresh_mutex:
+            entry = self._resolve_entry(entry_key, corpus, benchmark_corpus)
+            if entry is not None and self._entry_clean(entry, deep):
+                # Another thread patched while this one waited for the gate.
+                self.counters.increment("context_hits")
+                self.counters.increment("staleness_flag_hits")
+                return entry.context
+            fresh_entry = entry is None
+            if fresh_entry:
+                # Create the trackers *before* reading the corpus: their
+                # clean version captures "now", so any mutation landing
+                # during the build below re-dirties the entry.
+                self._prune_incremental()
+                entry = _IncrementalEntry(
+                    corpus_ref=weakref.ref(corpus),
+                    tracker=CorpusChangeTracker(corpus),
+                    benchmark_ref=(
+                        weakref.ref(benchmark_corpus)
+                        if benchmark_corpus is not None
+                        else None
+                    ),
+                    benchmark_tracker=(
+                        CorpusChangeTracker(benchmark_corpus)
+                        if benchmark_corpus is not None
+                        else None
+                    ),
+                    context=None,  # type: ignore[arg-type] - published below
+                    fit_token=-1,
+                )
             else:
-                fit_token = -1  # unknown normaliser state: force a re-fit on patch
-                fit_signature = {}
-        elif entry is not None:
-            context, fit_token, fit_signature = self._patch_context(
-                entry, corpus, fingerprint, benchmark_corpus, benchmark_fingerprint
-            )
-            self._contexts.put(cache_key, context)
-        else:
-            context = self._build_context(
-                corpus, fingerprint, benchmark_corpus, benchmark_fingerprint
-            )
-            fit_token = self._normalizer.fit_count
-            fit_signature = self._normalizer.fit_signature()
-            self._contexts.put(cache_key, context)
+                entry.tracker.mark_clean()
+                if entry.benchmark_tracker is not None:
+                    entry.benchmark_tracker.mark_clean()
 
-        if entry is None:
-            self._prune_incremental()
-            entry = _IncrementalEntry(
-                corpus_ref=weakref.ref(corpus),
-                tracker=CorpusChangeTracker(corpus),
-                benchmark_ref=(
-                    weakref.ref(benchmark_corpus)
+            try:
+                fingerprint = corpus.content_fingerprint()
+                benchmark_fingerprint = (
+                    benchmark_corpus.content_fingerprint()
                     if benchmark_corpus is not None
                     else None
-                ),
-                benchmark_tracker=(
-                    CorpusChangeTracker(benchmark_corpus)
-                    if benchmark_corpus is not None
-                    else None
-                ),
-                context=context,
-                fit_token=fit_token,
-                fit_signature=fit_signature,
-            )
-            self._incremental[entry_key] = entry
-        else:
-            entry.context = context
-            entry.fit_token = fit_token
-            entry.fit_signature = fit_signature
-        entry.tracker.mark_clean()
-        if entry.benchmark_tracker is not None:
-            entry.benchmark_tracker.mark_clean()
-        return context
+                )
+                cache_key = (fingerprint, benchmark_fingerprint)
+                context = self._contexts.get(cache_key)
+                if context is not None:
+                    self.counters.increment("context_hits")
+                    if not fresh_entry and entry.context is context:
+                        fit_token = entry.fit_token
+                        fit_signature = entry.fit_signature
+                    else:
+                        fit_token = -1  # unknown normaliser: force a re-fit on patch
+                        fit_signature = {}
+                elif not fresh_entry:
+                    context, fit_token, fit_signature = self._patch_context(
+                        entry,
+                        corpus,
+                        fingerprint,
+                        benchmark_corpus,
+                        benchmark_fingerprint,
+                    )
+                    self._contexts.put(cache_key, context)
+                else:
+                    context = self._build_context(
+                        corpus, fingerprint, benchmark_corpus, benchmark_fingerprint
+                    )
+                    fit_token = self._normalizer.fit_count
+                    fit_signature = self._normalizer.fit_signature()
+                    self._contexts.put(cache_key, context)
+            except BaseException:
+                # The trackers were marked clean above; a failed rebuild
+                # must not leave the stale published context looking
+                # fresh — restore the staleness so the next read retries.
+                if not fresh_entry:
+                    entry.tracker.force_dirty()
+                    if entry.benchmark_tracker is not None:
+                        entry.benchmark_tracker.force_dirty()
+                raise
+
+            # Publish: the context was built aside, the swap is O(1).
+            with self._rwlock.write_lock():
+                entry.context = context
+                entry.fit_token = fit_token
+                entry.fit_signature = fit_signature
+                if fresh_entry:
+                    self._incremental[entry_key] = entry
+            return context
 
     def assess_corpus(
         self,

@@ -41,6 +41,7 @@ counts happen to match, and the cache would serve stale results.
 
 from __future__ import annotations
 
+import threading
 from collections import OrderedDict
 from typing import Any, Callable, Hashable, Iterable, Optional, Tuple
 
@@ -61,11 +62,22 @@ class LRUCache:
     ``maxsize <= 0`` disables caching entirely (every lookup misses and
     :meth:`put` is a no-op), which gives callers a uniform way to switch a
     cache off without sprinkling conditionals.
+
+    The cache is *thread-safe*: every operation (including the LRU
+    reordering a :meth:`get` performs and the statistics counters) runs
+    under one internal lock, so the query/result memos can be hit by
+    concurrent reader threads while a refresh thread invalidates entries.
+    :meth:`get_or_create` calls its factory *outside* the lock — two
+    threads missing the same key may both build the value (last put wins);
+    holding the lock across an arbitrary factory would reintroduce exactly
+    the patch-blocks-unrelated-reads serialisation the concurrent serving
+    layer exists to remove.
     """
 
     def __init__(self, maxsize: int = 128) -> None:
         self._maxsize = maxsize
         self._entries: "OrderedDict[Hashable, Any]" = OrderedDict()
+        self._mutex = threading.RLock()
         self.hits = 0
         self.misses = 0
         self.evictions = 0
@@ -76,50 +88,67 @@ class LRUCache:
         return self._maxsize
 
     def __len__(self) -> int:
-        return len(self._entries)
+        with self._mutex:
+            return len(self._entries)
 
     def __contains__(self, key: Hashable) -> bool:
-        return key in self._entries
+        with self._mutex:
+            return key in self._entries
 
     def get(self, key: Hashable, default: Any = None) -> Any:
         """Return the cached value for ``key`` (marks it recently used)."""
-        value = self._entries.get(key, _MISSING)
-        if value is _MISSING:
-            self.misses += 1
-            return default
-        self._entries.move_to_end(key)
-        self.hits += 1
-        return value
+        with self._mutex:
+            value = self._entries.get(key, _MISSING)
+            if value is _MISSING:
+                self.misses += 1
+                return default
+            self._entries.move_to_end(key)
+            self.hits += 1
+            return value
+
+    def peek(self, key: Hashable, default: Any = None) -> Any:
+        """Return the cached value without LRU reordering or stat changes.
+
+        The bookkeeping-free read used when an index snapshot carries its
+        surviving memo entries into a patched successor: cloning must not
+        distort the hit/miss statistics tests and benchmarks assert on.
+        """
+        with self._mutex:
+            value = self._entries.get(key, _MISSING)
+            return default if value is _MISSING else value
 
     def put(self, key: Hashable, value: Any) -> None:
         """Store ``value`` under ``key``, evicting the LRU entry when full."""
         if self._maxsize <= 0:
             return
-        if key in self._entries:
-            self._entries.move_to_end(key)
-        self._entries[key] = value
-        while len(self._entries) > self._maxsize:
-            self._entries.popitem(last=False)
-            self.evictions += 1
+        with self._mutex:
+            if key in self._entries:
+                self._entries.move_to_end(key)
+            self._entries[key] = value
+            while len(self._entries) > self._maxsize:
+                self._entries.popitem(last=False)
+                self.evictions += 1
 
     def get_or_create(self, key: Hashable, factory: Callable[[], Any]) -> Any:
         """Return the cached value for ``key``, building it on a miss."""
-        value = self._entries.get(key, _MISSING)
-        if value is not _MISSING:
-            self._entries.move_to_end(key)
-            self.hits += 1
-            return value
-        self.misses += 1
+        with self._mutex:
+            value = self._entries.get(key, _MISSING)
+            if value is not _MISSING:
+                self._entries.move_to_end(key)
+                self.hits += 1
+                return value
+            self.misses += 1
         value = factory()
         self.put(key, value)
         return value
 
     def invalidate(self, key: Optional[Hashable] = None) -> None:
         """Drop one entry (or every entry when ``key`` is None)."""
-        if key is None:
-            self._entries.clear()
-        else:
-            self._entries.pop(key, None)
+        with self._mutex:
+            if key is None:
+                self._entries.clear()
+            else:
+                self._entries.pop(key, None)
 
     def keys(self) -> list:
         """A snapshot of the cached keys, LRU first.
@@ -128,17 +157,19 @@ class LRUCache:
         predicate) — iterate the snapshot and call :meth:`invalidate` per
         key; the snapshot stays valid while entries are removed.
         """
-        return list(self._entries)
+        with self._mutex:
+            return list(self._entries)
 
     def stats(self) -> dict[str, int]:
         """Hit/miss/eviction statistics plus the current size."""
-        return {
-            "hits": self.hits,
-            "misses": self.misses,
-            "evictions": self.evictions,
-            "size": len(self._entries),
-            "maxsize": self._maxsize,
-        }
+        with self._mutex:
+            return {
+                "hits": self.hits,
+                "misses": self.misses,
+                "evictions": self.evictions,
+                "size": len(self._entries),
+                "maxsize": self._maxsize,
+            }
 
 
 def source_fingerprint(source: Any) -> Tuple[Any, ...]:

@@ -9,6 +9,7 @@ counters are exact.
 
 from __future__ import annotations
 
+import threading
 from collections import Counter
 from typing import Any, Iterator, Mapping
 
@@ -16,17 +17,26 @@ __all__ = ["PerfCounters"]
 
 
 class PerfCounters:
-    """A bag of named monotonically increasing counters."""
+    """A bag of named monotonically increasing counters.
+
+    Increments are serialised under an internal lock so counts stay exact
+    when a consumer is read and patched from different threads (reader
+    threads, the serving drains and a mutator all increment concurrently);
+    a bare ``Counter[name] += n`` is a read-modify-write that can lose
+    updates under that interleaving.
+    """
 
     def __init__(self) -> None:
         self._counts: Counter[str] = Counter()
+        self._mutex = threading.Lock()
 
     def increment(self, name: str, amount: int = 1) -> int:
         """Add ``amount`` to counter ``name`` and return its new value."""
         if amount < 0:
             raise ValueError("counter increments must be non-negative")
-        self._counts[name] += amount
-        return self._counts[name]
+        with self._mutex:
+            self._counts[name] += amount
+            return self._counts[name]
 
     def get(self, name: str) -> int:
         """Current value of counter ``name`` (0 when never incremented)."""
@@ -34,11 +44,13 @@ class PerfCounters:
 
     def reset(self) -> None:
         """Zero every counter."""
-        self._counts.clear()
+        with self._mutex:
+            self._counts.clear()
 
     def snapshot(self) -> dict[str, int]:
         """A plain-dict copy of all counters."""
-        return dict(self._counts)
+        with self._mutex:
+            return dict(self._counts)
 
     def update(self, other: Mapping[str, int]) -> None:
         """Merge another counter mapping into this one."""

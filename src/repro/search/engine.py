@@ -45,6 +45,21 @@ patch.  For latency-critical serving, register the engine with an
 (``scheduler.register_search_engine(engine)``): the scheduler drives
 this same :meth:`SearchEngine.refresh` in the background so hot reads
 find a clean flag and serve in O(1).  Results are identical either way.
+
+The engine is *thread-safe* (the concurrent serving core): the whole
+index lives in one immutable-after-publish :class:`_IndexState` snapshot.
+Read paths take the engine's shared
+:class:`~repro.serving.rwlock.ReadWriteLock` and compute against the
+current snapshot; :meth:`SearchEngine.refresh` builds the patched
+snapshot *aside* (copy-on-write over the previous one, so the refresh
+stays incremental) and publishes it under the write lock in O(1) — a
+patch excludes readers for one pointer swap, not for the patch.
+Staleness intake comes from a typed subscription on the corpus's shared
+:class:`~repro.sources.diffing.InvalidationBus`; concurrent refreshers
+are serialised by the engine's ``refresh_mutex``, and a mutation landing
+mid-build simply leaves the subscription dirty so the next read patches
+again — reads racing a mutation serve the previous consistent snapshot,
+and a quiesced engine is bit-identical to a from-scratch rebuild.
 """
 
 from __future__ import annotations
@@ -54,15 +69,17 @@ import hashlib
 import heapq
 import math
 import re
+import threading
 from collections import Counter
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import Iterable, Optional
 
 from repro.errors import SearchError, UnsearchableQueryError
 from repro.perf.cache import LRUCache, source_fingerprint
 from repro.perf.counters import PerfCounters
+from repro.serving.rwlock import ReadWriteLock
 from repro.sources.corpus import SourceCorpus
-from repro.sources.diffing import CorpusChangeTracker, diff_fingerprints
+from repro.sources.diffing import diff_fingerprints
 from repro.sources.models import Source
 from repro.sources.webstats import AlexaLikeService, PanelObservation, WebStatsPanel
 
@@ -196,6 +213,51 @@ class SearchResult:
     topical_score: float
 
 
+@dataclass
+class _IndexState:
+    """One immutable-after-publish snapshot of the whole index.
+
+    Every read path captures the engine's current snapshot once and
+    computes against it; a refresh never mutates a published snapshot —
+    it builds a successor via copy-on-write (container copies are O(n)
+    pointer copies; only the structures a changed source actually touches
+    are rebuilt) and swaps the engine's reference under the write lock.
+    Readers racing a patch therefore always see one internally consistent
+    index (postings, document frequencies, static scores and the corpus
+    size all from the same epoch), never a half-patched mixture.
+
+    ``result_cache`` belongs to the snapshot for the same reason: an
+    entry memoised by a reader still on the previous snapshot must not
+    leak into the patched index, so each snapshot carries its own cache
+    (surviving entries are carried over at patch time, preserving the
+    selective-invalidation behaviour).
+    """
+
+    term_frequencies: dict[str, Counter]
+    document_frequencies: Counter
+    document_lengths: dict[str, int]
+    static_scores: dict[str, float]
+    #: term -> list of (source_id, term_frequency / document_length).
+    postings: dict[str, list[tuple[str, float]]]
+    static_order: tuple[str, ...] = ()
+    #: Sorted ``(-static score, source_id)`` keys backing the static
+    #: order; single-source updates patch it via ``bisect``.
+    static_keys: list[tuple[float, str]] = field(default_factory=list)
+    #: Per-source raw panel observations backing the static scores.
+    observations: dict[str, PanelObservation] = field(default_factory=dict)
+    max_visitors: float = 1.0
+    max_links: int = 1
+    #: Corpus size at snapshot time (IDF input — kept in the snapshot so
+    #: a reader never mixes old postings with a newer corpus size).
+    n_documents: int = 0
+    #: Per-source fingerprints at index time; the diff base of the next
+    #: patch.  The companion dict anchors the source objects (``id()``
+    #: stability).
+    source_fingerprints: dict[str, tuple] = field(default_factory=dict)
+    anchored_sources: dict[str, Source] = field(default_factory=dict)
+    result_cache: LRUCache = field(default_factory=lambda: LRUCache(0))
+
+
 class SearchEngine:
     """Index a corpus and answer keyword queries with popularity-biased ranking.
 
@@ -225,32 +287,20 @@ class SearchEngine:
         self._corpus = corpus
         self._panel = panel or AlexaLikeService()
         self._config = config
-        self._term_frequencies: dict[str, Counter[str]] = {}
-        self._document_frequencies: Counter[str] = Counter()
-        self._document_lengths: dict[str, int] = {}
-        self._static_scores: dict[str, float] = {}
-        #: term -> list of (source_id, term_frequency / document_length).
-        self._postings: dict[str, list[tuple[str, float]]] = {}
-        self._static_order: tuple[str, ...] = ()
-        #: Sorted ``(-static score, source_id)`` keys backing the static
-        #: order; single-source updates patch it via ``bisect``.
-        self._static_keys: list[tuple[float, str]] = []
-        #: Per-source raw panel observations backing the static scores.
-        self._observations: dict[str, PanelObservation] = {}
-        self._max_visitors: float = 1.0
-        self._max_links: int = 1
-        #: Indexed epoch: the O(1) dirty-flag tracker fed by the corpus
-        #: subscription, and per-source fingerprints at index time.  The
-        #: fingerprint map anchors the source objects (``id()`` stability)
-        #: in its companion dict.
-        self._tracker = CorpusChangeTracker(corpus)
-        self._source_fingerprints: dict[str, tuple] = {}
-        self._anchored_sources: dict[str, Source] = {}
+        #: Staleness intake: a typed subscription on the corpus's shared
+        #: invalidation bus (the O(1) dirty tier, replacing the engine's
+        #: private corpus subscription).
+        self._subscription = corpus.invalidation_bus().subscribe(name="search-engine")
+        #: Serialises snapshot *builders* (concurrent refreshers); readers
+        #: never take it.
+        self._refresh_mutex = threading.RLock()
+        #: Reader/writer lock: reads hold the shared side, the snapshot
+        #: swap holds the exclusive side for O(1).
+        self._rwlock = ReadWriteLock()
         self._query_cache = LRUCache(maxsize=self.QUERY_CACHE_SIZE)
-        self._result_cache = LRUCache(maxsize=self.RESULT_CACHE_SIZE)
         self.counters = PerfCounters()
         self._panel.watch(corpus)
-        self._build_index()
+        self._state = self._build_index()
 
     @property
     def config(self) -> SearchEngineConfig:
@@ -261,6 +311,16 @@ class SearchEngine:
     def corpus(self) -> SourceCorpus:
         """The indexed corpus."""
         return self._corpus
+
+    @property
+    def rwlock(self) -> ReadWriteLock:
+        """The engine's reader/writer lock (shared with its serving queue)."""
+        return self._rwlock
+
+    @property
+    def refresh_mutex(self) -> threading.RLock:
+        """The gate serialising snapshot builds (shared with the scheduler)."""
+        return self._refresh_mutex
 
     # -- indexing -----------------------------------------------------------------
 
@@ -274,115 +334,135 @@ class SearchEngine:
                 yield post.text
                 yield from post.tags
 
-    def _build_index(self) -> None:
+    def _build_index(self) -> _IndexState:
+        """Build a complete snapshot from scratch (initial index)."""
         if len(self._corpus) == 0:
             raise SearchError("cannot index an empty corpus")
+        self._subscription.mark_clean()
         observations = self._panel.observe_many(self._corpus)
-        self._observations = dict(observations)
-        self._max_visitors = max(
+        state = _IndexState(
+            term_frequencies={},
+            document_frequencies=Counter(),
+            document_lengths={},
+            static_scores={},
+            postings={},
+            observations=dict(observations),
+            result_cache=LRUCache(maxsize=self.RESULT_CACHE_SIZE),
+        )
+        state.max_visitors = max(
             (observation.daily_visitors for observation in observations.values()),
             default=1.0,
         )
-        self._max_links = max(
+        state.max_links = max(
             (observation.inbound_links for observation in observations.values()),
             default=1,
         )
+        copied: set[str] = set()
         for source in self._corpus:
-            self._index_source(source)
-            self._static_scores[source.source_id] = self._static_score(
-                observations[source.source_id], self._max_visitors, self._max_links
+            self._index_source(state, source, copied)
+            state.static_scores[source.source_id] = self._static_score(
+                observations[source.source_id], state.max_visitors, state.max_links
             )
         # The popularity-only ordering is query independent; compute it once
         # from the cached static scores.
-        self._rebuild_static_order()
-        self._record_epoch()
+        self._rebuild_static_order(state)
+        for source in self._corpus:
+            state.source_fingerprints[source.source_id] = source_fingerprint(source)
+            state.anchored_sources[source.source_id] = source
+        state.n_documents = len(state.source_fingerprints)
+        return state
 
-    def _index_source(self, source: Source) -> None:
-        """Add one source's text surface to the postings structures."""
+    def _index_source(
+        self, state: _IndexState, source: Source, copied: set[str]
+    ) -> None:
+        """Add one source's text surface to the snapshot's postings.
+
+        ``copied`` tracks the postings lists this build already owns:
+        lists inherited from the previous snapshot are replaced (never
+        mutated — a concurrent reader may be iterating them), lists
+        created or copied during this build are appended in place.
+        """
         counter: Counter[str] = Counter()
         for fragment in self._document_text(source):
             counter.update(tokenize(fragment))
         source_id = source.source_id
         length = max(1, sum(counter.values()))
-        self._term_frequencies[source_id] = counter
-        self._document_lengths[source_id] = length
+        state.term_frequencies[source_id] = counter
+        state.document_lengths[source_id] = length
+        postings = state.postings
         for token, frequency in counter.items():
-            self._document_frequencies[token] += 1
-            self._postings.setdefault(token, []).append(
-                (source_id, frequency / length)
-            )
+            state.document_frequencies[token] += 1
+            entry = (source_id, frequency / length)
+            existing = postings.get(token)
+            if existing is None:
+                postings[token] = [entry]
+                copied.add(token)
+            elif token in copied:
+                existing.append(entry)
+            else:
+                postings[token] = existing + [entry]
+                copied.add(token)
 
-    def _unindex_source(self, source_id: str) -> Counter:
-        """Remove one source from the postings structures; return its terms."""
-        counter = self._term_frequencies.pop(source_id)
-        del self._document_lengths[source_id]
-        document_frequencies = self._document_frequencies
-        postings = self._postings
+    def _unindex_source(
+        self, state: _IndexState, source_id: str, copied: set[str]
+    ) -> Counter:
+        """Remove one source from the snapshot's postings; return its terms."""
+        counter = state.term_frequencies.pop(source_id)
+        del state.document_lengths[source_id]
+        document_frequencies = state.document_frequencies
+        postings = state.postings
         for token in counter:
             remaining = document_frequencies[token] - 1
             if remaining:
                 document_frequencies[token] = remaining
+                # The comprehension allocates a fresh list either way, so
+                # the previous snapshot's list is never mutated.
                 postings[token] = [
                     entry for entry in postings[token] if entry[0] != source_id
                 ]
+                copied.add(token)
             else:
                 del document_frequencies[token]
                 del postings[token]
-        self._static_scores.pop(source_id, None)
-        self._observations.pop(source_id, None)
+                copied.discard(token)
+        state.static_scores.pop(source_id, None)
+        state.observations.pop(source_id, None)
         return counter
 
-    def _rebuild_static_order(self) -> None:
-        self._static_keys = sorted(
-            (-score, source_id) for source_id, score in self._static_scores.items()
+    def _rebuild_static_order(self, state: _IndexState) -> None:
+        state.static_keys = sorted(
+            (-score, source_id) for source_id, score in state.static_scores.items()
         )
-        self._static_order = tuple(source_id for _, source_id in self._static_keys)
+        state.static_order = tuple(source_id for _, source_id in state.static_keys)
 
     def _patch_static_order(
-        self, old_scores: dict[str, float], updated: Iterable[str]
+        self,
+        state: _IndexState,
+        old_scores: dict[str, float],
+        updated: Iterable[str],
     ) -> None:
         """Patch the static ordering via ``bisect`` instead of a re-sort.
 
         ``old_scores`` maps every removed or changed source to the score it
-        held in the current ordering (its key is deleted); ``updated``
-        names the changed/added sources whose fresh ``_static_scores``
+        held in the previous ordering (its key is deleted); ``updated``
+        names the changed/added sources whose fresh ``static_scores``
         entry is re-inserted at its sorted position.  Keys are unique
         (score, id) pairs, so the patched list is exactly what a full sort
         of the new score map would produce — O(k·n) list surgery versus
-        O(n log n) sorting per refresh.
+        O(n log n) sorting per refresh.  ``state.static_keys`` is this
+        build's private copy of the previous snapshot's list, so the
+        surgery never disturbs concurrent readers.
         """
-        keys = self._static_keys
+        keys = state.static_keys
         for source_id, score in old_scores.items():
             key = (-score, source_id)
             index = bisect.bisect_left(keys, key)
             if index < len(keys) and keys[index] == key:
                 del keys[index]
         for source_id in updated:
-            bisect.insort(keys, (-self._static_scores[source_id], source_id))
-        self._static_order = tuple(source_id for _, source_id in keys)
+            bisect.insort(keys, (-state.static_scores[source_id], source_id))
+        state.static_order = tuple(source_id for _, source_id in keys)
         self.counters.increment("static_order_patches")
-
-    def _record_epoch(
-        self,
-        sources: Optional[dict[str, Source]] = None,
-        fingerprints: Optional[dict[str, tuple]] = None,
-    ) -> None:
-        """Snapshot the corpus epoch the index state was derived from.
-
-        ``sources``/``fingerprints`` let :meth:`_synchronise` hand over the
-        maps its diff already computed, avoiding a second O(total
-        discussions) fingerprint pass per refresh.
-        """
-        self._tracker.mark_clean()
-        if sources is not None and fingerprints is not None:
-            self._source_fingerprints = fingerprints
-            self._anchored_sources = sources
-            return
-        self._source_fingerprints = {}
-        self._anchored_sources = {}
-        for source in self._corpus:
-            self._source_fingerprints[source.source_id] = source_fingerprint(source)
-            self._anchored_sources[source.source_id] = source
 
     def _static_score(
         self, observation: PanelObservation, max_visitors: float, max_links: int
@@ -439,59 +519,122 @@ class SearchEngine:
         renormalised only when the traffic/link maxima moved (and the
         static order is then patched via ``bisect`` rather than re-sorted),
         and only the result-cache entries whose terms intersect the changed
-        sources' terms are dropped (everything, when the corpus size or the
-        maxima changed — document frequencies and static normalisation are
-        global in those cases).
+        sources' terms survive into the patched snapshot (none, when the
+        corpus size or the maxima changed — document frequencies and
+        static normalisation are global in those cases).
+
+        Thread-safety: the patched snapshot is built *aside* (concurrent
+        reads keep serving the previous one) and published under the
+        engine's write lock in O(1).  Builders are serialised by
+        ``refresh_mutex``; the subscription is drained before the build,
+        so a mutation landing mid-build re-dirties it and the next read
+        patches again — no event is ever lost.
         """
-        if not deep and not self._tracker.dirty:
+        if not deep and not self._subscription.dirty:
             self.counters.increment("refresh_noops")
             return False
-        return self._synchronise()
+        with self._refresh_mutex:
+            if not deep and not self._subscription.dirty:
+                # Another thread patched while this one waited for the gate.
+                self.counters.increment("refresh_noops")
+                return False
+            self._subscription.drain()
+            try:
+                state, changed = self._synchronise()
+            except BaseException:
+                # The staleness this refresh consumed must not be lost.
+                self._subscription.force_dirty()
+                raise
+            with self._rwlock.write_lock():
+                self._state = state
+            return changed
 
-    def _synchronise(self) -> bool:
-        """Full-fingerprint diff against the indexed epoch + incremental patch."""
+    def _synchronise(self) -> tuple[_IndexState, bool]:
+        """Full-fingerprint diff against the indexed epoch + incremental patch.
+
+        Builds and returns the successor snapshot (copy-on-write over the
+        current one) without touching any published state; the caller
+        swaps it in under the write lock.
+        """
         corpus = self._corpus
         if len(corpus) == 0:
             raise SearchError("cannot index an empty corpus")
-        previous_size = len(self._source_fingerprints)
+        previous = self._state
+        previous_size = len(previous.source_fingerprints)
         diff, current_sources, current_fingerprints = diff_fingerprints(
-            self._source_fingerprints, corpus
+            previous.source_fingerprints, corpus
         )
         added, changed, removed = diff.added, diff.changed, diff.removed
         if diff.is_empty:
             # Version bumped without a detectable content change (e.g. a
             # source removed and re-added unchanged); just re-pin the epoch.
-            self._record_epoch(current_sources, current_fingerprints)
+            state = _IndexState(
+                term_frequencies=previous.term_frequencies,
+                document_frequencies=previous.document_frequencies,
+                document_lengths=previous.document_lengths,
+                static_scores=previous.static_scores,
+                postings=previous.postings,
+                static_order=previous.static_order,
+                static_keys=previous.static_keys,
+                observations=previous.observations,
+                max_visitors=previous.max_visitors,
+                max_links=previous.max_links,
+                n_documents=previous.n_documents,
+                source_fingerprints=current_fingerprints,
+                anchored_sources=current_sources,
+                result_cache=previous.result_cache,
+            )
             self.counters.increment("refresh_noops")
-            return False
+            return state, False
 
         self.counters.increment("incremental_refreshes")
+        # Copy-on-write: container copies are O(n) pointer copies in
+        # corpus order, preserving the iteration orders a from-scratch
+        # rebuild would produce; the inner structures are only replaced
+        # for the sources the diff touched.
+        state = _IndexState(
+            term_frequencies=dict(previous.term_frequencies),
+            document_frequencies=previous.document_frequencies.copy(),
+            document_lengths=dict(previous.document_lengths),
+            static_scores=dict(previous.static_scores),
+            postings=dict(previous.postings),
+            static_order=previous.static_order,
+            static_keys=list(previous.static_keys),
+            observations=dict(previous.observations),
+            max_visitors=previous.max_visitors,
+            max_links=previous.max_links,
+            source_fingerprints=current_fingerprints,
+            anchored_sources=current_sources,
+        )
+        #: Postings lists this build already owns (safe to mutate in place).
+        copied: set[str] = set()
         #: Scores currently keyed into the static order, captured before the
         #: patch so their (score, id) keys can be bisect-removed.
         displaced_scores = {
-            source_id: self._static_scores[source_id]
+            source_id: state.static_scores[source_id]
             for source_id in (*removed, *changed)
-            if source_id in self._static_scores
+            if source_id in state.static_scores
         }
         affected_terms: set[str] = set()
         for source_id in removed:
-            affected_terms.update(self._unindex_source(source_id))
+            affected_terms.update(self._unindex_source(state, source_id, copied))
             self.counters.increment("sources_unindexed")
         for source_id in changed:
-            affected_terms.update(self._unindex_source(source_id))
+            affected_terms.update(self._unindex_source(state, source_id, copied))
             self.counters.increment("sources_unindexed")
         for source_id in (*changed, *added):
             source = current_sources[source_id]
-            self._observations[source_id] = self._panel.observe(source)
-            self._index_source(source)
-            affected_terms.update(self._term_frequencies[source_id])
+            state.observations[source_id] = self._panel.observe(source)
+            self._index_source(state, source, copied)
+            affected_terms.update(state.term_frequencies[source_id])
             self.counters.increment("sources_reindexed")
+        state.n_documents = len(current_sources)
 
         # Static scores: the normalisation denominators are corpus-wide
         # maxima, so a moved maximum forces a full renormalisation pass
         # (O(source count) arithmetic — still no re-tokenisation); an
         # unchanged maximum only needs scores for the patched sources.
-        observations = self._observations
+        observations = state.observations
         max_visitors = max(
             (observation.daily_visitors for observation in observations.values()),
             default=1.0,
@@ -500,43 +643,48 @@ class SearchEngine:
             (observation.inbound_links for observation in observations.values()),
             default=1,
         )
-        if max_visitors != self._max_visitors or max_links != self._max_links:
-            self._max_visitors = max_visitors
-            self._max_links = max_links
+        if max_visitors != previous.max_visitors or max_links != previous.max_links:
+            state.max_visitors = max_visitors
+            state.max_links = max_links
             for source_id, observation in observations.items():
-                self._static_scores[source_id] = self._static_score(
+                state.static_scores[source_id] = self._static_score(
                     observation, max_visitors, max_links
                 )
             self.counters.increment("static_renormalisations")
             statics_global = True
         else:
             for source_id in (*changed, *added):
-                self._static_scores[source_id] = self._static_score(
+                state.static_scores[source_id] = self._static_score(
                     observations[source_id], max_visitors, max_links
                 )
             statics_global = False
         if statics_global:
             # Every score may have moved: re-sort from scratch.
-            self._rebuild_static_order()
+            self._rebuild_static_order(state)
         else:
             # Only the patched sources moved: bisect them in and out.
-            self._patch_static_order(displaced_scores, (*changed, *added))
+            self._patch_static_order(state, displaced_scores, (*changed, *added))
 
-        # Result-cache invalidation: document frequencies embed the corpus
+        # Result-cache carry-over: document frequencies embed the corpus
         # size and static scores embed the maxima, so either changing makes
         # every memoised result stale; otherwise only queries mentioning a
-        # patched source's terms (old or new) can differ.
+        # patched source's terms (old or new) can differ.  The successor
+        # snapshot gets its own cache (entries memoised by readers still
+        # on the previous snapshot must not leak into this one), seeded
+        # with the surviving entries.
+        state.result_cache = LRUCache(maxsize=self.RESULT_CACHE_SIZE)
         if len(current_sources) != previous_size or statics_global:
-            self._result_cache.invalidate()
             self.counters.increment("result_cache_flushes")
         else:
-            for key in self._result_cache.keys():
+            for key in previous.result_cache.keys():
                 terms = key[0]
                 if affected_terms.intersection(terms):
-                    self._result_cache.invalidate(key)
                     self.counters.increment("result_cache_evictions")
-        self._record_epoch(current_sources, current_fingerprints)
-        return True
+                    continue
+                value = previous.result_cache.peek(key)
+                if value is not None:
+                    state.result_cache.put(key, value)
+        return state, True
 
     # -- querying -------------------------------------------------------------------
 
@@ -548,7 +696,7 @@ class SearchEngine:
         that want to bound memory without rebuilding the engine.
         """
         self._query_cache.invalidate()
-        self._result_cache.invalidate()
+        self._state.result_cache.invalidate()
 
     def static_rank(self) -> list[str]:
         """Source identifiers ordered by the static (popularity) score alone.
@@ -557,36 +705,41 @@ class SearchEngine:
         static scores move); this accessor only copies it.
         """
         self.refresh()
-        return list(self._static_order)
+        with self._rwlock.read_lock():
+            return list(self._state.static_order)
 
     def static_score(self, source_id: str) -> float:
         """Cached static (popularity) score of one source."""
         self.refresh()
-        try:
-            return self._static_scores[source_id]
-        except KeyError as exc:
-            raise SearchError(f"source {source_id!r} is not indexed") from exc
+        with self._rwlock.read_lock():
+            try:
+                return self._state.static_scores[source_id]
+            except KeyError as exc:
+                raise SearchError(f"source {source_id!r} is not indexed") from exc
 
     def topical_score(self, source_id: str, terms: list[str]) -> float:
         """TF-IDF-style topical match of one source against query terms."""
         self.refresh()
-        return self._topical_score(source_id, terms)
+        with self._rwlock.read_lock():
+            return self._topical_score(self._state, source_id, terms)
 
-    def _topical_score(self, source_id: str, terms: list[str]) -> float:
+    def _topical_score(
+        self, state: _IndexState, source_id: str, terms: list[str]
+    ) -> float:
         """Refresh-free scoring core shared with the full-scan loop."""
-        counter = self._term_frequencies.get(source_id)
+        counter = state.term_frequencies.get(source_id)
         if counter is None:
             raise SearchError(f"source {source_id!r} is not indexed")
         if not terms:
             return 0.0
-        n_documents = len(self._corpus)
-        length = self._document_lengths[source_id]
+        n_documents = state.n_documents
+        length = state.document_lengths[source_id]
         score = 0.0
         for term in terms:
             frequency = counter.get(term, 0)
             if frequency == 0:
                 continue
-            document_frequency = self._document_frequencies.get(term, 0)
+            document_frequency = state.document_frequencies.get(term, 0)
             idf = math.log((1 + n_documents) / (1 + document_frequency)) + 1.0
             score += (frequency / length) * idf
         return score
@@ -599,7 +752,9 @@ class SearchEngine:
             self._query_cache.put(query, terms)
         return terms
 
-    def _raw_topical_scores(self, terms: tuple[str, ...]) -> dict[str, float]:
+    def _raw_topical_scores(
+        self, state: _IndexState, terms: tuple[str, ...]
+    ) -> dict[str, float]:
         """Raw topical scores of every source matching at least one term.
 
         Accumulates per-term postings contributions in query-term order, so
@@ -607,13 +762,13 @@ class SearchEngine:
         same order, as the full-scan :meth:`topical_score` — the floats are
         bit-identical.
         """
-        n_documents = len(self._corpus)
+        n_documents = state.n_documents
         scores: dict[str, float] = {}
         for term in terms:
-            postings = self._postings.get(term)
+            postings = state.postings.get(term)
             if not postings:
                 continue
-            idf = math.log((1 + n_documents) / (1 + self._document_frequencies[term])) + 1.0
+            idf = math.log((1 + n_documents) / (1 + state.document_frequencies[term])) + 1.0
             for source_id, ratio in postings:
                 scores[source_id] = scores.get(source_id, 0.0) + ratio * idf
         return scores
@@ -644,54 +799,60 @@ class SearchEngine:
         if config.minimum_topical_score < 0:
             return self.search_fullscan(query, limit)
 
-        cache_key = (terms, limit)
-        cached = self._result_cache.get(cache_key)
-        if cached is not None:
-            self.counters.increment("result_cache_hits")
-            return list(cached)
+        with self._rwlock.read_lock():
+            state = self._state
+            cache_key = (terms, limit)
+            cached = state.result_cache.get(cache_key)
+            if cached is not None:
+                self.counters.increment("result_cache_hits")
+                return list(cached)
 
-        topical_scores = self._raw_topical_scores(terms)
-        self.counters.increment("queries")
-        self.counters.increment("candidates_scored", len(topical_scores))
-        max_topical = max(topical_scores.values(), default=0.0)
-        query_key = " ".join(terms)
-        noise_prefix = (_NOISE_SALT + query_key + "|").encode("utf-8")
-        static_weight = config.static_weight
-        topical_weight = config.topical_weight
-        noise_weight = config.query_noise_weight
-        minimum_topical = config.minimum_topical_score
-        total_weight = static_weight + topical_weight + noise_weight
-        static_scores = self._static_scores
-        noise_from_prefix = _noise_from_prefix
+            topical_scores = self._raw_topical_scores(state, terms)
+            self.counters.increment("queries")
+            self.counters.increment("candidates_scored", len(topical_scores))
+            max_topical = max(topical_scores.values(), default=0.0)
+            query_key = " ".join(terms)
+            noise_prefix = (_NOISE_SALT + query_key + "|").encode("utf-8")
+            static_weight = config.static_weight
+            topical_weight = config.topical_weight
+            noise_weight = config.query_noise_weight
+            minimum_topical = config.minimum_topical_score
+            total_weight = static_weight + topical_weight + noise_weight
+            static_scores = state.static_scores
+            noise_from_prefix = _noise_from_prefix
 
-        # Candidates are ranked as lightweight tuples; SearchResult objects
-        # are only materialised for the final top-k.  The arithmetic matches
-        # the full-scan path operation for operation.
-        scored: list[tuple[float, str, float]] = []
-        for source_id, raw_topical in topical_scores.items():
-            if raw_topical <= minimum_topical:
-                continue
-            normalized_topical = raw_topical / max_topical if max_topical > 0 else 0.0
-            noise = noise_from_prefix(noise_prefix, source_id)
-            combined = (
-                static_weight * static_scores[source_id]
-                + topical_weight * normalized_topical
-                + noise_weight * noise
-            ) / total_weight
-            scored.append((combined, source_id, normalized_topical))
-        top = heapq.nsmallest(limit, scored, key=lambda entry: (-entry[0], entry[1]))
-        results = [
-            SearchResult(
-                rank=index + 1,
-                source_id=source_id,
-                score=combined,
-                static_score=static_scores[source_id],
-                topical_score=normalized_topical,
+            # Candidates are ranked as lightweight tuples; SearchResult
+            # objects are only materialised for the final top-k.  The
+            # arithmetic matches the full-scan path operation for operation.
+            scored: list[tuple[float, str, float]] = []
+            for source_id, raw_topical in topical_scores.items():
+                if raw_topical <= minimum_topical:
+                    continue
+                normalized_topical = (
+                    raw_topical / max_topical if max_topical > 0 else 0.0
+                )
+                noise = noise_from_prefix(noise_prefix, source_id)
+                combined = (
+                    static_weight * static_scores[source_id]
+                    + topical_weight * normalized_topical
+                    + noise_weight * noise
+                ) / total_weight
+                scored.append((combined, source_id, normalized_topical))
+            top = heapq.nsmallest(
+                limit, scored, key=lambda entry: (-entry[0], entry[1])
             )
-            for index, (combined, source_id, normalized_topical) in enumerate(top)
-        ]
-        self._result_cache.put(cache_key, tuple(results))
-        return results
+            results = [
+                SearchResult(
+                    rank=index + 1,
+                    source_id=source_id,
+                    score=combined,
+                    static_score=static_scores[source_id],
+                    topical_score=normalized_topical,
+                )
+                for index, (combined, source_id, normalized_topical) in enumerate(top)
+            ]
+            state.result_cache.put(cache_key, tuple(results))
+            return results
 
     def search_fullscan(self, query: str, limit: int = 20) -> list[SearchResult]:
         """Reference full-scan implementation of :meth:`search`.
@@ -710,10 +871,12 @@ class SearchEngine:
             _reject_untokenizable(query)
 
         config = self._config
-        topical_scores = {
-            source_id: self._topical_score(source_id, terms)
-            for source_id in self._term_frequencies
-        }
+        with self._rwlock.read_lock():
+            state = self._state
+            topical_scores = {
+                source_id: self._topical_score(state, source_id, terms)
+                for source_id in state.term_frequencies
+            }
         max_topical = max(topical_scores.values(), default=0.0)
         query_key = " ".join(terms)
 
@@ -727,7 +890,7 @@ class SearchEngine:
                 config.static_weight + config.topical_weight + config.query_noise_weight
             )
             combined = (
-                config.static_weight * self._static_scores[source_id]
+                config.static_weight * state.static_scores[source_id]
                 + config.topical_weight * normalized_topical
                 + config.query_noise_weight * noise
             ) / total_weight
@@ -736,7 +899,7 @@ class SearchEngine:
                     rank=0,
                     source_id=source_id,
                     score=combined,
-                    static_score=self._static_scores[source_id],
+                    static_score=state.static_scores[source_id],
                     topical_score=normalized_topical,
                 )
             )

@@ -1,14 +1,36 @@
-"""Eager refresh serving layer.
+"""Concurrent eager-refresh serving layer.
 
-Turns the corpus's change notifications into *eager background refresh*
-of the incremental consumers (search engine, quality models), so that
-latency-critical reads find a clean dirty flag and serve in O(1) instead
-of paying the patch cost on the read path.  See
-:mod:`repro.serving.scheduler` for the mode semantics (sync / deferred /
-coalescing with a debounce window) and ``docs/ARCHITECTURE.md`` for the
-consumer registration contract.
+Turns the corpus's change notifications — fanned out by the shared
+:class:`~repro.sources.diffing.InvalidationBus` — into *eager background
+refresh* of the incremental consumers (search engine, quality models), so
+that latency-critical reads find a clean dirty flag and serve in O(1)
+instead of paying the patch cost on the read path.
+
+The layer is built from three pieces:
+
+* :mod:`repro.serving.rwlock` — a reentrant reader/writer lock; one per
+  consumer, so reads take a shared lock and patches exclude readers only
+  for the O(1) snapshot swap;
+* :mod:`repro.serving.queues` — per-consumer work queues, each with its
+  own bus subscription and drain serialisation, so one consumer's patch
+  never blocks another's reads or patches;
+* :mod:`repro.serving.scheduler` — the coordinator: modes (sync /
+  deferred / coalescing with a debounce window), the foreground pumps
+  (``flush``/``poll``/``drain``), the background worker and the composite
+  ``read_lock()``/``write_lock()`` freezes.
+
+See ``docs/ARCHITECTURE.md`` for the consumer registration contract and
+the concurrency model.
 """
 
-from repro.serving.scheduler import ConsumerStats, EagerRefreshScheduler, RefreshMode
+from repro.serving.queues import ConsumerQueue, ConsumerStats
+from repro.serving.rwlock import ReadWriteLock
+from repro.serving.scheduler import EagerRefreshScheduler, RefreshMode
 
-__all__ = ["ConsumerStats", "EagerRefreshScheduler", "RefreshMode"]
+__all__ = [
+    "ConsumerQueue",
+    "ConsumerStats",
+    "EagerRefreshScheduler",
+    "ReadWriteLock",
+    "RefreshMode",
+]

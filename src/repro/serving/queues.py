@@ -1,0 +1,165 @@
+"""Per-consumer work queues for the eager serving scheduler.
+
+The PR 4 scheduler kept one global pending set and patched every consumer
+under one patch lock, so one slow consumer refresh blocked every other
+consumer's patch *and* every guarded read.  The concurrent serving core
+splits that state per consumer: each registered consumer owns a
+:class:`ConsumerQueue` holding
+
+* its own typed :class:`~repro.sources.diffing.BusSubscription` on the
+  corpus's :class:`~repro.sources.diffing.InvalidationBus` (carrying the
+  consumer's source filter, so non-matching events never even reach the
+  queue),
+* its own :class:`~repro.serving.rwlock.ReadWriteLock` (shared with the
+  consumer itself for the built-ins, so the scheduler's composite
+  :meth:`~repro.serving.scheduler.EagerRefreshScheduler.read_lock` /
+  ``write_lock`` actually guard the consumer's snapshots),
+* its own drain mutex serialising *this queue's* refreshes only.
+
+Queues are drained independently: ``scheduler.flush()`` walks them in
+registration order, but a drain touches no shared lock beyond the bus's
+brief intake bookkeeping, so draining (or lazily patching) one consumer
+never blocks reads — or drains — of another.  A single queue can also be
+drained by name (``scheduler.drain(name)``) for callers that want to
+prioritise one consumer's freshness.
+
+Lock ordering (deadlock-free by construction): the refresh gate is the
+queue's *outermost* lock — a drain takes ``refresh gate → drain mutex``
+for its own consumer only, and the consumer's refresh takes its gate
+then its rwlock's write side for the snapshot swap, so every acquirer
+orders ``gate → everything else``.  The only multi-consumer acquirers
+are the scheduler's composite locks, which walk consumers in sorted-name
+order using the same per-consumer order, and corpus change notifications
+are delivered outside the corpus mutation lock, keeping it out of the
+ordering entirely.
+"""
+
+from __future__ import annotations
+
+import threading
+from dataclasses import dataclass
+from typing import Any, Callable, Optional
+
+from repro.perf.counters import PerfCounters
+from repro.serving.rwlock import ReadWriteLock
+from repro.sources.diffing import BusSubscription, PendingInvalidation
+
+__all__ = ["ConsumerStats", "ConsumerQueue"]
+
+
+@dataclass
+class ConsumerStats:
+    """Per-consumer bookkeeping exposed by ``EagerRefreshScheduler.stats``."""
+
+    name: str
+    patches: int = 0
+    skips: int = 0
+    errors: int = 0
+    #: ``"ExceptionType: message"`` of the most recent failed refresh.  A
+    #: string, not the exception object: a live exception would pin the
+    #: whole failed patch call stack (matrices, snapshots) via its
+    #: traceback for the long-lived scheduler's lifetime.
+    last_error: Optional[str] = None
+    last_duration_seconds: float = 0.0
+
+
+class ConsumerQueue:
+    """One consumer's independent work queue (see module docstring)."""
+
+    def __init__(
+        self,
+        name: str,
+        refresh: Callable[[], Any],
+        subscription: BusSubscription,
+        *,
+        clock: Callable[[], float],
+        rwlock: Optional[ReadWriteLock] = None,
+        refresh_gate: Optional[Any] = None,
+        counters: Optional[PerfCounters] = None,
+    ) -> None:
+        self.name = name
+        self._refresh = refresh
+        #: The queue's coalescing view of the corpus's change stream.
+        self.subscription = subscription
+        #: Reader/writer lock guarding the consumer's snapshots.  The
+        #: built-in registration wrappers pass the consumer's own lock so
+        #: scheduler-level composite locks guard the real state; ad-hoc
+        #: consumers get a private one.
+        self.rwlock = rwlock if rwlock is not None else ReadWriteLock()
+        #: The consumer's refresh serialisation gate (its patch mutex for
+        #: the built-ins).  Composite write locks acquire it so "no patch
+        #: while held" covers lazy reads as well as queue drains.
+        self.refresh_gate = refresh_gate if refresh_gate is not None else threading.RLock()
+        self._drain_mutex = threading.RLock()
+        self._clock = clock
+        self._counters = counters if counters is not None else PerfCounters()
+        self.stats = ConsumerStats(name=name)
+
+    # -- pending state ---------------------------------------------------------------
+
+    @property
+    def pending(self) -> bool:
+        """True when at least one matching event awaits this queue's drain."""
+        return self.subscription.peek() is not None
+
+    def peek(self) -> Optional[PendingInvalidation]:
+        """The coalesced pending events, without consuming them."""
+        return self.subscription.peek()
+
+    # -- draining ---------------------------------------------------------------------
+
+    def drain(self) -> tuple[int, Optional[BaseException]]:
+        """Apply pending work, if any; return ``(patches_run, error)``.
+
+        The pending view is consumed *before* the refresh runs; a refresh
+        that raises re-dirties the subscription (via ``force_dirty``) so
+        the staleness is not lost — the consumer will patch lazily on its
+        next read, exactly as without a scheduler.
+
+        The refresh gate is acquired *before* the drain mutex: the gate
+        is the queue's outermost lock everywhere (composite write locks,
+        lazy read-path refreshes, drains), so two threads draining and
+        freezing the same consumer can never deadlock on opposite orders.
+        """
+        if self.subscription.peek() is None:
+            return 0, None
+        with self.refresh_gate:
+            with self._drain_mutex:
+                if self.subscription.drain() is None:
+                    return 0, None
+                return self._run()
+
+    def force_refresh(self) -> tuple[int, Optional[BaseException]]:
+        """Unconditionally run the consumer's refresh once (clears pending)."""
+        with self.refresh_gate:
+            with self._drain_mutex:
+                self.subscription.drain()
+                return self._run()
+
+    def _run(self) -> tuple[int, Optional[BaseException]]:
+        started = self._clock()
+        try:
+            with self.refresh_gate:
+                self._refresh()
+        except Exception as exc:  # noqa: BLE001 - recorded; callers may re-raise
+            self.subscription.force_dirty()
+            self.stats.errors += 1
+            self.stats.last_error = f"{type(exc).__name__}: {exc}"
+            self._counters.increment("refresh_errors")
+            self.stats.last_duration_seconds = self._clock() - started
+            return 0, exc
+        self.stats.patches += 1
+        self._counters.increment("consumers_patched")
+        self.stats.last_duration_seconds = self._clock() - started
+        return 1, None
+
+    def skip(self) -> None:
+        """Record that a scheduler apply-cycle had nothing for this queue."""
+        self.stats.skips += 1
+        self._counters.increment("consumer_skips")
+
+    # -- lifecycle ----------------------------------------------------------------------
+
+    def close(self) -> None:
+        """Detach the queue's subscription from the bus (idempotent)."""
+        self.subscription.close()

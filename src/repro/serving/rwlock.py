@@ -1,0 +1,153 @@
+"""A reentrant reader/writer lock for the concurrent serving core.
+
+The PR 4 scheduler serialised *everything* — every consumer patch and
+every guarded read — behind one ``RLock``, so a slow quality-model refit
+blocked unrelated search reads.  The concurrent serving core instead
+gives every consumer its own :class:`ReadWriteLock`:
+
+* **reads** take the *shared* side: any number of reader threads hold it
+  simultaneously, so reads under no pending patch never queue behind each
+  other;
+* **patches** take the *exclusive* side only for the O(1) snapshot swap —
+  the patched state is built aside first, so readers are excluded for one
+  pointer assignment, not for the patch.
+
+Semantics:
+
+* **Writer preference** — a waiting writer blocks *new* readers, so a
+  steady read stream cannot starve the swap.  Threads that already hold
+  the lock (in either mode) are exempt, which is what makes it reentrant.
+* **Reentrancy** — a thread may re-acquire the read side while reading,
+  re-acquire the write side while writing, and take the read side while
+  holding the write side (a guarded read calling into a consumer whose
+  read path takes its own shared lock).  The one forbidden shape is the
+  classic upgrade deadlock — acquiring the write side while holding only
+  the read side raises :class:`~repro.errors.ServingError` immediately
+  instead of deadlocking, since two upgrading readers would each wait for
+  the other to release.
+* Both sides are exposed as context managers (:meth:`read_lock` /
+  :meth:`write_lock`), the shape the scheduler re-exports so callers
+  cannot accidentally hold the exclusive side for a read.
+"""
+
+from __future__ import annotations
+
+import threading
+from contextlib import contextmanager
+from typing import Iterator, Optional
+
+from repro.errors import ServingError
+
+__all__ = ["ReadWriteLock"]
+
+
+class ReadWriteLock:
+    """Writer-preferring, reentrant reader/writer lock (see module docstring)."""
+
+    def __init__(self) -> None:
+        self._condition = threading.Condition(threading.Lock())
+        #: Per-thread read-entry depth (reentrant reads).
+        self._readers: dict[int, int] = {}
+        #: Thread id currently holding the write side, if any.
+        self._writer: Optional[int] = None
+        self._writer_depth = 0
+        #: Writers blocked waiting for readers/writer to drain; new
+        #: readers queue behind them (writer preference).
+        self._waiting_writers = 0
+
+    # -- introspection ------------------------------------------------------------
+
+    @property
+    def read_held(self) -> bool:
+        """True when the calling thread holds the read side."""
+        return threading.get_ident() in self._readers
+
+    @property
+    def write_held(self) -> bool:
+        """True when the calling thread holds the write side."""
+        return self._writer == threading.get_ident()
+
+    # -- acquisition --------------------------------------------------------------
+
+    def acquire_read(self) -> None:
+        """Acquire the shared side (blocks while a writer holds or waits)."""
+        me = threading.get_ident()
+        with self._condition:
+            if self._writer == me or me in self._readers:
+                # Reentrant: a thread already inside (either side) may
+                # read; making it wait on itself would deadlock.
+                self._readers[me] = self._readers.get(me, 0) + 1
+                return
+            while self._writer is not None or self._waiting_writers:
+                self._condition.wait()
+            self._readers[me] = 1
+
+    def release_read(self) -> None:
+        """Release one read entry of the calling thread."""
+        me = threading.get_ident()
+        with self._condition:
+            depth = self._readers.get(me)
+            if depth is None:
+                raise ServingError("release_read without a matching acquire_read")
+            if depth > 1:
+                self._readers[me] = depth - 1
+                return
+            del self._readers[me]
+            self._condition.notify_all()
+
+    def acquire_write(self) -> None:
+        """Acquire the exclusive side (blocks until readers/writer drain).
+
+        Raises :class:`~repro.errors.ServingError` when the calling thread
+        holds only the read side: a read-to-write upgrade deadlocks the
+        moment two readers attempt it, so it is rejected outright.
+        """
+        me = threading.get_ident()
+        with self._condition:
+            if self._writer == me:
+                self._writer_depth += 1
+                return
+            if me in self._readers:
+                raise ServingError(
+                    "cannot upgrade a read lock to a write lock; "
+                    "acquire the write side first"
+                )
+            self._waiting_writers += 1
+            try:
+                while self._writer is not None or self._readers:
+                    self._condition.wait()
+                self._writer = me
+                self._writer_depth = 1
+            finally:
+                self._waiting_writers -= 1
+
+    def release_write(self) -> None:
+        """Release one write entry of the calling thread."""
+        me = threading.get_ident()
+        with self._condition:
+            if self._writer != me:
+                raise ServingError("release_write by a thread not holding the lock")
+            self._writer_depth -= 1
+            if self._writer_depth == 0:
+                self._writer = None
+                self._condition.notify_all()
+
+    # -- context managers -----------------------------------------------------------
+
+    @contextmanager
+    def read_lock(self) -> Iterator["ReadWriteLock"]:
+        """Hold the shared side for the ``with`` block."""
+        self.acquire_read()
+        try:
+            yield self
+        finally:
+            self.release_read()
+
+    @contextmanager
+    def write_lock(self) -> Iterator["ReadWriteLock"]:
+        """Hold the exclusive side for the ``with`` block."""
+        self.acquire_write()
+        try:
+            yield self
+        finally:
+            self.release_write()

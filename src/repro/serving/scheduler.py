@@ -10,11 +10,11 @@ whole patch, which is exactly where an interactive mashup can least
 afford latency.
 
 :class:`EagerRefreshScheduler` moves that cost off the read path.  It
-subscribes to the corpus's :class:`~repro.sources.corpus.CorpusChange`
-notifications and drives the registered consumers' *ordinary* refresh
-entry points ahead of the next read, so a hot read finds a clean dirty
-flag and serves in O(1).  Three modes trade patch count against write
-latency:
+registers one typed subscription per consumer on the corpus's shared
+:class:`~repro.sources.diffing.InvalidationBus` and drives the
+consumers' *ordinary* refresh entry points ahead of the next read, so a
+hot read finds a clean dirty flag and serves in O(1).  Three modes trade
+patch count against write latency:
 
 ``sync``
     Refresh inline, inside the mutation's notification: every event pays
@@ -48,43 +48,58 @@ The consumer registration contract is documented in
 :meth:`~EagerRefreshScheduler.register`; convenience wrappers cover the
 built-in consumers.  Registrations may carry a *source filter* so that
 per-source consumers (a contributor model watching one community) are
-only refreshed by events touching their source.
+only refreshed by events touching their source — the filter lives in the
+consumer's bus subscription, so non-matching events never even reach its
+queue.
 
-Threading: :meth:`~EagerRefreshScheduler.start` launches a daemon worker
-that applies deferred/coalescing patches in the background.  Event
-intake and patching use *separate* locks: notifications from mutating
-threads only take the intake lock briefly to record the event (they
-never wait for a running patch), while consumer refreshes are serialised
-under the patch lock (``scheduler.lock``).  The built-in consumers are
-not internally thread-safe, so when reads happen on a different thread
-than the background worker, perform them under ``scheduler.lock``;
-single-threaded callers (the common case — drive the scheduler with
-``flush()``/``poll()``) need no locking at all.
+Threading (the concurrent serving core): every registered consumer owns
+a :class:`~repro.serving.queues.ConsumerQueue` — its own coalescing bus
+subscription, its own drain serialisation and its own
+:class:`~repro.serving.rwlock.ReadWriteLock` — so a patch to one
+consumer never blocks reads, or patches, of another.  The built-in
+consumers are themselves thread-safe (their refreshes build the patched
+state *aside* and swap it in under their write lock in O(1)), so plain
+reads need no scheduler lock at all; reads under no pending patch take
+only the consumer's shared lock.  For callers that want to freeze every
+registered consumer at once (multi-consumer consistency, end-of-run
+assertions), :meth:`~EagerRefreshScheduler.read_lock` and
+:meth:`~EagerRefreshScheduler.write_lock` return composite context
+managers over all queues; the legacy ``scheduler.lock`` property remains
+as a deprecated alias for the write side.
+:meth:`~EagerRefreshScheduler.start` launches a daemon worker that
+applies deferred/coalescing patches in the background; notifications
+from mutating threads only record the event into the bus and poke the
+worker — they never wait for a running patch.
 
 Error policy: a consumer refresh that raises is always recorded in the
-consumer's :class:`ConsumerStats` (and the ``refresh_errors`` counter).
+consumer's :class:`~repro.serving.queues.ConsumerStats` (and the
+``refresh_errors`` counter), and the staleness it consumed is restored to
+its queue's subscription so the consumer falls back to lazy refresh.
 Explicit foreground calls — :meth:`~EagerRefreshScheduler.flush`,
 :meth:`~EagerRefreshScheduler.poll`,
-:meth:`~EagerRefreshScheduler.refresh_all` — additionally re-raise the
-first failure as a :class:`~repro.errors.ServingError`.  Sync-mode
-patches (which run inside the *mutation's* notification) and the
-background worker do not raise: a failed eager refresh must not make an
+:meth:`~EagerRefreshScheduler.refresh_all`,
+:meth:`~EagerRefreshScheduler.drain` — additionally re-raise the first
+failure as a :class:`~repro.errors.ServingError`.  Sync-mode patches
+(which run inside the *mutation's* notification) and the background
+worker do not raise: a failed eager refresh must not make an
 already-applied corpus mutation appear to fail, nor starve other
-listeners of the event — the consumer simply falls back to lazy refresh
-on its next read, where the error (if persistent) surfaces in context.
+listeners of the event.
 """
 
 from __future__ import annotations
 
 import threading
 import time
-from dataclasses import dataclass, field
+import warnings
 from enum import Enum
 from typing import Any, Callable, Iterable, Optional
 
 from repro.errors import ServingError
 from repro.perf.counters import PerfCounters
+from repro.serving.queues import ConsumerQueue, ConsumerStats
+from repro.serving.rwlock import ReadWriteLock
 from repro.sources.corpus import CorpusChange, SourceCorpus
+from repro.sources.diffing import PendingInvalidation
 
 __all__ = ["RefreshMode", "ConsumerStats", "EagerRefreshScheduler"]
 
@@ -100,45 +115,64 @@ class RefreshMode(str, Enum):
     COALESCING = "coalescing"
 
 
-@dataclass
-class ConsumerStats:
-    """Per-consumer bookkeeping exposed by :meth:`EagerRefreshScheduler.stats`."""
+class _CompositeLock:
+    """Acquire one side of every registered queue's rwlock, in sorted order.
 
-    name: str
-    patches: int = 0
-    skips: int = 0
-    errors: int = 0
-    #: ``"ExceptionType: message"`` of the most recent failed refresh.  A
-    #: string, not the exception object: a live exception would pin the
-    #: whole failed patch call stack (matrices, snapshots) via its
-    #: traceback for the long-lived scheduler's lifetime.
-    last_error: Optional[str] = None
-    last_duration_seconds: float = 0.0
+    The write side additionally acquires each consumer's refresh gate, so
+    "no patch while held" covers lazy read-path patches too, not just the
+    scheduler's drains.  All multi-consumer acquirers use the same sorted
+    name order (and the same per-consumer gate-then-write order the
+    consumers' own refresh paths use), which is what keeps the composite
+    deadlock-free against individual patchers.
+    """
 
+    def __init__(self, scheduler: "EagerRefreshScheduler", write: bool) -> None:
+        self._scheduler = scheduler
+        self._write = write
+        self._acquired: list[tuple[str, Any]] = []
 
-@dataclass
-class _Consumer:
-    """One registered refresh target."""
+    def __enter__(self) -> "_CompositeLock":
+        queues = self._scheduler._queues_snapshot()
+        try:
+            for queue in sorted(queues, key=lambda q: q.name):
+                if self._write:
+                    queue.refresh_gate.acquire()
+                    self._acquired.append(("gate", queue.refresh_gate))
+                    queue.rwlock.acquire_write()
+                    self._acquired.append(("write", queue.rwlock))
+                else:
+                    queue.rwlock.acquire_read()
+                    self._acquired.append(("read", queue.rwlock))
+        except BaseException:
+            # A mid-walk failure (e.g. a rejected read→write upgrade on
+            # one consumer's rwlock) must not leak the locks already
+            # taken: __exit__ never runs when __enter__ raises.
+            self._release_acquired()
+            raise
+        return self
 
-    name: str
-    refresh: Callable[[], Any]
-    #: When set, only events whose ``source_id`` is in this set trigger a
-    #: refresh of this consumer (per-source consumers such as a
-    #: contributor model watching one community).
-    source_filter: Optional[frozenset] = None
-    stats: ConsumerStats = field(default_factory=lambda: ConsumerStats(name=""))
+    def __exit__(self, *exc_info: Any) -> None:
+        self._release_acquired()
 
-    def __post_init__(self) -> None:
-        self.stats.name = self.name
+    def _release_acquired(self) -> None:
+        while self._acquired:
+            kind, lock = self._acquired.pop()
+            if kind == "gate":
+                lock.release()
+            elif kind == "write":
+                lock.release_write()
+            else:
+                lock.release_read()
 
 
 class EagerRefreshScheduler:
     """Subscribe to corpus changes and patch registered consumers eagerly.
 
     See the module docstring for the mode semantics.  The scheduler holds
-    a *strong* subscription on the corpus and strong references to its
-    consumers; call :meth:`close` (or use it as a context manager) when
-    done, which unsubscribes and stops the background worker.
+    strong references to its consumers and registers subscriptions on the
+    corpus's invalidation bus; call :meth:`close` (or use it as a context
+    manager) when done, which detaches every subscription and stops the
+    background worker.
     """
 
     def __init__(
@@ -159,24 +193,21 @@ class EagerRefreshScheduler:
         self._debounce_window = float(debounce_window)
         self._max_delay = float(max_delay)
         self._clock = clock
-        self._consumers: dict[str, _Consumer] = {}
-        #: Intake lock: protects the pending-event state and the consumer
-        #: registry.  Notifications only ever take this one, briefly.
+        self._queues: dict[str, ConsumerQueue] = {}
+        #: Intake lock: protects the queue registry and the worker state.
         self._intake = threading.RLock()
         self._wakeup = threading.Condition(self._intake)
-        #: Patch lock: serialises consumer refreshes (and the reads that
-        #: must not race them — see the ``lock`` property).  Always
-        #: acquired *before* the intake lock, never while holding it.
-        self._patch_lock = threading.RLock()
-        #: Source identifiers touched since the last applied patch.
-        self._pending_ids: set[str] = set()
-        self._first_pending_at: Optional[float] = None
-        self._last_event_at: Optional[float] = None
         self._auto_names = 0
         self._thread: Optional[threading.Thread] = None
         self._closed = False
         self.counters = PerfCounters()
-        corpus.subscribe(self._on_change)
+        self._bus = corpus.invalidation_bus()
+        #: The scheduler's own unfiltered subscription: the global pending
+        #: marker (drives ``pending``/``due``/the worker) and the
+        #: notification hook that wakes the worker / runs sync patches.
+        self._marker = self._bus.subscribe(
+            name="eager-refresh-scheduler", clock=clock, on_event=self._on_event
+        )
 
     # -- accessors -----------------------------------------------------------------
 
@@ -190,16 +221,47 @@ class EagerRefreshScheduler:
         """The configured refresh mode."""
         return self._mode
 
+    def read_lock(self) -> _CompositeLock:
+        """Context manager holding every consumer's *shared* lock.
+
+        Freezes all registered consumers' snapshots for a multi-consumer
+        consistent read; concurrent readers are unaffected, patches wait
+        at their O(1) swap.  Plain single-consumer reads do not need it —
+        the built-in consumers are internally thread-safe.
+        """
+        return _CompositeLock(self, write=False)
+
+    def write_lock(self) -> _CompositeLock:
+        """Context manager holding every consumer's *exclusive* side.
+
+        Excludes scheduler drains and lazy read-path patches alike; the
+        holder may still read (and even refresh) the consumers itself —
+        the per-consumer locks are reentrant for their holder.
+        """
+        return _CompositeLock(self, write=True)
+
     @property
-    def lock(self) -> threading.RLock:
-        """Lock serialising patches; hold it for reads from other threads."""
-        return self._patch_lock
+    def lock(self) -> _CompositeLock:
+        """Deprecated alias for :meth:`write_lock`.
+
+        PR 4 exposed one raw ``RLock`` serialising every patch and guarded
+        read; the concurrent core replaced it with per-consumer
+        reader/writer locks.  Use ``with scheduler.read_lock():`` for
+        guarded reads and ``with scheduler.write_lock():`` for exclusive
+        freezes instead of holding the exclusive side for reads.
+        """
+        warnings.warn(
+            "EagerRefreshScheduler.lock is deprecated; use read_lock() for "
+            "guarded reads or write_lock() for exclusive access",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+        return self.write_lock()
 
     @property
     def pending(self) -> bool:
         """True when at least one event awaits a patch (always False in sync mode)."""
-        with self._intake:
-            return bool(self._pending_ids)
+        return self._marker.peek() is not None
 
     @property
     def running(self) -> bool:
@@ -210,12 +272,21 @@ class EagerRefreshScheduler:
     def consumer_names(self) -> list[str]:
         """Names of the registered consumers, in registration order."""
         with self._intake:
-            return list(self._consumers)
+            return list(self._queues)
 
     def stats(self) -> dict[str, ConsumerStats]:
         """Per-consumer patch/skip/error statistics keyed by consumer name."""
         with self._intake:
-            return {name: consumer.stats for name, consumer in self._consumers.items()}
+            return {name: queue.stats for name, queue in self._queues.items()}
+
+    def queue(self, name: str) -> ConsumerQueue:
+        """The work queue registered under ``name`` (KeyError when unknown)."""
+        with self._intake:
+            return self._queues[name]
+
+    def _queues_snapshot(self) -> list[ConsumerQueue]:
+        with self._intake:
+            return list(self._queues.values())
 
     # -- registration ---------------------------------------------------------------
 
@@ -225,6 +296,8 @@ class EagerRefreshScheduler:
         refresh: Callable[[], Any],
         *,
         source_ids: Optional[Iterable[str]] = None,
+        rwlock: Optional[ReadWriteLock] = None,
+        refresh_gate: Optional[Any] = None,
     ) -> None:
         """Register ``refresh`` to be driven eagerly under ``name``.
 
@@ -233,16 +306,33 @@ class EagerRefreshScheduler:
         the built-in consumers that is exactly their lazy refresh entry
         point, which is what guarantees eager results are bit-identical to
         lazy ones.  ``source_ids`` optionally restricts the consumer to
-        events touching those sources.  Registering an existing name
-        replaces it.
+        events touching those sources (the filter lives in the consumer's
+        bus subscription).  ``rwlock``/``refresh_gate`` let the consumer
+        share its own reader/writer lock and refresh serialisation with
+        the queue, so the scheduler's composite locks guard the real
+        snapshots; the built-in registration wrappers pass them
+        automatically.  Registering an existing name replaces it (the old
+        queue's subscription is detached).
         """
-        consumer = _Consumer(
-            name=name,
-            refresh=refresh,
-            source_filter=frozenset(source_ids) if source_ids is not None else None,
+        subscription = self._bus.subscribe(
+            name=f"consumer:{name}",
+            source_ids=source_ids,
+            clock=self._clock,
+        )
+        queue = ConsumerQueue(
+            name,
+            refresh,
+            subscription,
+            clock=self._clock,
+            rwlock=rwlock,
+            refresh_gate=refresh_gate,
+            counters=self.counters,
         )
         with self._intake:
-            self._consumers[name] = consumer
+            previous = self._queues.pop(name, None)
+            self._queues[name] = queue
+        if previous is not None:
+            previous.close()
 
     def _auto_name(self, prefix: str) -> str:
         """A fresh consumer name that can never replace a live registration."""
@@ -250,13 +340,18 @@ class EagerRefreshScheduler:
             while True:
                 name = f"{prefix}-{self._auto_names}"
                 self._auto_names += 1
-                if name not in self._consumers:
+                if name not in self._queues:
                     return name
 
     def register_search_engine(self, engine: Any, name: Optional[str] = None) -> str:
         """Register a :class:`~repro.search.engine.SearchEngine` (``engine.refresh``)."""
         name = name or self._auto_name("search-engine")
-        self.register(name, engine.refresh)
+        self.register(
+            name,
+            engine.refresh,
+            rwlock=getattr(engine, "rwlock", None),
+            refresh_gate=getattr(engine, "refresh_mutex", None),
+        )
         return name
 
     def register_source_model(
@@ -275,7 +370,10 @@ class EagerRefreshScheduler:
         target = corpus if corpus is not None else self._corpus
         name = name or self._auto_name("source-model")
         self.register(
-            name, lambda: model.assessment_context(target, benchmark_corpus)
+            name,
+            lambda: model.assessment_context(target, benchmark_corpus),
+            rwlock=getattr(model, "rwlock", None),
+            refresh_gate=getattr(model, "refresh_mutex", None),
         )
         return name
 
@@ -284,37 +382,46 @@ class EagerRefreshScheduler:
     ) -> str:
         """Register a contributor model for one source's community.
 
-        The consumer is filtered to events touching ``source`` (other
-        sources' mutations cannot stale this community), and the eager
-        refresh drives ``model.refresh(source)``.
+        The consumer's subscription is filtered to events touching
+        ``source`` (other sources' mutations cannot stale this community),
+        and the eager refresh drives ``model.refresh(source)``.
         """
         name = name or self._auto_name(f"contributor-model-{source.source_id}")
         self.register(
             name,
             lambda: model.refresh(source),
             source_ids=(source.source_id,),
+            rwlock=getattr(model, "rwlock", None),
+            refresh_gate=getattr(model, "refresh_mutex", None),
         )
         return name
 
     def unregister(self, name: str) -> bool:
         """Remove a registered consumer; returns False when unknown."""
         with self._intake:
-            return self._consumers.pop(name, None) is not None
+            queue = self._queues.pop(name, None)
+        if queue is None:
+            return False
+        queue.close()
+        return True
 
     # -- event intake ----------------------------------------------------------------
 
-    def _on_change(self, change: CorpusChange) -> None:
+    def _on_event(self, change: CorpusChange) -> None:
+        """Per-event hook (called by the bus, outside its intake lock).
+
+        The event itself is already coalesced into every matching queue's
+        subscription by the bus; this hook only keeps the scheduler-level
+        counters and wakes the worker — or, in sync mode, patches inline
+        on the mutating thread.
+        """
         with self._intake:
             if self._closed:
                 return
             self.counters.increment("notifications")
-            if self._pending_ids:
+            pending = self._marker.peek()
+            if pending is not None and pending.events > 1:
                 self.counters.increment("coalesced_events")
-            self._pending_ids.add(change.source_id)
-            now = self._clock()
-            if self._first_pending_at is None:
-                self._first_pending_at = now
-            self._last_event_at = now
             if self._mode is not RefreshMode.SYNC:
                 self._wakeup.notify_all()
                 return
@@ -327,6 +434,14 @@ class EagerRefreshScheduler:
 
     # -- patching --------------------------------------------------------------------
 
+    def _due_pending(self, pending: PendingInvalidation, now: float) -> bool:
+        if self._mode is not RefreshMode.COALESCING:
+            return True
+        return (
+            now - pending.last_at >= self._debounce_window
+            or now - pending.first_at >= self._max_delay
+        )
+
     def due(self, now: Optional[float] = None) -> bool:
         """True when pending work should be applied at ``now`` (poll contract).
 
@@ -334,19 +449,10 @@ class EagerRefreshScheduler:
         mode is due once the stream has been quiet for the debounce window
         or the oldest pending event has waited ``max_delay``.
         """
-        with self._intake:
-            return self._due_locked(self._clock() if now is None else now)
-
-    def _due_locked(self, now: float) -> bool:
-        if not self._pending_ids:
+        pending = self._marker.peek()
+        if pending is None:
             return False
-        if self._mode is not RefreshMode.COALESCING:
-            return True
-        assert self._last_event_at is not None and self._first_pending_at is not None
-        return (
-            now - self._last_event_at >= self._debounce_window
-            or now - self._first_pending_at >= self._max_delay
-        )
+        return self._due_pending(pending, self._clock() if now is None else now)
 
     def poll(self) -> int:
         """Apply pending work if it is due; return the number of patches run.
@@ -354,9 +460,8 @@ class EagerRefreshScheduler:
         The foreground pump for callers without a background worker:
         call it from the serving loop (e.g. once per request batch).
         """
-        with self._intake:
-            if not self._due_locked(self._clock()):
-                return 0
+        if not self.due():
+            return 0
         return self._apply(raise_errors=True)
 
     def flush(self) -> int:
@@ -368,75 +473,78 @@ class EagerRefreshScheduler:
         """
         return self._apply(raise_errors=True)
 
+    def drain(self, name: str) -> int:
+        """Drain one consumer's queue independently of the others.
+
+        Applies the named queue's pending work now (ignoring the debounce
+        window) without touching any other queue — the entry point for
+        callers that want to prioritise one consumer's freshness.  Returns
+        the number of patches run (0 when that queue was idle); re-raises
+        a refresh failure as :class:`~repro.errors.ServingError`.
+        """
+        with self._intake:
+            queue = self._queues.get(name)
+        if queue is None:
+            raise ServingError(f"no consumer registered under {name!r}")
+        patched, error = queue.drain()
+        if error is not None:
+            raise ServingError(
+                f"eager refresh of consumer {name!r} failed"
+            ) from error
+        return patched
+
     def refresh_all(self) -> int:
         """Unconditionally run every registered consumer's refresh once.
 
         Useful right after registration to warm consumers up so the first
         mutation patches incrementally instead of building from scratch.
         """
-        with self._patch_lock:
-            with self._intake:
-                self._pending_ids.clear()
-                self._first_pending_at = None
-                self._last_event_at = None
-                consumers = tuple(self._consumers.values())
-            return self._refresh_consumers(consumers, raise_errors=True)
-
-    def _apply(self, raise_errors: bool) -> int:
-        """Apply the pending patch to every matching consumer.
-
-        Consumer refreshes run under the patch lock only; the intake lock
-        is taken just long enough to snapshot-and-clear the pending state,
-        so mutating threads are never blocked behind a running patch.
-        """
-        with self._patch_lock:
-            with self._intake:
-                if not self._pending_ids:
-                    return 0
-                touched = frozenset(self._pending_ids)
-                self._pending_ids.clear()
-                self._first_pending_at = None
-                self._last_event_at = None
-                matching: list[_Consumer] = []
-                for consumer in self._consumers.values():
-                    if (
-                        consumer.source_filter is not None
-                        and not consumer.source_filter & touched
-                    ):
-                        consumer.stats.skips += 1
-                        self.counters.increment("consumer_skips")
-                        continue
-                    matching.append(consumer)
-                self.counters.increment("patches_applied")
-            return self._refresh_consumers(matching, raise_errors)
-
-    def _refresh_consumers(
-        self, consumers: Iterable[_Consumer], raise_errors: bool
-    ) -> int:
-        """Run the refreshes (patch lock held by every caller)."""
+        self._marker.drain()
         patched = 0
         errors: list[tuple[str, BaseException]] = []
-        for consumer in consumers:
-            started = self._clock()
-            try:
-                consumer.refresh()
-            except Exception as exc:  # noqa: BLE001 - recorded; re-raised below
-                consumer.stats.errors += 1
-                consumer.stats.last_error = f"{type(exc).__name__}: {exc}"
-                self.counters.increment("refresh_errors")
-                errors.append((consumer.name, exc))
+        for queue in self._queues_snapshot():
+            count, error = queue.force_refresh()
+            patched += count
+            if error is not None:
+                errors.append((queue.name, error))
+        self._raise_first(errors, raise_errors=True)
+        return patched
+
+    def _apply(self, raise_errors: bool) -> int:
+        """Apply the pending patch to every queue with matching events.
+
+        The scheduler-level marker is drained first (one ``patches_applied``
+        apply-cycle per burst); each queue then drains *its own* pending
+        state under its own serialisation — queues with nothing pending
+        (their source filter excluded the whole burst) record a skip.  No
+        lock is shared across queues, so one consumer's slow patch never
+        delays another's.
+        """
+        if self._marker.drain() is None:
+            return 0
+        self.counters.increment("patches_applied")
+        patched = 0
+        errors: list[tuple[str, BaseException]] = []
+        for queue in self._queues_snapshot():
+            if queue.pending:
+                count, error = queue.drain()
+                patched += count
+                if error is not None:
+                    errors.append((queue.name, error))
             else:
-                consumer.stats.patches += 1
-                patched += 1
-                self.counters.increment("consumers_patched")
-            consumer.stats.last_duration_seconds = self._clock() - started
+                queue.skip()
+        self._raise_first(errors, raise_errors)
+        return patched
+
+    def _raise_first(
+        self, errors: list[tuple[str, BaseException]], raise_errors: bool
+    ) -> None:
         if errors and raise_errors:
             # Explicit foreground calls get the failure; sync notifications
             # and the background worker record it (see ConsumerStats) and
             # keep serving the other consumers.
             name, exc = errors[0]
             raise ServingError(f"eager refresh of consumer {name!r} failed") from exc
-        return patched
 
     # -- background worker -------------------------------------------------------------
 
@@ -480,16 +588,15 @@ class EagerRefreshScheduler:
             with self._intake:
                 if self._thread is not threading.current_thread() or self._closed:
                     return
-                if not self._pending_ids:
+                pending = self._marker.peek()
+                if pending is None:
                     self._wakeup.wait(timeout=0.5)
                     continue
                 now = self._clock()
-                if not self._due_locked(now):
-                    assert self._last_event_at is not None
-                    assert self._first_pending_at is not None
+                if not self._due_pending(pending, now):
                     deadline = min(
-                        self._last_event_at + self._debounce_window,
-                        self._first_pending_at + self._max_delay,
+                        pending.last_at + self._debounce_window,
+                        pending.first_at + self._max_delay,
                     )
                     self._wakeup.wait(timeout=max(0.0, deadline - now))
                     continue
@@ -500,19 +607,25 @@ class EagerRefreshScheduler:
     # -- lifecycle ----------------------------------------------------------------------
 
     def close(self) -> None:
-        """Unsubscribe from the corpus and stop the worker (idempotent).
+        """Detach every bus subscription and stop the worker (idempotent).
 
         Pending work is *not* applied: after ``close`` the consumers are
-        back to plain lazy refresh, which remains correct.
+        back to plain lazy refresh, which remains correct.  The
+        scheduler's subscriptions — its own pending marker and every
+        queue's — are unregistered from the corpus's invalidation bus, so
+        a closed scheduler receives no further notifications and holds no
+        listener registration on the corpus.
         """
         with self._intake:
             if self._closed:
                 return
             self._closed = True
-            self._pending_ids.clear()
             self._wakeup.notify_all()
+            queues = list(self._queues.values())
         self.stop()
-        self._corpus.unsubscribe(self._on_change)
+        self._marker.close()
+        for queue in queues:
+            queue.close()
 
     def __enter__(self) -> "EagerRefreshScheduler":
         return self

@@ -33,10 +33,15 @@ mutations, it never patches anyone.
 from __future__ import annotations
 
 import json
+import threading
 import weakref
+from contextlib import contextmanager
 from dataclasses import dataclass, field
 from pathlib import Path
-from typing import Any, Callable, Iterable, Iterator, Optional
+from typing import TYPE_CHECKING, Any, Callable, Iterable, Iterator, Optional
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.sources.diffing import InvalidationBus
 
 from repro.errors import CorpusError, UnknownSourceError
 from repro.perf.cache import corpus_fingerprint, corpus_probe
@@ -91,6 +96,24 @@ class SourceCorpus:
         self._version = 0
         #: Strong callables and (for weak=True subscribers) weakrefs, mixed.
         self._listeners: list[Any] = []
+        #: Serialises mutations (add/remove/touch and their notifications)
+        #: so one corpus supports concurrent mutator threads.  Reentrant:
+        #: a listener running inside a notification (e.g. a sync-mode
+        #: serving patch) may read the corpus freely.  Reads are lock-free
+        #: — they operate on snapshots (see :meth:`__iter__`).
+        self._mutation_lock = threading.RLock()
+        #: Changes committed but not yet delivered to listeners: delivery
+        #: runs *after* the outermost mutation releases the lock, so a
+        #: listener (e.g. a sync-mode serving patch) acquiring consumer
+        #: locks can never deadlock against a lock holder mutating the
+        #: corpus (see :meth:`_mutating`).
+        self._outbox: list[CorpusChange] = []
+        #: Per-thread mutation nesting depth; only the outermost frame
+        #: flushes the outbox.
+        self._mutation_depth = threading.local()
+        #: Lazily created shared invalidation channel (see
+        #: :meth:`invalidation_bus`).
+        self._bus: Optional["InvalidationBus"] = None
         if sources is not None:
             for source in sources:
                 self.add(source)
@@ -107,15 +130,36 @@ class SourceCorpus:
         """
         return self._version
 
+    def invalidation_bus(self) -> "InvalidationBus":
+        """The corpus's shared invalidation channel (created on first use).
+
+        Every consumer that previously held its own corpus subscription —
+        the search engine's tracker, the quality models' context trackers,
+        the serving scheduler — now registers a typed
+        :class:`~repro.sources.diffing.BusSubscription` here instead, so
+        each mutation is published once and fanned out under one intake
+        lock.  See :class:`~repro.sources.diffing.InvalidationBus`.
+        """
+        with self._mutation_lock:
+            if self._bus is None:
+                from repro.sources.diffing import InvalidationBus
+
+                self._bus = InvalidationBus(self)
+            return self._bus
+
     def subscribe(
         self, listener: Callable[[CorpusChange], None], weak: bool = False
     ) -> None:
         """Register ``listener`` to receive a :class:`CorpusChange` per mutation.
 
-        Listeners are invoked synchronously, after the mutation has been
-        applied and the version bumped — but in *registration order*, so a
+        Listeners are invoked synchronously on the mutating thread, after
+        the mutation has been applied, the version bumped and the
+        mutation lock released (see :meth:`_mutating` — delivery outside
+        the lock is what lets listeners acquire consumer locks without
+        deadlock).  Delivery is in *registration order* per change, so a
         listener must not assume the corpus's other subscribers (e.g. a
-        consumer's dirty-flag tracker) have already observed the event;
+        consumer's dirty-flag tracker) have already observed the event —
+        and racing mutator threads may interleave deliveries — so
         cross-check a monotonic counter (``version``,
         ``Source.content_revision``) instead.  Subscribing the same
         callable twice is a no-op.
@@ -134,33 +178,77 @@ class SourceCorpus:
                 if hasattr(listener, "__self__")
                 else weakref.ref(listener)
             )
-        if entry not in self._listeners:
-            self._listeners.append(entry)
+        with self._mutation_lock:
+            if entry not in self._listeners:
+                self._listeners.append(entry)
 
     def unsubscribe(self, listener: Callable[[CorpusChange], None]) -> None:
         """Remove a previously subscribed listener (no-op when unknown)."""
-        for entry in list(self._listeners):
-            resolved = entry() if isinstance(entry, weakref.ref) else entry
-            if resolved == listener or entry == listener:
-                self._listeners.remove(entry)
+        with self._mutation_lock:
+            for entry in list(self._listeners):
+                resolved = entry() if isinstance(entry, weakref.ref) else entry
+                if resolved == listener or entry == listener:
+                    self._listeners.remove(entry)
+
+    @contextmanager
+    def _mutating(self) -> Iterator[None]:
+        """Hold the mutation lock; deliver queued changes once released.
+
+        Mutations commit (state applied, version bumped, change queued)
+        under the lock, but listeners run only after the *outermost*
+        mutation frame on this thread has released it.  That keeps the
+        lock ordering acyclic: a listener that acquires consumer locks
+        (a sync-mode serving patch taking a refresh gate) never does so
+        while this thread holds the mutation lock, so it cannot deadlock
+        against a consumer-lock holder mutating the corpus.  Listeners
+        already must not assume delivery order relative to other
+        subscribers (see :meth:`subscribe`); they cross-check monotonic
+        counters, which are always bumped before delivery.
+        """
+        depth = getattr(self._mutation_depth, "value", 0)
+        self._mutation_depth.value = depth + 1
+        try:
+            with self._mutation_lock:
+                yield
+        finally:
+            self._mutation_depth.value = depth
+            if depth == 0:
+                self._flush_outbox()
 
     def _notify(self, op: str, source_id: str) -> None:
+        """Bump the version and queue the change (mutation lock held)."""
         self._version += 1
         if self._listeners:
-            change = CorpusChange(version=self._version, op=op, source_id=source_id)
+            self._outbox.append(
+                CorpusChange(version=self._version, op=op, source_id=source_id)
+            )
+
+    def _flush_outbox(self) -> None:
+        """Deliver queued changes to the listeners (mutation lock NOT held)."""
+        while True:
+            with self._mutation_lock:
+                if not self._outbox:
+                    return
+                changes = self._outbox[:]
+                del self._outbox[:]
+                entries = tuple(self._listeners)
             dead: list[Any] = []
-            for entry in tuple(self._listeners):
-                if isinstance(entry, weakref.ref):
-                    listener = entry()
-                    if listener is None:
-                        dead.append(entry)
-                        continue
-                else:
-                    listener = entry
-                listener(change)
-            for entry in dead:
-                if entry in self._listeners:
-                    self._listeners.remove(entry)
+            for change in changes:
+                for entry in entries:
+                    if isinstance(entry, weakref.ref):
+                        listener = entry()
+                        if listener is None:
+                            if entry not in dead:
+                                dead.append(entry)
+                            continue
+                    else:
+                        listener = entry
+                    listener(change)
+            if dead:
+                with self._mutation_lock:
+                    for entry in dead:
+                        if entry in self._listeners:
+                            self._listeners.remove(entry)
 
     # -- collection protocol -----------------------------------------------------
 
@@ -168,7 +256,12 @@ class SourceCorpus:
         return len(self._sources)
 
     def __iter__(self) -> Iterator[Source]:
-        return iter(self._sources.values())
+        # Iterate over a snapshot: consumers walk the corpus (fingerprint
+        # diffs, crawls, statistics) while a mutator thread may add or
+        # remove sources — a live dict-view iterator would raise
+        # "dictionary changed size during iteration" mid-walk.  The copy
+        # is one list of references, taken atomically under the GIL.
+        return iter(list(self._sources.values()))
 
     def __contains__(self, source_id: object) -> bool:
         return source_id in self._sources
@@ -187,20 +280,24 @@ class SourceCorpus:
         bumps the corpus version and notifies subscribers as a ``"touch"``
         :class:`CorpusChange`, exactly like :meth:`touch`.
         """
-        if source.source_id in self._sources:
-            raise CorpusError(f"duplicate source identifier: {source.source_id!r}")
-        self._sources[source.source_id] = source
-        source.watch_mutations(self._on_source_mutated)
-        self._notify("add", source.source_id)
+        with self._mutating():
+            if source.source_id in self._sources:
+                raise CorpusError(
+                    f"duplicate source identifier: {source.source_id!r}"
+                )
+            self._sources[source.source_id] = source
+            source.watch_mutations(self._on_source_mutated)
+            self._notify("add", source.source_id)
 
     def remove(self, source_id: str) -> Source:
         """Remove and return the source with identifier ``source_id``."""
-        try:
-            source = self._sources.pop(source_id)
-        except KeyError as exc:
-            raise UnknownSourceError(source_id) from exc
-        source.unwatch_mutations(self._on_source_mutated)
-        self._notify("remove", source_id)
+        with self._mutating():
+            try:
+                source = self._sources.pop(source_id)
+            except KeyError as exc:
+                raise UnknownSourceError(source_id) from exc
+            source.unwatch_mutations(self._on_source_mutated)
+            self._notify("remove", source_id)
         return source
 
     def touch(self, source_id: str) -> int:
@@ -214,14 +311,16 @@ class SourceCorpus:
         consumer — search index, panel observations, assessment contexts —
         re-derives its state on the next read.
         """
-        source = self.get(source_id)
-        source.touch()  # the mutation watcher wired by add() emits the event
-        return self._version
+        with self._mutating():
+            source = self.get(source_id)
+            source.touch()  # the mutation watcher wired by add() emits the event
+            return self._version
 
     def _on_source_mutated(self, source: Source) -> None:
         """Propagate an announced in-place source mutation as a corpus event."""
-        if self._sources.get(source.source_id) is source:
-            self._notify("touch", source.source_id)
+        with self._mutating():
+            if self._sources.get(source.source_id) is source:
+                self._notify("touch", source.source_id)
 
     # -- lookup -----------------------------------------------------------------------
 

@@ -39,13 +39,33 @@ Both tiers are *mode-agnostic*: lazy consumers run them on the read path,
 and the eager serving layer (:mod:`repro.serving`) runs the very same
 refresh entry points in the background — which is why eager and lazy
 results are bit-identical by construction.
+
+Invalidation fan-out goes through one shared channel per corpus: the
+:class:`InvalidationBus`.  The corpus publishes each
+:class:`~repro.sources.corpus.CorpusChange` to the bus exactly once; every
+consumer registers a *typed* :class:`BusSubscription` (optionally filtered
+by source identifiers and/or operation kinds) and pulls a *coalesced*
+per-consumer :class:`PendingInvalidation` when it refreshes.  That
+replaces the previous design where the search engine, the source model
+and the contributor model each kept a private corpus subscription and
+private pending state: the bus records an event once and fans it out to
+every matching subscription under a single lock, so independent consumers
+can observe, drain and patch concurrently without sharing any mutable
+state beyond the bus itself.  :class:`CorpusChangeTracker` survives as a
+thin dirty-flag adapter over an unfiltered subscription, and
+:class:`SourceChangeTracker` is the same tier one granularity down (a
+single :class:`~repro.sources.models.Source` watched through its mutation
+watchers — the channel the contributor model uses, since a community can
+be assessed without ever joining a corpus).
 """
 
 from __future__ import annotations
 
+import threading
+import time
 import weakref
 from dataclasses import dataclass
-from typing import TYPE_CHECKING, Any, Iterable, Mapping, Tuple
+from typing import TYPE_CHECKING, Any, Callable, Iterable, Mapping, Optional, Tuple
 
 from repro.perf.cache import source_fingerprint
 
@@ -60,7 +80,11 @@ __all__ = [
     "fingerprint_map",
     "discussion_fingerprint",
     "discussion_fingerprint_map",
+    "PendingInvalidation",
+    "BusSubscription",
+    "InvalidationBus",
     "CorpusChangeTracker",
+    "SourceChangeTracker",
 ]
 
 
@@ -168,44 +192,410 @@ def diff_fingerprints(
     )
 
 
-class CorpusChangeTracker:
-    """O(1) dirty flag over a corpus, fed by ``CorpusChange`` subscriptions.
+@dataclass(frozen=True)
+class PendingInvalidation:
+    """The coalesced view of every event a subscription saw since its last drain.
 
-    The tracker subscribes weakly, so it never keeps the corpus alive and
-    the corpus never keeps the tracker's owner alive.  ``dirty`` is True
-    whenever a mutation notification arrived since the last
-    :meth:`mark_clean` — and, as a belt-and-braces cross-check, whenever
-    the corpus version moved without a notification (possible only if the
-    subscription was removed externally).  A dead corpus reports dirty so
-    stale id-keyed state is never served after interpreter-level object
-    reuse.
+    A burst of N mutations collapses into one of these: ``source_ids`` is
+    the union of touched identifiers, ``ops`` the set of operation kinds
+    observed, ``events`` the raw event count the burst coalesced.
+    ``first_at``/``last_at`` are clock stamps of the burst's boundaries
+    (the serving layer's debounce input); ``first_version``/``last_version``
+    bracket the corpus versions the events carried.
+    """
+
+    source_ids: frozenset
+    ops: frozenset
+    events: int
+    first_version: int
+    last_version: int
+    first_at: float
+    last_at: float
+
+
+class BusSubscription:
+    """One consumer's typed, coalescing view of a corpus's change stream.
+
+    Created through :meth:`InvalidationBus.subscribe`.  The subscription
+    records every matching event into per-consumer pending state (a set
+    union — N events over the same source coalesce into one entry) under
+    the bus's intake lock, and the consumer *pulls* that state when it is
+    ready to refresh:
+
+    * :attr:`dirty` — the O(1) staleness tier: True when any matching
+      event arrived since the last :meth:`drain`/:meth:`mark_clean`.
+      Unfiltered subscriptions additionally cross-check the corpus
+      ``version`` counter, so a mutation slipping past the bus (possible
+      only if the bus's corpus subscription was removed externally) is
+      still detected.  A dead corpus reports dirty, so stale id-keyed
+      state is never served after interpreter-level object reuse.
+    * :meth:`drain` — atomically returns the coalesced
+      :class:`PendingInvalidation` (or None) and marks the subscription
+      clean *as of the corpus version at drain time*: events published
+      after the drain re-dirty it, so a consumer that drains, rebuilds
+      aside and swaps can never lose a concurrent mutation.
+
+    The bus holds subscriptions weakly: dropping the last strong reference
+    unregisters the consumer, exactly like the weak corpus subscriptions
+    the per-consumer trackers used to hold.
+    """
+
+    def __init__(
+        self,
+        bus: "InvalidationBus",
+        name: str,
+        source_filter: Optional[frozenset],
+        ops: Optional[frozenset],
+        clock: Callable[[], float],
+        on_event: Optional[Callable[["CorpusChange"], None]],
+    ) -> None:
+        self._bus = bus
+        self.name = name
+        self.source_filter = source_filter
+        self.ops = ops
+        self._clock = clock
+        self._on_event = on_event
+        self._pending_ids: set = set()
+        self._pending_ops: set = set()
+        self._events = 0
+        self._first_version = 0
+        self._last_version = 0
+        self._first_at = 0.0
+        self._last_at = 0.0
+        self._forced_dirty = False
+        self._forced_at = 0.0
+        self._closed = False
+        corpus = bus.corpus
+        self._clean_version = corpus.version if corpus is not None else 0
+
+    # -- intake (called by the bus, under its intake lock) ------------------------
+
+    def _matches(self, change: "CorpusChange") -> bool:
+        if self._closed:
+            return False
+        if self.ops is not None and change.op not in self.ops:
+            return False
+        if self.source_filter is not None and change.source_id not in self.source_filter:
+            return False
+        return True
+
+    def _record(self, change: "CorpusChange") -> None:
+        now = self._clock()
+        if not self._pending_ids:
+            self._first_version = change.version
+            self._first_at = now
+        self._pending_ids.add(change.source_id)
+        self._pending_ops.add(change.op)
+        self._events += 1
+        # max(): racing mutator threads may deliver their changes slightly
+        # out of order (delivery runs outside the corpus mutation lock);
+        # the recorded high-water mark must stay monotonic regardless.
+        self._last_version = max(self._last_version, change.version)
+        self._last_at = now
+
+    # -- consumer pull -------------------------------------------------------------
+
+    @property
+    def corpus(self) -> Any:
+        """The subscribed corpus, or None once it has been garbage collected."""
+        return self._bus.corpus
+
+    @property
+    def closed(self) -> bool:
+        """True once :meth:`close` detached this subscription from the bus."""
+        return self._closed
+
+    @property
+    def dirty(self) -> bool:
+        """True when a matching mutation may have happened since the last drain."""
+        if self._forced_dirty or self._pending_ids:
+            return True
+        corpus = self._bus.corpus
+        if corpus is None:
+            return True
+        if self.source_filter is None and self.ops is None:
+            # Unfiltered subscriptions see every event, so a version the
+            # bus never delivered means the channel itself broke: belt and
+            # braces, report dirty.  Filtered subscriptions cannot use the
+            # corpus-wide counter (other sources move it constantly).
+            return corpus.version != self._clean_version
+        return False
+
+    def peek(self) -> Optional[PendingInvalidation]:
+        """The coalesced pending view, without clearing it (None when clean)."""
+        with self._bus._intake:
+            return self._snapshot_locked()
+
+    def drain(self) -> Optional[PendingInvalidation]:
+        """Atomically take and clear the pending view; mark clean as of now.
+
+        Returns None when nothing was pending.  The clean version is the
+        corpus version *at drain time*: any event published afterwards
+        re-dirties the subscription, so the drain-build-swap refresh
+        pattern never loses a concurrent mutation.
+        """
+        with self._bus._intake:
+            pending = self._snapshot_locked()
+            self._pending_ids.clear()
+            self._pending_ops.clear()
+            self._events = 0
+            self._forced_dirty = False
+            corpus = self._bus.corpus
+            if corpus is not None:
+                self._clean_version = corpus.version
+            return pending
+
+    def _snapshot_locked(self) -> Optional[PendingInvalidation]:
+        if not self._pending_ids:
+            if self._forced_dirty:
+                # A forced re-dirty (failed patch) carries no event detail;
+                # surface it as an empty pending burst so drain-driven
+                # consumers (the serving queues) retry the refresh.
+                return PendingInvalidation(
+                    source_ids=frozenset(),
+                    ops=frozenset(),
+                    events=0,
+                    first_version=self._clean_version,
+                    last_version=self._clean_version,
+                    first_at=self._forced_at,
+                    last_at=self._forced_at,
+                )
+            return None
+        return PendingInvalidation(
+            source_ids=frozenset(self._pending_ids),
+            ops=frozenset(self._pending_ops),
+            events=self._events,
+            first_version=self._first_version,
+            last_version=self._last_version,
+            first_at=self._first_at,
+            last_at=self._last_at,
+        )
+
+    def mark_clean(self) -> None:
+        """Drop the pending view (drain and discard)."""
+        self.drain()
+
+    def force_dirty(self) -> None:
+        """Force the next :attr:`dirty` check to fire (refresh-failure path).
+
+        A consumer that drained but then failed to apply its patch calls
+        this so the staleness it consumed is not lost.
+        """
+        with self._bus._intake:
+            self._forced_dirty = True
+            self._forced_at = self._clock()
+
+    def close(self) -> None:
+        """Detach from the bus; no further events are recorded (idempotent)."""
+        self._closed = True
+        self._bus.unsubscribe(self)
+
+
+class InvalidationBus:
+    """The single invalidation channel fanning one corpus's changes out.
+
+    One bus exists per corpus (see
+    :meth:`repro.sources.corpus.SourceCorpus.invalidation_bus`); it holds
+    the *only* corpus-level change subscription the consumer stack needs.
+    Each published :class:`~repro.sources.corpus.CorpusChange` is recorded
+    into every matching subscription's coalesced pending state under one
+    intake lock — held only for that bookkeeping, never while a consumer
+    patches — and per-subscription ``on_event`` hooks (the serving
+    scheduler's wake-up) run after the lock is released, so a slow hook
+    can never block the mutating thread against the intake path.
     """
 
     def __init__(self, corpus: "SourceCorpus") -> None:
         self._corpus_ref = weakref.ref(corpus)
-        self._dirty = False
-        self._clean_version = corpus.version
-        corpus.subscribe(self._on_change, weak=True)
+        self._intake = threading.Lock()
+        self._subscriptions: list = []  # weakrefs to BusSubscription
+        self._events_published = 0
+        self._auto_names = 0
+        corpus.subscribe(self._publish)
+
+    @property
+    def corpus(self) -> Any:
+        """The corpus this bus fans out, or None once garbage collected."""
+        return self._corpus_ref()
+
+    @property
+    def events_published(self) -> int:
+        """Total number of corpus changes published through the bus."""
+        return self._events_published
+
+    def subscribe(
+        self,
+        name: Optional[str] = None,
+        *,
+        source_ids: Optional[Iterable[str]] = None,
+        ops: Optional[Iterable[str]] = None,
+        clock: Callable[[], float] = time.monotonic,
+        on_event: Optional[Callable[["CorpusChange"], None]] = None,
+    ) -> BusSubscription:
+        """Register a typed subscription and return its handle.
+
+        ``source_ids`` restricts the subscription to events touching those
+        sources (per-source consumers such as a contributor model watching
+        one community); ``ops`` restricts it to operation kinds
+        (``"add"``/``"remove"``/``"touch"``).  ``clock`` stamps the
+        pending-burst boundaries (injectable for deterministic debounce
+        tests); ``on_event`` is called per matching event, after intake,
+        outside the bus lock.
+        """
+        with self._intake:
+            if name is None:
+                name = f"subscription-{self._auto_names}"
+                self._auto_names += 1
+            subscription = BusSubscription(
+                self,
+                name,
+                frozenset(source_ids) if source_ids is not None else None,
+                frozenset(ops) if ops is not None else None,
+                clock,
+                on_event,
+            )
+            self._subscriptions.append(weakref.ref(subscription))
+            return subscription
+
+    def unsubscribe(self, subscription: BusSubscription) -> None:
+        """Remove ``subscription`` from the fan-out (no-op when unknown)."""
+        with self._intake:
+            self._subscriptions = [
+                ref
+                for ref in self._subscriptions
+                if ref() is not None and ref() is not subscription
+            ]
+
+    def subscription_count(self) -> int:
+        """Number of live subscriptions (dead weakrefs are pruned first)."""
+        with self._intake:
+            self._subscriptions = [
+                ref for ref in self._subscriptions if ref() is not None
+            ]
+            return len(self._subscriptions)
+
+    def _publish(self, change: "CorpusChange") -> None:
+        hooks: list = []
+        with self._intake:
+            self._events_published += 1
+            live: list = []
+            for ref in self._subscriptions:
+                subscription = ref()
+                if subscription is None:
+                    continue
+                live.append(ref)
+                if subscription._matches(change):
+                    subscription._record(change)
+                    if subscription._on_event is not None:
+                        hooks.append(subscription._on_event)
+            self._subscriptions = live
+        for hook in hooks:
+            hook(change)
+
+
+class CorpusChangeTracker:
+    """O(1) dirty flag over a corpus — an unfiltered bus subscription.
+
+    Kept as the simplest face of the invalidation layer: ``dirty`` and
+    :meth:`mark_clean`, nothing else.  Since the bus refactor it is a thin
+    adapter over :meth:`InvalidationBus.subscribe`, so every tracker in
+    the process shares the corpus's single change subscription instead of
+    registering its own.  The semantics are unchanged: ``dirty`` is True
+    whenever a mutation notification arrived since the last
+    :meth:`mark_clean`, whenever the corpus version moved without a
+    notification, and whenever the corpus itself has been collected.
+    """
+
+    def __init__(self, corpus: "SourceCorpus") -> None:
+        self._subscription = corpus.invalidation_bus().subscribe(name="tracker")
+
+    @property
+    def subscription(self) -> BusSubscription:
+        """The underlying bus subscription (for drain-based callers)."""
+        return self._subscription
 
     @property
     def corpus(self) -> Any:
         """The tracked corpus, or None once it has been garbage collected."""
-        return self._corpus_ref()
+        return self._subscription.corpus
 
     @property
     def dirty(self) -> bool:
         """True when a mutation may have happened since :meth:`mark_clean`."""
-        corpus = self._corpus_ref()
-        if corpus is None:
-            return True
-        return self._dirty or corpus.version != self._clean_version
+        return self._subscription.dirty
 
     def mark_clean(self) -> None:
         """Record that the owner's derived state matches the corpus now."""
-        corpus = self._corpus_ref()
-        self._dirty = False
-        if corpus is not None:
-            self._clean_version = corpus.version
+        self._subscription.mark_clean()
 
-    def _on_change(self, change: "CorpusChange") -> None:
+    def force_dirty(self) -> None:
+        """Force the next :attr:`dirty` check to fire (refresh-failure path).
+
+        An owner that marked the tracker clean but then failed to rebuild
+        its derived state calls this so the staleness is not lost.
+        """
+        self._subscription.force_dirty()
+
+
+class SourceChangeTracker:
+    """O(1) dirty flag over a single :class:`~repro.sources.models.Source`.
+
+    The per-source analogue of :class:`CorpusChangeTracker`, extracted
+    from the contributor model so any per-community consumer can share it:
+    it registers a mutation watcher (weakly held by the source) and keeps
+    a dirty flag cross-checked against the source's ``content_revision``
+    counter.  The cross-check is what makes eager refresh race-free: an
+    announced mutation bumps the revision *before* watchers run, so a
+    refresh driven from inside the announcement (a sync-mode serving
+    scheduler) detects the mutation even when it runs ahead of this
+    tracker's own watcher.
+
+    :meth:`mark_clean` takes the revision the rebuilt state was *derived
+    from* (captured before the rebuild read the source): a mutation landing
+    mid-rebuild leaves the tracker dirty, so the drain-build-swap pattern
+    never loses a concurrent edit.
+    """
+
+    def __init__(self, source: "Source") -> None:
+        self._source_ref = weakref.ref(source)
+        self._dirty = False
+        self._clean_revision = source.content_revision
+        source.watch_mutations(self._on_mutation)
+
+    @property
+    def source(self) -> Any:
+        """The tracked source, or None once it has been garbage collected."""
+        return self._source_ref()
+
+    @property
+    def dirty(self) -> bool:
+        """True when an announced mutation may have happened since mark_clean."""
+        source = self._source_ref()
+        if source is None:
+            return True
+        return self._dirty or source.content_revision != self._clean_revision
+
+    @property
+    def clean_revision(self) -> int:
+        """The ``content_revision`` the owner's state was derived from."""
+        return self._clean_revision
+
+    def mark_clean(self, revision: Optional[int] = None) -> None:
+        """Record that the owner's state matches ``revision`` (default: now)."""
+        source = self._source_ref()
+        self._dirty = False
+        if revision is not None:
+            self._clean_revision = revision
+        elif source is not None:
+            self._clean_revision = source.content_revision
+
+    def force_dirty(self) -> None:
+        """Force the next :attr:`dirty` check to fire (refresh-failure path).
+
+        An owner that marked the tracker clean but then failed to rebuild
+        its derived state calls this so the staleness is not lost.
+        """
+        self._dirty = True
+
+    def _on_mutation(self, source: "Source") -> None:
         self._dirty = True

@@ -9,6 +9,14 @@ from __future__ import annotations
 
 import pytest
 
+
+def pytest_configure(config: pytest.Config) -> None:
+    config.addinivalue_line(
+        "markers",
+        "stress: concurrency stress tests (reader/mutator thread pools; "
+        "run them alone with `pytest -m stress`)",
+    )
+
 from repro.core.domain import DomainOfInterest, TimeInterval
 from repro.datasets.london_twitter import LondonTwitterSpec, build_london_twitter
 from repro.datasets.milan_tourism import MilanTourismSpec, build_milan_tourism

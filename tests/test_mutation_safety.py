@@ -142,7 +142,11 @@ class TestCorpusVersioning:
         gc.collect()
         assert all(ref() is None for ref in refs)
         corpus.touch(corpus.source_ids()[0])  # prunes dead weak listeners
-        assert len(corpus._listeners) == 0
+        # The corpus keeps exactly one listener: its shared invalidation
+        # bus.  The discarded engines' bus subscriptions (weakly held by
+        # the bus) and the panels' weak corpus subscriptions are gone.
+        assert len(corpus._listeners) == 1
+        assert corpus.invalidation_bus().subscription_count() == 0
 
 
 class TestPanelObservationEpochs:
