@@ -6,7 +6,7 @@ export PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH))
 
 BENCH_JSON := BENCH_perf.json
 
-.PHONY: test stress bench perf perf-smoke docs
+.PHONY: test stress recovery-stress bench perf perf-smoke docs
 
 ## tier-1 test suite (must stay green; see ROADMAP.md)
 test:
@@ -15,6 +15,10 @@ test:
 ## concurrency stress tests only (reader/mutator thread pools; also in `test`)
 stress:
 	$(PYTHON) -m pytest -m stress -v
+
+## crash-recovery fault matrix + seeded randomized kill-point sweep
+recovery-stress:
+	$(PYTHON) -m pytest tests/test_recovery_faults.py -v
 
 ## paper-reproduction benchmarks (tables/figures, pytest-based bench_*.py)
 bench:
@@ -27,6 +31,7 @@ perf:
 	$(PYTHON) benchmarks/bench_incremental_assessment.py --output $(BENCH_JSON)
 	$(PYTHON) benchmarks/bench_eager_refresh.py --output $(BENCH_JSON)
 	$(PYTHON) benchmarks/bench_concurrent_serving.py --output $(BENCH_JSON)
+	$(PYTHON) benchmarks/bench_persistence.py --output $(BENCH_JSON)
 	@test -s $(BENCH_JSON) || { echo "FATAL: $(BENCH_JSON) was not written" >&2; exit 1; }
 
 ## reduced-scale perf smoke for CI: proves every harness produces its section
@@ -36,10 +41,12 @@ perf-smoke:
 	$(PYTHON) benchmarks/bench_incremental_assessment.py --output $(BENCH_JSON) --sources 200 --events 4
 	$(PYTHON) benchmarks/bench_eager_refresh.py --output $(BENCH_JSON) --sources 200 --events 4
 	$(PYTHON) benchmarks/bench_concurrent_serving.py --output $(BENCH_JSON) --sources 200 --events 12
+	$(PYTHON) benchmarks/bench_persistence.py --output $(BENCH_JSON) --sources 120 --discussion-budget 12 --events 4
 	$(PYTHON) scripts/check_bench_keys.py $(BENCH_JSON)
 
 ## documentation checks: README/docs link integrity + runnable examples
 docs:
-	$(PYTHON) scripts/check_docs.py README.md docs/ARCHITECTURE.md docs/PERFORMANCE.md
+	$(PYTHON) scripts/check_docs.py README.md docs/ARCHITECTURE.md docs/PERFORMANCE.md docs/PERSISTENCE.md
 	$(PYTHON) examples/quickstart.py
 	$(PYTHON) examples/source_ranking.py
+	$(PYTHON) examples/checkpoint_recover.py

@@ -55,6 +55,7 @@ from pathlib import Path
 from repro.core.contributor_quality import ContributorQualityModel
 from repro.core.domain import DomainOfInterest, TimeInterval
 from repro.core.source_quality import SourceQualityModel
+from repro.persistence.format import atomic_write_json
 from repro.search.engine import SearchEngine
 from repro.serving import EagerRefreshScheduler, RefreshMode
 from repro.sources.corpus import SourceCorpus
@@ -432,7 +433,7 @@ def run(
     )
     report["concurrent_serving"] = section
     try:
-        output_path.write_text(json.dumps(report, indent=2) + "\n", encoding="utf-8")
+        atomic_write_json(output_path, report)
     except OSError as exc:
         print(f"FATAL: could not write {output_path}: {exc}", file=sys.stderr)
         sys.exit(1)

@@ -41,6 +41,7 @@ from pathlib import Path
 
 from repro.core.domain import DomainOfInterest, TimeInterval
 from repro.core.source_quality import SourceQualityModel
+from repro.persistence.format import atomic_write_json
 from repro.sources.corpus import SourceCorpus
 from repro.sources.generators import CorpusGenerator, CorpusSpec
 from repro.sources.models import Discussion, Post
@@ -192,7 +193,7 @@ def run(output_path: Path, source_count: int, spare_count: int, events: int) -> 
     )
     report["incremental_assessment"] = section
     try:
-        output_path.write_text(json.dumps(report, indent=2) + "\n", encoding="utf-8")
+        atomic_write_json(output_path, report)
     except OSError as exc:
         print(f"FATAL: could not write {output_path}: {exc}", file=sys.stderr)
         sys.exit(1)

@@ -37,6 +37,7 @@ import sys
 import time
 from pathlib import Path
 
+from repro.persistence.format import atomic_write_json
 from repro.search.engine import SearchEngine
 from repro.sources.corpus import SourceCorpus
 from repro.sources.generators import CorpusGenerator, CorpusSpec
@@ -191,7 +192,7 @@ def run(output_path: Path, source_count: int, spare_count: int, events: int) -> 
     )
     report["incremental_index"] = section
     try:
-        output_path.write_text(json.dumps(report, indent=2) + "\n", encoding="utf-8")
+        atomic_write_json(output_path, report)
     except OSError as exc:
         print(f"FATAL: could not write {output_path}: {exc}", file=sys.stderr)
         sys.exit(1)

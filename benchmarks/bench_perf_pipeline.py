@@ -27,7 +27,6 @@ The harness exits non-zero if ``BENCH_perf.json`` cannot be written.
 from __future__ import annotations
 
 import argparse
-import json
 import platform
 import sys
 from pathlib import Path
@@ -38,6 +37,7 @@ from repro.datasets.google_study import GoogleStudySpec, build_google_study
 from repro.datasets.milan_tourism import MilanTourismSpec, build_milan_tourism
 from repro.perf.reference import naive_assess_corpus, naive_rank
 from repro.perf.timers import time_call
+from repro.persistence.format import atomic_write_json
 from repro.sentiment.analyzer import SentimentAnalyzer
 from repro.sentiment.indicators import SentimentIndicatorService
 
@@ -239,7 +239,7 @@ def run(output_path: Path, rank_repetitions: int, search_rounds: int) -> dict:
     report["sentiment_aggregation"] = bench_sentiment(repetitions=3)
 
     try:
-        output_path.write_text(json.dumps(report, indent=2) + "\n", encoding="utf-8")
+        atomic_write_json(output_path, report)
     except OSError as exc:
         print(f"FATAL: could not write {output_path}: {exc}", file=sys.stderr)
         sys.exit(1)

@@ -44,6 +44,14 @@ EXPECTED = {
         "target_speedup",
         "bit_identical_at_quiesce",
     ),
+    "persistence": (
+        "warm_start_seconds",
+        "cold_rebuild_seconds",
+        "speedup",
+        "target_speedup",
+        "bit_identical",
+        "events_replayed",
+    ),
 }
 
 

@@ -14,6 +14,14 @@ Exposes the main workflows of the library without writing any code:
 
 ``python -m repro.cli dashboard``
     Build and execute the Figure 1 sentiment dashboard and print its summary.
+
+``python -m repro.cli checkpoint``
+    Generate (or load) a corpus and write a durable snapshot + journal
+    checkpoint into a store directory.
+
+``python -m repro.cli recover``
+    Recover a corpus (and warm consumers) from a store directory, print
+    what the recovery ladder did, and show the recovered ranking.
 """
 
 from __future__ import annotations
@@ -75,6 +83,29 @@ def build_parser() -> argparse.ArgumentParser:
                             help="use the paper-scale dataset sizes (slower)")
 
     subparsers.add_parser("dashboard", help="run the Figure 1 sentiment dashboard")
+
+    checkpoint = subparsers.add_parser(
+        "checkpoint", help="write a durable snapshot + journal checkpoint"
+    )
+    checkpoint.add_argument("store", type=str, help="store directory to checkpoint into")
+    checkpoint.add_argument("--sources", type=int, default=20,
+                            help="number of synthetic sources")
+    checkpoint.add_argument("--seed", type=int, default=7, help="generator seed")
+    checkpoint.add_argument("--corpus", type=str, default=None,
+                            help="path to a corpus JSON file (overrides --sources/--seed)")
+    checkpoint.add_argument("--categories", nargs="+", default=["travel", "food"],
+                            help="Domain of Interest categories")
+    checkpoint.add_argument("--no-consumers", action="store_true",
+                            help="snapshot the corpus only (no index/model sections)")
+
+    recover = subparsers.add_parser(
+        "recover", help="recover a corpus from a snapshot + journal store"
+    )
+    recover.add_argument("store", type=str, help="store directory to recover from")
+    recover.add_argument("--categories", nargs="+", default=["travel", "food"],
+                         help="Domain of Interest categories for the warmed models")
+    recover.add_argument("--top", type=int, default=10,
+                         help="how many recovered sources to print")
     return parser
 
 
@@ -141,11 +172,60 @@ def _command_dashboard(args: argparse.Namespace) -> int:
     return 0
 
 
+def _command_checkpoint(args: argparse.Namespace) -> int:
+    from repro.persistence import CorpusStore
+    from repro.search.engine import SearchEngine
+
+    if args.corpus:
+        corpus = SourceCorpus.load(args.corpus)
+    else:
+        corpus = CorpusGenerator(
+            CorpusSpec(source_count=args.sources, seed=args.seed)
+        ).generate()
+    engine = None
+    source_model = None
+    if not args.no_consumers and len(corpus):
+        domain = DomainOfInterest(categories=tuple(args.categories), name="cli")
+        engine = SearchEngine(corpus)
+        source_model = SourceQualityModel(domain)
+    with CorpusStore(args.store) as store:
+        store.attach(corpus, engine=engine, source_model=source_model)
+        version = store.checkpoint()
+    sections = "corpus only" if args.no_consumers else "corpus + index + source model"
+    print(f"checkpointed {len(corpus)} sources at corpus version {version}")
+    print(f"  store:    {store.directory}")
+    print(f"  sections: {sections}")
+    return 0
+
+
+def _command_recover(args: argparse.Namespace) -> int:
+    from repro.persistence import CorpusStore
+
+    domain = DomainOfInterest(categories=tuple(args.categories), name="cli")
+    with CorpusStore(args.store) as store:
+        stack = store.recover_stack(domain=domain, attach=False)
+    result = stack.result
+    used = result.snapshot_used or "no snapshot (journal-only start)"
+    print(f"recovered {len(stack.corpus)} sources at corpus version {stack.corpus.version}")
+    print(f"  snapshot: {used}")
+    print(f"  journal:  {result.applied} events replayed, {result.skipped} skipped")
+    for note in result.notes:
+        print(f"  note:     {note}")
+    if stack.source_model is not None and len(stack.corpus):
+        ranking = stack.source_model.rank(stack.corpus)
+        print(f"{'rank':>4}  {'source':<22} {'overall':>8}")
+        for position, assessment in enumerate(ranking[: args.top], start=1):
+            print(f"{position:>4}  {assessment.source_id:<22} {assessment.overall:8.3f}")
+    return 0
+
+
 _COMMANDS: dict[str, Callable[[argparse.Namespace], int]] = {
     "rank": _command_rank,
     "influencers": _command_influencers,
     "experiment": _command_experiment,
     "dashboard": _command_dashboard,
+    "checkpoint": _command_checkpoint,
+    "recover": _command_recover,
 }
 
 

@@ -233,6 +233,81 @@ class ContributorQualityModel:
         """
         self._context(source, None, deep=deep)
 
+    # -- snapshot export / restore (persistence layer) ----------------------------------
+
+    def export_community_state(
+        self, source: Source, user_ids: Optional[Iterable[str]] = None
+    ) -> dict[str, Any]:
+        """Serialise the community context for ``source`` to a JSON dict.
+
+        Refreshes first.  Fingerprints are not exported (they embed
+        ``id()``); :meth:`restore_community_state` recomputes them from
+        the recovered source.
+        """
+        resolved_ids = self._resolve_user_ids(source, user_ids)
+        snapshots, raw_vectors, assessments = self._context(source, user_ids)
+        return {
+            "source_id": source.source_id,
+            "user_ids": list(resolved_ids),
+            "snapshots": {
+                user_id: snapshot.to_dict() for user_id, snapshot in snapshots.items()
+            },
+            "raw_vectors": {
+                user_id: dict(vector) for user_id, vector in raw_vectors.items()
+            },
+            "scores": {
+                user_id: assessment.score.to_dict()
+                for user_id, assessment in assessments.items()
+            },
+        }
+
+    def restore_community_state(
+        self, source: Source, payload: Mapping[str, Any]
+    ) -> None:
+        """Install an exported community context for the recovered ``source``.
+
+        Seeds the context cache keyed by the source's recomputed
+        fingerprint; the next read serves it without crawling and — via
+        the cached-context install path, which pins ``fit_token = -1`` —
+        the first post-restore mutation re-fits the shared normaliser
+        from the restored raw vectors before patching, so every later
+        assessment stays bit-identical to a cold rebuild's.
+
+        Raises :class:`~repro.errors.CorruptSnapshotError` when the
+        payload is malformed or belongs to a different source; recovery
+        degrades to a cold build on that error.
+        """
+        from repro.errors import CorruptSnapshotError
+
+        try:
+            if payload["source_id"] != source.source_id:
+                raise CorruptSnapshotError(
+                    f"community state is for source {payload['source_id']!r},"
+                    f" not {source.source_id!r}"
+                )
+            user_ids = tuple(payload["user_ids"])
+            snapshots = {
+                user_id: ContributorSnapshot.from_dict(payload["snapshots"][user_id])
+                for user_id in user_ids
+            }
+            raw_vectors = {
+                user_id: dict(payload["raw_vectors"][user_id]) for user_id in user_ids
+            }
+            assessments = {
+                user_id: ContributorAssessment(
+                    user_id=user_id,
+                    source_id=source.source_id,
+                    score=QualityScore.from_dict(payload["scores"][user_id]),
+                    snapshot=snapshots[user_id],
+                )
+                for user_id in user_ids
+            }
+        except (KeyError, TypeError, ValueError) as exc:
+            raise CorruptSnapshotError(f"invalid community state: {exc!r}") from exc
+        context = (snapshots, raw_vectors, assessments)
+        with self._refresh_mutex:
+            self._contexts.put((source_fingerprint(source), user_ids), (source, context))
+
     # -- batched assessment pass --------------------------------------------------------
 
     def _resolve_user_ids(

@@ -175,6 +175,25 @@ class QualityScore:
             "scheme_name": self.scheme_name,
         }
 
+    @classmethod
+    def from_dict(cls, payload: Mapping[str, Any]) -> "QualityScore":
+        """Rebuild a score serialised with :meth:`to_dict` (bit-exact floats)."""
+        return cls(
+            subject_id=payload["subject_id"],
+            raw_values=dict(payload["raw_values"]),
+            normalized_values=dict(payload["normalized_values"]),
+            dimension_scores={
+                QualityDimension(name): value
+                for name, value in payload["dimension_scores"].items()
+            },
+            attribute_scores={
+                QualityAttribute(name): value
+                for name, value in payload["attribute_scores"].items()
+            },
+            overall=payload["overall"],
+            scheme_name=payload.get("scheme_name", "uniform"),
+        )
+
 
 def build_quality_score(
     subject_id: str,

@@ -834,6 +834,140 @@ class SourceQualityModel:
                     self._incremental[entry_key] = entry
             return context
 
+    # -- snapshot export / restore (persistence layer) -----------------------------
+
+    def export_assessment_state(self, corpus: SourceCorpus) -> dict[str, Any]:
+        """Serialise the corpus's assessment context to a JSON-compatible dict.
+
+        Refreshes first (the export is exact for the current corpus).
+        Fingerprints and source objects are *not* exported — they embed
+        ``id()`` values; :meth:`restore_assessment_state` recomputes them
+        from the recovered corpus.  Only the default-benchmark context
+        (normaliser fitted on the corpus itself) is exported; explicit
+        benchmark corpora are a transient experiment configuration.
+        """
+        context = self.assessment_context(corpus)
+        return {
+            "ranking": [assessment.source_id for assessment in context.ranking],
+            "snapshots": {
+                source_id: snapshot.to_dict()
+                for source_id, snapshot in context.snapshots.items()
+            },
+            "raw_vectors": {
+                source_id: dict(vector)
+                for source_id, vector in context.raw_vectors.items()
+            },
+            "normalized_vectors": {
+                source_id: dict(vector)
+                for source_id, vector in context.normalized_vectors.items()
+            },
+            "scores": {
+                source_id: assessment.score.to_dict()
+                for source_id, assessment in context.assessments.items()
+            },
+            "max_open_discussions": context.max_open_discussions,
+        }
+
+    def restore_assessment_state(
+        self, corpus: SourceCorpus, payload: Mapping[str, Any]
+    ) -> AssessmentContext:
+        """Install an exported assessment context for ``corpus``.
+
+        Rebuilds the :class:`AssessmentContext` around the recovered
+        corpus's live source objects (fingerprints recomputed — they
+        embed ``id()``), seeds the context and raw-measure caches, and
+        installs the incremental entry for ``corpus`` directly — exactly
+        the state :meth:`assessment_context` would leave behind, so the
+        next read (or a journal-tail replay) is an O(1) flag check or an
+        incremental patch, never a crawl.  The entry pins
+        ``fit_token = -1``: the first post-restore mutation forces a
+        normaliser re-fit from the restored raw vectors — arithmetic
+        only, still no re-crawl — keeping every later patch bit-identical
+        to a cold rebuild's.
+
+        Raises :class:`~repro.errors.CorruptSnapshotError` when the
+        payload does not cover exactly this corpus's sources; callers
+        (the recovery path) degrade to a cold build on that error.
+        """
+        from repro.errors import CorruptSnapshotError
+
+        if len(corpus) == 0:
+            raise AssessmentError("cannot assess an empty corpus")
+        order = [source.source_id for source in corpus]
+        try:
+            if sorted(order) != sorted(payload["snapshots"]):
+                raise CorruptSnapshotError(
+                    "assessment state does not match the recovered corpus"
+                )
+            snapshots = {
+                source_id: CrawlSnapshot.from_dict(payload["snapshots"][source_id])
+                for source_id in order
+            }
+            raw_vectors = {
+                source_id: dict(payload["raw_vectors"][source_id])
+                for source_id in order
+            }
+            normalized_vectors = {
+                source_id: dict(payload["normalized_vectors"][source_id])
+                for source_id in order
+            }
+            assessments = {
+                source_id: SourceAssessment(
+                    source_id=source_id,
+                    score=QualityScore.from_dict(payload["scores"][source_id]),
+                    snapshot=snapshots[source_id],
+                )
+                for source_id in order
+            }
+            ranking = tuple(
+                assessments[source_id] for source_id in payload["ranking"]
+            )
+            max_open_discussions = int(payload["max_open_discussions"])
+        except (KeyError, TypeError, ValueError) as exc:
+            raise CorruptSnapshotError(
+                f"invalid assessment state: {exc!r}"
+            ) from exc
+        if len(ranking) != len(order):
+            raise CorruptSnapshotError(
+                "assessment ranking does not cover the recovered corpus"
+            )
+        # Tracker before the corpus read, like the build path: a mutation
+        # landing mid-restore leaves the entry dirty, so the next read
+        # patches instead of trusting the just-installed context.
+        tracker = CorpusChangeTracker(corpus)
+        fingerprint = corpus.content_fingerprint()
+        sources = tuple(corpus)
+        context = AssessmentContext(
+            fingerprint=fingerprint,
+            benchmark_fingerprint=None,
+            sources=sources,
+            benchmark_sources=None,
+            snapshots=snapshots,
+            raw_vectors=raw_vectors,
+            normalized_vectors=normalized_vectors,
+            assessments=assessments,
+            ranking=ranking,
+            source_fingerprints={entry[0]: entry for entry in fingerprint},
+            max_open_discussions=max_open_discussions,
+        )
+        with self._refresh_mutex:
+            self._contexts.put((fingerprint, None), context)
+            # Seed the raw-measure cache too, so raw_measures() and
+            # benchmark-fitted contexts stay crawl-free after recovery.
+            self._measure_cache.put(fingerprint, (sources, snapshots, raw_vectors))
+            self._prune_incremental()
+            entry = _IncrementalEntry(
+                corpus_ref=weakref.ref(corpus),
+                tracker=tracker,
+                benchmark_ref=None,
+                benchmark_tracker=None,
+                context=context,
+                fit_token=-1,  # unknown normaliser: re-fit on the first patch
+            )
+            with self._rwlock.write_lock():
+                self._incremental[(id(corpus), None)] = entry
+        return context
+
     def assess_corpus(
         self,
         corpus: SourceCorpus,

@@ -106,6 +106,41 @@ class ServingError(ReproError):
     """The eager-refresh serving layer was misused or a refresh failed."""
 
 
+class PersistenceError(ReproError):
+    """Durable storage (snapshot/journal) failed in a way a caller must see.
+
+    Unlike a failed in-memory patch — which the serving layer records and
+    retries lazily — a persistence failure means the durability contract is
+    at risk, so the serving queues re-raise these instead of swallowing
+    them (see :meth:`repro.serving.queues.ConsumerQueue.drain`).
+    """
+
+    def __init__(self, message: str, *, path: object = None, offset: int | None = None) -> None:
+        detail = message
+        if path is not None:
+            detail += f" [path={path}"
+            if offset is not None:
+                detail += f", byte offset={offset}"
+            detail += "]"
+        elif offset is not None:
+            detail += f" [byte offset={offset}]"
+        super().__init__(detail)
+        self.path = path
+        self.offset = offset
+
+
+class CorruptSnapshotError(PersistenceError):
+    """A snapshot file failed validation (magic, version or section CRC).
+
+    Recovery treats this as *degradable*: it falls back to an older
+    snapshot or a journal-only rebuild instead of serving wrong data.
+    """
+
+
+class JournalReplayError(PersistenceError):
+    """A journal record could not be applied to the recovered corpus."""
+
+
 class SentimentError(ReproError):
     """Sentiment analysis failed."""
 

@@ -1,0 +1,205 @@
+"""Compact binary codec for the search index snapshot section.
+
+The index export (:meth:`repro.search.engine.SearchEngine.export_index_state`)
+is dominated by two huge maps — ``postings`` (term -> list of
+``(source_id, ratio)``) and ``term_frequencies`` (source -> term -> count).
+As JSON they are millions of tiny numbers behind repeated string keys, and
+*decoding* them dominates warm start: the whole point of restoring the
+index instead of rebuilding it.  This codec stores them as intern tables
+(each term and source id appears exactly once) plus flat little-endian
+``array`` buffers that deserialise with ``frombytes`` (a memcpy) instead
+of a JSON parse.  Everything else in the export — the small per-source
+and per-term maps, the panel observations, the scalars — stays JSON inside
+the codec's head record.
+
+Layout (every record framed and CRC-guarded exactly like
+:func:`repro.persistence.format.pack_record`)::
+
+    RPIX | framed(head JSON) | framed(postings counts u32[])
+         | framed(postings source-index u32[]) | framed(postings ratio f64[])
+         | framed(tf counts u32[]) | framed(tf term-index u32[])
+         | framed(tf count u32[])
+
+The head JSON holds ``terms`` (postings key order), ``source_ids`` (the
+intern table), ``tf_sources`` (term-frequency key order) and ``fields``
+(every other export key, verbatim).  Key orders are preserved exactly, and
+counts/ratios round-trip bit-exactly through u32/f64 arrays, so a decoded
+payload reconstructs the engine bit-identically to the JSON encoding —
+the warm-start-equals-cold-rebuild contract does not depend on which
+encoding a snapshot used.
+"""
+
+from __future__ import annotations
+
+import sys
+from array import array
+from pathlib import Path
+from typing import Any, Iterable, Optional
+
+from repro.errors import CorruptSnapshotError
+from repro.persistence.format import decode_json, json_record, pack_record, read_record
+
+__all__ = ["INDEX_MAGIC", "encode_index_state", "decode_index_state", "is_index_payload"]
+
+#: Magic prefix distinguishing codec payloads from JSON section payloads.
+INDEX_MAGIC = b"RPIX"
+
+#: (typecode, head key) per binary buffer, in on-disk order.
+_BUFFERS = (
+    ("I", "postings counts"),
+    ("I", "postings source indexes"),
+    ("d", "postings ratios"),
+    ("I", "term-frequency counts"),
+    ("I", "term-frequency term indexes"),
+    ("I", "term-frequency values"),
+)
+
+_LITTLE_ENDIAN = sys.byteorder == "little"
+
+
+def _array_bytes(typecode: str, values: Iterable) -> bytes:
+    buffer = array(typecode, values)
+    if not _LITTLE_ENDIAN:  # pragma: no cover - big-endian hosts only
+        buffer.byteswap()
+    return buffer.tobytes()
+
+
+def _array_from(typecode: str, data: bytes, *, path: Optional[Path]) -> array:
+    buffer = array(typecode)
+    try:
+        buffer.frombytes(data)
+    except ValueError as exc:
+        raise CorruptSnapshotError(f"misaligned index buffer: {exc}", path=path) from exc
+    if not _LITTLE_ENDIAN:  # pragma: no cover - big-endian hosts only
+        buffer.byteswap()
+    return buffer
+
+
+def is_index_payload(payload: bytes) -> bool:
+    """True when a snapshot section payload uses this codec (vs JSON)."""
+    return payload[: len(INDEX_MAGIC)] == INDEX_MAGIC
+
+
+def encode_index_state(state: dict[str, Any]) -> bytes:
+    """Encode an ``export_index_state`` payload into codec bytes."""
+    postings = state["postings"]
+    term_frequencies = state["term_frequencies"]
+
+    source_ids: list[str] = []
+    source_index: dict[str, int] = {}
+
+    def intern(source_id: str) -> int:
+        index = source_index.get(source_id)
+        if index is None:
+            index = len(source_ids)
+            source_index[source_id] = index
+            source_ids.append(source_id)
+        return index
+
+    terms = list(postings)
+    term_index = {term: i for i, term in enumerate(terms)}
+    posting_counts: list[int] = []
+    posting_sources: list[int] = []
+    posting_ratios: list[float] = []
+    for entries in postings.values():
+        posting_counts.append(len(entries))
+        for source_id, ratio in entries:
+            posting_sources.append(intern(source_id))
+            posting_ratios.append(ratio)
+
+    tf_sources: list[str] = []
+    tf_counts: list[int] = []
+    tf_terms: list[int] = []
+    tf_values: list[int] = []
+    for source_id, counter in term_frequencies.items():
+        tf_sources.append(source_id)
+        tf_counts.append(len(counter))
+        for term, count in counter.items():
+            index = term_index.get(term)
+            if index is None:  # a term with no postings entry (defensive)
+                index = len(terms)
+                term_index[term] = index
+                terms.append(term)
+            tf_terms.append(index)
+            tf_values.append(count)
+
+    head = {
+        "terms": terms,
+        "source_ids": source_ids,
+        "tf_sources": tf_sources,
+        "fields": {
+            key: value
+            for key, value in state.items()
+            if key not in ("postings", "term_frequencies")
+        },
+    }
+    parts = [INDEX_MAGIC, pack_record(json_record(head))]
+    for typecode, values in zip(
+        (code for code, _ in _BUFFERS),
+        (posting_counts, posting_sources, posting_ratios, tf_counts, tf_terms, tf_values),
+    ):
+        parts.append(pack_record(_array_bytes(typecode, values)))
+    return b"".join(parts)
+
+
+def decode_index_state(payload: bytes, *, path: Optional[Path] = None) -> dict[str, Any]:
+    """Decode codec bytes back into an ``export_index_state`` payload.
+
+    Raises :class:`CorruptSnapshotError` on a CRC-valid payload that the
+    codec cannot interpret (truncated buffers, mismatched counts, intern
+    indexes out of range) — a broken writer, surfaced as corruption so
+    recovery degrades to a cold build instead of crashing.
+    """
+    if not is_index_payload(payload):
+        raise CorruptSnapshotError("bad index codec magic", path=path)
+    offset = len(INDEX_MAGIC)
+    head_bytes, offset = read_record(payload, offset, path=path, strict=True)
+    head = decode_json(head_bytes, path=path)
+    buffers = []
+    for typecode, label in _BUFFERS:
+        record = read_record(payload, offset, path=path, strict=True)
+        buffers.append(_array_from(typecode, record[0], path=path))
+        offset = record[1]
+    posting_counts, posting_sources, posting_ratios, tf_counts, tf_terms, tf_values = buffers
+
+    try:
+        terms = head["terms"]
+        source_ids = head["source_ids"]
+        tf_sources = head["tf_sources"]
+        fields = dict(head["fields"])
+    except (KeyError, TypeError) as exc:
+        raise CorruptSnapshotError(f"malformed index head: {exc!r}", path=path) from exc
+    if (
+        len(posting_sources) != len(posting_ratios)
+        or sum(posting_counts) != len(posting_sources)
+        or sum(tf_counts) != len(tf_terms)
+        or len(tf_terms) != len(tf_values)
+        or len(tf_counts) != len(tf_sources)
+    ):
+        raise CorruptSnapshotError("index buffer lengths disagree", path=path)
+
+    source_of = source_ids.__getitem__
+    term_of = terms.__getitem__
+    try:
+        postings: dict[str, list] = {}
+        start = 0
+        for i, count in enumerate(posting_counts):
+            end = start + count
+            postings[terms[i]] = list(
+                zip(map(source_of, posting_sources[start:end]), posting_ratios[start:end])
+            )
+            start = end
+        term_frequencies: dict[str, dict] = {}
+        start = 0
+        for i, count in enumerate(tf_counts):
+            end = start + count
+            term_frequencies[tf_sources[i]] = dict(
+                zip(map(term_of, tf_terms[start:end]), tf_values[start:end])
+            )
+            start = end
+    except IndexError as exc:
+        raise CorruptSnapshotError(f"index intern table out of range: {exc}", path=path) from exc
+
+    fields["term_frequencies"] = term_frequencies
+    fields["postings"] = postings
+    return fields

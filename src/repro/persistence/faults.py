@@ -1,0 +1,138 @@
+"""Fault-injection harness for the persistence layer.
+
+Every byte the persistence layer puts on disk flows through the I/O
+channel in :mod:`repro.persistence.format` (write / fsync / replace).
+This module installs a channel that *kills the process* — by raising
+:class:`InjectedCrash` — at a chosen byte boundary:
+
+* **mid-write** (``kill_after_bytes``): the first ``k`` bytes of the
+  doomed write reach the file, the rest never do — the torn-record /
+  torn-header classes;
+* **on fsync** (``kill_on_fsync``): the data was written but the fsync
+  never acknowledged — the record may or may not be durable, and
+  recovery keeping it is allowed (keeping *more* than acknowledged is
+  fine; losing acknowledged data is not);
+* **on rename** (``kill_on_replace``): the snapshot bytes are complete
+  in the temporary file but the atomic rename never happened — the
+  post-data-pre-rename class; the previous snapshot must still load.
+
+The harness counts *matching* operations (optionally filtered by file
+name substring) and triggers on the Nth one, so a test can walk the kill
+point across every operation a scenario performs::
+
+    plan = FaultPlan(kill_after_bytes=7, operation_index=2, match="journal")
+    with inject_faults(plan):
+        with pytest.raises(InjectedCrash):
+            corpus.add(source)          # the 3rd journal write dies mid-record
+
+After the ``with`` block the real channel is restored; the test then
+runs recovery against the files the "crash" left behind and asserts the
+durability contract.  The simulated process death is an exception rather
+than an actual ``os._exit`` so one test process can run the whole kill
+matrix; the write-side code paths never catch :class:`InjectedCrash`
+(it deliberately subclasses :class:`BaseException`).
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import BinaryIO, Iterator, Optional
+
+from contextlib import contextmanager
+
+from repro.persistence import format as _format
+
+__all__ = ["InjectedCrash", "FaultPlan", "FaultyIO", "inject_faults"]
+
+
+class InjectedCrash(BaseException):
+    """Simulated process death at an injected kill point.
+
+    A ``BaseException``: production persistence code must not be able to
+    swallow it with a broad ``except Exception`` — a real crash cannot be
+    caught either.
+    """
+
+
+@dataclass
+class FaultPlan:
+    """Where to kill the next matching I/O operation.
+
+    Exactly one trigger should be set.  ``operation_index`` selects the
+    Nth matching operation (0-based) counted per trigger kind; ``match``
+    restricts matching to paths whose name contains the substring.
+    """
+
+    #: Kill a write after this many bytes of it reached the file.
+    kill_after_bytes: Optional[int] = None
+    #: Kill at the fsync call (data written, durability unacknowledged).
+    kill_on_fsync: bool = False
+    #: Kill at the atomic rename (tmp file complete, never renamed).
+    kill_on_replace: bool = False
+    #: Trigger on the Nth matching operation of the trigger's kind.
+    operation_index: int = 0
+    #: Only operations on paths whose name contains this substring match.
+    match: str = ""
+    #: Internal per-kind counters (writes/fsyncs/replaces seen so far).
+    counts: dict = field(default_factory=lambda: {"write": 0, "fsync": 0, "replace": 0})
+    fired: bool = False
+
+    def _matches(self, path: Path) -> bool:
+        return self.match in path.name
+
+    def _due(self, kind: str, path: Path) -> bool:
+        if self.fired or not self._matches(path):
+            return False
+        index = self.counts[kind]
+        self.counts[kind] = index + 1
+        if index == self.operation_index:
+            self.fired = True
+            return True
+        return False
+
+
+class FaultyIO:
+    """I/O channel that executes a :class:`FaultPlan` (see module docstring)."""
+
+    def __init__(self, plan: FaultPlan) -> None:
+        self.plan = plan
+
+    def write(self, handle: BinaryIO, path: Path, data: bytes) -> None:
+        plan = self.plan
+        if plan.kill_after_bytes is not None and plan._due("write", path):
+            kept = max(0, min(len(data), plan.kill_after_bytes))
+            handle.write(data[:kept])
+            # The torn prefix is what a real crash can leave on disk; make
+            # it visible to the recovery that follows.
+            handle.flush()
+            os.fsync(handle.fileno())
+            raise InjectedCrash(
+                f"write of {len(data)} bytes to {path.name} killed after {kept}"
+            )
+        handle.write(data)
+
+    def fsync(self, handle: BinaryIO, path: Path) -> None:
+        handle.flush()
+        if self.plan.kill_on_fsync and self.plan._due("fsync", path):
+            os.fsync(handle.fileno())
+            raise InjectedCrash(f"fsync of {path.name} killed")
+        os.fsync(handle.fileno())
+
+    def replace(self, source: Path, destination: Path) -> None:
+        if self.plan.kill_on_replace and self.plan._due("replace", destination):
+            raise InjectedCrash(
+                f"rename {source.name} -> {destination.name} killed before rename"
+            )
+        os.replace(source, destination)
+
+
+@contextmanager
+def inject_faults(plan: FaultPlan) -> Iterator[FaultPlan]:
+    """Install ``plan`` on the persistence I/O channel for the ``with`` body."""
+    previous = _format._install_io(FaultyIO(plan))
+    try:
+        yield plan
+    finally:
+        _format._install_io(previous)

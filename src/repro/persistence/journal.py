@@ -1,0 +1,219 @@
+"""Write-ahead journal of corpus mutations.
+
+The journal is the durability tier between two snapshots: every
+:class:`~repro.sources.corpus.CorpusChange` the corpus announces is
+appended (with the mutated source's full serialised content, since the
+change event itself carries only identifiers) and fsynced before the
+append returns, so a crash at any instant loses nothing that the writer
+acknowledged.
+
+File layout::
+
+    RPJL | u32 format version | u64 base corpus version
+    [u32 len][u32 crc][JSON payload]  * N
+
+``base version`` is the corpus version the journal starts *after* — on a
+fresh checkpoint it equals the snapshot's recorded corpus version, so
+recovery can cross-check that a journal belongs behind a snapshot.  Each
+record payload is::
+
+    {"version": <corpus version after the mutation>,
+     "op": "add" | "remove" | "touch",
+     "source_id": <id>,
+     "source": <Source.to_dict() or null for removes>}
+
+Reading is *tolerant by design*: the reader scans records until the first
+invalid one (truncated header, truncated payload, CRC mismatch — the
+torn-tail classes a mid-append crash produces) and reports how many bytes
+were valid; :func:`truncate_torn_tail` cuts the file there so subsequent
+appends extend a clean record stream.  Only a corrupt *header* makes the
+whole journal unusable — and since the header is written and fsynced
+before any append is acknowledged, a corrupt header implies no record was
+ever durable, so recovery treats it as "no journal" rather than failing.
+"""
+
+from __future__ import annotations
+
+import os
+import struct
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Any, BinaryIO, Optional
+
+from repro.errors import CorruptSnapshotError, PersistenceError
+from repro.persistence.format import (
+    FORMAT_VERSION,
+    JOURNAL_MAGIC,
+    decode_json,
+    fsync_file,
+    json_record,
+    read_record,
+    write_bytes,
+    write_record,
+)
+
+__all__ = ["JournalReader", "JournalWriter", "read_journal", "truncate_torn_tail"]
+
+_HEADER = struct.Struct("<IQ")
+HEADER_SIZE = len(JOURNAL_MAGIC) + _HEADER.size
+
+
+def _pack_header(base_version: int) -> bytes:
+    return JOURNAL_MAGIC + _HEADER.pack(FORMAT_VERSION, base_version)
+
+
+@dataclass
+class JournalReader:
+    """Result of a tolerant journal scan (see :func:`read_journal`)."""
+
+    path: Path
+    #: Corpus version the journal's records follow (snapshot cross-check).
+    base_version: int
+    #: Decoded record payloads, in append order, up to the first invalid one.
+    records: list[dict[str, Any]]
+    #: File offset one past the last valid record — the truncation point.
+    valid_length: int
+    #: True when bytes beyond ``valid_length`` exist (a torn tail).
+    torn: bool
+
+    @property
+    def last_version(self) -> int:
+        """Corpus version of the newest valid record (base version if none)."""
+        if not self.records:
+            return self.base_version
+        return max(int(record.get("version", 0)) for record in self.records)
+
+
+def read_journal(path: str | Path) -> JournalReader:
+    """Scan a journal, keeping every valid record before the first torn one.
+
+    Raises :class:`CorruptSnapshotError` only for an unusable *header*
+    (bad magic or unsupported version); record-level damage is expected
+    (a crash mid-append) and reported through ``torn``/``valid_length``
+    instead of raised.
+    """
+    path = Path(path)
+    try:
+        buffer = path.read_bytes()
+    except OSError as exc:
+        raise PersistenceError(f"cannot read journal: {exc}", path=path) from exc
+    if len(buffer) < HEADER_SIZE:
+        raise CorruptSnapshotError("truncated journal header", path=path, offset=0)
+    if buffer[: len(JOURNAL_MAGIC)] != JOURNAL_MAGIC:
+        raise CorruptSnapshotError(
+            f"bad journal magic {buffer[:len(JOURNAL_MAGIC)]!r}", path=path, offset=0
+        )
+    version, base_version = _HEADER.unpack_from(buffer, len(JOURNAL_MAGIC))
+    if version != FORMAT_VERSION:
+        raise CorruptSnapshotError(
+            f"unsupported journal format version {version}",
+            path=path,
+            offset=len(JOURNAL_MAGIC),
+        )
+    records: list[dict[str, Any]] = []
+    offset = HEADER_SIZE
+    while offset < len(buffer):
+        decoded = read_record(buffer, offset)
+        if decoded is None:
+            break  # torn tail: everything before `offset` stays valid
+        payload, next_offset = decoded
+        try:
+            record = decode_json(payload, path=path, offset=offset)
+        except CorruptSnapshotError:
+            break  # CRC-valid garbage: treat like a torn record, stop here
+        if not isinstance(record, dict):
+            break
+        records.append(record)
+        offset = next_offset
+    return JournalReader(
+        path=path,
+        base_version=base_version,
+        records=records,
+        valid_length=offset,
+        torn=offset < len(buffer),
+    )
+
+
+def truncate_torn_tail(reader: JournalReader) -> bool:
+    """Cut the journal at the last valid record; True when bytes were dropped.
+
+    Run during recovery so the re-attached writer appends after a clean
+    record stream instead of after garbage that would shadow every later
+    record from readers.
+    """
+    if not reader.torn:
+        return False
+    with open(reader.path, "r+b") as handle:
+        handle.truncate(reader.valid_length)
+        fsync_file(handle, reader.path)
+    return True
+
+
+class JournalWriter:
+    """Append-only, fsync-per-record journal writer.
+
+    Opening is crash-safe: a missing or empty file gets a fresh header
+    (fsynced before the first append can be acknowledged); an existing
+    file is scanned and its torn tail truncated, so the writer always
+    appends to a valid record stream.  ``fsync=False`` trades the
+    per-append durability guarantee for speed (benchmarks; tests that
+    model durability through the fault harness instead).
+    """
+
+    def __init__(
+        self, path: str | Path, *, base_version: int = 0, fsync: bool = True
+    ) -> None:
+        self.path = Path(path)
+        self._fsync = fsync
+        self._handle: Optional[BinaryIO] = None
+        self.records_written = 0
+        if self.path.exists() and self.path.stat().st_size >= HEADER_SIZE:
+            reader = read_journal(self.path)
+            truncate_torn_tail(reader)
+            self.base_version = reader.base_version
+            self.records_written = len(reader.records)
+            self._handle = open(self.path, "ab")
+        else:
+            self.base_version = base_version
+            self._start_fresh(base_version)
+
+    def _start_fresh(self, base_version: int) -> None:
+        handle = open(self.path, "wb")
+        write_bytes(handle, self.path, _pack_header(base_version))
+        fsync_file(handle, self.path)
+        self._handle = handle
+        self.base_version = base_version
+        self.records_written = 0
+
+    def append(self, record: dict[str, Any]) -> int:
+        """Durably append one record; return the total records written.
+
+        The record is on disk (fsynced, when enabled) by the time this
+        returns — the write-ahead guarantee recovery tests assert: an
+        acknowledged append survives any later crash.
+        """
+        if self._handle is None:
+            raise PersistenceError("journal writer is closed", path=self.path)
+        write_record(self._handle, self.path, json_record(record))
+        if self._fsync:
+            fsync_file(self._handle, self.path)
+        self.records_written += 1
+        return self.records_written
+
+    def reset(self, base_version: int) -> None:
+        """Start a new journal epoch after a checkpoint.
+
+        Runs *after* the snapshot rename: a crash in between leaves the
+        old journal with records the snapshot already contains, which
+        replay skips by version cross-check — stale records are harmless,
+        lost ones would not be.
+        """
+        if self._handle is not None:
+            self._handle.close()
+        self._start_fresh(base_version)
+
+    def close(self) -> None:
+        """Close the underlying file handle (idempotent)."""
+        if self._handle is not None:
+            self._handle.close()
+            self._handle = None

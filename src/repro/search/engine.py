@@ -282,6 +282,8 @@ class SearchEngine:
         corpus: SourceCorpus,
         panel: Optional[WebStatsPanel] = None,
         config: SearchEngineConfig = SearchEngineConfig(),
+        *,
+        index_state: Optional[dict] = None,
     ) -> None:
         config.validate()
         self._corpus = corpus
@@ -300,7 +302,16 @@ class SearchEngine:
         self._query_cache = LRUCache(maxsize=self.QUERY_CACHE_SIZE)
         self.counters = PerfCounters()
         self._panel.watch(corpus)
-        self._state = self._build_index()
+        # ``index_state`` is the persistence layer's warm-start path (see
+        # :meth:`export_index_state`): the exported index is rebuilt
+        # structure-for-structure instead of re-tokenising the corpus.
+        # All the wiring above (subscription, panel watch, locks) is
+        # identical, so journal events replayed *after* construction dirty
+        # the subscription and the first read patches incrementally.
+        if index_state is not None:
+            self._state = self._restore_index(index_state)
+        else:
+            self._state = self._build_index()
 
     @property
     def config(self) -> SearchEngineConfig:
@@ -479,6 +490,79 @@ class SearchEngine:
             config.traffic_coefficient * traffic_part
             + config.inbound_link_coefficient * link_part
         ) / total
+
+    # -- snapshot export / restore (persistence layer) -------------------------------
+
+    def export_index_state(self) -> dict:
+        """Serialise the current index snapshot to a JSON-compatible dict.
+
+        Refreshes first, so the export matches the corpus exactly.  The
+        export captures everything :meth:`_build_index` derives from the
+        corpus *except* the per-source fingerprints and anchored objects
+        (they embed ``id()`` values, meaningless across processes — the
+        restore recomputes them from the recovered corpus) and the result
+        cache (a memo, rebuilt on demand).  Dict orders are preserved
+        through JSON, so restored Counters and postings iterate exactly
+        as the originals did — the restored engine is bit-identical to a
+        cold rebuild of the same corpus.
+        """
+        self.refresh()
+        with self._rwlock.read_lock():
+            state = self._state
+        return {
+            "term_frequencies": {
+                source_id: dict(counter)
+                for source_id, counter in state.term_frequencies.items()
+            },
+            "document_frequencies": dict(state.document_frequencies),
+            "document_lengths": dict(state.document_lengths),
+            "static_scores": dict(state.static_scores),
+            "postings": {
+                term: [[source_id, ratio] for source_id, ratio in entries]
+                for term, entries in state.postings.items()
+            },
+            "static_keys": [[score, source_id] for score, source_id in state.static_keys],
+            "observations": {
+                source_id: observation.to_dict()
+                for source_id, observation in state.observations.items()
+            },
+            "max_visitors": state.max_visitors,
+            "max_links": state.max_links,
+            "n_documents": state.n_documents,
+        }
+
+    def _restore_index(self, payload: dict) -> _IndexState:
+        """Rebuild an :class:`_IndexState` from :meth:`export_index_state` output."""
+        if len(self._corpus) == 0:
+            raise SearchError("cannot index an empty corpus")
+        self._subscription.mark_clean()
+        state = _IndexState(
+            term_frequencies={
+                source_id: Counter(counts)
+                for source_id, counts in payload["term_frequencies"].items()
+            },
+            document_frequencies=Counter(payload["document_frequencies"]),
+            document_lengths=dict(payload["document_lengths"]),
+            static_scores=dict(payload["static_scores"]),
+            postings={
+                term: [(source_id, ratio) for source_id, ratio in entries]
+                for term, entries in payload["postings"].items()
+            },
+            static_keys=[(score, source_id) for score, source_id in payload["static_keys"]],
+            observations={
+                source_id: PanelObservation.from_dict(observation)
+                for source_id, observation in payload["observations"].items()
+            },
+            max_visitors=payload["max_visitors"],
+            max_links=payload["max_links"],
+            n_documents=payload["n_documents"],
+            result_cache=LRUCache(maxsize=self.RESULT_CACHE_SIZE),
+        )
+        state.static_order = tuple(source_id for _, source_id in state.static_keys)
+        for source in self._corpus:
+            state.source_fingerprints[source.source_id] = source_fingerprint(source)
+            state.anchored_sources[source.source_id] = source
+        return state
 
     # -- staleness detection and incremental maintenance ----------------------------
 

@@ -40,6 +40,7 @@ import threading
 from dataclasses import dataclass
 from typing import Any, Callable, Optional
 
+from repro.errors import PersistenceError
 from repro.perf.counters import PerfCounters
 from repro.serving.rwlock import ReadWriteLock
 from repro.sources.diffing import BusSubscription, PendingInvalidation
@@ -147,6 +148,14 @@ class ConsumerQueue:
             self.stats.last_error = f"{type(exc).__name__}: {exc}"
             self._counters.increment("refresh_errors")
             self.stats.last_duration_seconds = self._clock() - started
+            if isinstance(exc, PersistenceError):
+                # A durability failure (journal append, checkpoint write)
+                # must never be absorbed into a silent force_dirty: lazy
+                # refresh cannot repair lost persistence the way it
+                # repairs a stale cache.  Recorded above, then re-raised
+                # through every path — including the ones that normally
+                # swallow refresh errors.
+                raise
             return 0, exc
         self.stats.patches += 1
         self._counters.increment("consumers_patched")

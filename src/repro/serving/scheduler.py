@@ -94,7 +94,7 @@ import warnings
 from enum import Enum
 from typing import Any, Callable, Iterable, Optional
 
-from repro.errors import ServingError
+from repro.errors import PersistenceError, ServingError
 from repro.perf.counters import PerfCounters
 from repro.serving.queues import ConsumerQueue, ConsumerStats
 from repro.serving.rwlock import ReadWriteLock
@@ -396,6 +396,22 @@ class EagerRefreshScheduler:
         )
         return name
 
+    def register_checkpoint_store(
+        self, store: Any, name: Optional[str] = None
+    ) -> str:
+        """Register a :class:`~repro.persistence.store.CorpusStore` checkpointer.
+
+        Drives ``store.checkpoint_if_due`` as a fourth consumer queue:
+        checkpoints are coalesced per mutation burst and run off the
+        mutating thread like any other eager refresh.  A checkpoint
+        failure is a :class:`~repro.errors.PersistenceError`, which the
+        queue re-raises through every path (durability loss is never
+        silently absorbed — see :class:`~repro.serving.queues.ConsumerQueue`).
+        """
+        name = name or self._auto_name("checkpoint")
+        self.register(name, store.checkpoint_if_due)
+        return name
+
     def unregister(self, name: str) -> bool:
         """Remove a registered consumer; returns False when unknown."""
         with self._intake:
@@ -602,7 +618,16 @@ class EagerRefreshScheduler:
                     continue
             # Due: patch outside the intake lock so mutating threads are
             # never blocked behind the running refreshes.
-            self._apply(raise_errors=False)
+            try:
+                self._apply(raise_errors=False)
+            except PersistenceError:
+                # Already recorded in the failing queue's ConsumerStats
+                # (see ConsumerQueue._run, which re-raises persistence
+                # errors through every path).  Swallowing would be silent
+                # data-durability loss; killing the worker would silently
+                # stop every other consumer's eager refresh — so count it
+                # and retry on the next due burst.
+                self.counters.increment("persistence_errors")
 
     # -- lifecycle ----------------------------------------------------------------------
 

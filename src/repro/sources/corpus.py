@@ -316,6 +316,19 @@ class SourceCorpus:
             source.touch()  # the mutation watcher wired by add() emits the event
             return self._version
 
+    def _restore_version(self, version: int) -> None:
+        """Pin the version counter during snapshot/journal recovery.
+
+        Internal to :mod:`repro.persistence`: a recovered corpus must
+        resume counting from the version the snapshot (or the journal
+        record just replayed) recorded, so journal replay can skip
+        already-applied events by version cross-check.  Max semantics —
+        the counter never moves backwards — and no notification: version
+        restoration is bookkeeping, not a mutation.
+        """
+        with self._mutation_lock:
+            self._version = max(self._version, int(version))
+
     def _on_source_mutated(self, source: Source) -> None:
         """Propagate an announced in-place source mutation as a corpus event."""
         with self._mutating():

@@ -103,6 +103,17 @@ class CrawlSnapshot:
             "comments_per_user": self.comments_per_user,
         }
 
+    @classmethod
+    def from_dict(cls, payload: dict[str, Any]) -> "CrawlSnapshot":
+        """Rebuild a snapshot serialised with :meth:`to_dict` (bit-exact floats).
+
+        ``covered_categories`` comes back as a tuple so the restored
+        dataclass compares equal to a freshly crawled one.
+        """
+        data = dict(payload)
+        data["covered_categories"] = tuple(data.get("covered_categories", ()))
+        return cls(**data)
+
 
 @dataclass
 class ContributorSnapshot:
@@ -176,6 +187,13 @@ class ContributorSnapshot:
             "comments_per_discussion": self.comments_per_discussion,
             "interactions_per_discussion_per_day": self.interactions_per_discussion_per_day,
         }
+
+    @classmethod
+    def from_dict(cls, payload: dict[str, Any]) -> "ContributorSnapshot":
+        """Rebuild a snapshot serialised with :meth:`to_dict` (bit-exact floats)."""
+        data = dict(payload)
+        data["covered_categories"] = tuple(data.get("covered_categories", ()))
+        return cls(**data)
 
 
 @dataclass

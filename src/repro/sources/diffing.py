@@ -64,8 +64,18 @@ from __future__ import annotations
 import threading
 import time
 import weakref
+from contextlib import contextmanager
 from dataclasses import dataclass
-from typing import TYPE_CHECKING, Any, Callable, Iterable, Mapping, Optional, Tuple
+from typing import (
+    TYPE_CHECKING,
+    Any,
+    Callable,
+    Iterable,
+    Iterator,
+    Mapping,
+    Optional,
+    Tuple,
+)
 
 from repro.perf.cache import source_fingerprint
 
@@ -85,6 +95,7 @@ __all__ = [
     "InvalidationBus",
     "CorpusChangeTracker",
     "SourceChangeTracker",
+    "DurableJournalSubscriber",
 ]
 
 
@@ -535,6 +546,114 @@ class CorpusChangeTracker:
         its derived state calls this so the staleness is not lost.
         """
         self._subscription.force_dirty()
+
+
+class DurableJournalSubscriber:
+    """Bus subscriber that appends every corpus change to a durable sink.
+
+    The write-ahead-journal intake of :mod:`repro.persistence`: it
+    registers an unfiltered ``on_event`` subscription on the corpus's
+    :class:`InvalidationBus` and forwards each
+    :class:`~repro.sources.corpus.CorpusChange` — *with the mutated
+    source's full serialised content*, which the change event itself does
+    not carry — to an injected ``sink`` callable (in production,
+    :meth:`repro.persistence.journal.JournalWriter.append` wrapped by the
+    store).  The sink indirection keeps this module free of any
+    persistence import.
+
+    Delivery runs on the mutating thread, outside the corpus mutation
+    lock, after the mutation committed; appends are serialised under the
+    subscriber's own lock.  Two consequences, both documented properties
+    of the journal rather than bugs:
+
+    * with *concurrent* mutator threads, append order may deviate
+      slightly from corpus version order (replay handles that by keying
+      idempotence on each record's ``version``, not on file position);
+    * a source added (or touched) and then removed before its event was
+      delivered serialises with ``"source": null`` — replay skips the
+      contentless record, and the trailing ``remove`` record restores
+      the correct net state.
+
+    A sink failure propagates to the mutating caller: the in-memory
+    mutation has already committed, but the caller learns durability was
+    NOT achieved — the journal is behind — and can checkpoint or fail
+    loudly.  The subscriber holds its bus subscription strongly (the bus
+    itself only keeps a weak reference).
+    """
+
+    def __init__(
+        self,
+        corpus: "SourceCorpus",
+        sink: Callable[[dict], Any],
+        name: str = "durable-journal",
+    ) -> None:
+        self._corpus_ref = weakref.ref(corpus)
+        self._sink = sink
+        # Reentrant: a checkpoint holds it via paused() and still calls
+        # mark_checkpoint() before releasing.
+        self._lock = threading.RLock()
+        #: Total records handed to the sink since construction.
+        self.events_journaled = 0
+        #: Records handed to the sink since the last :meth:`mark_checkpoint`
+        #: — the checkpoint scheduler's due-ness input.
+        self.events_since_checkpoint = 0
+        self._subscription = corpus.invalidation_bus().subscribe(
+            name=name, on_event=self._on_event
+        )
+
+    @property
+    def subscription(self) -> BusSubscription:
+        """The underlying bus subscription (held strongly by this object)."""
+        return self._subscription
+
+    @property
+    def closed(self) -> bool:
+        """True once :meth:`close` detached the subscriber from the bus."""
+        return self._subscription.closed
+
+    def _on_event(self, change: "CorpusChange") -> None:
+        corpus = self._corpus_ref()
+        payload = None
+        if corpus is not None and change.op in ("add", "touch"):
+            # Serialise the source's *current* content.  For a touch this
+            # may already include later mutations — replay copies content
+            # states forward, so converging early is harmless.  A source
+            # already removed again yields null (see class docstring).
+            source = corpus._sources.get(change.source_id)
+            if source is not None:
+                payload = source.to_dict()
+        record = {
+            "version": change.version,
+            "op": change.op,
+            "source_id": change.source_id,
+            "source": payload,
+        }
+        with self._lock:
+            self._sink(record)
+            self.events_journaled += 1
+            self.events_since_checkpoint += 1
+
+    def mark_checkpoint(self) -> None:
+        """Reset the since-checkpoint counter (called after a checkpoint)."""
+        with self._lock:
+            self.events_since_checkpoint = 0
+
+    @contextmanager
+    def paused(self) -> Iterator[None]:
+        """Hold the append lock for the body — no event reaches the sink.
+
+        The checkpoint atomicity primitive: the store exports consumer
+        state, writes the snapshot and resets the journal inside one
+        ``paused()`` block, so no change can slip into the old journal
+        after the export (it would be wiped by the reset) — concurrent
+        mutators block briefly at their journal append instead.
+        """
+        with self._lock:
+            yield
+
+    def close(self) -> None:
+        """Detach from the bus; no further events are journaled (idempotent)."""
+        self._subscription.close()
 
 
 class SourceChangeTracker:

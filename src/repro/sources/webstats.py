@@ -73,6 +73,11 @@ class PanelObservation:
             "feed_subscriptions": self.feed_subscriptions,
         }
 
+    @classmethod
+    def from_dict(cls, payload: dict[str, Any]) -> "PanelObservation":
+        """Rebuild an observation serialised with :meth:`to_dict` (bit-exact floats)."""
+        return cls(**payload)
+
 
 def _stable_rng(seed: int, source_id: str) -> random.Random:
     """Build a random generator that is stable per ``(seed, source_id)``."""

@@ -1,0 +1,642 @@
+"""Persistence layer: formats, codec, journal, snapshot, recovery ladder.
+
+Crash simulation (killing writes at byte boundaries) lives in
+``test_recovery_faults.py``; this module covers the formats themselves and
+the *logical* recovery edge cases — empty journals, journal-only starts,
+stale journals, duplicate replay, corrupt and undecodable sections.
+"""
+
+from __future__ import annotations
+
+import json
+import struct
+
+import pytest
+
+from repro.core.domain import DomainOfInterest
+from repro.core.source_quality import SourceQualityModel
+from repro.errors import (
+    CorruptSnapshotError,
+    JournalReplayError,
+    PersistenceError,
+    ReproError,
+)
+from repro.persistence import (
+    CorpusStore,
+    JournalWriter,
+    atomic_write_json,
+    decode_index_state,
+    encode_index_state,
+    read_journal,
+    read_snapshot,
+    replay_journal,
+    snapshot_version,
+    truncate_torn_tail,
+    try_read_snapshot,
+    write_snapshot,
+)
+from repro.persistence.codec import INDEX_MAGIC, is_index_payload
+from repro.persistence.format import (
+    RECORD_HEADER,
+    SNAPSHOT_MAGIC,
+    pack_record,
+    pack_sections,
+    read_record,
+    unpack_sections,
+)
+from repro.persistence.journal import HEADER_SIZE
+from repro.search.engine import SearchEngine
+from repro.sources.corpus import SourceCorpus
+from repro.sources.generators import CorpusGenerator, CorpusSpec
+from repro.sources.models import Discussion, Post
+
+
+def make_corpus(count: int = 6, seed: int = 29, budget: int = 4) -> SourceCorpus:
+    return CorpusGenerator(
+        CorpusSpec(
+            source_count=count, seed=seed, discussion_budget=budget, user_budget=6
+        )
+    ).generate()
+
+
+def mutate(corpus: SourceCorpus, event: int) -> None:
+    """One journaled mutation, alternating growth and touch edits."""
+    source = corpus.sources()[event % len(corpus)]
+    if event % 2 == 0:
+        discussion = Discussion(
+            discussion_id=f"evt-{event}",
+            category="travel",
+            title="travel flight resort",
+            opened_at=1.0,
+        )
+        discussion.posts.append(
+            Post(
+                post_id=f"evt-post-{event}",
+                author_id="u1",
+                day=2.0,
+                text="travel flight resort beach",
+            )
+        )
+        source.add_discussion(discussion)
+    else:
+        post = next(iter(source.posts()), None)
+        if post is not None:
+            post.text = f"reworded travel content {event}"
+        corpus.touch(source.source_id)
+
+
+DOMAIN = DomainOfInterest(categories=("travel", "food"), name="persistence-tests")
+
+
+# -- record framing ---------------------------------------------------------------------
+
+
+class TestRecordFraming:
+    def test_round_trip(self):
+        payload = b"hello persistence"
+        framed = pack_record(payload)
+        decoded, offset = read_record(framed, 0)
+        assert decoded == payload
+        assert offset == len(framed)
+
+    def test_concatenated_records(self):
+        buffer = pack_record(b"one") + pack_record(b"two")
+        first, offset = read_record(buffer, 0)
+        second, end = read_record(buffer, offset)
+        assert (first, second) == (b"one", b"two")
+        assert end == len(buffer)
+
+    def test_corrupt_payload_is_detected(self):
+        framed = bytearray(pack_record(b"payload-bytes"))
+        framed[-1] ^= 0xFF
+        assert read_record(bytes(framed), 0) is None
+        with pytest.raises(CorruptSnapshotError):
+            read_record(bytes(framed), 0, strict=True)
+
+    def test_truncated_header_and_payload(self):
+        framed = pack_record(b"payload")
+        assert read_record(framed[:4], 0) is None
+        assert read_record(framed[:-2], 0) is None
+
+    def test_implausible_length_rejected(self):
+        bogus = RECORD_HEADER.pack(1 << 31, 0) + b"x"
+        assert read_record(bogus, 0) is None
+
+    def test_error_carries_path_and_offset(self, tmp_path):
+        with pytest.raises(CorruptSnapshotError) as excinfo:
+            read_record(b"", 4, path=tmp_path / "f.rpss", strict=True)
+        assert excinfo.value.offset == 4
+        assert "f.rpss" in str(excinfo.value)
+        assert isinstance(excinfo.value, ReproError)
+
+
+class TestSectionLayout:
+    def test_round_trip(self):
+        sections = {"meta": b"{}", "corpus": b"[1,2]", "blob": bytes(range(256))}
+        packed = pack_sections(SNAPSHOT_MAGIC, sections)
+        assert unpack_sections(packed, SNAPSHOT_MAGIC) == sections
+
+    def test_bad_magic(self):
+        packed = pack_sections(SNAPSHOT_MAGIC, {"a": b"x"})
+        with pytest.raises(CorruptSnapshotError):
+            unpack_sections(packed, b"XXXX")
+
+    def test_unsupported_version(self):
+        packed = bytearray(pack_sections(SNAPSHOT_MAGIC, {"a": b"x"}))
+        struct.pack_into("<I", packed, len(SNAPSHOT_MAGIC), 99)
+        with pytest.raises(CorruptSnapshotError, match="version"):
+            unpack_sections(bytes(packed), SNAPSHOT_MAGIC)
+
+    def test_any_flipped_byte_is_caught(self):
+        packed = pack_sections(SNAPSHOT_MAGIC, {"meta": b"{}", "corpus": b"[1]"})
+        for offset in range(len(packed)):
+            tampered = bytearray(packed)
+            tampered[offset] ^= 0x40
+            try:
+                result = unpack_sections(bytes(tampered), SNAPSHOT_MAGIC)
+            except CorruptSnapshotError:
+                continue
+            # A flip inside a section *name* changes the name but stays
+            # CRC-consistent; the payloads must still be intact.
+            assert sorted(result.values()) == [b"[1]", b"{}"]
+
+
+class TestAtomicWriteJson:
+    def test_writes_and_replaces(self, tmp_path):
+        target = tmp_path / "report.json"
+        atomic_write_json(target, {"a": 1})
+        atomic_write_json(target, {"a": 2})
+        assert json.loads(target.read_text()) == {"a": 2}
+        assert not (tmp_path / "report.json.tmp").exists()
+
+
+# -- index codec -------------------------------------------------------------------------
+
+
+class TestIndexCodec:
+    @pytest.fixture(scope="class")
+    def index_state(self):
+        corpus = make_corpus(count=8, seed=31, budget=5)
+        return SearchEngine(corpus).export_index_state()
+
+    def test_payloads_are_tagged(self, index_state):
+        encoded = encode_index_state(index_state)
+        assert is_index_payload(encoded)
+        assert not is_index_payload(b'{"postings": {}}')
+
+    def test_restored_engine_is_bit_identical(self, index_state):
+        corpus = make_corpus(count=8, seed=31, budget=5)
+        decoded = decode_index_state(encode_index_state(index_state))
+        from_codec = SearchEngine(corpus, index_state=decoded)
+        from_export = SearchEngine(corpus, index_state=index_state)
+        assert list(from_codec.static_rank()) == list(from_export.static_rank())
+        for query in ("travel flight", "food dinner", "music festival"):
+            codec_hits = [
+                (r.source_id, r.score) for r in from_codec.search(query, 10)
+            ]
+            export_hits = [
+                (r.source_id, r.score) for r in from_export.search(query, 10)
+            ]
+            assert codec_hits == export_hits
+
+    def test_decode_preserves_orders_and_values(self, index_state):
+        decoded = decode_index_state(encode_index_state(index_state))
+        assert list(decoded["postings"]) == list(index_state["postings"])
+        assert list(decoded["term_frequencies"]) == list(
+            index_state["term_frequencies"]
+        )
+        for term, entries in index_state["postings"].items():
+            assert [tuple(entry) for entry in entries] == decoded["postings"][term]
+        for key, value in index_state.items():
+            if key not in ("postings", "term_frequencies"):
+                assert decoded[key] == value
+
+    def test_bad_magic_rejected(self):
+        with pytest.raises(CorruptSnapshotError, match="magic"):
+            decode_index_state(b"JSON" + b"x" * 64)
+
+    def test_tampering_never_passes(self, index_state):
+        encoded = encode_index_state(index_state)
+        # Sample byte positions across the head record and every buffer.
+        for offset in range(0, len(encoded), max(1, len(encoded) // 64)):
+            tampered = bytearray(encoded)
+            tampered[offset] ^= 0x01
+            with pytest.raises(CorruptSnapshotError):
+                decode_index_state(bytes(tampered))
+
+    def test_truncation_never_passes(self, index_state):
+        encoded = encode_index_state(index_state)
+        for cut in (2, len(INDEX_MAGIC), len(encoded) // 2, len(encoded) - 3):
+            with pytest.raises(CorruptSnapshotError):
+                decode_index_state(encoded[:cut])
+
+
+# -- journal ----------------------------------------------------------------------------
+
+
+class TestJournal:
+    def test_append_and_read(self, tmp_path):
+        path = tmp_path / "journal.rpjl"
+        writer = JournalWriter(path, base_version=5)
+        for version in (6, 7, 8):
+            writer.append({"version": version, "op": "touch", "source_id": "s"})
+        writer.close()
+        reader = read_journal(path)
+        assert reader.base_version == 5
+        assert [record["version"] for record in reader.records] == [6, 7, 8]
+        assert reader.last_version == 8
+        assert not reader.torn
+        assert reader.valid_length == path.stat().st_size
+
+    def test_torn_tail_detected_and_truncated(self, tmp_path):
+        path = tmp_path / "journal.rpjl"
+        writer = JournalWriter(path, base_version=0)
+        writer.append({"version": 1, "op": "touch", "source_id": "s"})
+        writer.append({"version": 2, "op": "touch", "source_id": "s"})
+        writer.close()
+        intact = path.read_bytes()
+        path.write_bytes(intact[:-3])  # crash mid-append of record 2
+        reader = read_journal(path)
+        assert reader.torn
+        assert [record["version"] for record in reader.records] == [1]
+        assert truncate_torn_tail(reader)
+        assert path.stat().st_size == reader.valid_length
+        assert not read_journal(path).torn
+
+    def test_writer_reopens_after_torn_tail(self, tmp_path):
+        path = tmp_path / "journal.rpjl"
+        writer = JournalWriter(path, base_version=0)
+        writer.append({"version": 1, "op": "touch", "source_id": "s"})
+        writer.close()
+        path.write_bytes(path.read_bytes() + b"\xde\xad\xbe")
+        writer = JournalWriter(path, base_version=0)
+        assert writer.records_written == 1  # the torn garbage was cut
+        writer.append({"version": 2, "op": "touch", "source_id": "s"})
+        writer.close()
+        reader = read_journal(path)
+        assert [record["version"] for record in reader.records] == [1, 2]
+        assert not reader.torn
+
+    def test_crc_valid_garbage_stops_the_scan(self, tmp_path):
+        path = tmp_path / "journal.rpjl"
+        writer = JournalWriter(path, base_version=0)
+        writer.append({"version": 1, "op": "touch", "source_id": "s"})
+        writer.close()
+        path.write_bytes(path.read_bytes() + pack_record(b"not json at all"))
+        reader = read_journal(path)
+        assert [record["version"] for record in reader.records] == [1]
+        assert reader.torn
+
+    def test_corrupt_header_is_fatal(self, tmp_path):
+        path = tmp_path / "journal.rpjl"
+        JournalWriter(path, base_version=0).close()
+        tampered = bytearray(path.read_bytes())
+        tampered[1] ^= 0xFF
+        path.write_bytes(bytes(tampered))
+        with pytest.raises(CorruptSnapshotError):
+            read_journal(path)
+
+    def test_short_file_restarts_fresh(self, tmp_path):
+        path = tmp_path / "journal.rpjl"
+        path.write_bytes(b"RP")  # crash mid-header: nothing was durable
+        assert path.stat().st_size < HEADER_SIZE
+        writer = JournalWriter(path, base_version=3)
+        writer.append({"version": 4, "op": "touch", "source_id": "s"})
+        writer.close()
+        reader = read_journal(path)
+        assert reader.base_version == 3
+        assert len(reader.records) == 1
+
+    def test_closed_writer_refuses_appends(self, tmp_path):
+        writer = JournalWriter(tmp_path / "journal.rpjl", base_version=0)
+        writer.close()
+        with pytest.raises(PersistenceError):
+            writer.append({"version": 1, "op": "touch", "source_id": "s"})
+
+
+# -- snapshot ---------------------------------------------------------------------------
+
+
+class TestSnapshot:
+    def test_round_trip_with_binary_section(self, tmp_path):
+        corpus = make_corpus()
+        index_state = SearchEngine(corpus).export_index_state()
+        path = tmp_path / "snapshot.rpss"
+        write_snapshot(
+            path,
+            {
+                "corpus": corpus.to_dict(),
+                "index": encode_index_state(index_state),
+                "source_model": {"ranking": ["a"]},
+            },
+            corpus_version=corpus.version,
+        )
+        sections = read_snapshot(path)
+        assert snapshot_version(sections) == corpus.version
+        assert set(sections) == {"meta", "corpus", "index", "source_model"}
+        assert sections["meta"]["sections"] == ["corpus", "index", "source_model"]
+        restored = SourceCorpus.from_dict(sections["corpus"])
+        assert restored.to_dict() == corpus.to_dict()
+        assert list(sections["index"]["postings"]) == list(index_state["postings"])
+        assert sections["source_model"] == {"ranking": ["a"]}
+
+    def test_corpus_section_is_mandatory(self, tmp_path):
+        with pytest.raises(PersistenceError):
+            write_snapshot(tmp_path / "s.rpss", {"index": {}}, corpus_version=0)
+
+    def test_flipped_bytes_fail_structurally(self, tmp_path):
+        corpus = make_corpus()
+        path = tmp_path / "snapshot.rpss"
+        write_snapshot(path, {"corpus": corpus.to_dict()}, corpus_version=1)
+        data = path.read_bytes()
+        for offset in range(0, len(data), max(1, len(data) // 48)):
+            tampered = bytearray(data)
+            tampered[offset] ^= 0x20
+            path.write_bytes(bytes(tampered))
+            try:
+                sections = read_snapshot(path)
+                # Flips inside a section name slip the CRC; the payloads
+                # themselves must still decode to the original corpus.
+                payloads = {name: sections[name] for name in sections}
+            except CorruptSnapshotError:
+                assert try_read_snapshot(path) is None
+                continue
+            assert corpus.to_dict() in payloads.values()
+
+    def test_lazy_sections_defer_undecodable_payloads(self, tmp_path):
+        corpus = make_corpus()
+        path = tmp_path / "snapshot.rpss"
+        write_snapshot(
+            path,
+            {"corpus": corpus.to_dict(), "index": INDEX_MAGIC + b"\x01broken"},
+            corpus_version=1,
+        )
+        sections = read_snapshot(path)  # CRC-valid: the read itself succeeds
+        assert "index" in sections
+        assert sections["corpus"] == corpus.to_dict()
+        with pytest.raises(CorruptSnapshotError):
+            sections["index"]
+
+    def test_try_read_missing_returns_none(self, tmp_path):
+        assert try_read_snapshot(tmp_path / "nope.rpss") is None
+
+
+# -- store: logical recovery edge cases --------------------------------------------------
+
+
+def checkpointed_store(tmp_path, corpus, *, events: int = 0, **consumers) -> CorpusStore:
+    """Attach, checkpoint, apply ``events`` mutations, close; files remain."""
+    store = CorpusStore(tmp_path, fsync=False)
+    store.attach(corpus, **consumers)
+    store.checkpoint()
+    for event in range(events):
+        mutate(corpus, event)
+    store.close()
+    return store
+
+
+class TestStoreRecovery:
+    def test_checkpoint_and_recover_round_trip(self, tmp_path):
+        corpus = make_corpus()
+        checkpointed_store(tmp_path, corpus, events=4)
+        with CorpusStore(tmp_path, fsync=False) as store:
+            result = store.recover()
+            assert result.snapshot_used == "current"
+            assert len(result.journal_records) == 4
+            assert result.replay() == 4
+        assert result.corpus.version == corpus.version
+        assert result.corpus.to_dict() == corpus.to_dict()
+
+    def test_empty_journal_after_checkpoint(self, tmp_path):
+        corpus = make_corpus()
+        checkpointed_store(tmp_path, corpus, events=0)
+        with CorpusStore(tmp_path, fsync=False) as store:
+            result = store.recover()
+        assert result.journal_records == []
+        assert result.replay() == 0
+        assert result.corpus.to_dict() == corpus.to_dict()
+
+    def test_journal_only_start(self, tmp_path):
+        corpus = SourceCorpus()
+        store = CorpusStore(tmp_path, fsync=False)
+        store.attach(corpus)
+        reference = make_corpus(count=4)
+        for source in reference.sources():
+            corpus.add(source)
+        store.close()
+        assert not store.snapshot_path.exists()
+        with CorpusStore(tmp_path, fsync=False) as fresh:
+            stack = fresh.recover_stack(attach=False)
+        assert stack.result.snapshot_used is None
+        assert stack.result.applied == 4
+        assert sorted(s.source_id for s in stack.corpus) == sorted(
+            s.source_id for s in reference
+        )
+        assert stack.engine is not None  # built after the replay
+
+    def test_stale_journal_is_rejected(self, tmp_path):
+        corpus = make_corpus()
+        store = CorpusStore(tmp_path, fsync=False)
+        store.attach(corpus)
+        store.checkpoint()
+        version_one = corpus.version
+        mutate(corpus, 0)
+        mutate(corpus, 1)
+        store.checkpoint()  # journal now starts after version_two
+        mutate(corpus, 2)
+        store.close()
+        # The current snapshot dies; recovery falls back to the previous
+        # one — and must NOT replay a journal from the newer epoch into it.
+        snapshot = bytearray(store.snapshot_path.read_bytes())
+        snapshot[len(snapshot) // 2] ^= 0xFF
+        store.snapshot_path.write_bytes(bytes(snapshot))
+        with CorpusStore(tmp_path, fsync=False) as fresh:
+            result = fresh.recover()
+        assert result.snapshot_used == "previous"
+        assert result.journal_rejected
+        assert result.journal_records == []
+        assert result.corpus.version == version_one
+        assert any("ahead" in note for note in result.notes)
+
+    def test_duplicate_replay_is_idempotent(self, tmp_path):
+        corpus = make_corpus()
+        checkpointed_store(tmp_path, corpus, events=3)
+        with CorpusStore(tmp_path, fsync=False) as store:
+            result = store.recover()
+        assert result.replay() == 3
+        once = result.corpus.to_dict()
+        applied, skipped = replay_journal(result.corpus, result.journal_records)
+        assert (applied, skipped) == (0, 3)
+        assert result.corpus.to_dict() == once
+
+    def test_replay_rejects_malformed_records(self):
+        corpus = make_corpus()
+        with pytest.raises(JournalReplayError):
+            replay_journal(corpus, [{"version": corpus.version + 1, "op": "warp",
+                                     "source_id": "s"}])
+        with pytest.raises(JournalReplayError):
+            replay_journal(corpus, [{"op": "touch"}])
+
+    def test_both_snapshots_corrupt_degrades_to_journal_only(self, tmp_path):
+        corpus = make_corpus()
+        store = CorpusStore(tmp_path, fsync=False)
+        store.attach(corpus)
+        store.checkpoint()
+        mutate(corpus, 0)
+        store.checkpoint()
+        store.close()
+        for path in (store.snapshot_path, store.previous_snapshot_path):
+            path.write_bytes(b"RPSSgarbage")
+        with CorpusStore(tmp_path, fsync=False) as fresh:
+            result = fresh.recover()
+        assert result.snapshot_used is None
+        assert len(result.notes) >= 2
+        # The journal was reset at the last checkpoint, so a journal-only
+        # start from these files is an *empty* corpus — degraded, but
+        # never partial data.
+        result.replay()
+        assert len(result.corpus) == 0
+
+    def test_undecodable_consumer_section_degrades_to_cold_build(self, tmp_path):
+        corpus = make_corpus()
+        write_snapshot(
+            CorpusStore(tmp_path, fsync=False).snapshot_path,
+            {"corpus": corpus.to_dict(), "index": INDEX_MAGIC + b"\x00broken"},
+            corpus_version=corpus.version,
+        )
+        with CorpusStore(tmp_path, fsync=False) as store:
+            stack = store.recover_stack(domain=DOMAIN, attach=False)
+        assert stack.engine is not None
+        assert any("index section undecodable" in note for note in stack.result.notes)
+        expected = SearchEngine(stack.corpus)
+        assert list(stack.engine.static_rank()) == list(expected.static_rank())
+
+    def test_recover_stack_matches_cold_rebuild(self, tmp_path):
+        corpus = make_corpus(count=8, seed=41, budget=5)
+        engine = SearchEngine(corpus)
+        model = SourceQualityModel(DOMAIN)
+        model.assessment_context(corpus)
+        store = CorpusStore(tmp_path, fsync=False)
+        store.attach(corpus, engine=engine, source_model=model)
+        store.checkpoint()
+        for event in range(5):
+            mutate(corpus, event)
+        store.close()
+
+        with CorpusStore(tmp_path, fsync=False) as warm_store:
+            stack = warm_store.recover_stack(domain=DOMAIN, attach=False)
+        cold_engine = SearchEngine(stack.corpus)
+        cold_model = SourceQualityModel(DOMAIN)
+        assert list(stack.engine.static_rank()) == list(cold_engine.static_rank())
+        warm_hits = [
+            (r.source_id, r.score) for r in stack.engine.search("travel resort", 10)
+        ]
+        cold_hits = [
+            (r.source_id, r.score) for r in cold_engine.search("travel resort", 10)
+        ]
+        assert warm_hits == cold_hits
+        warm_ranking = stack.source_model.assessment_context(stack.corpus).ranking
+        cold_ranking = cold_model.assessment_context(stack.corpus).ranking
+        assert [(a.source_id, a.overall) for a in warm_ranking] == [
+            (a.source_id, a.overall) for a in cold_ranking
+        ]
+
+    def test_restored_model_serves_without_rebuilding(self, tmp_path):
+        corpus = make_corpus(count=6, seed=43, budget=4)
+        model = SourceQualityModel(DOMAIN)
+        model.assessment_context(corpus)
+        store = CorpusStore(tmp_path, fsync=False)
+        store.attach(corpus, source_model=model)
+        store.checkpoint()
+        store.close()
+        with CorpusStore(tmp_path, fsync=False) as warm_store:
+            stack = warm_store.recover_stack(domain=DOMAIN, attach=False)
+        # No tail was replayed: the restored incremental entry is clean,
+        # so reads are O(1) staleness-flag hits on the restored context.
+        first = stack.source_model.assessment_context(stack.corpus)
+        assert stack.source_model.assessment_context(stack.corpus) is first
+        assert stack.source_model.counters.get("staleness_flag_hits") >= 1
+
+    def test_recover_stack_reattaches_and_checkpoints(self, tmp_path):
+        corpus = make_corpus()
+        checkpointed_store(tmp_path, corpus, events=2)
+        store = CorpusStore(tmp_path, fsync=False)
+        stack = store.recover_stack(domain=DOMAIN)
+        assert store.attached
+        mutate(stack.corpus, 6)
+        store.checkpoint()
+        store.close()
+        with CorpusStore(tmp_path, fsync=False) as fresh:
+            result = fresh.recover()
+        assert result.journal_records == []
+        assert result.corpus.to_dict() == stack.corpus.to_dict()
+
+    def test_checkpoint_if_due_thresholds(self, tmp_path):
+        corpus = make_corpus()
+        store = CorpusStore(tmp_path, fsync=False, checkpoint_every=2)
+        store.attach(corpus)
+        assert store.checkpoint_if_due() == 0
+        mutate(corpus, 0)
+        assert store.checkpoint_if_due() == 0
+        mutate(corpus, 1)
+        assert store.checkpoint_if_due() == 1
+        assert store.subscriber.events_since_checkpoint == 0
+        assert read_journal(store.journal_path).records == []
+        store.close()
+
+    def test_checkpoint_requires_attachment(self, tmp_path):
+        with pytest.raises(PersistenceError):
+            CorpusStore(tmp_path, fsync=False).checkpoint()
+
+    def test_double_attach_rejected(self, tmp_path):
+        store = CorpusStore(tmp_path, fsync=False)
+        store.attach(make_corpus())
+        try:
+            with pytest.raises(PersistenceError):
+                store.attach(make_corpus())
+        finally:
+            store.close()
+
+
+# -- serving integration -----------------------------------------------------------------
+
+
+class TestServingIntegration:
+    def test_scheduler_runs_due_checkpoints(self, tmp_path):
+        from repro.serving.scheduler import EagerRefreshScheduler, RefreshMode
+
+        corpus = make_corpus()
+        store = CorpusStore(tmp_path, fsync=False, checkpoint_every=1)
+        store.attach(corpus)
+        with EagerRefreshScheduler(corpus, RefreshMode.SYNC) as scheduler:
+            name = scheduler.register_checkpoint_store(store)
+            mutate(corpus, 0)
+            assert store.checkpoints_written >= 1
+            assert scheduler.stats()[name].patches >= 1
+        store.close()
+
+    def test_queue_reraises_persistence_errors(self, tmp_path):
+        from repro.serving.scheduler import EagerRefreshScheduler, RefreshMode
+
+        corpus = make_corpus()
+        store = CorpusStore(tmp_path, fsync=False, checkpoint_every=1)
+        store.attach(corpus)
+        store.journal.close()  # simulate a dead durability device
+
+        with EagerRefreshScheduler(corpus, RefreshMode.SYNC) as scheduler:
+            name = scheduler.register_checkpoint_store(store)
+            with pytest.raises(PersistenceError):
+                mutate(corpus, 0)
+            assert scheduler.stats()[name].errors >= 0  # failure is recorded upstream
+        store.close()
+
+    def test_cli_checkpoint_recover_round_trip(self, tmp_path, capsys):
+        from repro.cli import main
+
+        store_dir = tmp_path / "store"
+        assert main(["checkpoint", str(store_dir), "--sources", "6"]) == 0
+        assert main(["recover", str(store_dir), "--top", "3"]) == 0
+        output = capsys.readouterr().out
+        assert "checkpointed 6 sources" in output
+        assert "recovered 6 sources" in output
+        assert "snapshot: current" in output
