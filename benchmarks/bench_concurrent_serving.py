@@ -55,6 +55,7 @@ from pathlib import Path
 from repro.core.contributor_quality import ContributorQualityModel
 from repro.core.domain import DomainOfInterest, TimeInterval
 from repro.core.source_quality import SourceQualityModel
+from repro.perf.buildinfo import git_build_stamp
 from repro.persistence.format import atomic_write_json
 from repro.search.engine import SearchEngine
 from repro.serving import EagerRefreshScheduler, RefreshMode
@@ -431,6 +432,7 @@ def run(
         "meta",
         {"python": platform.python_version(), "platform": platform.platform()},
     )
+    report["meta"].update(git_build_stamp())
     report["concurrent_serving"] = section
     try:
         atomic_write_json(output_path, report)

@@ -46,6 +46,7 @@ from pathlib import Path
 
 from repro.core.domain import DomainOfInterest, TimeInterval
 from repro.core.source_quality import SourceQualityModel
+from repro.perf.buildinfo import git_build_stamp
 from repro.persistence.format import atomic_write_json
 from repro.search.engine import SearchEngine
 from repro.serving import EagerRefreshScheduler, RefreshMode
@@ -278,6 +279,7 @@ def run(
         "meta",
         {"python": platform.python_version(), "platform": platform.platform()},
     )
+    report["meta"].update(git_build_stamp())
     report["eager_refresh"] = section
     try:
         atomic_write_json(output_path, report)

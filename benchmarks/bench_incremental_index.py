@@ -37,6 +37,7 @@ import sys
 import time
 from pathlib import Path
 
+from repro.perf.buildinfo import git_build_stamp
 from repro.persistence.format import atomic_write_json
 from repro.search.engine import SearchEngine
 from repro.sources.corpus import SourceCorpus
@@ -190,6 +191,7 @@ def run(output_path: Path, source_count: int, spare_count: int, events: int) -> 
         "meta",
         {"python": platform.python_version(), "platform": platform.platform()},
     )
+    report["meta"].update(git_build_stamp())
     report["incremental_index"] = section
     try:
         atomic_write_json(output_path, report)

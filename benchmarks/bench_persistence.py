@@ -53,6 +53,7 @@ from pathlib import Path
 from repro.core.domain import DomainOfInterest
 from repro.core.source_quality import SourceQualityModel
 from repro.persistence import CorpusStore
+from repro.perf.buildinfo import git_build_stamp
 from repro.persistence.format import atomic_write_json
 from repro.search.engine import SearchEngine
 from repro.sources.corpus import SourceCorpus
@@ -236,6 +237,7 @@ def run(
         "meta",
         {"python": platform.python_version(), "platform": platform.platform()},
     )
+    report["meta"].update(git_build_stamp())
     report["persistence"] = section
     try:
         atomic_write_json(output_path, report)

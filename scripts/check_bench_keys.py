@@ -15,7 +15,13 @@ from pathlib import Path
 
 #: section -> fields every harness run must record.
 EXPECTED = {
-    "corpus_assessment": ("baseline_seconds", "optimized_seconds", "speedup"),
+    "corpus_assessment": (
+        "baseline_seconds",
+        "optimized_seconds",
+        "speedup",
+        "target_speedup",
+        "sources",
+    ),
     "repeated_rank": ("baseline_seconds", "optimized_seconds", "speedup"),
     "search_throughput": ("baseline_qps", "optimized_qps", "speedup"),
     "sentiment_aggregation": ("baseline_seconds", "optimized_seconds", "speedup"),
@@ -75,8 +81,13 @@ def main(argv: list[str]) -> int:
         for field in fields:
             if field not in entry:
                 problems.append(f"missing field: {section}.{field}")
-    if "meta" not in report:
+    meta = report.get("meta")
+    if not isinstance(meta, dict):
         problems.append("missing section: meta")
+    else:
+        for field in ("git_describe", "git_commit"):
+            if field not in meta:
+                problems.append(f"missing field: meta.{field}")
 
     if problems:
         for problem in problems:

@@ -1,10 +1,26 @@
 """Setuptools entry point.
 
-Kept alongside ``pyproject.toml`` so that ``pip install -e .`` works in
-fully offline environments (no build isolation, no ``wheel`` package):
-pip falls back to the legacy ``setup.py develop`` path in that case.
+A plain ``setup.py`` (no build isolation, no ``wheel`` package) so that
+``pip install -e .`` works in fully offline environments: pip falls back
+to the legacy ``setup.py develop`` path in that case.
+
+numpy is a hard runtime dependency: the statistics helpers
+(``repro.stats``) and the columnar assessment core (``repro.core.columnar``
+and the kernels it drives in normalization/scoring/search) are built on
+float64 arrays.
 """
 
-from setuptools import setup
+from setuptools import find_packages, setup
 
-setup()
+setup(
+    name="repro-source-quality",
+    version="0.7.0",
+    description=(
+        "Reproduction of a quality-based source ranking pipeline: "
+        "measure, normalize, score, rank, search, serve, persist."
+    ),
+    package_dir={"": "src"},
+    packages=find_packages("src"),
+    python_requires=">=3.9",
+    install_requires=["numpy>=1.22"],
+)

@@ -54,6 +54,7 @@ import threading
 from dataclasses import dataclass, field
 from typing import Any, Iterable, Mapping, Optional
 
+from repro.core.columnar import columns_from_vectors, ensure_finite_columns
 from repro.core.contributor_measures import (
     ContributorMeasurementContext,
     compute_contributor_measures,
@@ -70,11 +71,13 @@ from repro.core.normalization import (
 from repro.core.scoring import (
     QualityScore,
     WeightingScheme,
+    build_quality_score_columns,
     build_quality_scores,
+    scores_from_columns,
     uniform_scheme,
 )
 from repro.errors import AssessmentError
-from repro.perf.cache import LRUCache, source_fingerprint
+from repro.perf.cache import LRUCache, compose_source_fingerprint, source_fingerprint
 from repro.perf.counters import PerfCounters
 from repro.serving.rwlock import ReadWriteLock
 from repro.sources.crawler import CommunityWalkCache, ContributorSnapshot, Crawler
@@ -240,15 +243,20 @@ class ContributorQualityModel:
     ) -> dict[str, Any]:
         """Serialise the community context for ``source`` to a JSON dict.
 
-        Refreshes first.  Fingerprints are not exported (they embed
-        ``id()``); :meth:`restore_community_state` recomputes them from
-        the recovered source.
+        Refreshes first.  Fingerprints are not exported whole (they embed
+        ``id()``); instead the payload carries the one O(discussions)
+        fingerprint field — the post total — so
+        :meth:`restore_community_state` can recompose the fingerprint in
+        O(1) via :func:`~repro.perf.cache.compose_source_fingerprint`.
         """
         resolved_ids = self._resolve_user_ids(source, user_ids)
         snapshots, raw_vectors, assessments = self._context(source, user_ids)
         return {
             "source_id": source.source_id,
             "user_ids": list(resolved_ids),
+            "post_total": sum(
+                len(discussion.posts) for discussion in source.discussions
+            ),
             "snapshots": {
                 user_id: snapshot.to_dict() for user_id, snapshot in snapshots.items()
             },
@@ -266,8 +274,9 @@ class ContributorQualityModel:
     ) -> None:
         """Install an exported community context for the recovered ``source``.
 
-        Seeds the context cache keyed by the source's recomputed
-        fingerprint; the next read serves it without crawling and — via
+        Seeds the context cache keyed by the source's fingerprint —
+        recomposed in O(1) from the persisted ``post_total`` hint when
+        present; the next read serves it without crawling and — via
         the cached-context install path, which pins ``fit_token = -1`` —
         the first post-restore mutation re-fits the shared normaliser
         from the restored raw vectors before patching, so every later
@@ -305,8 +314,13 @@ class ContributorQualityModel:
         except (KeyError, TypeError, ValueError) as exc:
             raise CorruptSnapshotError(f"invalid community state: {exc!r}") from exc
         context = (snapshots, raw_vectors, assessments)
+        post_total = payload.get("post_total")
+        if isinstance(post_total, int):
+            fingerprint = compose_source_fingerprint(source, post_total)
+        else:  # pre-hint snapshot formats: fall back to the O(content) scan
+            fingerprint = source_fingerprint(source)
         with self._refresh_mutex:
-            self._contexts.put((source_fingerprint(source), user_ids), (source, context))
+            self._contexts.put((fingerprint, user_ids), (source, context))
 
     # -- batched assessment pass --------------------------------------------------------
 
@@ -320,6 +334,11 @@ class ContributorQualityModel:
     def _fit_normalizer(self, reference_values: Mapping[str, Any]) -> None:
         """Fit the shared normaliser (its ``fit_count`` advances itself)."""
         self._normalizer.fit(reference_values)
+        self.counters.increment("normalizer_fits")
+
+    def _fit_normalizer_columns(self, reference_columns: Mapping[str, Any]) -> None:
+        """Columnar fit (bit-identical to :meth:`_fit_normalizer`)."""
+        self._normalizer.fit_columns(reference_columns)
         self.counters.increment("normalizer_fits")
 
     def _build_context(
@@ -349,19 +368,37 @@ class ContributorQualityModel:
             raw_vectors[user_id] = compute_contributor_measures(
                 context, registry=self._registry
             )
-        self._fit_normalizer(collect_reference_values(raw_vectors.values()))
-        normalized_vectors = self._normalizer.normalize_many(raw_vectors)
-        scores = build_quality_scores(
-            raw_vectors, normalized_vectors, registry=self._registry, scheme=self._scheme
+        # Columnar build: fit, normalisation and scoring run as whole-column
+        # kernels (communities are usually small, but a first assessment of
+        # a large one — or a post-restore cold build — is the same O(U·M)
+        # Python loop the source model had); bit-identical to the scalar
+        # path, which the patcher still uses for its per-user confinement.
+        names, _ = self._registry.column_layout()
+        user_ids, measures, raw_columns = columns_from_vectors(raw_vectors, names)
+        ensure_finite_columns(raw_columns)
+        self._fit_normalizer_columns(raw_columns)
+        normalized = self._normalizer.normalize_columns(raw_columns)
+        overall, dimension_scores, attribute_scores = build_quality_score_columns(
+            user_ids, measures, normalized, self._registry, self._scheme
+        )
+        scores = scores_from_columns(
+            user_ids,
+            measures,
+            raw_columns,
+            normalized,
+            overall,
+            dimension_scores,
+            attribute_scores,
+            self._scheme.name,
         )
         assessments = {
             user_id: ContributorAssessment(
                 user_id=user_id,
                 source_id=source.source_id,
-                score=score,
+                score=scores[user_id],
                 snapshot=snapshots[user_id],
             )
-            for user_id, score in scores.items()
+            for user_id in user_ids
         }
         return snapshots, raw_vectors, assessments
 

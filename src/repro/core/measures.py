@@ -75,6 +75,7 @@ class MeasureRegistry:
             if definition.name in self._definitions:
                 raise ValueError(f"duplicate measure name: {definition.name!r}")
             self._definitions[definition.name] = definition
+        self._column_layout: Optional[tuple[tuple[str, ...], dict[str, int]]] = None
 
     def __len__(self) -> int:
         return len(self._definitions)
@@ -95,6 +96,18 @@ class MeasureRegistry:
     def names(self) -> list[str]:
         """Return measure names in registration order."""
         return list(self._definitions)
+
+    def column_layout(self) -> tuple[tuple[str, ...], dict[str, int]]:
+        """Stable columnar layout: measure order plus name → column index.
+
+        The registry is immutable after construction, so the layout is
+        computed once and shared by every columnar assessment context
+        built from it.
+        """
+        if self._column_layout is None:
+            names = tuple(self._definitions)
+            self._column_layout = (names, {name: i for i, name in enumerate(names)})
+        return self._column_layout
 
     def for_cell(
         self, dimension: QualityDimension, attribute: QualityAttribute

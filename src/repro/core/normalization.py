@@ -18,6 +18,9 @@ import math
 from abc import ABC, abstractmethod
 from typing import Any, Iterable, Mapping, Optional, Sequence
 
+import numpy as np
+
+from repro.core.columnar import freeze
 from repro.core.measures import MeasureDefinition, MeasureRegistry
 from repro.errors import NormalizationError
 
@@ -28,6 +31,21 @@ __all__ = [
     "ZScoreNormalizer",
     "confine_renormalization",
 ]
+
+
+def _log1p_column(column: np.ndarray) -> np.ndarray:
+    """``math.log1p(max(0.0, v))`` per value, as an array.
+
+    numpy's vectorized ``log1p`` dispatches to SIMD implementations whose
+    results differ from ``math.log1p`` by an ulp on some platforms (they
+    do on this one), which would break the bit-identity contract between
+    columnar and scalar normalisation — so the transcendental stays a
+    per-value ``math`` call.
+    """
+    return np.asarray(
+        [math.log1p(value) if value > 0.0 else 0.0 for value in column.tolist()],
+        dtype=np.float64,
+    )
 
 
 class Normalizer(ABC):
@@ -187,6 +205,61 @@ class Normalizer(ABC):
             normalized_vectors[subject_id] = normalized
         return normalized_vectors
 
+    # -- columnar kernels ---------------------------------------------------------
+
+    def fit_columns(
+        self, reference_columns: Mapping[str, np.ndarray]
+    ) -> "Normalizer":
+        """Columnar twin of :meth:`fit` over per-measure float64 columns.
+
+        Delegates to the :meth:`_fit_measure_column` hook, whose base
+        implementation falls back to the scalar :meth:`_fit_measure` —
+        custom normalizer subclasses stay bit-identical without opting in
+        to vectorized fits.  Counts as one :meth:`fit` for
+        :attr:`fit_count` purposes.
+        """
+        if not reference_columns:
+            raise NormalizationError("reference values must not be empty")
+        for name, column in reference_columns.items():
+            if len(column) == 0:
+                raise NormalizationError(f"measure {name!r} has no reference values")
+            self._fit_measure_column(
+                name, np.asarray(column, dtype=np.float64)
+            )
+        self._fitted = True
+        self._fit_count += 1
+        return self
+
+    def normalize_column(self, name: str, column: np.ndarray) -> np.ndarray:
+        """Normalise one measure column; bit-identical to :meth:`normalize`.
+
+        The clamp adds ``+ 0.0`` after ``np.maximum``: Python's
+        ``max(0.0, score)`` never yields ``-0.0`` (it returns its first
+        argument on ties) while ``np.maximum`` preserves the sign of zero,
+        and ``-0.0 + 0.0 == +0.0`` restores the scalar bit pattern without
+        touching any other value.
+        """
+        if not self._fitted:
+            raise NormalizationError("normalizer must be fitted before use")
+        column = np.asarray(column, dtype=np.float64)
+        scores = self._normalize_column(name, column)
+        scores = np.minimum(1.0, np.maximum(scores, 0.0) + 0.0)
+        if not self._registry.get(name).higher_is_better:
+            scores = 1.0 - scores
+        return freeze(scores)
+
+    def normalize_columns(
+        self, columns: Mapping[str, np.ndarray]
+    ) -> dict[str, np.ndarray]:
+        """Normalise a full set of measure columns (batch of
+        :meth:`normalize_column`)."""
+        if not self._fitted:
+            raise NormalizationError("normalizer must be fitted before use")
+        return {
+            name: self.normalize_column(name, column)
+            for name, column in columns.items()
+        }
+
     # -- strategy-specific hooks --------------------------------------------------
 
     @abstractmethod
@@ -196,6 +269,22 @@ class Normalizer(ABC):
     @abstractmethod
     def _normalize_measure(self, name: str, value: float) -> float:
         """Map a raw value into [0, 1] *before* direction correction."""
+
+    def _fit_measure_column(self, name: str, column: np.ndarray) -> None:
+        """Columnar fit hook; the default defers to the scalar fit."""
+        self._fit_measure(name, column.tolist())
+
+    def _normalize_column(self, name: str, column: np.ndarray) -> np.ndarray:
+        """Columnar normalisation hook (pre-clamp, pre-flip).
+
+        The default runs the scalar :meth:`_normalize_measure` per value,
+        so any subclass is columnar-correct out of the box; the built-in
+        strategies override it with vectorized kernels.
+        """
+        return np.asarray(
+            [self._normalize_measure(name, value) for value in column.tolist()],
+            dtype=np.float64,
+        )
 
     def _definition(self, name: str) -> MeasureDefinition:
         return self._registry.get(name)
@@ -283,6 +372,60 @@ class BenchmarkNormalizer(Normalizer):
         else:
             self._log_scaled.discard(name)
 
+    def _fit_measure_column(self, name: str, column: np.ndarray) -> None:
+        # ``np.sort`` + element picks reproduce ``sorted(values)[i]``
+        # exactly, so the vectorized fit shares the scalar fit's index
+        # arithmetic verbatim.
+        ordered = np.sort(column)
+        index = min(len(ordered) - 1, int(round(self._quantile * (len(ordered) - 1))))
+        low_index = max(0, int(round((1.0 - self._quantile) * (len(ordered) - 1))))
+        definition = self._definition(name)
+        median = float(ordered[len(ordered) // 2])
+        if definition.higher_is_better:
+            self._benchmarks[name] = float(ordered[index])
+            self._floors[name] = float(ordered[0])
+            log_scaled = (
+                median > 0
+                and self._benchmarks[name] / median > self._log_scale_threshold
+            )
+        else:
+            self._benchmarks[name] = float(ordered[-1])
+            self._floors[name] = float(ordered[low_index])
+            log_scaled = (
+                self._floors[name] > 0
+                and self._benchmarks[name] / self._floors[name]
+                > self._log_scale_threshold
+            )
+        if log_scaled:
+            self._log_scaled.add(name)
+        else:
+            self._log_scaled.discard(name)
+
+    def _normalize_column(self, name: str, column: np.ndarray) -> np.ndarray:
+        definition = self._definition(name)
+        log_scaled = name in self._log_scaled
+        if definition.higher_is_better:
+            benchmark = self._benchmarks[name]
+            if log_scaled:
+                scaled_benchmark = math.log1p(max(0.0, benchmark))
+                if scaled_benchmark <= 0:
+                    return np.where(column >= benchmark, 1.0, 0.0)
+                return _log1p_column(column) / scaled_benchmark
+            if benchmark <= 0:
+                return np.where(column >= benchmark, 1.0, 0.0)
+            return column / benchmark
+        floor = self._floors[name]
+        worst = self._benchmarks[name]
+        values = column
+        if log_scaled:
+            floor = math.log1p(max(0.0, floor))
+            worst = math.log1p(max(0.0, worst))
+            values = _log1p_column(column)
+        span = worst - floor
+        if span <= 0:
+            return np.where(values <= floor, 0.0, 1.0)
+        return (values - floor) / span
+
     def _normalize_measure(self, name: str, value: float) -> float:
         definition = self._definition(name)
         log_scaled = name in self._log_scaled
@@ -329,6 +472,10 @@ class MinMaxNormalizer(Normalizer):
         self._minima[name] = min(values)
         self._maxima[name] = max(values)
 
+    def _fit_measure_column(self, name: str, column: np.ndarray) -> None:
+        self._minima[name] = float(column.min())
+        self._maxima[name] = float(column.max())
+
     def _normalize_measure(self, name: str, value: float) -> float:
         low = self._minima[name]
         high = self._maxima[name]
@@ -336,6 +483,13 @@ class MinMaxNormalizer(Normalizer):
         if span <= 0:
             return 0.5
         return (value - low) / span
+
+    def _normalize_column(self, name: str, column: np.ndarray) -> np.ndarray:
+        low = self._minima[name]
+        span = self._maxima[name] - low
+        if span <= 0:
+            return np.full(len(column), 0.5)
+        return (column - low) / span
 
 
 class ZScoreNormalizer(Normalizer):
@@ -367,6 +521,20 @@ class ZScoreNormalizer(Normalizer):
         # lying extremely far outside the reference distribution.
         z = max(-50.0, min(50.0, (value - self._means[name]) / std))
         return 1.0 / (1.0 + math.exp(-z / self._scale))
+
+    def _normalize_column(self, name: str, column: np.ndarray) -> np.ndarray:
+        # The fit stays sequential-scalar (``sum``'s rounding differs from
+        # numpy's pairwise reduction) and so does the logistic's ``exp``
+        # (SIMD ulp drift, same reason as ``_log1p_column``); only the
+        # z-score arithmetic and its clamp vectorize.
+        std = self._stds[name]
+        if std == 0:
+            return np.full(len(column), 0.5)
+        z = np.maximum(-50.0, np.minimum(50.0, (column - self._means[name]) / std))
+        return np.asarray(
+            [1.0 / (1.0 + math.exp(-value / self._scale)) for value in z.tolist()],
+            dtype=np.float64,
+        )
 
 
 def confine_renormalization(

@@ -11,8 +11,11 @@ scores, and the overall weighted average.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Any, Mapping, Optional
+from typing import Any, Mapping, Optional, Sequence
 
+import numpy as np
+
+from repro.core.columnar import freeze
 from repro.core.dimensions import QualityAttribute, QualityDimension
 from repro.core.measures import MeasureRegistry
 from repro.errors import AssessmentError, ConfigurationError
@@ -25,6 +28,8 @@ __all__ = [
     "QualityScore",
     "build_quality_score",
     "build_quality_scores",
+    "build_quality_score_columns",
+    "scores_from_columns",
 ]
 
 
@@ -289,5 +294,109 @@ def build_quality_scores(
             },
             overall=accumulator / total_weight,
             scheme_name=scheme.name,
+        )
+    return scores
+
+
+def build_quality_score_columns(
+    subject_ids: Sequence[str],
+    measures: Sequence[str],
+    normalized: Mapping[str, np.ndarray],
+    registry: MeasureRegistry,
+    scheme: WeightingScheme,
+) -> tuple[
+    np.ndarray,
+    "dict[QualityDimension, np.ndarray]",
+    "dict[QualityAttribute, np.ndarray]",
+]:
+    """Columnar score kernel: overall/dimension/attribute score arrays.
+
+    Bit-identical to :func:`build_quality_scores` over a uniform measure
+    matrix, which requires reproducing its *accumulation order*, not just
+    its arithmetic: cross-measure reductions accumulate column by column
+    in measure order (``acc += weight * column``) so every element sees
+    exactly the float-op sequence of the per-subject scalar loop — a
+    ``np.sum``-style pairwise reduction would round differently.
+    Dimension/attribute bins likewise accumulate members in measure
+    order before one division by the member count.
+    """
+    count = len(subject_ids)
+    if count and not measures:
+        raise AssessmentError(f"no measures computed for {subject_ids[0]!r}")
+
+    total_weight = 0.0
+    accumulator = np.zeros(count)
+    dimension_bins: "dict[QualityDimension, list[np.ndarray]]" = {}
+    attribute_bins: "dict[QualityAttribute, list[np.ndarray]]" = {}
+    for name in measures:
+        definition = registry.get(name)
+        weight = scheme.weight(name)
+        column = normalized[name]
+        dimension_bins.setdefault(definition.dimension, []).append(column)
+        attribute_bins.setdefault(definition.attribute, []).append(column)
+        total_weight += weight
+        accumulator += weight * column
+    if count and measures and total_weight == 0:
+        raise AssessmentError(
+            "no measure in the assessment has a positive weight under "
+            f"scheme {scheme.name!r}"
+        )
+
+    def _bin_mean(columns: "list[np.ndarray]") -> np.ndarray:
+        mean = np.zeros(count)
+        for column in columns:
+            mean += column
+        return freeze(mean / len(columns))
+
+    overall = freeze(accumulator / total_weight if total_weight else accumulator)
+    return (
+        overall,
+        {dimension: _bin_mean(columns) for dimension, columns in dimension_bins.items()},
+        {attribute: _bin_mean(columns) for attribute, columns in attribute_bins.items()},
+    )
+
+
+def scores_from_columns(
+    subject_ids: Sequence[str],
+    measures: Sequence[str],
+    raw: Mapping[str, np.ndarray],
+    normalized: Mapping[str, np.ndarray],
+    overall: np.ndarray,
+    dimension_scores: "Mapping[QualityDimension, np.ndarray]",
+    attribute_scores: "Mapping[QualityAttribute, np.ndarray]",
+    scheme_name: str,
+) -> dict[str, QualityScore]:
+    """Materialise per-subject :class:`QualityScore` views of columnar state.
+
+    ``tolist()`` round-trips float64 bit-exactly, so the materialised
+    scores equal the ones :func:`build_quality_scores` would have built
+    directly.  Used by the lazy dict-shaped surface of the columnar
+    assessment context and by snapshot restore.
+    """
+    raw_lists = [raw[name].tolist() for name in measures]
+    normalized_lists = [normalized[name].tolist() for name in measures]
+    dimension_lists = {
+        dimension: column.tolist() for dimension, column in dimension_scores.items()
+    }
+    attribute_lists = {
+        attribute: column.tolist() for attribute, column in attribute_scores.items()
+    }
+    overall_list = overall.tolist()
+    scores: dict[str, QualityScore] = {}
+    for i, subject_id in enumerate(subject_ids):
+        scores[subject_id] = QualityScore(
+            subject_id=subject_id,
+            raw_values={name: raw_lists[j][i] for j, name in enumerate(measures)},
+            normalized_values={
+                name: normalized_lists[j][i] for j, name in enumerate(measures)
+            },
+            dimension_scores={
+                dimension: values[i] for dimension, values in dimension_lists.items()
+            },
+            attribute_scores={
+                attribute: values[i] for attribute, values in attribute_lists.items()
+            },
+            overall=overall_list[i],
+            scheme_name=scheme_name,
         )
     return scores

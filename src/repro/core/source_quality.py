@@ -27,7 +27,9 @@ the flag fires, the corpus is diffed against the cached context's
 per-source fingerprints and only the added/changed sources are re-crawled
 and re-measured; the normaliser is re-fitted only when the reference
 population actually changed, unchanged assessments are reused verbatim,
-and the ranking is patched via ``bisect`` instead of re-sorted.  The
+and the ranking is patched via ``np.searchsorted`` surgery on the
+columnar sort keys (:class:`~repro.core.columnar.SortedRankKeys`) instead
+of re-sorted.  The
 patched context is indistinguishable from a from-scratch rebuild — the
 equivalence is pinned bit-for-bit by ``tests/test_incremental_assessment.py``.
 
@@ -58,24 +60,31 @@ path, so eager and lazy results are bit-identical.
 
 from __future__ import annotations
 
-import bisect
 import threading
 import weakref
 from dataclasses import dataclass, field
 from typing import Any, Iterable, Mapping, Optional
 
+import numpy as np
+
+from repro.core.columnar import (
+    AssessmentColumns,
+    SortedRankKeys,
+    columns_from_vectors,
+    confine_renormalization_columns,
+    ensure_finite_columns,
+    freeze,
+    vectors_from_columns,
+)
+from repro.core.dimensions import QualityAttribute, QualityDimension
 from repro.core.domain import DomainOfInterest
 from repro.core.measures import MeasureRegistry, source_measure_registry
-from repro.core.normalization import (
-    BenchmarkNormalizer,
-    Normalizer,
-    collect_reference_values,
-    confine_renormalization,
-)
+from repro.core.normalization import BenchmarkNormalizer, Normalizer
 from repro.core.scoring import (
     QualityScore,
     WeightingScheme,
-    build_quality_scores,
+    build_quality_score_columns,
+    scores_from_columns,
     uniform_scheme,
 )
 from repro.core.source_measures import (
@@ -83,12 +92,18 @@ from repro.core.source_measures import (
     compute_source_measures,
 )
 from repro.errors import AssessmentError
-from repro.perf.cache import LRUCache
+from repro.perf.cache import LRUCache, compose_source_fingerprint, source_fingerprint
 from repro.perf.counters import PerfCounters
 from repro.serving.rwlock import ReadWriteLock
 from repro.sources.corpus import SourceCorpus
 from repro.sources.crawler import Crawler, CrawlSnapshot
-from repro.sources.diffing import CorpusChangeTracker, diff_fingerprint_maps
+from repro.sources.diffing import (
+    CorpusChangeTracker,
+    diff_fingerprint_maps,
+    gather_rows,
+    patch_measure_columns,
+    scoped_fingerprints,
+)
 from repro.sources.models import Source
 from repro.sources.webstats import AlexaLikeService, FeedburnerLikeService, WebStatsPanel
 
@@ -117,20 +132,30 @@ class SourceAssessment:
         }
 
 
-@dataclass
+@dataclass(eq=False)
 class AssessmentContext:
     """One batched assessment pass over a corpus, materialised for reuse.
 
-    Everything derived from the corpus is computed exactly once: crawl
-    snapshots, the raw Table 1 measure matrix, the normalised matrix and
-    the final assessments (kept both keyed by source and pre-sorted by
-    decreasing overall quality).
+    The primary state is *columnar* (:class:`~repro.core.columnar.AssessmentColumns`):
+    one frozen float64 array per measure, plus the overall / dimension /
+    attribute score arrays and the sorted rank keys, all aligned on the
+    stable source-index map.  The dict-shaped surface the rest of the
+    system consumes (``normalized_vectors``, ``assessments``,
+    ``ranking``) is materialised lazily from the columns on first access
+    and cached — bit-exact, because ``tolist()`` round-trips float64
+    exactly.  Crawl snapshots and the raw measure vectors stay eager:
+    they are produced per source by the crawler/measure pass anyway and
+    back the raw-measure cache.
 
     ``sources`` / ``benchmark_sources`` hold strong references to the
     source objects the context was built from.  The fingerprints include
     ``id(source)``, so the cached context must keep those objects alive:
     otherwise CPython could reuse a freed id for a different-content source
     with identical counts and the cache would silently serve stale results.
+
+    Contexts are published immutable; the lazy caches are plain attribute
+    writes (atomic under the GIL), so concurrent readers may at worst
+    materialise the same view twice.
     """
 
     fingerprint: tuple
@@ -139,9 +164,11 @@ class AssessmentContext:
     benchmark_sources: Optional[tuple[Source, ...]]
     snapshots: dict[str, CrawlSnapshot]
     raw_vectors: dict[str, dict[str, float]]
-    normalized_vectors: dict[str, dict[str, float]]
-    assessments: dict[str, SourceAssessment]
-    ranking: tuple[SourceAssessment, ...]
+    #: The columnar core: raw/normalized measure columns, score arrays and
+    #: the sorted rank keys, row-aligned with ``columns.subject_ids``.
+    columns: AssessmentColumns
+    #: Name of the weighting scheme the scores were computed under.
+    scheme_name: str
     #: Per-source fingerprints the context was derived from — the diff base
     #: for incremental patching.
     source_fingerprints: dict[str, tuple] = field(default_factory=dict)
@@ -149,6 +176,66 @@ class AssessmentContext:
     #: computed against; when a mutation moves it, every raw vector must be
     #: re-measured (from the cached snapshots — no re-crawl).
     max_open_discussions: int = 0
+    _normalized_vectors: Optional[dict[str, dict[str, float]]] = field(
+        default=None, init=False, repr=False
+    )
+    _scores: Optional[dict[str, QualityScore]] = field(
+        default=None, init=False, repr=False
+    )
+    _assessments: Optional[dict[str, SourceAssessment]] = field(
+        default=None, init=False, repr=False
+    )
+    _ranking: Optional[tuple[SourceAssessment, ...]] = field(
+        default=None, init=False, repr=False
+    )
+
+    @property
+    def normalized_vectors(self) -> dict[str, dict[str, float]]:
+        """Per-source normalised vectors (lazy dict view of the columns)."""
+        if self._normalized_vectors is None:
+            self._normalized_vectors = vectors_from_columns(
+                self.columns.subject_ids, self.columns.measures, self.columns.normalized
+            )
+        return self._normalized_vectors
+
+    def _score_map(self) -> dict[str, QualityScore]:
+        if self._scores is None:
+            self._scores = scores_from_columns(
+                self.columns.subject_ids,
+                self.columns.measures,
+                self.columns.raw,
+                self.columns.normalized,
+                self.columns.overall,
+                self.columns.dimension_scores,
+                self.columns.attribute_scores,
+                self.scheme_name,
+            )
+        return self._scores
+
+    @property
+    def assessments(self) -> dict[str, SourceAssessment]:
+        """Per-source assessments (lazy object view of the columns)."""
+        if self._assessments is None:
+            scores = self._score_map()
+            self._assessments = {
+                source_id: SourceAssessment(
+                    source_id=source_id,
+                    score=scores[source_id],
+                    snapshot=self.snapshots[source_id],
+                )
+                for source_id in self.columns.subject_ids
+            }
+        return self._assessments
+
+    @property
+    def ranking(self) -> tuple[SourceAssessment, ...]:
+        """Assessments by decreasing overall quality (ties by source id)."""
+        if self._ranking is None:
+            assessments = self.assessments
+            self._ranking = tuple(
+                assessments[source_id] for source_id in self.columns.ranking_ids()
+            )
+        return self._ranking
 
 
 @dataclass
@@ -170,6 +257,10 @@ class _IncrementalEntry:
     #: computed with (``Normalizer.fit_signature``); an empty dict means
     #: "unknown", forcing the next refit to renormalise every measure.
     fit_signature: dict = field(default_factory=dict)
+    #: Set when a rebuild failed after draining its invalidation burst:
+    #: the burst's source ids are lost, so the retry must fall back to
+    #: the full fingerprint scan instead of scoping to the next burst.
+    scope_lost: bool = False
 
 
 class SourceQualityModel:
@@ -332,10 +423,27 @@ class SourceQualityModel:
 
     # -- assessment --------------------------------------------------------------------
 
-    def _fit_normalizer(self, reference_values: Mapping[str, Any]) -> None:
+    def _fit_normalizer_columns(
+        self, reference_columns: Mapping[str, np.ndarray]
+    ) -> None:
         """Fit the shared normaliser (its ``fit_count`` advances itself)."""
-        self._normalizer.fit(reference_values)
+        self._normalizer.fit_columns(reference_columns)
         self.counters.increment("normalizer_fits")
+
+    def _reference_columns(
+        self,
+        raw_columns: dict[str, np.ndarray],
+        benchmark_corpus: Optional[SourceCorpus],
+        benchmark_fingerprint: Optional[tuple],
+    ) -> dict[str, np.ndarray]:
+        """The columns the normaliser fit runs on (benchmark or the corpus)."""
+        if benchmark_corpus is None:
+            return raw_columns
+        _, benchmark_vectors = self._measured(benchmark_corpus, benchmark_fingerprint)
+        names, _ = self._registry.column_layout()
+        _, _, reference_columns = columns_from_vectors(benchmark_vectors, names)
+        ensure_finite_columns(reference_columns)
+        return reference_columns
 
     def _build_context(
         self,
@@ -346,32 +454,26 @@ class SourceQualityModel:
     ) -> AssessmentContext:
         self.counters.increment("context_builds")
         snapshots, raw_vectors = self._measured(corpus, fingerprint)
-        if benchmark_corpus is not None:
-            _, benchmark_vectors = self._measured(
-                benchmark_corpus, benchmark_fingerprint
-            )
-            reference_vectors = benchmark_vectors.values()
-        else:
-            reference_vectors = raw_vectors.values()
-        self._fit_normalizer(collect_reference_values(reference_vectors))
-
-        normalized_vectors = self._normalizer.normalize_many(raw_vectors)
-        scores = build_quality_scores(
-            raw_vectors, normalized_vectors, registry=self._registry, scheme=self._scheme
+        names, _ = self._registry.column_layout()
+        subject_ids, measures, raw_columns = columns_from_vectors(raw_vectors, names)
+        ensure_finite_columns(raw_columns)
+        self._fit_normalizer_columns(
+            self._reference_columns(raw_columns, benchmark_corpus, benchmark_fingerprint)
         )
-        assessments = {
-            source_id: SourceAssessment(
-                source_id=source_id,
-                score=score,
-                snapshot=snapshots[source_id],
-            )
-            for source_id, score in scores.items()
-        }
-        ranking = tuple(
-            sorted(
-                assessments.values(),
-                key=lambda assessment: (-assessment.overall, assessment.source_id),
-            )
+
+        normalized = self._normalizer.normalize_columns(raw_columns)
+        overall, dimension_scores, attribute_scores = build_quality_score_columns(
+            subject_ids, measures, normalized, self._registry, self._scheme
+        )
+        columns = AssessmentColumns(
+            subject_ids=subject_ids,
+            measures=measures,
+            raw=raw_columns,
+            normalized=normalized,
+            overall=overall,
+            dimension_scores=dimension_scores,
+            attribute_scores=attribute_scores,
+            rank=SortedRankKeys.from_scores(overall, subject_ids),
         )
         return AssessmentContext(
             fingerprint=fingerprint,
@@ -382,9 +484,8 @@ class SourceQualityModel:
             ),
             snapshots=snapshots,
             raw_vectors=raw_vectors,
-            normalized_vectors=normalized_vectors,
-            assessments=assessments,
-            ranking=ranking,
+            columns=columns,
+            scheme_name=self._scheme.name,
             source_fingerprints={entry[0]: entry for entry in fingerprint},
             max_open_discussions=max(
                 (snapshot.open_discussions for snapshot in snapshots.values()),
@@ -421,9 +522,12 @@ class SourceQualityModel:
           the previous fit's and renormalisation is confined to measures
           whose fit actually moved (see
           :func:`~repro.core.normalization.confine_renormalization`);
-        * assessments whose raw vector, normalised vector and snapshot are
-          all unchanged are reused as-is, and the cached ranking is patched
-          via ``bisect`` for just the sources whose overall score moved.
+        * measure columns are patched in place by changed-source index:
+          one gather per column carries the unchanged values over bit for
+          bit, then exactly the re-measured rows are overwritten; scoring
+          re-runs as whole-column kernels (identical inputs → identical
+          bits), and the cached rank keys are patched via
+          ``np.searchsorted`` for just the sources whose overall moved.
         """
         previous = entry.context
         # The corpus fingerprint tuple (computed once for the cache key)
@@ -495,14 +599,24 @@ class SourceQualityModel:
         snapshots = {source_id: snapshots[source_id] for source_id in corpus_order}
         raw_vectors = {source_id: raw_vectors[source_id] for source_id in corpus_order}
 
+        # Columnar patch: carry every unchanged value over with one gather
+        # per measure column, overwrite exactly the re-measured rows.
+        previous_columns = previous.columns
+        subject_ids = tuple(corpus_order)
+        measures = previous_columns.measures
+        raw_columns, fresh_rows, rows = patch_measure_columns(
+            previous_columns.index,
+            previous_columns.raw,
+            subject_ids,
+            {source_id: raw_vectors[source_id] for source_id in changed_vector_ids},
+            measures,
+        )
+        ensure_finite_columns(raw_columns)
+        safe = np.where(rows < 0, 0, rows)
+
         if benchmark_corpus is not None:
-            _, benchmark_vectors = self._measured(
-                benchmark_corpus, benchmark_fingerprint
-            )
-            reference_vectors = benchmark_vectors.values()
             population_changed = benchmark_fingerprint != previous.benchmark_fingerprint
         else:
-            reference_vectors = raw_vectors.values()
             population_changed = (
                 bool(changed_vector_ids or diff.removed or diff.added)
                 or corpus_order != previous_order
@@ -511,79 +625,59 @@ class SourceQualityModel:
         needs_refit = population_changed or entry.fit_token != self._normalizer.fit_count
         if needs_refit:
             previous_signature = entry.fit_signature
-            self._fit_normalizer(collect_reference_values(reference_vectors))
+            self._fit_normalizer_columns(
+                self._reference_columns(
+                    raw_columns, benchmark_corpus, benchmark_fingerprint
+                )
+            )
             fit_signature = self._normalizer.fit_signature()
             # ROADMAP (f): confine renormalisation to measures whose fit
-            # actually moved; bit-identical to a full normalize_many pass.
-            normalized_vectors = confine_renormalization(
+            # actually moved; bit-identical to a full normalize_columns pass.
+            normalized = confine_renormalization_columns(
                 self._normalizer,
                 self.counters,
-                raw_vectors,
-                changed_vector_ids,
-                previous.normalized_vectors,
+                raw_columns,
+                fresh_rows,
+                {
+                    name: previous_columns.normalized[name][safe]
+                    for name in measures
+                },
                 previous_signature,
                 fit_signature,
             )
         else:
             fit_signature = entry.fit_signature
-            normalized_vectors = {
-                source_id: previous.normalized_vectors[source_id]
-                for source_id in corpus_order
-                if source_id in previous.normalized_vectors
+            normalized = {
+                name: previous_columns.normalized[name][safe] for name in measures
             }
-            if changed_vector_ids:
-                normalized_vectors.update(
-                    self._normalizer.normalize_many(
-                        {
-                            source_id: raw_vectors[source_id]
-                            for source_id in corpus_order
-                            if source_id in changed_vector_ids
-                        }
+            if fresh_rows.size:
+                for name in measures:
+                    normalized[name][fresh_rows] = self._normalizer.normalize_column(
+                        name, raw_columns[name][fresh_rows]
                     )
-                )
-            normalized_vectors = {
-                source_id: normalized_vectors[source_id] for source_id in corpus_order
-            }
+        normalized = {name: freeze(column) for name, column in normalized.items()}
 
-        # An assessment is rebuilt only when something it embeds changed:
-        # its raw vector, its normalised vector, or its crawl snapshot.
-        rebuild_ids = set(changed_vector_ids) | snapshot_changed
-        if needs_refit:
-            previous_normalized = previous.normalized_vectors
-            for source_id in corpus_order:
-                if source_id not in rebuild_ids and normalized_vectors[
-                    source_id
-                ] != previous_normalized.get(source_id):
-                    rebuild_ids.add(source_id)
+        # Scoring is a pure per-row function of the normalised columns;
+        # recomputing every row over bit-identical inputs reproduces the
+        # unchanged scores bit for bit, so no per-source reuse set is
+        # needed — the whole corpus re-scores in a handful of array ops.
+        overall, dimension_scores, attribute_scores = build_quality_score_columns(
+            subject_ids, measures, normalized, self._registry, self._scheme
+        )
 
-        if rebuild_ids:
-            scores = build_quality_scores(
-                {sid: raw_vectors[sid] for sid in corpus_order if sid in rebuild_ids},
-                {
-                    sid: normalized_vectors[sid]
-                    for sid in corpus_order
-                    if sid in rebuild_ids
-                },
-                registry=self._registry,
-                scheme=self._scheme,
-            )
-        else:
-            scores = {}
-        assessments = {
-            source_id: (
-                SourceAssessment(
-                    source_id=source_id,
-                    score=scores[source_id],
-                    snapshot=snapshots[source_id],
-                )
-                if source_id in rebuild_ids
-                else previous.assessments[source_id]
-            )
-            for source_id in corpus_order
-        }
-
-        ranking = self._patch_ranking(previous, diff.removed, assessments, corpus_order)
-
+        rank = self._patch_ranking(
+            previous_columns, diff.removed, subject_ids, overall, rows
+        )
+        columns = AssessmentColumns(
+            subject_ids=subject_ids,
+            measures=measures,
+            raw=raw_columns,
+            normalized=normalized,
+            overall=overall,
+            dimension_scores=dimension_scores,
+            attribute_scores=attribute_scores,
+            rank=rank,
+        )
         context = AssessmentContext(
             fingerprint=fingerprint,
             benchmark_fingerprint=benchmark_fingerprint,
@@ -593,9 +687,8 @@ class SourceQualityModel:
             ),
             snapshots=snapshots,
             raw_vectors=raw_vectors,
-            normalized_vectors=normalized_vectors,
-            assessments=assessments,
-            ranking=ranking,
+            columns=columns,
+            scheme_name=self._scheme.name,
             source_fingerprints=current_fingerprints,
             max_open_discussions=max_open,
         )
@@ -610,52 +703,46 @@ class SourceQualityModel:
 
     def _patch_ranking(
         self,
-        previous: AssessmentContext,
+        previous_columns: AssessmentColumns,
         removed: tuple[str, ...],
-        assessments: dict[str, SourceAssessment],
-        corpus_order: list[str],
-    ) -> tuple[SourceAssessment, ...]:
-        """Update the cached ranking for the assessments that moved.
+        subject_ids: tuple[str, ...],
+        overall: np.ndarray,
+        rows: np.ndarray,
+    ) -> SortedRankKeys:
+        """Update the cached rank keys for the scores that moved.
 
         Sources whose ``(overall, source_id)`` sort key is unchanged keep
-        their position; moved sources are bisect-removed at their old key
-        and bisect-inserted at the new one — O(k·n) list surgery instead of
-        an O(n log n) re-sort.  When most of the corpus moved, one sort is
-        cheaper, so the patch falls back to it.
+        their position; moved sources are removed at their old key and
+        inserted at the new one via ``np.searchsorted`` on the sorted
+        score array (see :class:`~repro.core.columnar.SortedRankKeys`) —
+        O(k·n) array surgery instead of an O(n log n) re-sort.  When most
+        of the corpus moved, one vectorized sort is cheaper, so the patch
+        falls back to it.  ``rows`` is the gather map from the previous
+        row order (``-1`` marks newly added sources).
         """
-        old_overalls = {
-            source_id: assessment.overall
-            for source_id, assessment in previous.assessments.items()
-        }
-        moved = [
-            source_id
-            for source_id, assessment in assessments.items()
-            if old_overalls.get(source_id) != assessment.overall
-        ]
-        if len(moved) + len(removed) > max(8, len(corpus_order) // 2):
+        previous_overall = previous_columns.overall
+        present = rows >= 0
+        gathered = previous_overall[np.where(present, rows, 0)]
+        moved_mask = ~present | (gathered != overall)
+        moved = np.nonzero(moved_mask)[0]
+        if len(moved) + len(removed) > max(8, len(subject_ids) // 2):
             self.counters.increment("ranking_rebuilds")
-            return tuple(
-                sorted(
-                    assessments.values(),
-                    key=lambda assessment: (-assessment.overall, assessment.source_id),
-                )
-            )
-        keys = [
-            (-assessment.overall, assessment.source_id)
-            for assessment in previous.ranking
-        ]
-        for source_id in (*removed, *moved):
-            old_overall = old_overalls.get(source_id)
-            if old_overall is None:
-                continue  # newly added: nothing to remove
-            key = (-old_overall, source_id)
-            index = bisect.bisect_left(keys, key)
-            if index < len(keys) and keys[index] == key:
-                del keys[index]
-        for source_id in moved:
-            bisect.insort(keys, (-assessments[source_id].overall, source_id))
+            return SortedRankKeys.from_scores(overall, subject_ids)
+        rank = previous_columns.rank.copy()
+        previous_index = previous_columns.index
+        for source_id in removed:
+            row = previous_index.get(source_id)
+            if row is not None:
+                rank.remove(float(previous_overall[row]), source_id)
+        overall_list = overall.tolist()
+        for i in moved.tolist():
+            source_id = subject_ids[i]
+            row = previous_index.get(source_id)
+            if row is not None:
+                rank.remove(float(previous_overall[row]), source_id)
+            rank.insert(overall_list[i], source_id)
         self.counters.increment("ranking_patches")
-        return tuple(assessments[source_id] for _, source_id in keys)
+        return rank
 
     def _resolve_entry(
         self,
@@ -715,10 +802,14 @@ class SourceQualityModel:
 
         The common path — no announced mutation since the last call — is an
         O(1) dirty-flag check.  A dirty corpus is fingerprint-diffed and the
-        context patched incrementally (see :meth:`_patch_context`).
-        ``deep=True`` skips the flag and forces the fingerprint scan; use it
-        after *unannounced* in-place growth (objects appended directly into
-        a source's internal lists, bypassing the ``Source`` helpers).
+        context patched incrementally (see :meth:`_patch_context`); the
+        content fingerprinting is *burst-scoped* — only the sources the
+        drained invalidation burst names are rescanned, the rest pass an
+        O(1) probe check and keep their recorded fingerprints.
+        ``deep=True`` skips the flag and forces the full fingerprint scan;
+        use it after *unannounced* in-place growth (objects appended
+        directly into a source's internal lists, bypassing the ``Source``
+        helpers), which neither the bus nor the probe sweep can see.
 
         This is also the refresh entry point the eager serving layer
         drives off the read path: it is idempotent, O(1) when the corpus
@@ -756,6 +847,7 @@ class SourceQualityModel:
                 self.counters.increment("staleness_flag_hits")
                 return entry.context
             fresh_entry = entry is None
+            pending = None
             if fresh_entry:
                 # Create the trackers *before* reading the corpus: their
                 # clean version captures "now", so any mutation landing
@@ -778,12 +870,34 @@ class SourceQualityModel:
                     fit_token=-1,
                 )
             else:
-                entry.tracker.mark_clean()
+                pending = entry.tracker.subscription.drain()
                 if entry.benchmark_tracker is not None:
                     entry.benchmark_tracker.mark_clean()
 
             try:
-                fingerprint = corpus.content_fingerprint()
+                # Burst-scoped fingerprinting: the drained burst names every
+                # source an *announced* mutation touched, so only those pay
+                # the O(discussions) content fingerprint — the rest reuse
+                # their recorded fingerprints after an O(1) probe check
+                # (see :func:`~repro.sources.diffing.scoped_fingerprints`).
+                # ``deep=True``, a fresh entry, a detail-less burst (retry
+                # after a failure, version bump without events) and a lost
+                # scope all fall back to the full content scan.
+                if (
+                    not deep
+                    and not fresh_entry
+                    and not entry.scope_lost
+                    and pending is not None
+                    and pending.source_ids
+                    and entry.context is not None
+                ):
+                    _, current_fps = scoped_fingerprints(
+                        entry.context.source_fingerprints, corpus, pending.source_ids
+                    )
+                    fingerprint = tuple(current_fps.values())
+                    self.counters.increment("scoped_diffs")
+                else:
+                    fingerprint = corpus.content_fingerprint()
                 benchmark_fingerprint = (
                     benchmark_corpus.content_fingerprint()
                     if benchmark_corpus is not None
@@ -819,7 +933,10 @@ class SourceQualityModel:
                 # The trackers were marked clean above; a failed rebuild
                 # must not leave the stale published context looking
                 # fresh — restore the staleness so the next read retries.
+                # The drained burst detail is lost with the failure, so
+                # the retry must run the full fingerprint scan.
                 if not fresh_entry:
+                    entry.scope_lost = True
                     entry.tracker.force_dirty()
                     if entry.benchmark_tracker is not None:
                         entry.benchmark_tracker.force_dirty()
@@ -830,6 +947,7 @@ class SourceQualityModel:
                 entry.context = context
                 entry.fit_token = fit_token
                 entry.fit_signature = fit_signature
+                entry.scope_lost = False
                 if fresh_entry:
                     self._incremental[entry_key] = entry
             return context
@@ -840,31 +958,47 @@ class SourceQualityModel:
         """Serialise the corpus's assessment context to a JSON-compatible dict.
 
         Refreshes first (the export is exact for the current corpus).
-        Fingerprints and source objects are *not* exported — they embed
-        ``id()`` values; :meth:`restore_assessment_state` recomputes them
-        from the recovered corpus.  Only the default-benchmark context
-        (normaliser fitted on the corpus itself) is exported; explicit
-        benchmark corpora are a transient experiment configuration.
+        The payload is *columnar*: per-measure raw/normalised float64
+        columns plus the score arrays, row-aligned with ``order``.  Full
+        fingerprints and source objects are not exported — they embed
+        ``id()`` values — but the per-source post totals (the one
+        fingerprint field that costs O(discussions) to recompute) are, so
+        :meth:`restore_assessment_state` composes trusted fingerprints
+        from the section instead of rescanning content.  Only the
+        default-benchmark context (normaliser fitted on the corpus
+        itself) is exported; explicit benchmark corpora are a transient
+        experiment configuration.
         """
         context = self.assessment_context(corpus)
+        columns = context.columns
         return {
-            "ranking": [assessment.source_id for assessment in context.ranking],
+            "order": list(columns.subject_ids),
+            "measures": list(columns.measures),
+            "ranking": list(columns.ranking_ids()),
             "snapshots": {
                 source_id: snapshot.to_dict()
                 for source_id, snapshot in context.snapshots.items()
             },
-            "raw_vectors": {
-                source_id: dict(vector)
-                for source_id, vector in context.raw_vectors.items()
+            "raw_columns": {
+                name: columns.raw[name].tolist() for name in columns.measures
             },
-            "normalized_vectors": {
-                source_id: dict(vector)
-                for source_id, vector in context.normalized_vectors.items()
+            "normalized_columns": {
+                name: columns.normalized[name].tolist() for name in columns.measures
             },
-            "scores": {
-                source_id: assessment.score.to_dict()
-                for source_id, assessment in context.assessments.items()
+            "overall": columns.overall.tolist(),
+            "dimension_scores": {
+                dimension.value: scores.tolist()
+                for dimension, scores in columns.dimension_scores.items()
             },
+            "attribute_scores": {
+                attribute.value: scores.tolist()
+                for attribute, scores in columns.attribute_scores.items()
+            },
+            "scheme_name": context.scheme_name,
+            # Per-source content fingerprint hints (the per-discussion post
+            # sums — the only non-O(1) fingerprint field): restore composes
+            # trusted fingerprints from these instead of rescanning content.
+            "post_totals": {entry[0]: entry[5] for entry in context.fingerprint},
             "max_open_discussions": context.max_open_discussions,
         }
 
@@ -874,8 +1008,12 @@ class SourceQualityModel:
         """Install an exported assessment context for ``corpus``.
 
         Rebuilds the :class:`AssessmentContext` around the recovered
-        corpus's live source objects (fingerprints recomputed — they
-        embed ``id()``), seeds the context and raw-measure caches, and
+        corpus's live source objects.  Fingerprints are *composed* from
+        the section-carried per-source post totals plus O(1) live fields
+        (they embed ``id()``, so the ids are fresh but the content scan
+        is skipped), the columnar state is adopted directly from the
+        payload's arrays, the dict-shaped views stay lazy, and the
+        context and raw-measure caches are seeded; it also
         installs the incremental entry for ``corpus`` directly — exactly
         the state :meth:`assessment_context` would leave behind, so the
         next read (or a journal-tail replay) is an O(1) flag check or an
@@ -899,35 +1037,57 @@ class SourceQualityModel:
                 raise CorruptSnapshotError(
                     "assessment state does not match the recovered corpus"
                 )
+            payload_order = list(payload["order"])
+            if sorted(payload_order) != sorted(order):
+                raise CorruptSnapshotError(
+                    "assessment state does not match the recovered corpus"
+                )
+            measures = tuple(payload["measures"])
             snapshots = {
                 source_id: CrawlSnapshot.from_dict(payload["snapshots"][source_id])
                 for source_id in order
             }
-            raw_vectors = {
-                source_id: dict(payload["raw_vectors"][source_id])
-                for source_id in order
+            # Re-align the persisted columns to the recovered corpus order
+            # (normally the identity gather — snapshot and corpus sections
+            # are written from the same pass).
+            payload_index = {
+                source_id: i for i, source_id in enumerate(payload_order)
             }
-            normalized_vectors = {
-                source_id: dict(payload["normalized_vectors"][source_id])
-                for source_id in order
-            }
-            assessments = {
-                source_id: SourceAssessment(
-                    source_id=source_id,
-                    score=QualityScore.from_dict(payload["scores"][source_id]),
-                    snapshot=snapshots[source_id],
-                )
-                for source_id in order
-            }
-            ranking = tuple(
-                assessments[source_id] for source_id in payload["ranking"]
+            alignment = np.asarray(
+                [payload_index[source_id] for source_id in order], dtype=np.intp
             )
+
+            def column(values: Any) -> np.ndarray:
+                array = np.asarray(values, dtype=np.float64)
+                if array.ndim != 1 or len(array) != len(order):
+                    raise ValueError("column does not cover the corpus")
+                return freeze(array[alignment])
+
+            raw_columns = {
+                name: column(payload["raw_columns"][name]) for name in measures
+            }
+            normalized = {
+                name: column(payload["normalized_columns"][name])
+                for name in measures
+            }
+            overall = column(payload["overall"])
+            dimension_scores = {
+                QualityDimension(key): column(values)
+                for key, values in payload["dimension_scores"].items()
+            }
+            attribute_scores = {
+                QualityAttribute(key): column(values)
+                for key, values in payload["attribute_scores"].items()
+            }
+            scheme_name = str(payload["scheme_name"])
+            ranking_ids = list(payload["ranking"])
+            post_totals = dict(payload["post_totals"])
             max_open_discussions = int(payload["max_open_discussions"])
         except (KeyError, TypeError, ValueError) as exc:
             raise CorruptSnapshotError(
                 f"invalid assessment state: {exc!r}"
             ) from exc
-        if len(ranking) != len(order):
+        if len(ranking_ids) != len(order):
             raise CorruptSnapshotError(
                 "assessment ranking does not cover the recovered corpus"
             )
@@ -935,8 +1095,32 @@ class SourceQualityModel:
         # landing mid-restore leaves the entry dirty, so the next read
         # patches instead of trusting the just-installed context.
         tracker = CorpusChangeTracker(corpus)
-        fingerprint = corpus.content_fingerprint()
+        # ROADMAP open item 3: trust the section-carried post totals
+        # instead of rescanning content — every other fingerprint field is
+        # an O(1) live read, so composing is O(1) per source where
+        # ``corpus.content_fingerprint()`` walks every discussion.  A
+        # source missing from the hints falls back to the full scan.
+        fingerprint = tuple(
+            compose_source_fingerprint(source, post_totals[source.source_id])
+            if source.source_id in post_totals
+            else source_fingerprint(source)
+            for source in corpus
+        )
         sources = tuple(corpus)
+        subject_ids = tuple(order)
+        columns = AssessmentColumns(
+            subject_ids=subject_ids,
+            measures=measures,
+            raw=raw_columns,
+            normalized=normalized,
+            overall=overall,
+            dimension_scores=dimension_scores,
+            attribute_scores=attribute_scores,
+            # Rebuilt rather than adopted from ``ranking_ids``: bit-identical
+            # by construction, and immune to a corrupted ranking section.
+            rank=SortedRankKeys.from_scores(overall, subject_ids),
+        )
+        raw_vectors = vectors_from_columns(subject_ids, measures, raw_columns)
         context = AssessmentContext(
             fingerprint=fingerprint,
             benchmark_fingerprint=None,
@@ -944,9 +1128,8 @@ class SourceQualityModel:
             benchmark_sources=None,
             snapshots=snapshots,
             raw_vectors=raw_vectors,
-            normalized_vectors=normalized_vectors,
-            assessments=assessments,
-            ranking=ranking,
+            columns=columns,
+            scheme_name=scheme_name,
             source_fingerprints={entry[0]: entry for entry in fingerprint},
             max_open_discussions=max_open_discussions,
         )

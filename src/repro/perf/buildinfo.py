@@ -1,0 +1,46 @@
+"""Build attribution for benchmark reports.
+
+``BENCH_perf.json`` records a performance trajectory across PRs, but its
+``meta`` block only said *where* a run happened (python/platform), not
+*what* was running.  :func:`git_build_stamp` returns the git describe and
+commit of the working tree so every ``atomic_write_json`` writer can make
+trajectory comparisons attributable.  Failure is soft: outside a git
+checkout (or without a ``git`` binary) the fields degrade to
+``"unknown"`` — a benchmark run must never die on attribution.
+"""
+
+from __future__ import annotations
+
+import subprocess
+from pathlib import Path
+
+__all__ = ["git_build_stamp"]
+
+_REPO_ROOT = Path(__file__).resolve().parents[3]
+
+
+def _git(*args: str) -> str:
+    try:
+        return subprocess.run(
+            ("git", *args),
+            cwd=_REPO_ROOT,
+            capture_output=True,
+            text=True,
+            timeout=10,
+            check=True,
+        ).stdout.strip()
+    except (OSError, subprocess.SubprocessError):
+        return ""
+
+
+def git_build_stamp() -> dict[str, str]:
+    """``{"git_describe": ..., "git_commit": ...}`` of the working tree.
+
+    ``git_describe`` uses ``--always --dirty`` so an unstamped tree still
+    yields the abbreviated commit, and local modifications are visible in
+    the recorded trajectory point.
+    """
+    return {
+        "git_describe": _git("describe", "--always", "--dirty") or "unknown",
+        "git_commit": _git("rev-parse", "HEAD") or "unknown",
+    }

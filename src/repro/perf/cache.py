@@ -48,6 +48,7 @@ from typing import Any, Callable, Hashable, Iterable, Optional, Tuple
 __all__ = [
     "LRUCache",
     "source_fingerprint",
+    "compose_source_fingerprint",
     "corpus_fingerprint",
     "source_probe",
     "corpus_probe",
@@ -188,6 +189,31 @@ def source_fingerprint(source: Any) -> Tuple[Any, ...]:
         source.observation_day,
         len(discussions),
         sum(len(discussion.posts) for discussion in discussions),
+        len(source.interactions),
+    )
+
+
+def compose_source_fingerprint(source: Any, post_total: int) -> Tuple[Any, ...]:
+    """:func:`source_fingerprint` with the post sum supplied by the caller.
+
+    Every fingerprint field except the per-discussion post sum is an O(1)
+    read; composing the tuple from a persisted ``post_total`` (the
+    ``post_totals`` section the consumers export alongside their state)
+    turns restore-time fingerprinting into O(1) per source instead of
+    O(discussions).  The hint is only sound when the source content at
+    restore equals the content at export — which :func:`recover_stack`
+    guarantees by restoring consumer sections before replaying the
+    journal tail.  A stale hint degrades safely: the mismatched
+    fingerprint makes the next refresh re-crawl the source, it never
+    serves wrong data.
+    """
+    return (
+        source.source_id,
+        id(source),
+        source.content_revision,
+        source.observation_day,
+        len(source.discussions),
+        post_total,
         len(source.interactions),
     )
 

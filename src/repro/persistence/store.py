@@ -511,7 +511,12 @@ class CorpusStore:
         Consumers are restored **before** the journal tail is replayed —
         their snapshot sections describe the snapshot-time corpus — so
         the tail flows through their ordinary incremental patch paths and
-        the warm results are bit-identical to a cold rebuild's.  Quality
+        the warm results are bit-identical to a cold rebuild's.  That
+        ordering is also what makes the sections' ``post_totals`` /
+        ``post_total`` fingerprint hints sound: each consumer recomposes
+        its per-source fingerprints in O(1) via
+        :func:`~repro.perf.cache.compose_source_fingerprint` instead of
+        rescanning every discussion of every source.  Quality
         models need ``domain`` (a
         :class:`~repro.core.domain.DomainOfInterest`); without it their
         sections are skipped.  With ``attach=True`` the store resumes

@@ -32,7 +32,8 @@ themselves to their owning corpora).  Only when the flag fires does the
 engine compute the full fingerprint diff and apply an *incremental*
 update: postings lists, document frequencies, static scores and the
 static order are patched for just the added/removed/changed sources (the
-static order via ``bisect``, not a re-sort), and only the affected
+static order via ``np.searchsorted`` on the sorted score array, not a
+re-sort), and only the affected
 result-cache entries are dropped.  ``refresh(deep=True)`` remains the
 escape hatch forcing a full fingerprint scan for *unannounced* mutations
 (direct appends into a source's internal lists); see
@@ -64,7 +65,6 @@ and a quiesced engine is bit-identical to a from-scratch rebuild.
 
 from __future__ import annotations
 
-import bisect
 import hashlib
 import heapq
 import math
@@ -74,12 +74,20 @@ from collections import Counter
 from dataclasses import dataclass, field
 from typing import Iterable, Optional
 
+import numpy as np
+
+from repro.core.columnar import SortedRankKeys
 from repro.errors import SearchError, UnsearchableQueryError
-from repro.perf.cache import LRUCache, source_fingerprint
+from repro.perf.cache import LRUCache, compose_source_fingerprint, source_fingerprint
 from repro.perf.counters import PerfCounters
 from repro.serving.rwlock import ReadWriteLock
 from repro.sources.corpus import SourceCorpus
-from repro.sources.diffing import diff_fingerprints
+from repro.sources.diffing import (
+    PendingInvalidation,
+    diff_fingerprint_maps,
+    diff_fingerprints,
+    scoped_fingerprints,
+)
 from repro.sources.models import Source
 from repro.sources.webstats import AlexaLikeService, PanelObservation, WebStatsPanel
 
@@ -240,9 +248,12 @@ class _IndexState:
     #: term -> list of (source_id, term_frequency / document_length).
     postings: dict[str, list[tuple[str, float]]]
     static_order: tuple[str, ...] = ()
-    #: Sorted ``(-static score, source_id)`` keys backing the static
-    #: order; single-source updates patch it via ``bisect``.
-    static_keys: list[tuple[float, str]] = field(default_factory=list)
+    #: Sorted ``(-static score, source_id)`` rank keys backing the static
+    #: order (a columnar :class:`~repro.core.columnar.SortedRankKeys`);
+    #: single-source updates patch it via ``np.searchsorted``.
+    static_keys: SortedRankKeys = field(
+        default_factory=lambda: SortedRankKeys.from_pairs(())
+    )
     #: Per-source raw panel observations backing the static scores.
     observations: dict[str, PanelObservation] = field(default_factory=dict)
     max_visitors: float = 1.0
@@ -300,6 +311,10 @@ class SearchEngine:
         #: swap holds the exclusive side for O(1).
         self._rwlock = ReadWriteLock()
         self._query_cache = LRUCache(maxsize=self.QUERY_CACHE_SIZE)
+        #: Set when a refresh failed after draining its burst: the burst's
+        #: source ids are lost, so the retry must fall back to the full
+        #: fingerprint diff instead of scoping to the next burst.
+        self._scope_lost = False
         self.counters = PerfCounters()
         self._panel.watch(corpus)
         # ``index_state`` is the persistence layer's warm-start path (see
@@ -441,10 +456,11 @@ class SearchEngine:
         return counter
 
     def _rebuild_static_order(self, state: _IndexState) -> None:
-        state.static_keys = sorted(
-            (-score, source_id) for source_id, score in state.static_scores.items()
+        scores = np.asarray(list(state.static_scores.values()), dtype=np.float64)
+        state.static_keys = SortedRankKeys.from_scores(
+            scores, list(state.static_scores)
         )
-        state.static_order = tuple(source_id for _, source_id in state.static_keys)
+        state.static_order = state.static_keys.order()
 
     def _patch_static_order(
         self,
@@ -452,27 +468,24 @@ class SearchEngine:
         old_scores: dict[str, float],
         updated: Iterable[str],
     ) -> None:
-        """Patch the static ordering via ``bisect`` instead of a re-sort.
+        """Patch the static ordering via ``np.searchsorted``, not a re-sort.
 
         ``old_scores`` maps every removed or changed source to the score it
         held in the previous ordering (its key is deleted); ``updated``
         names the changed/added sources whose fresh ``static_scores``
         entry is re-inserted at its sorted position.  Keys are unique
-        (score, id) pairs, so the patched list is exactly what a full sort
-        of the new score map would produce — O(k·n) list surgery versus
-        O(n log n) sorting per refresh.  ``state.static_keys`` is this
-        build's private copy of the previous snapshot's list, so the
-        surgery never disturbs concurrent readers.
+        (score, id) pairs, so the patched rank keys are exactly what a
+        full sort of the new score map would produce — O(k·n) array
+        surgery versus O(n log n) sorting per refresh.
+        ``state.static_keys`` is this build's private copy of the previous
+        snapshot's keys, so the surgery never disturbs concurrent readers.
         """
         keys = state.static_keys
         for source_id, score in old_scores.items():
-            key = (-score, source_id)
-            index = bisect.bisect_left(keys, key)
-            if index < len(keys) and keys[index] == key:
-                del keys[index]
+            keys.remove(score, source_id)
         for source_id in updated:
-            bisect.insort(keys, (-state.static_scores[source_id], source_id))
-        state.static_order = tuple(source_id for _, source_id in keys)
+            keys.insert(state.static_scores[source_id], source_id)
+        state.static_order = keys.order()
         self.counters.increment("static_order_patches")
 
     def _static_score(
@@ -498,13 +511,16 @@ class SearchEngine:
 
         Refreshes first, so the export matches the corpus exactly.  The
         export captures everything :meth:`_build_index` derives from the
-        corpus *except* the per-source fingerprints and anchored objects
-        (they embed ``id()`` values, meaningless across processes — the
-        restore recomputes them from the recovered corpus) and the result
-        cache (a memo, rebuilt on demand).  Dict orders are preserved
-        through JSON, so restored Counters and postings iterate exactly
-        as the originals did — the restored engine is bit-identical to a
-        cold rebuild of the same corpus.
+        corpus *except* the anchored source objects and the full
+        per-source fingerprints (they embed ``id()`` values, meaningless
+        across processes) and the result cache (a memo, rebuilt on
+        demand).  The per-source post totals — the one fingerprint field
+        that costs O(discussions) to recompute — *are* exported, so the
+        restore composes trusted fingerprints from the section instead of
+        rescanning content.  Dict orders are preserved through JSON, so
+        restored Counters and postings iterate exactly as the originals
+        did — the restored engine is bit-identical to a cold rebuild of
+        the same corpus.
         """
         self.refresh()
         with self._rwlock.read_lock():
@@ -521,7 +537,9 @@ class SearchEngine:
                 term: [[source_id, ratio] for source_id, ratio in entries]
                 for term, entries in state.postings.items()
             },
-            "static_keys": [[score, source_id] for score, source_id in state.static_keys],
+            "static_keys": [
+                [score, source_id] for score, source_id in state.static_keys.pairs()
+            ],
             "observations": {
                 source_id: observation.to_dict()
                 for source_id, observation in state.observations.items()
@@ -529,6 +547,11 @@ class SearchEngine:
             "max_visitors": state.max_visitors,
             "max_links": state.max_links,
             "n_documents": state.n_documents,
+            # Content fingerprint hints (see ``compose_source_fingerprint``).
+            "post_totals": {
+                source_id: fingerprint[5]
+                for source_id, fingerprint in state.source_fingerprints.items()
+            },
         }
 
     def _restore_index(self, payload: dict) -> _IndexState:
@@ -548,7 +571,9 @@ class SearchEngine:
                 term: [(source_id, ratio) for source_id, ratio in entries]
                 for term, entries in payload["postings"].items()
             },
-            static_keys=[(score, source_id) for score, source_id in payload["static_keys"]],
+            static_keys=SortedRankKeys.from_pairs(
+                (score, source_id) for score, source_id in payload["static_keys"]
+            ),
             observations={
                 source_id: PanelObservation.from_dict(observation)
                 for source_id, observation in payload["observations"].items()
@@ -558,10 +583,21 @@ class SearchEngine:
             n_documents=payload["n_documents"],
             result_cache=LRUCache(maxsize=self.RESULT_CACHE_SIZE),
         )
-        state.static_order = tuple(source_id for _, source_id in state.static_keys)
+        state.static_order = state.static_keys.order()
+        # ROADMAP open item 3: compose the indexed-epoch fingerprints from
+        # the section-carried post totals (O(1) per source) instead of
+        # rescanning every discussion; sources missing from the hints
+        # (older snapshots) fall back to the full scan.
+        post_totals = payload.get("post_totals") or {}
         for source in self._corpus:
-            state.source_fingerprints[source.source_id] = source_fingerprint(source)
-            state.anchored_sources[source.source_id] = source
+            source_id = source.source_id
+            post_total = post_totals.get(source_id)
+            state.source_fingerprints[source_id] = (
+                compose_source_fingerprint(source, post_total)
+                if post_total is not None
+                else source_fingerprint(source)
+            )
+            state.anchored_sources[source_id] = source
         return state
 
     # -- staleness detection and incremental maintenance ----------------------------
@@ -578,11 +614,22 @@ class SearchEngine:
            growth through the ``Source`` mutation helpers (sources announce
            helper mutations to their owning corpora).  The corpus version
            is cross-checked (also O(1)) as a safety net;
-        2. the full content fingerprint — O(total discussions); run only
-           when tier 1 fired, and forced by ``refresh(deep=True)``, which
-           additionally catches *unannounced* growth: objects appended
-           directly into ``source.discussions`` / ``discussion.posts`` /
-           ``source.interactions`` behind the helpers' back.
+        2. the *burst-scoped* fingerprint diff — run only when tier 1
+           fired.  The drained :class:`~repro.sources.diffing.PendingInvalidation`
+           names every source the announced mutations touched, so only
+           those sources pay the O(discussions) content fingerprint; the
+           rest of the corpus is swept with an O(1)-per-source probe check
+           and keeps its recorded fingerprints
+           (:func:`~repro.sources.diffing.scoped_fingerprints`).  When the
+           burst carries no detail (a retried refresh after a failure, a
+           version bump the bus never delivered) the diff falls back to
+           the full O(total discussions) content scan;
+        3. ``refresh(deep=True)`` forces that full content scan
+           unconditionally — the escape hatch that additionally catches
+           *unannounced* growth: objects appended directly into
+           ``source.discussions`` / ``discussion.posts`` /
+           ``source.interactions`` behind the helpers' back, which neither
+           the bus nor the probe sweep can see.
 
         Tier 1 runs on every read path (``search`` auto-refreshes before
         answering), so reads over an unchanged corpus no longer pay the
@@ -601,7 +648,8 @@ class SearchEngine:
         When stale, the index is patched *incrementally*: only the
         added/removed/changed sources are (un)indexed, static scores are
         renormalised only when the traffic/link maxima moved (and the
-        static order is then patched via ``bisect`` rather than re-sorted),
+        static order is then patched via ``np.searchsorted`` rather than
+        re-sorted),
         and only the result-cache entries whose terms intersect the changed
         sources' terms survive into the patched snapshot (none, when the
         corpus size or the maxima changed — document frequencies and
@@ -622,19 +670,34 @@ class SearchEngine:
                 # Another thread patched while this one waited for the gate.
                 self.counters.increment("refresh_noops")
                 return False
-            self._subscription.drain()
+            pending = self._subscription.drain()
+            if deep or self._scope_lost:
+                pending = None
             try:
-                state, changed = self._synchronise()
+                state, changed = self._synchronise(pending)
             except BaseException:
-                # The staleness this refresh consumed must not be lost.
+                # The staleness this refresh consumed must not be lost —
+                # and neither must the burst detail it drained: the retry
+                # cannot scope to a burst it no longer has.
+                self._scope_lost = True
                 self._subscription.force_dirty()
                 raise
+            self._scope_lost = False
             with self._rwlock.write_lock():
                 self._state = state
             return changed
 
-    def _synchronise(self) -> tuple[_IndexState, bool]:
-        """Full-fingerprint diff against the indexed epoch + incremental patch.
+    def _synchronise(
+        self, pending: Optional[PendingInvalidation] = None
+    ) -> tuple[_IndexState, bool]:
+        """Fingerprint diff against the indexed epoch + incremental patch.
+
+        ``pending`` is the drained invalidation burst: when it carries
+        source ids, content fingerprinting is scoped to exactly those
+        sources and the rest of the corpus pays an O(1) probe check per
+        source (see :func:`~repro.sources.diffing.scoped_fingerprints`);
+        when it is None or empty (deep refresh, retry after a failed
+        patch, forced dirt), the full content scan runs.
 
         Builds and returns the successor snapshot (copy-on-write over the
         current one) without touching any published state; the caller
@@ -645,9 +708,18 @@ class SearchEngine:
             raise SearchError("cannot index an empty corpus")
         previous = self._state
         previous_size = len(previous.source_fingerprints)
-        diff, current_sources, current_fingerprints = diff_fingerprints(
-            previous.source_fingerprints, corpus
-        )
+        if pending is not None and pending.source_ids:
+            current_sources, current_fingerprints = scoped_fingerprints(
+                previous.source_fingerprints, corpus, pending.source_ids
+            )
+            diff = diff_fingerprint_maps(
+                previous.source_fingerprints, current_fingerprints
+            )
+            self.counters.increment("scoped_diffs")
+        else:
+            diff, current_sources, current_fingerprints = diff_fingerprints(
+                previous.source_fingerprints, corpus
+            )
         added, changed, removed = diff.added, diff.changed, diff.removed
         if diff.is_empty:
             # Version bumped without a detectable content change (e.g. a
@@ -683,7 +755,7 @@ class SearchEngine:
             static_scores=dict(previous.static_scores),
             postings=dict(previous.postings),
             static_order=previous.static_order,
-            static_keys=list(previous.static_keys),
+            static_keys=previous.static_keys.copy(),
             observations=dict(previous.observations),
             max_visitors=previous.max_visitors,
             max_links=previous.max_links,

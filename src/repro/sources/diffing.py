@@ -77,6 +77,9 @@ from typing import (
     Tuple,
 )
 
+import numpy as np
+
+from repro.core.columnar import freeze
 from repro.perf.cache import source_fingerprint
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
@@ -87,7 +90,10 @@ __all__ = [
     "CorpusDiff",
     "diff_fingerprints",
     "diff_fingerprint_maps",
+    "scoped_fingerprints",
     "fingerprint_map",
+    "gather_rows",
+    "patch_measure_columns",
     "discussion_fingerprint",
     "discussion_fingerprint_map",
     "PendingInvalidation",
@@ -116,6 +122,70 @@ class CorpusDiff:
     def touched(self) -> tuple[str, ...]:
         """Sources needing re-processing, changed first (the re-index order)."""
         return self.changed + self.added
+
+
+def gather_rows(
+    previous_index: Mapping[str, int], subject_ids: Iterable[str]
+) -> "np.ndarray":
+    """Row-gather map from a previous columnar layout to a new subject order.
+
+    Entry *i* is the previous row of the *i*-th current subject, or ``-1``
+    for subjects that did not exist before.  This is the localisation tier
+    for columnar state: one gather array re-aligns every column of the
+    previous context to the patched corpus order in a single vectorized
+    fancy-index per column.
+    """
+    return np.asarray(
+        [previous_index.get(subject_id, -1) for subject_id in subject_ids],
+        dtype=np.intp,
+    )
+
+
+def patch_measure_columns(
+    previous_index: Mapping[str, int],
+    previous_columns: Mapping[str, "np.ndarray"],
+    subject_ids: tuple[str, ...],
+    fresh_vectors: Mapping[str, Mapping[str, float]],
+    measures: tuple[str, ...],
+) -> tuple[dict[str, "np.ndarray"], "np.ndarray", "np.ndarray"]:
+    """Patch measure columns in place by changed-source index.
+
+    Carries every unchanged value over from ``previous_columns`` via one
+    gather per column, then overwrites exactly the rows of the subjects in
+    ``fresh_vectors`` (changed or added sources) with their re-measured
+    values.  Returns ``(patched columns, fresh row indices, gather map)``;
+    the gather map is reusable for aligning any other per-subject column
+    (e.g. previously normalised values) to the new order.
+
+    Bit-identical to rebuilding the columns from the full vector set: a
+    gather copies bits verbatim and the fresh rows are written from the
+    same floats the scalar pipeline would have stored.
+    """
+    rows = gather_rows(previous_index, subject_ids)
+    for i, subject_id in enumerate(subject_ids):
+        if rows[i] < 0 and subject_id not in fresh_vectors:
+            raise KeyError(
+                f"source {subject_id!r} is new but carries no fresh measures"
+            )
+    safe = np.where(rows < 0, 0, rows)
+    fresh_positions = [
+        i for i, subject_id in enumerate(subject_ids) if subject_id in fresh_vectors
+    ]
+    fresh_rows = np.asarray(fresh_positions, dtype=np.intp)
+    patched: dict[str, "np.ndarray"] = {}
+    for name in measures:
+        previous = previous_columns[name]
+        column = (
+            previous[safe]
+            if len(previous)
+            else np.zeros(len(subject_ids), dtype=np.float64)
+        )
+        if fresh_positions:
+            column[fresh_rows] = [
+                fresh_vectors[subject_ids[i]][name] for i in fresh_positions
+            ]
+        patched[name] = freeze(column)
+    return patched, fresh_rows, rows
 
 
 def fingerprint_map(sources: Iterable[Any]) -> dict[str, tuple]:
@@ -201,6 +271,57 @@ def diff_fingerprints(
         current_sources,
         current_fingerprints,
     )
+
+
+def scoped_fingerprints(
+    previous: Mapping[str, tuple],
+    corpus: Iterable[Any],
+    touched_ids: Any,
+) -> Tuple[dict[str, Any], dict[str, tuple]]:
+    """Current per-source fingerprints, rescanning content only where needed.
+
+    The burst-scoped fast path of :func:`diff_fingerprints`: ``touched_ids``
+    is the set of source identifiers a drained
+    :class:`PendingInvalidation` reported (every *announced* mutation —
+    corpus ``add``/``remove``/``touch`` and the ``Source`` helpers — lands
+    there).  Touched sources get a full :func:`source_fingerprint`
+    (O(discussions)); untouched sources reuse their previous fingerprint
+    after an O(1) probe check of every constant-time field (object
+    identity, revision, observation day, discussion/interaction counts).
+    A probe mismatch on a supposedly untouched source — possible when a
+    caller passes a burst older than the corpus state — falls back to the
+    full fingerprint, so scoping can widen a diff's rescan set but never
+    narrow its detection below the probe tier.
+
+    The one thing the probe cannot see is the per-discussion post sum, so
+    *unannounced* growth (direct appends into ``discussion.posts``) in an
+    untouched source is invisible here — exactly the blind spot the
+    consumers' ``deep=True`` full-scan escape hatch exists for, and the
+    same contract :class:`CorpusChangeTracker`'s dirty flag already has.
+
+    Returns ``(current_sources, current_fingerprints)`` keyed by source
+    identifier in corpus order, the same shapes :func:`diff_fingerprints`
+    produces; feed them to :func:`diff_fingerprint_maps` for the diff.
+    """
+    current_sources: dict[str, Any] = {}
+    current_fingerprints: dict[str, tuple] = {}
+    for source in corpus:
+        source_id = source.source_id
+        current_sources[source_id] = source
+        prev = previous.get(source_id)
+        if (
+            prev is not None
+            and source_id not in touched_ids
+            and prev[1] == id(source)
+            and prev[2] == source.content_revision
+            and prev[3] == source.observation_day
+            and prev[4] == len(source.discussions)
+            and prev[6] == len(source.interactions)
+        ):
+            current_fingerprints[source_id] = prev
+        else:
+            current_fingerprints[source_id] = source_fingerprint(source)
+    return current_sources, current_fingerprints
 
 
 @dataclass(frozen=True)

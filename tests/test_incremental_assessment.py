@@ -220,6 +220,28 @@ class TestIncrementalSourceModelEquivalence:
         _assert_bit_identical(model, corpus, deep=True)
         assert model.counters.get("context_patches") == 1
 
+    def test_scoped_diff_rescans_only_the_announced_burst(self, travel_domain):
+        corpus = _fresh_corpus()
+        model = SourceQualityModel(travel_domain)
+        model.rank(corpus)
+        # Announce a touch on one source while a second grows behind the
+        # helpers' back: the burst-scoped diff rescans the announced
+        # source only, so the rogue growth stays invisible...
+        touched = corpus.sources()[1]
+        post = next(iter(touched.posts()))
+        post.text = "travel flight resort scoped rescan"
+        corpus.touch(touched.source_id)
+        corpus.sources()[0].discussions[0].posts.append(
+            Post(post_id="rogue-scoped", author_id="u1", day=3.0, text="travel resort")
+        )
+        model.assessment_context(corpus)
+        assert model.counters.get("scoped_diffs") == 1
+        assert model.counters.get("sources_recrawled") == 1
+        # ...until deep=True forces the full scan, which converges with a
+        # from-scratch model over the rogue content too.
+        _assert_bit_identical(model, corpus, deep=True)
+        assert model.counters.get("sources_recrawled") == 2
+
     def test_ranking_is_patched_not_resorted_for_small_changes(self, travel_domain):
         # A fixed benchmark pins the normaliser, so growing one source
         # moves exactly one ranking entry — the bisect-patch case.

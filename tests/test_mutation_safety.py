@@ -272,6 +272,32 @@ class TestIncrementalIndexEquivalence:
         assert engine.refresh(deep=True) is True
         _assert_bit_identical(engine, corpus, QUERIES)
 
+    def test_scoped_refresh_rescans_only_the_announced_burst(self):
+        corpus = _fresh_corpus()
+        engine = SearchEngine(corpus, panel=AlexaLikeService())
+        engine.search(QUERIES[0], 10)
+        # Announce a touch on one source while another grows behind the
+        # helpers' back: the burst-scoped diff fingerprints the announced
+        # source only, so the rogue post stays unindexed...
+        touched = corpus.sources()[1]
+        touched.discussions[0].posts[0].text = "travel flight resort reworded"
+        corpus.touch(touched.source_id)
+        corpus.sources()[0].discussions[0].posts.append(
+            Post(
+                post_id="rogue-scoped",
+                author_id="u1",
+                day=3.0,
+                text="travel flight resort resort resort",
+            )
+        )
+        assert engine.refresh() is True
+        assert engine.counters.get("scoped_diffs") == 1
+        assert engine.counters.get("sources_reindexed") == 1
+        # ...until deep=True forces the full content scan, after which the
+        # index converges with a from-scratch build over the rogue post.
+        assert engine.refresh(deep=True) is True
+        _assert_bit_identical(engine, corpus, QUERIES)
+
     def test_refresh_return_value_and_noop_counter(self):
         corpus = _fresh_corpus()
         engine = SearchEngine(corpus, panel=AlexaLikeService())
