@@ -6,7 +6,7 @@ export PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH))
 
 BENCH_JSON := BENCH_perf.json
 
-.PHONY: test stress recovery-stress bench perf perf-smoke docs
+.PHONY: test stress recovery-stress bench perf perf-smoke docs lint
 
 ## tier-1 test suite (must stay green; see ROADMAP.md)
 test:
@@ -14,7 +14,7 @@ test:
 
 ## concurrency stress tests only (reader/mutator thread pools; also in `test`)
 stress:
-	$(PYTHON) -m pytest -m stress -v
+	REPRO_LOCK_ORDER_CHECK=1 $(PYTHON) -m pytest -m stress -v
 
 ## crash-recovery fault matrix + seeded randomized kill-point sweep
 recovery-stress:
@@ -44,9 +44,15 @@ perf-smoke:
 	$(PYTHON) benchmarks/bench_persistence.py --output $(BENCH_JSON) --sources 120 --discussion-budget 12 --events 4
 	$(PYTHON) scripts/check_bench_keys.py $(BENCH_JSON)
 
+## invariant lint suite: lock-order, float-exactness, durability and bus
+## hygiene checkers over src/ (see docs/INVARIANTS.md); fails on any
+## non-baselined finding or tracked bytecode
+lint:
+	$(PYTHON) scripts/run_lint.py
+
 ## documentation checks: README/docs link integrity + runnable examples
 docs:
-	$(PYTHON) scripts/check_docs.py README.md docs/ARCHITECTURE.md docs/PERFORMANCE.md docs/PERSISTENCE.md
+	$(PYTHON) scripts/check_docs.py README.md docs/ARCHITECTURE.md docs/PERFORMANCE.md docs/PERSISTENCE.md docs/INVARIANTS.md
 	$(PYTHON) examples/quickstart.py
 	$(PYTHON) examples/source_ranking.py
 	$(PYTHON) examples/checkpoint_recover.py

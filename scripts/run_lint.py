@@ -1,0 +1,91 @@
+#!/usr/bin/env python3
+"""Run the invariant lint suite (``make lint``).
+
+Exit status 0 when every finding is suppressed or baselined, 1 otherwise.
+
+    python scripts/run_lint.py                  # lint the repo
+    python scripts/run_lint.py --write-baseline # grandfather current findings
+
+Also fails on committed bytecode (``git ls-files '*.pyc'``): compiled
+artefacts in the tree shadow source edits and bloat diffs, and once
+slipped into a PR unnoticed (commit 7815632).
+"""
+
+from __future__ import annotations
+
+import argparse
+import subprocess
+import sys
+import time
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(REPO_ROOT / "src"))
+
+from repro.analysis.findings import Finding, write_baseline  # noqa: E402
+from repro.analysis.runner import run_all  # noqa: E402
+
+
+def tracked_bytecode(root: Path) -> list[Finding]:
+    """``repo-hygiene/tracked-bytecode`` findings for committed .pyc/.pyo."""
+    try:
+        output = subprocess.run(
+            ["git", "ls-files", "*.pyc", "*.pyo", "**/__pycache__/*"],
+            cwd=root,
+            capture_output=True,
+            text=True,
+            check=True,
+        ).stdout
+    except (OSError, subprocess.CalledProcessError):
+        return []  # not a git checkout (e.g. an exported tarball): skip
+    findings = []
+    for line in sorted(set(output.splitlines())):
+        if line:
+            findings.append(
+                Finding(
+                    checker="repo-hygiene",
+                    rule="tracked-bytecode",
+                    path=line,
+                    line=1,
+                    message="compiled bytecode is tracked by git — "
+                    "`git rm --cached` it; .gitignore covers __pycache__/",
+                )
+            )
+    return findings
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--root", type=Path, default=REPO_ROOT)
+    parser.add_argument(
+        "--baseline", type=Path, default=None, help="baseline file (default: <root>/lint_baseline.json)"
+    )
+    parser.add_argument(
+        "--write-baseline",
+        action="store_true",
+        help="grandfather every current finding and exit 0",
+    )
+    args = parser.parse_args(argv)
+    root = args.root.resolve()
+    baseline_path = args.baseline if args.baseline is not None else root / "lint_baseline.json"
+
+    started = time.monotonic()
+    report = run_all(root, baseline_path=baseline_path)
+    hygiene = tracked_bytecode(root)
+    elapsed = time.monotonic() - started
+
+    if args.write_baseline:
+        write_baseline(baseline_path, report.fresh + hygiene)
+        print(
+            f"wrote {len(report.fresh) + len(hygiene)} finding(s) to {baseline_path}"
+        )
+        return 0
+
+    for finding in hygiene:
+        print(finding.render())
+    print(report.render() + f" in {elapsed:.2f}s")
+    return 0 if report.ok and not hygiene else 1
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

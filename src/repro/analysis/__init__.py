@@ -1,0 +1,45 @@
+"""Machine-checked invariants of the serving/assessment/persistence stack.
+
+The stack's hardest-won guarantees exist as *contracts*, not as types the
+interpreter could enforce: the deadlock-free lock ordering of the
+concurrent serving core (PR 5), the IEEE-exact columnar kernels that keep
+incremental results bit-identical to rebuilds (PR 7), the
+write-tmp → fsync → rename durability discipline of the persistence
+layer (PR 6), and the rule that every bus subscription a consumer
+acquires is detached in its ``close()``.  A careless edit can silently
+violate any of them and every existing test would still pass — the
+violations only surface under concurrency, at recovery time, or as an
+ulp-level ranking divergence.
+
+This package makes those contracts statically checkable.  Four AST-based
+checkers run over the source tree (``scripts/run_lint.py`` / ``make
+lint``):
+
+* :mod:`repro.analysis.locks` — ``lock-discipline``: builds a
+  per-function lock-acquisition graph over the concurrent serving core
+  and flags lock-order violations, read→write upgrades, corpus mutation
+  under a consumer gate, and notification delivery inside the mutation
+  lock (the exact PR 5 deadlock class).
+* :mod:`repro.analysis.floats` — ``float-exactness``: restricts the
+  columnar kernel modules to a whitelist of IEEE-exact numpy operations
+  and rejects reductions/transcendentals that would break bit-identity.
+* :mod:`repro.analysis.durability` — ``durability-discipline``: flags
+  raw file writes that bypass :mod:`repro.persistence.format`'s atomic
+  helpers.
+* :mod:`repro.analysis.bus` — ``bus-hygiene``: every
+  ``BusSubscription`` stored by a consumer must be closed in its
+  ``close()``; subscriptions acquired and dropped on the floor are
+  leaks.
+
+Findings can be suppressed per line (``# lint: allow[rule-id]``) or
+grandfathered in the checked-in baseline (``lint_baseline.json``); see
+``docs/INVARIANTS.md`` for the catalogue of contracts, checker IDs and
+the suppression workflow.  The static pass is complemented by a cheap
+*runtime* lock-order validator in :mod:`repro.serving.rwlock`, enabled
+under ``make stress`` via ``REPRO_LOCK_ORDER_CHECK=1``.
+"""
+
+from repro.analysis.findings import Finding, load_baseline, write_baseline
+from repro.analysis.runner import run_all, CHECKERS
+
+__all__ = ["Finding", "load_baseline", "write_baseline", "run_all", "CHECKERS"]

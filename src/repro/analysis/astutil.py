@@ -1,0 +1,100 @@
+"""Shared AST plumbing for the invariant checkers.
+
+All four checkers operate on plain :mod:`ast` trees — no imports of the
+analysed code, no execution — so the lint pass can never be blocked by
+an import-time failure in the module it is diagnosing, and it runs in
+milliseconds per file.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Iterator, Optional
+
+__all__ = [
+    "ParsedModule",
+    "parse_module",
+    "iter_functions",
+    "dotted_name",
+    "receiver_of",
+    "call_name",
+]
+
+
+@dataclass
+class ParsedModule:
+    """One parsed source file plus the bookkeeping checkers need."""
+
+    path: Path
+    #: Path relative to the scanned root (what findings report).
+    relative: str
+    tree: ast.Module
+    source_lines: list[str]
+
+
+def parse_module(path: Path, root: Path) -> ParsedModule:
+    """Parse ``path`` into a :class:`ParsedModule` (syntax errors propagate)."""
+    text = path.read_text(encoding="utf-8")
+    try:
+        relative = str(path.relative_to(root))
+    except ValueError:
+        relative = str(path)
+    return ParsedModule(
+        path=path,
+        relative=relative,
+        tree=ast.parse(text, filename=str(path)),
+        source_lines=text.splitlines(),
+    )
+
+
+def iter_functions(
+    tree: ast.Module,
+) -> Iterator[tuple[Optional[str], ast.FunctionDef | ast.AsyncFunctionDef]]:
+    """Yield ``(class name or None, function node)`` for every def in the module.
+
+    Nested functions are *not* yielded separately — they belong to their
+    enclosing def, whose body visitors walk them in place (a nested
+    helper runs with the same held-lock context as its definition site
+    only when called there, which the visitors model conservatively by
+    analysing the whole subtree).
+    """
+    for node in tree.body:
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            yield None, node
+        elif isinstance(node, ast.ClassDef):
+            for child in node.body:
+                if isinstance(child, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                    yield node.name, child
+
+
+def dotted_name(node: ast.expr) -> str:
+    """Render ``a.b.c``-style expressions; calls render with ``()``.
+
+    Unrenderable parts (subscripts, literals) become ``?`` — good enough
+    for the attribute-pattern matching the checkers do.
+    """
+    if isinstance(node, ast.Name):
+        return node.id
+    if isinstance(node, ast.Attribute):
+        return f"{dotted_name(node.value)}.{node.attr}"
+    if isinstance(node, ast.Call):
+        return f"{dotted_name(node.func)}()"
+    return "?"
+
+
+def receiver_of(call: ast.Call) -> Optional[ast.expr]:
+    """The receiver expression of an attribute call (None for name calls)."""
+    if isinstance(call.func, ast.Attribute):
+        return call.func.value
+    return None
+
+
+def call_name(call: ast.Call) -> Optional[str]:
+    """The called method/function name (``foo`` for both ``foo()`` and ``x.foo()``)."""
+    if isinstance(call.func, ast.Attribute):
+        return call.func.attr
+    if isinstance(call.func, ast.Name):
+        return call.func.id
+    return None

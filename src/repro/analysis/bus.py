@@ -1,0 +1,156 @@
+"""``bus-hygiene``: every acquired ``BusSubscription`` has an owner.
+
+:class:`~repro.sources.diffing.InvalidationBus` holds its subscriptions
+**weakly** — the bus never keeps a consumer alive.  That design forces
+two disciplines on subscribers, each with a silent failure mode:
+
+* a subscription *stored* on a long-lived object must be detached in
+  that object's ``close()`` — otherwise the closed consumer keeps
+  receiving (and its hooks keep running) for as long as it is
+  reachable;
+* a subscription *not* stored anywhere is garbage-collected at once —
+  the subscriber silently stops receiving events while every
+  synchronous test still passes.
+
+Rules:
+
+* ``unclosed-subscription`` — ``self.attr = <...>.subscribe(...)`` in a
+  class whose ``close()`` (if any) never calls ``self.attr.close()``;
+* ``leaked-subscription``   — a local assigned from ``.subscribe(...)``
+  and then never used at all (not closed, stored, returned or passed
+  on).
+"""
+
+from __future__ import annotations
+
+import ast
+from pathlib import Path
+from typing import Optional, Sequence
+
+from repro.analysis.astutil import dotted_name, parse_module
+from repro.analysis.findings import Finding
+
+__all__ = ["CHECKER", "check"]
+
+CHECKER = "bus-hygiene"
+
+
+def _is_subscribe_call(node: ast.expr) -> bool:
+    return (
+        isinstance(node, ast.Call)
+        and isinstance(node.func, ast.Attribute)
+        and node.func.attr == "subscribe"
+    )
+
+
+def _closes_attr(cls: ast.ClassDef, attr: str) -> bool:
+    """True when some ``close()`` method calls ``self.<attr>.close()``."""
+    for method in cls.body:
+        if not isinstance(method, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            continue
+        if method.name != "close":
+            continue
+        for node in ast.walk(method):
+            if (
+                isinstance(node, ast.Call)
+                and isinstance(node.func, ast.Attribute)
+                and node.func.attr == "close"
+                and dotted_name(node.func.value) == f"self.{attr}"
+            ):
+                return True
+    return False
+
+
+def _check_class(cls: ast.ClassDef, relative: str) -> list[Finding]:
+    findings: list[Finding] = []
+    for method in cls.body:
+        if not isinstance(method, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            continue
+        for node in ast.walk(method):
+            if not isinstance(node, ast.Assign) or not _is_subscribe_call(node.value):
+                continue
+            for target in node.targets:
+                if (
+                    isinstance(target, ast.Attribute)
+                    and isinstance(target.value, ast.Name)
+                    and target.value.id == "self"
+                ):
+                    if not _closes_attr(cls, target.attr):
+                        findings.append(
+                            Finding(
+                                CHECKER,
+                                "unclosed-subscription",
+                                relative,
+                                node.lineno,
+                                f"self.{target.attr} holds a bus subscription "
+                                f"but {cls.name} has no close() detaching it "
+                                "— the consumer keeps receiving after its "
+                                "lifetime ends",
+                                symbol=f"{cls.name}.{method.name}",
+                            )
+                        )
+    return findings
+
+
+def _check_function_locals(
+    func: ast.FunctionDef | ast.AsyncFunctionDef, owner: str, relative: str
+) -> list[Finding]:
+    """Locals assigned from ``.subscribe(...)`` and then never mentioned."""
+    assigned: dict[str, int] = {}
+    for node in ast.walk(func):
+        if isinstance(node, ast.Assign) and _is_subscribe_call(node.value):
+            for target in node.targets:
+                if isinstance(target, ast.Name):
+                    assigned[target.id] = node.lineno
+    if not assigned:
+        return []
+    used: set[str] = set()
+    for node in ast.walk(func):
+        if isinstance(node, ast.Name) and isinstance(node.ctx, ast.Load):
+            if node.id in assigned:
+                used.add(node.id)
+    findings: list[Finding] = []
+    for name, line in sorted(assigned.items(), key=lambda item: item[1]):
+        if name in used:
+            continue
+        findings.append(
+            Finding(
+                CHECKER,
+                "leaked-subscription",
+                relative,
+                line,
+                f"local {name!r} holds the only (strong) reference to a bus "
+                "subscription and is never used — the bus holds it weakly, "
+                "so it is collected and silently stops receiving",
+                symbol=f"{owner}.{func.name}" if owner else func.name,
+            )
+        )
+    return findings
+
+
+def check(root: Path, files: Optional[Sequence[str]] = None) -> list[Finding]:
+    """Run bus-hygiene over every package module under ``root``."""
+    if files is None:
+        package = root / "src" / "repro"
+        selected = sorted(
+            str(path.relative_to(root)) for path in package.rglob("*.py")
+        )
+    else:
+        selected = list(files)
+    findings: list[Finding] = []
+    for relative in selected:
+        path = root / relative
+        if not path.exists():
+            continue
+        module = parse_module(path, root)
+        for node in module.tree.body:
+            if isinstance(node, ast.ClassDef):
+                findings.extend(_check_class(node, module.relative))
+                for method in node.body:
+                    if isinstance(method, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                        findings.extend(
+                            _check_function_locals(method, node.name, module.relative)
+                        )
+            elif isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                findings.extend(_check_function_locals(node, "", module.relative))
+    return sorted(findings, key=lambda f: (f.path, f.line, f.rule, f.message))

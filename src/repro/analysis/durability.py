@@ -1,0 +1,167 @@
+"""``durability-discipline``: all persistence goes through ``format.py``.
+
+PR 6's crash-recovery guarantees rest on one discipline: every durable
+artefact is produced by :func:`repro.persistence.format.atomic_write_bytes`
+/ ``atomic_write_json`` — write to a temp file, ``fsync``, atomically
+rename into place — and every rename is the *commit point* of such a
+write.  A raw ``open(path, "w")`` (or ``Path.write_text``, ``json.dump``
+to a file handle, a bare ``os.rename``) can leave a torn file after a
+crash and silently invalidates the recovery tests.
+
+Rules, enforced everywhere in the package except the two modules that
+*implement* the discipline (``persistence/format.py``,
+``persistence/journal.py``):
+
+* ``raw-write``  — ``open()`` with a writable mode, ``Path.write_text``
+  / ``write_bytes``, ``json.dump`` / ``pickle.dump`` to a stream;
+* ``raw-rename`` — ``os.rename`` / ``os.replace`` / ``shutil.move``
+  (a rename outside the atomic helpers is a commit point without a
+  durable payload).
+
+Read-side IO (``open(path)``, ``read_text``, ``json.load``) is
+unrestricted.
+"""
+
+from __future__ import annotations
+
+import ast
+from pathlib import Path
+from typing import Optional, Sequence
+
+from repro.analysis.astutil import dotted_name, iter_functions, parse_module
+from repro.analysis.findings import Finding
+
+__all__ = ["CHECKER", "ALLOWED_FILES", "check"]
+
+CHECKER = "durability-discipline"
+
+#: The modules that implement the atomic-write discipline — including the
+#: fault-injectable IO channel the recovery tests drive it through.
+ALLOWED_FILES = frozenset(
+    {
+        "src/repro/persistence/format.py",
+        "src/repro/persistence/journal.py",
+        "src/repro/persistence/faults.py",
+    }
+)
+
+_WRITE_ATTRS = frozenset({"write_text", "write_bytes"})
+_DUMP_CALLS = frozenset({"json.dump", "pickle.dump", "marshal.dump"})
+_RENAME_CALLS = frozenset({"os.rename", "os.replace", "shutil.move"})
+
+
+def _write_mode(call: ast.Call) -> Optional[str]:
+    """The mode string when this ``open``/``.open`` call can write."""
+    mode: Optional[ast.expr] = None
+    if len(call.args) >= 2:
+        mode = call.args[1]
+    for keyword in call.keywords:
+        if keyword.arg == "mode":
+            mode = keyword.value
+    if mode is None:
+        return None
+    if isinstance(mode, ast.Constant) and isinstance(mode.value, str):
+        if any(flag in mode.value for flag in ("w", "a", "x", "+")):
+            return mode.value
+        return None
+    return "<dynamic>"  # non-literal mode: conservatively a write
+
+
+def _symbols(tree: ast.Module) -> list[tuple[str, int, int]]:
+    table = []
+    for cls, func in iter_functions(tree):
+        name = f"{cls}.{func.name}" if cls else func.name
+        end = getattr(func, "end_lineno", func.lineno) or func.lineno
+        table.append((name, func.lineno, end))
+    return table
+
+
+def _symbol_at(table: Sequence[tuple[str, int, int]], line: int) -> str:
+    for name, start, end in table:
+        if start <= line <= end:
+            return name
+    return ""
+
+
+def check(root: Path, files: Optional[Sequence[str]] = None) -> list[Finding]:
+    """Run durability-discipline over every package module under ``root``."""
+    if files is None:
+        package = root / "src" / "repro"
+        selected = sorted(
+            str(path.relative_to(root)) for path in package.rglob("*.py")
+        )
+    else:
+        selected = list(files)
+    findings: list[Finding] = []
+    for relative in selected:
+        if relative.replace("\\", "/") in ALLOWED_FILES:
+            continue
+        path = root / relative
+        if not path.exists():
+            continue
+        module = parse_module(path, root)
+        table = _symbols(module.tree)
+        for node in ast.walk(module.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            symbol = _symbol_at(table, node.lineno)
+            name = dotted_name(node.func)
+            if name == "open" or name.endswith(".open"):
+                mode = _write_mode(node)
+                if mode is not None:
+                    findings.append(
+                        Finding(
+                            CHECKER,
+                            "raw-write",
+                            module.relative,
+                            node.lineno,
+                            f"open(..., {mode!r}) bypasses the atomic "
+                            "write-tmp→fsync→rename helpers — use "
+                            "repro.persistence.format.atomic_write_bytes/"
+                            "atomic_write_json",
+                            symbol=symbol,
+                        )
+                    )
+            elif isinstance(node.func, ast.Attribute) and (
+                node.func.attr in _WRITE_ATTRS
+            ):
+                findings.append(
+                    Finding(
+                        CHECKER,
+                        "raw-write",
+                        module.relative,
+                        node.lineno,
+                        f".{node.func.attr}() writes without tmp/fsync/rename "
+                        "— a crash can leave a torn file; use "
+                        "repro.persistence.format.atomic_write_bytes/"
+                        "atomic_write_json",
+                        symbol=symbol,
+                    )
+                )
+            elif name in _DUMP_CALLS:
+                findings.append(
+                    Finding(
+                        CHECKER,
+                        "raw-write",
+                        module.relative,
+                        node.lineno,
+                        f"{name}() serialises straight to a stream — build "
+                        "the payload in memory and persist it via "
+                        "repro.persistence.format.atomic_write_json",
+                        symbol=symbol,
+                    )
+                )
+            elif name in _RENAME_CALLS:
+                findings.append(
+                    Finding(
+                        CHECKER,
+                        "raw-rename",
+                        module.relative,
+                        node.lineno,
+                        f"{name}() is a commit point outside the atomic "
+                        "helpers — the payload may not be durable at rename "
+                        "time",
+                        symbol=symbol,
+                    )
+                )
+    return sorted(findings, key=lambda f: (f.path, f.line, f.rule, f.message))

@@ -1,0 +1,166 @@
+"""Finding records, per-line suppressions and the grandfather baseline.
+
+Every checker reports :class:`Finding` objects; the runner then drops
+
+* findings whose source line carries a matching suppression comment —
+  ``# lint: allow[rule-id]`` (or the checker id, which allows every rule
+  of that checker on the line), and
+* findings listed in the checked-in baseline file, which exists so a
+  checker can be introduced (or tightened) without blocking CI on
+  pre-existing violations.  Baseline entries are keyed on the finding's
+  *fingerprint* — checker, rule, path and symbol, deliberately **not**
+  the line number — so unrelated edits that shift lines do not churn the
+  baseline, while a second violation of the same rule in the same
+  function is still a fresh finding (fingerprints carry an occurrence
+  index).
+
+The baseline is plain JSON, regenerated with
+``scripts/run_lint.py --write-baseline`` and reviewed like any other
+diff; an empty baseline (the current state) asserts the tree is
+violation-free.
+"""
+
+from __future__ import annotations
+
+import json
+import re
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Iterable, Optional
+
+__all__ = [
+    "Finding",
+    "suppressed",
+    "apply_suppressions",
+    "apply_baseline",
+    "baseline_keys",
+    "load_baseline",
+    "write_baseline",
+]
+
+#: ``# lint: allow[rule-a, rule-b]`` — the one suppression syntax.
+_SUPPRESSION = re.compile(r"#\s*lint:\s*allow\[([a-z0-9_.,\s-]+)\]")
+
+
+@dataclass(frozen=True)
+class Finding:
+    """One invariant violation located in the source tree."""
+
+    #: Checker id: ``lock-discipline`` / ``float-exactness`` /
+    #: ``durability-discipline`` / ``bus-hygiene`` / ``repo-hygiene``.
+    checker: str
+    #: Rule id within the checker (e.g. ``lock-order``, ``raw-write``).
+    rule: str
+    #: Path of the offending file, relative to the scanned root.
+    path: str
+    #: 1-based line of the offending construct.
+    line: int
+    #: Human-readable diagnosis.
+    message: str
+    #: Enclosing ``Class.method`` (or module-level symbol) when known.
+    symbol: str = ""
+
+    def fingerprint(self) -> tuple[str, str, str, str]:
+        """Baseline identity: stable across line-number drift."""
+        return (self.checker, self.rule, self.path, self.symbol)
+
+    def render(self) -> str:
+        location = f"{self.path}:{self.line}"
+        symbol = f" [{self.symbol}]" if self.symbol else ""
+        return f"{location}: {self.checker}/{self.rule}{symbol}: {self.message}"
+
+
+def suppressed(finding: Finding, source_line: str) -> bool:
+    """True when ``source_line`` carries an allow-comment for the finding."""
+    match = _SUPPRESSION.search(source_line)
+    if match is None:
+        return False
+    allowed = {token.strip() for token in match.group(1).split(",")}
+    return finding.rule in allowed or finding.checker in allowed
+
+
+def apply_suppressions(
+    findings: Iterable[Finding], root: Path
+) -> tuple[list[Finding], int]:
+    """Drop findings whose flagged line carries a matching allow-comment.
+
+    Returns ``(kept findings, suppression count)``.  Line lookups are
+    cached per file; a finding pointing past the end of its file (should
+    not happen) is conservatively kept.
+    """
+    kept: list[Finding] = []
+    count = 0
+    lines_cache: dict[str, list[str]] = {}
+    for finding in findings:
+        lines = lines_cache.get(finding.path)
+        if lines is None:
+            try:
+                lines = (root / finding.path).read_text(encoding="utf-8").splitlines()
+            except OSError:
+                lines = []
+            lines_cache[finding.path] = lines
+        if 0 < finding.line <= len(lines) and suppressed(
+            finding, lines[finding.line - 1]
+        ):
+            count += 1
+            continue
+        kept.append(finding)
+    return kept, count
+
+
+def baseline_keys(findings: Iterable[Finding]) -> list[list[str]]:
+    """Occurrence-indexed fingerprints, the baseline file's payload shape.
+
+    A fingerprint appearing N times yields keys ``fp#0 … fp#N-1``, so a
+    baseline grandfathering one violation in a function does not also
+    absorb a *second* violation introduced later at the same spot.
+    """
+    seen: dict[tuple[str, str, str, str], int] = {}
+    keys: list[list[str]] = []
+    for finding in findings:
+        fingerprint = finding.fingerprint()
+        index = seen.get(fingerprint, 0)
+        seen[fingerprint] = index + 1
+        keys.append([*fingerprint, str(index)])
+    return keys
+
+
+def apply_baseline(
+    findings: list[Finding], baseline: set[tuple[str, ...]]
+) -> tuple[list[Finding], int]:
+    """Drop findings covered by the baseline; return ``(fresh, grandfathered)``."""
+    fresh: list[Finding] = []
+    grandfathered = 0
+    seen: dict[tuple[str, str, str, str], int] = {}
+    for finding in findings:
+        fingerprint = finding.fingerprint()
+        index = seen.get(fingerprint, 0)
+        seen[fingerprint] = index + 1
+        if (*fingerprint, str(index)) in baseline:
+            grandfathered += 1
+        else:
+            fresh.append(finding)
+    return fresh, grandfathered
+
+
+def load_baseline(path: Path) -> set[tuple[str, ...]]:
+    """Read the baseline file; a missing file is an empty baseline."""
+    if not path.exists():
+        return set()
+    payload = json.loads(path.read_text(encoding="utf-8"))
+    return {tuple(entry) for entry in payload.get("findings", [])}
+
+
+def write_baseline(path: Path, findings: Iterable[Finding]) -> None:
+    """Serialise ``findings`` as the new grandfather baseline."""
+    payload = {
+        "comment": (
+            "Grandfathered lint findings; regenerate with "
+            "`python scripts/run_lint.py --write-baseline`. "
+            "An empty list asserts the tree is violation-free."
+        ),
+        "findings": sorted(baseline_keys(findings)),
+    }
+    # A dev-tool artefact, not a crash-durable persistence path: regenerated
+    # at will, reviewed as a diff, never read during recovery.
+    path.write_text(json.dumps(payload, indent=2) + "\n", encoding="utf-8")  # lint: allow[raw-write]

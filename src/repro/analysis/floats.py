@@ -1,0 +1,211 @@
+"""``float-exactness``: keep the columnar kernels IEEE-exact.
+
+The PR 7 columnar core guarantees that incremental assessment is
+**bit-identical** to a cold rebuild.  That only holds because the kernel
+modules restrict themselves to numpy operations that are exact per
+element (IEEE 754 requires correctly-rounded ``+ - * /`` and comparisons)
+and keep every accumulation *sequential* in a fixed order.  Reductions
+(``np.sum`` pairwise-reduces, ``np.dot`` may use SIMD/BLAS reassociation)
+and vectorized transcendentals (``np.exp``/``np.log`` make no
+cross-platform ulp guarantee; the kernels use scalar ``math.*`` per
+value instead) silently break the contract while every value-based test
+keeps passing.
+
+This checker enforces, in the kernel modules only:
+
+* ``banned-op``        — a numpy operation known to reassociate or to be
+  implementation-defined (reductions, dot products, transcendentals),
+  flagged even as a bare reference (it is probably about to be called or
+  passed as a kernel);
+* ``unknown-op``       — any ``np.*`` call outside the explicit
+  whitelist: the whitelist is the contract, so new ops are reviewed by
+  being added there (or per-line ``# lint: allow[unknown-op]``);
+* ``reduction-method`` — ``.sum()``/``.mean()``/``.dot()``-style ndarray
+  method calls (same reassociation problem in method form);
+* ``matmul``           — the ``@`` operator.
+
+Python's builtin ``sum``/``math.*`` remain allowed: they are the
+sequential scalar path the contract prescribes.
+"""
+
+from __future__ import annotations
+
+import ast
+from pathlib import Path
+from typing import Optional, Sequence
+
+from repro.analysis.astutil import iter_functions, parse_module
+from repro.analysis.findings import Finding
+
+__all__ = ["CHECKER", "KERNEL_FILES", "WHITELIST", "BANNED", "check"]
+
+CHECKER = "float-exactness"
+
+#: Modules under the bit-identity contract.
+KERNEL_FILES: tuple[str, ...] = (
+    "src/repro/core/columnar.py",
+    "src/repro/core/normalization.py",
+    "src/repro/core/scoring.py",
+    "src/repro/core/source_quality.py",
+    "src/repro/core/contributor_quality.py",
+)
+
+#: IEEE-exact (or value-preserving) numpy ops the kernels may call.
+WHITELIST = frozenset(
+    {
+        "asarray", "array", "zeros", "zeros_like", "ones", "full", "empty",
+        "empty_like", "arange",
+        "where", "nonzero", "flatnonzero", "count_nonzero",
+        "isfinite", "isnan", "isinf",
+        "minimum", "maximum", "clip", "abs", "absolute", "negative", "sign",
+        "add", "subtract", "multiply", "divide", "true_divide", "floor_divide",
+        "remainder", "mod",
+        "equal", "not_equal", "less", "less_equal", "greater", "greater_equal",
+        "logical_and", "logical_or", "logical_not",
+        "sort", "argsort", "lexsort", "searchsorted", "argmin", "argmax",
+        "take", "delete", "insert", "concatenate", "stack", "copyto", "copy",
+        "frombuffer", "ascontiguousarray", "asfortranarray", "reshape",
+        "broadcast_to", "repeat", "tile", "unique",
+        "floor", "ceil", "trunc", "rint",
+        "array_equal", "may_share_memory", "shares_memory", "seterr",
+    }
+)
+
+#: Types / namespaces / non-computational attributes — never flagged.
+NEUTRAL = frozenset(
+    {
+        "ndarray", "float64", "float32", "int64", "int32", "intp", "bool_",
+        "uint8", "int8", "dtype", "newaxis", "nan", "inf", "errstate",
+        "testing", "lib", "core", "typing", "e", "pi",
+    }
+)
+
+#: Ops that break bit-identity: reductions, dot products, vectorized
+#: transcendentals.  Flagged even as bare attribute references.
+BANNED = frozenset(
+    {
+        "sum", "mean", "dot", "matmul", "einsum", "prod", "nansum", "nanmean",
+        "nanstd", "nanvar", "average", "std", "var", "cumsum", "cumprod",
+        "trace", "tensordot", "inner", "outer", "vdot", "kron",
+        "exp", "exp2", "expm1", "log", "log1p", "log2", "log10", "sqrt",
+        "cbrt", "power", "float_power", "square",
+        "sin", "cos", "tan", "sinh", "cosh", "tanh",
+        "arcsin", "arccos", "arctan", "arctan2", "arcsinh", "arccosh",
+        "arctanh", "hypot", "reciprocal", "deg2rad", "rad2deg",
+        "median", "percentile", "quantile", "nanpercentile", "nanquantile",
+        "gradient", "convolve", "correlate", "interp", "trapz", "diff", "ptp",
+        "linalg", "fft", "random",
+    }
+)
+
+#: ndarray *methods* with the same reassociation problem.
+_BANNED_METHODS = frozenset(
+    {"sum", "mean", "dot", "std", "var", "prod", "cumsum", "cumprod",
+     "matmul", "trace", "ptp", "round"}
+)
+
+
+def _numpy_aliases(tree: ast.Module) -> set[str]:
+    """Names the module binds to the numpy package (``np`` by idiom)."""
+    aliases: set[str] = set()
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Import):
+            for item in node.names:
+                if item.name == "numpy" or item.name.startswith("numpy."):
+                    aliases.add(item.asname or item.name.split(".")[0])
+    return aliases
+
+
+def _enclosing_symbols(tree: ast.Module) -> list[tuple[str, int, int]]:
+    symbols = []
+    for cls, func in iter_functions(tree):
+        name = f"{cls}.{func.name}" if cls else func.name
+        end = getattr(func, "end_lineno", func.lineno) or func.lineno
+        symbols.append((name, func.lineno, end))
+    return symbols
+
+
+def _symbol_at(symbols: Sequence[tuple[str, int, int]], line: int) -> str:
+    for name, start, end in symbols:
+        if start <= line <= end:
+            return name
+    return ""
+
+
+def check(root: Path, files: Optional[Sequence[str]] = None) -> list[Finding]:
+    """Run float-exactness over the kernel modules under ``root``."""
+    selected = KERNEL_FILES if files is None else tuple(files)
+    findings: list[Finding] = []
+    for relative in selected:
+        path = root / relative
+        if not path.exists():
+            continue
+        module = parse_module(path, root)
+        aliases = _numpy_aliases(module.tree)
+        symbols = _enclosing_symbols(module.tree)
+        for node in ast.walk(module.tree):
+            if isinstance(node, ast.Attribute) and isinstance(node.value, ast.Name):
+                if node.value.id not in aliases:
+                    continue
+                op = node.attr
+                symbol = _symbol_at(symbols, node.lineno)
+                if op in BANNED:
+                    findings.append(
+                        Finding(
+                            CHECKER,
+                            "banned-op",
+                            module.relative,
+                            node.lineno,
+                            f"{node.value.id}.{op} breaks the bit-identity "
+                            "contract (reduction/transcendental order is "
+                            "implementation-defined) — use the sequential "
+                            "scalar path instead",
+                            symbol=symbol,
+                        )
+                    )
+                elif op not in WHITELIST and op not in NEUTRAL:
+                    findings.append(
+                        Finding(
+                            CHECKER,
+                            "unknown-op",
+                            module.relative,
+                            node.lineno,
+                            f"{node.value.id}.{op} is not on the IEEE-exact "
+                            "whitelist — review it for reassociation and add "
+                            "it to repro.analysis.floats.WHITELIST if exact",
+                            symbol=symbol,
+                        )
+                    )
+            elif isinstance(node, ast.Call) and isinstance(node.func, ast.Attribute):
+                # Method form: arr.sum() — skip np.<banned>() itself, the
+                # attribute branch above already flagged it.
+                if isinstance(node.func.value, ast.Name) and (
+                    node.func.value.id in aliases
+                ):
+                    continue
+                if node.func.attr in _BANNED_METHODS:
+                    findings.append(
+                        Finding(
+                            CHECKER,
+                            "reduction-method",
+                            module.relative,
+                            node.lineno,
+                            f".{node.func.attr}() reduces in an "
+                            "implementation-defined order — accumulate "
+                            "sequentially instead",
+                            symbol=_symbol_at(symbols, node.lineno),
+                        )
+                    )
+            elif isinstance(node, ast.BinOp) and isinstance(node.op, ast.MatMult):
+                findings.append(
+                    Finding(
+                        CHECKER,
+                        "matmul",
+                        module.relative,
+                        node.lineno,
+                        "the @ operator dispatches to BLAS-ordered dot "
+                        "products — not bit-stable across platforms",
+                        symbol=_symbol_at(symbols, node.lineno),
+                    )
+                )
+    return sorted(findings, key=lambda f: (f.path, f.line, f.rule, f.message))

@@ -1,0 +1,89 @@
+"""Drive all invariant checkers and fold in suppressions + baseline.
+
+:func:`run_all` is the programmatic entry point (``scripts/run_lint.py``
+is the CLI, ``make lint`` the canonical invocation).  It runs every
+checker in :data:`CHECKERS` over a repo root, drops per-line
+``# lint: allow[...]`` suppressions, splits what remains against the
+grandfather baseline, and returns a :class:`LintReport`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Callable, Optional, Sequence
+
+from repro.analysis import bus, durability, floats, locks
+from repro.analysis.findings import (
+    Finding,
+    apply_baseline,
+    apply_suppressions,
+    load_baseline,
+)
+
+__all__ = ["CHECKERS", "LintReport", "run_all"]
+
+#: (checker id, check function) — the four invariant checkers.
+CHECKERS: tuple[tuple[str, Callable[[Path], list[Finding]]], ...] = (
+    (locks.CHECKER, locks.check),
+    (floats.CHECKER, floats.check),
+    (durability.CHECKER, durability.check),
+    (bus.CHECKER, bus.check),
+)
+
+
+@dataclass
+class LintReport:
+    """Outcome of one lint run."""
+
+    #: Findings that fail the run (not suppressed, not baselined).
+    fresh: list[Finding] = field(default_factory=list)
+    #: Count of findings absorbed by the checked-in baseline.
+    grandfathered: int = 0
+    #: Count of findings dropped by per-line allow-comments.
+    suppressed: int = 0
+    #: Checker ids that ran.
+    checkers: tuple[str, ...] = ()
+
+    @property
+    def ok(self) -> bool:
+        return not self.fresh
+
+    def render(self) -> str:
+        lines = [finding.render() for finding in self.fresh]
+        summary = (
+            f"{len(self.fresh)} finding(s), {self.grandfathered} baselined, "
+            f"{self.suppressed} suppressed "
+            f"({', '.join(self.checkers)})"
+        )
+        lines.append(("FAIL: " if self.fresh else "OK: ") + summary)
+        return "\n".join(lines)
+
+
+def run_all(
+    root: Path | str,
+    baseline_path: Optional[Path] = None,
+    checkers: Optional[Sequence[tuple[str, Callable[[Path], list[Finding]]]]] = None,
+) -> LintReport:
+    """Run the checkers over ``root`` and reconcile with the baseline.
+
+    ``baseline_path`` defaults to ``<root>/lint_baseline.json``; a missing
+    file is an empty baseline (every finding is fresh).
+    """
+    root = Path(root)
+    selected = tuple(checkers) if checkers is not None else CHECKERS
+    findings: list[Finding] = []
+    for _, checker in selected:
+        findings.extend(checker(root))
+    findings.sort(key=lambda f: (f.path, f.line, f.checker, f.rule, f.message))
+    kept, suppressed = apply_suppressions(findings, root)
+    baseline = load_baseline(
+        baseline_path if baseline_path is not None else root / "lint_baseline.json"
+    )
+    fresh, grandfathered = apply_baseline(kept, baseline)
+    return LintReport(
+        fresh=fresh,
+        grandfathered=grandfathered,
+        suppressed=suppressed,
+        checkers=tuple(name for name, _ in selected),
+    )

@@ -79,7 +79,7 @@ from repro.core.scoring import (
 from repro.errors import AssessmentError
 from repro.perf.cache import LRUCache, compose_source_fingerprint, source_fingerprint
 from repro.perf.counters import PerfCounters
-from repro.serving.rwlock import ReadWriteLock
+from repro.serving.rwlock import ReadWriteLock, ordered
 from repro.sources.crawler import CommunityWalkCache, ContributorSnapshot, Crawler
 from repro.sources.diffing import SourceChangeTracker
 from repro.sources.models import Source
@@ -209,7 +209,7 @@ class ContributorQualityModel:
 
     def invalidate(self) -> None:
         """Drop every cached assessment (see the module docstring for when)."""
-        with self._refresh_mutex:
+        with ordered(self._refresh_mutex, "consumer.gate"):
             self._contexts.invalidate()
             self._incremental.clear()
 
@@ -319,7 +319,7 @@ class ContributorQualityModel:
             fingerprint = compose_source_fingerprint(source, post_total)
         else:  # pre-hint snapshot formats: fall back to the O(content) scan
             fingerprint = source_fingerprint(source)
-        with self._refresh_mutex:
+        with ordered(self._refresh_mutex, "consumer.gate"):
             self._contexts.put((fingerprint, user_ids), (source, context))
 
     # -- batched assessment pass --------------------------------------------------------
@@ -590,7 +590,7 @@ class ContributorQualityModel:
             with self._rwlock.read_lock():
                 return entry.context
 
-        with self._refresh_mutex:
+        with ordered(self._refresh_mutex, "consumer.gate"):
             entry = self._resolve_entry(entry_key, source, prune=True)
             if entry is not None and not deep and not entry.tracker.dirty:
                 # Another thread patched while this one waited for the gate.

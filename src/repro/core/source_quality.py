@@ -94,7 +94,7 @@ from repro.core.source_measures import (
 from repro.errors import AssessmentError
 from repro.perf.cache import LRUCache, compose_source_fingerprint, source_fingerprint
 from repro.perf.counters import PerfCounters
-from repro.serving.rwlock import ReadWriteLock
+from repro.serving.rwlock import ReadWriteLock, ordered
 from repro.sources.corpus import SourceCorpus
 from repro.sources.crawler import Crawler, CrawlSnapshot
 from repro.sources.diffing import (
@@ -347,10 +347,21 @@ class SourceQualityModel:
         corpus re-assesses.  Also releases the source objects anchored by
         the cached contexts.
         """
-        with self._refresh_mutex:
+        with ordered(self._refresh_mutex, "consumer.gate"):
             self._contexts.invalidate()
             self._measure_cache.invalidate()
-            self._incremental.clear()
+            for key in list(self._incremental):
+                self._discard_entry(key)
+
+    def close(self) -> None:
+        """Detach every incremental entry's bus subscription (idempotent).
+
+        The cached contexts stay readable; the model just stops tracking
+        corpus changes, exactly like a consumer queue after ``close()``.
+        """
+        with ordered(self._refresh_mutex, "consumer.gate"):
+            for key in list(self._incremental):
+                self._discard_entry(key)
 
     # -- raw measures ------------------------------------------------------------------
 
@@ -762,13 +773,13 @@ class SourceQualityModel:
             return None
         if entry.corpus_ref() is not corpus:
             if prune:
-                del self._incremental[key]  # id(corpus) was reused by a new object
+                self._discard_entry(key)  # id(corpus) was reused by a new object
             return None
         if benchmark_corpus is not None and (
             entry.benchmark_ref is None or entry.benchmark_ref() is not benchmark_corpus
         ):
             if prune:
-                del self._incremental[key]
+                self._discard_entry(key)
             return None
         return entry
 
@@ -780,6 +791,20 @@ class SourceQualityModel:
             and (entry.benchmark_tracker is None or not entry.benchmark_tracker.dirty)
         )
 
+    def _discard_entry(self, key: tuple[int, Optional[int]]) -> None:
+        """Drop one incremental entry, detaching its bus subscriptions.
+
+        The trackers' subscriptions are only weakly held by the bus, but
+        closing them here makes the detach deterministic: a pruned entry
+        stops paying per-mutation intake bookkeeping immediately.
+        """
+        entry = self._incremental.pop(key, None)
+        if entry is None:
+            return
+        entry.tracker.close()
+        if entry.benchmark_tracker is not None:
+            entry.benchmark_tracker.close()
+
     def _prune_incremental(self) -> None:
         """Drop entries whose corpus died; bound the table to a small multiple."""
         dead = [
@@ -788,9 +813,9 @@ class SourceQualityModel:
             if entry.corpus_ref() is None
         ]
         for key in dead:
-            del self._incremental[key]
+            self._discard_entry(key)
         while len(self._incremental) > 2 * self.CONTEXT_CACHE_SIZE:
-            self._incremental.pop(next(iter(self._incremental)))
+            self._discard_entry(next(iter(self._incremental)))
 
     def assessment_context(
         self,
@@ -839,7 +864,7 @@ class SourceQualityModel:
             with self._rwlock.read_lock():
                 return entry.context
 
-        with self._refresh_mutex:
+        with ordered(self._refresh_mutex, "consumer.gate"):
             entry = self._resolve_entry(entry_key, corpus, benchmark_corpus)
             if entry is not None and self._entry_clean(entry, deep):
                 # Another thread patched while this one waited for the gate.
@@ -1133,7 +1158,7 @@ class SourceQualityModel:
             source_fingerprints={entry[0]: entry for entry in fingerprint},
             max_open_discussions=max_open_discussions,
         )
-        with self._refresh_mutex:
+        with ordered(self._refresh_mutex, "consumer.gate"):
             self._contexts.put((fingerprint, None), context)
             # Seed the raw-measure cache too, so raw_measures() and
             # benchmark-fitted contexts stay crawl-free after recovery.

@@ -65,6 +65,7 @@ from repro.persistence.snapshot import (
     try_read_snapshot,
     write_snapshot,
 )
+from repro.serving.rwlock import ordered
 from repro.sources.corpus import SourceCorpus
 from repro.sources.diffing import DurableJournalSubscriber
 from repro.sources.models import Source
@@ -295,7 +296,7 @@ class CorpusStore:
         them; passing none still yields a fully recoverable corpus (the
         consumers just cold-build).
         """
-        with self._lock:
+        with ordered(self._lock, "store.lock"):
             if self.attached:
                 raise PersistenceError(
                     "store is already attached to a corpus", path=self.directory
@@ -321,7 +322,7 @@ class CorpusStore:
         a crash between the last two leaves only already-snapshotted
         records in the journal, which replay skips.
         """
-        with self._lock:
+        with ordered(self._lock, "store.lock"):
             corpus = self._corpus
             subscriber = self._subscriber
             if corpus is None or subscriber is None or self._journal is None:
@@ -386,7 +387,7 @@ class CorpusStore:
         Does *not* checkpoint: the journal already holds everything since
         the last one, which is exactly what recovery replays.
         """
-        with self._lock:
+        with ordered(self._lock, "store.lock"):
             if self._subscriber is not None:
                 self._subscriber.close()
                 self._subscriber = None

@@ -80,7 +80,7 @@ from repro.core.columnar import SortedRankKeys
 from repro.errors import SearchError, UnsearchableQueryError
 from repro.perf.cache import LRUCache, compose_source_fingerprint, source_fingerprint
 from repro.perf.counters import PerfCounters
-from repro.serving.rwlock import ReadWriteLock
+from repro.serving.rwlock import ReadWriteLock, ordered
 from repro.sources.corpus import SourceCorpus
 from repro.sources.diffing import (
     PendingInvalidation,
@@ -347,6 +347,17 @@ class SearchEngine:
     def refresh_mutex(self) -> threading.RLock:
         """The gate serialising snapshot builds (shared with the scheduler)."""
         return self._refresh_mutex
+
+    def close(self) -> None:
+        """Detach the engine's staleness subscription from the bus (idempotent).
+
+        The bus only holds the subscription weakly, so a dropped engine is
+        collected eventually — ``close()`` makes the detach deterministic:
+        after it, no mutation is coalesced into a snapshot nobody will
+        read.  A closed engine still serves its last snapshot; it just
+        stops seeing corpus changes.
+        """
+        self._subscription.close()
 
     # -- indexing -----------------------------------------------------------------
 
@@ -665,7 +676,7 @@ class SearchEngine:
         if not deep and not self._subscription.dirty:
             self.counters.increment("refresh_noops")
             return False
-        with self._refresh_mutex:
+        with ordered(self._refresh_mutex, "consumer.gate"):
             if not deep and not self._subscription.dirty:
                 # Another thread patched while this one waited for the gate.
                 self.counters.increment("refresh_noops")

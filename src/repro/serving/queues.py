@@ -42,7 +42,7 @@ from typing import Any, Callable, Optional
 
 from repro.errors import PersistenceError
 from repro.perf.counters import PerfCounters
-from repro.serving.rwlock import ReadWriteLock
+from repro.serving.rwlock import ReadWriteLock, ordered
 from repro.sources.diffing import BusSubscription, PendingInvalidation
 
 __all__ = ["ConsumerStats", "ConsumerQueue"]
@@ -92,6 +92,14 @@ class ConsumerQueue:
         #: while held" covers lazy reads as well as queue drains.
         self.refresh_gate = refresh_gate if refresh_gate is not None else threading.RLock()
         self._drain_mutex = threading.RLock()
+        #: Lock classes for the runtime order validator.  The checkpoint
+        #: queue's gate ranks *below* every consumer lock (its drain
+        #: drives ``CorpusStore.checkpoint``, which re-enters consumer
+        #: gates while exporting snapshots); everything else is a plain
+        #: consumer.
+        is_checkpoint = "checkpoint" in name
+        self.gate_lock_class = "checkpoint.gate" if is_checkpoint else "consumer.gate"
+        self.drain_lock_class = "checkpoint.drain" if is_checkpoint else "consumer.drain"
         self._clock = clock
         self._counters = counters if counters is not None else PerfCounters()
         self.stats = ConsumerStats(name=name)
@@ -124,23 +132,23 @@ class ConsumerQueue:
         """
         if self.subscription.peek() is None:
             return 0, None
-        with self.refresh_gate:
-            with self._drain_mutex:
+        with ordered(self.refresh_gate, self.gate_lock_class):
+            with ordered(self._drain_mutex, self.drain_lock_class):
                 if self.subscription.drain() is None:
                     return 0, None
                 return self._run()
 
     def force_refresh(self) -> tuple[int, Optional[BaseException]]:
         """Unconditionally run the consumer's refresh once (clears pending)."""
-        with self.refresh_gate:
-            with self._drain_mutex:
+        with ordered(self.refresh_gate, self.gate_lock_class):
+            with ordered(self._drain_mutex, self.drain_lock_class):
                 self.subscription.drain()
                 return self._run()
 
     def _run(self) -> tuple[int, Optional[BaseException]]:
         started = self._clock()
         try:
-            with self.refresh_gate:
+            with ordered(self.refresh_gate, self.gate_lock_class):
                 self._refresh()
         except Exception as exc:  # noqa: BLE001 - recorded; callers may re-raise
             self.subscription.force_dirty()

@@ -28,17 +28,138 @@ Semantics:
 * Both sides are exposed as context managers (:meth:`read_lock` /
   :meth:`write_lock`), the shape the scheduler re-exports so callers
   cannot accidentally hold the exclusive side for a read.
+
+**Runtime lock-order validation.**  This module also hosts the debug-mode
+complement to the static ``lock-discipline`` checker
+(:mod:`repro.analysis.locks`): a per-thread stack of held lock classes
+checked against the declared rank order (:data:`RUNTIME_LOCK_RANKS`) at
+every instrumented acquisition.  It is off by default (every note is a
+single flag test); ``make stress`` turns it on via the
+``REPRO_LOCK_ORDER_CHECK=1`` environment variable, and tests via
+:func:`enable_lock_order_validation`.  A violating acquisition raises
+:class:`~repro.errors.ServingError` *before* blocking on the lock, so an
+ordering bug surfaces as a loud test failure instead of a hung stress
+run.  The check compares against the top of the stack only: the
+scheduler's composite locks push their gate frames with ``check=False``
+(their sorted-consumer-name protocol is deadlock-free but not
+rank-monotonic across consumers), and everything acquired on top of such
+a frame is still checked against it.  Re-acquiring an object already on
+the stack is reentrant and always exempt.
 """
 
 from __future__ import annotations
 
+import os
 import threading
 from contextlib import contextmanager
-from typing import Iterator, Optional
+from typing import Any, Iterator, Optional
 
 from repro.errors import ServingError
 
-__all__ = ["ReadWriteLock"]
+__all__ = [
+    "ReadWriteLock",
+    "RUNTIME_LOCK_RANKS",
+    "enable_lock_order_validation",
+    "lock_order_validation_enabled",
+    "note_acquired",
+    "note_released",
+    "ordered",
+]
+
+#: The declared acquisition order (mirrors
+#: ``repro.analysis.locks.LOCK_RANKS``; a test asserts they agree).
+#: Acquire in non-decreasing rank only.
+RUNTIME_LOCK_RANKS: dict[str, int] = {
+    "checkpoint.gate": 1,
+    "checkpoint.drain": 2,
+    "store.lock": 3,
+    "journal.append": 4,
+    "scheduler.intake": 5,
+    "consumer.gate": 10,
+    "consumer.drain": 20,
+    "rwlock.write": 30,
+    "rwlock.read": 31,
+    "corpus.mutation": 40,
+    "bus.intake": 50,
+}
+
+#: Flipped by ``REPRO_LOCK_ORDER_CHECK=1`` (read once at import) or
+#: :func:`enable_lock_order_validation`.  Toggle only while the calling
+#: thread holds no instrumented locks — frames noted while enabled are
+#: not popped while disabled.
+_validation_enabled = os.environ.get("REPRO_LOCK_ORDER_CHECK", "") not in ("", "0")
+
+_held_frames = threading.local()
+
+
+def enable_lock_order_validation(enabled: bool = True) -> None:
+    """Turn the runtime lock-order validator on (or off) process-wide."""
+    global _validation_enabled
+    _validation_enabled = enabled
+
+
+def lock_order_validation_enabled() -> bool:
+    """True when instrumented acquisitions are being checked."""
+    return _validation_enabled
+
+
+def _frames() -> list[tuple[int, str, int]]:
+    frames = getattr(_held_frames, "stack", None)
+    if frames is None:
+        frames = []
+        _held_frames.stack = frames
+    return frames
+
+
+def note_acquired(lock_class: str, lock: Any, check: bool = True) -> None:
+    """Record (and, unless ``check=False``, validate) an acquisition.
+
+    Call *before* the blocking acquire so a violation raises instead of
+    deadlocking.  ``lock`` identifies the instance: re-acquiring an
+    object already on this thread's stack is reentrant and exempt.
+    """
+    if not _validation_enabled:
+        return
+    frames = _frames()
+    key = id(lock)
+    rank = RUNTIME_LOCK_RANKS.get(lock_class, 0)
+    if check and frames and not any(frame[2] == key for frame in frames):
+        top_rank, top_class, _ = frames[-1]
+        if rank < top_rank:
+            raise ServingError(
+                f"lock-order violation: acquiring {lock_class} (rank {rank}) "
+                f"while holding {top_class} (rank {top_rank}) — the declared "
+                "order requires non-decreasing ranks; see docs/INVARIANTS.md"
+            )
+    frames.append((rank, lock_class, key))
+
+
+def note_released(lock: Any) -> None:
+    """Pop the most recent frame recorded for ``lock`` (no-op if absent)."""
+    if not _validation_enabled:
+        return
+    frames = _frames()
+    key = id(lock)
+    for index in range(len(frames) - 1, -1, -1):
+        if frames[index][2] == key:
+            del frames[index]
+            return
+
+
+@contextmanager
+def ordered(lock: Any, lock_class: str) -> Iterator[None]:
+    """Hold ``lock`` for the block, validated against the declared order.
+
+    The drop-in instrumented form of ``with lock:`` for plain
+    ``threading`` locks; :class:`ReadWriteLock` instruments its own
+    acquire/release paths natively.
+    """
+    note_acquired(lock_class, lock)
+    try:
+        with lock:
+            yield
+    finally:
+        note_released(lock)
 
 
 class ReadWriteLock:
@@ -71,6 +192,7 @@ class ReadWriteLock:
 
     def acquire_read(self) -> None:
         """Acquire the shared side (blocks while a writer holds or waits)."""
+        note_acquired("rwlock.read", self)
         me = threading.get_ident()
         with self._condition:
             if self._writer == me or me in self._readers:
@@ -91,9 +213,11 @@ class ReadWriteLock:
                 raise ServingError("release_read without a matching acquire_read")
             if depth > 1:
                 self._readers[me] = depth - 1
+                note_released(self)
                 return
             del self._readers[me]
             self._condition.notify_all()
+        note_released(self)
 
     def acquire_write(self) -> None:
         """Acquire the exclusive side (blocks until readers/writer drain).
@@ -102,24 +226,32 @@ class ReadWriteLock:
         holds only the read side: a read-to-write upgrade deadlocks the
         moment two readers attempt it, so it is rejected outright.
         """
+        # The frame is pushed before blocking; the native upgrade check
+        # below still raises (same-object frames are exempt from the
+        # rank check), in which case the frame is popped again.
+        note_acquired("rwlock.write", self)
         me = threading.get_ident()
-        with self._condition:
-            if self._writer == me:
-                self._writer_depth += 1
-                return
-            if me in self._readers:
-                raise ServingError(
-                    "cannot upgrade a read lock to a write lock; "
-                    "acquire the write side first"
-                )
-            self._waiting_writers += 1
-            try:
-                while self._writer is not None or self._readers:
-                    self._condition.wait()
-                self._writer = me
-                self._writer_depth = 1
-            finally:
-                self._waiting_writers -= 1
+        try:
+            with self._condition:
+                if self._writer == me:
+                    self._writer_depth += 1
+                    return
+                if me in self._readers:
+                    raise ServingError(
+                        "cannot upgrade a read lock to a write lock; "
+                        "acquire the write side first"
+                    )
+                self._waiting_writers += 1
+                try:
+                    while self._writer is not None or self._readers:
+                        self._condition.wait()
+                    self._writer = me
+                    self._writer_depth = 1
+                finally:
+                    self._waiting_writers -= 1
+        except BaseException:
+            note_released(self)
+            raise
 
     def release_write(self) -> None:
         """Release one write entry of the calling thread."""
@@ -131,6 +263,7 @@ class ReadWriteLock:
             if self._writer_depth == 0:
                 self._writer = None
                 self._condition.notify_all()
+        note_released(self)
 
     # -- context managers -----------------------------------------------------------
 

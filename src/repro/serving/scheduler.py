@@ -97,7 +97,7 @@ from typing import Any, Callable, Iterable, Optional
 from repro.errors import PersistenceError, ServingError
 from repro.perf.counters import PerfCounters
 from repro.serving.queues import ConsumerQueue, ConsumerStats
-from repro.serving.rwlock import ReadWriteLock
+from repro.serving.rwlock import ReadWriteLock, note_acquired, note_released
 from repro.sources.corpus import CorpusChange, SourceCorpus
 from repro.sources.diffing import PendingInvalidation
 
@@ -136,6 +136,12 @@ class _CompositeLock:
         try:
             for queue in sorted(queues, key=lambda q: q.name):
                 if self._write:
+                    # check=False: the sorted-name walk is deadlock-free
+                    # by protocol but not rank-monotonic across consumers
+                    # (gate after the previous consumer's write side), so
+                    # the frame is recorded without a rank check; locks
+                    # taken on top of it are still checked against it.
+                    note_acquired(queue.gate_lock_class, queue.refresh_gate, check=False)
                     queue.refresh_gate.acquire()
                     self._acquired.append(("gate", queue.refresh_gate))
                     queue.rwlock.acquire_write()
@@ -159,6 +165,7 @@ class _CompositeLock:
             kind, lock = self._acquired.pop()
             if kind == "gate":
                 lock.release()
+                note_released(lock)
             elif kind == "write":
                 lock.release_write()
             else:

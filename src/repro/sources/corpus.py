@@ -33,6 +33,8 @@ mutations, it never patches anyone.
 from __future__ import annotations
 
 import json
+import os
+import sys
 import threading
 import weakref
 from contextlib import contextmanager
@@ -48,6 +50,33 @@ from repro.perf.cache import corpus_fingerprint, corpus_probe
 from repro.sources.models import Discussion, Source, SourceType
 
 __all__ = ["SourceCorpus", "CorpusStatistics", "CorpusChange"]
+
+#: Cache for :func:`_serving_rwlock` (``repro.serving`` imports this
+#: module at package-import time, so the validator must be reached
+#: lazily).
+_rwlock_module: Any = None
+
+
+def _serving_rwlock() -> Any:
+    """The serving layer's runtime lock-order validator, or ``None``.
+
+    Resolved lazily: ``repro.serving`` imports this module at
+    package-import time, so a module-level import would be circular.
+    When the serving layer was never imported and the
+    ``REPRO_LOCK_ORDER_CHECK`` variable is unset, this returns ``None``
+    rather than importing a whole subsystem nobody asked for — the
+    validator could not have been enabled anyway.
+    """
+    global _rwlock_module
+    if _rwlock_module is None:
+        _rwlock_module = sys.modules.get("repro.serving.rwlock")
+        if _rwlock_module is None and os.environ.get(
+            "REPRO_LOCK_ORDER_CHECK", ""
+        ) not in ("", "0"):
+            from repro.serving import rwlock
+
+            _rwlock_module = rwlock
+    return _rwlock_module
 
 
 @dataclass(frozen=True)
@@ -207,10 +236,18 @@ class SourceCorpus:
         """
         depth = getattr(self._mutation_depth, "value", 0)
         self._mutation_depth.value = depth + 1
+        rwlock = _serving_rwlock()
+        if rwlock is not None:
+            rwlock.note_acquired("corpus.mutation", self._mutation_lock)
         try:
             with self._mutation_lock:
                 yield
         finally:
+            # The frame is popped *before* the outbox flush: listener
+            # delivery must run with the mutation lock released, and the
+            # validator should see exactly that.
+            if rwlock is not None:
+                rwlock.note_released(self._mutation_lock)
             self._mutation_depth.value = depth
             if depth == 0:
                 self._flush_outbox()
@@ -442,8 +479,17 @@ class SourceCorpus:
         return cls(Source.from_dict(item) for item in payload.get("sources", ()))
 
     def save(self, path: str | Path) -> None:
-        """Write the corpus to ``path`` as JSON."""
-        Path(path).write_text(json.dumps(self.to_dict()), encoding="utf-8")
+        """Write the corpus to ``path`` as JSON (atomically, fsynced).
+
+        Routed through the persistence layer's write-tmp→fsync→rename
+        helper so a crash mid-save can never leave a torn corpus file —
+        the byte payload is unchanged from the historical direct write.
+        """
+        from repro.persistence.format import atomic_write_bytes
+
+        atomic_write_bytes(
+            Path(path), json.dumps(self.to_dict()).encode("utf-8"), fsync=True
+        )
 
     @classmethod
     def load(cls, path: str | Path) -> "SourceCorpus":

@@ -61,6 +61,8 @@ be assessed without ever joining a corpus).
 
 from __future__ import annotations
 
+import os
+import sys
 import threading
 import time
 import weakref
@@ -103,6 +105,44 @@ __all__ = [
     "SourceChangeTracker",
     "DurableJournalSubscriber",
 ]
+
+#: Cache for :func:`_serving_rwlock` (``repro.serving`` imports this
+#: module at package-import time, so the validator must be reached
+#: lazily).
+_rwlock_module: Any = None
+
+
+def _serving_rwlock() -> Any:
+    """The serving layer's runtime lock-order validator, or ``None``.
+
+    Same lazy-resolution contract as the corpus module's helper: never
+    import the serving package as a side effect unless
+    ``REPRO_LOCK_ORDER_CHECK`` demands the validator.
+    """
+    global _rwlock_module
+    if _rwlock_module is None:
+        _rwlock_module = sys.modules.get("repro.serving.rwlock")
+        if _rwlock_module is None and os.environ.get(
+            "REPRO_LOCK_ORDER_CHECK", ""
+        ) not in ("", "0"):
+            from repro.serving import rwlock
+
+            _rwlock_module = rwlock
+    return _rwlock_module
+
+
+@contextmanager
+def _journal_append_lock(lock: threading.RLock) -> Iterator[None]:
+    """Hold the journal append lock, noted with the runtime validator."""
+    rwlock = _serving_rwlock()
+    if rwlock is not None:
+        rwlock.note_acquired("journal.append", lock)
+    try:
+        with lock:
+            yield
+    finally:
+        if rwlock is not None:
+            rwlock.note_released(lock)
 
 
 @dataclass(frozen=True)
@@ -668,6 +708,16 @@ class CorpusChangeTracker:
         """
         self._subscription.force_dirty()
 
+    def close(self) -> None:
+        """Detach the tracker's subscription from the bus (idempotent).
+
+        Owners that cache trackers (e.g. the source-quality model's
+        incremental entries) call this when an entry is discarded, so a
+        pruned entry stops paying per-mutation intake bookkeeping
+        immediately instead of waiting for garbage collection.
+        """
+        self._subscription.close()
+
 
 class DurableJournalSubscriber:
     """Bus subscriber that appends every corpus change to a durable sink.
@@ -749,14 +799,14 @@ class DurableJournalSubscriber:
             "source_id": change.source_id,
             "source": payload,
         }
-        with self._lock:
+        with _journal_append_lock(self._lock):
             self._sink(record)
             self.events_journaled += 1
             self.events_since_checkpoint += 1
 
     def mark_checkpoint(self) -> None:
         """Reset the since-checkpoint counter (called after a checkpoint)."""
-        with self._lock:
+        with _journal_append_lock(self._lock):
             self.events_since_checkpoint = 0
 
     @contextmanager
@@ -769,7 +819,7 @@ class DurableJournalSubscriber:
         after the export (it would be wiped by the reset) — concurrent
         mutators block briefly at their journal append instead.
         """
-        with self._lock:
+        with _journal_append_lock(self._lock):
             yield
 
     def close(self) -> None:

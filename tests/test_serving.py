@@ -408,8 +408,14 @@ class TestSchedulerRegistration:
             assert model.counters.get("context_patches") == 1
             scheduler.stop()
             assert not scheduler.running
-        with scheduler.lock:
-            _assert_model_matches_rebuild(model, corpus)
+        # No lock needed: the worker is stopped and the scheduler closed,
+        # so nothing patches concurrently with the rebuild comparison.
+        # (The deprecated ``scheduler.lock`` alias has its own dedicated
+        # test; holding a composite write lock while a *fresh* private
+        # model builds its context also trips the runtime lock-order
+        # validator, which cannot see that the fresh model's locks are
+        # thread-private.)
+        _assert_model_matches_rebuild(model, corpus)
 
 
 class TestDiscussionRestrictedWalk:
