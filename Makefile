@@ -6,7 +6,7 @@ export PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH))
 
 BENCH_JSON := BENCH_perf.json
 
-.PHONY: test stress recovery-stress bench perf perf-smoke docs lint
+.PHONY: test stress recovery-stress shard-stress bench perf perf-smoke docs lint
 
 ## tier-1 test suite (must stay green; see ROADMAP.md)
 test:
@@ -20,6 +20,10 @@ stress:
 recovery-stress:
 	$(PYTHON) -m pytest tests/test_recovery_faults.py -v
 
+## cross-process sharded-serving stress: randomized worker kills + restarts
+shard-stress:
+	$(PYTHON) -m pytest -m shard_stress -v
+
 ## paper-reproduction benchmarks (tables/figures, pytest-based bench_*.py)
 bench:
 	$(PYTHON) -m pytest benchmarks -q -o python_files='bench_*.py'
@@ -32,6 +36,7 @@ perf:
 	$(PYTHON) benchmarks/bench_eager_refresh.py --output $(BENCH_JSON)
 	$(PYTHON) benchmarks/bench_concurrent_serving.py --output $(BENCH_JSON)
 	$(PYTHON) benchmarks/bench_persistence.py --output $(BENCH_JSON)
+	$(PYTHON) benchmarks/bench_sharded_serving.py --output $(BENCH_JSON)
 	@test -s $(BENCH_JSON) || { echo "FATAL: $(BENCH_JSON) was not written" >&2; exit 1; }
 
 ## reduced-scale perf smoke for CI: proves every harness produces its section
@@ -42,6 +47,7 @@ perf-smoke:
 	$(PYTHON) benchmarks/bench_eager_refresh.py --output $(BENCH_JSON) --sources 200 --events 4
 	$(PYTHON) benchmarks/bench_concurrent_serving.py --output $(BENCH_JSON) --sources 200 --events 12
 	$(PYTHON) benchmarks/bench_persistence.py --output $(BENCH_JSON) --sources 120 --discussion-budget 12 --events 4
+	$(PYTHON) benchmarks/bench_sharded_serving.py --output $(BENCH_JSON) --smoke
 	$(PYTHON) scripts/check_bench_keys.py $(BENCH_JSON)
 
 ## invariant lint suite: lock-order, float-exactness, durability and bus

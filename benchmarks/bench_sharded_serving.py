@@ -1,0 +1,363 @@
+#!/usr/bin/env python
+"""Sharded serving capacity: scatter-gather reads at 1 worker vs 4 workers.
+
+PR 9's :mod:`repro.sharding` package partitions the corpus across worker
+processes by stable source-id hash and serves search/assessment reads by
+scatter-gather over the CRC-framed wire (see *Cross-process sharded
+serving* in ``docs/ARCHITECTURE.md``).  This harness measures what the
+fan-out buys — and proves it buys nothing in correctness: before any
+number is recorded, both cluster sizes must return **bit-identical**
+results to a fresh single-process :class:`~repro.search.engine.SearchEngine`
+and :class:`~repro.core.source_quality.SourceQualityModel` built over a
+twin of the final corpus.
+
+Two scores are recorded per cluster size, because this host may expose a
+single CPU to the container:
+
+* ``read_qps_*`` — plain wall-clock reads per second.  On a 1-CPU host
+  the coordinator and every worker timeshare one core, so this number
+  *cannot* show fan-out gains; it is recorded for honesty, not gated.
+* ``capacity_qps_*`` — reads divided by the **shard-scoring critical
+  path**: the largest per-worker ``busy_time`` delta over the read
+  batch.  This is the per-process cost of the work sharding actually
+  distributes — scoring, ranking measures, top-k selection — and the
+  throughput that side of the system would sustain if each worker had
+  its own core.  The coordinator's merge cost (global-statistics
+  summing, reply decoding, final ``rank_from_raw``) is the *serial
+  fraction* of the design: it does not shrink with the worker count, so
+  it is recorded honestly alongside (``coordinator_cpu_seconds_*``)
+  rather than folded into a ratio it would flatten by Amdahl's law.
+
+Each timed ranking is preceded by a ``touch`` so the measure path
+really runs: a cache-warm rank costs the workers almost nothing and
+would measure only wire overhead.  The touch also exposes the second
+scaling effect of partitioning — the mutation invalidates the measure
+cache of the *owning shard only*, so one worker re-measures 1/N of the
+corpus while its peers serve from cache, where the 1-worker cluster
+re-measures everything.
+
+``speedup`` is the capacity-QPS ratio (4 workers over 1) and the ≥3x
+target is enforced only under ``--strict``.  A small deterministic
+mutation stream runs through the InvalidationBus bridge first, so the
+measured cluster state is replicated, not just seeded.
+
+Results are merged into ``BENCH_perf.json`` under the
+``sharded_serving`` key.  Run with ``make perf`` or::
+
+    PYTHONPATH=src python benchmarks/bench_sharded_serving.py
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import platform
+import sys
+import time
+from pathlib import Path
+
+from repro.core.domain import DomainOfInterest, TimeInterval
+from repro.core.source_quality import SourceQualityModel
+from repro.perf.buildinfo import git_build_stamp
+from repro.persistence.format import atomic_write_json
+from repro.search.engine import SearchEngine
+from repro.sharding import ShardCoordinator
+from repro.sources.corpus import SourceCorpus
+from repro.sources.generators import (
+    CorpusGenerator,
+    CorpusSpec,
+    SourceGenerator,
+    SourceSpec,
+)
+
+DEFAULT_OUTPUT = Path(__file__).resolve().parent.parent / "BENCH_perf.json"
+
+#: Capacity-QPS target recorded in the JSON so future PRs see the
+#: goalposts: 4 workers must sustain ≥3x the reads of 1 worker on the
+#: critical-path-CPU metric (perfect scaling would be 4x; the merge and
+#: wire overhead eat the rest).
+TARGET_CAPACITY_SPEEDUP = 3.0
+
+QUERIES = ("travel food", "milan hotel review", "food", "travel", "blog forum food")
+
+
+def _domain() -> DomainOfInterest:
+    return DomainOfInterest(
+        categories=("travel", "food"),
+        time_interval=TimeInterval(0.0, 365.0),
+        locations=("Milan",),
+        name="sharded-bench-domain",
+    )
+
+
+def _build_corpus(source_count: int) -> SourceCorpus:
+    return CorpusGenerator(
+        CorpusSpec(
+            source_count=source_count, seed=17, discussion_budget=6, user_budget=8
+        )
+    ).generate()
+
+
+def _extra_source(source_id: str, seed: int):
+    return SourceGenerator(
+        SourceSpec(
+            source_id=source_id,
+            focus_categories=("travel", "food"),
+            latent_popularity=0.5,
+            latent_engagement=0.5,
+            discussion_budget=4,
+            user_budget=5,
+        ),
+        seed=seed,
+    ).generate()
+
+
+def _stream_mutations(corpus: SourceCorpus, events: int) -> None:
+    """A deterministic add/touch/remove stream through the bus bridge."""
+    ids = corpus.source_ids()
+    for step in range(events):
+        kind = step % 3
+        if kind == 0:
+            corpus.add(_extra_source(f"bench-extra-{step:04d}", seed=4000 + step))
+        elif kind == 1:
+            corpus.touch(ids[step % len(ids)])
+        else:
+            corpus.remove(ids[-1 - (step % 5)])
+            ids = corpus.source_ids()
+
+
+def _assert_bit_identical(
+    coordinator: ShardCoordinator, corpus: SourceCorpus, domain: DomainOfInterest
+) -> None:
+    """Exact equality of sharded reads against a single-process twin."""
+    coordinator.quiesce()
+    twin = SourceCorpus.from_dict(corpus.to_dict())
+    engine = SearchEngine(twin)
+    for query in QUERIES:
+        for limit in (3, 20):
+            sharded = coordinator.search(query, limit=limit)
+            local = engine.search(query, limit=limit)
+            if sharded != local:
+                raise AssertionError(
+                    f"sharded search diverged from the single-process twin "
+                    f"for {query!r} (limit {limit})"
+                )
+    model = SourceQualityModel(domain)
+    expected = model.rank(twin)
+    actual = coordinator.rank()
+    if [source_id for source_id, _ in actual] != [
+        assessment.source_id for assessment in expected
+    ]:
+        raise AssertionError("sharded rank order diverged from the twin")
+    for (source_id, score), assessment in zip(actual, expected):
+        if score.to_dict() != assessment.score.to_dict():
+            raise AssertionError(
+                f"sharded rank score diverged from the twin for {source_id!r}"
+            )
+
+
+def _measure_cluster(
+    corpus_payload: dict,
+    domain: DomainOfInterest,
+    shard_count: int,
+    events: int,
+    searches: int,
+    ranks: int,
+    repetitions: int,
+) -> tuple[float, float, float]:
+    """(wall-clock QPS, capacity QPS, coordinator CPU seconds).
+
+    Every cluster size replays the same corpus payload and the same
+    mutation stream, so the bit-identity check pins all of them to the
+    same single-process answers.  The read batch runs ``repetitions``
+    times and each metric takes the best repetition — the busy-time
+    samples are small enough (tens of milliseconds) that a single GC
+    pause or scheduling hiccup in any one process visibly skews a
+    one-shot measurement.
+    """
+    corpus = SourceCorpus.from_dict(corpus_payload)
+    best_wall = float("inf")
+    best_busy = float("inf")
+    best_cpu = float("inf")
+    with ShardCoordinator(corpus, shard_count, domain=domain) as coordinator:
+        _stream_mutations(corpus, events)
+        _assert_bit_identical(coordinator, corpus, domain)
+
+        source_ids = corpus.source_ids()
+        for repetition in range(repetitions):
+            busy_before = coordinator.busy_times()
+            cpu_before = time.process_time()
+            wall_before = time.perf_counter()
+            for index in range(searches):
+                coordinator.search(QUERIES[index % len(QUERIES)], limit=20)
+            for index in range(ranks):
+                # Touch a source first so every timed ranking re-measures
+                # (a cache-warm rank is pure wire overhead on the worker
+                # side and would not represent serving under mutation).
+                corpus.touch(source_ids[(repetition * ranks + index) % len(source_ids)])
+                coordinator.rank()
+            wall_elapsed = time.perf_counter() - wall_before
+            cpu_elapsed = time.process_time() - cpu_before
+            busy_after = coordinator.busy_times()
+            worker_busy = max(
+                busy_after[index] - busy_before[index] for index in busy_before
+            )
+            best_wall = min(best_wall, wall_elapsed)
+            best_busy = min(best_busy, worker_busy)
+            best_cpu = min(best_cpu, cpu_elapsed)
+
+    reads = searches + ranks
+    read_qps = reads / best_wall if best_wall > 0 else float("inf")
+    capacity_qps = reads / best_busy if best_busy > 0 else float("inf")
+    return read_qps, capacity_qps, best_cpu
+
+
+def run(
+    output_path: Path,
+    source_count: int,
+    events: int,
+    searches: int,
+    ranks: int,
+    repetitions: int,
+) -> dict:
+    """Measure both cluster sizes over the same stream and merge the section."""
+    domain = _domain()
+    print(
+        f"building corpus ({source_count} sources, {events} mutation events, "
+        f"{searches} searches + {ranks} rankings per cluster)...",
+        flush=True,
+    )
+    corpus_payload = _build_corpus(source_count).to_dict()
+
+    results: dict[int, tuple[float, float, float]] = {}
+    for shard_count in (1, 4):
+        print(
+            f"serving with {shard_count} worker process(es) "
+            "(replicate, verify bit-identity, read)...",
+            flush=True,
+        )
+        results[shard_count] = _measure_cluster(
+            corpus_payload, domain, shard_count, events, searches, ranks, repetitions
+        )
+        read_qps, capacity_qps, coordinator_cpu = results[shard_count]
+        print(
+            f"  {shard_count} worker(s)  wall {read_qps:8.1f} reads/s  "
+            f"capacity {capacity_qps:8.1f} reads/s  "
+            f"coordinator {coordinator_cpu:.3f}s CPU",
+            flush=True,
+        )
+
+    capacity_1 = results[1][1]
+    capacity_4 = results[4][1]
+    speedup = capacity_4 / capacity_1 if capacity_1 > 0 else float("inf")
+
+    section = {
+        "sources": source_count,
+        "events": events,
+        "searches": searches,
+        "rankings": ranks,
+        "repetitions": repetitions,
+        "read_qps_1worker": results[1][0],
+        "read_qps_4workers": results[4][0],
+        "capacity_qps_1worker": capacity_1,
+        "capacity_qps_4workers": capacity_4,
+        "coordinator_cpu_seconds_1worker": results[1][2],
+        "coordinator_cpu_seconds_4workers": results[4][2],
+        "speedup": speedup,
+        "target_speedup": TARGET_CAPACITY_SPEEDUP,
+        "bit_identical_at_quiesce": True,
+        "host_cpus": os.cpu_count(),
+    }
+
+    report: dict = {}
+    if output_path.exists():
+        try:
+            report = json.loads(output_path.read_text(encoding="utf-8"))
+        except (OSError, ValueError):
+            report = {}
+    report.setdefault(
+        "meta",
+        {"python": platform.python_version(), "platform": platform.platform()},
+    )
+    report["meta"].update(git_build_stamp())
+    report["sharded_serving"] = section
+    try:
+        atomic_write_json(output_path, report)
+    except OSError as exc:
+        print(f"FATAL: could not write {output_path}: {exc}", file=sys.stderr)
+        sys.exit(1)
+    return section
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--output", type=Path, default=DEFAULT_OUTPUT,
+        help=f"JSON report to merge into (default: {DEFAULT_OUTPUT})",
+    )
+    parser.add_argument(
+        "--sources", type=int, default=1200,
+        help="corpus size partitioned across the workers (default: 1200)",
+    )
+    parser.add_argument(
+        "--events", type=int, default=12,
+        help="mutation events streamed through the bridge first (default: 12)",
+    )
+    parser.add_argument(
+        "--searches", type=int, default=60,
+        help="timed scatter-gather searches per cluster size (default: 60)",
+    )
+    parser.add_argument(
+        "--ranks", type=int, default=3,
+        help="timed scatter-gather rankings per cluster size, each preceded "
+             "by a touch so the measure path really runs (default: 3)",
+    )
+    parser.add_argument(
+        "--repetitions", type=int, default=3,
+        help="read-batch repetitions; each metric takes the best (default: 3)",
+    )
+    parser.add_argument(
+        "--smoke", action="store_true",
+        help="small fast run (150 sources, 15 searches, 2 rankings)",
+    )
+    parser.add_argument(
+        "--strict", action="store_true",
+        help="exit non-zero when the capacity-speedup target is missed",
+    )
+    args = parser.parse_args(argv)
+    if args.smoke:
+        args.sources = min(args.sources, 150)
+        args.searches = min(args.searches, 15)
+        args.ranks = min(args.ranks, 2)
+
+    section = run(
+        args.output,
+        args.sources,
+        args.events,
+        args.searches,
+        args.ranks,
+        args.repetitions,
+    )
+    status = (
+        "[ok]"
+        if section["speedup"] >= section["target_speedup"]
+        else f"[BELOW {section['target_speedup']}x TARGET]"
+    )
+    print(
+        f"sharded_serving   1 worker {section['capacity_qps_1worker']:8.1f} reads/s  "
+        f"4 workers {section['capacity_qps_4workers']:8.1f} reads/s  "
+        f"capacity speedup {section['speedup']:5.2f}x  {status}"
+    )
+    print(f"wrote {args.output}")
+    if args.strict and section["speedup"] < section["target_speedup"]:
+        print(
+            "FATAL: sharded-serving capacity speedup target missed",
+            file=sys.stderr,
+        )
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -58,6 +58,18 @@ EXPECTED = {
         "bit_identical",
         "events_replayed",
     ),
+    "sharded_serving": (
+        "read_qps_1worker",
+        "read_qps_4workers",
+        "capacity_qps_1worker",
+        "capacity_qps_4workers",
+        "coordinator_cpu_seconds_1worker",
+        "coordinator_cpu_seconds_4workers",
+        "speedup",
+        "target_speedup",
+        "bit_identical_at_quiesce",
+        "host_cpus",
+    ),
 }
 
 

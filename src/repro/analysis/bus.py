@@ -18,7 +18,13 @@ Rules:
   class whose ``close()`` (if any) never calls ``self.attr.close()``;
 * ``leaked-subscription``   — a local assigned from ``.subscribe(...)``
   and then never used at all (not closed, stored, returned or passed
-  on).
+  on);
+* ``unclosed-bridge``       — ``self.attr = DurableJournalSubscriber(...)``
+  (or its :class:`~repro.sources.diffing.WireBridgeSubscriber` subclass,
+  which replicates the bus onto the sharding wire) in a class whose
+  ``close()`` never calls ``self.attr.close()``.  The bridge classes
+  hold their own subscription *strongly*, so an unclosed bridge keeps
+  journaling/replicating for as long as the owner is reachable.
 """
 
 from __future__ import annotations
@@ -41,6 +47,22 @@ def _is_subscribe_call(node: ast.expr) -> bool:
         and isinstance(node.func, ast.Attribute)
         and node.func.attr == "subscribe"
     )
+
+
+#: Bus-bridge classes that subscribe in their constructor and hold the
+#: subscription strongly; owners storing one must close it.
+_BRIDGE_CLASSES = frozenset({"DurableJournalSubscriber", "WireBridgeSubscriber"})
+
+
+def _is_bridge_construction(node: ast.expr) -> bool:
+    if not isinstance(node, ast.Call):
+        return False
+    func = node.func
+    if isinstance(func, ast.Name):
+        return func.id in _BRIDGE_CLASSES
+    if isinstance(func, ast.Attribute):
+        return func.attr in _BRIDGE_CLASSES
+    return False
 
 
 def _closes_attr(cls: ast.ClassDef, attr: str) -> bool:
@@ -67,7 +89,11 @@ def _check_class(cls: ast.ClassDef, relative: str) -> list[Finding]:
         if not isinstance(method, (ast.FunctionDef, ast.AsyncFunctionDef)):
             continue
         for node in ast.walk(method):
-            if not isinstance(node, ast.Assign) or not _is_subscribe_call(node.value):
+            if not isinstance(node, ast.Assign):
+                continue
+            is_subscription = _is_subscribe_call(node.value)
+            is_bridge = _is_bridge_construction(node.value)
+            if not is_subscription and not is_bridge:
                 continue
             for target in node.targets:
                 if (
@@ -75,7 +101,9 @@ def _check_class(cls: ast.ClassDef, relative: str) -> list[Finding]:
                     and isinstance(target.value, ast.Name)
                     and target.value.id == "self"
                 ):
-                    if not _closes_attr(cls, target.attr):
+                    if _closes_attr(cls, target.attr):
+                        continue
+                    if is_subscription:
                         findings.append(
                             Finding(
                                 CHECKER,
@@ -85,6 +113,21 @@ def _check_class(cls: ast.ClassDef, relative: str) -> list[Finding]:
                                 f"self.{target.attr} holds a bus subscription "
                                 f"but {cls.name} has no close() detaching it "
                                 "— the consumer keeps receiving after its "
+                                "lifetime ends",
+                                symbol=f"{cls.name}.{method.name}",
+                            )
+                        )
+                    else:
+                        findings.append(
+                            Finding(
+                                CHECKER,
+                                "unclosed-bridge",
+                                relative,
+                                node.lineno,
+                                f"self.{target.attr} holds a journal/wire "
+                                f"bridge subscriber but {cls.name} has no "
+                                "close() detaching it — the bridge keeps "
+                                "journaling/replicating after its owner's "
                                 "lifetime ends",
                                 symbol=f"{cls.name}.{method.name}",
                             )

@@ -199,11 +199,24 @@ def _command_checkpoint(args: argparse.Namespace) -> int:
 
 
 def _command_recover(args: argparse.Namespace) -> int:
-    from repro.persistence import CorpusStore
+    from pathlib import Path
+
+    from repro.errors import MissingShardSnapshotError
+    from repro.persistence import ClusterStore, CorpusStore
 
     domain = DomainOfInterest(categories=tuple(args.categories), name="cli")
-    with CorpusStore(args.store) as store:
-        stack = store.recover_stack(domain=domain, attach=False)
+    if (Path(args.store) / ClusterStore.MANIFEST_NAME).exists():
+        # A sharded deployment's store: recover every shard and merge.
+        try:
+            stack = ClusterStore(args.store).recover_stack(domain=domain)
+        except MissingShardSnapshotError as exc:
+            print(f"error: {exc}")
+            print("  restore that shard's directory (or a backup of it) and retry;")
+            print("  recovering without it would silently drop its sources.")
+            return 1
+    else:
+        with CorpusStore(args.store) as store:
+            stack = store.recover_stack(domain=domain, attach=False)
     result = stack.result
     used = result.snapshot_used or "no snapshot (journal-only start)"
     print(f"recovered {len(stack.corpus)} sources at corpus version {stack.corpus.version}")

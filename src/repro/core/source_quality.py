@@ -389,12 +389,24 @@ class SourceQualityModel:
         )
 
     def _measure_corpus(
-        self, corpus: SourceCorpus
+        self,
+        corpus: SourceCorpus,
+        corpus_max_open_discussions: Optional[int] = None,
     ) -> tuple[dict[str, CrawlSnapshot], dict[str, dict[str, float]]]:
-        """Single-pass crawl + raw-measure matrix for every source of ``corpus``."""
+        """Single-pass crawl + raw-measure matrix for every source of ``corpus``.
+
+        ``corpus_max_open_discussions`` overrides the corpus-wide
+        open-discussion maximum the "compared to largest forum" measures
+        normalise against — the sharded path injects the *global* maximum
+        here, because a shard's local maximum would skew those measures.
+        """
         self.counters.increment("measure_passes")
         snapshots = self._crawler.crawl_corpus(corpus)
-        max_open = corpus.largest_source_open_discussions()
+        max_open = (
+            corpus.largest_source_open_discussions()
+            if corpus_max_open_discussions is None
+            else corpus_max_open_discussions
+        )
         vectors: dict[str, dict[str, float]] = {}
         for source in corpus:
             context = SourceMeasurementContext(
@@ -1244,3 +1256,72 @@ class SourceQualityModel:
             assessment.source_id
             for assessment in self.rank(corpus, benchmark_corpus, deep=deep)
         ]
+
+    # -- sharded scatter-gather protocol (repro.sharding) ----------------------------
+
+    def shard_raw_measures(
+        self, corpus: SourceCorpus, *, corpus_max_open_discussions: int
+    ) -> dict[str, dict[str, float]]:
+        """Raw measure vectors of one shard against the *global* aggregates.
+
+        Phase 2 of a sharded assessment: the worker crawls and measures
+        only its own sources, but the "compared to largest forum" measures
+        normalise against the corpus-wide open-discussion maximum, which
+        the coordinator gathers in phase 1 and injects here.  Everything
+        downstream of the raw vectors — normaliser fit, scoring, ranking —
+        is *global* arithmetic over the merged matrix and runs on the
+        coordinator (:meth:`rank_from_raw`).
+
+        Results are cached under ``(content fingerprint, injected
+        maximum)`` with the source objects anchored, exactly like
+        :meth:`raw_measures`; the returned mapping is a copy.
+        """
+        if len(corpus) == 0:
+            return {}
+        key = (corpus.content_fingerprint(), corpus_max_open_discussions)
+        entry = self._measure_cache.get_or_create(
+            key,
+            lambda: (
+                tuple(corpus),
+                *self._measure_corpus(corpus, corpus_max_open_discussions),
+            ),
+        )
+        return {source_id: dict(vector) for source_id, vector in entry[2].items()}
+
+    def rank_from_raw(
+        self, raw_vectors: Mapping[str, Mapping[str, float]]
+    ) -> list[tuple[str, QualityScore]]:
+        """Normalise, score and rank a merged raw-measure matrix.
+
+        Phase 3 of a sharded assessment, run on the coordinator over the
+        gathered per-shard vectors (assembled in the coordinator corpus's
+        insertion order).  The pipeline is operation-for-operation the
+        single-process :meth:`_build_context` tail — column assembly,
+        finiteness check, normaliser fit on the matrix itself, scoring,
+        lexsorted rank keys — so the returned ranking is bit-identical to
+        a single-process :meth:`rank` over the same corpus content.
+        Returns ``(source_id, score)`` pairs in ranking order.
+        """
+        if not raw_vectors:
+            raise AssessmentError("cannot assess an empty corpus")
+        names, _ = self._registry.column_layout()
+        subject_ids, measures, raw_columns = columns_from_vectors(raw_vectors, names)
+        ensure_finite_columns(raw_columns)
+        with ordered(self._refresh_mutex, "consumer.gate"):
+            self._fit_normalizer_columns(raw_columns)
+            normalized = self._normalizer.normalize_columns(raw_columns)
+        overall, dimension_scores, attribute_scores = build_quality_score_columns(
+            subject_ids, measures, normalized, self._registry, self._scheme
+        )
+        rank = SortedRankKeys.from_scores(overall, subject_ids)
+        scores = scores_from_columns(
+            subject_ids,
+            measures,
+            raw_columns,
+            normalized,
+            overall,
+            dimension_scores,
+            attribute_scores,
+            self._scheme.name,
+        )
+        return [(source_id, scores[source_id]) for source_id in rank.order()]

@@ -141,6 +141,50 @@ class JournalReplayError(PersistenceError):
     """A journal record could not be applied to the recovered corpus."""
 
 
+class MissingShardSnapshotError(CorruptSnapshotError):
+    """A per-shard snapshot set is incomplete: one shard has no store.
+
+    Raised by cluster recovery when the cluster manifest names a shard
+    whose store directory (snapshot + journal) is absent.  Unlike crash
+    damage *within* a shard store — which degrades through the ordinary
+    recovery ladder — a missing shard means recovery would silently drop
+    every source that shard owned, so it must fail loudly, naming the
+    shard an operator has to restore.
+    """
+
+    def __init__(self, shard_index: int, *, path: object = None) -> None:
+        super().__init__(
+            f"per-shard snapshot set is incomplete: shard {shard_index} "
+            "has no store directory (snapshot or journal)",
+            path=path,
+        )
+        self.shard_index = shard_index
+
+
+class ShardingError(ReproError):
+    """Cross-process sharded serving failed (coordinator/worker split)."""
+
+
+class WireProtocolError(ShardingError):
+    """A wire frame or message violated the coordinator/worker protocol."""
+
+
+class ShardUnavailableError(ShardingError):
+    """A shard's worker process is down and the read cannot be served.
+
+    Carries the shard index so callers (and tests) can tell exactly which
+    partition degraded; reads that can tolerate partial coverage pass
+    ``allow_degraded=True`` to the coordinator instead of catching this.
+    """
+
+    def __init__(self, shard_index: int, message: str = "") -> None:
+        detail = f"shard {shard_index} is unavailable (worker process down)"
+        if message:
+            detail += f": {message}"
+        super().__init__(detail)
+        self.shard_index = shard_index
+
+
 class SentimentError(ReproError):
     """Sentiment analysis failed."""
 

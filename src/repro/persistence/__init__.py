@@ -21,6 +21,10 @@ Layout of the package:
 :mod:`~repro.persistence.store`
     :class:`CorpusStore` — checkpoint orchestration and the recovery
     ladder (snapshot → previous snapshot → journal-only → empty).
+:mod:`~repro.persistence.cluster`
+    :class:`ClusterStore` — the cluster manifest binding N per-shard
+    stores into one recoverable unit for sharded serving, with a typed
+    error naming any missing shard.
 :mod:`~repro.persistence.faults`
     The fault-injection harness killing writes at chosen byte
     boundaries, for crash-recovery tests.
@@ -29,6 +33,7 @@ See ``docs/PERSISTENCE.md`` for the file formats and the recovery state
 machine.
 """
 
+from repro.persistence.cluster import ClusterStore
 from repro.persistence.codec import decode_index_state, encode_index_state
 from repro.persistence.faults import FaultPlan, FaultyIO, InjectedCrash, inject_faults
 from repro.persistence.format import atomic_write_bytes, atomic_write_json
@@ -54,6 +59,7 @@ from repro.persistence.store import (
 )
 
 __all__ = [
+    "ClusterStore",
     "decode_index_state",
     "encode_index_state",
     "SnapshotSections",

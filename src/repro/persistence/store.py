@@ -221,9 +221,19 @@ class CorpusStore:
         *,
         fsync: bool = True,
         checkpoint_every: int = 256,
+        shard: Optional[tuple[int, int]] = None,
     ) -> None:
         if checkpoint_every < 1:
             raise PersistenceError("checkpoint_every must be at least 1")
+        if shard is not None and not (0 <= shard[0] < shard[1]):
+            raise PersistenceError(
+                f"shard index {shard[0]} is not within a {shard[1]}-way split"
+            )
+        #: ``(shard index, shard count)`` when this store holds one shard
+        #: of a partitioned corpus (see :class:`ClusterStore`); stamped
+        #: into every checkpoint and validated on recovery so a shard
+        #: store can never be silently recovered as the wrong partition.
+        self.shard = shard
         self.directory = Path(directory)
         self.directory.mkdir(parents=True, exist_ok=True)
         self._fsync = fsync
@@ -311,6 +321,33 @@ class CorpusStore:
             self._subscriber = DurableJournalSubscriber(corpus, self._journal_sink)
             return self._subscriber
 
+    def bind_consumers(
+        self,
+        *,
+        engine: Optional[Any] = None,
+        source_model: Optional[Any] = None,
+        contributor_models: Optional[Mapping[str, Any]] = None,
+    ) -> None:
+        """Bind consumers created *after* :meth:`attach` into later checkpoints.
+
+        The sharded worker builds its search engine lazily (an empty shard
+        has nothing to index); this lets it hand the engine to the store
+        once built, so the next checkpoint exports the index section just
+        as an attach-time binding would.  Only the given consumers are
+        replaced; passing None leaves the existing binding untouched.
+        """
+        with ordered(self._lock, "store.lock"):
+            if not self.attached:
+                raise PersistenceError(
+                    "bind_consumers requires an attached corpus", path=self.directory
+                )
+            if engine is not None:
+                self._engine = engine
+            if source_model is not None:
+                self._source_model = source_model
+            if contributor_models is not None:
+                self._contributor_models = dict(contributor_models)
+
     def checkpoint(self) -> int:
         """Fold the journal into a fresh snapshot; return the version captured.
 
@@ -333,6 +370,11 @@ class CorpusStore:
             with subscriber.paused():
                 version = corpus.version
                 sections: dict[str, Any] = {"corpus": corpus.to_dict()}
+                if self.shard is not None:
+                    sections["shard"] = {
+                        "index": self.shard[0],
+                        "count": self.shard[1],
+                    }
                 if len(corpus):
                     if self._engine is not None:
                         sections["index"] = encode_index_state(
@@ -453,6 +495,23 @@ class CorpusStore:
         if corpus is None:
             corpus = SourceCorpus()
             sections = {}
+        if self.shard is not None and used is not None:
+            # Shard identity mismatch is operator error (a store moved
+            # between partitions), not crash damage: fail loudly instead
+            # of degrading down the ladder into silently wrong ownership.
+            try:
+                recorded = sections.get("shard")
+            except PersistenceError:
+                recorded = None
+            if recorded is not None:
+                stamped = (int(recorded.get("index", -1)), int(recorded.get("count", -1)))
+                if stamped != self.shard:
+                    raise PersistenceError(
+                        f"snapshot belongs to shard {stamped[0]} of {stamped[1]} "
+                        f"but the store was opened as shard {self.shard[0]} of "
+                        f"{self.shard[1]}",
+                        path=self.snapshot_path,
+                    )
         result = RecoveryResult(
             corpus=corpus,
             sections=sections,

@@ -311,6 +311,10 @@ class SearchEngine:
         #: swap holds the exclusive side for O(1).
         self._rwlock = ReadWriteLock()
         self._query_cache = LRUCache(maxsize=self.QUERY_CACHE_SIZE)
+        #: In-flight sharded query scorings parked between ``shard_score``
+        #: and ``shard_select`` (worker processes are single-threaded, so
+        #: no lock; capped at :data:`SHARD_QUERY_CACHE_SIZE`).
+        self._shard_queries: dict[int, tuple] = {}
         #: Set when a refresh failed after draining its burst: the burst's
         #: source ids are lost, so the retry must fall back to the full
         #: fingerprint diff instead of scoping to the next burst.
@@ -1085,3 +1089,132 @@ class SearchEngine:
     def result_ids(self, query: str, limit: int = 20) -> list[str]:
         """Source identifiers of the ranked results for ``query``."""
         return [result.source_id for result in self.search(query, limit)]
+
+    # -- sharded scatter-gather protocol (repro.sharding) ----------------------------
+
+    #: Number of in-flight shard query scorings kept per engine.  The
+    #: coordinator pairs every ``shard_score`` with a ``shard_select``, so
+    #: the cache only ever holds queries whose select is still in flight;
+    #: the cap is a safety net against a coordinator that abandons one.
+    SHARD_QUERY_CACHE_SIZE = 64
+
+    def shard_term_stats(self, terms: tuple[str, ...]) -> dict:
+        """Phase 1 of a sharded search: this shard's corpus statistics.
+
+        The combined score needs *global* inputs the shard cannot know —
+        document frequencies and corpus size for the IDF, the traffic and
+        inbound-link maxima for the static normalisation.  Each worker
+        reports its local values; the coordinator sums the frequencies
+        and corpus sizes and maxes the maxima, which reconstructs the
+        single-process values exactly (integer sums, float ``max``).
+        """
+        self.refresh()
+        with self._rwlock.read_lock():
+            state = self._state
+            return {
+                "document_frequencies": {
+                    term: state.document_frequencies.get(term, 0) for term in terms
+                },
+                "n_documents": state.n_documents,
+                "max_visitors": state.max_visitors,
+                "max_links": state.max_links,
+            }
+
+    def shard_score(
+        self,
+        query_id: int,
+        terms: tuple[str, ...],
+        *,
+        n_documents: int,
+        document_frequencies: dict,
+        max_visitors: float,
+        max_links: int,
+    ) -> dict:
+        """Phase 2 of a sharded search: score this shard's candidates.
+
+        Accumulates each local candidate's *raw* topical score with the
+        coordinator-supplied global IDF inputs, in query-term order — the
+        same addends in the same order as the single-process
+        :meth:`_raw_topical_scores`, so the floats are bit-identical.
+        Static scores are recomputed from the snapshot's raw panel
+        observations against the *global* maxima (the snapshot's own
+        ``static_scores`` are normalised by shard-local maxima and must
+        not leak into a merged ranking).  Both maps are parked under
+        ``query_id`` for the phase-3 :meth:`shard_select`; only the raw
+        maximum travels back, so the coordinator can compute the global
+        topical normaliser.
+        """
+        if self._config.minimum_topical_score < 0:
+            raise SearchError(
+                "sharded search does not support a negative minimum_topical_score "
+                "(the postings shortcut would drop zero-topical sources)"
+            )
+        self.refresh()
+        with self._rwlock.read_lock():
+            state = self._state
+            scores: dict[str, float] = {}
+            for term in terms:
+                postings = state.postings.get(term)
+                if not postings:
+                    continue
+                idf = (
+                    math.log((1 + n_documents) / (1 + document_frequencies.get(term, 0)))
+                    + 1.0
+                )
+                for source_id, ratio in postings:
+                    scores[source_id] = scores.get(source_id, 0.0) + ratio * idf
+            statics = {
+                source_id: self._static_score(
+                    state.observations[source_id], max_visitors, max_links
+                )
+                for source_id in scores
+            }
+        self.counters.increment("shard_queries")
+        self.counters.increment("candidates_scored", len(scores))
+        self._shard_queries[query_id] = (tuple(terms), scores, statics)
+        while len(self._shard_queries) > self.SHARD_QUERY_CACHE_SIZE:
+            self._shard_queries.pop(next(iter(self._shard_queries)))
+        return {"max_raw": max(scores.values(), default=0.0), "candidates": len(scores)}
+
+    def shard_select(
+        self, query_id: int, *, max_topical: float, limit: int
+    ) -> list[list]:
+        """Phase 3 of a sharded search: this shard's top-``limit`` entries.
+
+        Normalises the parked raw scores by the coordinator-supplied
+        global ``max_topical``, applies the noise and weight blend
+        operation-for-operation as :meth:`search` does, and returns the
+        local top-k under the exact total order the merge uses
+        (``(-combined, source_id)``).  Because the shards partition the
+        candidate set, merging the per-shard top-k lists under the same
+        key yields precisely the single-process top-k.
+        """
+        if limit <= 0:
+            raise SearchError("limit must be positive")
+        parked = self._shard_queries.pop(query_id, None)
+        if parked is None:
+            raise SearchError(f"unknown shard query id {query_id}")
+        terms, scores, statics = parked
+        config = self._config
+        query_key = " ".join(terms)
+        noise_prefix = (_NOISE_SALT + query_key + "|").encode("utf-8")
+        static_weight = config.static_weight
+        topical_weight = config.topical_weight
+        noise_weight = config.query_noise_weight
+        minimum_topical = config.minimum_topical_score
+        total_weight = static_weight + topical_weight + noise_weight
+        scored: list[tuple[float, str, float, float]] = []
+        for source_id, raw_topical in scores.items():
+            if raw_topical <= minimum_topical:
+                continue
+            normalized_topical = raw_topical / max_topical if max_topical > 0 else 0.0
+            noise = _noise_from_prefix(noise_prefix, source_id)
+            static = statics[source_id]
+            combined = (
+                static_weight * static
+                + topical_weight * normalized_topical
+                + noise_weight * noise
+            ) / total_weight
+            scored.append((combined, source_id, normalized_topical, static))
+        top = heapq.nsmallest(limit, scored, key=lambda entry: (-entry[0], entry[1]))
+        return [list(entry) for entry in top]

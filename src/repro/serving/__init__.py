@@ -25,7 +25,11 @@ the concurrency model.
 
 from repro.serving.queues import ConsumerQueue, ConsumerStats
 from repro.serving.rwlock import ReadWriteLock
-from repro.serving.scheduler import EagerRefreshScheduler, RefreshMode
+from repro.serving.scheduler import (
+    EagerRefreshScheduler,
+    RefreshMode,
+    register_worker_stack,
+)
 
 __all__ = [
     "ConsumerQueue",
@@ -33,4 +37,5 @@ __all__ = [
     "EagerRefreshScheduler",
     "ReadWriteLock",
     "RefreshMode",
+    "register_worker_stack",
 ]

@@ -101,7 +101,12 @@ from repro.serving.rwlock import ReadWriteLock, note_acquired, note_released
 from repro.sources.corpus import CorpusChange, SourceCorpus
 from repro.sources.diffing import PendingInvalidation
 
-__all__ = ["RefreshMode", "ConsumerStats", "EagerRefreshScheduler"]
+__all__ = [
+    "RefreshMode",
+    "ConsumerStats",
+    "EagerRefreshScheduler",
+    "register_worker_stack",
+]
 
 
 class RefreshMode(str, Enum):
@@ -664,3 +669,41 @@ class EagerRefreshScheduler:
 
     def __exit__(self, *exc_info: Any) -> None:
         self.close()
+
+
+def register_worker_stack(
+    scheduler: EagerRefreshScheduler,
+    *,
+    shard_index: int,
+    engine: Any = None,
+    source_model: Any = None,
+    corpus: Optional[SourceCorpus] = None,
+    store: Any = None,
+) -> list[str]:
+    """Register a shard worker's serving stack under shard-scoped names.
+
+    The sharded worker (:mod:`repro.sharding.worker`) runs the very same
+    consumers a single-process deployment does; this helper registers
+    whichever of them exist under ``shard<i>.``-prefixed names — e.g.
+    ``shard2.search-engine`` — so consumer stats, stress output and test
+    assertions can tell the shards apart at a glance.  Pass only the
+    pieces that already exist (the worker builds its engine lazily and
+    registers it on first build); returns the registered names.
+    """
+    names: list[str] = []
+    prefix = f"shard{shard_index}."
+    if engine is not None:
+        names.append(
+            scheduler.register_search_engine(engine, name=f"{prefix}search-engine")
+        )
+    if source_model is not None:
+        names.append(
+            scheduler.register_source_model(
+                source_model, corpus, name=f"{prefix}source-model"
+            )
+        )
+    if store is not None:
+        names.append(
+            scheduler.register_checkpoint_store(store, name=f"{prefix}checkpoint")
+        )
+    return names

@@ -1,0 +1,571 @@
+"""Shard coordinator: the authoritative corpus fanned out over worker processes.
+
+The :class:`ShardCoordinator` owns the authoritative
+:class:`~repro.sources.corpus.SourceCorpus` — callers mutate it exactly
+as they would a single-process corpus — and replicates every mutation to
+``shard_count`` worker processes, each serving the partition of sources
+whose stable hash (:func:`~repro.sharding.partition.partition_shard`)
+lands on it.  Replication rides the corpus's own
+:class:`~repro.sources.diffing.InvalidationBus`: a
+:class:`~repro.sources.diffing.WireBridgeSubscriber` turns each
+:class:`CorpusChange` into a journal-schema record, which the bridge
+sink only *buffers* per shard — the mutating thread never touches a
+socket.  Buffers drain as one batched ``apply`` per shard at the next
+``flush()``; every read flushes first, so a read always observes the
+mutations that preceded it (consistency is at flush/quiesce boundaries,
+matching the single-process scheduler's flush semantics).
+
+Reads are scatter-gather and **bit-identical** to a single-process
+build at quiesce:
+
+* ``search()`` runs the three-phase protocol — global term statistics
+  (summed document frequencies, maxed static maxima), per-shard scoring
+  against the global statistics, then per-shard top-k selection merged
+  with the engine's exact ``(-score, source_id)`` order.  Shards
+  partition the candidate set, so merging per-shard top-k loses nothing.
+* ``rank()`` gathers the global open-discussion maximum, collects raw
+  measure vectors per shard, reassembles them in the coordinator
+  corpus's insertion order and runs the model's global tail
+  (:meth:`~repro.core.source_quality.SourceQualityModel.rank_from_raw`)
+  locally.
+
+Worker death is detected on the wire (EOF / reset / CRC desync), the
+shard is marked down, and reads raise
+:class:`~repro.errors.ShardUnavailableError` unless ``allow_degraded=True``,
+which serves from the live shards.  Mutations routed to a down shard are
+dropped and counted; :meth:`restart_shard` respawns the worker, lets it
+recover warm from its per-shard store, then reconciles it against the
+authoritative corpus with a ``resync`` — after which the cluster is
+bit-identical to its pre-fault self.  See ``docs/ARCHITECTURE.md``.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import heapq
+import itertools
+import os
+import socket
+import subprocess
+import sys
+import threading
+from pathlib import Path
+from typing import Any, Optional
+
+import repro
+from repro.core.source_quality import QualityScore, SourceQualityModel
+from repro.errors import (
+    PersistenceError,
+    SearchError,
+    ShardingError,
+    ShardUnavailableError,
+    WireProtocolError,
+)
+from repro.persistence.cluster import ClusterStore
+from repro.search.engine import (
+    SearchEngineConfig,
+    SearchResult,
+    _reject_untokenizable,
+    tokenize,
+)
+from repro.sharding.partition import partition_shard
+from repro.sharding.wire import DEFAULT_TIMEOUT_SECONDS, WireConnection
+from repro.sources.corpus import SourceCorpus
+from repro.sources.diffing import WireBridgeSubscriber
+
+__all__ = ["ShardCoordinator"]
+
+
+@dataclasses.dataclass
+class _Shard:
+    """Book-keeping of one worker process."""
+
+    index: int
+    process: Optional[subprocess.Popen] = None
+    connection: Optional[WireConnection] = None
+    alive: bool = False
+
+
+class ShardCoordinator:
+    """Authoritative corpus + scatter-gather serving over worker processes."""
+
+    def __init__(
+        self,
+        corpus: SourceCorpus,
+        shard_count: int,
+        *,
+        domain: Optional[Any] = None,
+        engine_config: SearchEngineConfig = SearchEngineConfig(),
+        store_directory: Optional[str | Path] = None,
+        fsync: bool = True,
+        checkpoint_every: int = 256,
+        eager: bool = False,
+        recover: bool = False,
+        timeout: Optional[float] = DEFAULT_TIMEOUT_SECONDS,
+    ) -> None:
+        if shard_count < 1:
+            raise ShardingError(f"shard_count must be at least 1, got {shard_count}")
+        engine_config.validate()
+        if recover and store_directory is None:
+            raise PersistenceError("recover=True requires a store_directory")
+        self._corpus = corpus
+        self.shard_count = shard_count
+        self._domain = domain
+        self._engine_config = engine_config
+        self._model = SourceQualityModel(domain) if domain is not None else None
+        self._fsync = fsync
+        self._checkpoint_every = checkpoint_every
+        self._eager = eager
+        self._timeout = timeout
+        self._cluster = (
+            ClusterStore(
+                store_directory,
+                shard_count=shard_count,
+                fsync=fsync,
+                checkpoint_every=checkpoint_every,
+            )
+            if store_directory is not None
+            else None
+        )
+        # All wire traffic is serialised by this lock; the bridge sink
+        # only ever takes the buffer lock, so a corpus mutation never
+        # blocks behind a socket.
+        self._io = threading.RLock()
+        self._buffer_lock = threading.Lock()
+        self._pending: dict[int, list[dict[str, Any]]] = {
+            index: [] for index in range(shard_count)
+        }
+        self._message_ids = itertools.count(1)
+        self._query_ids = itertools.count(1)
+        self._dropped = 0
+        self._closed = False
+        self._shards = [_Shard(index) for index in range(shard_count)]
+        self._bridge = WireBridgeSubscriber(corpus, self._route)
+        try:
+            for shard in self._shards:
+                self._spawn(shard, recover=recover)
+        except BaseException:
+            self.close()
+            raise
+
+    # -- properties --------------------------------------------------------------------
+
+    @property
+    def corpus(self) -> SourceCorpus:
+        """The authoritative corpus (mutate it directly; reads replicate)."""
+        return self._corpus
+
+    @property
+    def processes(self) -> list[Optional[subprocess.Popen]]:
+        """The worker process handles, by shard index (for fault tests)."""
+        return [shard.process for shard in self._shards]
+
+    @property
+    def live_shards(self) -> list[int]:
+        """Indices of shards currently believed alive."""
+        return [shard.index for shard in self._shards if shard.alive]
+
+    @property
+    def dropped_mutations(self) -> int:
+        """Mutation records dropped because their shard was down."""
+        return self._dropped
+
+    # -- lifecycle ---------------------------------------------------------------------
+
+    def _spawn(self, shard: _Shard, *, recover: bool) -> None:
+        parent, child = socket.socketpair()
+        env = dict(os.environ)
+        source_root = str(Path(repro.__file__).resolve().parents[1])
+        existing = env.get("PYTHONPATH")
+        env["PYTHONPATH"] = (
+            source_root if not existing else source_root + os.pathsep + existing
+        )
+        try:
+            shard.process = subprocess.Popen(
+                [
+                    sys.executable,
+                    "-m",
+                    "repro.sharding.worker",
+                    "--fd",
+                    str(child.fileno()),
+                ],
+                pass_fds=(child.fileno(),),
+                env=env,
+            )
+        finally:
+            child.close()
+        shard.connection = WireConnection(parent, timeout=self._timeout)
+        shard.alive = True
+        self._request(
+            shard,
+            "configure",
+            {
+                "shard_index": shard.index,
+                "shard_count": self.shard_count,
+                "domain": self._domain.to_dict() if self._domain is not None else None,
+                "engine_config": dataclasses.asdict(self._engine_config),
+                "store_dir": (
+                    str(self._cluster.shard_directory(shard.index))
+                    if self._cluster is not None
+                    else None
+                ),
+                "fsync": self._fsync,
+                "checkpoint_every": self._checkpoint_every,
+                "eager": self._eager,
+                "recover": recover,
+            },
+        )
+        self._resync_shard(shard)
+
+    def _resync_shard(self, shard: _Shard) -> dict[str, Any]:
+        """Reconcile a (fresh or recovered) worker with the authoritative corpus."""
+        owned = {
+            source_id: self._corpus.get(source_id).to_dict()
+            for source_id in self._corpus.source_ids()
+            if partition_shard(source_id, self.shard_count) == shard.index
+        }
+        return self._request(
+            shard, "resync", {"sources": owned, "version": self._corpus.version}
+        )
+
+    def restart_shard(self, shard_index: int) -> dict[str, Any]:
+        """Respawn a (dead or live) worker and bring its shard back in sync.
+
+        The worker recovers warm from its per-shard store when the
+        coordinator has one, then the resync overlays whatever the store
+        had not yet made durable.  Buffered mutations for the shard are
+        discarded — the resync supersedes them.
+        """
+        if not 0 <= shard_index < self.shard_count:
+            raise ShardingError(
+                f"shard index {shard_index} is not within the "
+                f"{self.shard_count}-way split"
+            )
+        with self._io:
+            shard = self._shards[shard_index]
+            shard.alive = False
+            if shard.connection is not None:
+                shard.connection.close()
+            if shard.process is not None:
+                if shard.process.poll() is None:
+                    shard.process.kill()
+                shard.process.wait()
+            with self._buffer_lock:
+                self._pending[shard_index] = []
+            self._spawn(shard, recover=self._cluster is not None)
+            return self._request(shard, "sync", {})
+
+    def close(self) -> None:
+        """Shut down every worker and detach from the corpus (idempotent)."""
+        if self._closed:
+            return
+        self._closed = True
+        self._bridge.close()
+        with self._io:
+            for shard in self._shards:
+                if shard.alive:
+                    try:
+                        self._request(shard, "shutdown", {})
+                    except (ShardingError, WireProtocolError, OSError):
+                        pass
+                if shard.connection is not None:
+                    shard.connection.close()
+            for shard in self._shards:
+                if shard.process is None:
+                    continue
+                try:
+                    shard.process.wait(timeout=10)
+                except subprocess.TimeoutExpired:
+                    shard.process.kill()
+                    shard.process.wait()
+
+    def __enter__(self) -> "ShardCoordinator":
+        return self
+
+    def __exit__(self, *exc_info: Any) -> None:
+        self.close()
+
+    # -- replication -------------------------------------------------------------------
+
+    def _route(self, record: dict[str, Any]) -> None:
+        # Bridge sink: called on the mutating thread, under the bridge's
+        # append lock.  Buffer only — never touch the wire here.
+        shard_index = partition_shard(record["source_id"], self.shard_count)
+        with self._buffer_lock:
+            self._pending[shard_index].append(dict(record))
+
+    def flush(self) -> int:
+        """Drain buffered mutation records to their shards; return count sent.
+
+        Records routed to a down shard are dropped and counted — the
+        shard's eventual :meth:`restart_shard` resync supersedes them.
+        """
+        with self._io:
+            with self._buffer_lock:
+                batches = self._pending
+                self._pending = {index: [] for index in range(self.shard_count)}
+            sent = 0
+            for index, records in batches.items():
+                if not records:
+                    continue
+                shard = self._shards[index]
+                if not shard.alive:
+                    self._dropped += len(records)
+                    continue
+                try:
+                    self._request(shard, "apply", {"records": records})
+                    sent += len(records)
+                except ShardUnavailableError:
+                    self._dropped += len(records)
+            return sent
+
+    def quiesce(self, *, allow_degraded: bool = False) -> dict[int, dict[str, Any]]:
+        """Flush and barrier every live worker; return per-shard versions."""
+        with self._io:
+            self.flush()
+            return self._scatter("sync", {}, allow_degraded=allow_degraded)
+
+    def checkpoint(self, *, allow_degraded: bool = False) -> dict[int, int]:
+        """Flush, then checkpoint every shard store; return per-shard versions."""
+        if self._cluster is None:
+            raise PersistenceError("coordinator was built without a store_directory")
+        with self._io:
+            self.flush()
+            results = self._scatter("checkpoint", {}, allow_degraded=allow_degraded)
+            return {index: result["version"] for index, result in results.items()}
+
+    def busy_times(self, *, allow_degraded: bool = False) -> dict[int, float]:
+        """Cumulative per-worker CPU seconds spent inside request handlers."""
+        with self._io:
+            results = self._scatter("busy_time", {}, allow_degraded=allow_degraded)
+            return {
+                index: float(result["busy_seconds"])
+                for index, result in results.items()
+            }
+
+    # -- reads -------------------------------------------------------------------------
+
+    def search(
+        self, query: str, limit: int = 20, *, allow_degraded: bool = False
+    ) -> list[SearchResult]:
+        """Scatter-gather search, bit-identical to a single-process engine.
+
+        Runs the three-phase protocol described in the module docstring.
+        Degraded mode serves from live shards only: global statistics and
+        candidates then cover the live partitions, which is explicitly an
+        approximation.
+        """
+        if limit <= 0:
+            raise SearchError("limit must be positive")
+        if self._engine_config.minimum_topical_score < 0:
+            raise SearchError(
+                "sharded search does not support a negative minimum_topical_score "
+                "(the single-process engine falls back to a full scan)"
+            )
+        if len(self._corpus) == 0:
+            raise SearchError("cannot index an empty corpus")
+        terms = tuple(tokenize(query))
+        if not terms:
+            _reject_untokenizable(query)
+        with self._io:
+            self.flush()
+            stats = self._scatter(
+                "search_stats", {"terms": list(terms)}, allow_degraded=allow_degraded
+            )
+            n_documents = sum(int(s["n_documents"]) for s in stats.values())
+            if n_documents == 0:
+                return []
+            document_frequencies = {
+                term: sum(
+                    int(s["document_frequencies"].get(term, 0))
+                    for s in stats.values()
+                )
+                for term in set(terms)
+            }
+            max_visitors = max(
+                (float(s["max_visitors"]) for s in stats.values()), default=0.0
+            )
+            max_links = max((int(s["max_links"]) for s in stats.values()), default=0)
+            query_id = next(self._query_ids)
+            scores = self._scatter(
+                "search_score",
+                {
+                    "query_id": query_id,
+                    "terms": list(terms),
+                    "n_documents": n_documents,
+                    "document_frequencies": document_frequencies,
+                    "max_visitors": max_visitors,
+                    "max_links": max_links,
+                },
+                allow_degraded=allow_degraded,
+            )
+            max_topical = max(
+                (float(s["max_raw"]) for s in scores.values()), default=0.0
+            )
+            selections = self._scatter(
+                "search_select",
+                {"query_id": query_id, "max_topical": max_topical, "limit": limit},
+                allow_degraded=allow_degraded,
+                only=set(scores),
+            )
+        entries = [
+            entry
+            for selection in selections.values()
+            for entry in selection["entries"]
+        ]
+        top = heapq.nsmallest(limit, entries, key=lambda entry: (-entry[0], entry[1]))
+        return [
+            SearchResult(
+                rank=index + 1,
+                source_id=entry[1],
+                score=entry[0],
+                static_score=entry[3],
+                topical_score=entry[2],
+            )
+            for index, entry in enumerate(top)
+        ]
+
+    def rank(
+        self, *, allow_degraded: bool = False
+    ) -> list[tuple[str, QualityScore]]:
+        """Scatter-gather assessment ranking, bit-identical at quiesce.
+
+        Returns ``(source_id, score)`` pairs in decreasing overall
+        quality (ties by source id) — the pair view of the single-process
+        :meth:`~repro.core.source_quality.SourceQualityModel.rank`.
+        """
+        if self._model is None:
+            raise ShardingError("coordinator was built without a domain")
+        with self._io:
+            self.flush()
+            stats = self._scatter("rank_stats", {}, allow_degraded=allow_degraded)
+            max_open = max((int(s["max_open"]) for s in stats.values()), default=0)
+            gathered = self._scatter(
+                "rank_measures",
+                {"max_open": max_open},
+                allow_degraded=allow_degraded,
+                only=set(stats),
+            )
+        vectors: dict[str, dict[str, float]] = {}
+        for result in gathered.values():
+            vectors.update(result["vectors"])
+        raw_vectors = {}
+        for source_id in self._corpus.source_ids():
+            if source_id in vectors:
+                raw_vectors[source_id] = vectors[source_id]
+            elif not allow_degraded:
+                raise ShardingError(
+                    f"shard {partition_shard(source_id, self.shard_count)} did not "
+                    f"report measures for source {source_id!r}"
+                )
+        return self._model.rank_from_raw(raw_vectors)
+
+    def ranking_ids(self, *, allow_degraded: bool = False) -> list[str]:
+        """Source identifiers ordered by decreasing overall quality."""
+        return [
+            source_id
+            for source_id, _ in self.rank(allow_degraded=allow_degraded)
+        ]
+
+    # -- wire plumbing -----------------------------------------------------------------
+
+    def _request(self, shard: _Shard, kind: str, payload: dict[str, Any]) -> Any:
+        """One request/reply round-trip with a single shard (holds the io lock)."""
+        with self._io:
+            message = {"id": next(self._message_ids), "kind": kind, **payload}
+            try:
+                shard.connection.send(message)
+                reply = shard.connection.recv()
+            except (WireProtocolError, OSError) as exc:
+                self._mark_down(shard)
+                raise ShardUnavailableError(shard.index, str(exc)) from exc
+            if reply is None:
+                self._mark_down(shard)
+                raise ShardUnavailableError(shard.index, "connection closed by worker")
+            if reply.get("id") != message["id"]:
+                self._mark_down(shard)
+                raise ShardUnavailableError(shard.index, "reply out of order")
+            if not reply.get("ok", False):
+                raise self._remote_error(reply.get("error") or {})
+            return reply.get("result")
+
+    def _scatter(
+        self,
+        kind: str,
+        payload: dict[str, Any],
+        *,
+        allow_degraded: bool,
+        only: Optional[set[int]] = None,
+    ) -> dict[int, Any]:
+        """Send one request to every live shard, then gather every reply.
+
+        Replies are always drained from every shard the request reached —
+        leaving one unread would desynchronise that connection — before
+        any error is raised.  A shard failing at the wire level is marked
+        down; in strict mode (the default) any down shard aborts the
+        read with :class:`ShardUnavailableError`, while degraded mode
+        returns the live subset.  ``only`` restricts a follow-up phase to
+        the shards that answered the previous one.
+        """
+        sent: list[tuple[_Shard, int]] = []
+        down: list[int] = []
+        for shard in self._shards:
+            if only is not None and shard.index not in only:
+                continue
+            if not shard.alive:
+                down.append(shard.index)
+                continue
+            message = {"id": next(self._message_ids), "kind": kind, **payload}
+            try:
+                shard.connection.send(message)
+                sent.append((shard, message["id"]))
+            except (WireProtocolError, OSError):
+                self._mark_down(shard)
+                down.append(shard.index)
+        results: dict[int, Any] = {}
+        remote_error: Optional[BaseException] = None
+        for shard, message_id in sent:
+            try:
+                reply = shard.connection.recv()
+            except (WireProtocolError, OSError):
+                self._mark_down(shard)
+                down.append(shard.index)
+                continue
+            if reply is None or reply.get("id") != message_id:
+                self._mark_down(shard)
+                down.append(shard.index)
+                continue
+            if not reply.get("ok", False):
+                if remote_error is None:
+                    remote_error = self._remote_error(reply.get("error") or {})
+                continue
+            results[shard.index] = reply.get("result")
+        if remote_error is not None:
+            raise remote_error
+        if down and not allow_degraded:
+            raise ShardUnavailableError(down[0])
+        return results
+
+    def _mark_down(self, shard: _Shard) -> None:
+        shard.alive = False
+        if shard.connection is not None:
+            shard.connection.close()
+
+    @staticmethod
+    def _remote_error(error: dict[str, Any]) -> BaseException:
+        """Rebuild a worker-side exception as its local typed counterpart."""
+        import builtins
+
+        import repro.errors as errors_module
+
+        type_name = str(error.get("type", ""))
+        message = str(error.get("message", ""))
+        cls = getattr(errors_module, type_name, None)
+        if not (isinstance(cls, type) and issubclass(cls, Exception)):
+            cls = getattr(builtins, type_name, None)
+        if isinstance(cls, type) and issubclass(cls, Exception):
+            try:
+                return cls(message)
+            except TypeError:
+                pass
+        return ShardingError(f"{type_name}: {message}")

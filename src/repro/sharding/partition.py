@@ -1,0 +1,27 @@
+"""Stable source-id partitioning for the sharded serving layer.
+
+Every placement decision in the cluster — event routing, scatter-gather
+read ownership, per-shard persistence, resync after a worker restart —
+goes through :func:`partition_shard`, so it must be deterministic across
+processes, platforms and interpreter restarts.  Python's built-in
+``hash`` is randomised per process (``PYTHONHASHSEED``) and therefore
+unusable; the function hashes the UTF-8 source id with ``blake2b``
+(8-byte digest, the same construction as the search engine's query
+noise) and reduces modulo the shard count.
+"""
+
+from __future__ import annotations
+
+import hashlib
+
+from repro.errors import ShardingError
+
+__all__ = ["partition_shard"]
+
+
+def partition_shard(source_id: str, shard_count: int) -> int:
+    """The shard index owning ``source_id`` in a ``shard_count``-way split."""
+    if shard_count < 1:
+        raise ShardingError(f"shard_count must be at least 1, got {shard_count}")
+    digest = hashlib.blake2b(source_id.encode("utf-8"), digest_size=8).digest()
+    return int.from_bytes(digest, "big") % shard_count

@@ -1,0 +1,135 @@
+"""Framed JSON messaging between the coordinator and shard workers.
+
+The wire format reuses the persistence layer's record framing
+(:mod:`repro.persistence.format`) byte for byte::
+
+    [u32 payload length][u32 CRC-32 of payload][payload bytes]
+
+with a compact-JSON object as the payload.  Little-endian, CRC-32 via
+``zlib.crc32`` — the same framing the snapshot and journal files use, so
+one codec (and one set of torn-frame semantics) covers both disk and
+wire.  Requests carry ``{"id": n, "kind": "...", ...}``; responses carry
+``{"id": n, "ok": true, "result": ...}`` or ``{"id": n, "ok": false,
+"error": {"type": ..., "message": ...}}``.
+
+Failure semantics of :class:`WireConnection`:
+
+* a clean EOF at a frame boundary — and an EOF *inside* a frame (the
+  peer died mid-send; the stream equivalent of a journal's torn tail) —
+  both return ``None`` from :meth:`WireConnection.recv`: the peer is
+  gone and the connection is unusable either way;
+* a CRC mismatch or an implausible length on a *live* stream raises
+  :class:`~repro.errors.WireProtocolError` — framing corruption between
+  two live processes is a protocol violation, never expected;
+* a send to a dead peer raises :class:`~repro.errors.WireProtocolError`
+  with the OS error as its cause.
+
+Sends are serialised under a per-connection lock so a coordinator
+flushing events from a mutating thread can never interleave frames with
+a read-path request.
+"""
+
+from __future__ import annotations
+
+import json
+import socket
+import threading
+from typing import Any, Optional
+
+from repro.errors import WireProtocolError
+from repro.persistence.format import (
+    MAX_PAYLOAD_BYTES,
+    RECORD_HEADER,
+    json_record,
+    pack_record,
+    read_record,
+)
+
+__all__ = ["WireConnection"]
+
+#: Default socket timeout: long enough for a worker paying a cold
+#: measure pass over a large shard, short enough that a wedged peer
+#: fails the test run instead of hanging it.
+DEFAULT_TIMEOUT_SECONDS = 120.0
+
+
+class WireConnection:
+    """One framed-JSON duplex channel over a connected stream socket."""
+
+    def __init__(
+        self, sock: socket.socket, *, timeout: Optional[float] = DEFAULT_TIMEOUT_SECONDS
+    ) -> None:
+        self._socket = sock
+        self._socket.settimeout(timeout)
+        self._send_lock = threading.Lock()
+        self._closed = False
+
+    @property
+    def closed(self) -> bool:
+        """True once :meth:`close` ran."""
+        return self._closed
+
+    def fileno(self) -> int:
+        """The underlying socket's file descriptor."""
+        return self._socket.fileno()
+
+    # -- sending ---------------------------------------------------------------------
+
+    def send(self, message: dict[str, Any]) -> None:
+        """Frame and send one JSON message (serialised per connection)."""
+        frame = pack_record(json_record(message))
+        try:
+            with self._send_lock:
+                self._socket.sendall(frame)
+        except OSError as exc:
+            raise WireProtocolError(f"send failed, peer is gone: {exc}") from exc
+
+    # -- receiving -------------------------------------------------------------------
+
+    def _recv_exact(self, count: int) -> Optional[bytes]:
+        """Read exactly ``count`` bytes; None when the peer closed first."""
+        chunks: list[bytes] = []
+        remaining = count
+        while remaining:
+            try:
+                chunk = self._socket.recv(remaining)
+            except (ConnectionResetError, BrokenPipeError):
+                return None
+            if not chunk:
+                return None
+            chunks.append(chunk)
+            remaining -= len(chunk)
+        return b"".join(chunks)
+
+    def recv(self) -> Optional[dict[str, Any]]:
+        """Receive one message; None when the peer is gone (EOF / torn frame)."""
+        header = self._recv_exact(RECORD_HEADER.size)
+        if header is None:
+            return None
+        length, _checksum = RECORD_HEADER.unpack(header)
+        if length > MAX_PAYLOAD_BYTES:
+            raise WireProtocolError(f"implausible wire frame length {length}")
+        payload = self._recv_exact(length)
+        if payload is None:
+            return None
+        decoded = read_record(header + payload, 0)
+        if decoded is None:
+            raise WireProtocolError("wire frame CRC mismatch")
+        try:
+            message = json.loads(decoded[0].decode("utf-8"))
+        except (UnicodeDecodeError, ValueError) as exc:
+            raise WireProtocolError(f"undecodable wire message: {exc}") from exc
+        if not isinstance(message, dict):
+            raise WireProtocolError(
+                f"wire message must be a JSON object, got {type(message).__name__}"
+            )
+        return message
+
+    def close(self) -> None:
+        """Close the underlying socket (idempotent)."""
+        if not self._closed:
+            self._closed = True
+            try:
+                self._socket.close()
+            except OSError:  # pragma: no cover - close failures are ignorable
+                pass

@@ -104,6 +104,7 @@ __all__ = [
     "CorpusChangeTracker",
     "SourceChangeTracker",
     "DurableJournalSubscriber",
+    "WireBridgeSubscriber",
 ]
 
 #: Cache for :func:`_serving_rwlock` (``repro.serving`` imports this
@@ -825,6 +826,38 @@ class DurableJournalSubscriber:
     def close(self) -> None:
         """Detach from the bus; no further events are journaled (idempotent)."""
         self._subscription.close()
+
+
+class WireBridgeSubscriber(DurableJournalSubscriber):
+    """Bus subscriber that replicates corpus changes onto the sharding wire.
+
+    The cross-process face of :class:`DurableJournalSubscriber`: same
+    intake (unfiltered ``on_event`` subscription, full source payload
+    serialised on the mutating thread, appends serialised under the
+    subscriber's lock), but the sink is a
+    :class:`~repro.sharding.coordinator.ShardCoordinator` routing
+    callable instead of a journal writer.  The record schema is *exactly*
+    the journal-record schema (``{"version", "op", "source_id",
+    "source"}``), so a worker applies a replicated burst with the very
+    same :func:`repro.persistence.store.replay_journal` code path that
+    crash recovery uses — one replay semantics for disk and wire,
+    including version-keyed idempotence and contentless-record skipping.
+
+    The coordinator buffers routed records per shard and flushes them in
+    batches, so replication consistency is *at quiesce*, not per event
+    (see ``docs/ARCHITECTURE.md``, "Cross-process sharded serving").
+    Like its parent, the bridge must be :meth:`close`\\ d by its owner —
+    the ``bus-hygiene`` lint checker enforces that for attribute-held
+    bridges.
+    """
+
+    def __init__(
+        self,
+        corpus: "SourceCorpus",
+        sink: Callable[[dict], Any],
+        name: str = "wire-bridge",
+    ) -> None:
+        super().__init__(corpus, sink, name=name)
 
 
 class SourceChangeTracker:

@@ -1,0 +1,36 @@
+"""Deadline-polling helper shared by the timing-sensitive suites.
+
+Lives in its own module (not ``conftest.py``) so test files can import it
+by name without colliding with the benchmarks' ``conftest`` when pytest
+collects both trees in one run.
+"""
+
+from __future__ import annotations
+
+import time
+
+__all__ = ["wait_until"]
+
+
+def wait_until(
+    predicate,
+    *,
+    timeout: float = 10.0,
+    interval: float = 0.002,
+    message: str = "condition",
+) -> None:
+    """Poll ``predicate`` until true or fail loudly after ``timeout`` seconds.
+
+    The deflaked replacement for bare ``time.sleep`` pacing in
+    timing-sensitive tests: it converges as soon as the condition holds
+    (fast machines don't wait) and a slow machine gets the full budget
+    with a named assertion instead of a silent fallthrough.
+    """
+    deadline = time.monotonic() + timeout
+    while time.monotonic() < deadline:
+        if predicate():
+            return
+        time.sleep(interval)
+    if predicate():
+        return
+    raise AssertionError(f"timed out after {timeout:.1f}s waiting for {message}")

@@ -16,6 +16,42 @@ def pytest_configure(config: pytest.Config) -> None:
         "stress: concurrency stress tests (reader/mutator thread pools; "
         "run them alone with `pytest -m stress`)",
     )
+    config.addinivalue_line(
+        "markers",
+        "shard_stress: cross-process sharding stress tests (spawn worker "
+        "process fleets; run them alone with `pytest -m shard_stress`)",
+    )
+
+
+@pytest.fixture
+def coordinator_factory():
+    """Build :class:`~repro.sharding.ShardCoordinator` fleets with guaranteed reaping.
+
+    Worker processes must never outlive a test — not on assertion
+    failure, not on a coordinator that was deliberately wedged by a fault
+    scenario.  The factory tracks every coordinator it builds and tears
+    all of them down at test exit: close first (graceful shutdown), then
+    kill whatever is still running.  Used by the sharded-serving suite
+    and the ``make shard-stress`` matrix.
+    """
+    from repro.sharding import ShardCoordinator
+
+    created: list[ShardCoordinator] = []
+
+    def factory(corpus, shard_count, **kwargs):
+        coordinator = ShardCoordinator(corpus, shard_count, **kwargs)
+        created.append(coordinator)
+        return coordinator
+
+    yield factory
+    for coordinator in created:
+        try:
+            coordinator.close()
+        finally:
+            for process in coordinator.processes:
+                if process is not None and process.poll() is None:
+                    process.kill()
+                    process.wait()
 
 from repro.core.domain import DomainOfInterest, TimeInterval
 from repro.datasets.london_twitter import LondonTwitterSpec, build_london_twitter

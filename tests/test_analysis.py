@@ -381,6 +381,42 @@ class TestBusHygiene:
         findings = bus_checker.check(tmp_path, files=[relative])
         assert "leaked-subscription" in _rules(findings)
 
+    def test_unclosed_bridge_is_flagged(self, tmp_path):
+        relative = _write(
+            tmp_path,
+            "bad_bridge.py",
+            '''
+            class LeakyCoordinator:
+                def __init__(self, corpus, sink):
+                    self._bridge = WireBridgeSubscriber(corpus, sink)
+
+                def close(self):
+                    pass
+
+            class LeakyStore:
+                def attach(self, corpus):
+                    self._subscriber = DurableJournalSubscriber(corpus, self._sink)
+            ''',
+        )
+        findings = bus_checker.check(tmp_path, files=[relative])
+        assert _rules(findings) == {"unclosed-bridge"}
+        assert len(findings) == 2
+
+    def test_closed_bridge_passes(self, tmp_path):
+        relative = _write(
+            tmp_path,
+            "good_bridge.py",
+            '''
+            class TidyCoordinator:
+                def __init__(self, corpus, sink):
+                    self._bridge = WireBridgeSubscriber(corpus, sink)
+
+                def close(self):
+                    self._bridge.close()
+            ''',
+        )
+        assert bus_checker.check(tmp_path, files=[relative]) == []
+
     def test_detaching_consumer_passes(self, tmp_path):
         relative = _write(
             tmp_path,

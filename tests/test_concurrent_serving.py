@@ -23,6 +23,7 @@ import time
 
 import pytest
 
+from _timing import wait_until
 from repro.core.contributor_quality import ContributorQualityModel
 from repro.core.source_quality import SourceQualityModel
 from repro.errors import ServingError
@@ -218,7 +219,10 @@ class TestReadWriteLock:
 
         writer_thread = threading.Thread(target=writer)
         writer_thread.start()
-        time.sleep(0.05)
+        wait_until(
+            lambda: lock._waiting_writers == 1,
+            message="writer to register as waiting",
+        )
         assert not acquired  # writer blocked while readers hold
         release.set()
         writer_thread.join(timeout=5.0)
@@ -267,10 +271,18 @@ class TestReadWriteLock:
         reader_in.wait(timeout=5.0)
         writer_thread = threading.Thread(target=writer)
         writer_thread.start()
-        time.sleep(0.05)  # writer now queued behind the holder
+        wait_until(
+            lambda: lock._waiting_writers == 1,
+            message="writer to queue behind the read holder",
+        )
         late_thread = threading.Thread(target=late_reader)
         late_thread.start()
-        time.sleep(0.05)
+        # The late reader is provably *queued* (not merely slow) once it
+        # parks on the lock's condition alongside the waiting writer.
+        wait_until(
+            lambda: len(lock._condition._waiters) >= 2,
+            message="late reader to park behind the waiting writer",
+        )
         assert order == []  # late reader queues behind the waiting writer
         reader_release.set()
         writer_thread.join(timeout=5.0)

@@ -444,3 +444,83 @@ class TestQualityModelEpochPropagation:
         assert {u: a.overall for u, a in result.items()} == {
             u: a.overall for u, a in fresh.items()
         }
+
+
+class TestWireBoundaryCoalescing:
+    """InvalidationBus coalescing survives the sharding wire boundary.
+
+    A mutation burst bridged onto the wire (``WireBridgeSubscriber`` →
+    framed codec → ``replay_journal`` on a worker-side replica) must
+    produce exactly the patch set the in-process bus delivers: same
+    coalesced source-id/op sets, same event count, same final corpus
+    payloads, same version.
+    """
+
+    def test_coalesced_burst_replays_to_same_patch_set(self):
+        import socket as socket_module
+
+        from repro.persistence.store import replay_journal
+        from repro.sharding import WireConnection
+        from repro.sources.diffing import WireBridgeSubscriber
+
+        corpus = _fresh_corpus(5)
+        replica = SourceCorpus.from_dict(corpus.to_dict())
+        replica._restore_version(corpus.version)
+        local_subscription = corpus.invalidation_bus().subscribe(name="in-process")
+        replica_subscription = replica.invalidation_bus().subscribe(name="replayed")
+
+        left_sock, right_sock = socket_module.socketpair()
+        left = WireConnection(left_sock, timeout=10.0)
+        right = WireConnection(right_sock, timeout=10.0)
+        bridge = WireBridgeSubscriber(corpus, left.send, name="test-bridge")
+        try:
+            ids = corpus.source_ids()
+            records = []
+            # Drain the wire after each mutation: the bridge sends
+            # synchronously and a socketpair buffer is finite (the real
+            # coordinator batches through flush() instead).
+            for _ in range(3):
+                corpus.touch(ids[0])  # coalesces to one dirty source in-process
+                records.append(right.recv())
+            _grow(corpus.get(ids[1]), "travel growth across the wire")
+            records.append(right.recv())
+            corpus.add(_extra_source("wire-extra"))
+            records.append(right.recv())
+            corpus.remove(ids[2])
+            records.append(right.recv())
+            burst = 6
+            assert all(record is not None for record in records)
+            applied, skipped = replay_journal(replica, records)
+            assert (applied, skipped) == (burst, 0)
+        finally:
+            bridge.close()
+            left.close()
+            right.close()
+
+        in_process = local_subscription.drain()
+        replayed = replica_subscription.drain()
+        assert replayed.events == in_process.events == burst
+        assert replayed.source_ids == in_process.source_ids
+        assert replayed.ops == in_process.ops
+        assert replayed.last_version == in_process.last_version == corpus.version
+        assert replica.version == corpus.version
+        assert replica.to_dict() == corpus.to_dict()
+
+    def test_replaying_the_same_burst_twice_is_idempotent(self):
+        from repro.persistence.store import replay_journal
+        from repro.sources.diffing import WireBridgeSubscriber
+
+        corpus = _fresh_corpus(4)
+        replica = SourceCorpus.from_dict(corpus.to_dict())
+        replica._restore_version(corpus.version)
+        records: list[dict] = []
+        bridge = WireBridgeSubscriber(corpus, records.append, name="dup-bridge")
+        try:
+            corpus.touch(corpus.source_ids()[0])
+            corpus.add(_extra_source("idempotent-extra"))
+        finally:
+            bridge.close()
+        assert replay_journal(replica, records) == (2, 0)
+        assert replay_journal(replica, records) == (0, 2)
+        assert replica.to_dict() == corpus.to_dict()
+        assert replica.version == corpus.version

@@ -20,6 +20,7 @@ import time
 
 import pytest
 
+from _timing import wait_until
 from repro.core.contributor_quality import ContributorQualityModel
 from repro.core.measures import source_measure_registry
 from repro.core.normalization import (
@@ -395,16 +396,14 @@ class TestSchedulerRegistration:
             scheduler.start()
             assert scheduler.running
             _grow(corpus.sources()[0], "travel background growth")
-            deadline = time.monotonic() + 10.0
-            while scheduler.pending and time.monotonic() < deadline:
-                time.sleep(0.005)
-            assert not scheduler.pending
-            deadline = time.monotonic() + 10.0
-            while (
-                model.counters.get("context_patches") == 0
-                and time.monotonic() < deadline
-            ):
-                time.sleep(0.005)
+            wait_until(
+                lambda: not scheduler.pending,
+                message="background worker to drain the pending marker",
+            )
+            wait_until(
+                lambda: model.counters.get("context_patches") > 0,
+                message="background worker to apply the context patch",
+            )
             assert model.counters.get("context_patches") == 1
             scheduler.stop()
             assert not scheduler.running
