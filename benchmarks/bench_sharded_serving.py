@@ -1,15 +1,15 @@
 #!/usr/bin/env python
-"""Sharded serving capacity: scatter-gather reads at 1 worker vs 4 workers.
+"""Sharded serving capacity: scatter-gather reads at 1, 4 and 8 workers.
 
-PR 9's :mod:`repro.sharding` package partitions the corpus across worker
+The :mod:`repro.sharding` package partitions the corpus across worker
 processes by stable source-id hash and serves search/assessment reads by
 scatter-gather over the CRC-framed wire (see *Cross-process sharded
 serving* in ``docs/ARCHITECTURE.md``).  This harness measures what the
 fan-out buys — and proves it buys nothing in correctness: before any
-number is recorded, both cluster sizes must return **bit-identical**
+number is recorded, every cluster size must return **bit-identical**
 results to a fresh single-process :class:`~repro.search.engine.SearchEngine`
 and :class:`~repro.core.source_quality.SourceQualityModel` built over a
-twin of the final corpus.
+twin of the final corpus (including the pre-merged ``rank_top`` path).
 
 Two scores are recorded per cluster size, because this host may expose a
 single CPU to the container:
@@ -22,11 +22,16 @@ single CPU to the container:
   batch.  This is the per-process cost of the work sharding actually
   distributes — scoring, ranking measures, top-k selection — and the
   throughput that side of the system would sustain if each worker had
-  its own core.  The coordinator's merge cost (global-statistics
-  summing, reply decoding, final ``rank_from_raw``) is the *serial
-  fraction* of the design: it does not shrink with the worker count, so
-  it is recorded honestly alongside (``coordinator_cpu_seconds_*``)
-  rather than folded into a ratio it would flatten by Amdahl's law.
+  its own core.
+
+The coordinator's merge cost is the *serial fraction* of the design: it
+does not shrink with the worker count, so PR 10 attacks its constant
+instead — binary columnar ``rank_measures`` replies (raw ``float64``
+bytes straight into numpy, no JSON decode of O(corpus) floats),
+per-shard gather threads, and worker-side rank pre-merge.  It is
+recorded honestly (``coordinator_cpu_seconds_*``, plus per-read CPU and
+bytes-on-wire at 8 workers) rather than folded into a ratio it would
+flatten by Amdahl's law.
 
 Each timed ranking is preceded by a ``touch`` so the measure path
 really runs: a cache-warm rank costs the workers almost nothing and
@@ -36,7 +41,7 @@ cache of the *owning shard only*, so one worker re-measures 1/N of the
 corpus while its peers serve from cache, where the 1-worker cluster
 re-measures everything.
 
-``speedup`` is the capacity-QPS ratio (4 workers over 1) and the ≥3x
+``speedup`` is the capacity-QPS ratio (8 workers over 1) and the ≥6x
 target is enforced only under ``--strict``.  A small deterministic
 mutation stream runs through the InvalidationBus bridge first, so the
 measured cluster state is replicated, not just seeded.
@@ -74,10 +79,14 @@ from repro.sources.generators import (
 DEFAULT_OUTPUT = Path(__file__).resolve().parent.parent / "BENCH_perf.json"
 
 #: Capacity-QPS target recorded in the JSON so future PRs see the
-#: goalposts: 4 workers must sustain ≥3x the reads of 1 worker on the
-#: critical-path-CPU metric (perfect scaling would be 4x; the merge and
+#: goalposts: 8 workers must sustain ≥6x the reads of 1 worker on the
+#: critical-path-CPU metric (perfect scaling would be 8x; the merge and
 #: wire overhead eat the rest).
-TARGET_CAPACITY_SPEEDUP = 3.0
+TARGET_CAPACITY_SPEEDUP = 6.0
+
+#: Cluster sizes measured, smallest first (the speedup compares the
+#: largest against 1).
+CLUSTER_SIZES = (1, 4, 8)
 
 QUERIES = ("travel food", "milan hotel review", "food", "travel", "blog forum food")
 
@@ -155,6 +164,11 @@ def _assert_bit_identical(
             raise AssertionError(
                 f"sharded rank score diverged from the twin for {source_id!r}"
             )
+    top = coordinator.rank_top(10)
+    if [(s, score.to_dict()) for s, score in top] != [
+        (a.source_id, a.score.to_dict()) for a in expected[:10]
+    ]:
+        raise AssertionError("pre-merged rank_top diverged from the twin")
 
 
 def _measure_cluster(
@@ -165,8 +179,8 @@ def _measure_cluster(
     searches: int,
     ranks: int,
     repetitions: int,
-) -> tuple[float, float, float]:
-    """(wall-clock QPS, capacity QPS, coordinator CPU seconds).
+) -> tuple[float, float, float, float]:
+    """(wall QPS, capacity QPS, coordinator CPU seconds, wire bytes/read).
 
     Every cluster size replays the same corpus payload and the same
     mutation stream, so the bit-identity check pins all of them to the
@@ -174,12 +188,16 @@ def _measure_cluster(
     times and each metric takes the best repetition — the busy-time
     samples are small enough (tens of milliseconds) that a single GC
     pause or scheduling hiccup in any one process visibly skews a
-    one-shot measurement.
+    one-shot measurement.  Wire bytes count both directions of every
+    coordinator connection (requests, replies, and the flush traffic the
+    touches generate).
     """
     corpus = SourceCorpus.from_dict(corpus_payload)
+    reads = searches + ranks
     best_wall = float("inf")
     best_busy = float("inf")
     best_cpu = float("inf")
+    best_wire = float("inf")
     with ShardCoordinator(corpus, shard_count, domain=domain) as coordinator:
         _stream_mutations(corpus, events)
         _assert_bit_identical(coordinator, corpus, domain)
@@ -187,6 +205,7 @@ def _measure_cluster(
         source_ids = corpus.source_ids()
         for repetition in range(repetitions):
             busy_before = coordinator.busy_times()
+            wire_before = coordinator.wire_bytes()
             cpu_before = time.process_time()
             wall_before = time.perf_counter()
             for index in range(searches):
@@ -199,18 +218,23 @@ def _measure_cluster(
                 coordinator.rank()
             wall_elapsed = time.perf_counter() - wall_before
             cpu_elapsed = time.process_time() - cpu_before
+            wire_after = coordinator.wire_bytes()
             busy_after = coordinator.busy_times()
             worker_busy = max(
                 busy_after[index] - busy_before[index] for index in busy_before
             )
+            wire_bytes = (
+                wire_after["sent"] - wire_before["sent"]
+                + wire_after["received"] - wire_before["received"]
+            )
             best_wall = min(best_wall, wall_elapsed)
             best_busy = min(best_busy, worker_busy)
             best_cpu = min(best_cpu, cpu_elapsed)
+            best_wire = min(best_wire, wire_bytes / reads)
 
-    reads = searches + ranks
     read_qps = reads / best_wall if best_wall > 0 else float("inf")
     capacity_qps = reads / best_busy if best_busy > 0 else float("inf")
-    return read_qps, capacity_qps, best_cpu
+    return read_qps, capacity_qps, best_cpu, best_wire
 
 
 def run(
@@ -230,8 +254,9 @@ def run(
     )
     corpus_payload = _build_corpus(source_count).to_dict()
 
-    results: dict[int, tuple[float, float, float]] = {}
-    for shard_count in (1, 4):
+    reads = searches + ranks
+    results: dict[int, tuple[float, float, float, float]] = {}
+    for shard_count in CLUSTER_SIZES:
         print(
             f"serving with {shard_count} worker process(es) "
             "(replicate, verify bit-identity, read)...",
@@ -240,17 +265,19 @@ def run(
         results[shard_count] = _measure_cluster(
             corpus_payload, domain, shard_count, events, searches, ranks, repetitions
         )
-        read_qps, capacity_qps, coordinator_cpu = results[shard_count]
+        read_qps, capacity_qps, coordinator_cpu, wire_per_read = results[shard_count]
         print(
             f"  {shard_count} worker(s)  wall {read_qps:8.1f} reads/s  "
             f"capacity {capacity_qps:8.1f} reads/s  "
-            f"coordinator {coordinator_cpu:.3f}s CPU",
+            f"coordinator {coordinator_cpu:.3f}s CPU  "
+            f"wire {wire_per_read / 1024.0:7.1f} KiB/read",
             flush=True,
         )
 
+    largest = CLUSTER_SIZES[-1]
     capacity_1 = results[1][1]
-    capacity_4 = results[4][1]
-    speedup = capacity_4 / capacity_1 if capacity_1 > 0 else float("inf")
+    capacity_largest = results[largest][1]
+    speedup = capacity_largest / capacity_1 if capacity_1 > 0 else float("inf")
 
     section = {
         "sources": source_count,
@@ -260,10 +287,16 @@ def run(
         "repetitions": repetitions,
         "read_qps_1worker": results[1][0],
         "read_qps_4workers": results[4][0],
+        "read_qps_8workers": results[8][0],
         "capacity_qps_1worker": capacity_1,
-        "capacity_qps_4workers": capacity_4,
+        "capacity_qps_4workers": results[4][1],
+        "capacity_qps_8workers": results[8][1],
         "coordinator_cpu_seconds_1worker": results[1][2],
         "coordinator_cpu_seconds_4workers": results[4][2],
+        "coordinator_cpu_seconds_8workers": results[8][2],
+        "coordinator_cpu_per_read_8workers": results[8][2] / reads,
+        "wire_bytes_per_read_1worker": results[1][3],
+        "wire_bytes_per_read_8workers": results[8][3],
         "speedup": speedup,
         "target_speedup": TARGET_CAPACITY_SPEEDUP,
         "bit_identical_at_quiesce": True,
@@ -346,7 +379,7 @@ def main(argv: list[str] | None = None) -> int:
     )
     print(
         f"sharded_serving   1 worker {section['capacity_qps_1worker']:8.1f} reads/s  "
-        f"4 workers {section['capacity_qps_4workers']:8.1f} reads/s  "
+        f"8 workers {section['capacity_qps_8workers']:8.1f} reads/s  "
         f"capacity speedup {section['speedup']:5.2f}x  {status}"
     )
     print(f"wrote {args.output}")

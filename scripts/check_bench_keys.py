@@ -61,10 +61,16 @@ EXPECTED = {
     "sharded_serving": (
         "read_qps_1worker",
         "read_qps_4workers",
+        "read_qps_8workers",
         "capacity_qps_1worker",
         "capacity_qps_4workers",
+        "capacity_qps_8workers",
         "coordinator_cpu_seconds_1worker",
         "coordinator_cpu_seconds_4workers",
+        "coordinator_cpu_seconds_8workers",
+        "coordinator_cpu_per_read_8workers",
+        "wire_bytes_per_read_1worker",
+        "wire_bytes_per_read_8workers",
         "speedup",
         "target_speedup",
         "bit_identical_at_quiesce",

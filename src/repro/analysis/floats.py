@@ -48,6 +48,7 @@ KERNEL_FILES: tuple[str, ...] = (
     "src/repro/core/scoring.py",
     "src/repro/core/source_quality.py",
     "src/repro/core/contributor_quality.py",
+    "src/repro/sharding/columns.py",
 )
 
 #: IEEE-exact (or value-preserving) numpy ops the kernels may call.

@@ -56,6 +56,8 @@ LOCK_RANKS: dict[str, int] = {
     "store.lock": 3,        # CorpusStore._lock
     "journal.append": 4,    # DurableJournalSubscriber._lock (paused() window)
     "scheduler.intake": 5,  # EagerRefreshScheduler._intake
+    "shard.io": 6,          # ShardCoordinator._io (lifecycle + mutation drain)
+    "shard.conn": 7,        # _Shard.lock (one wire round-trip per hold)
     "consumer.gate": 10,    # ConsumerQueue.refresh_gate / consumer refresh_mutex
     "consumer.drain": 20,   # ConsumerQueue._drain_mutex
     "rwlock.write": 30,     # ReadWriteLock write side
@@ -91,6 +93,7 @@ LOCK_FILES: tuple[str, ...] = (
     "src/repro/core/source_quality.py",
     "src/repro/core/contributor_quality.py",
     "src/repro/persistence/store.py",
+    "src/repro/sharding/coordinator.py",
 )
 
 #: Context-manager methods that alias a lock class.
@@ -256,6 +259,10 @@ def _attr_lock(attr: str, receiver_name: str, ctx: _Ctx) -> Optional[str]:
         return str(spec["drain"])
     if attr == "_condition" and ctx.cls == "ReadWriteLock":
         return "rwlock.internal"
+    if attr == "_io" and ctx.cls == "ShardCoordinator":
+        return "shard.io"
+    if attr == "lock" and "shard" in _final_segment(receiver_name):
+        return "shard.conn"
     if attr == "_lock":
         if ctx.cls == "DurableJournalSubscriber" or "subscriber" in _final_segment(
             receiver_name

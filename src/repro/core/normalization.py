@@ -54,7 +54,21 @@ class Normalizer(ABC):
     A normalizer is *fitted* on the raw measure values of a reference set of
     sources (or contributors) and then used to normalise the values of any
     individual.  Fitting is per measure name.
+
+    ``fit_is_order_invariant`` declares whether a strategy's fit depends
+    only on the *multiset* of reference values (True) or also on their
+    order (False).  Order-invariant fits can be computed from per-shard
+    pre-sorted columns merged in any order — the basis of the sharded
+    rank pre-merge (see :meth:`SourceQualityModel.shard_sorted_fit_columns`);
+    order-dependent fits (like the z-score's sequential sum) must see the
+    corpus in its canonical order and fall back to the full-matrix path.
     """
+
+    #: True when :meth:`fit` depends only on the multiset of reference
+    #: values, never their order.  Strategies that set this True must also
+    #: implement :meth:`fit_state` / :meth:`load_fit_state` so a fit can
+    #: travel to shard workers.
+    fit_is_order_invariant = False
 
     def __init__(self, registry: MeasureRegistry) -> None:
         self._registry = registry
@@ -107,6 +121,36 @@ class Normalizer(ABC):
         The built-in normalizers all override it.
         """
         return {}
+
+    def fit_state(self) -> Optional[dict]:
+        """JSON-serialisable snapshot of the fitted state, or None.
+
+        A non-None state round-trips through :meth:`load_fit_state` into a
+        normalizer that scores every value bit-identically to this one:
+        the floats travel verbatim (JSON's ``repr`` round-trip is exact
+        for float64), and the loaded instance runs exactly the same
+        :meth:`_normalize_measure` arithmetic.  This is how a coordinator
+        fits once and broadcasts the fit to shard workers.  The base
+        implementation returns None ("not transportable"); the built-in
+        strategies all override it.
+        """
+        return None
+
+    def load_fit_state(self, state: Mapping[str, Any]) -> "Normalizer":
+        """Adopt a fit produced by another instance's :meth:`fit_state`.
+
+        Counts as one fit for :attr:`fit_count` purposes, exactly like
+        :meth:`fit` — incremental consumers must notice the swap.
+        """
+        raise NormalizationError(
+            f"{type(self).__name__} does not support transportable fit state"
+        )
+
+    def _adopt_fit(self) -> "Normalizer":
+        """Mark the instance fitted after a :meth:`load_fit_state`."""
+        self._fitted = True
+        self._fit_count += 1
+        return self
 
     def renormalize_measures(
         self,
@@ -307,6 +351,10 @@ class BenchmarkNormalizer(Normalizer):
     therefore computed on a ``log1p`` scale.
     """
 
+    #: Quantile/floor/median picks read ``np.sort(values)`` only — the fit
+    #: depends on the sorted multiset, never the input order.
+    fit_is_order_invariant = True
+
     def __init__(
         self,
         registry: MeasureRegistry,
@@ -339,6 +387,25 @@ class BenchmarkNormalizer(Normalizer):
             )
             for name in self._benchmarks
         }
+
+    def fit_state(self) -> dict:
+        """Transportable ``{benchmarks, floors, log_scaled}`` fit snapshot."""
+        return {
+            "strategy": "benchmark",
+            "benchmarks": dict(self._benchmarks),
+            "floors": dict(self._floors),
+            "log_scaled": sorted(self._log_scaled),
+        }
+
+    def load_fit_state(self, state: Mapping[str, Any]) -> "Normalizer":
+        if state.get("strategy") != "benchmark":
+            raise NormalizationError(
+                f"fit state strategy {state.get('strategy')!r} is not 'benchmark'"
+            )
+        self._benchmarks = {name: float(v) for name, v in state["benchmarks"].items()}
+        self._floors = {name: float(v) for name, v in state["floors"].items()}
+        self._log_scaled = set(state["log_scaled"])
+        return self._adopt_fit()
 
     def _fit_measure(self, name: str, values: list[float]) -> None:
         ordered = sorted(values)
@@ -457,6 +524,9 @@ class BenchmarkNormalizer(Normalizer):
 class MinMaxNormalizer(Normalizer):
     """Classic min-max normalisation over the reference values."""
 
+    #: min/max of a multiset do not depend on input order.
+    fit_is_order_invariant = True
+
     def __init__(self, registry: MeasureRegistry) -> None:
         super().__init__(registry)
         self._minima: dict[str, float] = {}
@@ -467,6 +537,23 @@ class MinMaxNormalizer(Normalizer):
         return {
             name: (self._minima[name], self._maxima[name]) for name in self._minima
         }
+
+    def fit_state(self) -> dict:
+        """Transportable ``{minima, maxima}`` fit snapshot."""
+        return {
+            "strategy": "min_max",
+            "minima": dict(self._minima),
+            "maxima": dict(self._maxima),
+        }
+
+    def load_fit_state(self, state: Mapping[str, Any]) -> "Normalizer":
+        if state.get("strategy") != "min_max":
+            raise NormalizationError(
+                f"fit state strategy {state.get('strategy')!r} is not 'min_max'"
+            )
+        self._minima = {name: float(v) for name, v in state["minima"].items()}
+        self._maxima = {name: float(v) for name, v in state["maxima"].items()}
+        return self._adopt_fit()
 
     def _fit_measure(self, name: str, values: list[float]) -> None:
         self._minima[name] = min(values)
@@ -506,6 +593,30 @@ class ZScoreNormalizer(Normalizer):
     def fit_signature(self) -> dict[str, tuple]:
         """Per-measure ``(mean, standard deviation)`` fit signature."""
         return {name: (self._means[name], self._stds[name]) for name in self._means}
+
+    def fit_state(self) -> dict:
+        """Transportable ``{means, stds}`` fit snapshot.
+
+        The *fit* stays order-dependent (its sequential ``sum`` rounds
+        differently under reordering, so ``fit_is_order_invariant`` is
+        False and sharded pre-merge cannot rebuild it from sorted
+        columns) — but an already-computed fit is just two float maps and
+        transports exactly.
+        """
+        return {
+            "strategy": "z_score",
+            "means": dict(self._means),
+            "stds": dict(self._stds),
+        }
+
+    def load_fit_state(self, state: Mapping[str, Any]) -> "Normalizer":
+        if state.get("strategy") != "z_score":
+            raise NormalizationError(
+                f"fit state strategy {state.get('strategy')!r} is not 'z_score'"
+            )
+        self._means = {name: float(v) for name, v in state["means"].items()}
+        self._stds = {name: float(v) for name, v in state["stds"].items()}
+        return self._adopt_fit()
 
     def _fit_measure(self, name: str, values: list[float]) -> None:
         mean = sum(values) / len(values)

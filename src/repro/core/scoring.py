@@ -373,29 +373,34 @@ def scores_from_columns(
     directly.  Used by the lazy dict-shaped surface of the columnar
     assessment context and by snapshot restore.
     """
-    raw_lists = [raw[name].tolist() for name in measures]
-    normalized_lists = [normalized[name].tolist() for name in measures]
-    dimension_lists = {
-        dimension: column.tolist() for dimension, column in dimension_scores.items()
-    }
-    attribute_lists = {
-        attribute: column.tolist() for attribute, column in attribute_scores.items()
-    }
+    names = list(measures)
+    raw_lists = [raw[name].tolist() for name in names]
+    normalized_lists = [normalized[name].tolist() for name in names]
+    dimension_keys = list(dimension_scores)
+    attribute_keys = list(attribute_scores)
     overall_list = overall.tolist()
+    # Transpose once and build each subject's dicts via dict(zip(...)):
+    # the per-subject dict comprehensions with indexed lookups were the
+    # hot loop of every full-ranking materialisation.
+    empty_rows = [()] * len(subject_ids)
+    raw_rows = list(zip(*raw_lists)) or empty_rows
+    normalized_rows = list(zip(*normalized_lists)) or empty_rows
+    dimension_rows = (
+        list(zip(*(dimension_scores[key].tolist() for key in dimension_keys)))
+        or empty_rows
+    )
+    attribute_rows = (
+        list(zip(*(attribute_scores[key].tolist() for key in attribute_keys)))
+        or empty_rows
+    )
     scores: dict[str, QualityScore] = {}
     for i, subject_id in enumerate(subject_ids):
         scores[subject_id] = QualityScore(
             subject_id=subject_id,
-            raw_values={name: raw_lists[j][i] for j, name in enumerate(measures)},
-            normalized_values={
-                name: normalized_lists[j][i] for j, name in enumerate(measures)
-            },
-            dimension_scores={
-                dimension: values[i] for dimension, values in dimension_lists.items()
-            },
-            attribute_scores={
-                attribute: values[i] for attribute, values in attribute_lists.items()
-            },
+            raw_values=dict(zip(names, raw_rows[i])),
+            normalized_values=dict(zip(names, normalized_rows[i])),
+            dimension_scores=dict(zip(dimension_keys, dimension_rows[i])),
+            attribute_scores=dict(zip(attribute_keys, attribute_rows[i])),
             overall=overall_list[i],
             scheme_name=scheme_name,
         )

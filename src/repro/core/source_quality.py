@@ -1305,7 +1305,26 @@ class SourceQualityModel:
         if not raw_vectors:
             raise AssessmentError("cannot assess an empty corpus")
         names, _ = self._registry.column_layout()
-        subject_ids, measures, raw_columns = columns_from_vectors(raw_vectors, names)
+        subject_ids, _, raw_columns = columns_from_vectors(raw_vectors, names)
+        return self.rank_from_columns(subject_ids, raw_columns)
+
+    def rank_from_columns(
+        self,
+        subject_ids: "tuple[str, ...]",
+        raw_columns: Mapping[str, np.ndarray],
+    ) -> list[tuple[str, QualityScore]]:
+        """Columnar twin of :meth:`rank_from_raw` over assembled columns.
+
+        The binary wire path hands the gathered per-shard ``float64``
+        columns (already in coordinator corpus order) directly to this
+        method, skipping the per-source dict detour entirely; the
+        arithmetic is identical to :meth:`rank_from_raw` — the two differ
+        only in how the columns were materialised.
+        """
+        if not len(subject_ids):
+            raise AssessmentError("cannot assess an empty corpus")
+        names, _ = self._registry.column_layout()
+        measures = tuple(name for name in names if name in raw_columns)
         ensure_finite_columns(raw_columns)
         with ordered(self._refresh_mutex, "consumer.gate"):
             self._fit_normalizer_columns(raw_columns)
@@ -1325,3 +1344,197 @@ class SourceQualityModel:
             self._scheme.name,
         )
         return [(source_id, scores[source_id]) for source_id in rank.order()]
+
+    # -- worker-side pre-merge phases (repro.sharding, binary wire path) ------------
+
+    #: Flat column-name prefixes of a candidate block (see
+    #: :meth:`shard_rank_candidates` / :meth:`merge_rank_candidates`).
+    _RAW_PREFIX = "raw:"
+    _NORM_PREFIX = "norm:"
+    _DIM_PREFIX = "dim:"
+    _ATTR_PREFIX = "attr:"
+    _OVERALL_KEY = "overall"
+
+    def supports_shard_premerge(self) -> bool:
+        """True when the normaliser's fit can be rebuilt from sorted columns.
+
+        Order-invariant strategies (benchmark, min-max) depend only on
+        each measure's sorted multiset, so per-shard pre-sorted columns
+        merged in any order reproduce the global fit exactly; the fit
+        then travels to the workers as
+        :meth:`~repro.core.normalization.Normalizer.fit_state`.
+        Order-dependent strategies (z-score) make the coordinator fall
+        back to gathering the full raw matrix.
+        """
+        return self._normalizer.fit_is_order_invariant
+
+    def shard_measure_columns(
+        self, corpus: SourceCorpus, *, corpus_max_open_discussions: int
+    ) -> "tuple[tuple[str, ...], tuple[str, ...], dict[str, np.ndarray]]":
+        """Columnar twin of :meth:`shard_raw_measures` for the binary wire.
+
+        Returns ``(source ids, measure names, {name: float64 column})`` in
+        the shard corpus's insertion order, cached exactly like the
+        vector form (same key shape, sources anchored).  The columns are
+        what :func:`~repro.core.columnar.columns_from_vectors` would
+        build from the vectors — the wire just ships them as raw bytes
+        instead of JSON.
+        """
+        names, _ = self._registry.column_layout()
+        if len(corpus) == 0:
+            return (), tuple(names), {}
+        key = ("columns", corpus.content_fingerprint(), corpus_max_open_discussions)
+
+        def build() -> tuple:
+            sources = tuple(corpus)
+            _, vectors = self._measure_corpus(corpus, corpus_max_open_discussions)
+            subject_ids, measures, columns = columns_from_vectors(vectors, names)
+            return (sources, subject_ids, measures, columns)
+
+        entry = self._measure_cache.get_or_create(key, build)
+        return entry[1], entry[2], entry[3]
+
+    def shard_sorted_fit_columns(
+        self, corpus: SourceCorpus, *, corpus_max_open_discussions: int
+    ) -> "tuple[int, dict[str, np.ndarray]]":
+        """Per-measure *sorted* columns of this shard, for the pre-merge fit.
+
+        Sorting moves values without changing them, and sorting the
+        concatenation of per-shard sorted columns equals sorting the full
+        column — all an order-invariant fit ever reads.  Returns the row
+        count plus the sorted columns.
+        """
+        subject_ids, _, columns = self.shard_measure_columns(
+            corpus, corpus_max_open_discussions=corpus_max_open_discussions
+        )
+        return len(subject_ids), {
+            name: freeze(np.sort(column)) for name, column in columns.items()
+        }
+
+    def premerge_fit_state(
+        self, sorted_columns: Mapping[str, np.ndarray]
+    ) -> dict:
+        """Fit the normaliser on merged sorted columns; return its fit state.
+
+        Coordinator side of the pre-merge: the merged sorted columns hold
+        exactly the multiset the full-matrix fit would see, and the fit is
+        order-invariant (:meth:`supports_shard_premerge` guards callers),
+        so the resulting state is bit-identical to fitting on the
+        assembled corpus-order matrix.  The returned state is broadcast
+        to the workers for :meth:`shard_rank_candidates`.
+        """
+        if not self.supports_shard_premerge():
+            raise AssessmentError(
+                "normalizer fit is order-dependent; sharded pre-merge unavailable"
+            )
+        with ordered(self._refresh_mutex, "consumer.gate"):
+            self._fit_normalizer_columns(sorted_columns)
+            state = self._normalizer.fit_state()
+        if state is None:
+            raise AssessmentError(
+                "normalizer declares an order-invariant fit but no transportable state"
+            )
+        return state
+
+    def shard_rank_candidates(
+        self,
+        corpus: SourceCorpus,
+        *,
+        corpus_max_open_discussions: int,
+        fit_state: Mapping[str, Any],
+        limit: int,
+    ) -> "tuple[tuple[str, ...], dict[str, np.ndarray]]":
+        """Score this shard under the broadcast fit; return its top candidates.
+
+        Worker side of the pre-merge: adopts the coordinator's fit state,
+        normalises and scores only the shard's rows (both are elementwise
+        per row, so every row equals the same row of a global pass bit
+        for bit), ranks locally and returns the top ``limit`` rows as a
+        flat candidate block — ``raw:*`` / ``norm:*`` measure columns,
+        ``dim:*`` / ``attr:*`` score columns and ``overall``.  Any global
+        top-``limit`` source is inside its own shard's top ``limit``, so
+        the union of shard candidate blocks always covers the global
+        answer.
+        """
+        subject_ids, measures, raw_columns = self.shard_measure_columns(
+            corpus, corpus_max_open_discussions=corpus_max_open_discussions
+        )
+        if not subject_ids:
+            return (), {}
+        ensure_finite_columns(raw_columns)
+        with ordered(self._refresh_mutex, "consumer.gate"):
+            self._normalizer.load_fit_state(fit_state)
+            self.counters.increment("premerge_fit_loads")
+            normalized = self._normalizer.normalize_columns(raw_columns)
+        overall, dimension_scores, attribute_scores = build_quality_score_columns(
+            subject_ids, measures, normalized, self._registry, self._scheme
+        )
+        rank = SortedRankKeys.from_scores(overall, subject_ids)
+        chosen = rank.order()[: max(0, int(limit))]
+        index = {source_id: row for row, source_id in enumerate(subject_ids)}
+        rows = np.asarray([index[source_id] for source_id in chosen], dtype=np.intp)
+        block: "dict[str, np.ndarray]" = {}
+        for name in measures:
+            block[self._RAW_PREFIX + name] = freeze(raw_columns[name][rows])
+            block[self._NORM_PREFIX + name] = freeze(normalized[name][rows])
+        block[self._OVERALL_KEY] = freeze(overall[rows])
+        for dimension, column in dimension_scores.items():
+            block[self._DIM_PREFIX + dimension.value] = freeze(column[rows])
+        for attribute, column in attribute_scores.items():
+            block[self._ATTR_PREFIX + attribute.value] = freeze(column[rows])
+        return tuple(chosen), block
+
+    def merge_rank_candidates(
+        self,
+        candidate_ids: "tuple[str, ...]",
+        candidate_columns: Mapping[str, np.ndarray],
+        limit: int,
+    ) -> list[tuple[str, QualityScore]]:
+        """Rank pooled per-shard candidate blocks; return the global top.
+
+        Coordinator side of the pre-merge: shards partition the corpus,
+        so the pooled candidates are distinct rows scored under one
+        shared fit; re-sorting them with the same lexsorted keys the
+        single-process path uses makes the top ``limit`` prefix — order
+        and every score — bit-identical to ``rank()[:limit]`` over the
+        full corpus.
+        """
+        if not candidate_ids:
+            raise AssessmentError("cannot assess an empty corpus")
+        names, _ = self._registry.column_layout()
+        measures = tuple(
+            name for name in names if self._RAW_PREFIX + name in candidate_columns
+        )
+        overall = candidate_columns[self._OVERALL_KEY]
+        rank = SortedRankKeys.from_scores(overall, candidate_ids)
+        chosen = rank.order()[: max(0, int(limit))]
+        index = {source_id: row for row, source_id in enumerate(candidate_ids)}
+        rows = np.asarray([index[source_id] for source_id in chosen], dtype=np.intp)
+        raw = {
+            name: candidate_columns[self._RAW_PREFIX + name][rows] for name in measures
+        }
+        normalized = {
+            name: candidate_columns[self._NORM_PREFIX + name][rows]
+            for name in measures
+        }
+        dimension_scores = {
+            QualityDimension(key[len(self._DIM_PREFIX) :]): column[rows]
+            for key, column in candidate_columns.items()
+            if key.startswith(self._DIM_PREFIX)
+        }
+        attribute_scores = {
+            QualityAttribute(key[len(self._ATTR_PREFIX) :]): column[rows]
+            for key, column in candidate_columns.items()
+            if key.startswith(self._ATTR_PREFIX)
+        }
+        scores = scores_from_columns(
+            tuple(chosen),
+            measures,
+            raw,
+            normalized,
+            overall[rows],
+            dimension_scores,
+            attribute_scores,
+            self._scheme.name,
+        )
+        return [(source_id, scores[source_id]) for source_id in chosen]

@@ -175,14 +175,25 @@ class ShardUnavailableError(ShardingError):
     Carries the shard index so callers (and tests) can tell exactly which
     partition degraded; reads that can tolerate partial coverage pass
     ``allow_degraded=True`` to the coordinator instead of catching this.
+    When a scatter loses several shards at once, ``shard_indices`` lists
+    every down partition (``shard_index`` stays the first, for callers
+    that only handle one).
     """
 
-    def __init__(self, shard_index: int, message: str = "") -> None:
-        detail = f"shard {shard_index} is unavailable (worker process down)"
+    def __init__(
+        self, shard_index: int, message: str = "", *, shard_indices: "tuple[int, ...]" = ()
+    ) -> None:
+        indices = tuple(sorted(set(shard_indices) | {shard_index}))
+        if len(indices) == 1:
+            detail = f"shard {indices[0]} is unavailable (worker process down)"
+        else:
+            listed = ", ".join(str(index) for index in indices)
+            detail = f"shards {listed} are unavailable (worker processes down)"
         if message:
             detail += f": {message}"
         super().__init__(detail)
         self.shard_index = shard_index
+        self.shard_indices = indices
 
 
 class SentimentError(ReproError):

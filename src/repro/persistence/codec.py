@@ -39,10 +39,21 @@ from typing import Any, Iterable, Optional
 from repro.errors import CorruptSnapshotError
 from repro.persistence.format import decode_json, json_record, pack_record, read_record
 
-__all__ = ["INDEX_MAGIC", "encode_index_state", "decode_index_state", "is_index_payload"]
+__all__ = [
+    "INDEX_MAGIC",
+    "COLUMN_MAGIC",
+    "encode_index_state",
+    "decode_index_state",
+    "is_index_payload",
+    "encode_column_block",
+    "decode_column_block",
+]
 
 #: Magic prefix distinguishing codec payloads from JSON section payloads.
 INDEX_MAGIC = b"RPIX"
+
+#: Magic prefix for generic named-column blocks (see ``encode_column_block``).
+COLUMN_MAGIC = b"RPCB"
 
 #: (typecode, head key) per binary buffer, in on-disk order.
 _BUFFERS = (
@@ -203,3 +214,81 @@ def decode_index_state(payload: bytes, *, path: Optional[Path] = None) -> dict[s
     fields["term_frequencies"] = term_frequencies
     fields["postings"] = postings
     return fields
+
+
+def _float64_column_bytes(values) -> bytes:
+    """Little-endian ``float64`` bytes for one column, without a decimal trip.
+
+    Fast path: anything exposing a C-contiguous ``float64`` buffer (numpy
+    arrays, ``array('d')``) is copied byte-for-byte; everything else goes
+    through ``array('d', values)``.  Either way the payload holds the exact
+    IEEE-754 bit patterns of the inputs.
+    """
+    try:
+        view = memoryview(values)
+    except TypeError:
+        return _array_bytes("d", values)
+    if view.format == "d" and view.c_contiguous:
+        data = view.tobytes()
+        if not _LITTLE_ENDIAN:  # pragma: no cover - big-endian hosts only
+            return _array_bytes("d", values)
+        return data
+    return _array_bytes("d", values)
+
+
+def encode_column_block(
+    ids: Iterable[str], columns: "dict[str, Any]"
+) -> bytes:
+    """Encode named ``float64`` columns into a framed binary block.
+
+    Layout mirrors the index codec: ``RPCB | framed(head JSON) | framed
+    (f64 column bytes)`` per column, in head ``names`` order.  The head
+    interns the row ``ids`` (may be empty for rowless statistic columns)
+    and records ``rows`` so decoders can validate buffer lengths.  Floats
+    travel as raw IEEE-754 bytes — bit-identical by construction.
+    """
+    id_list = list(ids)
+    names = list(columns)
+    buffers = [_float64_column_bytes(columns[name]) for name in names]
+    rows = len(buffers[0]) // 8 if buffers else len(id_list)
+    head = {"ids": id_list, "names": names, "rows": rows}
+    parts = [COLUMN_MAGIC, pack_record(json_record(head))]
+    parts.extend(pack_record(buffer) for buffer in buffers)
+    return b"".join(parts)
+
+
+def decode_column_block(
+    payload: bytes, *, path: Optional[Path] = None
+) -> "tuple[list[str], dict[str, array]]":
+    """Decode a column block into ``(ids, {name: array('d')})``.
+
+    Raises :class:`CorruptSnapshotError` on bad magic, torn frames, or
+    length disagreements (every column must hold exactly ``rows`` floats,
+    and ``ids`` must be empty or ``rows`` long).
+    """
+    if payload[: len(COLUMN_MAGIC)] != COLUMN_MAGIC:
+        raise CorruptSnapshotError("bad column block magic", path=path)
+    offset = len(COLUMN_MAGIC)
+    head_bytes, offset = read_record(payload, offset, path=path, strict=True)
+    head = decode_json(head_bytes, path=path)
+    try:
+        ids = list(head["ids"])
+        names = list(head["names"])
+        rows = int(head["rows"])
+    except (KeyError, TypeError, ValueError) as exc:
+        raise CorruptSnapshotError(f"malformed column block head: {exc!r}", path=path) from exc
+    if ids and len(ids) != rows:
+        raise CorruptSnapshotError("column block id count disagrees with rows", path=path)
+    columns: "dict[str, array]" = {}
+    for name in names:
+        record = read_record(payload, offset, path=path, strict=True)
+        column = _array_from("d", record[0], path=path)
+        offset = record[1]
+        if len(column) != rows:
+            raise CorruptSnapshotError(
+                f"column {name!r} holds {len(column)} rows, expected {rows}", path=path
+            )
+        columns[name] = column
+    if offset != len(payload):
+        raise CorruptSnapshotError("trailing bytes after column block", path=path)
+    return ids, columns

@@ -75,6 +75,8 @@ RUNTIME_LOCK_RANKS: dict[str, int] = {
     "store.lock": 3,
     "journal.append": 4,
     "scheduler.intake": 5,
+    "shard.io": 6,
+    "shard.conn": 7,
     "consumer.gate": 10,
     "consumer.drain": 20,
     "rwlock.write": 30,

@@ -24,19 +24,35 @@ build at quiesce:
   with the engine's exact ``(-score, source_id)`` order.  Shards
   partition the candidate set, so merging per-shard top-k loses nothing.
 * ``rank()`` gathers the global open-discussion maximum, collects raw
-  measure vectors per shard, reassembles them in the coordinator
-  corpus's insertion order and runs the model's global tail
-  (:meth:`~repro.core.source_quality.SourceQualityModel.rank_from_raw`)
-  locally.
+  measure *columns* per shard over the binary wire (raw ``float64``
+  bytes, no JSON decode), reassembles them in the coordinator corpus's
+  insertion order and runs the model's global tail
+  (:meth:`~repro.core.source_quality.SourceQualityModel.rank_from_columns`)
+  locally.  ``rank(columnar=False)`` keeps the original per-source JSON
+  path as the bit-identity oracle.
+* ``rank_top(limit)`` goes further: workers pre-sort their fit columns,
+  the coordinator merges them and broadcasts the fitted normaliser
+  state, and workers score their own rows and return only their top
+  candidates — coordinator bytes and merge input shrink from O(corpus)
+  toward O(k·shards) (see the model's ``shard_*`` pre-merge phases).
+
+The coordinator's serial fraction is deliberately small: scatter
+replies are gathered by per-shard threads (a slow shard overlaps with
+deserialising the fast ones), wire traffic is serialised per
+*connection* (``_Shard.lock``, rank ``shard.conn``) rather than
+coordinator-wide, and the ``shard.io`` lock serialises only lifecycle
+and mutation draining (spawn/restart/close/flush) — a mutator's
+``flush()`` never waits behind a slow read to a different shard.
 
 Worker death is detected on the wire (EOF / reset / CRC desync), the
 shard is marked down, and reads raise
-:class:`~repro.errors.ShardUnavailableError` unless ``allow_degraded=True``,
-which serves from the live shards.  Mutations routed to a down shard are
-dropped and counted; :meth:`restart_shard` respawns the worker, lets it
-recover warm from its per-shard store, then reconciles it against the
-authoritative corpus with a ``resync`` — after which the cluster is
-bit-identical to its pre-fault self.  See ``docs/ARCHITECTURE.md``.
+:class:`~repro.errors.ShardUnavailableError` — carrying *every* down
+shard index — unless ``allow_degraded=True``, which serves from the
+live shards.  Mutations routed to a down shard are dropped and counted;
+:meth:`restart_shard` respawns the worker, lets it recover warm from
+its per-shard store, then reconciles it against the authoritative
+corpus with a ``resync`` — after which the cluster is bit-identical to
+its pre-fault self.  See ``docs/ARCHITECTURE.md``.
 """
 
 from __future__ import annotations
@@ -45,6 +61,7 @@ import dataclasses
 import heapq
 import itertools
 import os
+import queue
 import socket
 import subprocess
 import sys
@@ -55,6 +72,7 @@ from typing import Any, Optional
 import repro
 from repro.core.source_quality import QualityScore, SourceQualityModel
 from repro.errors import (
+    AssessmentError,
     PersistenceError,
     SearchError,
     ShardingError,
@@ -62,11 +80,19 @@ from repro.errors import (
     WireProtocolError,
 )
 from repro.persistence.cluster import ClusterStore
+from repro.persistence.format import json_record
 from repro.search.engine import (
     SearchEngineConfig,
     SearchResult,
     _reject_untokenizable,
     tokenize,
+)
+from repro.serving.rwlock import ordered
+from repro.sharding.columns import (
+    assemble_columns,
+    concat_columns,
+    decode_columns,
+    merge_sorted_columns,
 )
 from repro.sharding.partition import partition_shard
 from repro.sharding.wire import DEFAULT_TIMEOUT_SECONDS, WireConnection
@@ -78,12 +104,26 @@ __all__ = ["ShardCoordinator"]
 
 @dataclasses.dataclass
 class _Shard:
-    """Book-keeping of one worker process."""
+    """Book-keeping of one worker process.
+
+    ``lock`` (class ``shard.conn``) serialises wire round-trips on this
+    shard's connection: a send and its matching recv happen under one
+    hold, so concurrent readers can never interleave frames or steal
+    each other's replies.  Reentrant because a lifecycle holder
+    (restart) re-enters through :meth:`ShardCoordinator._request`.
+    """
 
     index: int
     process: Optional[subprocess.Popen] = None
     connection: Optional[WireConnection] = None
     alive: bool = False
+    lock: Any = dataclasses.field(default_factory=threading.RLock)
+    #: Scatter jobs for this shard's persistent gather thread.  A
+    #: long-lived runner (started once per coordinator) beats a thread
+    #: per scatter: spawning N threads per read phase costs more CPU
+    #: than the serial drain it replaces.
+    jobs: "queue.SimpleQueue" = dataclasses.field(default_factory=queue.SimpleQueue)
+    runner: Optional[threading.Thread] = None
 
 
 class ShardCoordinator:
@@ -127,9 +167,12 @@ class ShardCoordinator:
             if store_directory is not None
             else None
         )
-        # All wire traffic is serialised by this lock; the bridge sink
-        # only ever takes the buffer lock, so a corpus mutation never
-        # blocks behind a socket.
+        # Lifecycle/mutation lock (class ``shard.io``): spawn, restart,
+        # close and flush serialise here.  Read-path round-trips only
+        # take the per-shard connection locks, so a slow read never
+        # blocks a flush to a *different* shard; the bridge sink only
+        # ever takes the buffer lock, so a corpus mutation never blocks
+        # behind a socket.
         self._io = threading.RLock()
         self._buffer_lock = threading.Lock()
         self._pending: dict[int, list[dict[str, Any]]] = {
@@ -139,7 +182,29 @@ class ShardCoordinator:
         self._query_ids = itertools.count(1)
         self._dropped = 0
         self._closed = False
+        # Byte counters of connections already replaced by a restart;
+        # ``wire_bytes()`` adds the live connections' counters on top.
+        self._retired_bytes_sent = 0
+        self._retired_bytes_received = 0
+        # Last pre-merge normaliser fit, keyed by (corpus version,
+        # global max_open, reached shard set): repeated rank_top reads
+        # over an unchanged corpus skip the rank_fit scatter entirely.
+        self._fit_cache: Optional[tuple[tuple, dict]] = None
+        # Global term statistics per (terms, answering shard set) for
+        # the current corpus version: repeated searches over an
+        # unchanged corpus skip the search_stats scatter — phase 1 is a
+        # pure function of corpus content, query terms and which shards
+        # answer.  Any mutation bumps the version and drops the dict.
+        self._stats_cache: tuple[int, dict[tuple, tuple]] = (-1, {})
         self._shards = [_Shard(index) for index in range(shard_count)]
+        for shard in self._shards:
+            shard.runner = threading.Thread(
+                target=self._run_gathers,
+                args=(shard,),
+                name=f"repro-gather-{shard.index}",
+                daemon=True,
+            )
+            shard.runner.start()
         self._bridge = WireBridgeSubscriber(corpus, self._route)
         try:
             for shard in self._shards:
@@ -194,6 +259,10 @@ class ShardCoordinator:
             )
         finally:
             child.close()
+        if shard.connection is not None:
+            # Keep the byte accounting monotonic across restarts.
+            self._retired_bytes_sent += shard.connection.bytes_sent
+            self._retired_bytes_received += shard.connection.bytes_received
         shard.connection = WireConnection(parent, timeout=self._timeout)
         shard.alive = True
         self._request(
@@ -241,19 +310,22 @@ class ShardCoordinator:
                 f"shard index {shard_index} is not within the "
                 f"{self.shard_count}-way split"
             )
-        with self._io:
+        with ordered(self._io, "shard.io"):
             shard = self._shards[shard_index]
-            shard.alive = False
-            if shard.connection is not None:
-                shard.connection.close()
-            if shard.process is not None:
-                if shard.process.poll() is None:
-                    shard.process.kill()
-                shard.process.wait()
-            with self._buffer_lock:
-                self._pending[shard_index] = []
-            self._spawn(shard, recover=self._cluster is not None)
-            return self._request(shard, "sync", {})
+            # Taking the connection lock waits out any in-flight
+            # round-trip before the connection object is swapped.
+            with ordered(shard.lock, "shard.conn"):
+                shard.alive = False
+                if shard.connection is not None:
+                    shard.connection.close()
+                if shard.process is not None:
+                    if shard.process.poll() is None:
+                        shard.process.kill()
+                    shard.process.wait()
+                with self._buffer_lock:
+                    self._pending[shard_index] = []
+                self._spawn(shard, recover=self._cluster is not None)
+                return self._request(shard, "sync", {})
 
     def close(self) -> None:
         """Shut down every worker and detach from the corpus (idempotent)."""
@@ -261,7 +333,9 @@ class ShardCoordinator:
             return
         self._closed = True
         self._bridge.close()
-        with self._io:
+        for shard in self._shards:
+            shard.jobs.put(None)  # stop the persistent gather runner
+        with ordered(self._io, "shard.io"):
             for shard in self._shards:
                 if shard.alive:
                     try:
@@ -278,6 +352,9 @@ class ShardCoordinator:
                 except subprocess.TimeoutExpired:
                     shard.process.kill()
                     shard.process.wait()
+        for shard in self._shards:
+            if shard.runner is not None:
+                shard.runner.join(timeout=10)
 
     def __enter__(self) -> "ShardCoordinator":
         return self
@@ -300,7 +377,15 @@ class ShardCoordinator:
         Records routed to a down shard are dropped and counted — the
         shard's eventual :meth:`restart_shard` resync supersedes them.
         """
-        with self._io:
+        with self._buffer_lock:
+            # Fast path for the every-read flush: nothing buffered, so
+            # skip the io lock and the per-shard batch swap entirely.
+            # Records from the calling thread are always visible here;
+            # a mutation racing in from another thread did not
+            # happen-before this flush and may drain on the next one.
+            if not any(self._pending.values()):
+                return 0
+        with ordered(self._io, "shard.io"):
             with self._buffer_lock:
                 batches = self._pending
                 self._pending = {index: [] for index in range(self.shard_count)}
@@ -321,7 +406,7 @@ class ShardCoordinator:
 
     def quiesce(self, *, allow_degraded: bool = False) -> dict[int, dict[str, Any]]:
         """Flush and barrier every live worker; return per-shard versions."""
-        with self._io:
+        with ordered(self._io, "shard.io"):
             self.flush()
             return self._scatter("sync", {}, allow_degraded=allow_degraded)
 
@@ -329,19 +414,35 @@ class ShardCoordinator:
         """Flush, then checkpoint every shard store; return per-shard versions."""
         if self._cluster is None:
             raise PersistenceError("coordinator was built without a store_directory")
-        with self._io:
+        with ordered(self._io, "shard.io"):
             self.flush()
             results = self._scatter("checkpoint", {}, allow_degraded=allow_degraded)
             return {index: result["version"] for index, result in results.items()}
 
     def busy_times(self, *, allow_degraded: bool = False) -> dict[int, float]:
         """Cumulative per-worker CPU seconds spent inside request handlers."""
-        with self._io:
-            results = self._scatter("busy_time", {}, allow_degraded=allow_degraded)
-            return {
-                index: float(result["busy_seconds"])
-                for index, result in results.items()
-            }
+        results = self._scatter("busy_time", {}, allow_degraded=allow_degraded)
+        return {
+            index: float(result["busy_seconds"])
+            for index, result in results.items()
+        }
+
+    def wire_bytes(self) -> dict[str, int]:
+        """Cumulative coordinator-side wire traffic in bytes (monotonic).
+
+        Sums the live connections' frame counters plus the counters of
+        connections already retired by restarts, so the totals never go
+        backwards across a fault cycle.  The capacity benchmark reads
+        this to account bytes-on-wire per read.
+        """
+        sent = self._retired_bytes_sent
+        received = self._retired_bytes_received
+        for shard in self._shards:
+            connection = shard.connection
+            if connection is not None:
+                sent += connection.bytes_sent
+                received += connection.bytes_received
+        return {"sent": sent, "received": received}
 
     # -- reads -------------------------------------------------------------------------
 
@@ -367,14 +468,21 @@ class ShardCoordinator:
         terms = tuple(tokenize(query))
         if not terms:
             _reject_untokenizable(query)
-        with self._io:
-            self.flush()
+        self.flush()
+        version = self._corpus.version
+        alive = tuple(
+            shard.index for shard in self._shards if shard.alive
+        )
+        if self._stats_cache[0] != version:
+            self._stats_cache = (version, {})
+        cached_stats = self._stats_cache[1].get((terms, alive))
+        if cached_stats is not None:
+            n_documents, document_frequencies, max_visitors, max_links = cached_stats
+        else:
             stats = self._scatter(
                 "search_stats", {"terms": list(terms)}, allow_degraded=allow_degraded
             )
             n_documents = sum(int(s["n_documents"]) for s in stats.values())
-            if n_documents == 0:
-                return []
             document_frequencies = {
                 term: sum(
                     int(s["document_frequencies"].get(term, 0))
@@ -386,28 +494,41 @@ class ShardCoordinator:
                 (float(s["max_visitors"]) for s in stats.values()), default=0.0
             )
             max_links = max((int(s["max_links"]) for s in stats.values()), default=0)
-            query_id = next(self._query_ids)
-            scores = self._scatter(
-                "search_score",
-                {
-                    "query_id": query_id,
-                    "terms": list(terms),
-                    "n_documents": n_documents,
-                    "document_frequencies": document_frequencies,
-                    "max_visitors": max_visitors,
-                    "max_links": max_links,
-                },
-                allow_degraded=allow_degraded,
-            )
-            max_topical = max(
-                (float(s["max_raw"]) for s in scores.values()), default=0.0
-            )
-            selections = self._scatter(
-                "search_select",
-                {"query_id": query_id, "max_topical": max_topical, "limit": limit},
-                allow_degraded=allow_degraded,
-                only=set(scores),
-            )
+            # Key on the shards that actually answered: a shard dying
+            # mid-scatter shrinks the alive set, so the next lookup key
+            # differs and this entry can never serve a stale cluster
+            # shape.  Bounded per version; a mutation drops it whole.
+            if len(self._stats_cache[1]) < 256:
+                self._stats_cache[1][(terms, tuple(sorted(stats)))] = (
+                    n_documents,
+                    document_frequencies,
+                    max_visitors,
+                    max_links,
+                )
+        if n_documents == 0:
+            return []
+        query_id = next(self._query_ids)
+        scores = self._scatter(
+            "search_score",
+            {
+                "query_id": query_id,
+                "terms": list(terms),
+                "n_documents": n_documents,
+                "document_frequencies": document_frequencies,
+                "max_visitors": max_visitors,
+                "max_links": max_links,
+            },
+            allow_degraded=allow_degraded,
+        )
+        max_topical = max(
+            (float(s["max_raw"]) for s in scores.values()), default=0.0
+        )
+        selections = self._scatter(
+            "search_select",
+            {"query_id": query_id, "max_topical": max_topical, "limit": limit},
+            allow_degraded=allow_degraded,
+            only=set(scores),
+        )
         entries = [
             entry
             for selection in selections.values()
@@ -426,31 +547,48 @@ class ShardCoordinator:
         ]
 
     def rank(
-        self, *, allow_degraded: bool = False
+        self, *, allow_degraded: bool = False, columnar: bool = True
     ) -> list[tuple[str, QualityScore]]:
         """Scatter-gather assessment ranking, bit-identical at quiesce.
 
         Returns ``(source_id, score)`` pairs in decreasing overall
         quality (ties by source id) — the pair view of the single-process
         :meth:`~repro.core.source_quality.SourceQualityModel.rank`.
+
+        The default path gathers raw measure *columns* as binary
+        ``float64`` payloads (``rank_measure_cols``), reassembles them in
+        coordinator corpus order and runs the columnar global tail.
+        ``columnar=False`` keeps the original per-source JSON path as the
+        bit-identity oracle — both produce the exact same floats, the
+        binary path because the worker's IEEE-754 bytes travel verbatim,
+        the JSON path because the repr round-trip is exact.
         """
         if self._model is None:
             raise ShardingError("coordinator was built without a domain")
-        with self._io:
-            self.flush()
-            stats = self._scatter("rank_stats", {}, allow_degraded=allow_degraded)
-            max_open = max((int(s["max_open"]) for s in stats.values()), default=0)
-            gathered = self._scatter(
-                "rank_measures",
-                {"max_open": max_open},
-                allow_degraded=allow_degraded,
-                only=set(stats),
+        self.flush()
+        stats = self._scatter("rank_stats", {}, allow_degraded=allow_degraded)
+        max_open = max((int(s["max_open"]) for s in stats.values()), default=0)
+        kind = "rank_measure_cols" if columnar else "rank_measures"
+        gathered = self._scatter(
+            kind,
+            {"max_open": max_open},
+            allow_degraded=allow_degraded,
+            only=set(stats),
+        )
+        order = list(self._corpus.source_ids())
+        if columnar:
+            blocks = [
+                decode_columns(result["_binary"]) for result in gathered.values()
+            ]
+            subject_ids, raw_columns = assemble_columns(
+                order, blocks, strict=not allow_degraded
             )
+            return self._model.rank_from_columns(subject_ids, raw_columns)
         vectors: dict[str, dict[str, float]] = {}
         for result in gathered.values():
             vectors.update(result["vectors"])
         raw_vectors = {}
-        for source_id in self._corpus.source_ids():
+        for source_id in order:
             if source_id in vectors:
                 raw_vectors[source_id] = vectors[source_id]
             elif not allow_degraded:
@@ -459,6 +597,80 @@ class ShardCoordinator:
                     f"report measures for source {source_id!r}"
                 )
         return self._model.rank_from_raw(raw_vectors)
+
+    def rank_top(
+        self, limit: int, *, allow_degraded: bool = False
+    ) -> list[tuple[str, QualityScore]]:
+        """The top ``limit`` of :meth:`rank` via worker-side pre-merge.
+
+        Workers pre-sort their fit columns; the coordinator merges them,
+        fits the normaliser once (cached per corpus version) and
+        broadcasts its fit state; each worker then scores only its own
+        rows and returns its top ``limit`` candidate columns.  Bytes over
+        the wire and coordinator merge input shrink from O(corpus) to
+        O(limit · shards), and the result — order and every float — is
+        bit-identical to ``rank()[:limit]``: shards partition the corpus,
+        so any global top source is within its shard's top ``limit``.
+
+        Falls back to ``rank()[:limit]`` when the domain's normaliser fit
+        is order-dependent (see ``supports_shard_premerge``).
+        """
+        if self._model is None:
+            raise ShardingError("coordinator was built without a domain")
+        if limit <= 0:
+            raise ShardingError(f"limit must be positive, got {limit}")
+        if not self._model.supports_shard_premerge():
+            return self.rank(allow_degraded=allow_degraded)[:limit]
+        self.flush()
+        stats = self._scatter("rank_stats", {}, allow_degraded=allow_degraded)
+        max_open = max((int(s["max_open"]) for s in stats.values()), default=0)
+        reached = set(stats)
+        fit_state = self._premerge_fit(
+            max_open, reached, allow_degraded=allow_degraded
+        )
+        candidates = self._scatter(
+            "rank_score",
+            {"max_open": max_open, "fit": fit_state, "limit": limit},
+            allow_degraded=allow_degraded,
+            only=reached,
+        )
+        blocks = [
+            decode_columns(result["_binary"]) for result in candidates.values()
+        ]
+        candidate_ids, candidate_columns = concat_columns(blocks)
+        return self._model.merge_rank_candidates(
+            candidate_ids, candidate_columns, limit
+        )
+
+    def _premerge_fit(
+        self, max_open: int, reached: set[int], *, allow_degraded: bool
+    ) -> dict:
+        """Gather per-shard sorted fit columns and fit the normaliser once.
+
+        The fit is cached per ``(corpus version, global max_open, reached
+        shard set)``: repeated ``rank_top`` reads over an unchanged
+        corpus skip the ``rank_fit`` scatter entirely, leaving a single
+        O(limit · shards) scoring round-trip on the steady-state path.
+        """
+        key = (self._corpus.version, max_open, tuple(sorted(reached)))
+        cached = self._fit_cache
+        if cached is not None and cached[0] == key:
+            return cached[1]
+        gathered = self._scatter(
+            "rank_fit",
+            {"max_open": max_open},
+            allow_degraded=allow_degraded,
+            only=reached,
+        )
+        total_rows = sum(int(result["count"]) for result in gathered.values())
+        if total_rows == 0:
+            raise AssessmentError("cannot assess an empty corpus")
+        sorted_columns = merge_sorted_columns(
+            decode_columns(result["_binary"])[1] for result in gathered.values()
+        )
+        fit_state = self._model.premerge_fit_state(sorted_columns)
+        self._fit_cache = (key, fit_state)
+        return fit_state
 
     def ranking_ids(self, *, allow_degraded: bool = False) -> list[str]:
         """Source identifiers ordered by decreasing overall quality."""
@@ -469,13 +681,29 @@ class ShardCoordinator:
 
     # -- wire plumbing -----------------------------------------------------------------
 
+    @staticmethod
+    def _attach_binary(reply: dict[str, Any]) -> Any:
+        """The reply's result, with any binary payload merged in as ``_binary``."""
+        result = reply.get("result")
+        if "_binary" in reply and isinstance(result, dict):
+            result = dict(result)
+            result["_binary"] = reply["_binary"]
+        return result
+
     def _request(self, shard: _Shard, kind: str, payload: dict[str, Any]) -> Any:
-        """One request/reply round-trip with a single shard (holds the io lock)."""
-        with self._io:
-            message = {"id": next(self._message_ids), "kind": kind, **payload}
+        """One request/reply round-trip with a single shard.
+
+        Serialised per *connection* (``shard.conn``), not coordinator-wide:
+        a round-trip with one shard never blocks traffic to another.  The
+        send and its matching recv happen under one hold so concurrent
+        callers cannot interleave frames or steal each other's replies.
+        """
+        message = {"id": next(self._message_ids), "kind": kind, **payload}
+        with ordered(shard.lock, "shard.conn"):
+            connection = shard.connection
             try:
-                shard.connection.send(message)
-                reply = shard.connection.recv()
+                connection.send(message)
+                reply = connection.recv()
             except (WireProtocolError, OSError) as exc:
                 self._mark_down(shard)
                 raise ShardUnavailableError(shard.index, str(exc)) from exc
@@ -485,9 +713,55 @@ class ShardCoordinator:
             if reply.get("id") != message["id"]:
                 self._mark_down(shard)
                 raise ShardUnavailableError(shard.index, "reply out of order")
-            if not reply.get("ok", False):
-                raise self._remote_error(reply.get("error") or {})
-            return reply.get("result")
+        if not reply.get("ok", False):
+            raise self._remote_error(reply.get("error") or {})
+        return self._attach_binary(reply)
+
+    def _run_gathers(self, shard: _Shard) -> None:
+        """Persistent gather-thread body: serve this shard's scatter jobs.
+
+        One runner per shard lives for the coordinator's lifetime (a
+        thread spawned per scatter costs more CPU than the serial drain
+        it replaces).  Each job is one full round-trip; the outcome —
+        ``("ok", result)``, ``("down", index)`` or ``("error", exc)`` —
+        is posted to the job's completion queue.  ``None`` shuts the
+        runner down.
+        """
+        while True:
+            job = shard.jobs.get()
+            if job is None:
+                return
+            message_id, encoded, completions = job
+            completions.put(
+                (shard.index, *self._gather_one(shard, message_id, encoded))
+            )
+
+    def _gather_one(
+        self, shard: _Shard, message_id: int, encoded: bytes
+    ) -> tuple[str, Any]:
+        """One shard's scatter round-trip; returns an outcome tag + value.
+
+        ``encoded`` is the request payload already serialised (the same
+        bytes go to every shard in the fan-out; connections are
+        independent, so one message id serves them all).  Runs the full
+        send+recv under the shard's connection lock, so the reply is
+        always drained from a shard the request reached — leaving it
+        unread would desynchronise the connection.
+        """
+        with ordered(shard.lock, "shard.conn"):
+            connection = shard.connection
+            try:
+                connection.send_payload(encoded)
+                reply = connection.recv()
+            except (WireProtocolError, OSError):
+                self._mark_down(shard)
+                return "down", None
+            if reply is None or reply.get("id") != message_id:
+                self._mark_down(shard)
+                return "down", None
+        if not reply.get("ok", False):
+            return "error", self._remote_error(reply.get("error") or {})
+        return "ok", self._attach_binary(reply)
 
     def _scatter(
         self,
@@ -497,53 +771,56 @@ class ShardCoordinator:
         allow_degraded: bool,
         only: Optional[set[int]] = None,
     ) -> dict[int, Any]:
-        """Send one request to every live shard, then gather every reply.
+        """Send one request to every live shard; gather replies concurrently.
 
-        Replies are always drained from every shard the request reached —
-        leaving one unread would desynchronise that connection — before
-        any error is raised.  A shard failing at the wire level is marked
-        down; in strict mode (the default) any down shard aborts the
-        read with :class:`ShardUnavailableError`, while degraded mode
-        returns the live subset.  ``only`` restricts a follow-up phase to
-        the shards that answered the previous one.
+        Every reached shard's persistent runner performs the full
+        round-trip (:meth:`_gather_one`), so a slow shard's reply
+        overlaps with deserialising the fast ones and a failed shard
+        never leaves a frame unread on a live connection.  A shard
+        failing at the wire level is marked down; in strict mode (the
+        default) any down shard aborts the read with
+        :class:`ShardUnavailableError` carrying *every* down index,
+        while degraded mode returns the live subset.  A worker-side
+        typed error re-raises locally (lowest shard index wins when
+        several fail).  ``only`` restricts a follow-up phase to the
+        shards that answered the previous one.
         """
-        sent: list[tuple[_Shard, int]] = []
+        results: dict[int, Any] = {}
+        failures: dict[int, BaseException] = {}
         down: list[int] = []
+        reached: list[_Shard] = []
         for shard in self._shards:
             if only is not None and shard.index not in only:
                 continue
             if not shard.alive:
                 down.append(shard.index)
                 continue
-            message = {"id": next(self._message_ids), "kind": kind, **payload}
-            try:
-                shard.connection.send(message)
-                sent.append((shard, message["id"]))
-            except (WireProtocolError, OSError):
-                self._mark_down(shard)
-                down.append(shard.index)
-        results: dict[int, Any] = {}
-        remote_error: Optional[BaseException] = None
-        for shard, message_id in sent:
-            try:
-                reply = shard.connection.recv()
-            except (WireProtocolError, OSError):
-                self._mark_down(shard)
-                down.append(shard.index)
-                continue
-            if reply is None or reply.get("id") != message_id:
-                self._mark_down(shard)
-                down.append(shard.index)
-                continue
-            if not reply.get("ok", False):
-                if remote_error is None:
-                    remote_error = self._remote_error(reply.get("error") or {})
-                continue
-            results[shard.index] = reply.get("result")
-        if remote_error is not None:
-            raise remote_error
+            reached.append(shard)
+        message_id = next(self._message_ids)
+        encoded = json_record({"id": message_id, "kind": kind, **payload})
+        completions: "queue.SimpleQueue" = queue.SimpleQueue()
+        for shard in reached[1:]:
+            shard.jobs.put((message_id, encoded, completions))
+        outcomes = []
+        if reached:
+            # The calling thread drains one shard itself: a single-shard
+            # fan-out never pays a queue round-trip at all.
+            first = reached[0]
+            outcomes.append((first.index, *self._gather_one(first, message_id, encoded)))
+        for _ in reached[1:]:
+            outcomes.append(completions.get())
+        for index, status, value in outcomes:
+            if status == "ok":
+                results[index] = value
+            elif status == "down":
+                down.append(index)
+            else:
+                failures[index] = value
+        if failures:
+            raise failures[min(failures)]
         if down and not allow_degraded:
-            raise ShardUnavailableError(down[0])
+            down.sort()
+            raise ShardUnavailableError(down[0], shard_indices=tuple(down))
         return results
 
     def _mark_down(self, shard: _Shard) -> None:

@@ -47,6 +47,7 @@ from repro.errors import PersistenceError, ShardingError, WireProtocolError
 from repro.persistence.store import CorpusStore, _overlay_source, replay_journal
 from repro.search.engine import SearchEngine, SearchEngineConfig
 from repro.serving import EagerRefreshScheduler, register_worker_stack
+from repro.sharding.columns import encode_columns
 from repro.sharding.wire import WireConnection
 from repro.sources.corpus import SourceCorpus
 from repro.sources.models import Source
@@ -88,9 +89,9 @@ class ShardWorker:
                 message = self._connection.recv()
                 if message is None:
                     break
-                reply = self._dispatch(message)
+                reply, binary = self._dispatch(message)
                 try:
-                    self._connection.send(reply)
+                    self._connection.send(reply, binary=binary)
                 except WireProtocolError:
                     break
         finally:
@@ -105,7 +106,15 @@ class ShardWorker:
             self._store = None
         self._connection.close()
 
-    def _dispatch(self, message: dict[str, Any]) -> dict[str, Any]:
+    def _dispatch(
+        self, message: dict[str, Any]
+    ) -> tuple[dict[str, Any], Optional[bytes]]:
+        """Run one handler; returns ``(reply, binary blob or None)``.
+
+        Handlers on the binary columnar path return ``(result, blob)``
+        tuples; the blob rides the reply frame as a ``RPWB`` payload
+        (see :mod:`repro.sharding.wire`) instead of JSON.
+        """
         request_id = message.get("id")
         kind = message.get("kind")
         started = time.process_time()
@@ -118,13 +127,19 @@ class ShardWorker:
             result = handler(self, message)
         except Exception as exc:  # noqa: BLE001 — every failure becomes a typed reply
             self._busy_seconds += time.process_time() - started
-            return {
-                "id": request_id,
-                "ok": False,
-                "error": {"type": type(exc).__name__, "message": str(exc)},
-            }
+            return (
+                {
+                    "id": request_id,
+                    "ok": False,
+                    "error": {"type": type(exc).__name__, "message": str(exc)},
+                },
+                None,
+            )
+        binary: Optional[bytes] = None
+        if isinstance(result, tuple):
+            result, binary = result
         self._busy_seconds += time.process_time() - started
-        return {"id": request_id, "ok": True, "result": result}
+        return {"id": request_id, "ok": True, "result": result}, binary
 
     # -- setup -------------------------------------------------------------------------
 
@@ -311,6 +326,42 @@ class ShardWorker:
         )
         return {"vectors": vectors}
 
+    def _require_model(self) -> SourceQualityModel:
+        if self._model is None:
+            raise ShardingError("worker was configured without a domain")
+        return self._model
+
+    def _handle_rank_measure_cols(
+        self, message: dict[str, Any]
+    ) -> tuple[dict[str, Any], bytes]:
+        """Binary twin of ``rank_measures``: the raw matrix as column bytes."""
+        ids, names, columns = self._require_model().shard_measure_columns(
+            self._corpus, corpus_max_open_discussions=int(message["max_open"])
+        )
+        blob = encode_columns(ids, {name: columns[name] for name in names} if ids else {})
+        return {"count": len(ids)}, blob
+
+    def _handle_rank_fit(
+        self, message: dict[str, Any]
+    ) -> tuple[dict[str, Any], bytes]:
+        """Pre-merge phase 2a: this shard's sorted fit columns."""
+        count, sorted_columns = self._require_model().shard_sorted_fit_columns(
+            self._corpus, corpus_max_open_discussions=int(message["max_open"])
+        )
+        return {"count": count}, encode_columns((), sorted_columns)
+
+    def _handle_rank_score(
+        self, message: dict[str, Any]
+    ) -> tuple[dict[str, Any], bytes]:
+        """Pre-merge phase 2b: score under the broadcast fit, return top-k."""
+        ids, block = self._require_model().shard_rank_candidates(
+            self._corpus,
+            corpus_max_open_discussions=int(message["max_open"]),
+            fit_state=message["fit"],
+            limit=int(message["limit"]),
+        )
+        return {"count": len(ids)}, encode_columns(ids, block)
+
     # -- operations --------------------------------------------------------------------
 
     def _handle_checkpoint(self, message: dict[str, Any]) -> dict[str, Any]:
@@ -339,6 +390,9 @@ class ShardWorker:
         "search_select": _handle_search_select,
         "rank_stats": _handle_rank_stats,
         "rank_measures": _handle_rank_measures,
+        "rank_measure_cols": _handle_rank_measure_cols,
+        "rank_fit": _handle_rank_fit,
+        "rank_score": _handle_rank_score,
         "checkpoint": _handle_checkpoint,
         "version": _handle_version,
         "busy_time": _handle_busy_time,

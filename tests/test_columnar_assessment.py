@@ -38,7 +38,7 @@ from repro.core.scoring import (
     uniform_scheme,
 )
 from repro.core.source_quality import SourceQualityModel
-from repro.errors import AssessmentError
+from repro.errors import AssessmentError, NormalizationError
 from repro.sources.corpus import SourceCorpus
 from repro.sources.generators import (
     CorpusGenerator,
@@ -138,6 +138,55 @@ class TestKernelEquality:
             "s2": dict(base),
         }
         _assert_scalar_columnar_equal(raw, lambda: ZScoreNormalizer(REGISTRY))
+
+
+class TestFitStateTransport:
+    """The pre-merge contract: fit states travel, order-invariant fits merge."""
+
+    @pytest.mark.parametrize("normalizer", _normalizers(), ids=lambda n: type(n).__name__)
+    def test_fit_state_round_trip_normalizes_identically(self, normalizer):
+        raw = _vectors_from_seed(24, seed=13)
+        fitted = type(normalizer)(REGISTRY)
+        fitted.fit(collect_reference_values(raw.values()))
+        state = fitted.fit_state()
+        assert state is not None
+        loaded = type(normalizer)(REGISTRY)
+        loaded.load_fit_state(state)
+        for vector in raw.values():
+            for name, value in vector.items():
+                assert loaded.normalize(name, value) == fitted.normalize(
+                    name, value
+                )  # exact
+
+    @pytest.mark.parametrize(
+        "normalizer",
+        [BenchmarkNormalizer(REGISTRY), MinMaxNormalizer(REGISTRY)],
+        ids=lambda n: type(n).__name__,
+    )
+    def test_order_invariant_fit_survives_sorted_shard_merge(self, normalizer):
+        # Fitting on np.sort of the pooled column equals fitting on the
+        # corpus-order column — the identity the coordinator's pre-merge
+        # fit relies on (z-score is excluded: fit_is_order_invariant is
+        # False and the coordinator falls back to the full gather).
+        assert type(normalizer)(REGISTRY).fit_is_order_invariant
+        raw = _vectors_from_seed(32, seed=17)
+        _, measures, columns = columns_from_vectors(raw, tuple(MEASURES))
+        direct = type(normalizer)(REGISTRY)
+        direct.fit_columns(columns)
+        sorted_columns = {name: np.sort(columns[name]) for name in measures}
+        merged = type(normalizer)(REGISTRY)
+        merged.fit_columns(sorted_columns)
+        assert merged.fit_state() == direct.fit_state()
+
+    def test_z_score_fit_is_declared_order_dependent(self):
+        assert not ZScoreNormalizer(REGISTRY).fit_is_order_invariant
+
+    def test_load_rejects_foreign_strategy(self):
+        fitted = BenchmarkNormalizer(REGISTRY)
+        fitted.fit(collect_reference_values(_vectors_from_seed(8, seed=3).values()))
+        state = fitted.fit_state()
+        with pytest.raises(NormalizationError):
+            MinMaxNormalizer(REGISTRY).load_fit_state(state)
 
 
 class TestDegenerateShapes:

@@ -18,12 +18,15 @@ import signal
 import socket
 import threading
 
+import numpy as np
 import pytest
 
 from repro.cli import main as cli_main
+from repro.core.normalization import ZScoreNormalizer
 from repro.core.source_quality import SourceQualityModel
 from repro.errors import (
     AssessmentError,
+    CorruptSnapshotError,
     MissingShardSnapshotError,
     PersistenceError,
     SearchError,
@@ -33,10 +36,17 @@ from repro.errors import (
     WireProtocolError,
 )
 from repro.persistence import ClusterStore, CorpusStore
+from repro.persistence.codec import decode_column_block
 from repro.persistence.format import RECORD_HEADER, json_record, pack_record
 from repro.search.engine import SearchEngine, SearchEngineConfig
 from repro.sharding import WireConnection, partition_shard
-from repro.sharding.wire import MAX_PAYLOAD_BYTES
+from repro.sharding.columns import (
+    assemble_columns,
+    decode_columns,
+    encode_columns,
+    merge_sorted_columns,
+)
+from repro.sharding.wire import MAX_PAYLOAD_BYTES, WIRE_BINARY_MAGIC
 from repro.sources.corpus import SourceCorpus
 from repro.sources.generators import (
     CorpusGenerator,
@@ -127,6 +137,10 @@ def _assert_bit_identical(coordinator, corpus, domain) -> None:
     for (source_id, score), assessment in zip(actual, expected):
         assert source_id == assessment.source_id
         assert score.to_dict() == assessment.score.to_dict()
+    top = coordinator.rank_top(5)
+    assert [(source_id, score.to_dict()) for source_id, score in top] == [
+        (source_id, score.to_dict()) for source_id, score in actual[:5]
+    ]
 
 
 # -- partition function ----------------------------------------------------------------
@@ -262,6 +276,195 @@ class TestWireCodec:
             right.close()
 
 
+# -- binary columnar payloads ----------------------------------------------------------
+
+
+EDGE_FLOATS = (
+    0.0,
+    -0.0,
+    0.1,
+    1.0 / 3.0,
+    -2.5,
+    1e-308,
+    5e-324,
+    1.7976931348623157e308,
+    0.1 + 0.2,
+)
+
+
+class TestColumnBlockCodec:
+    def test_round_trip_is_bit_exact(self):
+        ids = tuple(f"s{i}" for i in range(len(EDGE_FLOATS)))
+        columns = {
+            "m1": np.asarray(EDGE_FLOATS, dtype=np.float64),
+            "m2": np.asarray(EDGE_FLOATS[::-1], dtype=np.float64),
+        }
+        out_ids, out_columns = decode_columns(encode_columns(ids, columns))
+        assert tuple(out_ids) == ids
+        assert list(out_columns) == ["m1", "m2"]
+        for name, column in columns.items():
+            # Byte-level equality: -0.0 and denormals keep their exact
+            # bit patterns, which value equality would not distinguish.
+            assert out_columns[name].tobytes() == column.tobytes()
+
+    def test_rowless_fit_block_round_trips(self):
+        blob = encode_columns((), {"m": np.asarray(EDGE_FLOATS, dtype=np.float64)})
+        ids, columns = decode_columns(blob)
+        assert list(ids) == []
+        assert columns["m"].tobytes() == np.asarray(EDGE_FLOATS).tobytes()
+
+    def test_empty_block_round_trips(self):
+        ids, columns = decode_columns(encode_columns((), {}))
+        assert list(ids) == [] and columns == {}
+
+    def test_bad_magic_rejected(self):
+        with pytest.raises(CorruptSnapshotError):
+            decode_column_block(b"JUNK" + b"\x00" * 16)
+
+    def test_torn_column_buffer_rejected(self):
+        blob = encode_columns(("a", "b"), {"m": np.asarray([1.5, 2.5])})
+        with pytest.raises(CorruptSnapshotError):
+            decode_column_block(blob[:-5])
+
+    def test_id_count_row_disagreement_rejected(self):
+        blob = bytearray(encode_columns(("a", "b"), {"m": np.asarray([1.5, 2.5])}))
+        with pytest.raises(CorruptSnapshotError):
+            decode_column_block(bytes(blob) + b"extra")
+
+    def test_assemble_restores_global_order(self):
+        order = [f"s{i}" for i in range(6)]
+        shard_a = (("s4", "s1"), {"m": np.asarray([4.0, 1.0])})
+        shard_b = (("s0", "s5", "s2", "s3"), {"m": np.asarray([0.0, 5.0, 2.0, 3.0])})
+        subject_ids, columns = assemble_columns(order, [shard_a, shard_b])
+        assert subject_ids == tuple(order)
+        assert columns["m"].tolist() == [0.0, 1.0, 2.0, 3.0, 4.0, 5.0]
+
+    def test_assemble_strict_requires_full_cover(self):
+        order = ["s0", "s1"]
+        blocks = [(("s0",), {"m": np.asarray([0.0])})]
+        with pytest.raises(ShardingError):
+            assemble_columns(order, blocks)
+        subject_ids, columns = assemble_columns(order, blocks, strict=False)
+        assert subject_ids == ("s0",)
+        assert columns["m"].tolist() == [0.0]
+
+    def test_merge_sorted_columns_equals_global_sort(self):
+        full = np.asarray(EDGE_FLOATS, dtype=np.float64)
+        merged = merge_sorted_columns(
+            [{"m": np.sort(full[:4])}, {"m": np.sort(full[4:])}, {}]
+        )
+        assert merged["m"].tobytes() == np.sort(full).tobytes()
+
+
+class TestBinaryWire:
+    def test_binary_reply_round_trips_bit_exact(self):
+        left, right = _pair()
+        try:
+            blob = encode_columns(
+                ("a", "b", "c"),
+                {"m": np.asarray([0.1, -0.0, 5e-324], dtype=np.float64)},
+            )
+            left.send({"id": 9, "ok": True, "result": {"count": 3}}, binary=blob)
+            message = right.recv()
+            assert message["id"] == 9 and message["result"] == {"count": 3}
+            assert message["_binary"] == blob
+        finally:
+            left.close()
+            right.close()
+
+    def test_binary_and_json_interleave_on_one_connection(self):
+        left, right = _pair()
+        try:
+            blob = encode_columns(("a",), {"m": np.asarray([2.5])})
+            left.send({"id": 1, "kind": "sync"})
+            left.send({"id": 2, "ok": True}, binary=blob)
+            left.send({"id": 3, "kind": "sync"})
+            assert right.recv() == {"id": 1, "kind": "sync"}
+            second = right.recv()
+            assert second["id"] == 2 and second["_binary"] == blob
+            third = right.recv()
+            assert third == {"id": 3, "kind": "sync"} and "_binary" not in third
+        finally:
+            left.close()
+            right.close()
+
+    def test_torn_binary_frame_reads_none(self):
+        # The peer died mid-envelope: EOF semantics, exactly like a torn
+        # JSON frame or a torn journal tail.
+        a, b = socket.socketpair()
+        right = WireConnection(b, timeout=10.0)
+        envelope = WIRE_BINARY_MAGIC + pack_record(
+            json_record({"id": 1, "ok": True})
+        ) + pack_record(b"\x00" * 64)
+        frame = pack_record(envelope)
+        a.sendall(frame[: len(frame) - 20])
+        a.close()
+        assert right.recv() is None
+        right.close()
+
+    def test_corrupt_binary_crc_raises_protocol_error(self):
+        a, b = socket.socketpair()
+        right = WireConnection(b, timeout=10.0)
+        envelope = WIRE_BINARY_MAGIC + pack_record(
+            json_record({"id": 1, "ok": True})
+        ) + pack_record(b"\x07" * 16)
+        frame = bytearray(pack_record(envelope))
+        frame[-1] ^= 0xFF  # flip a blob byte under the outer CRC
+        a.sendall(bytes(frame))
+        with pytest.raises(WireProtocolError):
+            right.recv()
+        a.close()
+        right.close()
+
+    def test_malformed_binary_envelope_raises_protocol_error(self):
+        # A CRC-valid outer frame whose RPWB interior is garbage is a
+        # protocol violation on a live stream, not an EOF.
+        a, b = socket.socketpair()
+        right = WireConnection(b, timeout=10.0)
+        a.sendall(pack_record(WIRE_BINARY_MAGIC + b"\x00" * 12))
+        with pytest.raises(WireProtocolError):
+            right.recv()
+        a.close()
+        right.close()
+
+    def test_trailing_envelope_bytes_raise_protocol_error(self):
+        a, b = socket.socketpair()
+        right = WireConnection(b, timeout=10.0)
+        envelope = (
+            WIRE_BINARY_MAGIC
+            + pack_record(json_record({"id": 1, "ok": True}))
+            + pack_record(b"blob")
+            + b"trailing"
+        )
+        a.sendall(pack_record(envelope))
+        with pytest.raises(WireProtocolError):
+            right.recv()
+        a.close()
+        right.close()
+
+    def test_oversized_binary_frame_rejected_on_recv(self):
+        a, b = socket.socketpair()
+        right = WireConnection(b, timeout=10.0)
+        a.sendall(RECORD_HEADER.pack(MAX_PAYLOAD_BYTES + 1, 0) + WIRE_BINARY_MAGIC)
+        with pytest.raises(WireProtocolError):
+            right.recv()
+        a.close()
+        right.close()
+
+    def test_byte_counters_match_across_the_pair(self):
+        left, right = _pair()
+        try:
+            blob = encode_columns(("a",), {"m": np.asarray([1.5])})
+            left.send({"id": 1, "kind": "sync"})
+            left.send({"id": 2, "ok": True}, binary=blob)
+            right.recv()
+            right.recv()
+            assert left.bytes_sent == right.bytes_received > 0
+        finally:
+            left.close()
+            right.close()
+
+
 # -- property-based equivalence --------------------------------------------------------
 
 
@@ -304,6 +507,130 @@ class TestShardedEquivalence:
             range(1, len(results) + 1)
         )
         assert len({result.source_id for result in results}) == len(results)
+
+
+# -- worker-side pre-merge -------------------------------------------------------------
+
+
+class TestPreMergedRanking:
+    def _score_pairs(self, pairs):
+        return [(source_id, score.to_dict()) for source_id, score in pairs]
+
+    @pytest.mark.parametrize("seed", [7, 23])
+    def test_rank_top_bit_identical_to_single_process(
+        self, coordinator_factory, travel_domain, seed
+    ):
+        rng = random.Random(seed)
+        corpus = _fresh_corpus(12, seed=seed)
+        coordinator = coordinator_factory(corpus, 3, domain=travel_domain)
+        step = 0
+        for _ in range(2):
+            for _ in range(rng.randint(2, 5)):
+                _mutate(rng, corpus, step)
+                step += 1
+            coordinator.quiesce()
+            twin = _twin(corpus)
+            expected = SourceQualityModel(travel_domain).rank(twin)
+            for limit in (1, 4, len(corpus) + 3):
+                top = coordinator.rank_top(limit)
+                assert self._score_pairs(top) == [
+                    (a.source_id, a.score.to_dict()) for a in expected[:limit]
+                ]
+
+    def test_columnar_rank_matches_json_oracle(
+        self, coordinator_factory, travel_domain
+    ):
+        corpus = _fresh_corpus(10)
+        coordinator = coordinator_factory(corpus, 3, domain=travel_domain)
+        coordinator.quiesce()
+        binary = coordinator.rank()
+        oracle = coordinator.rank(columnar=False)
+        assert self._score_pairs(binary) == self._score_pairs(oracle)
+
+    def test_fit_scatter_cached_until_corpus_changes(
+        self, coordinator_factory, travel_domain
+    ):
+        corpus = _fresh_corpus(9)
+        coordinator = coordinator_factory(corpus, 3, domain=travel_domain)
+        kinds: list[str] = []
+        inner = coordinator._scatter
+
+        def spy(kind, payload, **kwargs):
+            kinds.append(kind)
+            return inner(kind, payload, **kwargs)
+
+        coordinator._scatter = spy
+        first = coordinator.rank_top(4)
+        assert coordinator.rank_top(4) == first
+        assert kinds.count("rank_fit") == 1  # second read hit the fit cache
+        corpus.touch(corpus.source_ids()[0])
+        coordinator.rank_top(4)
+        assert kinds.count("rank_fit") == 2  # version bump invalidated it
+
+    def test_search_stats_cached_until_corpus_changes(
+        self, coordinator_factory, travel_domain
+    ):
+        corpus = _fresh_corpus(9)
+        coordinator = coordinator_factory(corpus, 3, domain=travel_domain)
+        kinds: list[str] = []
+        inner = coordinator._scatter
+
+        def spy(kind, payload, **kwargs):
+            kinds.append(kind)
+            return inner(kind, payload, **kwargs)
+
+        coordinator._scatter = spy
+        first = coordinator.search("travel food", limit=5)
+        assert coordinator.search("travel food", limit=5) == first
+        assert kinds.count("search_stats") == 1  # phase 1 served from cache
+        assert kinds.count("search_score") == 2  # phases 2/3 always scatter
+        coordinator.search("travel", limit=5)
+        assert kinds.count("search_stats") == 2  # distinct terms, own entry
+        corpus.touch(corpus.source_ids()[0])
+        refreshed = coordinator.search("travel food", limit=5)
+        assert kinds.count("search_stats") == 3  # version bump dropped it
+        assert [r.source_id for r in refreshed] == [r.source_id for r in first]
+
+    def test_order_dependent_normalizer_falls_back_to_full_rank(
+        self, coordinator_factory, travel_domain
+    ):
+        corpus = _fresh_corpus(8)
+        coordinator = coordinator_factory(corpus, 2, domain=travel_domain)
+        model = coordinator._model
+        model._normalizer = ZScoreNormalizer(model._registry)
+        assert not model.supports_shard_premerge()
+        expected = self._score_pairs(coordinator.rank()[:3])
+        assert self._score_pairs(coordinator.rank_top(3)) == expected
+
+    def test_rank_top_rejects_non_positive_limit(
+        self, coordinator_factory, travel_domain
+    ):
+        corpus = _fresh_corpus(6)
+        coordinator = coordinator_factory(corpus, 2, domain=travel_domain)
+        with pytest.raises(ShardingError):
+            coordinator.rank_top(0)
+
+    def test_all_dead_shards_reported_together(
+        self, coordinator_factory, travel_domain
+    ):
+        corpus = _fresh_corpus(10)
+        coordinator = coordinator_factory(corpus, 4, domain=travel_domain)
+        for victim in (1, 3):
+            process = coordinator.processes[victim]
+            process.send_signal(signal.SIGKILL)
+            process.wait()
+        with pytest.raises(ShardUnavailableError) as excinfo:
+            coordinator.search("travel food", limit=5)
+        assert excinfo.value.shard_indices == (1, 3)
+        assert excinfo.value.shard_index in (1, 3)
+        assert "1, 3" in str(excinfo.value)
+        # Every victim is now marked down; degraded reads still serve,
+        # and restarting both restores strict reads.
+        assert coordinator.live_shards == [0, 2]
+        assert coordinator.search("travel food", limit=5, allow_degraded=True)
+        for victim in (1, 3):
+            coordinator.restart_shard(victim)
+        _assert_bit_identical(coordinator, corpus, travel_domain)
 
 
 # -- coordinator semantics -------------------------------------------------------------
